@@ -1,0 +1,54 @@
+// Ablation — workload sensitivity the paper leaves unspecified: how does
+// the improvement depend on the size of the item universe relative to the
+// overlay size? Fewer items concentrate more query mass on fewer peers,
+// making k pointers cover a larger fraction of the traffic.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "experiments/chord_experiment.h"
+#include "experiments/pastry_experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace peercache::experiments;
+  peercache::bench::BenchArgs args =
+      peercache::bench::BenchArgs::Parse(argc, argv);
+  const int n = args.quick ? 256 : 512;
+  const int k = args.quick ? 8 : 9;
+
+  std::printf(
+      "Ablation — item-universe size vs improvement (n=%d, k=%d, zipf "
+      "1.2)\n",
+      n, k);
+  std::printf("%-12s %16s %16s\n", "items/nodes", "chord improv",
+              "pastry improv");
+  std::printf("%s\n", std::string(46, '-').c_str());
+
+  for (double ratio : {0.25, 0.5, 1.0, 4.0, 16.0}) {
+    double chord_impr = 0, pastry_impr = 0;
+    int runs = 0;
+    for (int s = 0; s < args.seeds; ++s) {
+      ExperimentConfig cfg;
+      cfg.seed = args.base_seed + static_cast<uint64_t>(s);
+      cfg.n_nodes = n;
+      cfg.k = k;
+      cfg.alpha = 1.2;
+      cfg.n_items = static_cast<size_t>(ratio * n);
+      cfg.warmup_queries_per_node = args.quick ? 100 : 300;
+      cfg.measure_queries_per_node = args.quick ? 100 : 200;
+
+      cfg.n_popularity_lists = 5;
+      auto chord = CompareChordStable(cfg);
+      cfg.n_popularity_lists = 1;
+      auto pastry = ComparePastryStable(cfg);
+      if (!chord.ok() || !pastry.ok()) continue;
+      chord_impr += chord->improvement_pct;
+      pastry_impr += pastry->improvement_pct;
+      ++runs;
+    }
+    if (runs == 0) continue;
+    std::printf("%-12.2f %14.1f %% %14.1f %%\n", ratio, chord_impr / runs,
+                pastry_impr / runs);
+  }
+  return 0;
+}

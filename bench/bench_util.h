@@ -1,0 +1,120 @@
+#ifndef PEERCACHE_BENCH_BENCH_UTIL_H_
+#define PEERCACHE_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+#include "experiments/experiment_config.h"
+
+namespace peercache::bench {
+
+/// Command-line knobs shared by the figure harnesses.
+///
+///   --quick        shrink workloads for a fast smoke run
+///   --seeds N      average improvements over N seeds (default 1)
+///   --seed  S      base seed (default 1)
+struct BenchArgs {
+  bool quick = false;
+  int seeds = 1;
+  uint64_t base_seed = 1;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        args.quick = true;
+      } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+        args.seeds = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        args.base_seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--quick] [--seeds N] [--seed S]\n", argv[0]);
+        std::exit(2);
+      }
+    }
+    if (args.seeds < 1) args.seeds = 1;
+    return args;
+  }
+};
+
+/// One row of a figure table. Two improvement columns are reported:
+///  * `improvement_pct`, the paper's metric (vs the frequency-oblivious
+///    baseline), and
+///  * `improvement_vs_none_pct` (vs core-only routing), because our
+///    oblivious baseline is measurably stronger than the paper's (its
+///    random per-slice pointers already act as extra fingers); against
+///    core-only routing the optimal selection matches the paper's headline
+///    factors closely. See EXPERIMENTS.md.
+struct FigureRow {
+  std::string label;
+  double none_hops = 0;
+  double oblivious_hops = 0;
+  double optimal_hops = 0;
+  double improvement_pct = 0;
+  double improvement_vs_none_pct = 0;
+  double success_rate = 1.0;
+  std::string paper_reference;  ///< What the paper reports for this point.
+};
+
+inline void PrintFigureHeader(const char* title, const char* label_name) {
+  std::printf("%s\n", title);
+  std::printf("%-22s %9s %9s %9s %9s %9s %8s   %s\n", label_name, "core-only",
+              "oblivious", "optimal", "impr/obl", "impr/core", "success",
+              "paper(impr/obl)");
+  std::printf(
+      "-----------------------------------------------------------------"
+      "-----------------------------------------\n");
+}
+
+inline void PrintFigureRow(const FigureRow& row) {
+  std::printf("%-22s %8.3f %9.3f %9.3f %8.1f%% %8.1f%% %7.1f%%   %s\n",
+              row.label.c_str(), row.none_hops, row.oblivious_hops,
+              row.optimal_hops, row.improvement_pct,
+              row.improvement_vs_none_pct, 100.0 * row.success_rate,
+              row.paper_reference.c_str());
+}
+
+/// Averages a comparison metric over several seeds.
+template <typename CompareFn>
+FigureRow AveragedRow(const BenchArgs& args, CompareFn compare,
+                      std::string label, std::string paper_reference) {
+  FigureRow row;
+  row.label = std::move(label);
+  row.paper_reference = std::move(paper_reference);
+  row.success_rate = 0.0;
+  int ok_runs = 0;
+  for (int s = 0; s < args.seeds; ++s) {
+    auto cmp = compare(args.base_seed + static_cast<uint64_t>(s));
+    if (!cmp.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   cmp.status().ToString().c_str());
+      continue;
+    }
+    ++ok_runs;
+    row.none_hops += cmp->none.avg_hops;
+    row.oblivious_hops += cmp->oblivious.avg_hops;
+    row.optimal_hops += cmp->optimal.avg_hops;
+    row.success_rate += cmp->optimal.success_rate;
+  }
+  if (ok_runs > 0) {
+    row.none_hops /= ok_runs;
+    row.oblivious_hops /= ok_runs;
+    row.optimal_hops /= ok_runs;
+    row.success_rate /= ok_runs;
+    row.improvement_pct = experiments::ImprovementPct(row.oblivious_hops,
+                                                      row.optimal_hops);
+    row.improvement_vs_none_pct =
+        experiments::ImprovementPct(row.none_hops, row.optimal_hops);
+  }
+  return row;
+}
+
+}  // namespace peercache::bench
+
+#endif  // PEERCACHE_BENCH_BENCH_UTIL_H_

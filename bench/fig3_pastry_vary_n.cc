@@ -1,0 +1,80 @@
+// Reproduces paper Figure 3: Pastry, percentage reduction in average lookup
+// hops versus the frequency-oblivious baseline, as the overlay size n varies
+// with k = log2(n) auxiliary neighbors, for zipf parameters 1.2 and 0.91.
+//
+// Paper's reported trend: improvement grows with n; ~49% at n=2048 with
+// alpha=1.2; up to ~29% with alpha=0.91.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "experiments/pastry_experiment.h"
+
+namespace {
+
+using peercache::CeilLog2;
+using peercache::bench::AveragedRow;
+using peercache::bench::BenchArgs;
+using peercache::bench::FigureRow;
+using peercache::bench::PrintFigureHeader;
+using peercache::bench::PrintFigureRow;
+using namespace peercache::experiments;
+
+const char* PaperReference(int n, double alpha) {
+  if (alpha >= 1.0) {
+    switch (n) {
+      case 256:
+        return "~40%";
+      case 512:
+        return "~44%";
+      case 1024:
+        return "~47%";
+      case 2048:
+        return "~49%";
+    }
+  } else {
+    switch (n) {
+      case 256:
+        return "~22%";
+      case 512:
+        return "~25%";
+      case 1024:
+        return "~27%";
+      case 2048:
+        return "~29%";
+    }
+  }
+  return "-";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintFigureHeader(
+      "Figure 3 — Pastry: improvement vs n (k = log2 n, identical ranking)",
+      "n / alpha");
+  const int sizes[] = {256, 512, 1024, 2048};
+  for (double alpha : {1.2, 0.91}) {
+    for (int n : sizes) {
+      if (args.quick && n > 512) continue;
+      auto compare = [&](uint64_t seed) {
+        ExperimentConfig cfg;
+        cfg.seed = seed;
+        cfg.n_nodes = n;
+        cfg.k = CeilLog2(static_cast<uint64_t>(n));
+        cfg.alpha = alpha;
+        cfg.n_items = static_cast<size_t>(n);
+        cfg.n_popularity_lists = 1;  // identical ranking at all nodes
+        cfg.warmup_queries_per_node = args.quick ? 100 : 300;
+        cfg.measure_queries_per_node = args.quick ? 100 : 200;
+        return ComparePastryStable(cfg);
+      };
+      char label[64];
+      std::snprintf(label, sizeof(label), "n=%-5d alpha=%.2f", n, alpha);
+      PrintFigureRow(
+          AveragedRow(args, compare, label, PaperReference(n, alpha)));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Microbenchmarks for the selection algorithms themselves, validating the
+// paper's complexity claims empirically:
+//   * Pastry: O(n·k²) DP vs the O(n·k) greedy (paper Secs. IV-A/IV-B)
+//   * Pastry: O(b·k) incremental update vs full recompute (Sec. IV-C)
+//   * Chord: O(n²·k) naive DP vs the accelerated concave DP (Secs. V-A/V-B)
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "auxsel/chord_dp.h"
+#include "auxsel/chord_fast.h"
+#include "auxsel/pastry_dp.h"
+#include "auxsel/pastry_greedy.h"
+#include "common/random.h"
+
+namespace {
+
+using namespace peercache;
+using namespace peercache::auxsel;
+
+SelectionInput MakeInput(int n, int k, uint64_t seed) {
+  SelectionInput input;
+  input.bits = 32;
+  input.k = k;
+  Rng rng(seed);
+  auto ids = rng.SampleDistinct(uint64_t{1} << 32,
+                                static_cast<size_t>(n) + 13);
+  input.self_id = ids[0];
+  for (int i = 0; i < n; ++i) {
+    input.peers.push_back(PeerFreq{
+        ids[static_cast<size_t>(i + 1)],
+        static_cast<double>(rng.UniformU64(1000)) + 1.0, -1});
+  }
+  for (int i = 0; i < 12; ++i) {
+    input.core_ids.push_back(ids[static_cast<size_t>(n + 1 + i)]);
+  }
+  return input;
+}
+
+void BM_PastryDp(benchmark::State& state) {
+  SelectionInput input = MakeInput(static_cast<int>(state.range(0)), 16, 7);
+  for (auto _ : state) {
+    auto sel = SelectPastryDp(input);
+    benchmark::DoNotOptimize(sel);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PastryDp)->RangeMultiplier(2)->Range(128, 4096)->Complexity();
+
+void BM_PastryGreedy(benchmark::State& state) {
+  SelectionInput input = MakeInput(static_cast<int>(state.range(0)), 16, 7);
+  for (auto _ : state) {
+    auto sel = SelectPastryGreedy(input);
+    benchmark::DoNotOptimize(sel);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PastryGreedy)->RangeMultiplier(2)->Range(128, 4096)->Complexity();
+
+void BM_PastryIncrementalUpdate(benchmark::State& state) {
+  SelectionInput input = MakeInput(static_cast<int>(state.range(0)), 16, 7);
+  auto tree = PastryGainTree::FromInput(input);
+  Rng rng(99);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& peer = input.peers[i++ % input.peers.size()];
+    // Re-weight one peer: the paper's O(b·k) incremental maintenance.
+    benchmark::DoNotOptimize(tree->UpdateFrequency(
+        peer.id, static_cast<double>(rng.UniformU64(1000))));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PastryIncrementalUpdate)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Complexity();
+
+void BM_PastryFullRebuild(benchmark::State& state) {
+  SelectionInput input = MakeInput(static_cast<int>(state.range(0)), 16, 7);
+  for (auto _ : state) {
+    auto tree = PastryGainTree::FromInput(input);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PastryFullRebuild)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Complexity();
+
+void BM_ChordDpNaive(benchmark::State& state) {
+  SelectionInput input = MakeInput(static_cast<int>(state.range(0)), 16, 7);
+  for (auto _ : state) {
+    auto sel = SelectChordDp(input);
+    benchmark::DoNotOptimize(sel);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ChordDpNaive)->RangeMultiplier(2)->Range(128, 2048)->Complexity();
+
+void BM_ChordFast(benchmark::State& state) {
+  SelectionInput input = MakeInput(static_cast<int>(state.range(0)), 16, 7);
+  for (auto _ : state) {
+    auto sel = SelectChordFast(input);
+    benchmark::DoNotOptimize(sel);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ChordFast)->RangeMultiplier(2)->Range(128, 8192)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

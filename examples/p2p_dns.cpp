@@ -1,0 +1,171 @@
+// The paper's motivating application (Sec. I): a P2P name service for
+// mobile hosts. DNS servers are stable peers; hostname -> IP bindings are
+// items that change frequently as hosts move.
+//
+// This example contrasts two acceleration strategies under item churn:
+//
+//   * item caching: a node caches resolved bindings with a TTL. Fast while
+//     fresh, but a binding update invalidates every cached copy, so the
+//     faster hosts move, the more stale answers are served.
+//   * peer caching (this paper): a node caches POINTERS to the servers that
+//     own popular bindings. Lookups stay 1-2 hops and always return the
+//     authoritative (fresh) binding, no matter how often bindings change.
+//
+//   $ ./p2p_dns
+
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "auxsel/chord_fast.h"
+#include "chord/chord_network.h"
+#include "common/random.h"
+#include "common/zipf.h"
+#include "workload/workload.h"
+
+using namespace peercache;
+
+namespace {
+
+/// A resolved binding: which "IP address" (version counter) a name had.
+struct Binding {
+  uint64_t version = 0;
+};
+
+/// Per-node item cache with a TTL, the strategy peer caching competes with.
+struct ItemCache {
+  struct Entry {
+    uint64_t version;
+    double expires_at;
+  };
+  std::unordered_map<uint64_t, Entry> entries;
+  double ttl;
+
+  explicit ItemCache(double ttl_seconds) : ttl(ttl_seconds) {}
+};
+
+}  // namespace
+
+int main() {
+  // A 256-server name-service overlay; 1024 hostnames; zipf(1.2) lookups.
+  const int kServers = 256;
+  const size_t kNames = 1024;
+  const double kTtl = 60.0;           // item-cache TTL in seconds
+  const double kUpdatePeriod = 120.0; // mean time between moves per host
+  const double kDuration = 3600.0;
+  const double kQueryRate = 50.0;     // lookups per second, whole system
+
+  chord::ChordParams params;
+  params.bits = 32;
+  chord::ChordNetwork net(params);
+  Rng rng(7);
+  std::vector<uint64_t> servers =
+      rng.SampleDistinct(uint64_t{1} << 32, kServers);
+  for (uint64_t id : servers) (void)net.AddNode(id);
+  net.StabilizeAll();
+
+  workload::ItemSpace names(params.bits, kNames, 99);
+  ZipfDistribution zipf(kNames, 1.2);
+
+  // Authoritative bindings, bumped when a host moves.
+  std::vector<Binding> bindings(kNames);
+
+  // Warm up frequency tables, then install optimal auxiliary pointers.
+  for (int q = 0; q < 20000; ++q) {
+    uint64_t origin = servers[rng.UniformU64(servers.size())];
+    size_t name = zipf.Sample(rng) - 1;
+    auto resp = net.ResponsibleNode(names.ItemKey(name));
+    if (resp.ok() && resp.value() != origin) {
+      net.GetNode(origin)->frequencies.Record(resp.value());
+    }
+  }
+  for (uint64_t id : servers) {
+    auxsel::SelectionInput input;
+    input.bits = params.bits;
+    input.self_id = id;
+    input.k = 8;  // log2(256)
+    input.core_ids = net.CoreNeighborIds(id);
+    input.peers = net.GetNode(id)->frequencies.Snapshot(id);
+    auto sel = auxsel::SelectChordFast(input);
+    if (sel.ok()) (void)net.SetAuxiliaries(id, sel->chosen);
+  }
+
+  // Simulate lookups + host movement over an hour of virtual time.
+  std::vector<ItemCache> caches(kServers, ItemCache(kTtl));
+  std::unordered_map<uint64_t, size_t> server_index;
+  for (size_t i = 0; i < servers.size(); ++i) server_index[servers[i]] = i;
+
+  double now = 0;
+  uint64_t item_cache_hits = 0, item_cache_stale = 0;
+  uint64_t pointer_lookups = 0, pointer_hops = 0, item_miss_hops = 0,
+           item_misses = 0;
+  Rng update_rng(13);
+  double next_update = update_rng.Exponential(kUpdatePeriod / kNames);
+
+  while (now < kDuration) {
+    now += rng.Exponential(1.0 / kQueryRate);
+    while (next_update < now) {
+      // Some host moved: its authoritative binding changes, every cached
+      // copy anywhere is now stale.
+      size_t moved = update_rng.UniformU64(kNames);
+      ++bindings[moved].version;
+      next_update += update_rng.Exponential(kUpdatePeriod / kNames);
+    }
+
+    uint64_t origin = servers[rng.UniformU64(servers.size())];
+    size_t name = zipf.Sample(rng) - 1;
+    uint64_t key = names.ItemKey(name);
+
+    // Strategy A: item caching with TTL.
+    ItemCache& cache = caches[server_index[origin]];
+    auto it = cache.entries.find(key);
+    if (it != cache.entries.end() && it->second.expires_at > now) {
+      ++item_cache_hits;
+      if (it->second.version != bindings[name].version) ++item_cache_stale;
+    } else {
+      auto route = net.Lookup(origin, key);
+      if (route.ok() && route->success) {
+        ++item_misses;
+        item_miss_hops += static_cast<uint64_t>(route->hops);
+        cache.entries[key] =
+            ItemCache::Entry{bindings[name].version, now + kTtl};
+      }
+    }
+
+    // Strategy B: peer caching (always routes; always authoritative).
+    auto route = net.Lookup(origin, key);
+    if (route.ok() && route->success) {
+      ++pointer_lookups;
+      pointer_hops += static_cast<uint64_t>(route->hops);
+    }
+  }
+
+  const double hit_rate =
+      static_cast<double>(item_cache_hits) /
+      static_cast<double>(item_cache_hits + item_misses);
+  const double stale_rate = item_cache_hits == 0
+                                ? 0.0
+                                : static_cast<double>(item_cache_stale) /
+                                      static_cast<double>(item_cache_hits);
+  std::printf("P2P DNS, %d servers, %zu names, one host move every %.2f s systemwide\n\n",
+              kServers, kNames, kUpdatePeriod / kNames);
+  std::printf("item caching (TTL %.0fs):\n", kTtl);
+  std::printf("  cache hit rate     %.1f%%  (0 hops, but...)\n",
+              100 * hit_rate);
+  std::printf("  STALE answers      %.1f%% of cache hits\n",
+              100 * stale_rate);
+  std::printf("  miss cost          %.2f avg hops\n",
+              item_misses ? static_cast<double>(item_miss_hops) / item_misses
+                          : 0.0);
+  std::printf("\npeer caching (this paper):\n");
+  std::printf("  avg lookup         %.2f hops\n",
+              pointer_lookups
+                  ? static_cast<double>(pointer_hops) / pointer_lookups
+                  : 0.0);
+  std::printf("  stale answers      0.0%%  (every answer is authoritative)\n");
+  std::printf(
+      "\nPointer caching trades the item cache's 0-hop hits for always-fresh"
+      "\n1-2 hop lookups — the right trade when items churn faster than "
+      "peers.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Command-line driver for the full experiment harness: run any paper
+// configuration (system, size, budget, skew, churn) from the shell.
+//
+//   $ ./sim_cli --system chord --n 512 --k 9 --alpha 1.2
+//   $ ./sim_cli --system chord --churn --n 256
+//   $ ./sim_cli --system pastry --n 1024 --k 20 --alpha 0.91
+//
+// Prints the three-way policy comparison and the paper's improvement
+// metric, plus the hop histogram of the optimal run.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/bits.h"
+#include "experiments/chord_experiment.h"
+#include "experiments/pastry_experiment.h"
+
+using namespace peercache;
+using namespace peercache::experiments;
+
+namespace {
+
+struct Args {
+  std::string system = "chord";
+  bool churn = false;
+  int n = 512;
+  int k = -1;  // default: log2(n)
+  double alpha = 1.2;
+  int items = -1;  // default: n
+  int lists = -1;  // default: 5 for chord, 1 for pastry
+  uint64_t seed = 1;
+  double duration_s = 2400;
+
+  static void Usage(const char* argv0) {
+    std::fprintf(
+        stderr,
+        "usage: %s [--system chord|pastry] [--churn] [--n N] [--k K]\n"
+        "          [--alpha A] [--items I] [--lists L] [--seed S]\n"
+        "          [--duration SECONDS]\n",
+        argv0);
+    std::exit(2);
+  }
+
+  static Args Parse(int argc, char** argv) {
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+      auto next = [&](const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s needs a value\n", flag);
+          Usage(argv[0]);
+        }
+        return argv[++i];
+      };
+      if (!std::strcmp(argv[i], "--system")) {
+        a.system = next("--system");
+      } else if (!std::strcmp(argv[i], "--churn")) {
+        a.churn = true;
+      } else if (!std::strcmp(argv[i], "--n")) {
+        a.n = std::atoi(next("--n"));
+      } else if (!std::strcmp(argv[i], "--k")) {
+        a.k = std::atoi(next("--k"));
+      } else if (!std::strcmp(argv[i], "--alpha")) {
+        a.alpha = std::atof(next("--alpha"));
+      } else if (!std::strcmp(argv[i], "--items")) {
+        a.items = std::atoi(next("--items"));
+      } else if (!std::strcmp(argv[i], "--lists")) {
+        a.lists = std::atoi(next("--lists"));
+      } else if (!std::strcmp(argv[i], "--seed")) {
+        a.seed = static_cast<uint64_t>(std::atoll(next("--seed")));
+      } else if (!std::strcmp(argv[i], "--duration")) {
+        a.duration_s = std::atof(next("--duration"));
+      } else {
+        Usage(argv[0]);
+      }
+    }
+    if (a.system != "chord" && a.system != "pastry") Usage(argv[0]);
+    if (a.n < 2) Usage(argv[0]);
+    return a;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Args::Parse(argc, argv);
+
+  ExperimentConfig cfg;
+  cfg.n_nodes = args.n;
+  cfg.k = args.k > 0 ? args.k : CeilLog2(static_cast<uint64_t>(args.n));
+  cfg.alpha = args.alpha;
+  cfg.n_items =
+      args.items > 0 ? static_cast<size_t>(args.items)
+                     : static_cast<size_t>(args.n);
+  cfg.n_popularity_lists =
+      args.lists > 0 ? args.lists : (args.system == "chord" ? 5 : 1);
+  cfg.seed = args.seed;
+
+  std::printf("%s %s: n=%d k=%d alpha=%.2f items=%zu lists=%d seed=%llu\n\n",
+              args.system.c_str(), args.churn ? "churn" : "stable", cfg.n_nodes,
+              cfg.k, cfg.alpha, cfg.n_items, cfg.n_popularity_lists,
+              static_cast<unsigned long long>(cfg.seed));
+
+  Result<Comparison> cmp = [&]() -> Result<Comparison> {
+    if (args.system == "chord") {
+      if (!args.churn) return CompareChordStable(cfg);
+      ChurnConfig churn;
+      churn.warmup_s = args.duration_s / 2;
+      churn.measure_s = args.duration_s / 2;
+      return CompareChordChurn(cfg, churn);
+    }
+    if (!args.churn) return ComparePastryStable(cfg);
+    ChurnConfig churn;
+    churn.warmup_s = args.duration_s / 2;
+    churn.measure_s = args.duration_s / 2;
+    return ComparePastryChurn(cfg, churn);
+  }();
+
+  if (!cmp.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", cmp.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-22s %10s %10s\n", "policy", "avg hops", "success");
+  std::printf("%s\n", std::string(46, '-').c_str());
+  std::printf("%-22s %10.3f %9.1f%%\n", "core-only", cmp->none.avg_hops,
+              100 * cmp->none.success_rate);
+  std::printf("%-22s %10.3f %9.1f%%\n", "oblivious auxiliaries",
+              cmp->oblivious.avg_hops, 100 * cmp->oblivious.success_rate);
+  std::printf("%-22s %10.3f %9.1f%%\n", "optimal auxiliaries",
+              cmp->optimal.avg_hops, 100 * cmp->optimal.success_rate);
+  std::printf("\nimprovement vs oblivious (paper's metric): %.1f%%\n",
+              cmp->improvement_pct);
+  std::printf("improvement vs core-only:                  %.1f%%\n",
+              cmp->improvement_vs_none_pct);
+  std::printf("optimal hop distribution: %s\n",
+              cmp->optimal.hop_histogram.Summary().c_str());
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "auxsel/chord_common.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "common/bits.h"
+#include "common/ring_id.h"
+
+namespace peercache::auxsel {
+
+int ChordInstance::Hop(int j, int m) const {
+  assert(j >= 0 && j <= m && m <= n);
+  if (j == 0) return BitLength(ids[static_cast<size_t>(m)]);
+  return BitLength(ids[static_cast<size_t>(m)] - ids[static_cast<size_t>(j)]);
+}
+
+double ChordInstance::SlowS(int j, int m) const {
+  assert(j >= 1 && j <= m && m <= n);
+  double total = 0;
+  const int nc = next_core[static_cast<size_t>(j)];
+  for (int l = j + 1; l <= m; ++l) {
+    int d = (l < nc) ? Hop(j, l) : core_serve[static_cast<size_t>(l)];
+    total += freq[static_cast<size_t>(l)] * d;
+  }
+  return total;
+}
+
+Result<ChordInstance> BuildChordInstance(const SelectionInput& input) {
+  if (Status s = ValidateInput(input); !s.ok()) return s;
+  IdSpace space(input.bits);
+
+  // Merge peers and cores into successor records keyed by shifted id.
+  struct Rec {
+    uint64_t orig;
+    double freq = 0;
+    int delay_bound = -1;
+    bool is_core = false;
+  };
+  std::unordered_map<uint64_t, Rec> by_shifted;
+  by_shifted.reserve(input.peers.size() * 2);
+  for (const PeerFreq& p : input.peers) {
+    uint64_t sid = space.ClockwiseDistance(input.self_id, p.id);
+    by_shifted.emplace(sid, Rec{p.id, p.frequency, p.delay_bound, false});
+  }
+  for (uint64_t c : input.core_ids) {
+    if (c == input.self_id) continue;
+    uint64_t sid = space.ClockwiseDistance(input.self_id, c);
+    auto [it, inserted] = by_shifted.emplace(sid, Rec{c, 0.0, -1, true});
+    if (!inserted) it->second.is_core = true;
+  }
+
+  ChordInstance inst;
+  inst.bits = input.bits;
+  inst.n = static_cast<int>(by_shifted.size());
+  const size_t sz = static_cast<size_t>(inst.n) + 1;
+  inst.ids.assign(sz, 0);
+  inst.orig_id.assign(sz, 0);
+  inst.freq.assign(sz, 0);
+  inst.delay_bound.assign(sz, -1);
+  inst.is_core.assign(sz, false);
+
+  std::vector<uint64_t> order;
+  order.reserve(by_shifted.size());
+  for (const auto& [sid, rec] : by_shifted) order.push_back(sid);
+  std::sort(order.begin(), order.end());
+
+  for (int l = 1; l <= inst.n; ++l) {
+    const Rec& rec = by_shifted.at(order[static_cast<size_t>(l - 1)]);
+    inst.ids[static_cast<size_t>(l)] = order[static_cast<size_t>(l - 1)];
+    inst.orig_id[static_cast<size_t>(l)] = rec.orig;
+    inst.freq[static_cast<size_t>(l)] = rec.freq;
+    inst.delay_bound[static_cast<size_t>(l)] = rec.delay_bound;
+    inst.is_core[static_cast<size_t>(l)] = rec.is_core;
+  }
+
+  // Prefix sums and core-service tables.
+  inst.F.assign(sz, 0);
+  inst.core_serve.assign(sz, 0);
+  inst.B.assign(sz, 0);
+  inst.next_core.assign(sz + 1, inst.n + 1);
+  int last_core = 0;  // 0 = none yet
+  for (int l = 1; l <= inst.n; ++l) {
+    const size_t ul = static_cast<size_t>(l);
+    inst.F[ul] = inst.F[ul - 1] + inst.freq[ul];
+    if (inst.is_core[ul]) last_core = l;
+    inst.core_serve[ul] =
+        (last_core == 0) ? inst.bits : inst.Hop(last_core, l);
+    inst.B[ul] = inst.B[ul - 1] + inst.freq[ul] * inst.core_serve[ul];
+    if (!inst.is_core[ul]) inst.candidates.push_back(l);
+  }
+  for (int j = inst.n - 1; j >= 0; --j) {
+    const size_t uj = static_cast<size_t>(j);
+    inst.next_core[uj] =
+        inst.is_core[uj + 1] ? j + 1 : inst.next_core[uj + 1];
+  }
+  return inst;
+}
+
+Selection MakeChordSelection(const SelectionInput& input,
+                             const ChordInstance& inst,
+                             const std::vector<int>& chosen_indices) {
+  Selection sel;
+  sel.chosen.reserve(chosen_indices.size());
+  for (int idx : chosen_indices) {
+    sel.chosen.push_back(inst.orig_id[static_cast<size_t>(idx)]);
+  }
+  std::sort(sel.chosen.begin(), sel.chosen.end());
+  sel.cost = EvaluateChordCost(input, sel.chosen);
+  return sel;
+}
+
+}  // namespace peercache::auxsel

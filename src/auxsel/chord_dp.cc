@@ -1,0 +1,65 @@
+#include "auxsel/chord_dp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "auxsel/chord_common.h"
+#include "common/bits.h"
+
+namespace peercache::auxsel {
+
+Result<Selection> SelectChordDp(const SelectionInput& input) {
+  auto inst_r = BuildChordInstance(input);
+  if (!inst_r.ok()) return inst_r.status();
+  const ChordInstance& inst = inst_r.value();
+  const int n = inst.n;
+  const int k = std::min(input.k, static_cast<int>(inst.candidates.size()));
+
+  // prev[m] = C_{i-1}(m); cur[m] = C_i(m). choice[i][m] = the pointer index
+  // j realizing C_i(m), or 0 when C_i(m) = C_{i-1}(m) (pointer i unused for
+  // the first m successors).
+  std::vector<double> prev(inst.B.begin(), inst.B.end());  // C_0 = B
+  std::vector<double> cur(static_cast<size_t>(n) + 1, 0);
+  std::vector<std::vector<int>> choice(
+      static_cast<size_t>(k) + 1, std::vector<int>(static_cast<size_t>(n) + 1, 0));
+
+  for (int i = 1; i <= k; ++i) {
+    cur = prev;  // the "skip" option, choice stays 0
+    auto& row = choice[static_cast<size_t>(i)];
+    for (int j : inst.candidates) {
+      const double base = prev[static_cast<size_t>(j - 1)];
+      const int nc = inst.next_core[static_cast<size_t>(j)];
+      double acc = 0;  // s(j, m), extended incrementally over m
+      for (int m = j; m <= n; ++m) {
+        if (m > j) {
+          const size_t um = static_cast<size_t>(m);
+          int d = (m < nc) ? inst.Hop(j, m) : inst.core_serve[um];
+          acc += inst.freq[um] * d;
+        }
+        if (base + acc < cur[static_cast<size_t>(m)]) {
+          cur[static_cast<size_t>(m)] = base + acc;
+          row[static_cast<size_t>(m)] = j;
+        }
+      }
+    }
+    prev = cur;
+  }
+
+  // Backtrack from (k, n).
+  std::vector<int> chosen;
+  int m = n;
+  for (int i = k; i >= 1 && m >= 1;) {
+    int j = choice[static_cast<size_t>(i)][static_cast<size_t>(m)];
+    if (j == 0) {
+      --i;
+      continue;
+    }
+    chosen.push_back(j);
+    m = j - 1;
+    --i;
+  }
+  return MakeChordSelection(input, inst, chosen);
+}
+
+}  // namespace peercache::auxsel

@@ -1,0 +1,22 @@
+#ifndef PEERCACHE_AUXSEL_CHORD_DP_H_
+#define PEERCACHE_AUXSEL_CHORD_DP_H_
+
+#include "auxsel/selection_types.h"
+#include "common/status.h"
+
+namespace peercache::auxsel {
+
+/// The paper's simple O(n²·k) dynamic program for Chord auxiliary-neighbor
+/// selection (Sec. V-A, recurrence Eq. 7):
+///
+///   C_i(m) = min_{1<=j<=m} [ C_{i-1}(j-1) + s(j, m) ]
+///
+/// where s(j, m) is the weighted distance of successors (j, m] when the
+/// rightmost auxiliary pointer at-or-before m sits at j. Exact; used as the
+/// reference the fast algorithm (chord_fast.h) is tested against, and is
+/// itself brute-force-verified on small instances.
+Result<Selection> SelectChordDp(const SelectionInput& input);
+
+}  // namespace peercache::auxsel
+
+#endif  // PEERCACHE_AUXSEL_CHORD_DP_H_

@@ -1,0 +1,194 @@
+#include "auxsel/chord_fast.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "auxsel/chord_common.h"
+#include "common/bits.h"
+
+namespace peercache::auxsel {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Jump tables p_j(r) / W_j(r) for all candidates, flattened row-major.
+class JumpTables {
+ public:
+  explicit JumpTables(const ChordInstance& inst)
+      : inst_(inst), stride_(static_cast<size_t>(inst.bits) + 1) {
+    const size_t rows = inst.candidates.size();
+    p_.assign(rows * stride_, 0);
+    w_.assign(rows * stride_, 0.0);
+    cand_row_.assign(static_cast<size_t>(inst.n) + 1, -1);
+    for (size_t row = 0; row < rows; ++row) {
+      const int j = inst.candidates[row];
+      cand_row_[static_cast<size_t>(j)] = static_cast<int>(row);
+      BuildRow(row, j);
+    }
+  }
+
+  /// s(j, m) in O(1); j must be a candidate, j <= m.
+  double S(int j, int m) const {
+    assert(j >= 1 && j <= m);
+    const int nc = inst_.next_core[static_cast<size_t>(j)];
+    const int limit = std::min(m, nc - 1);
+    double s = 0;
+    if (limit > j) {
+      const int row = cand_row_[static_cast<size_t>(j)];
+      assert(row >= 0);
+      const size_t base = static_cast<size_t>(row) * stride_;
+      const int dl = inst_.Hop(j, limit);
+      assert(dl >= 1);
+      const int pprev = p_[base + static_cast<size_t>(dl - 1)];
+      s += w_[base + static_cast<size_t>(dl - 1)] +
+           dl * (inst_.F[static_cast<size_t>(limit)] -
+                 inst_.F[static_cast<size_t>(pprev)]);
+    }
+    if (m >= nc) {
+      s += inst_.B[static_cast<size_t>(m)] - inst_.B[static_cast<size_t>(nc - 1)];
+    }
+    return s;
+  }
+
+ private:
+  void BuildRow(size_t row, int j) {
+    const size_t base = row * stride_;
+    const uint64_t idj = inst_.ids[static_cast<size_t>(j)];
+    p_[base] = j;  // p_j(0): only j itself is within hop 0
+    w_[base] = 0.0;
+    int prev_p = j;
+    for (int r = 1; r <= inst_.bits; ++r) {
+      // Largest successor index l with ids[l] - idj <= 2^r - 1; ids are
+      // ascending so binary search over [prev_p, n].
+      const uint64_t limit_id = idj + LowBitMask(r);  // may wrap; see below
+      int l;
+      if (limit_id < idj) {
+        // 2^r - 1 overflows past the top of the id space: everything fits.
+        l = inst_.n;
+      } else {
+        auto first = inst_.ids.begin() + prev_p;
+        auto last = inst_.ids.begin() + inst_.n + 1;
+        l = static_cast<int>(std::upper_bound(first, last, limit_id) -
+                             inst_.ids.begin()) -
+            1;
+      }
+      p_[base + static_cast<size_t>(r)] = l;
+      w_[base + static_cast<size_t>(r)] =
+          w_[base + static_cast<size_t>(r - 1)] +
+          r * (inst_.F[static_cast<size_t>(l)] -
+               inst_.F[static_cast<size_t>(prev_p)]);
+      prev_p = l;
+    }
+  }
+
+  const ChordInstance& inst_;
+  size_t stride_;
+  std::vector<int> p_;
+  std::vector<double> w_;
+  std::vector<int> cand_row_;
+};
+
+/// One DP layer: row_min[m] = min over candidate positions p in
+/// [0, #cands<=m) of prev[cand[p]-1] + S(cand[p], m), exploiting argmin
+/// monotonicity (total monotonicity from the concave QI of s).
+class LayerSolver {
+ public:
+  LayerSolver(const ChordInstance& inst, const JumpTables& jumps,
+              const std::vector<double>& prev, std::vector<double>& row_min,
+              std::vector<int>& row_arg)
+      : inst_(inst),
+        jumps_(jumps),
+        prev_(prev),
+        row_min_(row_min),
+        row_arg_(row_arg) {}
+
+  void Run() {
+    if (inst_.n >= 1) {
+      Solve(1, inst_.n, 0, static_cast<int>(inst_.candidates.size()) - 1);
+    }
+  }
+
+ private:
+  void Solve(int mlo, int mhi, int plo, int phi) {
+    if (mlo > mhi) return;
+    const int mid = mlo + (mhi - mlo) / 2;
+    // Eligible candidate positions for row mid: cand[p] <= mid.
+    const auto& cand = inst_.candidates;
+    int ub = static_cast<int>(
+        std::upper_bound(cand.begin(), cand.end(), mid) - cand.begin());
+    const int hi = std::min(phi, ub - 1);
+    double best = kInf;
+    int best_p = -1;
+    for (int p = plo; p <= hi; ++p) {
+      const int j = cand[static_cast<size_t>(p)];
+      const double val =
+          prev_[static_cast<size_t>(j - 1)] + jumps_.S(j, mid);
+      if (val < best) {
+        best = val;
+        best_p = p;
+      }
+    }
+    row_min_[static_cast<size_t>(mid)] = best;
+    row_arg_[static_cast<size_t>(mid)] = best_p < 0 ? 0 : cand[static_cast<size_t>(best_p)];
+    const int left_hi = best_p < 0 ? phi : best_p;
+    const int right_lo = best_p < 0 ? plo : best_p;
+    Solve(mlo, mid - 1, plo, left_hi);
+    Solve(mid + 1, mhi, right_lo, phi);
+  }
+
+  const ChordInstance& inst_;
+  const JumpTables& jumps_;
+  const std::vector<double>& prev_;
+  std::vector<double>& row_min_;
+  std::vector<int>& row_arg_;
+};
+
+}  // namespace
+
+Result<Selection> SelectChordFast(const SelectionInput& input) {
+  auto inst_r = BuildChordInstance(input);
+  if (!inst_r.ok()) return inst_r.status();
+  const ChordInstance& inst = inst_r.value();
+  const int n = inst.n;
+  const int k = std::min(input.k, static_cast<int>(inst.candidates.size()));
+
+  JumpTables jumps(inst);
+
+  std::vector<double> prev(inst.B.begin(), inst.B.end());  // C_0 = B
+  std::vector<double> row_min(static_cast<size_t>(n) + 1, kInf);
+  std::vector<int> row_arg(static_cast<size_t>(n) + 1, 0);
+  std::vector<std::vector<int>> choice(
+      static_cast<size_t>(k) + 1,
+      std::vector<int>(static_cast<size_t>(n) + 1, 0));
+
+  for (int i = 1; i <= k; ++i) {
+    LayerSolver(inst, jumps, prev, row_min, row_arg).Run();
+    auto& row = choice[static_cast<size_t>(i)];
+    for (int m = 1; m <= n; ++m) {
+      const size_t um = static_cast<size_t>(m);
+      if (row_min[um] < prev[um]) {  // strict: prefer fewer pointers on ties
+        prev[um] = row_min[um];
+        row[um] = row_arg[um];
+      }
+    }
+  }
+
+  std::vector<int> chosen;
+  int m = n;
+  for (int i = k; i >= 1 && m >= 1;) {
+    int j = choice[static_cast<size_t>(i)][static_cast<size_t>(m)];
+    if (j == 0) {
+      --i;
+      continue;
+    }
+    chosen.push_back(j);
+    m = j - 1;
+    --i;
+  }
+  return MakeChordSelection(input, inst, chosen);
+}
+
+}  // namespace peercache::auxsel

@@ -1,0 +1,33 @@
+#ifndef PEERCACHE_AUXSEL_CHORD_FAST_H_
+#define PEERCACHE_AUXSEL_CHORD_FAST_H_
+
+#include "auxsel/selection_types.h"
+#include "common/status.h"
+
+namespace peercache::auxsel {
+
+/// The paper's accelerated Chord selection (Sec. V-B), O(n·(b + k)·log n)
+/// time and O(n·b) space.
+///
+/// Two ingredients, exactly as the paper prescribes:
+///
+/// 1. *Jump tables.* For every candidate j, p_j(r) is the farthest successor
+///    within hop estimate r of j, and W_j(r) the weighted distance of all
+///    successors in (j, p_j(r)] (paper Eq. 9). With the core-split of paper
+///    Eq. 10 handled through the cores-only prefix cost B, any s(j, m)
+///    evaluates in O(1) after O(n·b·log n) preprocessing.
+///
+/// 2. *Concave DP.* s(j, m) satisfies the concave (inverse) quadrangle
+///    inequality — s(j,m') − s(j,m) = Σ_{l∈(m,m']} f_l·serve(j,l) is
+///    nonincreasing in j because serve(j,l) is — so every DP layer of
+///    recurrence Eq. 7 is a totally monotone row-minimum problem. We solve
+///    each layer with divide-and-conquer argmin monotonicity (O(n log n)
+///    evaluations), the standard alternative to the SMAWK/[9] machinery the
+///    paper cites.
+///
+/// Cost-equal to SelectChordDp on every input (enforced by property tests).
+Result<Selection> SelectChordFast(const SelectionInput& input);
+
+}  // namespace peercache::auxsel
+
+#endif  // PEERCACHE_AUXSEL_CHORD_FAST_H_

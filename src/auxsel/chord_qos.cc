@@ -1,0 +1,92 @@
+#include "auxsel/chord_qos.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "auxsel/chord_common.h"
+
+namespace peercache::auxsel {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Result<Selection> SelectChordDpQos(const SelectionInput& input) {
+  auto inst_r = BuildChordInstance(input);
+  if (!inst_r.ok()) return inst_r.status();
+  const ChordInstance& inst = inst_r.value();
+  const int n = inst.n;
+  const int k = std::min(input.k, static_cast<int>(inst.candidates.size()));
+
+  // True iff successor l's bound (if any) is met by core neighbors alone.
+  auto core_ok = [&inst](int l) {
+    const int bound = inst.delay_bound[static_cast<size_t>(l)];
+    return bound < 0 || inst.core_serve[static_cast<size_t>(l)] <= bound;
+  };
+  // True iff l's bound is met when j <= l is its nearest auxiliary pointer.
+  auto served_ok = [&inst, &core_ok](int j, int l) {
+    if (core_ok(l)) return true;
+    return inst.Hop(j, l) <= inst.delay_bound[static_cast<size_t>(l)];
+  };
+
+  // C_0: cores only; infeasible from the first violated bound onward.
+  std::vector<double> prev(static_cast<size_t>(n) + 1, 0.0);
+  {
+    bool feasible = true;
+    for (int m = 1; m <= n; ++m) {
+      feasible = feasible && core_ok(m);
+      prev[static_cast<size_t>(m)] =
+          feasible ? inst.B[static_cast<size_t>(m)] : kInf;
+    }
+  }
+
+  std::vector<double> cur(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<std::vector<int>> choice(
+      static_cast<size_t>(k) + 1,
+      std::vector<int>(static_cast<size_t>(n) + 1, 0));
+
+  for (int i = 1; i <= k; ++i) {
+    cur = prev;
+    auto& row = choice[static_cast<size_t>(i)];
+    for (int j : inst.candidates) {
+      const double base = prev[static_cast<size_t>(j - 1)];
+      if (base == kInf) continue;
+      const int nc = inst.next_core[static_cast<size_t>(j)];
+      double acc = 0;
+      for (int m = j; m <= n; ++m) {
+        if (m > j) {
+          if (!served_ok(j, m)) break;  // j cannot be the last pointer here
+          const size_t um = static_cast<size_t>(m);
+          int d = (m < nc) ? inst.Hop(j, m) : inst.core_serve[um];
+          acc += inst.freq[um] * d;
+        }
+        if (base + acc < cur[static_cast<size_t>(m)]) {
+          cur[static_cast<size_t>(m)] = base + acc;
+          row[static_cast<size_t>(m)] = j;
+        }
+      }
+    }
+    prev = cur;
+  }
+
+  if (prev[static_cast<size_t>(n)] == kInf) {
+    return Status::Infeasible("delay bounds cannot be met with k pointers");
+  }
+
+  std::vector<int> chosen;
+  int m = n;
+  for (int i = k; i >= 1 && m >= 1;) {
+    int j = choice[static_cast<size_t>(i)][static_cast<size_t>(m)];
+    if (j == 0) {
+      --i;
+      continue;
+    }
+    chosen.push_back(j);
+    m = j - 1;
+    --i;
+  }
+  return MakeChordSelection(input, inst, chosen);
+}
+
+}  // namespace peercache::auxsel

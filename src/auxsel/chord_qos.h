@@ -1,0 +1,22 @@
+#ifndef PEERCACHE_AUXSEL_CHORD_QOS_H_
+#define PEERCACHE_AUXSEL_CHORD_QOS_H_
+
+#include "auxsel/selection_types.h"
+#include "common/status.h"
+
+namespace peercache::auxsel {
+
+/// QoS-aware Chord selection (paper Sec. V-C): minimizes Eq. 1 subject to
+/// every peer with delay_bound x having a neighbor within hop estimate x.
+///
+/// The constraint threads naturally through recurrence Eq. 7: a transition
+/// that makes j the last pointer at-or-before m is admissible only while
+/// every constrained successor in (j, m] is served within its bound by j or
+/// by a core neighbor; C_0 is infeasible wherever cores alone violate a
+/// bound. Exact, O(n²·k); returns kInfeasible when no k-subset meets all
+/// bounds.
+Result<Selection> SelectChordDpQos(const SelectionInput& input);
+
+}  // namespace peercache::auxsel
+
+#endif  // PEERCACHE_AUXSEL_CHORD_QOS_H_

@@ -1,0 +1,56 @@
+#include "auxsel/frequency_table.h"
+
+#include <cassert>
+
+namespace peercache::auxsel {
+
+FrequencyTable::FrequencyTable(size_t capacity)
+    : capacity_(capacity), bounded_(capacity == 0 ? 1 : capacity) {}
+
+void FrequencyTable::Record(uint64_t peer_id, uint64_t weight) {
+  total_ += weight;
+  if (capacity_ == 0) {
+    exact_[peer_id] += static_cast<double>(weight);
+  } else {
+    bounded_.Offer(peer_id, weight);
+  }
+}
+
+void FrequencyTable::Forget(uint64_t peer_id) {
+  if (capacity_ == 0) exact_.erase(peer_id);
+}
+
+void FrequencyTable::Decay(double factor) {
+  assert(factor > 0 && factor <= 1);
+  if (capacity_ != 0) return;
+  for (auto& [id, f] : exact_) f *= factor;
+}
+
+size_t FrequencyTable::distinct() const {
+  return capacity_ == 0 ? exact_.size() : bounded_.size();
+}
+
+std::vector<PeerFreq> FrequencyTable::Snapshot(uint64_t exclude_self) const {
+  std::vector<PeerFreq> out;
+  if (capacity_ == 0) {
+    out.reserve(exact_.size());
+    for (const auto& [id, f] : exact_) {
+      if (id == exclude_self) continue;
+      out.push_back(PeerFreq{id, f, -1});
+    }
+  } else {
+    for (const TopNEntry& e : bounded_.Entries()) {
+      if (e.key == exclude_self) continue;
+      out.push_back(PeerFreq{e.key, static_cast<double>(e.count), -1});
+    }
+  }
+  return out;
+}
+
+void FrequencyTable::Clear() {
+  exact_.clear();
+  bounded_.Clear();
+  total_ = 0;
+}
+
+}  // namespace peercache::auxsel

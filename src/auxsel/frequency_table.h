@@ -1,0 +1,62 @@
+#ifndef PEERCACHE_AUXSEL_FREQUENCY_TABLE_H_
+#define PEERCACHE_AUXSEL_FREQUENCY_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "auxsel/selection_types.h"
+#include "common/top_n.h"
+
+namespace peercache::auxsel {
+
+/// Per-node access-frequency observer (paper Sec. III, "Implementation
+/// Considerations"): every query a node originates records the responsible
+/// peer that answered it; the accumulated table feeds the auxiliary-neighbor
+/// selection.
+///
+/// Two modes:
+///  * unbounded (capacity == 0): exact counts in a hash map, with optional
+///    exponential decay so the table tracks shifting popularity;
+///  * bounded (capacity > 0): the Space-Saving top-n summary the paper
+///    suggests for storage-limited nodes — the resulting selection may be
+///    slightly suboptimal because tail peers are dropped (studied in
+///    bench/ablation_topn).
+class FrequencyTable {
+ public:
+  /// capacity == 0 keeps exact counts for every peer ever seen.
+  explicit FrequencyTable(size_t capacity = 0);
+
+  /// Records one query answered by `peer_id`.
+  void Record(uint64_t peer_id, uint64_t weight = 1);
+
+  /// Drops a peer from the table (e.g., observed to have left the overlay).
+  /// No-op in bounded mode (Space-Saving has no deletion).
+  void Forget(uint64_t peer_id);
+
+  /// Multiplies every exact count by `factor` in (0, 1]; lets long-running
+  /// nodes favor recent popularity. No-op in bounded mode.
+  void Decay(double factor);
+
+  /// Number of distinct peers currently tracked.
+  size_t distinct() const;
+
+  /// Total recorded weight.
+  uint64_t total() const { return total_; }
+
+  /// Exports the table as selector input peers. Never includes
+  /// `exclude_self`.
+  std::vector<PeerFreq> Snapshot(uint64_t exclude_self) const;
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  std::unordered_map<uint64_t, double> exact_;
+  SpaceSaving bounded_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace peercache::auxsel
+
+#endif  // PEERCACHE_AUXSEL_FREQUENCY_TABLE_H_

@@ -1,0 +1,80 @@
+#include "auxsel/oblivious.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/ring_id.h"
+
+namespace peercache::auxsel {
+
+namespace {
+
+/// Shared skeleton: buckets candidates with slice_of, shuffles each bucket,
+/// then draws round-robin (one per nonempty slice per round) until k picks.
+std::vector<uint64_t> RoundRobinPick(const SelectionInput& input,
+                                     const std::vector<int>& slice_of_peer,
+                                     Rng& rng) {
+  std::unordered_set<uint64_t> cores(input.core_ids.begin(),
+                                     input.core_ids.end());
+  std::vector<std::vector<uint64_t>> buckets(
+      static_cast<size_t>(input.bits) + 1);
+  for (size_t i = 0; i < input.peers.size(); ++i) {
+    const PeerFreq& p = input.peers[i];
+    if (cores.count(p.id)) continue;  // cores are already neighbors
+    buckets[static_cast<size_t>(slice_of_peer[i])].push_back(p.id);
+  }
+  for (auto& b : buckets) rng.Shuffle(b);
+
+  std::vector<uint64_t> chosen;
+  chosen.reserve(static_cast<size_t>(input.k));
+  size_t round = 0;
+  bool progressed = true;
+  while (static_cast<int>(chosen.size()) < input.k && progressed) {
+    progressed = false;
+    for (auto& b : buckets) {
+      if (static_cast<int>(chosen.size()) >= input.k) break;
+      if (round < b.size()) {
+        chosen.push_back(b[round]);
+        progressed = true;
+      }
+    }
+    ++round;
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace
+
+Result<Selection> SelectChordOblivious(const SelectionInput& input, Rng& rng) {
+  if (Status s = ValidateInput(input); !s.ok()) return s;
+  IdSpace space(input.bits);
+  std::vector<int> slice(input.peers.size(), 0);
+  for (size_t i = 0; i < input.peers.size(); ++i) {
+    uint64_t d = space.ClockwiseDistance(input.self_id, input.peers[i].id);
+    // d >= 1 (self is excluded); slice i holds distances in (2^i, 2^{i+1}].
+    slice[i] = BitLength(d) - 1;
+  }
+  Selection sel;
+  sel.chosen = RoundRobinPick(input, slice, rng);
+  sel.cost = EvaluateChordCost(input, sel.chosen);
+  return sel;
+}
+
+Result<Selection> SelectPastryOblivious(const SelectionInput& input,
+                                        Rng& rng) {
+  if (Status s = ValidateInput(input); !s.ok()) return s;
+  std::vector<int> slice(input.peers.size(), 0);
+  for (size_t i = 0; i < input.peers.size(); ++i) {
+    slice[i] =
+        CommonPrefixLength(input.self_id, input.peers[i].id, input.bits);
+  }
+  Selection sel;
+  sel.chosen = RoundRobinPick(input, slice, rng);
+  sel.cost = EvaluatePastryCost(input, sel.chosen);
+  return sel;
+}
+
+}  // namespace peercache::auxsel

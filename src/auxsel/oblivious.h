@@ -1,0 +1,25 @@
+#ifndef PEERCACHE_AUXSEL_OBLIVIOUS_H_
+#define PEERCACHE_AUXSEL_OBLIVIOUS_H_
+
+#include "auxsel/selection_types.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace peercache::auxsel {
+
+/// The paper's frequency-oblivious baseline for Chord (Sec. VI-A,
+/// "Performance Metric"): with k = r·log n, pick r auxiliary neighbors
+/// uniformly at random from each nonempty distance slice (2^i, 2^{i+1}]
+/// around the selecting node. Implemented as a round-robin draw of one
+/// random candidate per nonempty slice until k pointers are placed, which
+/// generalizes the prescription to arbitrary k.
+Result<Selection> SelectChordOblivious(const SelectionInput& input, Rng& rng);
+
+/// The frequency-oblivious baseline for Pastry (Sec. VI-A): r random
+/// auxiliary neighbors per prefix-match length, same round-robin
+/// generalization; slices group candidates by lcp(self, candidate).
+Result<Selection> SelectPastryOblivious(const SelectionInput& input, Rng& rng);
+
+}  // namespace peercache::auxsel
+
+#endif  // PEERCACHE_AUXSEL_OBLIVIOUS_H_

@@ -1,0 +1,29 @@
+#ifndef PEERCACHE_AUXSEL_PASTRY_DP_H_
+#define PEERCACHE_AUXSEL_PASTRY_DP_H_
+
+#include "auxsel/selection_types.h"
+#include "common/status.h"
+
+namespace peercache::auxsel {
+
+/// Exact dynamic program over the id trie for Pastry auxiliary-neighbor
+/// selection (paper Sec. IV-A). At every trie vertex it tabulates the
+/// optimal cost and pointer set for every budget 0..k, enumerating all
+/// budget splits between the two children (paper Eq. 3). Runs in O(n·k²)
+/// time on the path-compressed trie (the paper quotes O(n·k²·b) on the
+/// uncompressed trie).
+///
+/// This is the reference implementation: the greedy selector
+/// (pastry_greedy.h) must match its cost exactly, and tests enforce that.
+Result<Selection> SelectPastryDp(const SelectionInput& input);
+
+/// QoS-constrained variant (paper Sec. IV-D): additionally guarantees that
+/// every peer with delay_bound x has a neighbor within hop estimate x, by
+/// forbidding zero-pointer allocations in the constrained subtrees. Returns
+/// StatusCode::kInfeasible when no subset of size <= k can satisfy all
+/// bounds.
+Result<Selection> SelectPastryDpQos(const SelectionInput& input);
+
+}  // namespace peercache::auxsel
+
+#endif  // PEERCACHE_AUXSEL_PASTRY_DP_H_

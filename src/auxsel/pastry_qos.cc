@@ -1,0 +1,58 @@
+#include "auxsel/pastry_qos.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "auxsel/pastry_greedy.h"
+#include "auxsel/pastry_trie_builder.h"
+
+namespace peercache::auxsel {
+
+Result<Selection> SelectPastryGreedyQos(const SelectionInput& input) {
+  auto tree_r = PastryGainTree::FromInput(input);
+  if (!tree_r.ok()) return tree_r.status();
+  PastryGainTree& tree = tree_r.value();
+
+  // Delay bounds live in the input, not in FromInput's leaves; install them
+  // so constraint vertices can be derived from the trie.
+  std::vector<int> marked = QosConstraintVertices(tree.trie(), input);
+  // Deepest first: a forced pointer deep in a subtree also satisfies every
+  // shallower mark on the same root path.
+  std::sort(marked.begin(), marked.end(), [&tree](int a, int b) {
+    return tree.trie().Depth(a) > tree.trie().Depth(b);
+  });
+
+  std::vector<uint64_t> forced;
+  for (int v : marked) {
+    if (tree.trie().SubtreeHasNeighbor(v)) continue;
+    const std::vector<GainEntry>& gains = tree.GainsAt(v);
+    if (gains.empty()) {
+      return Status::Infeasible(
+          "a QoS-constrained subtree has no neighbor and no candidates");
+    }
+    uint64_t id = gains.front().id;
+    forced.push_back(id);
+    if (static_cast<int>(forced.size()) > input.k) {
+      return Status::Infeasible("delay bounds require more than k pointers");
+    }
+    // Preselecting counts the pointer as a neighbor and removes it from
+    // candidacy; gain lists along its path refresh in O(b·k).
+    if (Status s = tree.SetPreselected(id, true); !s.ok()) return s;
+  }
+
+  Selection sel;
+  sel.chosen = forced;
+  const int remaining = input.k - static_cast<int>(forced.size());
+  std::vector<uint64_t> top_up = tree.SelectAuxiliary();
+  for (int i = 0; i < remaining && i < static_cast<int>(top_up.size()); ++i) {
+    sel.chosen.push_back(top_up[static_cast<size_t>(i)]);
+  }
+  std::sort(sel.chosen.begin(), sel.chosen.end());
+  sel.cost = EvaluatePastryCost(input, sel.chosen);
+  if (!PastryQosSatisfied(input, sel.chosen)) {
+    return Status::Internal("QoS forcing pass left a bound unsatisfied");
+  }
+  return sel;
+}
+
+}  // namespace peercache::auxsel

@@ -1,0 +1,22 @@
+#ifndef PEERCACHE_AUXSEL_PASTRY_QOS_H_
+#define PEERCACHE_AUXSEL_PASTRY_QOS_H_
+
+#include "auxsel/selection_types.h"
+#include "common/status.h"
+
+namespace peercache::auxsel {
+
+/// QoS-aware greedy selection for Pastry (paper Sec. IV-D), with no
+/// asymptotic overhead versus the unconstrained greedy.
+///
+/// Peers with delay_bound x translate to marked trie subtrees that must
+/// contain a neighbor. The algorithm first forces, deepest-marked-subtree
+/// first, the best candidate pointer of each unsatisfied marked subtree
+/// (updating gain lists incrementally, O(b·k) per forced pointer), then
+/// spends the remaining budget on the globally best candidates. Returns
+/// kInfeasible when the bounds cannot be met with k pointers.
+Result<Selection> SelectPastryGreedyQos(const SelectionInput& input);
+
+}  // namespace peercache::auxsel
+
+#endif  // PEERCACHE_AUXSEL_PASTRY_QOS_H_

@@ -1,0 +1,60 @@
+#include "auxsel/pastry_trie_builder.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace peercache::auxsel {
+
+Result<trie::BinaryTrie> BuildSelectionTrie(const SelectionInput& input) {
+  trie::BinaryTrie t(input.bits);
+  for (const PeerFreq& p : input.peers) {
+    trie::LeafInfo leaf;
+    leaf.id = p.id;
+    leaf.frequency = p.frequency;
+    leaf.delay_bound = p.delay_bound;
+    auto r = t.Insert(leaf);
+    if (!r.ok()) return r.status();
+  }
+  for (uint64_t c : input.core_ids) {
+    if (c == input.self_id) continue;
+    if (t.Contains(c)) {
+      auto r = t.SetCore(c, true);
+      if (!r.ok()) return r.status();
+    } else {
+      trie::LeafInfo leaf;
+      leaf.id = c;
+      leaf.frequency = 0.0;
+      leaf.is_core = true;
+      auto r = t.Insert(leaf);
+      if (!r.ok()) return r.status();
+    }
+  }
+  return t;
+}
+
+std::vector<int> QosConstraintVertices(const trie::BinaryTrie& trie,
+                                       const SelectionInput& input) {
+  std::unordered_set<int> marked;
+  for (const PeerFreq& p : input.peers) {
+    if (p.delay_bound < 0) continue;
+    // The distance estimate is capped at `bits`, so a bound of `bits` or
+    // more is satisfied vacuously (even by an empty neighbor set).
+    if (p.delay_bound >= trie.bits()) continue;
+    int leaf = trie.FindLeaf(p.id);
+    if (leaf == trie::BinaryTrie::kNil) continue;
+    const int min_depth = trie.bits() - p.delay_bound;
+    int v = leaf;
+    // Climb to the shallowest vertex still deep enough; a nonpositive
+    // min_depth climbs all the way to the root.
+    while (trie.Parent(v) != trie::BinaryTrie::kNil &&
+           trie.Depth(trie.Parent(v)) >= min_depth) {
+      v = trie.Parent(v);
+    }
+    marked.insert(v);
+  }
+  std::vector<int> out(marked.begin(), marked.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace peercache::auxsel

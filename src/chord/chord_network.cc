@@ -1,0 +1,195 @@
+#include "chord/chord_network.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bits.h"
+
+namespace peercache::chord {
+
+ChordNetwork::ChordNetwork(const ChordParams& params)
+    : params_(params), space_(params.bits) {}
+
+Status ChordNetwork::AddNode(uint64_t id) {
+  if (!space_.Contains(id)) return Status::InvalidArgument("id out of range");
+  if (live_.count(id)) return Status::InvalidArgument("live id already used");
+  nodes_.try_emplace(id, params_.frequency_capacity).first->second.id = id;
+  live_.insert(id);
+  ChordNode& node = nodes_.at(id);
+  node.alive = true;
+  node.auxiliaries.clear();
+  return StabilizeNode(id);
+}
+
+Status ChordNetwork::RemoveNode(uint64_t id, bool forget_state) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end() || !it->second.alive) {
+    return Status::NotFound("node not alive");
+  }
+  it->second.alive = false;
+  live_.erase(id);
+  if (forget_state) {
+    it->second.frequencies.Clear();
+    it->second.fingers.clear();
+    it->second.successors.clear();
+    it->second.auxiliaries.clear();
+  }
+  return Status::Ok();
+}
+
+Status ChordNetwork::RejoinNode(uint64_t id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return Status::NotFound("unknown node");
+  if (it->second.alive) return Status::FailedPrecondition("already alive");
+  live_.insert(id);
+  it->second.alive = true;
+  it->second.auxiliaries.clear();  // lost on crash; rebuilt at next selection
+  return StabilizeNode(id);
+}
+
+bool ChordNetwork::IsAlive(uint64_t id) const { return live_.count(id) > 0; }
+
+std::vector<uint64_t> ChordNetwork::LiveNodeIds() const {
+  return std::vector<uint64_t>(live_.begin(), live_.end());
+}
+
+ChordNode* ChordNetwork::GetNode(uint64_t id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const ChordNode* ChordNetwork::GetNode(uint64_t id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+uint64_t ChordNetwork::FirstLiveAtOrAfter(uint64_t from) const {
+  assert(!live_.empty());
+  auto it = live_.lower_bound(from);
+  if (it == live_.end()) it = live_.begin();
+  return *it;
+}
+
+Result<uint64_t> ChordNetwork::ResponsibleNode(uint64_t key) const {
+  if (live_.empty()) return Status::FailedPrecondition("empty overlay");
+  // Predecessor assignment: the last live node at-or-before the key.
+  auto it = live_.upper_bound(key);
+  if (it == live_.begin()) return *live_.rbegin();  // wrap
+  return *std::prev(it);
+}
+
+Status ChordNetwork::StabilizeNode(uint64_t id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end() || !it->second.alive) {
+    return Status::NotFound("node not alive");
+  }
+  ChordNode& node = it->second;
+
+  // Fingers (paper's variant): for each i, the numerically smallest live
+  // node in (id + 2^i, id + 2^{i+1}].
+  node.fingers.clear();
+  for (int i = 0; i < params_.bits; ++i) {
+    // (id + 2^i, id + 2^{i+1}]: first live node clockwise from id + 2^i + 1.
+    const uint64_t start = space_.Add(id, (uint64_t{1} << i) + 1);
+    const uint64_t end = space_.Add(id, LowBitMask(i + 1) + 1);  // + 2^{i+1}
+    uint64_t candidate = FirstLiveAtOrAfter(start);
+    if (candidate == id) continue;  // wrapped all the way around
+    // Membership check: candidate within (id + 2^i, id + 2^{i+1}]?
+    if (space_.InClockwiseRangeExclIncl(space_.Add(id, uint64_t{1} << i),
+                                        candidate, end)) {
+      node.fingers.push_back(candidate);
+    }
+  }
+
+  // Successor list: the next successor_list_size live nodes clockwise.
+  node.successors.clear();
+  if (live_.size() > 1) {
+    uint64_t cursor = FirstLiveAtOrAfter(space_.Add(id, 1));
+    for (int i = 0;
+         i < params_.successor_list_size && cursor != id;
+         ++i) {
+      node.successors.push_back(cursor);
+      cursor = FirstLiveAtOrAfter(space_.Add(cursor, 1));
+    }
+  }
+
+  // Prune dead auxiliaries (stale-entry removal).
+  auto& aux = node.auxiliaries;
+  aux.erase(std::remove_if(aux.begin(), aux.end(),
+                           [this](uint64_t a) { return !IsAlive(a); }),
+            aux.end());
+  return Status::Ok();
+}
+
+void ChordNetwork::StabilizeAll() {
+  for (uint64_t id : LiveNodeIds()) {
+    (void)StabilizeNode(id);
+  }
+}
+
+Status ChordNetwork::SetAuxiliaries(uint64_t id,
+                                    std::vector<uint64_t> auxiliaries) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end() || !it->second.alive) {
+    return Status::NotFound("node not alive");
+  }
+  it->second.auxiliaries = std::move(auxiliaries);
+  return Status::Ok();
+}
+
+std::vector<uint64_t> ChordNetwork::CoreNeighborIds(uint64_t id) const {
+  const ChordNode* node = GetNode(id);
+  if (node == nullptr) return {};
+  std::vector<uint64_t> out = node->fingers;
+  out.insert(out.end(), node->successors.begin(), node->successors.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<RouteResult> ChordNetwork::Lookup(uint64_t origin, uint64_t key) const {
+  if (!IsAlive(origin)) return Status::Unavailable("origin not alive");
+  auto truth = ResponsibleNode(key);
+  if (!truth.ok()) return truth.status();
+
+  RouteResult result;
+  uint64_t current = origin;
+  for (int hop = 0; hop <= params_.max_route_hops; ++hop) {
+    const ChordNode* node = GetNode(current);
+    assert(node != nullptr);
+    // Paper's policy: among live table entries between current and the key
+    // (clockwise), pick the one closest to the key. Dead entries are skipped
+    // ("ping before forwarding").
+    uint64_t next = current;
+    uint64_t best_remaining = space_.ClockwiseDistance(current, key);
+    auto consider = [&](uint64_t w) {
+      if (w == current || !IsAlive(w)) return;
+      if (!space_.InClockwiseRangeExclIncl(current, w, key)) return;
+      uint64_t remaining = space_.ClockwiseDistance(w, key);
+      if (remaining < best_remaining) {
+        best_remaining = remaining;
+        next = w;
+      }
+    };
+    for (uint64_t w : node->fingers) consider(w);
+    for (uint64_t w : node->successors) consider(w);
+    for (uint64_t w : node->auxiliaries) consider(w);
+
+    if (next == current) {
+      // No live entry between here and the key: to this node's knowledge it
+      // is the key's predecessor, so it answers.
+      result.destination = current;
+      result.hops = hop;
+      result.success = (current == truth.value());
+      return result;
+    }
+    result.path.push_back(current);
+    current = next;
+  }
+  result.destination = current;
+  result.hops = params_.max_route_hops;
+  result.success = false;
+  return result;
+}
+
+}  // namespace peercache::chord

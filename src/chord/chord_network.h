@@ -1,0 +1,136 @@
+#ifndef PEERCACHE_CHORD_CHORD_NETWORK_H_
+#define PEERCACHE_CHORD_CHORD_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "auxsel/frequency_table.h"
+#include "common/ring_id.h"
+#include "common/status.h"
+
+namespace peercache::chord {
+
+/// Chord simulator parameters.
+struct ChordParams {
+  /// Id length b; the paper's experiments use 32-bit ids.
+  int bits = 32;
+  /// Length of each node's successor list (robustness under churn).
+  int successor_list_size = 8;
+  /// Capacity of each node's frequency table; 0 = unbounded exact counts.
+  size_t frequency_capacity = 0;
+  /// Safety cap on route length before a lookup is declared failed.
+  int max_route_hops = 256;
+};
+
+/// Outcome of one simulated lookup.
+struct RouteResult {
+  bool success = false;     ///< Delivered at the truly responsible node.
+  uint64_t destination = 0; ///< Node the query was delivered to.
+  int hops = 0;             ///< Overlay forwarding hops taken.
+  /// Nodes that forwarded the query, in order (origin first, destination
+  /// excluded). Every node here "has seen" the query in the paper's sense
+  /// and may record the destination in its frequency table.
+  std::vector<uint64_t> path;
+};
+
+/// Per-node protocol state. Routing-table snapshots (fingers, successors,
+/// auxiliaries) are ids captured at the node's last stabilization /
+/// recomputation and go stale under churn — exactly the staleness the
+/// paper's churn experiments exercise.
+struct ChordNode {
+  uint64_t id = 0;
+  bool alive = false;
+  /// Core neighbors: the paper's Chord variant keeps, for each i, the
+  /// numerically smallest live node in (id + 2^i, id + 2^{i+1}]; empty
+  /// ranges contribute no finger.
+  std::vector<uint64_t> fingers;
+  /// First successor_list_size live successors at last stabilization.
+  std::vector<uint64_t> successors;
+  /// Auxiliary neighbors installed by an auxiliary-selection algorithm.
+  std::vector<uint64_t> auxiliaries;
+  /// Access frequencies of responsible peers for queries this node
+  /// originated (feeds auxiliary selection).
+  auxsel::FrequencyTable frequencies;
+
+  explicit ChordNode(size_t freq_capacity) : frequencies(freq_capacity) {}
+};
+
+/// God's-eye event-driven Chord overlay: nodes, routing, stabilization.
+///
+/// The simulator routes iteratively with the paper's policy — the next hop
+/// is the table entry (finger, successor, or auxiliary) closest to the key
+/// without passing it clockwise — and models "ping before forwarding": dead
+/// entries are skipped at use time, so stale tables degrade routes (longer
+/// detours, occasional misdelivery) rather than black-holing them. Keys are
+/// owned by their live *predecessor* (the paper's Chord variant).
+class ChordNetwork {
+ public:
+  explicit ChordNetwork(const ChordParams& params);
+
+  const ChordParams& params() const { return params_; }
+  const IdSpace& space() const { return space_; }
+
+  /// Adds a live node with the given id and builds its tables from the
+  /// current live membership. Other nodes learn of it only when they next
+  /// stabilize. Fails on duplicate live id.
+  Status AddNode(uint64_t id);
+
+  /// Crashes a node: it disappears immediately; other nodes' table entries
+  /// pointing at it become stale until their next stabilization. Node state
+  /// (frequency history) is retained for a later rejoin unless
+  /// `forget_state` is set.
+  Status RemoveNode(uint64_t id, bool forget_state = false);
+
+  /// Rejoins a previously crashed node: fresh tables, empty auxiliaries,
+  /// retained frequency history.
+  Status RejoinNode(uint64_t id);
+
+  bool IsAlive(uint64_t id) const;
+  size_t live_count() const { return live_.size(); }
+  std::vector<uint64_t> LiveNodeIds() const;
+
+  /// Mutable node state (must exist). Nullptr if unknown.
+  ChordNode* GetNode(uint64_t id);
+  const ChordNode* GetNode(uint64_t id) const;
+
+  /// Ground truth: the live node responsible for `key` (its predecessor on
+  /// the ring). Fails if the overlay is empty.
+  Result<uint64_t> ResponsibleNode(uint64_t key) const;
+
+  /// Routes a lookup for `key` from `origin` over current (possibly stale)
+  /// tables. Does not record frequencies; callers decide what to observe.
+  Result<RouteResult> Lookup(uint64_t origin, uint64_t key) const;
+
+  /// Rebuilds `id`'s fingers and successor list from live membership
+  /// (periodic stabilization). Dead auxiliaries are pruned (the paper's
+  /// "stale auxiliary entries are marked/removed; fixed at the next
+  /// selection").
+  Status StabilizeNode(uint64_t id);
+
+  /// Stabilizes every live node.
+  void StabilizeAll();
+
+  /// Installs auxiliary neighbors on a node (ids need not be alive; dead
+  /// ones are simply useless until pruned).
+  Status SetAuxiliaries(uint64_t id, std::vector<uint64_t> auxiliaries);
+
+  /// Builds the core-neighbor list (fingers + successors, deduplicated)
+  /// used as N_s for auxiliary selection at this node.
+  std::vector<uint64_t> CoreNeighborIds(uint64_t id) const;
+
+ private:
+  /// First live node clockwise from `from` (inclusive); live_ must be
+  /// nonempty.
+  uint64_t FirstLiveAtOrAfter(uint64_t from) const;
+
+  ChordParams params_;
+  IdSpace space_;
+  std::map<uint64_t, ChordNode> nodes_;  // all nodes ever seen (alive + dead)
+  std::set<uint64_t> live_;              // sorted live ids
+};
+
+}  // namespace peercache::chord
+
+#endif  // PEERCACHE_CHORD_CHORD_NETWORK_H_

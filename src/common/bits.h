@@ -1,0 +1,60 @@
+#ifndef PEERCACHE_COMMON_BITS_H_
+#define PEERCACHE_COMMON_BITS_H_
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace peercache {
+
+/// Number of bits needed to represent `x` (position of the leftmost 1-bit,
+/// 1-indexed). BitLength(0) == 0, BitLength(1) == 1, BitLength(5) == 3.
+///
+/// This is exactly the Chord hop-distance estimate of the paper (Eq. 6's
+/// parenthetical: "the position of the leftmost '1' in (v-u) mod 2^b").
+constexpr int BitLength(uint64_t x) { return 64 - std::countl_zero(x); }
+
+/// Length of the longest common prefix of two `bits`-bit ids, in bits.
+/// Ids are stored right-aligned in a uint64_t; bit (bits-1) is the most
+/// significant id bit. Returns `bits` when a == b.
+constexpr int CommonPrefixLength(uint64_t a, uint64_t b, int bits) {
+  assert(bits >= 1 && bits <= 64);
+  uint64_t diff = a ^ b;
+  if (diff == 0) return bits;
+  int highest_diff_bit = BitLength(diff) - 1;  // 0-indexed from LSB
+  // Bits above highest_diff_bit agree. Id bit positions run bits-1 .. 0.
+  int lcp = bits - 1 - highest_diff_bit;
+  return lcp < 0 ? 0 : lcp;
+}
+
+/// Returns the `i`-th most significant bit (0-indexed from the top) of a
+/// `bits`-bit id.
+constexpr int IdBit(uint64_t id, int bits, int i) {
+  assert(i >= 0 && i < bits);
+  return static_cast<int>((id >> (bits - 1 - i)) & 1u);
+}
+
+/// Mask with the low `bits` bits set. bits == 64 yields all-ones.
+constexpr uint64_t LowBitMask(int bits) {
+  assert(bits >= 0 && bits <= 64);
+  return bits == 64 ? ~uint64_t{0} : ((uint64_t{1} << bits) - 1);
+}
+
+/// True iff x is a power of two (and nonzero).
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)) for x >= 1.
+constexpr int FloorLog2(uint64_t x) {
+  assert(x >= 1);
+  return BitLength(x) - 1;
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr int CeilLog2(uint64_t x) {
+  assert(x >= 1);
+  return x == 1 ? 0 : BitLength(x - 1);
+}
+
+}  // namespace peercache
+
+#endif  // PEERCACHE_COMMON_BITS_H_

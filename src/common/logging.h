@@ -1,0 +1,46 @@
+#ifndef PEERCACHE_COMMON_LOGGING_H_
+#define PEERCACHE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace peercache {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped. Default is
+/// kWarning so library consumers see nothing unless something is wrong.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+void Emit(LogLevel level, const std::string& message);
+
+/// RAII stream collector: `LOG(kInfo) << "n=" << n;`
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Emit(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace peercache
+
+#define PEERCACHE_LOG(level)                                        \
+  if (static_cast<int>(::peercache::LogLevel::level) <              \
+      static_cast<int>(::peercache::GetLogLevel())) {               \
+  } else                                                            \
+    ::peercache::internal_logging::LogMessage(                      \
+        ::peercache::LogLevel::level)                               \
+        .stream()
+
+#endif  // PEERCACHE_COMMON_LOGGING_H_

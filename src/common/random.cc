@@ -1,0 +1,35 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace peercache {
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0);
+  return -mean * std::log(UniformDoublePositive());
+}
+
+std::vector<uint64_t> Rng::SampleDistinct(uint64_t bound, size_t count) {
+  if (count > bound) {
+    // A precondition violation here would otherwise spin forever drawing
+    // from an exhausted space; fail loudly in every build mode.
+    std::fprintf(stderr,
+                 "Rng::SampleDistinct: count %zu exceeds bound %llu\n", count,
+                 static_cast<unsigned long long>(bound));
+    std::abort();
+  }
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(count * 2);
+  while (out.size() < count) {
+    uint64_t v = UniformU64(bound);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace peercache

@@ -1,0 +1,13 @@
+#include "common/ring_id.h"
+
+namespace peercache {
+
+std::string IdSpace::ToBinaryString(uint64_t id) const {
+  std::string out(static_cast<size_t>(bits_), '0');
+  for (int i = 0; i < bits_; ++i) {
+    if (IdBit(id, bits_, i)) out[static_cast<size_t>(i)] = '1';
+  }
+  return out;
+}
+
+}  // namespace peercache

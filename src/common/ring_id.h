@@ -1,0 +1,81 @@
+#ifndef PEERCACHE_COMMON_RING_ID_H_
+#define PEERCACHE_COMMON_RING_ID_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "common/bits.h"
+
+namespace peercache {
+
+/// Describes a circular identifier space of `bits`-bit ids (1..64 bits).
+/// Both Chord and Pastry place node and item ids in such a space; the paper's
+/// experiments use 32-bit ids.
+class IdSpace {
+ public:
+  /// Constructs an id space with ids in [0, 2^bits).
+  explicit IdSpace(int bits) : bits_(bits) {
+    assert(bits >= 1 && bits <= 64);
+  }
+
+  int bits() const { return bits_; }
+
+  /// Number of ids in the space; saturates meaningfully only for bits < 64.
+  uint64_t size() const { return bits_ == 64 ? 0 : (uint64_t{1} << bits_); }
+
+  /// Mask with exactly `bits` low bits set.
+  uint64_t mask() const { return LowBitMask(bits_); }
+
+  /// True iff `id` is a valid id in this space.
+  bool Contains(uint64_t id) const { return (id & ~mask()) == 0; }
+
+  /// (a + b) mod 2^bits.
+  uint64_t Add(uint64_t a, uint64_t b) const { return (a + b) & mask(); }
+
+  /// Clockwise distance from `from` to `to`: (to - from) mod 2^bits.
+  uint64_t ClockwiseDistance(uint64_t from, uint64_t to) const {
+    return (to - from) & mask();
+  }
+
+  /// The Chord hop-distance estimate of paper Eq. 6: the bit-length of the
+  /// clockwise id distance. 0 iff from == to; at most `bits`.
+  int ChordHopEstimate(uint64_t from, uint64_t to) const {
+    return BitLength(ClockwiseDistance(from, to));
+  }
+
+  /// The Pastry hop-distance estimate of Sec. IV: bits - lcp(a, b).
+  /// 0 iff a == b; symmetric; at most `bits`.
+  int PastryHopEstimate(uint64_t a, uint64_t b) const {
+    return bits_ - CommonPrefixLength(a, b, bits_);
+  }
+
+  /// True iff `x` lies in the clockwise-open interval (from, to].
+  /// When from == to the interval is the whole ring (standard Chord
+  /// convention for a ring with a single known node).
+  bool InClockwiseRangeExclIncl(uint64_t from, uint64_t x, uint64_t to) const {
+    uint64_t dx = ClockwiseDistance(from, x);
+    uint64_t dt = ClockwiseDistance(from, to);
+    if (dt == 0) return true;
+    return dx != 0 && dx <= dt;
+  }
+
+  /// True iff `x` lies in the clockwise-open interval (from, to).
+  bool InClockwiseRangeExclExcl(uint64_t from, uint64_t x, uint64_t to) const {
+    uint64_t dx = ClockwiseDistance(from, x);
+    uint64_t dt = ClockwiseDistance(from, to);
+    if (dt == 0) return dx != 0;  // whole ring minus `from`
+    return dx != 0 && dx < dt;
+  }
+
+  /// Renders `id` as a binary string of exactly `bits` characters
+  /// (most significant bit first), for debugging and tries.
+  std::string ToBinaryString(uint64_t id) const;
+
+ private:
+  int bits_;
+};
+
+}  // namespace peercache
+
+#endif  // PEERCACHE_COMMON_RING_ID_H_

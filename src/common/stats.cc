@@ -1,0 +1,101 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace peercache {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  uint64_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  mean_ += delta * nb / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = n;
+}
+
+double OnlineStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(int max_value)
+    : buckets_(static_cast<size_t>(max_value) + 1, 0) {
+  assert(max_value >= 0);
+}
+
+void Histogram::Add(int value) {
+  assert(value >= 0);
+  ++count_;
+  sum_ += value;
+  if (static_cast<size_t>(value) < buckets_.size()) {
+    ++buckets_[static_cast<size_t>(value)];
+  } else {
+    ++overflow_;
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  assert(buckets_.size() == other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+uint64_t Histogram::BucketCount(int value) const {
+  assert(value >= 0 && static_cast<size_t>(value) < buckets_.size());
+  return buckets_[static_cast<size_t>(value)];
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+int Histogram::Percentile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0;
+  uint64_t target = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  uint64_t acc = 0;
+  for (size_t v = 0; v < buckets_.size(); ++v) {
+    acc += buckets_[v];
+    if (acc >= target) return static_cast<int>(v);
+  }
+  return static_cast<int>(buckets_.size());  // overflow bucket
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << Mean() << " p50=" << Percentile(0.5)
+     << " p99=" << Percentile(0.99) << " overflow=" << overflow_;
+  return os.str();
+}
+
+}  // namespace peercache

@@ -1,0 +1,62 @@
+#ifndef PEERCACHE_COMMON_STATS_H_
+#define PEERCACHE_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace peercache {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void Add(double x);
+  void Merge(const OnlineStats& other);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Fixed-bucket integer histogram for hop counts: buckets 0..max_value, plus
+/// an overflow bucket.
+class Histogram {
+ public:
+  /// Tracks values 0..max_value exactly; larger values land in overflow.
+  explicit Histogram(int max_value);
+
+  void Add(int value);
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t BucketCount(int value) const;
+  uint64_t overflow() const { return overflow_; }
+  double Mean() const;
+  /// Smallest v such that at least q (in [0,1]) of the mass is <= v.
+  int Percentile(double q) const;
+
+  /// One-line textual rendering "mean=… p50=… p99=… max_bucket=…".
+  std::string Summary() const;
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t overflow_ = 0;
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+};
+
+}  // namespace peercache
+
+#endif  // PEERCACHE_COMMON_STATS_H_

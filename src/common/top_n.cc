@@ -1,0 +1,68 @@
+#include "common/top_n.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace peercache {
+
+SpaceSaving::SpaceSaving(size_t capacity) : capacity_(capacity) {
+  assert(capacity >= 1);
+  index_.reserve(capacity * 2);
+}
+
+void SpaceSaving::Offer(uint64_t key, uint64_t weight) {
+  stream_length_ += weight;
+  auto found = index_.find(key);
+  if (found != index_.end()) {
+    found->second->count += weight;
+    Resort(found->second);
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    auto it = entries_.insert(entries_.begin(), Node{key, weight, 0});
+    index_.emplace(key, it);
+    Resort(it);
+    return;
+  }
+  // Evict the minimum-count entry; the newcomer inherits its count as the
+  // overestimation error (classic Space-Saving replacement rule).
+  auto min_it = entries_.begin();
+  index_.erase(min_it->key);
+  uint64_t min_count = min_it->count;
+  min_it->key = key;
+  min_it->error = min_count;
+  min_it->count = min_count + weight;
+  index_.emplace(key, min_it);
+  Resort(min_it);
+}
+
+void SpaceSaving::Resort(List::iterator it) {
+  auto next = std::next(it);
+  while (next != entries_.end() && next->count < it->count) ++next;
+  if (next != std::next(it)) {
+    entries_.splice(next, entries_, it);  // iterators stay valid
+  }
+}
+
+std::vector<TopNEntry> SpaceSaving::Entries() const {
+  std::vector<TopNEntry> out;
+  out.reserve(entries_.size());
+  // List is ascending; report descending.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    out.push_back(TopNEntry{it->key, it->count, it->error});
+  }
+  return out;
+}
+
+uint64_t SpaceSaving::EstimatedCount(uint64_t key) const {
+  auto found = index_.find(key);
+  return found == index_.end() ? 0 : found->second->count;
+}
+
+void SpaceSaving::Clear() {
+  entries_.clear();
+  index_.clear();
+  stream_length_ = 0;
+}
+
+}  // namespace peercache

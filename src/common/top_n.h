@@ -1,0 +1,81 @@
+#ifndef PEERCACHE_COMMON_TOP_N_H_
+#define PEERCACHE_COMMON_TOP_N_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace peercache {
+
+/// An (item, estimated count, overestimation bound) entry reported by
+/// SpaceSaving::Entries().
+struct TopNEntry {
+  uint64_t key = 0;
+  uint64_t count = 0;  ///< Estimated frequency (may overestimate).
+  uint64_t error = 0;  ///< Upper bound on the overestimation.
+};
+
+/// Space-Saving algorithm (Metwally, Agrawal, El Abbadi 2005) for tracking
+/// the top-n most frequent keys of a stream in O(n) space.
+///
+/// The paper (Sec. III, "Implementation Considerations") prescribes exactly
+/// this: a node with bounded memory keeps the top-n most frequently queried
+/// peers using a standard streaming summary, and runs the auxiliary-neighbor
+/// selection over that summary.
+///
+/// Guarantees (with capacity m over a stream of length N):
+///  * every key with true frequency > N/m is present;
+///  * for each tracked key, true <= estimated <= true + error, error <= N/m.
+///
+/// Implementation uses the classic "stream summary" bucket list, giving O(1)
+/// amortized updates.
+class SpaceSaving {
+ public:
+  /// Creates a summary tracking at most `capacity` >= 1 distinct keys.
+  explicit SpaceSaving(size_t capacity);
+
+  /// Processes one occurrence of `key` (optionally weighted).
+  void Offer(uint64_t key, uint64_t weight = 1);
+
+  /// Number of currently tracked keys (<= capacity).
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Total stream weight observed so far.
+  uint64_t stream_length() const { return stream_length_; }
+
+  /// Returns tracked entries sorted by estimated count, descending.
+  std::vector<TopNEntry> Entries() const;
+
+  /// Estimated count for `key`, or 0 if not tracked.
+  uint64_t EstimatedCount(uint64_t key) const;
+
+  /// Forgets everything.
+  void Clear();
+
+ private:
+  struct Node {
+    uint64_t key;
+    uint64_t count;
+    uint64_t error;
+  };
+
+  // Entries kept sorted ascending by count in a doubly-linked list; the map
+  // indexes list nodes by key. A full bucket structure is unnecessary at the
+  // capacities used here (hundreds to a few thousand); re-insertion keeps
+  // updates O(distance moved), which is near-constant for skewed streams.
+  using List = std::list<Node>;
+  List entries_;  // ascending count order
+  std::unordered_map<uint64_t, List::iterator> index_;
+  size_t capacity_;
+  uint64_t stream_length_ = 0;
+
+  // Moves `it` toward the tail until the ascending-count order is restored.
+  void Resort(List::iterator it);
+};
+
+}  // namespace peercache
+
+#endif  // PEERCACHE_COMMON_TOP_N_H_

@@ -1,0 +1,34 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace peercache {
+
+ZipfDistribution::ZipfDistribution(size_t n, double alpha) : alpha_(alpha) {
+  assert(n >= 1);
+  assert(alpha >= 0);
+  pmf_.resize(n);
+  cdf_.resize(n);
+  double norm = 0;
+  for (size_t r = 1; r <= n; ++r) {
+    pmf_[r - 1] = std::pow(static_cast<double>(r), -alpha);
+    norm += pmf_[r - 1];
+  }
+  double acc = 0;
+  for (size_t r = 0; r < n; ++r) {
+    pmf_[r] /= norm;
+    acc += pmf_[r];
+    cdf_[r] = acc;
+  }
+  cdf_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace peercache

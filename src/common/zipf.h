@@ -1,0 +1,44 @@
+#ifndef PEERCACHE_COMMON_ZIPF_H_
+#define PEERCACHE_COMMON_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace peercache {
+
+/// Zipf distribution over ranks 1..n with exponent alpha:
+///   P(rank = r) ∝ 1 / r^alpha.
+///
+/// The paper's workloads draw item queries from zipf with alpha = 1.2 and
+/// alpha = 0.91. Sampling is exact via inversion on the precomputed CDF
+/// (O(log n) per draw); n in the experiments is small enough (<= a few
+/// hundred thousand items) that the O(n) table is cheap.
+class ZipfDistribution {
+ public:
+  /// Creates a zipf distribution over n >= 1 ranks with exponent alpha >= 0.
+  /// alpha == 0 degenerates to the uniform distribution.
+  ZipfDistribution(size_t n, double alpha);
+
+  size_t n() const { return pmf_.size(); }
+  double alpha() const { return alpha_; }
+
+  /// Probability of rank r (1-indexed, 1 <= r <= n).
+  double Pmf(size_t rank) const { return pmf_[rank - 1]; }
+
+  /// Draws a rank in [1, n]; the most popular rank is 1.
+  size_t Sample(Rng& rng) const;
+
+  /// Expected frequency vector (pmf), index 0 holding rank 1.
+  const std::vector<double>& pmf() const { return pmf_; }
+
+ private:
+  double alpha_;
+  std::vector<double> pmf_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace peercache
+
+#endif  // PEERCACHE_COMMON_ZIPF_H_

@@ -1,0 +1,338 @@
+#include "experiments/chord_experiment.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "auxsel/chord_fast.h"
+#include "auxsel/oblivious.h"
+#include "auxsel/selection_types.h"
+#include "chord/chord_network.h"
+#include "common/random.h"
+#include "sim/event_queue.h"
+#include "workload/workload.h"
+
+namespace peercache::experiments {
+
+namespace {
+
+using auxsel::SelectionInput;
+using chord::ChordNetwork;
+using chord::ChordNode;
+using chord::ChordParams;
+
+/// Derives independent RNG streams from the experiment seed so that runs
+/// with different selector policies see identical membership, workload, and
+/// query sequences.
+struct SeedPlan {
+  explicit SeedPlan(uint64_t seed)
+      : ids(MixHash64(seed ^ 0x1d5)),
+        items(MixHash64(seed ^ 0x2e6)),
+        lists(MixHash64(seed ^ 0x3f7)),
+        assign(MixHash64(seed ^ 0x408)),
+        warmup(MixHash64(seed ^ 0x519)),
+        measure(MixHash64(seed ^ 0x62a)),
+        selection(MixHash64(seed ^ 0x73b)),
+        churn(MixHash64(seed ^ 0x84c)),
+        query_times(MixHash64(seed ^ 0x95d)),
+        origins(MixHash64(seed ^ 0xa6e)) {}
+  uint64_t ids, items, lists, assign, warmup, measure, selection, churn,
+      query_times, origins;
+};
+
+/// Builds the SelectionInput for one node and installs the chosen
+/// auxiliaries. The optimal policy optimizes over the node's observed
+/// frequencies; the oblivious policy draws from the full live membership
+/// (it needs no query history, matching the paper's baseline).
+Status InstallAuxiliaries(ChordNetwork& net, uint64_t node_id,
+                          SelectorKind selector, int k, Rng& selection_rng,
+                          const std::vector<uint64_t>& live_ids) {
+  if (selector == SelectorKind::kNone) {
+    return net.SetAuxiliaries(node_id, {});
+  }
+  ChordNode* node = net.GetNode(node_id);
+  if (node == nullptr) return Status::NotFound("node");
+
+  SelectionInput input;
+  input.bits = net.params().bits;
+  input.self_id = node_id;
+  input.k = k;
+  input.core_ids = net.CoreNeighborIds(node_id);
+
+  auto oblivious_peers = [&]() {
+    std::vector<auxsel::PeerFreq> peers;
+    peers.reserve(live_ids.size());
+    for (uint64_t id : live_ids) {
+      if (id != node_id) peers.push_back({id, 0.0, -1});
+    }
+    return peers;
+  };
+
+  Result<auxsel::Selection> sel = [&]() -> Result<auxsel::Selection> {
+    if (selector == SelectorKind::kOptimal) {
+      input.peers = node->frequencies.Snapshot(node_id);
+      return auxsel::SelectChordFast(input);
+    }
+    input.peers = oblivious_peers();
+    return auxsel::SelectChordOblivious(input, selection_rng);
+  }();
+  if (!sel.ok()) return sel.status();
+
+  // A node whose observed peer set is smaller than k (common early under
+  // churn, where few queries have been seen between recomputations) fills
+  // the remaining budget with oblivious picks: both policies then install
+  // exactly k pointers, which is what the paper's comparison assumes.
+  if (selector == SelectorKind::kOptimal &&
+      static_cast<int>(sel->chosen.size()) < input.k) {
+    SelectionInput pad = input;
+    pad.peers = oblivious_peers();
+    pad.core_ids.insert(pad.core_ids.end(), sel->chosen.begin(),
+                        sel->chosen.end());
+    pad.k = input.k - static_cast<int>(sel->chosen.size());
+    auto extra = auxsel::SelectChordOblivious(pad, selection_rng);
+    if (extra.ok()) {
+      sel->chosen.insert(sel->chosen.end(), extra->chosen.begin(),
+                         extra->chosen.end());
+    }
+  }
+  return net.SetAuxiliaries(node_id, std::move(sel->chosen));
+}
+
+}  // namespace
+
+Result<RunResult> RunChordStable(const ExperimentConfig& config,
+                                 SelectorKind selector) {
+  const SeedPlan seeds(config.seed);
+  ChordParams params;
+  params.bits = config.bits;
+  params.frequency_capacity = config.frequency_capacity;
+  params.successor_list_size = config.successor_list_size;
+  ChordNetwork net(params);
+
+  Rng ids_rng(seeds.ids);
+  const uint64_t space =
+      config.bits == 64 ? ~uint64_t{0} : (uint64_t{1} << config.bits);
+  std::vector<uint64_t> node_ids =
+      ids_rng.SampleDistinct(space, static_cast<size_t>(config.n_nodes));
+  for (uint64_t id : node_ids) {
+    if (Status s = net.AddNode(id); !s.ok()) return s;
+  }
+  net.StabilizeAll();  // perfect routing state before the experiment
+
+  workload::ItemSpace items(config.bits, config.n_items, seeds.items);
+  workload::PopularityModel popularity(config.n_items, config.alpha,
+                                       config.n_popularity_lists, seeds.lists);
+  workload::QueryWorkload queries(items, popularity, seeds.assign);
+
+  // Warmup: every node observes which peer answers each of its queries.
+  // In the stable overlay the responsible node is known without routing.
+  Rng warmup_rng(seeds.warmup);
+  for (uint64_t origin : node_ids) {
+    ChordNode* node = net.GetNode(origin);
+    for (int q = 0; q < config.warmup_queries_per_node; ++q) {
+      const uint64_t key = queries.SampleKey(origin, warmup_rng);
+      auto responsible = net.ResponsibleNode(key);
+      if (!responsible.ok()) return responsible.status();
+      if (responsible.value() != origin) {
+        node->frequencies.Record(responsible.value());
+      }
+    }
+  }
+
+  // Auxiliary selection.
+  Rng selection_rng(seeds.selection);
+  for (uint64_t id : node_ids) {
+    if (Status s = InstallAuxiliaries(net, id, selector, config.k,
+                                      selection_rng, node_ids);
+        !s.ok()) {
+      return s;
+    }
+  }
+
+  // Measurement.
+  Rng measure_rng(seeds.measure);
+  RunResult result;
+  uint64_t successes = 0;
+  for (uint64_t origin : node_ids) {
+    for (int q = 0; q < config.measure_queries_per_node; ++q) {
+      const uint64_t key = queries.SampleKey(origin, measure_rng);
+      auto route = net.Lookup(origin, key);
+      if (!route.ok()) return route.status();
+      ++result.queries;
+      if (route->success) {
+        ++successes;
+        result.hop_histogram.Add(route->hops);
+      }
+    }
+  }
+  result.success_rate = result.queries == 0
+                            ? 1.0
+                            : static_cast<double>(successes) /
+                                  static_cast<double>(result.queries);
+  result.avg_hops = result.hop_histogram.Mean();
+  return result;
+}
+
+Result<RunResult> RunChordChurn(const ExperimentConfig& config,
+                                const ChurnConfig& churn,
+                                SelectorKind selector) {
+  const SeedPlan seeds(config.seed);
+  ChordParams params;
+  params.bits = config.bits;
+  params.frequency_capacity = config.frequency_capacity;
+  params.successor_list_size = config.successor_list_size;
+  ChordNetwork net(params);
+
+  Rng ids_rng(seeds.ids);
+  const uint64_t space =
+      config.bits == 64 ? ~uint64_t{0} : (uint64_t{1} << config.bits);
+  std::vector<uint64_t> node_ids =
+      ids_rng.SampleDistinct(space, static_cast<size_t>(config.n_nodes));
+  for (uint64_t id : node_ids) {
+    if (Status s = net.AddNode(id); !s.ok()) return s;
+  }
+  net.StabilizeAll();
+
+  workload::ItemSpace items(config.bits, config.n_items, seeds.items);
+  workload::PopularityModel popularity(config.n_items, config.alpha,
+                                       config.n_popularity_lists, seeds.lists);
+  workload::QueryWorkload queries(items, popularity, seeds.assign);
+
+  sim::EventQueue eq;
+  Rng churn_rng(seeds.churn);
+  Rng query_time_rng(seeds.query_times);
+  Rng origin_rng(seeds.origins);
+  Rng query_key_rng(seeds.measure);
+  Rng selection_rng(seeds.selection);
+
+  const double t_end = churn.warmup_s + churn.measure_s;
+  RunResult result;
+  uint64_t successes = 0;
+
+  // Node life cycle: alternate alive/dead with exp(mean_lifetime) stays.
+  // The overlay is never drained below two live nodes.
+  std::function<void(uint64_t)> schedule_leave;
+  std::function<void(uint64_t)> schedule_rejoin;
+  schedule_leave = [&](uint64_t id) {
+    eq.ScheduleAfter(churn_rng.Exponential(churn.mean_lifetime_s), [&, id] {
+      if (net.live_count() <= 2 || !net.IsAlive(id)) {
+        schedule_leave(id);  // keep the overlay populated; try again later
+        return;
+      }
+      (void)net.RemoveNode(id);
+      schedule_rejoin(id);
+    });
+  };
+  schedule_rejoin = [&](uint64_t id) {
+    eq.ScheduleAfter(churn_rng.Exponential(churn.mean_lifetime_s), [&, id] {
+      (void)net.RejoinNode(id);
+      schedule_leave(id);
+    });
+  };
+  for (uint64_t id : node_ids) schedule_leave(id);
+
+  // Periodic stabilization.
+  std::function<void()> stabilize_tick = [&] {
+    net.StabilizeAll();
+    if (eq.now() + churn.stabilize_interval_s <= t_end) {
+      eq.ScheduleAfter(churn.stabilize_interval_s, stabilize_tick);
+    }
+  };
+  eq.ScheduleAfter(churn.stabilize_interval_s, stabilize_tick);
+
+  // Periodic auxiliary recomputation.
+  std::function<void()> recompute_tick = [&] {
+    std::vector<uint64_t> live = net.LiveNodeIds();
+    for (uint64_t id : live) {
+      (void)InstallAuxiliaries(net, id, selector, config.k, selection_rng,
+                               live);
+    }
+    if (eq.now() + churn.recompute_interval_s <= t_end) {
+      eq.ScheduleAfter(churn.recompute_interval_s, recompute_tick);
+    }
+  };
+  eq.ScheduleAfter(churn.recompute_interval_s, recompute_tick);
+
+  // Poisson query arrivals.
+  std::function<void()> query_event = [&] {
+    std::vector<uint64_t> live = net.LiveNodeIds();
+    if (!live.empty()) {
+      const uint64_t origin =
+          live[static_cast<size_t>(origin_rng.UniformU64(live.size()))];
+      const uint64_t key = queries.SampleKey(origin, query_key_rng);
+      auto route = net.Lookup(origin, key);
+      if (route.ok()) {
+        const bool in_window = eq.now() >= churn.warmup_s;
+        if (in_window) ++result.queries;
+        if (route->success) {
+          if (in_window) {
+            ++successes;
+            result.hop_histogram.Add(route->hops);
+          }
+          // Every node that saw the query learns which peer answered it
+          // (paper Sec. III: "the set of nodes for which s has seen
+          // queries"). Under the paper's low global query rate this is what
+          // gives nodes usable frequency tables between recomputations.
+          for (uint64_t seen_by : route->path) {
+            if (chord::ChordNode* n = net.GetNode(seen_by); n != nullptr) {
+              n->frequencies.Record(route->destination);
+            }
+          }
+        }
+      }
+    }
+    const double dt = query_time_rng.Exponential(1.0 / churn.queries_per_s);
+    if (eq.now() + dt <= t_end) eq.ScheduleAfter(dt, query_event);
+  };
+  eq.ScheduleAfter(query_time_rng.Exponential(1.0 / churn.queries_per_s),
+                   query_event);
+
+  eq.RunUntil(t_end);
+
+  result.success_rate = result.queries == 0
+                            ? 1.0
+                            : static_cast<double>(successes) /
+                                  static_cast<double>(result.queries);
+  result.avg_hops = result.hop_histogram.Mean();
+  return result;
+}
+
+Result<Comparison> CompareChordStable(const ExperimentConfig& config) {
+  auto none = RunChordStable(config, SelectorKind::kNone);
+  if (!none.ok()) return none.status();
+  auto oblivious = RunChordStable(config, SelectorKind::kOblivious);
+  if (!oblivious.ok()) return oblivious.status();
+  auto optimal = RunChordStable(config, SelectorKind::kOptimal);
+  if (!optimal.ok()) return optimal.status();
+  Comparison cmp;
+  cmp.none = std::move(none).value();
+  cmp.oblivious = std::move(oblivious).value();
+  cmp.optimal = std::move(optimal).value();
+  cmp.improvement_pct =
+      ImprovementPct(cmp.oblivious.avg_hops, cmp.optimal.avg_hops);
+  cmp.improvement_vs_none_pct =
+      ImprovementPct(cmp.none.avg_hops, cmp.optimal.avg_hops);
+  return cmp;
+}
+
+Result<Comparison> CompareChordChurn(const ExperimentConfig& config,
+                                     const ChurnConfig& churn) {
+  auto none = RunChordChurn(config, churn, SelectorKind::kNone);
+  if (!none.ok()) return none.status();
+  auto oblivious = RunChordChurn(config, churn, SelectorKind::kOblivious);
+  if (!oblivious.ok()) return oblivious.status();
+  auto optimal = RunChordChurn(config, churn, SelectorKind::kOptimal);
+  if (!optimal.ok()) return optimal.status();
+  Comparison cmp;
+  cmp.none = std::move(none).value();
+  cmp.oblivious = std::move(oblivious).value();
+  cmp.optimal = std::move(optimal).value();
+  cmp.improvement_pct =
+      ImprovementPct(cmp.oblivious.avg_hops, cmp.optimal.avg_hops);
+  cmp.improvement_vs_none_pct =
+      ImprovementPct(cmp.none.avg_hops, cmp.optimal.avg_hops);
+  return cmp;
+}
+
+}  // namespace peercache::experiments

@@ -1,0 +1,30 @@
+#ifndef PEERCACHE_EXPERIMENTS_CHORD_EXPERIMENT_H_
+#define PEERCACHE_EXPERIMENTS_CHORD_EXPERIMENT_H_
+
+#include "common/status.h"
+#include "experiments/experiment_config.h"
+
+namespace peercache::experiments {
+
+/// Stable-mode Chord run (paper Sec. VI-C, "stable" series): build the
+/// overlay, let every node observe warmup queries, install auxiliary
+/// neighbors with the given policy, then measure average lookup hops.
+Result<RunResult> RunChordStable(const ExperimentConfig& config,
+                                 SelectorKind selector);
+
+/// Churn-mode Chord run (paper Sec. VI-C): event-driven simulation with
+/// exponential node lifetimes, periodic stabilization and periodic
+/// auxiliary recomputation; hops measured over the post-warmup window.
+Result<RunResult> RunChordChurn(const ExperimentConfig& config,
+                                const ChurnConfig& churn,
+                                SelectorKind selector);
+
+/// Runs oblivious and optimal back-to-back on identical workload seeds and
+/// reports the paper's improvement metric.
+Result<Comparison> CompareChordStable(const ExperimentConfig& config);
+Result<Comparison> CompareChordChurn(const ExperimentConfig& config,
+                                     const ChurnConfig& churn);
+
+}  // namespace peercache::experiments
+
+#endif  // PEERCACHE_EXPERIMENTS_CHORD_EXPERIMENT_H_

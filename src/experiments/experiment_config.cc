@@ -1,0 +1,22 @@
+#include "experiments/experiment_config.h"
+
+namespace peercache::experiments {
+
+const char* SelectorKindName(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::kNone:
+      return "none";
+    case SelectorKind::kOblivious:
+      return "oblivious";
+    case SelectorKind::kOptimal:
+      return "optimal";
+  }
+  return "?";
+}
+
+double ImprovementPct(double oblivious_hops, double optimal_hops) {
+  if (oblivious_hops <= 0) return 0.0;
+  return 100.0 * (oblivious_hops - optimal_hops) / oblivious_hops;
+}
+
+}  // namespace peercache::experiments

@@ -1,0 +1,81 @@
+#ifndef PEERCACHE_EXPERIMENTS_EXPERIMENT_CONFIG_H_
+#define PEERCACHE_EXPERIMENTS_EXPERIMENT_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+
+namespace peercache::experiments {
+
+/// Which auxiliary-selection policy a run uses.
+enum class SelectorKind {
+  kNone,       ///< Core neighbors only (no auxiliary pointers).
+  kOblivious,  ///< Paper Sec. VI-A frequency-oblivious baseline.
+  kOptimal,    ///< The paper's frequency-aware optimal selection.
+};
+
+const char* SelectorKindName(SelectorKind kind);
+
+/// Parameters shared by every experiment (paper Sec. VI-A defaults).
+struct ExperimentConfig {
+  int bits = 32;           ///< 32-bit ids, as in the paper.
+  int n_nodes = 1024;      ///< Default n.
+  int k = 10;              ///< Auxiliary pointers; default log2(1024).
+  double alpha = 1.2;      ///< Zipf parameter for item popularity.
+  size_t n_items = 4096;   ///< Items hashed into the id space.
+  int n_popularity_lists = 1;  ///< 1 = identical ranking everywhere;
+                               ///< the paper's Chord runs use 5.
+  uint64_t seed = 1;
+  /// Stable-mode workload sizing: queries each node originates before
+  /// auxiliary selection (frequency learning) and after it (measurement).
+  int warmup_queries_per_node = 200;
+  int measure_queries_per_node = 200;
+  /// Frequency-table capacity (0 = unbounded exact counts).
+  size_t frequency_capacity = 0;
+  /// Chord successor-list length. The paper's Chord variant keeps only the
+  /// immediate successor besides its fingers; longer lists are a robustness
+  /// extension (they also strengthen the oblivious baseline).
+  int successor_list_size = 1;
+  /// Pastry leaf-set entries per side.
+  int leaf_set_half = 4;
+};
+
+/// Churn-mode parameters (paper Sec. VI-C): nodes alternate between alive
+/// and dead states with exponentially distributed durations.
+struct ChurnConfig {
+  double mean_lifetime_s = 900.0;    ///< Mean alive AND mean dead duration.
+  double queries_per_s = 4.0;        ///< Global Poisson query rate.
+  double stabilize_interval_s = 25.0;
+  double recompute_interval_s = 62.5;
+  double warmup_s = 3600.0;          ///< Learning/mixing period.
+  double measure_s = 3600.0;         ///< Measurement window.
+};
+
+/// Result of one run (one selector policy).
+struct RunResult {
+  double avg_hops = 0.0;
+  double success_rate = 1.0;
+  uint64_t queries = 0;
+  Histogram hop_histogram{64};
+};
+
+/// Side-by-side comparison at identical seeds/workload.
+struct Comparison {
+  RunResult none;  ///< Core neighbors only (no auxiliary pointers).
+  RunResult oblivious;
+  RunResult optimal;
+  /// The paper's performance metric: percentage reduction in average hops
+  /// versus the frequency-oblivious scheme.
+  double improvement_pct = 0.0;
+  /// Reduction versus core-only routing (context for the metric above: our
+  /// oblivious baseline is stronger than the paper's, see EXPERIMENTS.md).
+  double improvement_vs_none_pct = 0.0;
+};
+
+/// improvement = 100 * (oblivious - optimal) / oblivious.
+double ImprovementPct(double oblivious_hops, double optimal_hops);
+
+}  // namespace peercache::experiments
+
+#endif  // PEERCACHE_EXPERIMENTS_EXPERIMENT_CONFIG_H_

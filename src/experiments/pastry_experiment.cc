@@ -1,0 +1,312 @@
+#include "experiments/pastry_experiment.h"
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "auxsel/oblivious.h"
+#include "auxsel/pastry_greedy.h"
+#include "auxsel/selection_types.h"
+#include "common/random.h"
+#include "pastry/pastry_network.h"
+#include "sim/event_queue.h"
+#include "workload/workload.h"
+
+namespace peercache::experiments {
+
+namespace {
+
+using auxsel::SelectionInput;
+using pastry::PastryNetwork;
+using pastry::PastryNode;
+using pastry::PastryParams;
+
+struct SeedPlan {
+  explicit SeedPlan(uint64_t seed)
+      : ids(MixHash64(seed ^ 0xb11)),
+        coords(MixHash64(seed ^ 0xc22)),
+        items(MixHash64(seed ^ 0xd33)),
+        lists(MixHash64(seed ^ 0xe44)),
+        assign(MixHash64(seed ^ 0xf55)),
+        warmup(MixHash64(seed ^ 0x166)),
+        measure(MixHash64(seed ^ 0x277)),
+        selection(MixHash64(seed ^ 0x388)) {}
+  uint64_t ids, coords, items, lists, assign, warmup, measure, selection;
+};
+
+Status InstallAuxiliaries(PastryNetwork& net, uint64_t node_id,
+                          SelectorKind selector, int k, Rng& selection_rng,
+                          const std::vector<uint64_t>& live_ids) {
+  if (selector == SelectorKind::kNone) {
+    return net.SetAuxiliaries(node_id, {});
+  }
+  PastryNode* node = net.GetNode(node_id);
+  if (node == nullptr) return Status::NotFound("node");
+
+  SelectionInput input;
+  input.bits = net.params().bits;
+  input.self_id = node_id;
+  input.k = k;
+  input.core_ids = net.CoreNeighborIds(node_id);
+
+  auto oblivious_peers = [&]() {
+    std::vector<auxsel::PeerFreq> peers;
+    peers.reserve(live_ids.size());
+    for (uint64_t id : live_ids) {
+      if (id != node_id) peers.push_back({id, 0.0, -1});
+    }
+    return peers;
+  };
+
+  Result<auxsel::Selection> sel = [&]() -> Result<auxsel::Selection> {
+    if (selector == SelectorKind::kOptimal) {
+      input.peers = node->frequencies.Snapshot(node_id);
+      return auxsel::SelectPastryGreedy(input);
+    }
+    input.peers = oblivious_peers();
+    return auxsel::SelectPastryOblivious(input, selection_rng);
+  }();
+  if (!sel.ok()) return sel.status();
+
+  // Pad a too-small optimal selection with oblivious picks so both policies
+  // install exactly k pointers (see chord_experiment.cc).
+  if (selector == SelectorKind::kOptimal &&
+      static_cast<int>(sel->chosen.size()) < input.k) {
+    SelectionInput pad = input;
+    pad.peers = oblivious_peers();
+    pad.core_ids.insert(pad.core_ids.end(), sel->chosen.begin(),
+                        sel->chosen.end());
+    pad.k = input.k - static_cast<int>(sel->chosen.size());
+    auto extra = auxsel::SelectPastryOblivious(pad, selection_rng);
+    if (extra.ok()) {
+      sel->chosen.insert(sel->chosen.end(), extra->chosen.begin(),
+                         extra->chosen.end());
+    }
+  }
+  return net.SetAuxiliaries(node_id, std::move(sel->chosen));
+}
+
+}  // namespace
+
+Result<RunResult> RunPastryStable(const ExperimentConfig& config,
+                                  SelectorKind selector) {
+  const SeedPlan seeds(config.seed);
+  PastryParams params;
+  params.bits = config.bits;
+  params.frequency_capacity = config.frequency_capacity;
+  params.leaf_set_half = config.leaf_set_half;
+  PastryNetwork net(params, seeds.coords);
+
+  Rng ids_rng(seeds.ids);
+  const uint64_t space =
+      config.bits == 64 ? ~uint64_t{0} : (uint64_t{1} << config.bits);
+  std::vector<uint64_t> node_ids =
+      ids_rng.SampleDistinct(space, static_cast<size_t>(config.n_nodes));
+  for (uint64_t id : node_ids) {
+    if (Status s = net.AddNode(id); !s.ok()) return s;
+  }
+  net.StabilizeAll();
+
+  workload::ItemSpace items(config.bits, config.n_items, seeds.items);
+  workload::PopularityModel popularity(config.n_items, config.alpha,
+                                       config.n_popularity_lists, seeds.lists);
+  workload::QueryWorkload queries(items, popularity, seeds.assign);
+
+  Rng warmup_rng(seeds.warmup);
+  for (uint64_t origin : node_ids) {
+    PastryNode* node = net.GetNode(origin);
+    for (int q = 0; q < config.warmup_queries_per_node; ++q) {
+      const uint64_t key = queries.SampleKey(origin, warmup_rng);
+      auto responsible = net.ResponsibleNode(key);
+      if (!responsible.ok()) return responsible.status();
+      if (responsible.value() != origin) {
+        node->frequencies.Record(responsible.value());
+      }
+    }
+  }
+
+  Rng selection_rng(seeds.selection);
+  for (uint64_t id : node_ids) {
+    if (Status s = InstallAuxiliaries(net, id, selector, config.k,
+                                      selection_rng, node_ids);
+        !s.ok()) {
+      return s;
+    }
+  }
+
+  Rng measure_rng(seeds.measure);
+  RunResult result;
+  uint64_t successes = 0;
+  for (uint64_t origin : node_ids) {
+    for (int q = 0; q < config.measure_queries_per_node; ++q) {
+      const uint64_t key = queries.SampleKey(origin, measure_rng);
+      auto route = net.Lookup(origin, key);
+      if (!route.ok()) return route.status();
+      ++result.queries;
+      if (route->success) {
+        ++successes;
+        result.hop_histogram.Add(route->hops);
+      }
+    }
+  }
+  result.success_rate = result.queries == 0
+                            ? 1.0
+                            : static_cast<double>(successes) /
+                                  static_cast<double>(result.queries);
+  result.avg_hops = result.hop_histogram.Mean();
+  return result;
+}
+
+Result<RunResult> RunPastryChurn(const ExperimentConfig& config,
+                                 const ChurnConfig& churn,
+                                 SelectorKind selector) {
+  const SeedPlan seeds(config.seed);
+  PastryParams params;
+  params.bits = config.bits;
+  params.frequency_capacity = config.frequency_capacity;
+  params.leaf_set_half = config.leaf_set_half;
+  PastryNetwork net(params, seeds.coords);
+
+  Rng ids_rng(seeds.ids);
+  const uint64_t space =
+      config.bits == 64 ? ~uint64_t{0} : (uint64_t{1} << config.bits);
+  std::vector<uint64_t> node_ids =
+      ids_rng.SampleDistinct(space, static_cast<size_t>(config.n_nodes));
+  for (uint64_t id : node_ids) {
+    if (Status s = net.AddNode(id); !s.ok()) return s;
+  }
+  net.StabilizeAll();
+
+  workload::ItemSpace items(config.bits, config.n_items, seeds.items);
+  workload::PopularityModel popularity(config.n_items, config.alpha,
+                                       config.n_popularity_lists, seeds.lists);
+  workload::QueryWorkload queries(items, popularity, seeds.assign);
+
+  sim::EventQueue eq;
+  Rng churn_rng(MixHash64(config.seed ^ 0xc0ffee));
+  Rng query_time_rng(MixHash64(config.seed ^ 0xbeef01));
+  Rng origin_rng(MixHash64(config.seed ^ 0xbeef02));
+  Rng query_key_rng(seeds.measure);
+  Rng selection_rng(seeds.selection);
+
+  const double t_end = churn.warmup_s + churn.measure_s;
+  RunResult result;
+  uint64_t successes = 0;
+
+  std::function<void(uint64_t)> schedule_leave;
+  std::function<void(uint64_t)> schedule_rejoin;
+  schedule_leave = [&](uint64_t id) {
+    eq.ScheduleAfter(churn_rng.Exponential(churn.mean_lifetime_s), [&, id] {
+      if (net.live_count() <= 2 || !net.IsAlive(id)) {
+        schedule_leave(id);
+        return;
+      }
+      (void)net.RemoveNode(id);
+      schedule_rejoin(id);
+    });
+  };
+  schedule_rejoin = [&](uint64_t id) {
+    eq.ScheduleAfter(churn_rng.Exponential(churn.mean_lifetime_s), [&, id] {
+      (void)net.RejoinNode(id);
+      schedule_leave(id);
+    });
+  };
+  for (uint64_t id : node_ids) schedule_leave(id);
+
+  std::function<void()> stabilize_tick = [&] {
+    net.StabilizeAll();
+    if (eq.now() + churn.stabilize_interval_s <= t_end) {
+      eq.ScheduleAfter(churn.stabilize_interval_s, stabilize_tick);
+    }
+  };
+  eq.ScheduleAfter(churn.stabilize_interval_s, stabilize_tick);
+
+  std::function<void()> recompute_tick = [&] {
+    std::vector<uint64_t> live = net.LiveNodeIds();
+    for (uint64_t id : live) {
+      (void)InstallAuxiliaries(net, id, selector, config.k, selection_rng,
+                               live);
+    }
+    if (eq.now() + churn.recompute_interval_s <= t_end) {
+      eq.ScheduleAfter(churn.recompute_interval_s, recompute_tick);
+    }
+  };
+  eq.ScheduleAfter(churn.recompute_interval_s, recompute_tick);
+
+  std::function<void()> query_event = [&] {
+    std::vector<uint64_t> live = net.LiveNodeIds();
+    if (!live.empty()) {
+      const uint64_t origin =
+          live[static_cast<size_t>(origin_rng.UniformU64(live.size()))];
+      const uint64_t key = queries.SampleKey(origin, query_key_rng);
+      auto route = net.Lookup(origin, key);
+      if (route.ok()) {
+        const bool in_window = eq.now() >= churn.warmup_s;
+        if (in_window) ++result.queries;
+        if (route->success) {
+          if (in_window) {
+            ++successes;
+            result.hop_histogram.Add(route->hops);
+          }
+          for (uint64_t seen_by : route->path) {
+            if (PastryNode* n = net.GetNode(seen_by); n != nullptr) {
+              n->frequencies.Record(route->destination);
+            }
+          }
+        }
+      }
+    }
+    const double dt = query_time_rng.Exponential(1.0 / churn.queries_per_s);
+    if (eq.now() + dt <= t_end) eq.ScheduleAfter(dt, query_event);
+  };
+  eq.ScheduleAfter(query_time_rng.Exponential(1.0 / churn.queries_per_s),
+                   query_event);
+
+  eq.RunUntil(t_end);
+
+  result.success_rate = result.queries == 0
+                            ? 1.0
+                            : static_cast<double>(successes) /
+                                  static_cast<double>(result.queries);
+  result.avg_hops = result.hop_histogram.Mean();
+  return result;
+}
+
+Result<Comparison> ComparePastryChurn(const ExperimentConfig& config,
+                                      const ChurnConfig& churn) {
+  auto none = RunPastryChurn(config, churn, SelectorKind::kNone);
+  if (!none.ok()) return none.status();
+  auto oblivious = RunPastryChurn(config, churn, SelectorKind::kOblivious);
+  if (!oblivious.ok()) return oblivious.status();
+  auto optimal = RunPastryChurn(config, churn, SelectorKind::kOptimal);
+  if (!optimal.ok()) return optimal.status();
+  Comparison cmp;
+  cmp.none = std::move(none).value();
+  cmp.oblivious = std::move(oblivious).value();
+  cmp.optimal = std::move(optimal).value();
+  cmp.improvement_pct =
+      ImprovementPct(cmp.oblivious.avg_hops, cmp.optimal.avg_hops);
+  cmp.improvement_vs_none_pct =
+      ImprovementPct(cmp.none.avg_hops, cmp.optimal.avg_hops);
+  return cmp;
+}
+
+Result<Comparison> ComparePastryStable(const ExperimentConfig& config) {
+  auto none = RunPastryStable(config, SelectorKind::kNone);
+  if (!none.ok()) return none.status();
+  auto oblivious = RunPastryStable(config, SelectorKind::kOblivious);
+  if (!oblivious.ok()) return oblivious.status();
+  auto optimal = RunPastryStable(config, SelectorKind::kOptimal);
+  if (!optimal.ok()) return optimal.status();
+  Comparison cmp;
+  cmp.none = std::move(none).value();
+  cmp.oblivious = std::move(oblivious).value();
+  cmp.optimal = std::move(optimal).value();
+  cmp.improvement_pct =
+      ImprovementPct(cmp.oblivious.avg_hops, cmp.optimal.avg_hops);
+  cmp.improvement_vs_none_pct =
+      ImprovementPct(cmp.none.avg_hops, cmp.optimal.avg_hops);
+  return cmp;
+}
+
+}  // namespace peercache::experiments

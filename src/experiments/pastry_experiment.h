@@ -1,0 +1,30 @@
+#ifndef PEERCACHE_EXPERIMENTS_PASTRY_EXPERIMENT_H_
+#define PEERCACHE_EXPERIMENTS_PASTRY_EXPERIMENT_H_
+
+#include "common/status.h"
+#include "experiments/experiment_config.h"
+
+namespace peercache::experiments {
+
+/// Stable-mode Pastry run (paper Sec. VI-B): FreePastry-style overlay with
+/// locality-aware routing; identical popularity ranking at all nodes
+/// (config.n_popularity_lists is 1 in the paper's Pastry experiments).
+Result<RunResult> RunPastryStable(const ExperimentConfig& config,
+                                  SelectorKind selector);
+
+/// Churn-mode Pastry run: the paper ran both systems in both modes (its
+/// plots show Pastry stable and Chord churn; this completes the matrix).
+/// Same churn model as the Chord experiments.
+Result<RunResult> RunPastryChurn(const ExperimentConfig& config,
+                                 const ChurnConfig& churn,
+                                 SelectorKind selector);
+
+/// Runs oblivious and optimal back-to-back on identical workload seeds and
+/// reports the paper's improvement metric.
+Result<Comparison> ComparePastryStable(const ExperimentConfig& config);
+Result<Comparison> ComparePastryChurn(const ExperimentConfig& config,
+                                      const ChurnConfig& churn);
+
+}  // namespace peercache::experiments
+
+#endif  // PEERCACHE_EXPERIMENTS_PASTRY_EXPERIMENT_H_

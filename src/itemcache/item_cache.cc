@@ -1,0 +1,45 @@
+#include "itemcache/item_cache.h"
+
+#include <cassert>
+
+namespace peercache::itemcache {
+
+ItemCache::ItemCache(size_t capacity, double ttl_seconds)
+    : capacity_(capacity), ttl_(ttl_seconds) {
+  assert(ttl_seconds > 0);
+}
+
+ItemCache::Probe ItemCache::Lookup(uint64_t key, double now) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return {};
+  }
+  if (it->second.expires_at <= now) {
+    entries_.erase(it);
+    ++misses_;
+    return {};
+  }
+  ++hits_;
+  return Probe{true, it->second.version};
+}
+
+void ItemCache::Store(uint64_t key, uint64_t version, double now) {
+  if (capacity_ != 0 && entries_.size() >= capacity_ &&
+      entries_.find(key) == entries_.end()) {
+    // Evict the entry closest to expiry (cheapest reasonable policy for a
+    // TTL cache; LRU would need an access list for little modeling gain).
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.expires_at < victim->second.expires_at) victim = it;
+    }
+    entries_.erase(victim);
+  }
+  entries_[key] = Entry{version, now + ttl_};
+}
+
+void ItemCache::Invalidate(uint64_t key) { entries_.erase(key); }
+
+void ItemCache::Clear() { entries_.clear(); }
+
+}  // namespace peercache::itemcache

@@ -1,0 +1,84 @@
+#ifndef PEERCACHE_ITEMCACHE_ITEM_CACHE_H_
+#define PEERCACHE_ITEMCACHE_ITEM_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace peercache::itemcache {
+
+/// A per-node item cache with TTL expiry — the classic DHT acceleration the
+/// paper positions peer caching against (Sec. I): cached copies go stale the
+/// moment the authoritative item changes, and the cache only helps the
+/// specific items it holds.
+///
+/// Values are modeled as opaque version counters: a cached version older
+/// than the authoritative one is a stale answer.
+class ItemCache {
+ public:
+  /// Creates a cache holding at most `capacity` entries (0 = unbounded)
+  /// with the given TTL in simulation seconds.
+  ItemCache(size_t capacity, double ttl_seconds);
+
+  /// Result of a cache probe.
+  struct Probe {
+    bool hit = false;
+    uint64_t version = 0;  ///< Cached version when hit.
+  };
+
+  /// Looks `key` up at time `now`; expired entries miss (and are evicted).
+  Probe Lookup(uint64_t key, double now);
+
+  /// Stores the authoritative version fetched at `now`. Evicts the entry
+  /// closest to expiry when at capacity.
+  void Store(uint64_t key, uint64_t version, double now);
+
+  /// Drops a specific key (e.g., on an invalidation message).
+  void Invalidate(uint64_t key);
+
+  void Clear();
+  size_t size() const { return entries_.size(); }
+  double ttl() const { return ttl_; }
+
+  // Statistics (monotone counters).
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    uint64_t version;
+    double expires_at;
+  };
+
+  size_t capacity_;
+  double ttl_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// The authoritative item store: per-item version counters that advance on
+/// every update. Stale-answer accounting compares cached versions against
+/// this.
+class AuthoritativeItems {
+ public:
+  explicit AuthoritativeItems(size_t n_items) : versions_(n_items, 0) {}
+
+  size_t n_items() const { return versions_.size(); }
+  uint64_t Version(size_t item) const { return versions_[item]; }
+  /// An update (e.g., a mobile host moved): bumps the version.
+  void Update(size_t item) { ++versions_[item]; }
+  uint64_t total_updates() const {
+    uint64_t total = 0;
+    for (uint64_t v : versions_) total += v;
+    return total;
+  }
+
+ private:
+  std::vector<uint64_t> versions_;
+};
+
+}  // namespace peercache::itemcache
+
+#endif  // PEERCACHE_ITEMCACHE_ITEM_CACHE_H_

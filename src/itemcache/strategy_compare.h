@@ -1,0 +1,62 @@
+#ifndef PEERCACHE_ITEMCACHE_STRATEGY_COMPARE_H_
+#define PEERCACHE_ITEMCACHE_STRATEGY_COMPARE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace peercache::itemcache {
+
+/// Costs of one acceleration strategy under an item-update workload.
+struct StrategyCosts {
+  double avg_hops = 0;         ///< Average overlay hops per lookup.
+  double stale_fraction = 0;   ///< Fraction of answers that were stale.
+  double update_messages = 0;  ///< Overlay messages per item update
+                               ///< (replica maintenance).
+  double extra_state = 0;      ///< Extra per-node state (items or pointers).
+};
+
+/// Workload for the three-way comparison. Models the paper's motivating
+/// scenario (Sec. I): a name service where peers are stable but items
+/// (bindings) update frequently.
+struct StrategyCompareConfig {
+  int bits = 32;
+  int n_nodes = 256;
+  size_t n_items = 1024;
+  double alpha = 1.2;
+  uint64_t seed = 1;
+  double duration_s = 3600;
+  double query_rate = 50;          ///< Lookups per second, systemwide.
+  double item_update_period_s = 120;  ///< Mean time between updates of EACH
+                                      ///< item... divided by n_items gives
+                                      ///< the systemwide update rate.
+  double cache_ttl_s = 60;         ///< Item-cache TTL.
+  size_t cache_capacity = 64;      ///< Item-cache entries per node.
+  int aux_k = 8;                   ///< Peer-cache pointer budget.
+  int replicas_per_hot_item = 8;   ///< Replication degree of hot items.
+  size_t replicated_items = 64;    ///< How many top items are replicated.
+};
+
+/// Side-by-side costs of the three strategies on identical workloads:
+///
+///  * item caching — per-node TTL caches; hits are 0-hop but can be stale;
+///  * replication  — the hottest items are eagerly replicated at the nodes
+///    clockwise-preceding their owner (a Beehive-style placement: lookups
+///    terminate early at any replica); every item update must refresh every
+///    replica (update_messages), answers are never stale;
+///  * peer caching — this paper: k auxiliary pointers per node; answers are
+///    always authoritative, updates cost nothing extra.
+struct StrategyComparison {
+  StrategyCosts item_cache;
+  StrategyCosts replication;
+  StrategyCosts peer_cache;
+  StrategyCosts baseline;  ///< Plain routing, no acceleration.
+};
+
+Result<StrategyComparison> CompareStrategies(
+    const StrategyCompareConfig& config);
+
+}  // namespace peercache::itemcache
+
+#endif  // PEERCACHE_ITEMCACHE_STRATEGY_COMPARE_H_

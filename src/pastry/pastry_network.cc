@@ -1,0 +1,313 @@
+#include "pastry/pastry_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/bits.h"
+
+namespace peercache::pastry {
+
+namespace {
+
+double EuclideanDistance(const Coord& a, const Coord& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+PastryNetwork::PastryNetwork(const PastryParams& params, uint64_t seed)
+    : params_(params), space_(params.bits), coord_rng_(seed) {}
+
+std::vector<uint64_t> PastryNetwork::LiveNodeIds() const {
+  return std::vector<uint64_t>(live_.begin(), live_.end());
+}
+
+PastryNode* PastryNetwork::GetNode(uint64_t id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const PastryNode* PastryNetwork::GetNode(uint64_t id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+double PastryNetwork::Proximity(uint64_t a, uint64_t b) const {
+  const PastryNode* na = GetNode(a);
+  const PastryNode* nb = GetNode(b);
+  assert(na != nullptr && nb != nullptr);
+  return EuclideanDistance(na->coord, nb->coord);
+}
+
+Status PastryNetwork::AddNode(uint64_t id) {
+  if (!space_.Contains(id)) return Status::InvalidArgument("id out of range");
+  if (live_.count(id)) return Status::InvalidArgument("live id already used");
+  auto [it, inserted] = nodes_.try_emplace(id, params_.frequency_capacity);
+  it->second.id = id;
+  if (inserted) {
+    it->second.coord = Coord{coord_rng_.UniformDouble(),
+                             coord_rng_.UniformDouble()};
+  }
+  it->second.alive = true;
+  it->second.auxiliaries.clear();
+  live_.insert(id);
+  return StabilizeNode(id);
+}
+
+Status PastryNetwork::RemoveNode(uint64_t id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end() || !it->second.alive) {
+    return Status::NotFound("node not alive");
+  }
+  it->second.alive = false;
+  live_.erase(id);
+  return Status::Ok();
+}
+
+Status PastryNetwork::RejoinNode(uint64_t id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return Status::NotFound("unknown node");
+  if (it->second.alive) return Status::FailedPrecondition("already alive");
+  it->second.alive = true;
+  it->second.auxiliaries.clear();
+  live_.insert(id);
+  return StabilizeNode(id);
+}
+
+Status PastryNetwork::StabilizeNode(uint64_t id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end() || !it->second.alive) {
+    return Status::NotFound("node not alive");
+  }
+  PastryNode& node = it->second;
+
+  // Routing rows with proximity neighbor selection: for every other live
+  // node, bucket by shared-prefix length and keep the underlay-closest
+  // candidate per row (FreePastry's table construction).
+  node.routing_rows.assign(static_cast<size_t>(params_.bits), kNoEntry);
+  std::vector<double> best_dist(static_cast<size_t>(params_.bits), 0.0);
+  for (uint64_t w : live_) {
+    if (w == id) continue;
+    const int l = CommonPrefixLength(id, w, params_.bits);
+    assert(l < params_.bits);
+    const size_t row = static_cast<size_t>(l);
+    const double d = Proximity(id, w);
+    if (node.routing_rows[row] == kNoEntry || d < best_dist[row]) {
+      node.routing_rows[row] = w;
+      best_dist[row] = d;
+    }
+  }
+
+  // Leaf set: numerically nearest live ids, leaf_set_half per side, with
+  // the two sides kept separate so the router can compute the contiguous
+  // coverage arc exactly.
+  node.leaf_set.clear();
+  node.leaf_succ.clear();
+  node.leaf_pred.clear();
+  if (live_.size() > 1) {
+    auto succ = live_.upper_bound(id);
+    for (int i = 0; i < params_.leaf_set_half; ++i) {
+      if (succ == live_.end()) succ = live_.begin();
+      if (*succ == id) break;  // wrapped around
+      node.leaf_succ.push_back(*succ);
+      ++succ;
+    }
+    auto pred = live_.lower_bound(id);
+    for (int i = 0; i < params_.leaf_set_half; ++i) {
+      if (pred == live_.begin()) pred = live_.end();
+      --pred;
+      if (*pred == id) break;
+      if (std::find(node.leaf_succ.begin(), node.leaf_succ.end(), *pred) !=
+          node.leaf_succ.end()) {
+        break;  // small ring: sides met
+      }
+      node.leaf_pred.push_back(*pred);
+    }
+    node.leaf_set = node.leaf_succ;
+    node.leaf_set.insert(node.leaf_set.end(), node.leaf_pred.begin(),
+                         node.leaf_pred.end());
+  }
+
+  auto& aux = node.auxiliaries;
+  aux.erase(std::remove_if(aux.begin(), aux.end(),
+                           [this](uint64_t a) { return !IsAlive(a); }),
+            aux.end());
+  return Status::Ok();
+}
+
+void PastryNetwork::StabilizeAll() {
+  for (uint64_t id : LiveNodeIds()) {
+    (void)StabilizeNode(id);
+  }
+}
+
+Status PastryNetwork::SetAuxiliaries(uint64_t id,
+                                     std::vector<uint64_t> auxiliaries) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end() || !it->second.alive) {
+    return Status::NotFound("node not alive");
+  }
+  it->second.auxiliaries = std::move(auxiliaries);
+  return Status::Ok();
+}
+
+std::vector<uint64_t> PastryNetwork::CoreNeighborIds(uint64_t id) const {
+  const PastryNode* node = GetNode(id);
+  if (node == nullptr) return {};
+  std::vector<uint64_t> out;
+  for (uint64_t w : node->routing_rows) {
+    if (w != kNoEntry) out.push_back(w);
+  }
+  out.insert(out.end(), node->leaf_set.begin(), node->leaf_set.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<uint64_t> PastryNetwork::ResponsibleNode(uint64_t key) const {
+  if (live_.empty()) return Status::FailedPrecondition("empty overlay");
+  // Numerically closest on the ring; the clockwise-nearer (lower distance)
+  // wins, exact ties go to the smaller id.
+  auto succ_it = live_.lower_bound(key);
+  uint64_t succ = (succ_it == live_.end()) ? *live_.begin() : *succ_it;
+  uint64_t pred;
+  if (succ_it == live_.begin()) {
+    pred = *live_.rbegin();
+  } else {
+    pred = *std::prev(succ_it);
+  }
+  const uint64_t d_succ = space_.ClockwiseDistance(key, succ);
+  const uint64_t d_pred = space_.ClockwiseDistance(pred, key);
+  if (d_succ < d_pred) return succ;
+  if (d_pred < d_succ) return pred;
+  return std::min(pred, succ);
+}
+
+Result<RouteResult> PastryNetwork::Lookup(uint64_t origin,
+                                          uint64_t key) const {
+  if (!IsAlive(origin)) return Status::Unavailable("origin not alive");
+  auto truth = ResponsibleNode(key);
+  if (!truth.ok()) return truth.status();
+
+  auto ring_distance = [this](uint64_t a, uint64_t b) {
+    return std::min(space_.ClockwiseDistance(a, b),
+                    space_.ClockwiseDistance(b, a));
+  };
+
+  RouteResult result;
+  uint64_t current = origin;
+  // Once prefix routing is exhausted the route switches permanently to
+  // numeric (ring-greedy) mode: every subsequent hop must be numerically
+  // closer to the key. Ring distance then decreases strictly, so the route
+  // terminates, and with accurate leaf sets it converges on the numerically
+  // closest node. Allowing prefix hops again after a numeric hop could
+  // oscillate around power-of-two id boundaries.
+  bool numeric_mode = false;
+  for (int hop = 0; hop <= params_.max_route_hops; ++hop) {
+    const PastryNode* node = GetNode(current);
+    assert(node != nullptr);
+    const int current_lcp = CommonPrefixLength(current, key, params_.bits);
+    if (current_lcp == params_.bits) {  // exact hit
+      result.destination = current;
+      result.hops = hop;
+      result.success = (current == truth.value());
+      return result;
+    }
+
+    // Rule R1 (leaf-set delivery): if the key falls within the span of this
+    // node's live leaf set, the numerically closest member (or this node)
+    // answers directly. This is Pastry's termination rule and guarantees the
+    // route cannot oscillate around power-of-two id boundaries.
+    uint64_t cw_span = 0, ccw_span = 0;
+    for (uint64_t w : node->leaf_succ) {
+      if (!IsAlive(w)) continue;
+      cw_span = std::max(cw_span, space_.ClockwiseDistance(current, w));
+    }
+    for (uint64_t w : node->leaf_pred) {
+      if (!IsAlive(w)) continue;
+      ccw_span = std::max(ccw_span, space_.ClockwiseDistance(w, current));
+    }
+    const bool in_leaf_span =
+        space_.ClockwiseDistance(current, key) <= cw_span ||
+        space_.ClockwiseDistance(key, current) <= ccw_span;
+    if (in_leaf_span) {
+      uint64_t closest = current;
+      uint64_t closest_dist = ring_distance(current, key);
+      for (uint64_t w : node->leaf_set) {
+        if (!IsAlive(w)) continue;
+        const uint64_t d = ring_distance(w, key);
+        if (d < closest_dist || (d == closest_dist && w < closest)) {
+          closest_dist = d;
+          closest = w;
+        }
+      }
+      result.destination = closest;
+      result.hops = hop + (closest == current ? 0 : 1);
+      if (closest != current) result.path.push_back(current);
+      result.success = (closest == truth.value());
+      return result;
+    }
+
+    // Rule R2 (prefix routing): best strictly-longer prefix match with the
+    // key; ties on prefix length break by underlay proximity to the current
+    // node (FreePastry's locality-aware choice among equal-progress
+    // candidates).
+    uint64_t next = kNoEntry;
+    int best_lcp = current_lcp;
+    double best_prox = 0;
+    if (!numeric_mode) {
+      auto consider_prefix = [&](uint64_t w) {
+        if (w == kNoEntry || w == current || !IsAlive(w)) return;
+        const int l = CommonPrefixLength(w, key, params_.bits);
+        if (l <= current_lcp) return;
+        const double d = Proximity(current, w);
+        if (next == kNoEntry || l > best_lcp ||
+            (l == best_lcp && d < best_prox)) {
+          next = w;
+          best_lcp = l;
+          best_prox = d;
+        }
+      };
+      for (uint64_t w : node->routing_rows) consider_prefix(w);
+      for (uint64_t w : node->leaf_set) consider_prefix(w);
+      for (uint64_t w : node->auxiliaries) consider_prefix(w);
+    }
+
+    if (next == kNoEntry) {
+      // Rule R3 ("rare case" fallback): the numerically closest entry that
+      // is strictly closer to the key than this node, from here on out.
+      numeric_mode = true;
+      uint64_t best_dist = ring_distance(current, key);
+      auto consider_numeric = [&](uint64_t w) {
+        if (w == kNoEntry || w == current || !IsAlive(w)) return;
+        const uint64_t d = ring_distance(w, key);
+        if (d < best_dist) {
+          best_dist = d;
+          next = w;
+        }
+      };
+      for (uint64_t w : node->routing_rows) consider_numeric(w);
+      for (uint64_t w : node->leaf_set) consider_numeric(w);
+      for (uint64_t w : node->auxiliaries) consider_numeric(w);
+    }
+
+    if (next == kNoEntry) {
+      // Nothing known makes progress: deliver here.
+      result.destination = current;
+      result.hops = hop;
+      result.success = (current == truth.value());
+      return result;
+    }
+    result.path.push_back(current);
+    current = next;
+  }
+  result.destination = current;
+  result.hops = params_.max_route_hops;
+  result.success = false;
+  return result;
+}
+
+}  // namespace peercache::pastry

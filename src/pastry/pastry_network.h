@@ -1,0 +1,133 @@
+#ifndef PEERCACHE_PASTRY_PASTRY_NETWORK_H_
+#define PEERCACHE_PASTRY_PASTRY_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "auxsel/frequency_table.h"
+#include "common/random.h"
+#include "common/ring_id.h"
+#include "common/status.h"
+
+namespace peercache::pastry {
+
+/// Pastry simulator parameters.
+struct PastryParams {
+  /// Id length b, with 1-bit digits (the paper's exposition and its 32-bit
+  /// binary-id experiments).
+  int bits = 32;
+  /// Leaf-set entries kept on each side of the node.
+  int leaf_set_half = 4;
+  /// Capacity of each node's frequency table; 0 = unbounded exact counts.
+  size_t frequency_capacity = 0;
+  /// Safety cap on route length.
+  int max_route_hops = 256;
+};
+
+/// Outcome of one simulated lookup.
+struct RouteResult {
+  bool success = false;
+  uint64_t destination = 0;
+  int hops = 0;
+  /// Nodes that forwarded the query, origin first, destination excluded.
+  std::vector<uint64_t> path;
+};
+
+/// Network-proximity coordinates (FreePastry's locality-aware routing picks
+/// the physically closest candidate; we model the underlay as a unit square
+/// with Euclidean distance).
+struct Coord {
+  double x = 0;
+  double y = 0;
+};
+
+/// Per-node Pastry state.
+struct PastryNode {
+  uint64_t id = 0;
+  bool alive = false;
+  Coord coord;
+  /// routing_rows[i]: a node sharing exactly the first i bits with `id`
+  /// (and thus differing at bit i), or kNoEntry when row i is empty.
+  std::vector<uint64_t> routing_rows;
+  /// Numerically nearest live ids, leaf_set_half per side (union of the two
+  /// side lists below; kept for table scans).
+  std::vector<uint64_t> leaf_set;
+  /// Successor-side leaf members in clockwise order from this node.
+  std::vector<uint64_t> leaf_succ;
+  /// Predecessor-side leaf members in counterclockwise order.
+  std::vector<uint64_t> leaf_pred;
+  /// Auxiliary neighbors installed by a selection algorithm.
+  std::vector<uint64_t> auxiliaries;
+  auxsel::FrequencyTable frequencies;
+
+  explicit PastryNode(size_t freq_capacity) : frequencies(freq_capacity) {}
+};
+
+/// God's-eye Pastry overlay simulator with FreePastry-style locality-aware
+/// routing.
+///
+/// Routing policy: forward to the known entry (routing row, leaf set, or
+/// auxiliary) whose id shares the longest prefix with the key, provided it
+/// is strictly longer than the current node's; ties on prefix length break
+/// by underlay proximity to the current node (the FreePastry behaviour the
+/// paper credits for Fig. 4's trend). When no entry improves the prefix,
+/// fall back to the numerically closest entry that is numerically closer to
+/// the key (standard Pastry rule); delivery happens at the numerically
+/// closest live node.
+class PastryNetwork {
+ public:
+  static constexpr uint64_t kNoEntry = ~uint64_t{0};
+
+  /// `seed` drives the underlay coordinate assignment.
+  PastryNetwork(const PastryParams& params, uint64_t seed);
+
+  const PastryParams& params() const { return params_; }
+  const IdSpace& space() const { return space_; }
+
+  /// Adds a live node (random underlay coordinates) and builds its tables.
+  Status AddNode(uint64_t id);
+  /// Crashes a node (state retained for rejoin).
+  Status RemoveNode(uint64_t id);
+  /// Rejoins a crashed node with fresh tables and cleared auxiliaries.
+  Status RejoinNode(uint64_t id);
+
+  bool IsAlive(uint64_t id) const { return live_.count(id) > 0; }
+  size_t live_count() const { return live_.size(); }
+  std::vector<uint64_t> LiveNodeIds() const;
+
+  PastryNode* GetNode(uint64_t id);
+  const PastryNode* GetNode(uint64_t id) const;
+
+  /// Ground truth: numerically closest live node to the key (ring metric;
+  /// the lower id wins exact ties). Fails on an empty overlay.
+  Result<uint64_t> ResponsibleNode(uint64_t key) const;
+
+  /// Routes a lookup from `origin` over current tables.
+  Result<RouteResult> Lookup(uint64_t origin, uint64_t key) const;
+
+  /// Rebuilds `id`'s routing rows and leaf set from live membership, with
+  /// proximity-aware row filling (closest candidate per row), and prunes
+  /// dead auxiliaries.
+  Status StabilizeNode(uint64_t id);
+  void StabilizeAll();
+
+  Status SetAuxiliaries(uint64_t id, std::vector<uint64_t> auxiliaries);
+
+  /// Core neighbors for auxiliary selection: routing rows + leaf set.
+  std::vector<uint64_t> CoreNeighborIds(uint64_t id) const;
+
+ private:
+  double Proximity(uint64_t a, uint64_t b) const;
+
+  PastryParams params_;
+  IdSpace space_;
+  Rng coord_rng_;
+  std::map<uint64_t, PastryNode> nodes_;
+  std::set<uint64_t> live_;
+};
+
+}  // namespace peercache::pastry
+
+#endif  // PEERCACHE_PASTRY_PASTRY_NETWORK_H_

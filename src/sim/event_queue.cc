@@ -1,0 +1,36 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace peercache::sim {
+
+void EventQueue::ScheduleAt(double t, Callback fn) {
+  assert(t >= now_);
+  heap_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::RunNext() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; the callback must be moved out
+  // before pop. const_cast is safe because the entry is popped immediately.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  now_ = top.time;
+  Callback fn = std::move(top.fn);
+  heap_.pop();
+  fn();
+  return true;
+}
+
+void EventQueue::RunUntil(double t_end) {
+  while (!heap_.empty() && heap_.top().time <= t_end) {
+    RunNext();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+void EventQueue::Clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace peercache::sim

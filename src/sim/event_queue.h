@@ -1,0 +1,62 @@
+#ifndef PEERCACHE_SIM_EVENT_QUEUE_H_
+#define PEERCACHE_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace peercache::sim {
+
+/// Deterministic discrete-event scheduler. Events at equal timestamps fire
+/// in scheduling order (FIFO), so a fixed seed reproduces a simulation
+/// exactly.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time in seconds. 0 before any event has fired.
+  double now() const { return now_; }
+
+  /// Number of pending events.
+  size_t pending() const { return heap_.size(); }
+
+  /// Schedules `fn` at absolute time `t` (>= now).
+  void ScheduleAt(double t, Callback fn);
+
+  /// Schedules `fn` after `delay` seconds.
+  void ScheduleAfter(double delay, Callback fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Fires the earliest event. Returns false when the queue is empty.
+  bool RunNext();
+
+  /// Runs events until virtual time exceeds `t_end` or the queue drains.
+  /// Events scheduled exactly at `t_end` still fire.
+  void RunUntil(double t_end);
+
+  /// Drops every pending event.
+  void Clear();
+
+ private:
+  struct Entry {
+    double time;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  double now_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace peercache::sim
+
+#endif  // PEERCACHE_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,222 @@
+// Adversarially structured instances: id patterns and frequency profiles
+// designed to stress the selectors' structural assumptions (the concave-DP
+// argmin monotonicity in chord_fast, the trie edge-credit bookkeeping in
+// pastry_greedy, and tie handling everywhere).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "auxsel/chord_dp.h"
+#include "auxsel/chord_fast.h"
+#include "auxsel/pastry_dp.h"
+#include "auxsel/pastry_greedy.h"
+#include "auxsel/selection_types.h"
+#include "common/bits.h"
+#include "common/random.h"
+
+namespace peercache::auxsel {
+namespace {
+
+void ExpectAllSelectorsAgree(const SelectionInput& input,
+                             const char* description) {
+  auto chord_naive = SelectChordDp(input);
+  auto chord_fast = SelectChordFast(input);
+  ASSERT_TRUE(chord_naive.ok()) << description << ": " << chord_naive.status();
+  ASSERT_TRUE(chord_fast.ok()) << description << ": " << chord_fast.status();
+  EXPECT_NEAR(chord_fast->cost, chord_naive->cost,
+              1e-9 * (1 + chord_naive->cost))
+      << description;
+
+  auto pastry_dp = SelectPastryDp(input);
+  auto pastry_greedy = SelectPastryGreedy(input);
+  ASSERT_TRUE(pastry_dp.ok()) << description;
+  ASSERT_TRUE(pastry_greedy.ok()) << description;
+  EXPECT_NEAR(pastry_greedy->cost, pastry_dp->cost,
+              1e-9 * (1 + pastry_dp->cost))
+      << description;
+}
+
+TEST(Adversarial, TightClusterOfIds) {
+  // All peers packed into one tiny arc right after the selecting node.
+  SelectionInput input;
+  input.bits = 32;
+  input.self_id = 0;
+  for (uint64_t i = 1; i <= 60; ++i) {
+    input.peers.push_back({i, static_cast<double>(i % 7) + 0.5, -1});
+  }
+  input.k = 6;
+  ExpectAllSelectorsAgree(input, "tight cluster");
+}
+
+TEST(Adversarial, ClusterDiametricallyOpposite) {
+  SelectionInput input;
+  input.bits = 32;
+  input.self_id = 0;
+  const uint64_t base = uint64_t{1} << 31;
+  for (uint64_t i = 0; i < 50; ++i) {
+    input.peers.push_back({base + i * 3, 1.0 + static_cast<double>(i), -1});
+  }
+  input.k = 5;
+  ExpectAllSelectorsAgree(input, "opposite cluster");
+}
+
+TEST(Adversarial, GeometricIdSpacing) {
+  // One peer per distance octave: exactly the finger structure.
+  SelectionInput input;
+  input.bits = 32;
+  input.self_id = 0;
+  for (int i = 1; i < 32; ++i) {
+    input.peers.push_back(
+        {uint64_t{1} << i, static_cast<double>(32 - i), -1});
+  }
+  input.k = 4;
+  ExpectAllSelectorsAgree(input, "geometric spacing");
+}
+
+TEST(Adversarial, PowerOfTwoBoundaryStraddle) {
+  // Pairs of ids straddling power-of-two boundaries: worst case for
+  // prefix-based distance (lcp 0 between numerically adjacent ids).
+  SelectionInput input;
+  input.bits = 16;
+  input.self_id = 3;
+  for (int i = 8; i <= 14; ++i) {
+    const uint64_t p = uint64_t{1} << i;
+    input.peers.push_back({p - 1, 10.0, -1});
+    input.peers.push_back({p, 10.0, -1});
+  }
+  input.k = 5;
+  ExpectAllSelectorsAgree(input, "boundary straddle");
+}
+
+TEST(Adversarial, AllFrequenciesEqual) {
+  // Total tie: any k-subset of a symmetric instance may be optimal; the
+  // selectors must still agree on the optimal COST.
+  SelectionInput input;
+  input.bits = 16;
+  input.self_id = 9;
+  Rng rng(515);
+  for (uint64_t id : rng.SampleDistinct(uint64_t{1} << 16, 40)) {
+    if (id == input.self_id) continue;
+    input.peers.push_back({id, 1.0, -1});
+  }
+  input.k = 7;
+  ExpectAllSelectorsAgree(input, "all equal frequencies");
+}
+
+TEST(Adversarial, AllFrequenciesZero) {
+  SelectionInput input;
+  input.bits = 16;
+  input.self_id = 9;
+  Rng rng(616);
+  for (uint64_t id : rng.SampleDistinct(uint64_t{1} << 16, 25)) {
+    if (id == input.self_id) continue;
+    input.peers.push_back({id, 0.0, -1});
+  }
+  input.k = 4;
+  ExpectAllSelectorsAgree(input, "all zero frequencies");
+  auto sel = SelectChordFast(input);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_DOUBLE_EQ(sel->cost, 0.0);
+}
+
+TEST(Adversarial, SingleDominantPeer) {
+  SelectionInput input;
+  input.bits = 24;
+  input.self_id = 0;
+  Rng rng(717);
+  auto ids = rng.SampleDistinct(uint64_t{1} << 24, 30);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == 0) continue;
+    input.peers.push_back({ids[i], i == 0 ? 1e9 : 1e-6, -1});
+  }
+  input.k = 1;
+  auto chord = SelectChordFast(input);
+  auto pastry = SelectPastryGreedy(input);
+  ASSERT_TRUE(chord.ok() && pastry.ok());
+  // Both must spend their single pointer on (or before, for Chord, at) the
+  // hot peer so that it is served at distance 0.
+  ASSERT_EQ(chord->chosen.size(), 1u);
+  ASSERT_EQ(pastry->chosen.size(), 1u);
+  EXPECT_EQ(pastry->chosen[0], input.peers[0].id);
+  ExpectAllSelectorsAgree(input, "single dominant");
+}
+
+TEST(Adversarial, CoresShadowEverything) {
+  // Every peer is within one hop of a core: auxiliary pointers can still
+  // only help by zeroing distances; selectors must agree and never crash.
+  SelectionInput input;
+  input.bits = 16;
+  input.self_id = 0;
+  for (uint64_t i = 0; i < 20; ++i) {
+    const uint64_t base = 1000 * (i + 1);
+    input.core_ids.push_back(base);
+    input.peers.push_back({base + 1, 5.0, -1});
+  }
+  input.k = 6;
+  ExpectAllSelectorsAgree(input, "cores shadow");
+}
+
+TEST(Adversarial, MaximalKTakesAllCandidates) {
+  SelectionInput input;
+  input.bits = 16;
+  input.self_id = 0;
+  Rng rng(818);
+  for (uint64_t id : rng.SampleDistinct(uint64_t{1} << 16, 15)) {
+    if (id == 0) continue;
+    input.peers.push_back({id, 2.0, -1});
+  }
+  input.k = 1000;
+  auto chord = SelectChordFast(input);
+  auto pastry = SelectPastryGreedy(input);
+  ASSERT_TRUE(chord.ok() && pastry.ok());
+  EXPECT_EQ(chord->chosen.size(), input.peers.size());
+  EXPECT_EQ(pastry->chosen.size(), input.peers.size());
+  // Everything is a neighbor: cost collapses to Σ f_v · 1.
+  double total = 0;
+  for (const auto& p : input.peers) total += p.frequency;
+  EXPECT_DOUBLE_EQ(chord->cost, total);
+  EXPECT_DOUBLE_EQ(pastry->cost, total);
+}
+
+TEST(Adversarial, OneBitIdSpace) {
+  SelectionInput input;
+  input.bits = 1;
+  input.self_id = 0;
+  input.peers = {{1, 3.0, -1}};
+  input.k = 1;
+  ExpectAllSelectorsAgree(input, "one-bit space");
+  auto sel = SelectPastryGreedy(input);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_DOUBLE_EQ(sel->cost, 3.0);
+}
+
+TEST(Adversarial, RandomizedClusterMixtures) {
+  // Mixtures of dense clusters and isolated ids with heavy-tailed weights.
+  Rng rng(919);
+  for (int trial = 0; trial < 25; ++trial) {
+    SelectionInput input;
+    input.bits = 20;
+    input.self_id = rng.UniformU64(uint64_t{1} << 20);
+    const int clusters = 1 + static_cast<int>(rng.UniformU64(4));
+    for (int c = 0; c < clusters; ++c) {
+      uint64_t base = rng.UniformU64(uint64_t{1} << 20);
+      int size = 1 + static_cast<int>(rng.UniformU64(12));
+      for (int i = 0; i < size; ++i) {
+        uint64_t id = (base + static_cast<uint64_t>(i)) & LowBitMask(20);
+        if (id == input.self_id) continue;
+        bool dup = false;
+        for (const auto& p : input.peers) dup |= (p.id == id);
+        if (dup) continue;
+        double f = rng.Bernoulli(0.2) ? 1e6 : rng.UniformDouble();
+        input.peers.push_back({id, f, -1});
+      }
+    }
+    if (input.peers.empty()) continue;
+    input.k = 1 + static_cast<int>(rng.UniformU64(6));
+    ExpectAllSelectorsAgree(input, "cluster mixture");
+  }
+}
+
+}  // namespace
+}  // namespace peercache::auxsel

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "auxsel/frequency_table.h"
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace peercache::auxsel {
+namespace {
+
+TEST(FrequencyTable, ExactModeCounts) {
+  FrequencyTable table;
+  table.Record(7);
+  table.Record(7);
+  table.Record(9, 3);
+  EXPECT_EQ(table.distinct(), 2u);
+  EXPECT_EQ(table.total(), 5u);
+  auto snap = table.Snapshot(/*exclude_self=*/0);
+  ASSERT_EQ(snap.size(), 2u);
+  std::sort(snap.begin(), snap.end(),
+            [](const PeerFreq& a, const PeerFreq& b) { return a.id < b.id; });
+  EXPECT_EQ(snap[0].id, 7u);
+  EXPECT_DOUBLE_EQ(snap[0].frequency, 2.0);
+  EXPECT_EQ(snap[1].id, 9u);
+  EXPECT_DOUBLE_EQ(snap[1].frequency, 3.0);
+}
+
+TEST(FrequencyTable, SnapshotExcludesSelf) {
+  FrequencyTable table;
+  table.Record(7);
+  table.Record(8);
+  auto snap = table.Snapshot(7);
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].id, 8u);
+}
+
+TEST(FrequencyTable, DecayHalvesCounts) {
+  FrequencyTable table;
+  table.Record(1, 8);
+  table.Decay(0.5);
+  auto snap = table.Snapshot(0);
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap[0].frequency, 4.0);
+}
+
+TEST(FrequencyTable, ForgetRemovesPeer) {
+  FrequencyTable table;
+  table.Record(1);
+  table.Record(2);
+  table.Forget(1);
+  EXPECT_EQ(table.distinct(), 1u);
+}
+
+TEST(FrequencyTable, BoundedModeKeepsHeavyHitters) {
+  // A zipf stream through a capacity-20 table must retain the hottest peers.
+  FrequencyTable table(20);
+  Rng rng(321);
+  ZipfDistribution zipf(1000, 1.2);
+  for (int i = 0; i < 50000; ++i) {
+    table.Record(static_cast<uint64_t>(zipf.Sample(rng)));
+  }
+  EXPECT_LE(table.distinct(), 20u);
+  auto snap = table.Snapshot(0);
+  std::vector<uint64_t> kept;
+  for (const auto& p : snap) kept.push_back(p.id);
+  for (uint64_t hot = 1; hot <= 5; ++hot) {
+    EXPECT_TRUE(std::find(kept.begin(), kept.end(), hot) != kept.end())
+        << "hot rank " << hot << " evicted";
+  }
+}
+
+TEST(FrequencyTable, ClearResets) {
+  FrequencyTable table(4);
+  table.Record(1);
+  table.Clear();
+  EXPECT_EQ(table.distinct(), 0u);
+  EXPECT_EQ(table.total(), 0u);
+}
+
+}  // namespace
+}  // namespace peercache::auxsel

@@ -1,0 +1,97 @@
+// The gain tree's arithmetic must agree with the independent Eq. 1
+// evaluator: Cost(∅) - Σ(selected gains) == Cost(selected set), for every
+// prefix of the selection.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "auxsel/pastry_greedy.h"
+#include "auxsel/selection_types.h"
+#include "common/random.h"
+#include "test_util.h"
+
+namespace peercache::auxsel {
+namespace {
+
+using ::peercache::auxsel::testing::RandomInput;
+
+TEST(GainAccounting, TotalGainMatchesEvaluator) {
+  Rng rng(515151);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int bits = 6 + static_cast<int>(rng.UniformU64(26));
+    const int n = 1 + static_cast<int>(rng.UniformU64(50));
+    const int cores = static_cast<int>(rng.UniformU64(5));
+    const int k = 1 + static_cast<int>(rng.UniformU64(8));
+    SelectionInput input = RandomInput(rng, bits, n, cores, k);
+    auto tree = PastryGainTree::FromInput(input);
+    ASSERT_TRUE(tree.ok()) << tree.status();
+    const double base = EvaluatePastryCost(input, {});
+    const double with_aux =
+        EvaluatePastryCost(input, tree->SelectAuxiliary());
+    EXPECT_NEAR(base - tree->TotalGain(), with_aux, 1e-9 * (1 + base))
+        << "trial " << trial;
+  }
+}
+
+TEST(GainAccounting, EveryPrefixGainMatchesEvaluator) {
+  // Property (P) in cost form: the first j entries of the selection are the
+  // optimal j-set, and their gain prefix-sums equal evaluator deltas.
+  Rng rng(626262);
+  for (int trial = 0; trial < 15; ++trial) {
+    SelectionInput input = RandomInput(rng, 16, 30, 3, 8);
+    auto tree = PastryGainTree::FromInput(input);
+    ASSERT_TRUE(tree.ok());
+    const double base = EvaluatePastryCost(input, {});
+    std::vector<uint64_t> chosen = tree->SelectAuxiliary();
+    const auto& gains = tree->GainsAt(tree->trie().root());
+    ASSERT_EQ(gains.size(), chosen.size());
+    double gain_prefix = 0;
+    std::vector<uint64_t> prefix;
+    for (size_t j = 0; j < chosen.size(); ++j) {
+      gain_prefix += gains[j].gain;
+      prefix.push_back(chosen[j]);
+      EXPECT_NEAR(base - gain_prefix, EvaluatePastryCost(input, prefix),
+                  1e-9 * (1 + base))
+          << "prefix length " << j + 1;
+    }
+  }
+}
+
+TEST(GainAccounting, GainsNonincreasingAtEveryVertex) {
+  // Lemma 4.1 materialized: every cached gain list is sorted nonincreasing.
+  Rng rng(737373);
+  SelectionInput input = RandomInput(rng, 20, 80, 6, 10);
+  auto tree = PastryGainTree::FromInput(input);
+  ASSERT_TRUE(tree.ok());
+  const trie::BinaryTrie& t = tree->trie();
+  std::vector<int> stack{t.root()};
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    const auto& gains = tree->GainsAt(v);
+    for (size_t i = 1; i < gains.size(); ++i) {
+      EXPECT_GE(gains[i - 1].gain, gains[i].gain - 1e-12)
+          << "vertex " << v << " entry " << i;
+    }
+    for (int b = 0; b < 2; ++b) {
+      int c = t.Child(v, b);
+      if (c != trie::BinaryTrie::kNil) stack.push_back(c);
+    }
+  }
+}
+
+TEST(GainAccounting, GainsNonnegative) {
+  Rng rng(848484);
+  for (int trial = 0; trial < 10; ++trial) {
+    SelectionInput input = RandomInput(rng, 14, 40, 4, 12);
+    auto tree = PastryGainTree::FromInput(input);
+    ASSERT_TRUE(tree.ok());
+    for (const GainEntry& e : tree->GainsAt(tree->trie().root())) {
+      EXPECT_GE(e.gain, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace peercache::auxsel

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "auxsel/chord_fast.h"
+#include "auxsel/oblivious.h"
+#include "auxsel/pastry_greedy.h"
+#include "auxsel/selection_types.h"
+#include "common/bits.h"
+#include "common/random.h"
+#include "common/zipf.h"
+#include "test_util.h"
+
+namespace peercache::auxsel {
+namespace {
+
+using ::peercache::auxsel::testing::RandomInput;
+
+TEST(Oblivious, PicksExactlyKWhenEnoughCandidates) {
+  Rng rng(1);
+  SelectionInput input = RandomInput(rng, 16, 50, 4, 8);
+  Rng pick_rng(2);
+  auto chord = SelectChordOblivious(input, pick_rng);
+  auto pastry = SelectPastryOblivious(input, pick_rng);
+  ASSERT_TRUE(chord.ok());
+  ASSERT_TRUE(pastry.ok());
+  EXPECT_EQ(chord->chosen.size(), 8u);
+  EXPECT_EQ(pastry->chosen.size(), 8u);
+}
+
+TEST(Oblivious, NeverPicksCoresSelfOrDuplicates) {
+  Rng rng(33);
+  for (int trial = 0; trial < 20; ++trial) {
+    SelectionInput input = RandomInput(rng, 12, 30, 6, 10);
+    Rng pick_rng(100 + static_cast<uint64_t>(trial));
+    for (auto* fn : {&SelectChordOblivious, &SelectPastryOblivious}) {
+      auto sel = (*fn)(input, pick_rng);
+      ASSERT_TRUE(sel.ok());
+      std::set<uint64_t> seen;
+      for (uint64_t id : sel->chosen) {
+        EXPECT_NE(id, input.self_id);
+        EXPECT_TRUE(std::find(input.core_ids.begin(), input.core_ids.end(),
+                              id) == input.core_ids.end());
+        EXPECT_TRUE(seen.insert(id).second) << "duplicate pick";
+      }
+    }
+  }
+}
+
+TEST(Oblivious, SpreadsAcrossDistanceSlices) {
+  // With k equal to the number of nonempty slices, the Chord baseline puts
+  // one pointer per slice (the paper's r = 1 configuration).
+  SelectionInput input;
+  input.bits = 16;
+  input.self_id = 0;
+  // Two candidates in each of four far-apart slices.
+  for (uint64_t base : {1u << 4, 1u << 7, 1u << 10, 1u << 13}) {
+    input.peers.push_back(PeerFreq{base + 1, 1.0, -1});
+    input.peers.push_back(PeerFreq{base + 2, 1.0, -1});
+  }
+  input.k = 4;
+  Rng rng(9);
+  auto sel = SelectChordOblivious(input, rng);
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(sel->chosen.size(), 4u);
+  std::set<int> slices;
+  for (uint64_t id : sel->chosen) {
+    slices.insert(BitLength(id) - 1);
+  }
+  EXPECT_EQ(slices.size(), 4u) << "one pick per nonempty slice expected";
+}
+
+TEST(Oblivious, OptimalNeverWorseOnSkewedWorkloads) {
+  // The headline claim, in miniature: on zipf-skewed frequencies the
+  // frequency-aware optimum has cost <= the oblivious baseline.
+  Rng rng(424242);
+  ZipfDistribution zipf(200, 1.2);
+  for (int trial = 0; trial < 10; ++trial) {
+    SelectionInput input = RandomInput(rng, 20, 200, 8, 11);
+    for (size_t i = 0; i < input.peers.size(); ++i) {
+      input.peers[i].frequency = zipf.Pmf(i + 1) * 1e6;
+    }
+    auto opt_chord = SelectChordFast(input);
+    auto opt_pastry = SelectPastryGreedy(input);
+    Rng pick_rng(trial);
+    auto obl_chord = SelectChordOblivious(input, pick_rng);
+    auto obl_pastry = SelectPastryOblivious(input, pick_rng);
+    ASSERT_TRUE(opt_chord.ok() && opt_pastry.ok() && obl_chord.ok() &&
+                obl_pastry.ok());
+    EXPECT_LE(opt_chord->cost, obl_chord->cost + 1e-6);
+    EXPECT_LE(opt_pastry->cost, obl_pastry->cost + 1e-6);
+    // On this heavily skewed workload the gap should be strict and large.
+    EXPECT_LT(opt_chord->cost, 0.95 * obl_chord->cost);
+    EXPECT_LT(opt_pastry->cost, 0.95 * obl_pastry->cost);
+  }
+}
+
+}  // namespace
+}  // namespace peercache::auxsel

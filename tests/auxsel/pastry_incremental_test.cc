@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "auxsel/pastry_greedy.h"
+#include "auxsel/selection_types.h"
+#include "common/random.h"
+#include "test_util.h"
+
+namespace peercache::auxsel {
+namespace {
+
+using ::peercache::auxsel::testing::RandomInput;
+
+/// Reference: rebuild a fresh gain tree from the current logical state and
+/// compare selections by cost.
+double FreshCost(const SelectionInput& state) {
+  auto sel = SelectPastryGreedy(state);
+  EXPECT_TRUE(sel.ok()) << sel.status();
+  return sel->cost;
+}
+
+TEST(PastryIncremental, AddPeersMatchesFreshBuild) {
+  Rng rng(1001);
+  const int bits = 16;
+  const int k = 5;
+  PastryGainTree tree(bits, k);
+  SelectionInput state;
+  state.bits = bits;
+  state.k = k;
+  state.self_id = 12345;
+
+  auto ids = rng.SampleDistinct(uint64_t{1} << bits, 41);
+  for (size_t i = 0; i < 40; ++i) {
+    uint64_t id = ids[i];
+    if (id == state.self_id) continue;
+    double f = static_cast<double>(rng.UniformU64(1000));
+    ASSERT_TRUE(tree.AddPeer(id, f).ok());
+    state.peers.push_back(PeerFreq{id, f, -1});
+
+    auto inc_sel = tree.SelectAuxiliary();
+    double inc_cost = EvaluatePastryCost(state, inc_sel);
+    EXPECT_NEAR(inc_cost, FreshCost(state), 1e-9 * (1 + inc_cost))
+        << "after insert #" << i;
+  }
+}
+
+TEST(PastryIncremental, MixedMutationStreamMatchesFreshBuild) {
+  Rng rng(2002);
+  const int bits = 12;
+  const int k = 4;
+  PastryGainTree tree(bits, k);
+  SelectionInput state;
+  state.bits = bits;
+  state.k = k;
+  state.self_id = 99;
+
+  std::unordered_map<uint64_t, size_t> pos;  // id -> index in state.peers
+  for (int step = 0; step < 300; ++step) {
+    const int op = static_cast<int>(rng.UniformU64(4));
+    if (op == 0 || state.peers.size() < 3) {
+      // Insert a fresh id.
+      uint64_t id = rng.UniformU64(uint64_t{1} << bits);
+      if (id == state.self_id || pos.count(id)) continue;
+      double f = static_cast<double>(rng.UniformU64(500));
+      ASSERT_TRUE(tree.AddPeer(id, f).ok());
+      pos[id] = state.peers.size();
+      state.peers.push_back(PeerFreq{id, f, -1});
+    } else if (op == 1) {
+      // Remove a random peer.
+      size_t i = static_cast<size_t>(rng.UniformU64(state.peers.size()));
+      uint64_t id = state.peers[i].id;
+      ASSERT_TRUE(tree.RemovePeer(id).ok());
+      pos.erase(id);
+      state.peers[i] = state.peers.back();
+      state.peers.pop_back();
+      if (i < state.peers.size()) pos[state.peers[i].id] = i;
+      // Keep core list consistent: drop removed cores.
+      state.core_ids.erase(
+          std::remove(state.core_ids.begin(), state.core_ids.end(), id),
+          state.core_ids.end());
+    } else if (op == 2) {
+      // Re-weight (popularity change, paper Sec. IV-C).
+      size_t i = static_cast<size_t>(rng.UniformU64(state.peers.size()));
+      double f = static_cast<double>(rng.UniformU64(500));
+      ASSERT_TRUE(tree.UpdateFrequency(state.peers[i].id, f).ok());
+      state.peers[i].frequency = f;
+    } else {
+      // Toggle core status.
+      size_t i = static_cast<size_t>(rng.UniformU64(state.peers.size()));
+      uint64_t id = state.peers[i].id;
+      bool is_core = std::find(state.core_ids.begin(), state.core_ids.end(),
+                               id) != state.core_ids.end();
+      ASSERT_TRUE(tree.SetCore(id, !is_core).ok());
+      if (is_core) {
+        state.core_ids.erase(
+            std::remove(state.core_ids.begin(), state.core_ids.end(), id),
+            state.core_ids.end());
+      } else {
+        state.core_ids.push_back(id);
+      }
+    }
+
+    if (step % 10 == 0) {
+      auto inc_sel = tree.SelectAuxiliary();
+      double inc_cost = EvaluatePastryCost(state, inc_sel);
+      EXPECT_NEAR(inc_cost, FreshCost(state), 1e-9 * (1 + inc_cost))
+          << "after step " << step;
+      ASSERT_TRUE(tree.trie().CheckInvariants().ok());
+    }
+  }
+  // Final deep consistency: every cached gain list equals a full recompute.
+  EXPECT_TRUE(tree.CheckConsistency().ok());
+}
+
+TEST(PastryIncremental, RemoveToEmptyAndRebuild) {
+  PastryGainTree tree(8, 2);
+  ASSERT_TRUE(tree.AddPeer(1, 5.0).ok());
+  ASSERT_TRUE(tree.AddPeer(2, 6.0).ok());
+  ASSERT_TRUE(tree.RemovePeer(1).ok());
+  ASSERT_TRUE(tree.RemovePeer(2).ok());
+  EXPECT_TRUE(tree.SelectAuxiliary().empty());
+  ASSERT_TRUE(tree.AddPeer(3, 1.0).ok());
+  auto sel = tree.SelectAuxiliary();
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_EQ(sel[0], 3u);
+}
+
+TEST(PastryIncremental, ErrorsOnBadMutations) {
+  PastryGainTree tree(8, 2);
+  ASSERT_TRUE(tree.AddPeer(1, 5.0).ok());
+  EXPECT_EQ(tree.AddPeer(1, 2.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree.RemovePeer(9).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.UpdateFrequency(9, 1.0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.AddPeer(300, 1.0).code(), StatusCode::kInvalidArgument)
+      << "id out of range for 8-bit space";
+}
+
+TEST(PastryIncremental, PreselectedExcludedFromCandidates) {
+  PastryGainTree tree(8, 3);
+  ASSERT_TRUE(tree.AddPeer(0b10000000, 50.0).ok());
+  ASSERT_TRUE(tree.AddPeer(0b01000000, 10.0).ok());
+  ASSERT_TRUE(tree.SetPreselected(0b10000000, true).ok());
+  auto sel = tree.SelectAuxiliary();
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_EQ(sel[0], 0b01000000u);
+}
+
+}  // namespace
+}  // namespace peercache::auxsel

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "auxsel/pastry_dp.h"
+#include "auxsel/pastry_greedy.h"
+#include "auxsel/selection_types.h"
+#include "common/random.h"
+#include "test_util.h"
+
+namespace peercache::auxsel {
+namespace {
+
+using ::peercache::auxsel::testing::BruteForceBestCost;
+using ::peercache::auxsel::testing::RandomInput;
+
+TEST(PastryDp, EmptyInstance) {
+  SelectionInput input;
+  input.bits = 8;
+  input.self_id = 3;
+  input.k = 4;
+  auto sel = SelectPastryDp(input);
+  ASSERT_TRUE(sel.ok()) << sel.status();
+  EXPECT_TRUE(sel->chosen.empty());
+  EXPECT_EQ(sel->cost, 0.0);
+}
+
+TEST(PastryDp, SinglePeerIsChosen) {
+  SelectionInput input;
+  input.bits = 8;
+  input.self_id = 0b00000000;
+  input.peers = {{0b11110000, 5.0, -1}};
+  input.k = 1;
+  auto sel = SelectPastryDp(input);
+  ASSERT_TRUE(sel.ok()) << sel.status();
+  ASSERT_EQ(sel->chosen.size(), 1u);
+  EXPECT_EQ(sel->chosen[0], 0b11110000u);
+  // Chosen as a neighbor: distance 0, cost f * (1 + 0).
+  EXPECT_DOUBLE_EQ(sel->cost, 5.0);
+}
+
+TEST(PastryDp, CoreNeighborIsNotChosen) {
+  SelectionInput input;
+  input.bits = 8;
+  input.self_id = 0;
+  input.peers = {{0b11110000, 5.0, -1}, {0b00001111, 1.0, -1}};
+  input.core_ids = {0b11110000};
+  input.k = 1;
+  auto sel = SelectPastryDp(input);
+  ASSERT_TRUE(sel.ok()) << sel.status();
+  ASSERT_EQ(sel->chosen.size(), 1u);
+  EXPECT_EQ(sel->chosen[0], 0b00001111u);
+}
+
+TEST(PastryDp, PrefersHighFrequencySubtree) {
+  SelectionInput input;
+  input.bits = 8;
+  input.self_id = 0b00000000;
+  // Two peers under a far prefix: one hot, one cold.
+  input.peers = {{0b10000001, 100.0, -1}, {0b01000001, 1.0, -1}};
+  input.k = 1;
+  auto sel = SelectPastryDp(input);
+  ASSERT_TRUE(sel.ok()) << sel.status();
+  ASSERT_EQ(sel->chosen.size(), 1u);
+  EXPECT_EQ(sel->chosen[0], 0b10000001u);
+}
+
+TEST(PastryDp, PointerHelpsWholeSubtree) {
+  // A pointer into a subtree shortens routes for all peers that share the
+  // prefix, not just the chosen one (the paper's key argument for pointer
+  // caching over item caching).
+  SelectionInput input;
+  input.bits = 8;
+  input.self_id = 0b00000000;
+  input.peers = {{0b11100001, 10.0, -1}, {0b11100010, 10.0, -1}};
+  input.k = 1;
+  auto sel = SelectPastryDp(input);
+  ASSERT_TRUE(sel.ok()) << sel.status();
+  // Distance between the two peers is 8 - lcp = 8 - 6 = 2. Either pick
+  // serves the other at cost f*(1+2); itself at f*1.
+  EXPECT_DOUBLE_EQ(sel->cost, 10.0 * 1 + 10.0 * 3);
+}
+
+TEST(PastryDp, MatchesBruteForceOnRandomInstances) {
+  Rng rng(20260708);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int bits = 4 + static_cast<int>(rng.UniformU64(8));
+    const int n = 1 + static_cast<int>(rng.UniformU64(10));
+    const int cores = static_cast<int>(rng.UniformU64(3));
+    const int k = static_cast<int>(rng.UniformU64(4));
+    SelectionInput input = RandomInput(rng, bits, n, cores, k);
+    double brute = BruteForceBestCost(input, EvaluatePastryCost);
+    auto sel = SelectPastryDp(input);
+    ASSERT_TRUE(sel.ok()) << sel.status();
+    EXPECT_NEAR(sel->cost, brute, 1e-9 * (1 + brute))
+        << "trial=" << trial << " n=" << n << " k=" << k << " bits=" << bits;
+    // Reported cost must match an independent evaluation of the chosen set.
+    EXPECT_NEAR(sel->cost, EvaluatePastryCost(input, sel->chosen), 1e-9);
+  }
+}
+
+TEST(PastryGreedy, MatchesDpOnRandomInstances) {
+  Rng rng(99123);
+  for (int trial = 0; trial < 120; ++trial) {
+    const int bits = 4 + static_cast<int>(rng.UniformU64(28));
+    const int n = 1 + static_cast<int>(rng.UniformU64(60));
+    const int cores = static_cast<int>(rng.UniformU64(6));
+    const int k = static_cast<int>(rng.UniformU64(8));
+    SelectionInput input = RandomInput(rng, bits, n, cores, k);
+    auto dp = SelectPastryDp(input);
+    auto greedy = SelectPastryGreedy(input);
+    ASSERT_TRUE(dp.ok()) << dp.status();
+    ASSERT_TRUE(greedy.ok()) << greedy.status();
+    EXPECT_NEAR(greedy->cost, dp->cost, 1e-9 * (1 + dp->cost))
+        << "trial=" << trial << " n=" << n << " k=" << k << " bits=" << bits;
+  }
+}
+
+TEST(PastryGreedy, SelectionSizeIsMinOfKAndCandidates) {
+  Rng rng(5);
+  SelectionInput input = RandomInput(rng, 16, 6, 0, 10);
+  auto sel = SelectPastryGreedy(input);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->chosen.size(), 6u);
+
+  input.k = 3;
+  sel = SelectPastryGreedy(input);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->chosen.size(), 3u);
+}
+
+TEST(PastryGreedy, NestingPropertyP) {
+  // Paper property (P): the optimal j-1 set is contained in the optimal j
+  // set. The greedy's root gain list realizes exactly this chain.
+  Rng rng(777);
+  for (int trial = 0; trial < 20; ++trial) {
+    SelectionInput input = RandomInput(rng, 16, 30, 4, 8);
+    std::set<uint64_t> previous;
+    double prev_cost = EvaluatePastryCost(input, {});
+    for (int k = 1; k <= 8; ++k) {
+      SelectionInput in_k = input;
+      in_k.k = k;
+      auto sel = SelectPastryGreedy(in_k);
+      ASSERT_TRUE(sel.ok());
+      std::set<uint64_t> current(sel->chosen.begin(), sel->chosen.end());
+      EXPECT_TRUE(std::includes(current.begin(), current.end(),
+                                previous.begin(), previous.end()))
+          << "k=" << k << " not a superset of k-1";
+      EXPECT_LE(sel->cost, prev_cost + 1e-9) << "cost must be monotone in k";
+      previous = std::move(current);
+      prev_cost = sel->cost;
+    }
+  }
+}
+
+TEST(PastryGreedy, DiminishingReturns) {
+  // Lemma 4.1: marginal gains are nonincreasing in k.
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    SelectionInput input = RandomInput(rng, 12, 25, 2, 0);
+    double prev_cost = EvaluatePastryCost(input, {});
+    double prev_gain = std::numeric_limits<double>::infinity();
+    for (int k = 1; k <= 10; ++k) {
+      SelectionInput in_k = input;
+      in_k.k = k;
+      auto sel = SelectPastryGreedy(in_k);
+      ASSERT_TRUE(sel.ok());
+      double gain = prev_cost - sel->cost;
+      EXPECT_LE(gain, prev_gain + 1e-9) << "k=" << k;
+      prev_gain = gain;
+      prev_cost = sel->cost;
+    }
+  }
+}
+
+TEST(PastryGreedy, ZipfLikeInstanceBeatsObliviousCost) {
+  // Sanity: on a skewed instance the optimal set must contain the hottest
+  // non-core peer.
+  SelectionInput input;
+  input.bits = 16;
+  input.self_id = 0;
+  Rng rng(31337);
+  for (int i = 1; i <= 50; ++i) {
+    input.peers.push_back(PeerFreq{
+        rng.UniformU64(uint64_t{1} << 16) | 1u,  // avoid id 0 (self)
+        1000.0 / (i * i), -1});
+  }
+  // Dedup ids defensively.
+  std::sort(input.peers.begin(), input.peers.end(),
+            [](const PeerFreq& a, const PeerFreq& b) { return a.id < b.id; });
+  input.peers.erase(std::unique(input.peers.begin(), input.peers.end(),
+                                [](const PeerFreq& a, const PeerFreq& b) {
+                                  return a.id == b.id;
+                                }),
+                    input.peers.end());
+  input.k = 5;
+  auto sel = SelectPastryGreedy(input);
+  ASSERT_TRUE(sel.ok());
+  uint64_t hottest = 0;
+  double best_f = -1;
+  for (const PeerFreq& p : input.peers) {
+    if (p.frequency > best_f) {
+      best_f = p.frequency;
+      hottest = p.id;
+    }
+  }
+  EXPECT_TRUE(std::find(sel->chosen.begin(), sel->chosen.end(), hottest) !=
+              sel->chosen.end());
+}
+
+TEST(PastrySelectors, RejectInvalidInput) {
+  SelectionInput input;
+  input.bits = 0;
+  EXPECT_FALSE(SelectPastryDp(input).ok());
+  EXPECT_FALSE(SelectPastryGreedy(input).ok());
+
+  input.bits = 8;
+  input.self_id = 1;
+  input.peers = {{1, 1.0, -1}};  // self in peers
+  EXPECT_EQ(SelectPastryDp(input).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SelectPastryGreedy(input).status().code(),
+            StatusCode::kInvalidArgument);
+
+  input.peers = {{2, -1.0, -1}};  // negative frequency
+  EXPECT_FALSE(SelectPastryGreedy(input).ok());
+
+  input.peers = {{2, 1.0, -1}, {2, 2.0, -1}};  // duplicate
+  EXPECT_FALSE(SelectPastryDp(input).ok());
+}
+
+TEST(PastrySelectors, KZeroReturnsEmpty) {
+  Rng rng(8);
+  SelectionInput input = RandomInput(rng, 16, 20, 3, 0);
+  auto dp = SelectPastryDp(input);
+  auto greedy = SelectPastryGreedy(input);
+  ASSERT_TRUE(dp.ok());
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_TRUE(dp->chosen.empty());
+  EXPECT_TRUE(greedy->chosen.empty());
+  EXPECT_DOUBLE_EQ(dp->cost, EvaluatePastryCost(input, {}));
+  EXPECT_DOUBLE_EQ(greedy->cost, dp->cost);
+}
+
+}  // namespace
+}  // namespace peercache::auxsel

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "auxsel/chord_qos.h"
+#include "auxsel/pastry_dp.h"
+#include "auxsel/pastry_qos.h"
+#include "auxsel/selection_types.h"
+#include "common/random.h"
+#include "test_util.h"
+
+namespace peercache::auxsel {
+namespace {
+
+using ::peercache::auxsel::testing::BruteForceBestQosCost;
+using ::peercache::auxsel::testing::RandomInput;
+
+/// Sprinkles random delay bounds over a random instance.
+SelectionInput WithRandomBounds(Rng& rng, int bits, int n, int cores, int k,
+                                double bound_prob) {
+  SelectionInput input = RandomInput(rng, bits, n, cores, k);
+  for (PeerFreq& p : input.peers) {
+    if (rng.Bernoulli(bound_prob)) {
+      p.delay_bound = static_cast<int>(rng.UniformU64(
+          static_cast<uint64_t>(bits) + 1));
+    }
+  }
+  return input;
+}
+
+TEST(PastryQos, DpMatchesBruteForce) {
+  Rng rng(333111);
+  int infeasible_seen = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    const int bits = 4 + static_cast<int>(rng.UniformU64(6));
+    const int n = 1 + static_cast<int>(rng.UniformU64(9));
+    SelectionInput input = WithRandomBounds(
+        rng, bits, n, static_cast<int>(rng.UniformU64(3)),
+        static_cast<int>(rng.UniformU64(4)), 0.4);
+    double brute =
+        BruteForceBestQosCost(input, EvaluatePastryCost, PastryQosSatisfied);
+    auto sel = SelectPastryDpQos(input);
+    if (std::isinf(brute)) {
+      ++infeasible_seen;
+      EXPECT_EQ(sel.status().code(), StatusCode::kInfeasible)
+          << "trial=" << trial;
+    } else {
+      ASSERT_TRUE(sel.ok()) << sel.status() << " trial=" << trial;
+      EXPECT_NEAR(sel->cost, brute, 1e-9 * (1 + brute)) << "trial=" << trial;
+      EXPECT_TRUE(PastryQosSatisfied(input, sel->chosen));
+    }
+  }
+  // The sweep must exercise both feasible and infeasible instances.
+  EXPECT_GT(infeasible_seen, 0);
+  EXPECT_LT(infeasible_seen, 80);
+}
+
+TEST(PastryQos, GreedyMatchesDp) {
+  Rng rng(555);
+  for (int trial = 0; trial < 120; ++trial) {
+    const int bits = 4 + static_cast<int>(rng.UniformU64(12));
+    const int n = 1 + static_cast<int>(rng.UniformU64(25));
+    SelectionInput input = WithRandomBounds(
+        rng, bits, n, static_cast<int>(rng.UniformU64(4)),
+        static_cast<int>(rng.UniformU64(6)), 0.3);
+    auto dp = SelectPastryDpQos(input);
+    auto greedy = SelectPastryGreedyQos(input);
+    if (!dp.ok()) {
+      EXPECT_EQ(greedy.status().code(), StatusCode::kInfeasible)
+          << "trial=" << trial << ": dp=" << dp.status()
+          << " greedy=" << greedy.status();
+      continue;
+    }
+    ASSERT_TRUE(greedy.ok()) << greedy.status() << " trial=" << trial;
+    EXPECT_NEAR(greedy->cost, dp->cost, 1e-9 * (1 + dp->cost))
+        << "trial=" << trial << " n=" << n;
+    EXPECT_TRUE(PastryQosSatisfied(input, greedy->chosen));
+  }
+}
+
+TEST(PastryQos, UnconstrainedInstanceMatchesPlainSelector) {
+  Rng rng(7777);
+  for (int trial = 0; trial < 20; ++trial) {
+    SelectionInput input = RandomInput(rng, 12, 20, 3, 4);
+    auto plain = SelectPastryDp(input);
+    auto qos = SelectPastryDpQos(input);
+    auto greedy_qos = SelectPastryGreedyQos(input);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(qos.ok());
+    ASSERT_TRUE(greedy_qos.ok());
+    EXPECT_NEAR(qos->cost, plain->cost, 1e-9);
+    EXPECT_NEAR(greedy_qos->cost, plain->cost, 1e-9);
+  }
+}
+
+TEST(PastryQos, ForcedPointerSatisfiesTightBound) {
+  SelectionInput input;
+  input.bits = 8;
+  input.self_id = 0;
+  // A cold peer with a tight bound must be covered even though a hot peer
+  // competes for the single pointer.
+  input.peers = {{0b11110000, 0.1, 1}, {0b00000011, 100.0, -1}};
+  input.k = 1;
+  auto sel = SelectPastryGreedyQos(input);
+  ASSERT_TRUE(sel.ok()) << sel.status();
+  ASSERT_EQ(sel->chosen.size(), 1u);
+  EXPECT_EQ(sel->chosen[0], 0b11110000u);
+
+  // With k = 2 both are picked.
+  input.k = 2;
+  sel = SelectPastryGreedyQos(input);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->chosen.size(), 2u);
+}
+
+TEST(PastryQos, InfeasibleWhenBudgetTooSmall) {
+  SelectionInput input;
+  input.bits = 8;
+  // Two constrained peers in opposite halves of the id space, bound 0 means
+  // each must itself be a neighbor; k = 1 cannot cover both.
+  input.self_id = 1;
+  input.peers = {{0b10000000, 1.0, 0}, {0b01000000, 1.0, 0}};
+  input.k = 1;
+  EXPECT_EQ(SelectPastryGreedyQos(input).status().code(),
+            StatusCode::kInfeasible);
+  EXPECT_EQ(SelectPastryDpQos(input).status().code(), StatusCode::kInfeasible);
+}
+
+TEST(PastryQos, CoreNeighborSatisfiesBoundWithoutSpendingBudget) {
+  SelectionInput input;
+  input.bits = 8;
+  input.self_id = 0;
+  input.peers = {{0b10000001, 1.0, 2}, {0b00100000, 50.0, -1}};
+  input.core_ids = {0b10000010};  // lcp with constrained peer = 6, d = 2
+  input.k = 1;
+  auto sel = SelectPastryGreedyQos(input);
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(sel->chosen.size(), 1u);
+  EXPECT_EQ(sel->chosen[0], 0b00100000u) << "budget should go to the hot peer";
+}
+
+TEST(ChordQos, DpMatchesBruteForce) {
+  Rng rng(121212);
+  int infeasible_seen = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    const int bits = 4 + static_cast<int>(rng.UniformU64(6));
+    const int n = 1 + static_cast<int>(rng.UniformU64(9));
+    SelectionInput input = WithRandomBounds(
+        rng, bits, n, static_cast<int>(rng.UniformU64(3)),
+        static_cast<int>(rng.UniformU64(4)), 0.4);
+    double brute =
+        BruteForceBestQosCost(input, EvaluateChordCost, ChordQosSatisfied);
+    auto sel = SelectChordDpQos(input);
+    if (std::isinf(brute)) {
+      ++infeasible_seen;
+      EXPECT_EQ(sel.status().code(), StatusCode::kInfeasible)
+          << "trial=" << trial;
+    } else {
+      ASSERT_TRUE(sel.ok()) << sel.status() << " trial=" << trial;
+      EXPECT_NEAR(sel->cost, brute, 1e-9 * (1 + brute)) << "trial=" << trial;
+      EXPECT_TRUE(ChordQosSatisfied(input, sel->chosen));
+    }
+  }
+  EXPECT_GT(infeasible_seen, 0);
+  EXPECT_LT(infeasible_seen, 80);
+}
+
+TEST(ChordQos, UnconstrainedMatchesPlainDp) {
+  Rng rng(888);
+  for (int trial = 0; trial < 20; ++trial) {
+    SelectionInput input = RandomInput(rng, 16, 30, 4, 5);
+    auto plain = SelectChordDpQos(input);
+    ASSERT_TRUE(plain.ok());
+    // No bounds set: should equal the unconstrained optimum.
+    SelectionInput copy = input;
+    auto qos = SelectChordDpQos(copy);
+    ASSERT_TRUE(qos.ok());
+    EXPECT_NEAR(qos->cost, plain->cost, 1e-9);
+  }
+}
+
+TEST(ChordQos, BoundForcesNearbyPointer) {
+  SelectionInput input;
+  input.bits = 16;
+  input.self_id = 0;
+  // Constrained peer at clockwise distance 40000 with bound 3: needs a
+  // neighbor within id distance 7.
+  input.peers = {{40000, 0.1, 3}, {39990, 0.0, -1}, {5, 100.0, -1}};
+  input.k = 1;
+  auto sel = SelectChordDpQos(input);
+  ASSERT_TRUE(sel.ok()) << sel.status();
+  ASSERT_EQ(sel->chosen.size(), 1u);
+  // 39990 is 10 away (bitlen 4 > 3): only 40000 itself satisfies the bound.
+  EXPECT_EQ(sel->chosen[0], 40000u);
+}
+
+}  // namespace
+}  // namespace peercache::auxsel

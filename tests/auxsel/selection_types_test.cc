@@ -1,0 +1,121 @@
+#include "auxsel/selection_types.h"
+
+#include <gtest/gtest.h>
+
+namespace peercache::auxsel {
+namespace {
+
+TEST(ValidateInput, AcceptsWellFormed) {
+  SelectionInput input;
+  input.bits = 16;
+  input.self_id = 5;
+  input.peers = {{1, 2.0, -1}, {2, 3.0, 4}};
+  input.core_ids = {9};
+  input.k = 3;
+  EXPECT_TRUE(ValidateInput(input).ok());
+}
+
+TEST(ValidateInput, RejectsBadInputs) {
+  SelectionInput base;
+  base.bits = 8;
+  base.self_id = 5;
+  base.peers = {{1, 2.0, -1}};
+  base.k = 1;
+
+  SelectionInput input = base;
+  input.bits = 65;
+  EXPECT_FALSE(ValidateInput(input).ok());
+
+  input = base;
+  input.k = -1;
+  EXPECT_FALSE(ValidateInput(input).ok());
+
+  input = base;
+  input.self_id = 300;
+  EXPECT_FALSE(ValidateInput(input).ok());
+
+  input = base;
+  input.peers.push_back({1, 1.0, -1});  // duplicate
+  EXPECT_FALSE(ValidateInput(input).ok());
+
+  input = base;
+  input.peers[0].id = 5;  // self
+  EXPECT_FALSE(ValidateInput(input).ok());
+
+  input = base;
+  input.core_ids = {999};  // out of range
+  EXPECT_FALSE(ValidateInput(input).ok());
+}
+
+TEST(EvaluatePastryCost, HandComputed) {
+  SelectionInput input;
+  input.bits = 4;
+  input.self_id = 0b0000;
+  input.peers = {{0b1011, 2.0, -1}, {0b1111, 3.0, -1}};
+  input.core_ids = {0b1011};
+  // 1011 is core: d = 0, cost 2*(1+0) = 2.
+  // 1111: nearest neighbor 1011, lcp = 1, d = 3, cost 3*(1+3) = 12.
+  EXPECT_DOUBLE_EQ(EvaluatePastryCost(input, {}), 14.0);
+  // Choosing 1111 as auxiliary: its own d = 0 -> cost 2 + 3 = 5.
+  EXPECT_DOUBLE_EQ(EvaluatePastryCost(input, {0b1111}), 5.0);
+}
+
+TEST(EvaluatePastryCost, NoNeighborsCapsAtBits) {
+  SelectionInput input;
+  input.bits = 4;
+  input.self_id = 0;
+  input.peers = {{7, 2.0, -1}};
+  EXPECT_DOUBLE_EQ(EvaluatePastryCost(input, {}), 2.0 * (1 + 4));
+}
+
+TEST(EvaluateChordCost, HandComputed) {
+  SelectionInput input;
+  input.bits = 8;
+  input.self_id = 10;
+  input.peers = {{20, 1.0, -1}, {30, 5.0, -1}};
+  input.core_ids = {18};
+  // Peer 20: from core 18 distance 2, bitlen = 2. cost 1*(1+2) = 3.
+  // Peer 30: from 18 distance 12, bitlen = 4. cost 5*(1+4) = 25.
+  EXPECT_DOUBLE_EQ(EvaluateChordCost(input, {}), 28.0);
+  // Aux at 29: peer 30 served at distance 1: cost 5*(1+1) = 10.
+  input.peers.push_back({29, 0.0, -1});
+  EXPECT_DOUBLE_EQ(EvaluateChordCost(input, {29}), 13.0);
+}
+
+TEST(EvaluateChordCost, OvershootingNeighborDoesNotHelp) {
+  SelectionInput input;
+  input.bits = 8;
+  input.self_id = 0;
+  input.peers = {{100, 1.0, -1}};
+  // Neighbor just past the peer: clockwise distance 101 -> 255, bitlen 8 ==
+  // the no-neighbor cap.
+  EXPECT_DOUBLE_EQ(EvaluateChordCost(input, {101}), 1.0 * (1 + 8));
+}
+
+TEST(QosSatisfied, ChecksBounds) {
+  SelectionInput input;
+  input.bits = 8;
+  input.self_id = 0;
+  input.peers = {{0b10000000, 1.0, 2}};
+  EXPECT_FALSE(PastryQosSatisfied(input, {}));
+  // Neighbor sharing 6 bits: d = 2 <= bound.
+  EXPECT_TRUE(PastryQosSatisfied(input, {0b10000010}));
+  EXPECT_FALSE(PastryQosSatisfied(input, {0b10001000}));  // d = 4
+
+  input.peers = {{100, 1.0, 3}};
+  EXPECT_FALSE(ChordQosSatisfied(input, {}));
+  EXPECT_TRUE(ChordQosSatisfied(input, {95}));   // bitlen(5) = 3
+  EXPECT_FALSE(ChordQosSatisfied(input, {80}));  // bitlen(20) = 5
+}
+
+TEST(QosSatisfied, UnboundedAlwaysOk) {
+  SelectionInput input;
+  input.bits = 8;
+  input.self_id = 0;
+  input.peers = {{100, 1.0, -1}};
+  EXPECT_TRUE(PastryQosSatisfied(input, {}));
+  EXPECT_TRUE(ChordQosSatisfied(input, {}));
+}
+
+}  // namespace
+}  // namespace peercache::auxsel

@@ -1,0 +1,134 @@
+// Parameterized cross-validation sweeps over the whole selector family:
+// for every (bits, n, cores, k) cell, on several random instances,
+//   * Pastry greedy cost == Pastry DP cost (both claimed optimal),
+//   * Chord fast cost == Chord naive DP cost,
+//   * reported costs match independent Eq. 1 evaluation,
+//   * chosen sets are valid (size, no cores, no self, no duplicates).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "auxsel/chord_dp.h"
+#include "auxsel/chord_fast.h"
+#include "auxsel/pastry_dp.h"
+#include "auxsel/pastry_greedy.h"
+#include "auxsel/selection_types.h"
+#include "common/random.h"
+#include "test_util.h"
+
+namespace peercache::auxsel {
+namespace {
+
+using ::peercache::auxsel::testing::RandomInput;
+
+struct Cell {
+  int bits;
+  int n;
+  int cores;
+  int k;
+};
+
+void PrintTo(const Cell& c, std::ostream* os) {
+  *os << "bits" << c.bits << "_n" << c.n << "_c" << c.cores << "_k" << c.k;
+}
+
+class SelectorSweep : public ::testing::TestWithParam<Cell> {
+ protected:
+  static constexpr int kInstancesPerCell = 8;
+
+  SelectionInput MakeInstance(int instance) {
+    const Cell& c = GetParam();
+    Rng rng(0x5eed0000u + static_cast<uint64_t>(instance) * 7919u +
+            static_cast<uint64_t>(c.bits * 131 + c.n * 17 + c.k));
+    return RandomInput(rng, c.bits, c.n, c.cores, c.k);
+  }
+
+  static void CheckChosenValid(const SelectionInput& input,
+                               const Selection& sel) {
+    EXPECT_LE(static_cast<int>(sel.chosen.size()), input.k);
+    std::set<uint64_t> seen;
+    for (uint64_t id : sel.chosen) {
+      EXPECT_NE(id, input.self_id);
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate choice";
+      EXPECT_TRUE(std::find(input.core_ids.begin(), input.core_ids.end(),
+                            id) == input.core_ids.end())
+          << "core chosen as auxiliary";
+      // Chosen ids must come from V.
+      bool in_v = false;
+      for (const PeerFreq& p : input.peers) in_v |= (p.id == id);
+      EXPECT_TRUE(in_v) << "choice outside V";
+    }
+  }
+};
+
+TEST_P(SelectorSweep, PastryGreedyMatchesDp) {
+  for (int i = 0; i < kInstancesPerCell; ++i) {
+    SelectionInput input = MakeInstance(i);
+    auto dp = SelectPastryDp(input);
+    auto greedy = SelectPastryGreedy(input);
+    ASSERT_TRUE(dp.ok()) << dp.status();
+    ASSERT_TRUE(greedy.ok()) << greedy.status();
+    EXPECT_NEAR(greedy->cost, dp->cost, 1e-9 * (1 + dp->cost))
+        << "instance " << i;
+    EXPECT_NEAR(dp->cost, EvaluatePastryCost(input, dp->chosen), 1e-9);
+    EXPECT_NEAR(greedy->cost, EvaluatePastryCost(input, greedy->chosen),
+                1e-9);
+    CheckChosenValid(input, *dp);
+    CheckChosenValid(input, *greedy);
+  }
+}
+
+TEST_P(SelectorSweep, ChordFastMatchesNaiveDp) {
+  for (int i = 0; i < kInstancesPerCell; ++i) {
+    SelectionInput input = MakeInstance(i);
+    auto naive = SelectChordDp(input);
+    auto fast = SelectChordFast(input);
+    ASSERT_TRUE(naive.ok()) << naive.status();
+    ASSERT_TRUE(fast.ok()) << fast.status();
+    EXPECT_NEAR(fast->cost, naive->cost, 1e-9 * (1 + naive->cost))
+        << "instance " << i;
+    EXPECT_NEAR(naive->cost, EvaluateChordCost(input, naive->chosen), 1e-9);
+    EXPECT_NEAR(fast->cost, EvaluateChordCost(input, fast->chosen), 1e-9);
+    CheckChosenValid(input, *naive);
+    CheckChosenValid(input, *fast);
+  }
+}
+
+TEST_P(SelectorSweep, SelectionNeverWorseThanNoAuxiliaries) {
+  for (int i = 0; i < kInstancesPerCell; ++i) {
+    SelectionInput input = MakeInstance(i);
+    const double base_pastry = EvaluatePastryCost(input, {});
+    const double base_chord = EvaluateChordCost(input, {});
+    auto pastry = SelectPastryGreedy(input);
+    auto chord = SelectChordFast(input);
+    ASSERT_TRUE(pastry.ok() && chord.ok());
+    EXPECT_LE(pastry->cost, base_pastry + 1e-9);
+    EXPECT_LE(chord->cost, base_chord + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SelectorSweep,
+    ::testing::Values(
+        // Degenerate and tiny spaces.
+        Cell{4, 3, 0, 1}, Cell{4, 8, 2, 2}, Cell{6, 20, 3, 4},
+        // Typical mid sizes across id widths.
+        Cell{12, 40, 4, 6}, Cell{16, 64, 6, 8}, Cell{24, 100, 8, 10},
+        // Full-width ids (the experiments' 32-bit space and beyond).
+        Cell{32, 150, 10, 12}, Cell{48, 80, 5, 16}, Cell{64, 60, 4, 8},
+        // k larger than the candidate pool; k == 0.
+        Cell{16, 10, 2, 30}, Cell{16, 30, 3, 0},
+        // Core-heavy instance (most of V already neighbors).
+        Cell{16, 20, 18, 5}),
+    [](const ::testing::TestParamInfo<Cell>& info) {
+      return "bits" + std::to_string(info.param.bits) + "_n" +
+             std::to_string(info.param.n) + "_c" +
+             std::to_string(info.param.cores) + "_k" +
+             std::to_string(info.param.k);
+    });
+
+}  // namespace
+}  // namespace peercache::auxsel

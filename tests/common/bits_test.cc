@@ -1,0 +1,67 @@
+#include "common/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace peercache {
+namespace {
+
+TEST(Bits, BitLength) {
+  EXPECT_EQ(BitLength(0), 0);
+  EXPECT_EQ(BitLength(1), 1);
+  EXPECT_EQ(BitLength(2), 2);
+  EXPECT_EQ(BitLength(3), 2);
+  EXPECT_EQ(BitLength(4), 3);
+  EXPECT_EQ(BitLength(5), 3);
+  EXPECT_EQ(BitLength(255), 8);
+  EXPECT_EQ(BitLength(256), 9);
+  EXPECT_EQ(BitLength(~uint64_t{0}), 64);
+}
+
+TEST(Bits, CommonPrefixLength) {
+  EXPECT_EQ(CommonPrefixLength(0b1011, 0b1111, 4), 1);  // paper's example
+  EXPECT_EQ(CommonPrefixLength(0b1011, 0b1011, 4), 4);
+  EXPECT_EQ(CommonPrefixLength(0b0000, 0b1000, 4), 0);
+  EXPECT_EQ(CommonPrefixLength(0b1010, 0b1011, 4), 3);
+  EXPECT_EQ(CommonPrefixLength(0, ~uint64_t{0}, 64), 0);
+  EXPECT_EQ(CommonPrefixLength(5, 5, 64), 64);
+}
+
+TEST(Bits, CommonPrefixLengthSymmetric) {
+  for (uint64_t a = 0; a < 32; ++a) {
+    for (uint64_t b = 0; b < 32; ++b) {
+      EXPECT_EQ(CommonPrefixLength(a, b, 5), CommonPrefixLength(b, a, 5));
+    }
+  }
+}
+
+TEST(Bits, IdBit) {
+  // 0b1010 in a 4-bit space: bits from the top are 1,0,1,0.
+  EXPECT_EQ(IdBit(0b1010, 4, 0), 1);
+  EXPECT_EQ(IdBit(0b1010, 4, 1), 0);
+  EXPECT_EQ(IdBit(0b1010, 4, 2), 1);
+  EXPECT_EQ(IdBit(0b1010, 4, 3), 0);
+}
+
+TEST(Bits, LowBitMask) {
+  EXPECT_EQ(LowBitMask(0), 0u);
+  EXPECT_EQ(LowBitMask(1), 1u);
+  EXPECT_EQ(LowBitMask(8), 255u);
+  EXPECT_EQ(LowBitMask(64), ~uint64_t{0});
+}
+
+TEST(Bits, Logs) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(1023), 9);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(1023), 10);
+  EXPECT_EQ(CeilLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1025), 11);
+}
+
+}  // namespace
+}  // namespace peercache

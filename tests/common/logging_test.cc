@@ -1,0 +1,43 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace peercache {
+namespace {
+
+TEST(Logging, LevelRoundTrips) {
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(prev);
+}
+
+TEST(Logging, MacroCompilesAndFilters) {
+  LogLevel prev = GetLogLevel();
+  // Below-threshold messages must not evaluate their stream expressions.
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return 1;
+  };
+  PEERCACHE_LOG(kDebug) << "dropped " << count();
+  EXPECT_EQ(evaluations, 0) << "suppressed log must not evaluate operands";
+  PEERCACHE_LOG(kError) << "emitted " << count();
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(prev);
+}
+
+TEST(Logging, DefaultLevelIsWarning) {
+  // The library must be silent for INFO unless opted in. (The default is
+  // set at namespace scope; this test documents the contract.)
+  // Note: other tests may have changed the level; just verify the setter
+  // takes effect rather than asserting process-global state.
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+}  // namespace
+}  // namespace peercache

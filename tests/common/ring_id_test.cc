@@ -1,0 +1,74 @@
+#include "common/ring_id.h"
+
+#include <gtest/gtest.h>
+
+namespace peercache {
+namespace {
+
+TEST(IdSpace, Basics) {
+  IdSpace space(8);
+  EXPECT_EQ(space.bits(), 8);
+  EXPECT_EQ(space.size(), 256u);
+  EXPECT_TRUE(space.Contains(255));
+  EXPECT_FALSE(space.Contains(256));
+  EXPECT_EQ(space.Add(200, 100), 44u);
+}
+
+TEST(IdSpace, ClockwiseDistance) {
+  IdSpace space(8);
+  EXPECT_EQ(space.ClockwiseDistance(10, 20), 10u);
+  EXPECT_EQ(space.ClockwiseDistance(20, 10), 246u);
+  EXPECT_EQ(space.ClockwiseDistance(7, 7), 0u);
+}
+
+TEST(IdSpace, ChordHopEstimate) {
+  IdSpace space(8);
+  EXPECT_EQ(space.ChordHopEstimate(0, 0), 0);
+  EXPECT_EQ(space.ChordHopEstimate(0, 1), 1);
+  EXPECT_EQ(space.ChordHopEstimate(0, 2), 2);
+  EXPECT_EQ(space.ChordHopEstimate(0, 3), 2);
+  EXPECT_EQ(space.ChordHopEstimate(0, 128), 8);
+  // Asymmetric (paper remark after Eq. 6).
+  EXPECT_EQ(space.ChordHopEstimate(1, 0), 8);
+}
+
+TEST(IdSpace, PastryHopEstimate) {
+  IdSpace space(4);
+  EXPECT_EQ(space.PastryHopEstimate(0b1011, 0b1111), 3);  // paper's example
+  EXPECT_EQ(space.PastryHopEstimate(0b1011, 0b1011), 0);
+  // Symmetric.
+  EXPECT_EQ(space.PastryHopEstimate(0b0001, 0b1000),
+            space.PastryHopEstimate(0b1000, 0b0001));
+}
+
+TEST(IdSpace, ClockwiseRanges) {
+  IdSpace space(8);
+  EXPECT_TRUE(space.InClockwiseRangeExclIncl(10, 20, 20));
+  EXPECT_FALSE(space.InClockwiseRangeExclIncl(10, 10, 20));
+  EXPECT_TRUE(space.InClockwiseRangeExclIncl(250, 3, 5));  // wraps
+  EXPECT_FALSE(space.InClockwiseRangeExclIncl(250, 6, 5));
+  // from == to: whole ring.
+  EXPECT_TRUE(space.InClockwiseRangeExclIncl(9, 200, 9));
+
+  EXPECT_TRUE(space.InClockwiseRangeExclExcl(10, 15, 20));
+  EXPECT_FALSE(space.InClockwiseRangeExclExcl(10, 20, 20));
+  EXPECT_FALSE(space.InClockwiseRangeExclExcl(10, 10, 20));
+  EXPECT_TRUE(space.InClockwiseRangeExclExcl(9, 200, 9));
+  EXPECT_FALSE(space.InClockwiseRangeExclExcl(9, 9, 9));
+}
+
+TEST(IdSpace, ToBinaryString) {
+  IdSpace space(8);
+  EXPECT_EQ(space.ToBinaryString(0b10100001), "10100001");
+  EXPECT_EQ(space.ToBinaryString(0), "00000000");
+}
+
+TEST(IdSpace, SixtyFourBitSpace) {
+  IdSpace space(64);
+  EXPECT_EQ(space.ClockwiseDistance(~uint64_t{0}, 0), 1u);
+  EXPECT_EQ(space.ChordHopEstimate(~uint64_t{0}, 0), 1);
+  EXPECT_TRUE(space.Contains(~uint64_t{0}));
+}
+
+}  // namespace
+}  // namespace peercache

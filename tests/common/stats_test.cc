@@ -1,0 +1,96 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace peercache {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownValues) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombined) {
+  OnlineStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    double x = i * 0.7 - 3;
+    (i % 2 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Histogram, BasicCountsAndMean) {
+  Histogram h(10);
+  h.Add(1);
+  h.Add(1);
+  h.Add(4);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.BucketCount(1), 2u);
+  EXPECT_EQ(h.BucketCount(4), 1u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.0);
+}
+
+TEST(Histogram, Percentiles) {
+  Histogram h(20);
+  for (int v = 1; v <= 100; ++v) h.Add(v % 10);
+  EXPECT_EQ(h.Percentile(0.0), 0);
+  EXPECT_EQ(h.Percentile(0.5), 4);
+  EXPECT_EQ(h.Percentile(1.0), 9);
+}
+
+TEST(Histogram, Overflow) {
+  Histogram h(4);
+  h.Add(100);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 100.0);  // sum is exact even when bucketed out
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(5), b(5);
+  a.Add(1);
+  b.Add(1);
+  b.Add(2);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.BucketCount(1), 2u);
+  EXPECT_EQ(a.BucketCount(2), 1u);
+}
+
+TEST(Histogram, SummaryMentionsCount) {
+  Histogram h(5);
+  h.Add(2);
+  EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace peercache

@@ -1,0 +1,116 @@
+#include "common/top_n.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace peercache {
+namespace {
+
+TEST(SpaceSaving, ExactWhenUnderCapacity) {
+  SpaceSaving ss(10);
+  ss.Offer(1);
+  ss.Offer(2);
+  ss.Offer(1);
+  ss.Offer(3, 5);
+  EXPECT_EQ(ss.size(), 3u);
+  EXPECT_EQ(ss.stream_length(), 8u);
+  EXPECT_EQ(ss.EstimatedCount(1), 2u);
+  EXPECT_EQ(ss.EstimatedCount(2), 1u);
+  EXPECT_EQ(ss.EstimatedCount(3), 5u);
+  EXPECT_EQ(ss.EstimatedCount(99), 0u);
+  auto entries = ss.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].key, 3u);  // descending by count
+  EXPECT_EQ(entries[0].error, 0u);
+}
+
+TEST(SpaceSaving, EvictionInheritsMinCount) {
+  SpaceSaving ss(2);
+  ss.Offer(1, 10);
+  ss.Offer(2, 5);
+  ss.Offer(3);  // evicts key 2 (count 5): new count 6, error 5
+  EXPECT_EQ(ss.size(), 2u);
+  EXPECT_EQ(ss.EstimatedCount(2), 0u);
+  EXPECT_EQ(ss.EstimatedCount(3), 6u);
+  auto entries = ss.Entries();
+  auto it = std::find_if(entries.begin(), entries.end(),
+                         [](const TopNEntry& e) { return e.key == 3; });
+  ASSERT_NE(it, entries.end());
+  EXPECT_EQ(it->error, 5u);
+}
+
+TEST(SpaceSaving, OverestimationBoundHolds) {
+  // For every tracked key: true <= estimate <= true + error, and
+  // error <= N/m.
+  SpaceSaving ss(50);
+  Rng rng(1234);
+  ZipfDistribution zipf(500, 1.1);
+  std::map<uint64_t, uint64_t> truth;
+  constexpr int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t key = zipf.Sample(rng);
+    ++truth[key];
+    ss.Offer(key);
+  }
+  for (const TopNEntry& e : ss.Entries()) {
+    uint64_t t = truth[e.key];
+    EXPECT_LE(t, e.count) << "key " << e.key;
+    EXPECT_LE(e.count, t + e.error) << "key " << e.key;
+    EXPECT_LE(e.error, static_cast<uint64_t>(kDraws) / 50) << "key " << e.key;
+  }
+}
+
+TEST(SpaceSaving, GuaranteedHeavyHittersPresent) {
+  // Every key with true frequency > N/m must be tracked.
+  SpaceSaving ss(20);
+  Rng rng(77);
+  ZipfDistribution zipf(300, 1.3);
+  std::map<uint64_t, uint64_t> truth;
+  constexpr uint64_t kDraws = 40000;
+  for (uint64_t i = 0; i < kDraws; ++i) {
+    uint64_t key = zipf.Sample(rng);
+    ++truth[key];
+    ss.Offer(key);
+  }
+  for (const auto& [key, count] : truth) {
+    if (count > kDraws / 20) {
+      EXPECT_GT(ss.EstimatedCount(key), 0u) << "heavy hitter " << key;
+    }
+  }
+}
+
+TEST(SpaceSaving, EntriesSortedDescending) {
+  SpaceSaving ss(8);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) ss.Offer(rng.UniformU64(30));
+  auto entries = ss.Entries();
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i - 1].count, entries[i].count);
+  }
+}
+
+TEST(SpaceSaving, CapacityOne) {
+  SpaceSaving ss(1);
+  ss.Offer(1);
+  ss.Offer(2);
+  ss.Offer(2);
+  EXPECT_EQ(ss.size(), 1u);
+  EXPECT_EQ(ss.EstimatedCount(2), 3u);  // 1 (inherited) + 2
+}
+
+TEST(SpaceSaving, ClearResets) {
+  SpaceSaving ss(4);
+  ss.Offer(1);
+  ss.Clear();
+  EXPECT_EQ(ss.size(), 0u);
+  EXPECT_EQ(ss.stream_length(), 0u);
+  EXPECT_EQ(ss.EstimatedCount(1), 0u);
+}
+
+}  // namespace
+}  // namespace peercache

@@ -1,0 +1,66 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace peercache {
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+  for (double alpha : {0.0, 0.91, 1.2, 2.0}) {
+    ZipfDistribution zipf(1000, alpha);
+    double sum = 0;
+    for (size_t r = 1; r <= 1000; ++r) sum += zipf.Pmf(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "alpha=" << alpha;
+  }
+}
+
+TEST(Zipf, PmfDecreasesWithRank) {
+  ZipfDistribution zipf(100, 1.2);
+  for (size_t r = 1; r < 100; ++r) {
+    EXPECT_GT(zipf.Pmf(r), zipf.Pmf(r + 1));
+  }
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  ZipfDistribution zipf(50, 0.0);
+  for (size_t r = 1; r <= 50; ++r) {
+    EXPECT_NEAR(zipf.Pmf(r), 1.0 / 50, 1e-12);
+  }
+}
+
+TEST(Zipf, PmfRatioMatchesExponent) {
+  ZipfDistribution zipf(100, 1.2);
+  EXPECT_NEAR(zipf.Pmf(1) / zipf.Pmf(2), std::pow(2.0, 1.2), 1e-9);
+  EXPECT_NEAR(zipf.Pmf(2) / zipf.Pmf(4), std::pow(2.0, 1.2), 1e-9);
+}
+
+TEST(Zipf, SampleMatchesPmf) {
+  ZipfDistribution zipf(64, 1.2);
+  Rng rng(97);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(65, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    size_t r = zipf.Sample(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 64u);
+    ++counts[r];
+  }
+  for (size_t r = 1; r <= 8; ++r) {
+    double expected = zipf.Pmf(r) * kDraws;
+    EXPECT_NEAR(counts[r], expected, 5 * std::sqrt(expected) + 5)
+        << "rank " << r;
+  }
+}
+
+TEST(Zipf, SingleRank) {
+  ZipfDistribution zipf(1, 1.2);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(zipf.Pmf(1), 1.0);
+  EXPECT_EQ(zipf.Sample(rng), 1u);
+}
+
+}  // namespace
+}  // namespace peercache

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "experiments/chord_experiment.h"
+#include "experiments/pastry_experiment.h"
+
+namespace peercache::experiments {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig cfg;
+  cfg.n_nodes = 128;
+  cfg.k = 7;  // log2(128)
+  cfg.alpha = 1.2;
+  cfg.n_items = 512;
+  cfg.warmup_queries_per_node = 150;
+  cfg.measure_queries_per_node = 80;
+  cfg.seed = 20260708;
+  return cfg;
+}
+
+TEST(ChordExperiment, StableOptimalBeatsOblivious) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.n_popularity_lists = 5;
+  auto cmp = CompareChordStable(cfg);
+  ASSERT_TRUE(cmp.ok()) << cmp.status();
+  EXPECT_DOUBLE_EQ(cmp->oblivious.success_rate, 1.0);
+  EXPECT_DOUBLE_EQ(cmp->optimal.success_rate, 1.0);
+  EXPECT_GT(cmp->improvement_pct, 10.0)
+      << "optimal should clearly beat oblivious on zipf(1.2)";
+  EXPECT_LT(cmp->improvement_pct, 100.0);
+}
+
+TEST(ChordExperiment, AuxiliariesBeatBareOverlay) {
+  ExperimentConfig cfg = SmallConfig();
+  auto none = RunChordStable(cfg, SelectorKind::kNone);
+  auto oblivious = RunChordStable(cfg, SelectorKind::kOblivious);
+  auto optimal = RunChordStable(cfg, SelectorKind::kOptimal);
+  ASSERT_TRUE(none.ok() && oblivious.ok() && optimal.ok());
+  EXPECT_LT(oblivious->avg_hops, none->avg_hops)
+      << "even random auxiliaries help";
+  EXPECT_LT(optimal->avg_hops, oblivious->avg_hops);
+}
+
+TEST(ChordExperiment, ImprovementGrowsWithSkew) {
+  // Paper Sec. VI: gains grow with the zipf parameter.
+  ExperimentConfig cfg = SmallConfig();
+  cfg.alpha = 0.5;
+  auto mild = CompareChordStable(cfg);
+  cfg.alpha = 1.5;
+  auto heavy = CompareChordStable(cfg);
+  ASSERT_TRUE(mild.ok() && heavy.ok());
+  EXPECT_GT(heavy->improvement_pct, mild->improvement_pct);
+}
+
+TEST(ChordExperiment, ChurnRunsAndStillImproves) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.n_popularity_lists = 5;
+  ChurnConfig churn;
+  churn.warmup_s = 1200;
+  churn.measure_s = 1200;
+  auto cmp = CompareChordChurn(cfg, churn);
+  ASSERT_TRUE(cmp.ok()) << cmp.status();
+  EXPECT_GT(cmp->optimal.queries, 1000u);
+  EXPECT_GT(cmp->optimal.success_rate, 0.9)
+      << "churned overlay should still answer most queries";
+  EXPECT_GT(cmp->improvement_pct, 0.0);
+}
+
+TEST(ChordExperiment, DeterministicForSeed) {
+  ExperimentConfig cfg = SmallConfig();
+  auto a = RunChordStable(cfg, SelectorKind::kOptimal);
+  auto b = RunChordStable(cfg, SelectorKind::kOptimal);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->avg_hops, b->avg_hops);
+  cfg.seed = 999;
+  auto c = RunChordStable(cfg, SelectorKind::kOptimal);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->avg_hops, c->avg_hops) << "different seed, different run";
+}
+
+TEST(PastryExperiment, StableOptimalBeatsOblivious) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.n_popularity_lists = 1;  // identical ranking, paper's Pastry setup
+  auto cmp = ComparePastryStable(cfg);
+  ASSERT_TRUE(cmp.ok()) << cmp.status();
+  EXPECT_DOUBLE_EQ(cmp->oblivious.success_rate, 1.0);
+  EXPECT_DOUBLE_EQ(cmp->optimal.success_rate, 1.0);
+  EXPECT_GT(cmp->improvement_pct, 5.0);
+  EXPECT_LT(cmp->improvement_pct, 100.0);
+}
+
+TEST(PastryExperiment, LowerAlphaLowersImprovement) {
+  // Paper Fig. 3: alpha = 0.91 gains are clearly below alpha = 1.2 gains.
+  ExperimentConfig cfg = SmallConfig();
+  cfg.alpha = 1.2;
+  auto high = ComparePastryStable(cfg);
+  cfg.alpha = 0.5;  // wider gap than 0.91 to keep the test robust
+  auto low = ComparePastryStable(cfg);
+  ASSERT_TRUE(high.ok() && low.ok());
+  EXPECT_GT(high->improvement_pct, low->improvement_pct);
+}
+
+TEST(PastryExperiment, DeterministicForSeed) {
+  ExperimentConfig cfg = SmallConfig();
+  auto a = RunPastryStable(cfg, SelectorKind::kOptimal);
+  auto b = RunPastryStable(cfg, SelectorKind::kOptimal);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->avg_hops, b->avg_hops);
+}
+
+
+TEST(PastryExperiment, ChurnRunsAndStillImproves) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.n_popularity_lists = 1;
+  ChurnConfig churn;
+  churn.warmup_s = 1200;
+  churn.measure_s = 1200;
+  auto cmp = ComparePastryChurn(cfg, churn);
+  ASSERT_TRUE(cmp.ok()) << cmp.status();
+  EXPECT_GT(cmp->optimal.queries, 1000u);
+  EXPECT_GT(cmp->optimal.success_rate, 0.9);
+  EXPECT_GT(cmp->improvement_pct, 0.0);
+}
+
+TEST(PastryExperiment, ChurnDeterministicForSeed) {
+  ExperimentConfig cfg = SmallConfig();
+  ChurnConfig churn;
+  churn.warmup_s = 600;
+  churn.measure_s = 600;
+  auto a = RunPastryChurn(cfg, churn, SelectorKind::kOptimal);
+  auto b = RunPastryChurn(cfg, churn, SelectorKind::kOptimal);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->avg_hops, b->avg_hops);
+  EXPECT_EQ(a->queries, b->queries);
+}
+
+TEST(Experiments, ImprovementPctFormula) {
+  EXPECT_DOUBLE_EQ(ImprovementPct(4.0, 2.0), 50.0);
+  EXPECT_DOUBLE_EQ(ImprovementPct(4.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(ImprovementPct(0.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace peercache::experiments

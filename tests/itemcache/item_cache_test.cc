@@ -1,0 +1,100 @@
+#include "itemcache/item_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "itemcache/strategy_compare.h"
+
+namespace peercache::itemcache {
+namespace {
+
+TEST(ItemCache, MissThenHit) {
+  ItemCache cache(4, 10.0);
+  EXPECT_FALSE(cache.Lookup(1, 0.0).hit);
+  cache.Store(1, 7, 0.0);
+  auto probe = cache.Lookup(1, 5.0);
+  EXPECT_TRUE(probe.hit);
+  EXPECT_EQ(probe.version, 7u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ItemCache, TtlExpires) {
+  ItemCache cache(4, 10.0);
+  cache.Store(1, 7, 0.0);
+  EXPECT_TRUE(cache.Lookup(1, 9.99).hit);
+  EXPECT_FALSE(cache.Lookup(1, 10.0).hit) << "expired exactly at TTL";
+  EXPECT_EQ(cache.size(), 0u) << "expired entry evicted on probe";
+}
+
+TEST(ItemCache, CapacityEvictsClosestToExpiry) {
+  ItemCache cache(2, 10.0);
+  cache.Store(1, 0, 0.0);  // expires at 10
+  cache.Store(2, 0, 5.0);  // expires at 15
+  cache.Store(3, 0, 6.0);  // evicts key 1
+  EXPECT_FALSE(cache.Lookup(1, 6.0).hit);
+  EXPECT_TRUE(cache.Lookup(2, 6.0).hit);
+  EXPECT_TRUE(cache.Lookup(3, 6.0).hit);
+}
+
+TEST(ItemCache, StoreExistingKeyRefreshes) {
+  ItemCache cache(1, 10.0);
+  cache.Store(1, 0, 0.0);
+  cache.Store(1, 3, 8.0);  // same key: no eviction needed
+  auto probe = cache.Lookup(1, 17.0);
+  EXPECT_TRUE(probe.hit);
+  EXPECT_EQ(probe.version, 3u);
+}
+
+TEST(ItemCache, InvalidateAndClear) {
+  ItemCache cache(0, 10.0);  // unbounded
+  cache.Store(1, 0, 0.0);
+  cache.Store(2, 0, 0.0);
+  cache.Invalidate(1);
+  EXPECT_FALSE(cache.Lookup(1, 1.0).hit);
+  EXPECT_TRUE(cache.Lookup(2, 1.0).hit);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(AuthoritativeItems, VersionsAdvance) {
+  AuthoritativeItems items(3);
+  EXPECT_EQ(items.Version(0), 0u);
+  items.Update(0);
+  items.Update(0);
+  items.Update(2);
+  EXPECT_EQ(items.Version(0), 2u);
+  EXPECT_EQ(items.Version(1), 0u);
+  EXPECT_EQ(items.Version(2), 1u);
+  EXPECT_EQ(items.total_updates(), 3u);
+}
+
+TEST(StrategyCompare, PeerCachingWinsUnderFastUpdates) {
+  StrategyCompareConfig cfg;
+  cfg.n_nodes = 128;
+  cfg.n_items = 512;
+  cfg.duration_s = 400;
+  cfg.item_update_period_s = 30;  // items churn fast
+  auto cmp = CompareStrategies(cfg);
+  ASSERT_TRUE(cmp.ok()) << cmp.status();
+  // Peer caching beats plain routing and never serves stale answers.
+  EXPECT_LT(cmp->peer_cache.avg_hops, cmp->baseline.avg_hops);
+  EXPECT_DOUBLE_EQ(cmp->peer_cache.stale_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(cmp->peer_cache.update_messages, 0.0);
+  // Item caching serves a meaningful fraction of stale answers here.
+  EXPECT_GT(cmp->item_cache.stale_fraction, 0.05);
+  // Replication pays update traffic; peer caching pays none.
+  EXPECT_GT(cmp->replication.update_messages, 0.0);
+}
+
+TEST(StrategyCompare, ReplicationShortensHotLookups) {
+  StrategyCompareConfig cfg;
+  cfg.n_nodes = 128;
+  cfg.n_items = 512;
+  cfg.duration_s = 400;
+  auto cmp = CompareStrategies(cfg);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_LT(cmp->replication.avg_hops, cmp->baseline.avg_hops);
+}
+
+}  // namespace
+}  // namespace peercache::itemcache

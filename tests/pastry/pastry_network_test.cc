@@ -1,0 +1,215 @@
+#include "pastry/pastry_network.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/bits.h"
+#include "common/random.h"
+
+namespace peercache::pastry {
+namespace {
+
+PastryNetwork MakeNetwork(int bits, const std::vector<uint64_t>& ids,
+                          uint64_t seed = 11) {
+  PastryParams params;
+  params.bits = bits;
+  PastryNetwork net(params, seed);
+  for (uint64_t id : ids) {
+    EXPECT_TRUE(net.AddNode(id).ok());
+  }
+  net.StabilizeAll();
+  return net;
+}
+
+TEST(PastryNetwork, AddRemoveRejoin) {
+  PastryParams params;
+  params.bits = 8;
+  PastryNetwork net(params, 1);
+  ASSERT_TRUE(net.AddNode(10).ok());
+  ASSERT_TRUE(net.AddNode(200).ok());
+  EXPECT_FALSE(net.AddNode(10).ok());
+  EXPECT_FALSE(net.AddNode(999).ok());
+  ASSERT_TRUE(net.RemoveNode(10).ok());
+  EXPECT_FALSE(net.IsAlive(10));
+  ASSERT_TRUE(net.RejoinNode(10).ok());
+  EXPECT_TRUE(net.IsAlive(10));
+}
+
+TEST(PastryNetwork, ResponsibleNodeIsNumericallyClosest) {
+  PastryNetwork net = MakeNetwork(8, {10, 100, 200});
+  EXPECT_EQ(net.ResponsibleNode(10).value(), 10u);
+  EXPECT_EQ(net.ResponsibleNode(54).value(), 10u);
+  EXPECT_EQ(net.ResponsibleNode(56).value(), 100u);
+  EXPECT_EQ(net.ResponsibleNode(220).value(), 200u);
+  // 240 wraps: ring distance to 10 is 26, to 200 is 40 -> 10.
+  EXPECT_EQ(net.ResponsibleNode(240).value(), 10u);
+  EXPECT_EQ(net.ResponsibleNode(255).value(), 10u);
+  // Exact midpoint 55: distances 45/45, lower id wins.
+  EXPECT_EQ(net.ResponsibleNode(55).value(), 10u);
+}
+
+TEST(PastryNetwork, RoutingRowsShareExactPrefix) {
+  Rng rng(9);
+  auto ids = rng.SampleDistinct(uint64_t{1} << 12, 40);
+  PastryNetwork net = MakeNetwork(12, ids);
+  for (uint64_t id : ids) {
+    const PastryNode* node = net.GetNode(id);
+    for (int row = 0; row < 12; ++row) {
+      uint64_t w = node->routing_rows[static_cast<size_t>(row)];
+      if (w == PastryNetwork::kNoEntry) continue;
+      EXPECT_EQ(CommonPrefixLength(id, w, 12), row)
+          << "row " << row << " of node " << id;
+    }
+  }
+}
+
+TEST(PastryNetwork, RowEntriesAreProximityClosest) {
+  Rng rng(10);
+  auto ids = rng.SampleDistinct(uint64_t{1} << 12, 60);
+  PastryNetwork net = MakeNetwork(12, ids);
+  // Re-derive the proximity-optimal entry for a few nodes/rows.
+  for (size_t i = 0; i < 5; ++i) {
+    uint64_t id = ids[i];
+    const PastryNode* node = net.GetNode(id);
+    for (int row = 0; row < 12; ++row) {
+      uint64_t entry = node->routing_rows[static_cast<size_t>(row)];
+      double entry_dist = 0;
+      if (entry != PastryNetwork::kNoEntry) {
+        const Coord& a = node->coord;
+        const Coord& b = net.GetNode(entry)->coord;
+        entry_dist = (a.x - b.x) * (a.x - b.x) + (a.y - b.y) * (a.y - b.y);
+      }
+      for (uint64_t w : ids) {
+        if (w == id || CommonPrefixLength(id, w, 12) != row) continue;
+        ASSERT_NE(entry, PastryNetwork::kNoEntry)
+            << "row " << row << " should not be empty";
+        const Coord& a = node->coord;
+        const Coord& b = net.GetNode(w)->coord;
+        double d = (a.x - b.x) * (a.x - b.x) + (a.y - b.y) * (a.y - b.y);
+        EXPECT_GE(d + 1e-12, entry_dist) << "closer candidate missed";
+      }
+    }
+  }
+}
+
+TEST(PastryNetwork, LookupAlwaysSucceedsWhenStable) {
+  Rng rng(123);
+  auto ids = rng.SampleDistinct(uint64_t{1} << 16, 100);
+  PastryNetwork net = MakeNetwork(16, ids);
+  for (int t = 0; t < 500; ++t) {
+    uint64_t key = rng.UniformU64(uint64_t{1} << 16);
+    uint64_t origin = ids[static_cast<size_t>(rng.UniformU64(ids.size()))];
+    auto route = net.Lookup(origin, key);
+    ASSERT_TRUE(route.ok());
+    EXPECT_TRUE(route->success) << "key " << key << " from " << origin;
+    EXPECT_EQ(route->destination, net.ResponsibleNode(key).value());
+  }
+}
+
+TEST(PastryNetwork, PrefixGrowsAlongRoute) {
+  // The hop count is bounded by roughly one hop per fixed bit plus the
+  // final leaf-set step.
+  Rng rng(321);
+  auto ids = rng.SampleDistinct(uint64_t{1} << 24, 200);
+  PastryNetwork net = MakeNetwork(24, ids);
+  for (int t = 0; t < 300; ++t) {
+    uint64_t key = rng.UniformU64(uint64_t{1} << 24);
+    uint64_t origin = ids[static_cast<size_t>(rng.UniformU64(ids.size()))];
+    auto route = net.Lookup(origin, key);
+    ASSERT_TRUE(route.ok());
+    EXPECT_LE(route->hops, 26);
+  }
+}
+
+TEST(PastryNetwork, AuxiliaryPointerShortensRoute) {
+  Rng rng(456);
+  auto ids = rng.SampleDistinct(uint64_t{1} << 16, 128);
+  PastryNetwork net = MakeNetwork(16, ids);
+  const uint64_t origin = ids[0];
+  // Find a multi-hop destination, install it as auxiliary, re-route.
+  for (uint64_t target : ids) {
+    if (target == origin) continue;
+    auto before = net.Lookup(origin, target);
+    ASSERT_TRUE(before.ok());
+    if (before->hops < 3) continue;
+    ASSERT_TRUE(net.SetAuxiliaries(origin, {target}).ok());
+    auto after = net.Lookup(origin, target);
+    ASSERT_TRUE(after.ok());
+    EXPECT_TRUE(after->success);
+    EXPECT_EQ(after->hops, 1) << "direct pointer must make it one hop";
+    return;
+  }
+  FAIL() << "no multi-hop destination found";
+}
+
+TEST(PastryNetwork, DeadEntriesSkippedAfterCrash) {
+  Rng rng(789);
+  auto ids = rng.SampleDistinct(uint64_t{1} << 16, 60);
+  PastryNetwork net = MakeNetwork(16, ids);
+  // Crash some nodes without stabilizing survivors; lookups between
+  // survivors must still terminate and deliver somewhere sensible.
+  for (size_t i = 0; i < ids.size(); i += 4) {
+    ASSERT_TRUE(net.RemoveNode(ids[i]).ok());
+  }
+  int delivered = 0;
+  for (int t = 0; t < 200; ++t) {
+    uint64_t key = rng.UniformU64(uint64_t{1} << 16);
+    uint64_t origin;
+    do {
+      origin = ids[static_cast<size_t>(rng.UniformU64(ids.size()))];
+    } while (!net.IsAlive(origin));
+    auto route = net.Lookup(origin, key);
+    ASSERT_TRUE(route.ok());
+    EXPECT_TRUE(net.IsAlive(route->destination));
+    delivered += route->success;
+  }
+  // Stale tables may misdeliver occasionally, but most should still land.
+  EXPECT_GT(delivered, 150);
+  // After stabilization everything recovers.
+  net.StabilizeAll();
+  for (int t = 0; t < 200; ++t) {
+    uint64_t key = rng.UniformU64(uint64_t{1} << 16);
+    uint64_t origin;
+    do {
+      origin = ids[static_cast<size_t>(rng.UniformU64(ids.size()))];
+    } while (!net.IsAlive(origin));
+    EXPECT_TRUE(net.Lookup(origin, key)->success);
+  }
+}
+
+TEST(PastryNetwork, TinyOverlays) {
+  PastryNetwork net = MakeNetwork(8, {42});
+  auto route = net.Lookup(42, 7);
+  ASSERT_TRUE(route.ok());
+  EXPECT_TRUE(route->success);
+  EXPECT_EQ(route->hops, 0);
+  EXPECT_EQ(route->destination, 42u);
+
+  PastryNetwork net2 = MakeNetwork(8, {42, 100});
+  auto route2 = net2.Lookup(42, 101);
+  ASSERT_TRUE(route2.ok());
+  EXPECT_TRUE(route2->success);
+  EXPECT_EQ(route2->destination, 100u);
+}
+
+TEST(PastryNetwork, CoreNeighborIdsIncludeRowsAndLeafSet) {
+  Rng rng(31);
+  auto ids = rng.SampleDistinct(uint64_t{1} << 16, 50);
+  PastryNetwork net = MakeNetwork(16, ids);
+  auto cores = net.CoreNeighborIds(ids[0]);
+  const PastryNode* node = net.GetNode(ids[0]);
+  for (uint64_t w : node->leaf_set) {
+    EXPECT_TRUE(std::find(cores.begin(), cores.end(), w) != cores.end());
+  }
+  for (uint64_t w : node->routing_rows) {
+    if (w == PastryNetwork::kNoEntry) continue;
+    EXPECT_TRUE(std::find(cores.begin(), cores.end(), w) != cores.end());
+  }
+  std::set<uint64_t> dedup(cores.begin(), cores.end());
+  EXPECT_EQ(dedup.size(), cores.size());
+}
+
+}  // namespace
+}  // namespace peercache::pastry

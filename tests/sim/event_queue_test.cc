@@ -1,0 +1,86 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace peercache::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  while (q.RunNext()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, EqualTimesFireFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (q.RunNext()) {
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  double fired_at = -1;
+  q.ScheduleAt(10.0, [&] {
+    q.ScheduleAfter(5.0, [&] { fired_at = q.now(); });
+  });
+  while (q.RunNext()) {
+  }
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int count = 0;
+  q.ScheduleAt(1.0, [&] { ++count; });
+  q.ScheduleAt(2.0, [&] { ++count; });
+  q.ScheduleAt(3.0, [&] { ++count; });
+  q.RunUntil(2.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.RunUntil(10.0);
+  EXPECT_EQ(count, 3);
+  EXPECT_DOUBLE_EQ(q.now(), 10.0) << "clock advances to t_end";
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) q.ScheduleAfter(1.0, chain);
+  };
+  q.ScheduleAt(0.0, chain);
+  q.RunUntil(1000.0);
+  EXPECT_EQ(depth, 100);
+}
+
+TEST(EventQueue, ClearDropsPending) {
+  EventQueue q;
+  int count = 0;
+  q.ScheduleAt(1.0, [&] { ++count; });
+  q.Clear();
+  EXPECT_EQ(q.pending(), 0u);
+  q.RunUntil(5.0);
+  EXPECT_EQ(count, 0);
+}
+
+TEST(EventQueue, RunNextOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.RunNext());
+}
+
+}  // namespace
+}  // namespace peercache::sim

@@ -1,0 +1,107 @@
+#ifndef PEERCACHE_TESTS_TEST_UTIL_H_
+#define PEERCACHE_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "auxsel/selection_types.h"
+#include "common/random.h"
+
+namespace peercache::auxsel::testing {
+
+/// Generates a random selection instance: distinct ids for self, peers, and
+/// cores; frequencies uniform in [0, 100); cores drawn from peers with
+/// probability 1/2 each, otherwise fresh ids.
+inline SelectionInput RandomInput(Rng& rng, int bits, int n_peers, int n_cores,
+                                  int k) {
+  SelectionInput input;
+  input.bits = bits;
+  input.k = k;
+  const uint64_t bound = (bits == 64) ? ~uint64_t{0} : (uint64_t{1} << bits);
+  // Small id spaces cannot host arbitrarily many distinct ids; shrink the
+  // instance rather than exhausting the space.
+  while (static_cast<uint64_t>(n_peers + n_cores) + 1 > bound) {
+    if (n_peers > 0) {
+      --n_peers;
+    } else {
+      --n_cores;
+    }
+  }
+  auto ids =
+      rng.SampleDistinct(bound, static_cast<size_t>(n_peers + n_cores) + 1);
+  input.self_id = ids[0];
+  for (int i = 0; i < n_peers; ++i) {
+    input.peers.push_back(
+        PeerFreq{ids[static_cast<size_t>(1 + i)],
+                 static_cast<double>(rng.UniformU64(10000)) / 100.0, -1});
+  }
+  for (int i = 0; i < n_cores; ++i) {
+    if (n_peers > 0 && rng.Bernoulli(0.5)) {
+      // Core that the node has also seen queries for.
+      input.core_ids.push_back(
+          input.peers[static_cast<size_t>(rng.UniformU64(
+                          static_cast<uint64_t>(n_peers)))]
+              .id);
+    } else {
+      input.core_ids.push_back(ids[static_cast<size_t>(1 + n_peers + i)]);
+    }
+  }
+  return input;
+}
+
+/// Candidate ids: peers that are not core neighbors.
+inline std::vector<uint64_t> Candidates(const SelectionInput& input) {
+  std::vector<uint64_t> cands;
+  for (const PeerFreq& p : input.peers) {
+    if (std::find(input.core_ids.begin(), input.core_ids.end(), p.id) ==
+        input.core_ids.end()) {
+      cands.push_back(p.id);
+    }
+  }
+  return cands;
+}
+
+/// Exhaustive optimum over all candidate subsets of size <= k, using the
+/// given Eq. 1 evaluator. Exponential; for small instances only.
+template <typename EvalFn>
+double BruteForceBestCost(const SelectionInput& input, EvalFn eval) {
+  std::vector<uint64_t> cands = Candidates(input);
+  const size_t n = cands.size();
+  double best = eval(input, {});
+  // Enumerate subsets by bitmask; keep only those with popcount <= k.
+  for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
+    if (__builtin_popcountll(mask) > input.k) continue;
+    std::vector<uint64_t> subset;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) subset.push_back(cands[i]);
+    }
+    best = std::min(best, eval(input, subset));
+  }
+  return best;
+}
+
+/// Exhaustive QoS optimum: minimum cost over subsets of size <= k that
+/// satisfy every delay bound; +inf when none does.
+template <typename EvalFn, typename QosFn>
+double BruteForceBestQosCost(const SelectionInput& input, EvalFn eval,
+                             QosFn qos_ok) {
+  std::vector<uint64_t> cands = Candidates(input);
+  const size_t n = cands.size();
+  double best = std::numeric_limits<double>::infinity();
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    if (__builtin_popcountll(mask) > input.k) continue;
+    std::vector<uint64_t> subset;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) subset.push_back(cands[i]);
+    }
+    if (!qos_ok(input, subset)) continue;
+    best = std::min(best, eval(input, subset));
+  }
+  return best;
+}
+
+}  // namespace peercache::auxsel::testing
+
+#endif  // PEERCACHE_TESTS_TEST_UTIL_H_

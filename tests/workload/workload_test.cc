@@ -1,0 +1,114 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace peercache::workload {
+namespace {
+
+TEST(ItemSpace, KeysDistinctAndInRange) {
+  ItemSpace items(16, 5000, 42);
+  EXPECT_EQ(items.n_items(), 5000u);
+  std::set<uint64_t> seen;
+  for (size_t i = 0; i < items.n_items(); ++i) {
+    uint64_t key = items.ItemKey(i);
+    EXPECT_LT(key, uint64_t{1} << 16);
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate key";
+  }
+}
+
+TEST(ItemSpace, DeterministicForSeed) {
+  ItemSpace a(20, 100, 7), b(20, 100, 7), c(20, 100, 8);
+  EXPECT_EQ(a.keys(), b.keys());
+  EXPECT_NE(a.keys(), c.keys());
+}
+
+TEST(PopularityModel, ListsArePermutations) {
+  PopularityModel pop(50, 1.2, 5, 99);
+  EXPECT_EQ(pop.n_lists(), 5);
+  for (int list = 0; list < 5; ++list) {
+    std::set<size_t> seen;
+    for (size_t rank = 1; rank <= 50; ++rank) {
+      seen.insert(pop.ItemAtRank(list, rank));
+    }
+    EXPECT_EQ(seen.size(), 50u);
+  }
+}
+
+TEST(PopularityModel, ListsDiffer) {
+  PopularityModel pop(100, 1.2, 5, 99);
+  int differing = 0;
+  for (size_t rank = 1; rank <= 100; ++rank) {
+    if (pop.ItemAtRank(0, rank) != pop.ItemAtRank(1, rank)) ++differing;
+  }
+  EXPECT_GT(differing, 50) << "two lists should rank items differently";
+}
+
+TEST(PopularityModel, SampleFollowsZipfOverRanks) {
+  PopularityModel pop(64, 1.2, 2, 5);
+  Rng rng(6);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 30000; ++i) ++counts[pop.SampleItem(0, rng)];
+  // The rank-1 item of list 0 must be the most frequent draw.
+  size_t hottest = pop.ItemAtRank(0, 1);
+  for (const auto& [item, count] : counts) {
+    EXPECT_LE(count, counts[hottest] + 1) << "item " << item;
+  }
+}
+
+TEST(QueryWorkload, ListAssignmentStableAndCovering) {
+  ItemSpace items(16, 100, 1);
+  PopularityModel pop(100, 1.2, 5, 2);
+  QueryWorkload wl(items, pop, 3);
+  std::set<int> lists;
+  for (uint64_t node = 0; node < 200; ++node) {
+    int l = wl.ListOf(node);
+    EXPECT_EQ(l, wl.ListOf(node)) << "assignment must be sticky";
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 5);
+    lists.insert(l);
+  }
+  EXPECT_EQ(lists.size(), 5u) << "all lists should be used by 200 nodes";
+}
+
+TEST(QueryWorkload, SampleKeyReturnsItemKeys) {
+  ItemSpace items(16, 50, 1);
+  PopularityModel pop(50, 1.2, 1, 2);
+  QueryWorkload wl(items, pop, 3);
+  std::set<uint64_t> valid(items.keys().begin(), items.keys().end());
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(valid.count(wl.SampleKey(7, rng)));
+  }
+}
+
+TEST(QueryWorkload, SingleListMakesNodesAgree) {
+  // n_lists = 1 (the paper's Pastry setup): every node's hottest item is
+  // the same.
+  ItemSpace items(16, 40, 1);
+  PopularityModel pop(40, 1.5, 1, 2);
+  QueryWorkload wl(items, pop, 3);
+  Rng rng(5);
+  std::map<uint64_t, std::map<uint64_t, int>> counts;
+  for (uint64_t node : {1u, 2u, 3u}) {
+    for (int i = 0; i < 5000; ++i) ++counts[node][wl.SampleKey(node, rng)];
+  }
+  auto hottest = [&](uint64_t node) {
+    uint64_t best = 0;
+    int best_count = -1;
+    for (auto& [k, c] : counts[node]) {
+      if (c > best_count) {
+        best = k;
+        best_count = c;
+      }
+    }
+    return best;
+  };
+  EXPECT_EQ(hottest(1), hottest(2));
+  EXPECT_EQ(hottest(2), hottest(3));
+}
+
+}  // namespace
+}  // namespace peercache::workload
