@@ -18,10 +18,14 @@ namespace peercache::bench {
 ///   --quick        shrink workloads for a fast smoke run
 ///   --seeds N      average improvements over N seeds (default 1)
 ///   --seed  S      base seed (default 1)
+///   --threads T    worker threads for the per-node experiment loops
+///                  (0 = all hardware threads, 1 = serial; measured
+///                  numbers are identical for every value)
 struct BenchArgs {
   bool quick = false;
   int seeds = 1;
   uint64_t base_seed = 1;
+  int threads = 0;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -32,9 +36,12 @@ struct BenchArgs {
         args.seeds = std::atoi(argv[++i]);
       } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
         args.base_seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        args.threads = std::atoi(argv[++i]);
       } else {
-        std::fprintf(stderr,
-                     "usage: %s [--quick] [--seeds N] [--seed S]\n", argv[0]);
+        std::fprintf(
+            stderr, "usage: %s [--quick] [--seeds N] [--seed S] [--threads T]\n",
+            argv[0]);
         std::exit(2);
       }
     }

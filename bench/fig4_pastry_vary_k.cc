@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
         cfg.n_popularity_lists = 1;
         cfg.warmup_queries_per_node = args.quick ? 100 : 300;
         cfg.measure_queries_per_node = args.quick ? 100 : 200;
+        cfg.threads = args.threads;
         return ComparePastryStable(cfg);
       };
       char label[64];

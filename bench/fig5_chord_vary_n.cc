@@ -49,7 +49,8 @@ const char* PaperReference(int n, bool churn) {
   return "-";
 }
 
-ExperimentConfig MakeConfig(uint64_t seed, int n, bool quick) {
+ExperimentConfig MakeConfig(uint64_t seed, int n,
+                            const peercache::bench::BenchArgs& args) {
   ExperimentConfig cfg;
   cfg.seed = seed;
   cfg.n_nodes = n;
@@ -57,8 +58,9 @@ ExperimentConfig MakeConfig(uint64_t seed, int n, bool quick) {
   cfg.alpha = 1.2;
   cfg.n_items = static_cast<size_t>(n);
   cfg.n_popularity_lists = 5;  // per-node rankings, paper's Chord setup
-  cfg.warmup_queries_per_node = quick ? 100 : 300;
-  cfg.measure_queries_per_node = quick ? 100 : 200;
+  cfg.warmup_queries_per_node = args.quick ? 100 : 300;
+  cfg.measure_queries_per_node = args.quick ? 100 : 200;
+  cfg.threads = args.threads;
   return cfg;
 }
 
@@ -73,7 +75,7 @@ int main(int argc, char** argv) {
   for (int n : sizes) {
     if (args.quick && n > 256) continue;
     auto compare = [&](uint64_t seed) {
-      return CompareChordStable(MakeConfig(seed, n, args.quick));
+      return CompareChordStable(MakeConfig(seed, n, args));
     };
     char label[64];
     std::snprintf(label, sizeof(label), "n=%-5d stable", n);
@@ -89,7 +91,7 @@ int main(int argc, char** argv) {
       ChurnConfig churn;  // paper's parameters by default
       churn.warmup_s = args.quick ? 1200 : 3600;
       churn.measure_s = args.quick ? 1200 : 3600;
-      return CompareChordChurn(MakeConfig(seed, n, args.quick), churn);
+      return CompareChordChurn(MakeConfig(seed, n, args), churn);
     };
     char label[64];
     std::snprintf(label, sizeof(label), "n=%-5d churn", n);

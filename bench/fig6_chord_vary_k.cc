@@ -43,7 +43,8 @@ const char* PaperReference(int multiple, bool churn) {
   return "-";
 }
 
-ExperimentConfig MakeConfig(uint64_t seed, int k, bool quick) {
+ExperimentConfig MakeConfig(uint64_t seed, int k,
+                            const peercache::bench::BenchArgs& args) {
   ExperimentConfig cfg;
   cfg.seed = seed;
   cfg.n_nodes = 1024;
@@ -51,8 +52,9 @@ ExperimentConfig MakeConfig(uint64_t seed, int k, bool quick) {
   cfg.alpha = 1.2;
   cfg.n_items = 1024;
   cfg.n_popularity_lists = 5;
-  cfg.warmup_queries_per_node = quick ? 100 : 300;
-  cfg.measure_queries_per_node = quick ? 100 : 200;
+  cfg.warmup_queries_per_node = args.quick ? 100 : 300;
+  cfg.measure_queries_per_node = args.quick ? 100 : 200;
+  cfg.threads = args.threads;
   return cfg;
 }
 
@@ -67,8 +69,7 @@ int main(int argc, char** argv) {
   for (int multiple = 1; multiple <= 3; ++multiple) {
     if (args.quick && multiple == 2) continue;
     auto compare = [&](uint64_t seed) {
-      return CompareChordStable(MakeConfig(seed, multiple * log_n,
-                                           args.quick));
+      return CompareChordStable(MakeConfig(seed, multiple * log_n, args));
     };
     char label[64];
     std::snprintf(label, sizeof(label), "k=%dlogn=%-3d stable", multiple,
@@ -85,7 +86,7 @@ int main(int argc, char** argv) {
       ChurnConfig churn;
       churn.warmup_s = args.quick ? 1200 : 3600;
       churn.measure_s = args.quick ? 1200 : 3600;
-      return CompareChordChurn(MakeConfig(seed, multiple * log_n, args.quick),
+      return CompareChordChurn(MakeConfig(seed, multiple * log_n, args),
                                churn);
     };
     char label[64];

@@ -1,0 +1,145 @@
+// Selection-phase scaling of the parallel experiment engine: runs the
+// stable-mode experiment at several thread counts and reports wall-clock
+// time and speedup per phase. The per-node auxiliary-selection loop is the
+// dominant cost at large n (the paper's O(nkb) Pastry greedy and
+// O(n(b + k·log b)·log n) Chord jump-table DP run once per node), and every
+// thread count produces bit-identical results — the speedup is free.
+//
+//   $ ./parallel_scaling                 # chord + pastry, n = 2048
+//   $ ./parallel_scaling --n 4096 --threads-list 1,2,4,8
+//
+// The acceptance bar this driver demonstrates: >= 2x selection-phase
+// speedup at 4 threads for n >= 2048.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+#include "experiments/chord_experiment.h"
+#include "experiments/pastry_experiment.h"
+
+using namespace peercache;
+using namespace peercache::experiments;
+
+namespace {
+
+struct Args {
+  int n = 2048;
+  int warmup = 200;
+  int measure = 50;
+  uint64_t seed = 1;
+  std::vector<int> threads_list = {1, 2, 4};
+
+  static Args Parse(int argc, char** argv) {
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+      auto next = [&](const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s needs a value\n", flag);
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (!std::strcmp(argv[i], "--n")) {
+        a.n = std::atoi(next("--n"));
+      } else if (!std::strcmp(argv[i], "--seed")) {
+        a.seed = static_cast<uint64_t>(std::atoll(next("--seed")));
+      } else if (!std::strcmp(argv[i], "--warmup")) {
+        a.warmup = std::atoi(next("--warmup"));
+      } else if (!std::strcmp(argv[i], "--measure")) {
+        a.measure = std::atoi(next("--measure"));
+      } else if (!std::strcmp(argv[i], "--threads-list")) {
+        a.threads_list.clear();
+        std::string list = next("--threads-list");
+        for (size_t pos = 0; pos < list.size();) {
+          size_t comma = list.find(',', pos);
+          if (comma == std::string::npos) comma = list.size();
+          a.threads_list.push_back(std::atoi(list.substr(pos).c_str()));
+          pos = comma + 1;
+        }
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--n N] [--seed S] [--warmup Q] [--measure Q]"
+                     " [--threads-list 1,2,4]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    }
+    return a;
+  }
+};
+
+ExperimentConfig MakeConfig(const Args& args, int threads, int lists) {
+  ExperimentConfig cfg;
+  cfg.seed = args.seed;
+  cfg.n_nodes = args.n;
+  cfg.k = CeilLog2(static_cast<uint64_t>(args.n));
+  cfg.alpha = 1.2;
+  cfg.n_items = static_cast<size_t>(args.n);
+  cfg.n_popularity_lists = lists;
+  cfg.warmup_queries_per_node = args.warmup;
+  cfg.measure_queries_per_node = args.measure;
+  cfg.threads = threads;
+  return cfg;
+}
+
+template <typename RunFn>
+int RunSystem(const char* name, const Args& args, int lists,
+              const RunFn& run) {
+  std::printf("%s, n=%d, k=%d, optimal selector\n", name, args.n,
+              CeilLog2(static_cast<uint64_t>(args.n)));
+  std::printf("%8s %12s %9s %12s %12s %10s\n", "threads", "selection",
+              "speedup", "warmup", "measure", "avg hops");
+
+  double serial_selection = 0.0;
+  double serial_hops = 0.0;
+  bool bar_met = true;
+  for (size_t i = 0; i < args.threads_list.size(); ++i) {
+    const int threads = args.threads_list[i];
+    auto result = run(MakeConfig(args, threads, lists));
+    if (!result.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    if (i == 0) {
+      serial_selection = result->selection_seconds;
+      serial_hops = result->avg_hops;
+    } else if (result->avg_hops != serial_hops) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: threads=%d avg_hops %.17g != "
+                   "%.17g\n",
+                   threads, result->avg_hops, serial_hops);
+      return 1;
+    }
+    const double speedup = result->selection_seconds > 0
+                               ? serial_selection / result->selection_seconds
+                               : 0.0;
+    if (threads >= 4 && speedup < 2.0) bar_met = false;
+    std::printf("%8d %11.3fs %8.2fx %11.3fs %11.3fs %10.3f\n", threads,
+                result->selection_seconds, speedup, result->warmup_seconds,
+                result->measure_seconds, result->avg_hops);
+  }
+  std::printf("selection-phase speedup bar (>=2x at >=4 threads): %s\n\n",
+              bar_met ? "met" : "NOT met");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Args::Parse(argc, argv);
+  int rc = RunSystem("chord stable", args, /*lists=*/5,
+                     [](const ExperimentConfig& cfg) {
+                       return RunChordStable(cfg, SelectorKind::kOptimal);
+                     });
+  if (rc != 0) return rc;
+  return RunSystem("pastry stable", args, /*lists=*/1,
+                   [](const ExperimentConfig& cfg) {
+                     return RunPastryStable(cfg, SelectorKind::kOptimal);
+                   });
+}

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/bits.h"
+#include "common/thread_pool.h"
 #include "experiments/chord_experiment.h"
 #include "experiments/pastry_experiment.h"
 
@@ -32,13 +33,17 @@ struct Args {
   int lists = -1;  // default: 5 for chord, 1 for pastry
   uint64_t seed = 1;
   double duration_s = 2400;
+  int threads = 0;  // 0 = hardware concurrency, 1 = serial
 
   static void Usage(const char* argv0) {
     std::fprintf(
         stderr,
         "usage: %s [--system chord|pastry] [--churn] [--n N] [--k K]\n"
         "          [--alpha A] [--items I] [--lists L] [--seed S]\n"
-        "          [--duration SECONDS]\n",
+        "          [--duration SECONDS] [--threads T]\n"
+        "  --threads T   worker threads for the per-node loops\n"
+        "                (0 = all hardware threads, 1 = serial; results\n"
+        "                are identical for every value)\n",
         argv0);
     std::exit(2);
   }
@@ -71,6 +76,8 @@ struct Args {
         a.seed = static_cast<uint64_t>(std::atoll(next("--seed")));
       } else if (!std::strcmp(argv[i], "--duration")) {
         a.duration_s = std::atof(next("--duration"));
+      } else if (!std::strcmp(argv[i], "--threads")) {
+        a.threads = std::atoi(next("--threads"));
       } else {
         Usage(argv[0]);
       }
@@ -96,11 +103,13 @@ int main(int argc, char** argv) {
   cfg.n_popularity_lists =
       args.lists > 0 ? args.lists : (args.system == "chord" ? 5 : 1);
   cfg.seed = args.seed;
+  cfg.threads = args.threads;
 
-  std::printf("%s %s: n=%d k=%d alpha=%.2f items=%zu lists=%d seed=%llu\n\n",
-              args.system.c_str(), args.churn ? "churn" : "stable", cfg.n_nodes,
-              cfg.k, cfg.alpha, cfg.n_items, cfg.n_popularity_lists,
-              static_cast<unsigned long long>(cfg.seed));
+  std::printf(
+      "%s %s: n=%d k=%d alpha=%.2f items=%zu lists=%d seed=%llu threads=%d\n\n",
+      args.system.c_str(), args.churn ? "churn" : "stable", cfg.n_nodes, cfg.k,
+      cfg.alpha, cfg.n_items, cfg.n_popularity_lists,
+      static_cast<unsigned long long>(cfg.seed), ResolveThreads(cfg.threads));
 
   Result<Comparison> cmp = [&]() -> Result<Comparison> {
     if (args.system == "chord") {
@@ -136,5 +145,9 @@ int main(int argc, char** argv) {
               cmp->improvement_vs_none_pct);
   std::printf("optimal hop distribution: %s\n",
               cmp->optimal.hop_histogram.Summary().c_str());
+  std::printf("optimal-run phase times: warmup %.3fs selection %.3fs "
+              "measure %.3fs\n",
+              cmp->optimal.warmup_seconds, cmp->optimal.selection_seconds,
+              cmp->optimal.measure_seconds);
   return 0;
 }

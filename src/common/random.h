@@ -34,6 +34,16 @@ constexpr uint64_t MixHash64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Derives the seed of an independent RNG stream from a base seed and a
+/// stream index (node id, round number, ...). Both arguments pass through
+/// the SplitMix64 finalizer, so structured inputs (small integers, ids that
+/// share low bits) still land in unrelated streams: Rng(SplitSeed(s, id))
+/// per node replaces a shared sequential RNG wherever loop iterations must
+/// not depend on execution order (the parallel experiment drivers).
+constexpr uint64_t SplitSeed(uint64_t base_seed, uint64_t stream) {
+  return MixHash64(base_seed ^ MixHash64(~stream));
+}
+
 /// xoshiro256++ deterministic PRNG. All randomness in the library flows
 /// through explicitly seeded instances of this class; there is no global
 /// RNG state, so every simulation is reproducible from its seed.

@@ -1,0 +1,137 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <utility>
+
+namespace peercache {
+
+namespace {
+
+/// Shared state of one ParallelFor call. Workers pull chunk indices from
+/// `next_chunk`; the lowest-chunk exception wins so reruns of a failing
+/// loop rethrow the same error regardless of thread timing.
+struct LoopState {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t n_chunks = 0;
+  const std::function<void(size_t)>* fn = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  int pending_runners = 0;
+  size_t error_chunk = std::numeric_limits<size_t>::max();
+  std::exception_ptr error;
+
+  void RunChunks() {
+    for (;;) {
+      const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= n_chunks) return;
+      const size_t chunk_begin = begin + c * grain;
+      const size_t chunk_end = std::min(end, chunk_begin + grain);
+      try {
+        for (size_t i = chunk_begin; i < chunk_end; ++i) (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (c < error_chunk) {
+          error_chunk = c;
+          error = std::current_exception();
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ResolveThreads(int configured) {
+  return configured <= 0 ? ThreadPool::DefaultThreads() : configured;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads <= 0 ? DefaultThreads() : num_threads) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int t = 1; t < num_threads_; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with no work left
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+
+  const size_t range = end - begin;
+  const size_t n_chunks = (range + grain - 1) / grain;
+  // Serial path: one worker, one chunk, or nothing to share — run inline
+  // with no synchronization so `threads = 1` reproduces the legacy loop.
+  if (num_threads_ == 1 || n_chunks == 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  LoopState state;
+  state.begin = begin;
+  state.end = end;
+  state.grain = grain;
+  state.n_chunks = n_chunks;
+  state.fn = &fn;
+
+  // Enqueue one runner per helper thread (capped by chunk count); the
+  // caller is itself a runner, so the pool's thread budget is respected.
+  const size_t helpers =
+      std::min(static_cast<size_t>(num_threads_ - 1), n_chunks - 1);
+  state.pending_runners = static_cast<int>(helpers);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t t = 0; t < helpers; ++t) {
+      queue_.emplace_back([&state] {
+        state.RunChunks();
+        std::lock_guard<std::mutex> state_lock(state.mutex);
+        if (--state.pending_runners == 0) state.done_cv.notify_one();
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  state.RunChunks();
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.done_cv.wait(lock, [&state] { return state.pending_runners == 0; });
+    if (state.error) std::rethrow_exception(state.error);
+  }
+}
+
+}  // namespace peercache

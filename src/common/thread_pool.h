@@ -1,0 +1,69 @@
+#ifndef PEERCACHE_COMMON_THREAD_POOL_H_
+#define PEERCACHE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace peercache {
+
+/// Fixed-size bounded thread pool for data-parallel loops. Deliberately
+/// work-stealing-free: chunks of the index range are handed out through one
+/// shared atomic cursor, so scheduling overhead is a single fetch_add per
+/// chunk and there are no per-worker deques to balance.
+///
+/// The pool itself introduces no nondeterminism: which thread runs which
+/// index never feeds back into results as long as the loop body writes only
+/// to index-addressed slots (the experiment drivers derive one RNG stream
+/// per index for exactly this reason; see docs/ALGORITHMS.md §4).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; <= 0 means DefaultThreads(). A pool of
+  /// one thread runs every ParallelFor inline on the caller (legacy serial
+  /// path, no synchronization at all).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// std::thread::hardware_concurrency(), never less than 1.
+  static int DefaultThreads();
+
+  /// Runs fn(i) for every i in [begin, end), blocking until all indices
+  /// complete. Consecutive indices are grouped into chunks of `grain`
+  /// (0 is treated as 1; a grain larger than the range yields one chunk,
+  /// which runs inline on the caller). fn must be safe to call concurrently
+  /// for distinct indices.
+  ///
+  /// If one or more invocations throw, every chunk still runs (a throw
+  /// abandons only the rest of its own chunk) and the exception from the
+  /// lowest-numbered throwing chunk is rethrown on the caller — so a
+  /// failing loop rethrows the same error no matter the thread timing.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::vector<std::function<void()>> queue_;
+  bool shutdown_ = false;
+};
+
+/// Resolves a config-level thread count: <= 0 selects the hardware default,
+/// anything else is taken literally.
+int ResolveThreads(int configured);
+
+}  // namespace peercache
+
+#endif  // PEERCACHE_COMMON_THREAD_POOL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "auxsel/chord_fast.h"
@@ -10,6 +11,8 @@
 #include "auxsel/selection_types.h"
 #include "chord/chord_network.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
+#include "experiments/parallel_engine.h"
 #include "sim/event_queue.h"
 #include "workload/workload.h"
 
@@ -21,10 +24,15 @@ using auxsel::SelectionInput;
 using chord::ChordNetwork;
 using chord::ChordNode;
 using chord::ChordParams;
+using internal::ObliviousPool;
+using internal::PhaseTimer;
+using internal::PoolWithoutSelf;
 
 /// Derives independent RNG streams from the experiment seed so that runs
 /// with different selector policies see identical membership, workload, and
-/// query sequences.
+/// query sequences. The warmup/measure/selection entries are *stream bases*:
+/// each node splits its own stream off them (SplitSeed), which is what lets
+/// the per-node loops run in parallel without reordering anyone's draws.
 struct SeedPlan {
   explicit SeedPlan(uint64_t seed)
       : ids(MixHash64(seed ^ 0x1d5)),
@@ -43,11 +51,14 @@ struct SeedPlan {
 
 /// Builds the SelectionInput for one node and installs the chosen
 /// auxiliaries. The optimal policy optimizes over the node's observed
-/// frequencies; the oblivious policy draws from the full live membership
-/// (it needs no query history, matching the paper's baseline).
+/// frequencies; the oblivious policy draws from `peer_pool`, the shared
+/// snapshot of the full live membership built once per selection round (it
+/// needs no query history, matching the paper's baseline). Runs
+/// concurrently for distinct nodes: it reads the overlay, reads its own
+/// node's frequency table, and writes only its own node's auxiliary list.
 Status InstallAuxiliaries(ChordNetwork& net, uint64_t node_id,
                           SelectorKind selector, int k, Rng& selection_rng,
-                          const std::vector<uint64_t>& live_ids) {
+                          const std::vector<auxsel::PeerFreq>& peer_pool) {
   if (selector == SelectorKind::kNone) {
     return net.SetAuxiliaries(node_id, {});
   }
@@ -60,21 +71,12 @@ Status InstallAuxiliaries(ChordNetwork& net, uint64_t node_id,
   input.k = k;
   input.core_ids = net.CoreNeighborIds(node_id);
 
-  auto oblivious_peers = [&]() {
-    std::vector<auxsel::PeerFreq> peers;
-    peers.reserve(live_ids.size());
-    for (uint64_t id : live_ids) {
-      if (id != node_id) peers.push_back({id, 0.0, -1});
-    }
-    return peers;
-  };
-
   Result<auxsel::Selection> sel = [&]() -> Result<auxsel::Selection> {
     if (selector == SelectorKind::kOptimal) {
       input.peers = node->frequencies.Snapshot(node_id);
       return auxsel::SelectChordFast(input);
     }
-    input.peers = oblivious_peers();
+    input.peers = PoolWithoutSelf(peer_pool, node_id);
     return auxsel::SelectChordOblivious(input, selection_rng);
   }();
   if (!sel.ok()) return sel.status();
@@ -86,7 +88,7 @@ Status InstallAuxiliaries(ChordNetwork& net, uint64_t node_id,
   if (selector == SelectorKind::kOptimal &&
       static_cast<int>(sel->chosen.size()) < input.k) {
     SelectionInput pad = input;
-    pad.peers = oblivious_peers();
+    pad.peers = PoolWithoutSelf(peer_pool, node_id);
     pad.core_ids.insert(pad.core_ids.end(), sel->chosen.begin(),
                         sel->chosen.end());
     pad.k = input.k - static_cast<int>(sel->chosen.size());
@@ -124,53 +126,46 @@ Result<RunResult> RunChordStable(const ExperimentConfig& config,
   workload::PopularityModel popularity(config.n_items, config.alpha,
                                        config.n_popularity_lists, seeds.lists);
   workload::QueryWorkload queries(items, popularity, seeds.assign);
+  queries.AssignLists(node_ids);  // read-only afterwards (parallel loops)
+
+  ThreadPool pool(config.threads);
+  RunResult result;
 
   // Warmup: every node observes which peer answers each of its queries.
   // In the stable overlay the responsible node is known without routing.
-  Rng warmup_rng(seeds.warmup);
-  for (uint64_t origin : node_ids) {
-    ChordNode* node = net.GetNode(origin);
-    for (int q = 0; q < config.warmup_queries_per_node; ++q) {
-      const uint64_t key = queries.SampleKey(origin, warmup_rng);
-      auto responsible = net.ResponsibleNode(key);
-      if (!responsible.ok()) return responsible.status();
-      if (responsible.value() != origin) {
-        node->frequencies.Record(responsible.value());
-      }
-    }
+  PhaseTimer warmup_timer;
+  if (Status s =
+          internal::ParallelWarmup(pool, net, node_ids, queries, seeds.warmup,
+                                   config.warmup_queries_per_node);
+      !s.ok()) {
+    return s;
   }
+  result.warmup_seconds = warmup_timer.Seconds();
 
-  // Auxiliary selection.
-  Rng selection_rng(seeds.selection);
-  for (uint64_t id : node_ids) {
-    if (Status s = InstallAuxiliaries(net, id, selector, config.k,
-                                      selection_rng, node_ids);
-        !s.ok()) {
-      return s;
-    }
+  // Auxiliary selection, one independent RNG stream per node.
+  PhaseTimer selection_timer;
+  const std::vector<auxsel::PeerFreq> peer_pool = ObliviousPool(node_ids);
+  if (Status s = internal::ParallelInstall(
+          pool, node_ids, seeds.selection,
+          [&](uint64_t id, Rng& rng) {
+            return InstallAuxiliaries(net, id, selector, config.k, rng,
+                                      peer_pool);
+          });
+      !s.ok()) {
+    return s;
   }
+  result.selection_seconds = selection_timer.Seconds();
+  internal::CollectAuxiliaries(net, node_ids, result);
 
   // Measurement.
-  Rng measure_rng(seeds.measure);
-  RunResult result;
-  uint64_t successes = 0;
-  for (uint64_t origin : node_ids) {
-    for (int q = 0; q < config.measure_queries_per_node; ++q) {
-      const uint64_t key = queries.SampleKey(origin, measure_rng);
-      auto route = net.Lookup(origin, key);
-      if (!route.ok()) return route.status();
-      ++result.queries;
-      if (route->success) {
-        ++successes;
-        result.hop_histogram.Add(route->hops);
-      }
-    }
+  PhaseTimer measure_timer;
+  if (Status s =
+          internal::ParallelMeasure(pool, net, node_ids, queries, seeds.measure,
+                                    config.measure_queries_per_node, result);
+      !s.ok()) {
+    return s;
   }
-  result.success_rate = result.queries == 0
-                            ? 1.0
-                            : static_cast<double>(successes) /
-                                  static_cast<double>(result.queries);
-  result.avg_hops = result.hop_histogram.Mean();
+  result.measure_seconds = measure_timer.Seconds();
   return result;
 }
 
@@ -198,13 +193,14 @@ Result<RunResult> RunChordChurn(const ExperimentConfig& config,
   workload::PopularityModel popularity(config.n_items, config.alpha,
                                        config.n_popularity_lists, seeds.lists);
   workload::QueryWorkload queries(items, popularity, seeds.assign);
+  queries.AssignLists(node_ids);
 
+  ThreadPool pool(config.threads);
   sim::EventQueue eq;
   Rng churn_rng(seeds.churn);
   Rng query_time_rng(seeds.query_times);
   Rng origin_rng(seeds.origins);
   Rng query_key_rng(seeds.measure);
-  Rng selection_rng(seeds.selection);
 
   const double t_end = churn.warmup_s + churn.measure_s;
   RunResult result;
@@ -241,13 +237,23 @@ Result<RunResult> RunChordChurn(const ExperimentConfig& config,
   };
   eq.ScheduleAfter(churn.stabilize_interval_s, stabilize_tick);
 
-  // Periodic auxiliary recomputation.
+  // Periodic auxiliary recomputation: the per-node loop runs on the pool
+  // while the event queue is paused. Each round splits a fresh stream base
+  // off the selection seed so repeated rounds draw fresh randomness, and
+  // each node then splits its own stream off the round base — recomputation
+  // results depend on (seed, round, node), never on thread interleaving.
+  uint64_t recompute_round = 0;
   std::function<void()> recompute_tick = [&] {
+    PhaseTimer selection_timer;
     std::vector<uint64_t> live = net.LiveNodeIds();
-    for (uint64_t id : live) {
-      (void)InstallAuxiliaries(net, id, selector, config.k, selection_rng,
-                               live);
-    }
+    const std::vector<auxsel::PeerFreq> peer_pool = ObliviousPool(live);
+    const uint64_t round_seed = SplitSeed(seeds.selection, recompute_round++);
+    (void)internal::ParallelInstall(
+        pool, live, round_seed, [&](uint64_t id, Rng& rng) {
+          return InstallAuxiliaries(net, id, selector, config.k, rng,
+                                    peer_pool);
+        });
+    result.selection_seconds += selection_timer.Seconds();
     if (eq.now() + churn.recompute_interval_s <= t_end) {
       eq.ScheduleAfter(churn.recompute_interval_s, recompute_tick);
     }
@@ -295,6 +301,7 @@ Result<RunResult> RunChordChurn(const ExperimentConfig& config,
                             : static_cast<double>(successes) /
                                   static_cast<double>(result.queries);
   result.avg_hops = result.hop_histogram.Mean();
+  internal::CollectAuxiliaries(net, net.LiveNodeIds(), result);
   return result;
 }
 

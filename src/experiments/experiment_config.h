@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/stats.h"
 
@@ -39,6 +41,11 @@ struct ExperimentConfig {
   int successor_list_size = 1;
   /// Pastry leaf-set entries per side.
   int leaf_set_half = 4;
+  /// Worker threads for the per-node selection / warmup / measurement
+  /// loops. 0 = std::thread::hardware_concurrency(), 1 = legacy serial
+  /// path. Results are bit-identical for every value (each node draws from
+  /// its own RNG stream; see docs/ALGORITHMS.md §4).
+  int threads = 0;
 };
 
 /// Churn-mode parameters (paper Sec. VI-C): nodes alternate between alive
@@ -58,6 +65,15 @@ struct RunResult {
   double success_rate = 1.0;
   uint64_t queries = 0;
   Histogram hop_histogram{64};
+  /// Auxiliary set installed on each node after the (last) selection pass,
+  /// sorted by node id. Lets tests assert that parallel and serial runs
+  /// made identical selections.
+  std::vector<std::pair<uint64_t, std::vector<uint64_t>>> node_auxiliaries;
+  /// Wall-clock phase timings (seconds); the selection phase is the target
+  /// of the parallel engine and is reported by bench/parallel_scaling.
+  double warmup_seconds = 0.0;
+  double selection_seconds = 0.0;
+  double measure_seconds = 0.0;
 };
 
 /// Side-by-side comparison at identical seeds/workload.

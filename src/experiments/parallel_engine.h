@@ -1,0 +1,182 @@
+#ifndef PEERCACHE_EXPERIMENTS_PARALLEL_ENGINE_H_
+#define PEERCACHE_EXPERIMENTS_PARALLEL_ENGINE_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "auxsel/selection_types.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "experiments/experiment_config.h"
+#include "workload/workload.h"
+
+/// Shared machinery of the parallel experiment engine: the per-node
+/// selection, warmup, and measurement loops of the Chord and Pastry drivers
+/// are identical up to the network type, and each parallelizes the same
+/// way — every node derives its own RNG stream with SplitSeed, writes only
+/// to its own slot (its node state or an index-addressed partial), and the
+/// partials are merged in node order afterwards. Serial (`threads = 1`) and
+/// parallel runs are therefore bit-identical; the determinism test
+/// (tests/experiments/parallel_determinism_test.cc) enforces this.
+namespace peercache::experiments::internal {
+
+/// Wall-clock stopwatch for RunResult's phase timings.
+class PhaseTimer {
+ public:
+  PhaseTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Builds the frequency-oblivious candidate pool once per selection round:
+/// every live id with zero frequency. The pool is shared (read-only) by all
+/// per-node selection tasks; each node drops itself via PoolWithoutSelf
+/// instead of rebuilding the whole vector element-by-element.
+inline std::vector<auxsel::PeerFreq> ObliviousPool(
+    const std::vector<uint64_t>& live_ids) {
+  std::vector<auxsel::PeerFreq> pool;
+  pool.reserve(live_ids.size());
+  for (uint64_t id : live_ids) pool.push_back({id, 0.0, -1});
+  return pool;
+}
+
+/// One bulk copy of the shared pool minus the selecting node.
+inline std::vector<auxsel::PeerFreq> PoolWithoutSelf(
+    const std::vector<auxsel::PeerFreq>& pool, uint64_t self_id) {
+  std::vector<auxsel::PeerFreq> peers = pool;
+  auto it = std::find_if(peers.begin(), peers.end(),
+                         [self_id](const auxsel::PeerFreq& p) {
+                           return p.id == self_id;
+                         });
+  if (it != peers.end()) peers.erase(it);
+  return peers;
+}
+
+/// Runs `install(node_id, rng)` for every node with an independent RNG
+/// stream per node, and returns the first (lowest-index) failure.
+/// `selection_seed` must be fresh per round (churn recomputations split a
+/// round counter off the base selection seed) so repeated rounds do not
+/// replay identical random draws.
+template <typename InstallFn>
+Status ParallelInstall(ThreadPool& pool, const std::vector<uint64_t>& ids,
+                       uint64_t selection_seed, const InstallFn& install) {
+  std::vector<Status> statuses(ids.size());
+  pool.ParallelFor(0, ids.size(), 1, [&](size_t i) {
+    Rng rng(SplitSeed(selection_seed, ids[i]));
+    statuses[i] = install(ids[i], rng);
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+/// Warmup: every node learns which peer answers each of its queries. Each
+/// task reads the overlay (const) and writes only its own node's frequency
+/// table. `queries` must have all lists pre-assigned (AssignLists).
+template <typename Network>
+Status ParallelWarmup(ThreadPool& pool, Network& net,
+                      const std::vector<uint64_t>& node_ids,
+                      workload::QueryWorkload& queries, uint64_t warmup_seed,
+                      int queries_per_node) {
+  std::vector<Status> statuses(node_ids.size());
+  pool.ParallelFor(0, node_ids.size(), 4, [&](size_t i) {
+    const uint64_t origin = node_ids[i];
+    auto* node = net.GetNode(origin);
+    Rng rng(SplitSeed(warmup_seed, origin));
+    for (int q = 0; q < queries_per_node; ++q) {
+      const uint64_t key = queries.SampleKey(origin, rng);
+      auto responsible = net.ResponsibleNode(key);
+      if (!responsible.ok()) {
+        statuses[i] = responsible.status();
+        return;
+      }
+      if (responsible.value() != origin) {
+        node->frequencies.Record(responsible.value());
+      }
+    }
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+/// Measurement: routes every node's queries over the finished overlay
+/// (Lookup is const) into index-addressed partials, then merges them in
+/// node order into `result`. Thread count cannot affect the totals.
+template <typename Network>
+Status ParallelMeasure(ThreadPool& pool, const Network& net,
+                       const std::vector<uint64_t>& node_ids,
+                       workload::QueryWorkload& queries, uint64_t measure_seed,
+                       int queries_per_node, RunResult& result) {
+  struct Partial {
+    Status status;
+    uint64_t queries = 0;
+    uint64_t successes = 0;
+    Histogram hops{64};
+  };
+  std::vector<Partial> partials(node_ids.size());
+  pool.ParallelFor(0, node_ids.size(), 1, [&](size_t i) {
+    const uint64_t origin = node_ids[i];
+    Partial& part = partials[i];
+    Rng rng(SplitSeed(measure_seed, origin));
+    for (int q = 0; q < queries_per_node; ++q) {
+      const uint64_t key = queries.SampleKey(origin, rng);
+      auto route = net.Lookup(origin, key);
+      if (!route.ok()) {
+        part.status = route.status();
+        return;
+      }
+      ++part.queries;
+      if (route->success) {
+        ++part.successes;
+        part.hops.Add(route->hops);
+      }
+    }
+  });
+
+  uint64_t successes = 0;
+  for (const Partial& part : partials) {
+    if (!part.status.ok()) return part.status;
+    result.queries += part.queries;
+    successes += part.successes;
+    result.hop_histogram.Merge(part.hops);
+  }
+  result.success_rate = result.queries == 0
+                            ? 1.0
+                            : static_cast<double>(successes) /
+                                  static_cast<double>(result.queries);
+  result.avg_hops = result.hop_histogram.Mean();
+  return Status::Ok();
+}
+
+/// Snapshots every listed node's installed auxiliary set, sorted by id,
+/// for the determinism test's selection comparison.
+template <typename Network>
+void CollectAuxiliaries(const Network& net, std::vector<uint64_t> ids,
+                        RunResult& result) {
+  std::sort(ids.begin(), ids.end());
+  result.node_auxiliaries.clear();
+  result.node_auxiliaries.reserve(ids.size());
+  for (uint64_t id : ids) {
+    const auto* node = net.GetNode(id);
+    if (node == nullptr) continue;
+    result.node_auxiliaries.emplace_back(id, node->auxiliaries);
+  }
+}
+
+}  // namespace peercache::experiments::internal
+
+#endif  // PEERCACHE_EXPERIMENTS_PARALLEL_ENGINE_H_

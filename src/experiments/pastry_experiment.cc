@@ -8,6 +8,8 @@
 #include "auxsel/pastry_greedy.h"
 #include "auxsel/selection_types.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
+#include "experiments/parallel_engine.h"
 #include "pastry/pastry_network.h"
 #include "sim/event_queue.h"
 #include "workload/workload.h"
@@ -17,10 +19,15 @@ namespace peercache::experiments {
 namespace {
 
 using auxsel::SelectionInput;
+using internal::ObliviousPool;
+using internal::PhaseTimer;
+using internal::PoolWithoutSelf;
 using pastry::PastryNetwork;
 using pastry::PastryNode;
 using pastry::PastryParams;
 
+/// Stream bases per phase; each node splits its own stream off the phase
+/// base (see chord_experiment.cc for the full rationale).
 struct SeedPlan {
   explicit SeedPlan(uint64_t seed)
       : ids(MixHash64(seed ^ 0xb11)),
@@ -34,9 +41,11 @@ struct SeedPlan {
   uint64_t ids, coords, items, lists, assign, warmup, measure, selection;
 };
 
+/// See chord_experiment.cc: same contract, Pastry selectors. Safe to run
+/// concurrently for distinct nodes.
 Status InstallAuxiliaries(PastryNetwork& net, uint64_t node_id,
                           SelectorKind selector, int k, Rng& selection_rng,
-                          const std::vector<uint64_t>& live_ids) {
+                          const std::vector<auxsel::PeerFreq>& peer_pool) {
   if (selector == SelectorKind::kNone) {
     return net.SetAuxiliaries(node_id, {});
   }
@@ -49,21 +58,12 @@ Status InstallAuxiliaries(PastryNetwork& net, uint64_t node_id,
   input.k = k;
   input.core_ids = net.CoreNeighborIds(node_id);
 
-  auto oblivious_peers = [&]() {
-    std::vector<auxsel::PeerFreq> peers;
-    peers.reserve(live_ids.size());
-    for (uint64_t id : live_ids) {
-      if (id != node_id) peers.push_back({id, 0.0, -1});
-    }
-    return peers;
-  };
-
   Result<auxsel::Selection> sel = [&]() -> Result<auxsel::Selection> {
     if (selector == SelectorKind::kOptimal) {
       input.peers = node->frequencies.Snapshot(node_id);
       return auxsel::SelectPastryGreedy(input);
     }
-    input.peers = oblivious_peers();
+    input.peers = PoolWithoutSelf(peer_pool, node_id);
     return auxsel::SelectPastryOblivious(input, selection_rng);
   }();
   if (!sel.ok()) return sel.status();
@@ -73,7 +73,7 @@ Status InstallAuxiliaries(PastryNetwork& net, uint64_t node_id,
   if (selector == SelectorKind::kOptimal &&
       static_cast<int>(sel->chosen.size()) < input.k) {
     SelectionInput pad = input;
-    pad.peers = oblivious_peers();
+    pad.peers = PoolWithoutSelf(peer_pool, node_id);
     pad.core_ids.insert(pad.core_ids.end(), sel->chosen.begin(),
                         sel->chosen.end());
     pad.k = input.k - static_cast<int>(sel->chosen.size());
@@ -111,49 +111,42 @@ Result<RunResult> RunPastryStable(const ExperimentConfig& config,
   workload::PopularityModel popularity(config.n_items, config.alpha,
                                        config.n_popularity_lists, seeds.lists);
   workload::QueryWorkload queries(items, popularity, seeds.assign);
+  queries.AssignLists(node_ids);  // read-only afterwards (parallel loops)
 
-  Rng warmup_rng(seeds.warmup);
-  for (uint64_t origin : node_ids) {
-    PastryNode* node = net.GetNode(origin);
-    for (int q = 0; q < config.warmup_queries_per_node; ++q) {
-      const uint64_t key = queries.SampleKey(origin, warmup_rng);
-      auto responsible = net.ResponsibleNode(key);
-      if (!responsible.ok()) return responsible.status();
-      if (responsible.value() != origin) {
-        node->frequencies.Record(responsible.value());
-      }
-    }
-  }
-
-  Rng selection_rng(seeds.selection);
-  for (uint64_t id : node_ids) {
-    if (Status s = InstallAuxiliaries(net, id, selector, config.k,
-                                      selection_rng, node_ids);
-        !s.ok()) {
-      return s;
-    }
-  }
-
-  Rng measure_rng(seeds.measure);
+  ThreadPool pool(config.threads);
   RunResult result;
-  uint64_t successes = 0;
-  for (uint64_t origin : node_ids) {
-    for (int q = 0; q < config.measure_queries_per_node; ++q) {
-      const uint64_t key = queries.SampleKey(origin, measure_rng);
-      auto route = net.Lookup(origin, key);
-      if (!route.ok()) return route.status();
-      ++result.queries;
-      if (route->success) {
-        ++successes;
-        result.hop_histogram.Add(route->hops);
-      }
-    }
+
+  PhaseTimer warmup_timer;
+  if (Status s =
+          internal::ParallelWarmup(pool, net, node_ids, queries, seeds.warmup,
+                                   config.warmup_queries_per_node);
+      !s.ok()) {
+    return s;
   }
-  result.success_rate = result.queries == 0
-                            ? 1.0
-                            : static_cast<double>(successes) /
-                                  static_cast<double>(result.queries);
-  result.avg_hops = result.hop_histogram.Mean();
+  result.warmup_seconds = warmup_timer.Seconds();
+
+  PhaseTimer selection_timer;
+  const std::vector<auxsel::PeerFreq> peer_pool = ObliviousPool(node_ids);
+  if (Status s = internal::ParallelInstall(
+          pool, node_ids, seeds.selection,
+          [&](uint64_t id, Rng& rng) {
+            return InstallAuxiliaries(net, id, selector, config.k, rng,
+                                      peer_pool);
+          });
+      !s.ok()) {
+    return s;
+  }
+  result.selection_seconds = selection_timer.Seconds();
+  internal::CollectAuxiliaries(net, node_ids, result);
+
+  PhaseTimer measure_timer;
+  if (Status s =
+          internal::ParallelMeasure(pool, net, node_ids, queries, seeds.measure,
+                                    config.measure_queries_per_node, result);
+      !s.ok()) {
+    return s;
+  }
+  result.measure_seconds = measure_timer.Seconds();
   return result;
 }
 
@@ -181,13 +174,14 @@ Result<RunResult> RunPastryChurn(const ExperimentConfig& config,
   workload::PopularityModel popularity(config.n_items, config.alpha,
                                        config.n_popularity_lists, seeds.lists);
   workload::QueryWorkload queries(items, popularity, seeds.assign);
+  queries.AssignLists(node_ids);
 
+  ThreadPool pool(config.threads);
   sim::EventQueue eq;
   Rng churn_rng(MixHash64(config.seed ^ 0xc0ffee));
   Rng query_time_rng(MixHash64(config.seed ^ 0xbeef01));
   Rng origin_rng(MixHash64(config.seed ^ 0xbeef02));
   Rng query_key_rng(seeds.measure);
-  Rng selection_rng(seeds.selection);
 
   const double t_end = churn.warmup_s + churn.measure_s;
   RunResult result;
@@ -221,12 +215,19 @@ Result<RunResult> RunPastryChurn(const ExperimentConfig& config,
   };
   eq.ScheduleAfter(churn.stabilize_interval_s, stabilize_tick);
 
+  // Parallel per-round recomputation; see chord_experiment.cc.
+  uint64_t recompute_round = 0;
   std::function<void()> recompute_tick = [&] {
+    PhaseTimer selection_timer;
     std::vector<uint64_t> live = net.LiveNodeIds();
-    for (uint64_t id : live) {
-      (void)InstallAuxiliaries(net, id, selector, config.k, selection_rng,
-                               live);
-    }
+    const std::vector<auxsel::PeerFreq> peer_pool = ObliviousPool(live);
+    const uint64_t round_seed = SplitSeed(seeds.selection, recompute_round++);
+    (void)internal::ParallelInstall(
+        pool, live, round_seed, [&](uint64_t id, Rng& rng) {
+          return InstallAuxiliaries(net, id, selector, config.k, rng,
+                                    peer_pool);
+        });
+    result.selection_seconds += selection_timer.Seconds();
     if (eq.now() + churn.recompute_interval_s <= t_end) {
       eq.ScheduleAfter(churn.recompute_interval_s, recompute_tick);
     }
@@ -269,6 +270,7 @@ Result<RunResult> RunPastryChurn(const ExperimentConfig& config,
                             : static_cast<double>(successes) /
                                   static_cast<double>(result.queries);
   result.avg_hops = result.hop_histogram.Mean();
+  internal::CollectAuxiliaries(net, net.LiveNodeIds(), result);
   return result;
 }
 

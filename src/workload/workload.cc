@@ -49,6 +49,10 @@ int QueryWorkload::ListOf(uint64_t node_id) {
   return list;
 }
 
+void QueryWorkload::AssignLists(const std::vector<uint64_t>& node_ids) {
+  for (uint64_t id : node_ids) (void)ListOf(id);
+}
+
 uint64_t QueryWorkload::SampleKey(uint64_t node_id, Rng& rng) {
   const size_t item = popularity_.SampleItem(ListOf(node_id), rng);
   return items_.ItemKey(item);

@@ -66,6 +66,13 @@ class QueryWorkload {
   /// The popularity list assigned to this node (assigning it on first use).
   int ListOf(uint64_t node_id);
 
+  /// Assigns lists to all of `node_ids` up front, in the given order.
+  /// Assignment normally happens lazily in query order; pre-assigning makes
+  /// it a function of the membership alone, and afterwards SampleKey no
+  /// longer mutates the workload for these nodes — a requirement for the
+  /// concurrent per-node query loops in the experiment drivers.
+  void AssignLists(const std::vector<uint64_t>& node_ids);
+
   /// Draws a query key for a node, using the caller's RNG for the zipf draw
   /// so interleavings stay deterministic.
   uint64_t SampleKey(uint64_t node_id, Rng& rng);

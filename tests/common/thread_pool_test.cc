@@ -1,0 +1,107 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace peercache {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+  EXPECT_EQ(ResolveThreads(0), ThreadPool::DefaultThreads());
+  EXPECT_EQ(ResolveThreads(-3), ThreadPool::DefaultThreads());
+  EXPECT_EQ(ResolveThreads(1), 1);
+  EXPECT_EQ(ResolveThreads(7), 7);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    ThreadPool pool(threads);
+    for (size_t grain : {size_t{1}, size_t{3}, size_t{16}}) {
+      constexpr size_t kBegin = 5;
+      constexpr size_t kEnd = 505;
+      std::vector<std::atomic<int>> hits(kEnd);
+      for (auto& h : hits) h.store(0);
+      pool.ParallelFor(kBegin, kEnd, grain,
+                       [&](size_t i) { hits[i].fetch_add(1); });
+      for (size_t i = 0; i < kEnd; ++i) {
+        EXPECT_EQ(hits[i].load(), i >= kBegin ? 1 : 0)
+            << "index " << i << " threads=" << threads << " grain=" << grain;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EmptyAndInvertedRangesRunNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 0, 1, [&](size_t) { calls.fetch_add(1); });
+  pool.ParallelFor(10, 10, 4, [&](size_t) { calls.fetch_add(1); });
+  pool.ParallelFor(10, 3, 1, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeIsOneChunk) {
+  ThreadPool pool(4);
+  std::vector<int> hits(8, 0);  // unsynchronized: must run inline
+  pool.ParallelFor(0, 8, 100, [&](size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 8);
+}
+
+TEST(ThreadPoolTest, GrainZeroTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(0, 100, 0, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 99u * 100 / 2);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionFromSerialPath) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(0, 10, 1,
+                                [](size_t i) {
+                                  if (i == 3) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PropagatesLowestChunkExceptionFromWorkers) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    try {
+      pool.ParallelFor(0, 64, 1, [](size_t i) {
+        if (i == 7) throw std::runtime_error("seven");
+        if (i == 50) throw std::runtime_error("fifty");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "seven") << "lowest-chunk exception must win";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 8, 1, [](size_t) { throw std::logic_error("x"); }),
+      std::logic_error);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 32, 1, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 32);
+}
+
+TEST(ThreadPoolTest, ManySmallLoopsDoNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> total{0};
+  for (int r = 0; r < 200; ++r) {
+    pool.ParallelFor(0, 16, 1, [&](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200u * 16);
+}
+
+}  // namespace
+}  // namespace peercache

@@ -1,0 +1,139 @@
+// The parallel experiment engine's core guarantee: thread count is not an
+// experimental variable. `threads = N` must reproduce `threads = 1`
+// bit-for-bit — identical per-node auxiliary selections and identical
+// measured hop statistics — because every node draws from its own RNG
+// stream (SplitSeed) and partial results merge in node order.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "experiments/chord_experiment.h"
+#include "experiments/pastry_experiment.h"
+
+namespace peercache::experiments {
+namespace {
+
+ExperimentConfig BaseConfig(uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.n_nodes = 96;
+  cfg.k = 7;
+  cfg.alpha = 1.2;
+  cfg.n_items = 384;
+  cfg.warmup_queries_per_node = 60;
+  cfg.measure_queries_per_node = 40;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void ExpectIdenticalRuns(const RunResult& serial, const RunResult& parallel) {
+  // Hop-count statistics, down to individual histogram buckets.
+  EXPECT_EQ(serial.queries, parallel.queries);
+  EXPECT_DOUBLE_EQ(serial.success_rate, parallel.success_rate);
+  EXPECT_DOUBLE_EQ(serial.avg_hops, parallel.avg_hops);
+  EXPECT_EQ(serial.hop_histogram.count(), parallel.hop_histogram.count());
+  EXPECT_EQ(serial.hop_histogram.overflow(), parallel.hop_histogram.overflow());
+  for (int h = 0; h <= 64; ++h) {
+    EXPECT_EQ(serial.hop_histogram.BucketCount(h),
+              parallel.hop_histogram.BucketCount(h))
+        << "hop bucket " << h;
+  }
+
+  // Per-node auxiliary sets, in order.
+  ASSERT_EQ(serial.node_auxiliaries.size(), parallel.node_auxiliaries.size());
+  for (size_t i = 0; i < serial.node_auxiliaries.size(); ++i) {
+    EXPECT_EQ(serial.node_auxiliaries[i].first,
+              parallel.node_auxiliaries[i].first);
+    EXPECT_EQ(serial.node_auxiliaries[i].second,
+              parallel.node_auxiliaries[i].second)
+        << "auxiliaries differ at node 0x" << std::hex
+        << serial.node_auxiliaries[i].first;
+  }
+}
+
+class ParallelDeterminismTest : public ::testing::TestWithParam<SelectorKind> {
+};
+
+TEST_P(ParallelDeterminismTest, ChordStableMatchesSerial) {
+  ExperimentConfig cfg = BaseConfig(0xc0de);
+  cfg.n_popularity_lists = 5;
+  cfg.threads = 1;
+  auto serial = RunChordStable(cfg, GetParam());
+  cfg.threads = 4;
+  auto parallel = RunChordStable(cfg, GetParam());
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  ExpectIdenticalRuns(*serial, *parallel);
+}
+
+TEST_P(ParallelDeterminismTest, PastryStableMatchesSerial) {
+  ExperimentConfig cfg = BaseConfig(0xfeed);
+  cfg.threads = 1;
+  auto serial = RunPastryStable(cfg, GetParam());
+  cfg.threads = 4;
+  auto parallel = RunPastryStable(cfg, GetParam());
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  ExpectIdenticalRuns(*serial, *parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSelectors, ParallelDeterminismTest,
+                         ::testing::Values(SelectorKind::kNone,
+                                           SelectorKind::kOblivious,
+                                           SelectorKind::kOptimal),
+                         [](const auto& info) {
+                           return std::string(SelectorKindName(info.param));
+                         });
+
+TEST(ParallelDeterminism, ChordChurnMatchesSerial) {
+  ExperimentConfig cfg = BaseConfig(0xabba);
+  cfg.n_popularity_lists = 5;
+  ChurnConfig churn;
+  churn.warmup_s = 400;
+  churn.measure_s = 400;
+  cfg.threads = 1;
+  auto serial = RunChordChurn(cfg, churn, SelectorKind::kOptimal);
+  cfg.threads = 4;
+  auto parallel = RunChordChurn(cfg, churn, SelectorKind::kOptimal);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  ExpectIdenticalRuns(*serial, *parallel);
+}
+
+TEST(ParallelDeterminism, PastryChurnMatchesSerial) {
+  ExperimentConfig cfg = BaseConfig(0xdada);
+  ChurnConfig churn;
+  churn.warmup_s = 400;
+  churn.measure_s = 400;
+  cfg.threads = 1;
+  auto serial = RunPastryChurn(cfg, churn, SelectorKind::kOptimal);
+  cfg.threads = 4;
+  auto parallel = RunPastryChurn(cfg, churn, SelectorKind::kOptimal);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  ExpectIdenticalRuns(*serial, *parallel);
+}
+
+TEST(ParallelDeterminism, DefaultThreadCountAlsoMatches) {
+  ExperimentConfig cfg = BaseConfig(0x5eed);
+  cfg.threads = 1;
+  auto serial = RunChordStable(cfg, SelectorKind::kOptimal);
+  cfg.threads = 0;  // hardware concurrency, whatever this host has
+  auto parallel = RunChordStable(cfg, SelectorKind::kOptimal);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  ExpectIdenticalRuns(*serial, *parallel);
+}
+
+TEST(ParallelDeterminism, DifferentSeedsStillDiffer) {
+  // Guard against the per-node streams accidentally collapsing runs onto
+  // one trajectory: different experiment seeds must still give different
+  // measurements.
+  ExperimentConfig a = BaseConfig(1);
+  ExperimentConfig b = BaseConfig(2);
+  a.threads = 4;
+  b.threads = 4;
+  auto ra = RunChordStable(a, SelectorKind::kOptimal);
+  auto rb = RunChordStable(b, SelectorKind::kOptimal);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_NE(ra->avg_hops, rb->avg_hops);
+}
+
+}  // namespace
+}  // namespace peercache::experiments
