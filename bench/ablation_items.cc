@@ -4,15 +4,39 @@
 // making k pointers cover a larger fraction of the traffic.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
 #include "experiments/chord_experiment.h"
 #include "experiments/pastry_experiment.h"
 
+namespace {
+
+using peercache::bench::AveragedRow;
+using peercache::bench::BenchArgs;
+using peercache::bench::FigureRow;
+using namespace peercache::experiments;
+
+ExperimentConfig MakeConfig(uint64_t seed, int n, int k, double ratio,
+                            int lists, const BenchArgs& args) {
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.n_nodes = n;
+  cfg.k = k;
+  cfg.alpha = 1.2;
+  cfg.n_items = static_cast<size_t>(ratio * n);
+  cfg.n_popularity_lists = lists;
+  cfg.warmup_queries_per_node = args.quick ? 100 : 300;
+  cfg.measure_queries_per_node = args.quick ? 100 : 200;
+  cfg.threads = args.threads;
+  return cfg;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace peercache::experiments;
-  peercache::bench::BenchArgs args =
-      peercache::bench::BenchArgs::Parse(argc, argv);
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  peercache::bench::FigureJson json("ablation_items", "chord+pastry", args);
   const int n = args.quick ? 256 : 512;
   const int k = args.quick ? 8 : 9;
 
@@ -25,30 +49,28 @@ int main(int argc, char** argv) {
   std::printf("%s\n", std::string(46, '-').c_str());
 
   for (double ratio : {0.25, 0.5, 1.0, 4.0, 16.0}) {
-    double chord_impr = 0, pastry_impr = 0;
-    int runs = 0;
-    for (int s = 0; s < args.seeds; ++s) {
-      ExperimentConfig cfg;
-      cfg.seed = args.base_seed + static_cast<uint64_t>(s);
-      cfg.n_nodes = n;
-      cfg.k = k;
-      cfg.alpha = 1.2;
-      cfg.n_items = static_cast<size_t>(ratio * n);
-      cfg.warmup_queries_per_node = args.quick ? 100 : 300;
-      cfg.measure_queries_per_node = args.quick ? 100 : 200;
-
-      cfg.n_popularity_lists = 5;
-      auto chord = CompareChordStable(cfg);
-      cfg.n_popularity_lists = 1;
-      auto pastry = ComparePastryStable(cfg);
-      if (!chord.ok() || !pastry.ok()) continue;
-      chord_impr += chord->improvement_pct;
-      pastry_impr += pastry->improvement_pct;
-      ++runs;
-    }
-    if (runs == 0) continue;
-    std::printf("%-12.2f %14.1f %% %14.1f %%\n", ratio, chord_impr / runs,
-                pastry_impr / runs);
+    char label[64];
+    std::snprintf(label, sizeof(label), "chord items/n=%.2f", ratio);
+    FigureRow chord = AveragedRow(
+        args,
+        [&](uint64_t seed) {
+          return CompareChordStable(MakeConfig(seed, n, k, ratio, 5, args));
+        },
+        label, "-");
+    std::snprintf(label, sizeof(label), "pastry items/n=%.2f", ratio);
+    FigureRow pastry = AveragedRow(
+        args,
+        [&](uint64_t seed) {
+          return ComparePastryStable(MakeConfig(seed, n, k, ratio, 1, args));
+        },
+        label, "-");
+    if (!chord.detail.has_value() || !pastry.detail.has_value()) continue;
+    std::printf("%-12.2f %14.1f %% %14.1f %%\n", ratio, chord.improvement_pct,
+                pastry.improvement_pct);
+    json.AddRow(chord, "stable",
+                MakeConfig(args.base_seed, n, k, ratio, 5, args));
+    json.AddRow(pastry, "stable",
+                MakeConfig(args.base_seed, n, k, ratio, 1, args));
   }
-  return 0;
+  return json.WriteIfRequested(args);
 }

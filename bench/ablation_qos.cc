@@ -54,6 +54,27 @@ int main(int argc, char** argv) {
   const int k = 12;
   const int kTrials = args.quick ? 10 : 40;
 
+  // This ablation measures selector costs, not lookup runs, so it emits its
+  // own row schema instead of the shared figure document.
+  peercache::JsonWriter json;
+  json.BeginObject();
+  json.Key("schema_version");
+  json.Int(peercache::experiments::kTelemetrySchemaVersion);
+  json.Key("generator");
+  json.String("ablation_qos");
+  json.Key("kind");
+  json.String("qos_ablation");
+  json.Key("n");
+  json.Int(n);
+  json.Key("k");
+  json.Int(k);
+  json.Key("trials");
+  json.Int(kTrials);
+  json.Key("base_seed");
+  json.UInt(args.base_seed);
+  json.Key("rows");
+  json.BeginArray();
+
   std::printf(
       "Ablation — QoS-constrained vs unconstrained selection "
       "(n=%d, k=%d, zipf 1.2)\n",
@@ -101,8 +122,36 @@ int main(int argc, char** argv) {
         std::printf("%-10s %-8d %13.0f%% %14.0f %12.0f %9d/%d\n", system,
                     bound, 100 * frac, uncon_total, qos_total, infeasible,
                     kTrials);
+        json.BeginObject();
+        json.Key("system");
+        json.String(system);
+        json.Key("bound");
+        json.Int(bound);
+        json.Key("bounded_fraction");
+        json.Double(frac);
+        json.Key("unconstrained_cost");
+        json.Double(uncon_total);
+        json.Key("qos_cost");
+        json.Double(qos_total);
+        json.Key("feasible");
+        json.Int(feasible);
+        json.Key("infeasible");
+        json.Int(infeasible);
+        json.EndObject();
       }
     }
+  }
+
+  json.EndArray();
+  json.EndObject();
+  if (!args.json_out.empty()) {
+    peercache::Status st = peercache::experiments::WriteStringToFile(
+        args.json_out, json.TakeString() + "\n");
+    if (!st.ok()) {
+      std::fprintf(stderr, "json-out failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("telemetry written to %s\n", args.json_out.c_str());
   }
   return 0;
 }

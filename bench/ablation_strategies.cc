@@ -15,6 +15,21 @@ int main(int argc, char** argv) {
   peercache::bench::BenchArgs args =
       peercache::bench::BenchArgs::Parse(argc, argv);
 
+  // Strategy comparisons have their own result shape (no three-policy
+  // Comparison), so this binary emits its own row schema.
+  peercache::JsonWriter json;
+  json.BeginObject();
+  json.Key("schema_version");
+  json.Int(peercache::experiments::kTelemetrySchemaVersion);
+  json.Key("generator");
+  json.String("ablation_strategies");
+  json.Key("kind");
+  json.String("strategy_ablation");
+  json.Key("base_seed");
+  json.UInt(args.base_seed);
+  json.Key("rows");
+  json.BeginArray();
+
   std::printf(
       "Ablation — acceleration strategies vs item update period\n"
       "(Chord n=256, 1024 items, zipf 1.2; item cache TTL 60 s, cap 64;\n"
@@ -38,10 +53,36 @@ int main(int argc, char** argv) {
                 period, cmp->baseline.avg_hops, cmp->item_cache.avg_hops,
                 100 * cmp->item_cache.stale_fraction,
                 cmp->replication.avg_hops, cmp->peer_cache.avg_hops);
+    json.BeginObject();
+    json.Key("update_period_s");
+    json.Double(period);
+    json.Key("baseline_hops");
+    json.Double(cmp->baseline.avg_hops);
+    json.Key("item_cache_hops");
+    json.Double(cmp->item_cache.avg_hops);
+    json.Key("item_cache_stale_fraction");
+    json.Double(cmp->item_cache.stale_fraction);
+    json.Key("replication_hops");
+    json.Double(cmp->replication.avg_hops);
+    json.Key("peer_cache_hops");
+    json.Double(cmp->peer_cache.avg_hops);
+    json.EndObject();
   }
   std::printf(
       "\n(item-cache hops exclude its 0-hop hits; its cost is staleness."
       "\n replication update cost: every item update fans out to every "
       "replica.)\n");
+
+  json.EndArray();
+  json.EndObject();
+  if (!args.json_out.empty()) {
+    peercache::Status st = peercache::experiments::WriteStringToFile(
+        args.json_out, json.TakeString() + "\n");
+    if (!st.ok()) {
+      std::fprintf(stderr, "json-out failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("telemetry written to %s\n", args.json_out.c_str());
+  }
   return 0;
 }

@@ -8,14 +8,39 @@
 // a capacity of a few dozen entries.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
 #include "experiments/chord_experiment.h"
 
+namespace {
+
+using peercache::bench::AveragedRow;
+using peercache::bench::BenchArgs;
+using peercache::bench::FigureRow;
+using namespace peercache::experiments;
+
+ExperimentConfig MakeConfig(uint64_t seed, size_t capacity,
+                            const BenchArgs& args) {
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.n_nodes = 512;
+  cfg.k = 9;
+  cfg.alpha = 1.2;
+  cfg.n_items = 512;
+  cfg.n_popularity_lists = 5;
+  cfg.frequency_capacity = capacity;
+  cfg.warmup_queries_per_node = args.quick ? 100 : 300;
+  cfg.measure_queries_per_node = args.quick ? 100 : 200;
+  cfg.threads = args.threads;
+  return cfg;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace peercache::experiments;
-  peercache::bench::BenchArgs args = peercache::bench::BenchArgs::Parse(
-      argc, argv);
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  peercache::bench::FigureJson json("ablation_topn", "chord", args);
 
   std::printf(
       "Ablation — frequency-table capacity (Space-Saving top-n) vs lookup "
@@ -26,40 +51,20 @@ int main(int argc, char** argv) {
 
   for (size_t capacity : {size_t{8}, size_t{16}, size_t{32}, size_t{64},
                           size_t{128}, size_t{0}}) {
-    double obl = 0, opt = 0;
-    int runs = 0;
-    for (int s = 0; s < args.seeds; ++s) {
-      ExperimentConfig cfg;
-      cfg.seed = args.base_seed + static_cast<uint64_t>(s);
-      cfg.n_nodes = 512;
-      cfg.k = 9;
-      cfg.alpha = 1.2;
-      cfg.n_items = 512;
-      cfg.n_popularity_lists = 5;
-      cfg.frequency_capacity = capacity;
-      cfg.warmup_queries_per_node = args.quick ? 100 : 300;
-      cfg.measure_queries_per_node = args.quick ? 100 : 200;
-      auto cmp = CompareChordStable(cfg);
-      if (!cmp.ok()) {
-        std::fprintf(stderr, "run failed: %s\n",
-                     cmp.status().ToString().c_str());
-        continue;
-      }
-      obl += cmp->oblivious.avg_hops;
-      opt += cmp->optimal.avg_hops;
-      ++runs;
-    }
-    if (runs == 0) continue;
-    obl /= runs;
-    opt /= runs;
+    auto compare = [&](uint64_t seed) {
+      return CompareChordStable(MakeConfig(seed, capacity, args));
+    };
     char cap_label[32];
     if (capacity == 0) {
       std::snprintf(cap_label, sizeof(cap_label), "exact");
     } else {
       std::snprintf(cap_label, sizeof(cap_label), "%zu", capacity);
     }
-    std::printf("%-12s %9.3f hp %9.3f hp %12.1f %%\n", cap_label, obl, opt,
-                ImprovementPct(obl, opt));
+    FigureRow row = AveragedRow(args, compare, cap_label, "-");
+    if (!row.detail.has_value()) continue;
+    std::printf("%-12s %9.3f hp %9.3f hp %12.1f %%\n", cap_label,
+                row.oblivious_hops, row.optimal_hops, row.improvement_pct);
+    json.AddRow(row, "stable", MakeConfig(args.base_seed, capacity, args));
   }
-  return 0;
+  return json.WriteIfRequested(args);
 }

@@ -5,11 +5,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bits.h"
+#include "common/logging.h"
 #include "experiments/experiment_config.h"
+#include "experiments/json_report.h"
 
 namespace peercache::bench {
 
@@ -21,11 +25,14 @@ namespace peercache::bench {
 ///   --threads T    worker threads for the per-node experiment loops
 ///                  (0 = all hardware threads, 1 = serial; measured
 ///                  numbers are identical for every value)
+///   --json-out F   write the figure as a schema-versioned JSON document
+///   --log-level L  debug|info|warning|error (default warning)
 struct BenchArgs {
   bool quick = false;
   int seeds = 1;
   uint64_t base_seed = 1;
   int threads = 0;
+  std::string json_out;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -38,10 +45,20 @@ struct BenchArgs {
         args.base_seed = static_cast<uint64_t>(std::atoll(argv[++i]));
       } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
         args.threads = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+        args.json_out = argv[++i];
+      } else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
+        LogLevel level;
+        if (!ParseLogLevel(argv[++i], &level)) {
+          std::fprintf(stderr, "unknown log level: %s\n", argv[i]);
+          std::exit(2);
+        }
+        SetLogLevel(level);
       } else {
-        std::fprintf(
-            stderr, "usage: %s [--quick] [--seeds N] [--seed S] [--threads T]\n",
-            argv[0]);
+        std::fprintf(stderr,
+                     "usage: %s [--quick] [--seeds N] [--seed S] [--threads T]"
+                     " [--json-out FILE] [--log-level LEVEL]\n",
+                     argv[0]);
         std::exit(2);
       }
     }
@@ -67,6 +84,10 @@ struct FigureRow {
   double improvement_vs_none_pct = 0;
   double success_rate = 1.0;
   std::string paper_reference;  ///< What the paper reports for this point.
+  /// Full telemetry of the last successful seed (per-phase timings, hop
+  /// percentiles, aux-hit rates, cost-audit residuals). The averaged
+  /// columns above stay seed-averaged; this is the drill-down sample.
+  std::optional<experiments::Comparison> detail;
 };
 
 inline void PrintFigureHeader(const char* title, const char* label_name) {
@@ -108,6 +129,7 @@ FigureRow AveragedRow(const BenchArgs& args, CompareFn compare,
     row.oblivious_hops += cmp->oblivious.avg_hops;
     row.optimal_hops += cmp->optimal.avg_hops;
     row.success_rate += cmp->optimal.success_rate;
+    row.detail = std::move(*cmp);
   }
   if (ok_runs > 0) {
     row.none_hops /= ok_runs;
@@ -121,6 +143,92 @@ FigureRow AveragedRow(const BenchArgs& args, CompareFn compare,
   }
   return row;
 }
+
+/// Accumulates figure rows into a schema-versioned JSON document:
+///
+///   {"schema_version": 1, "generator": ..., "kind": "figure",
+///    "system": ..., "seeds": N, "base_seed": S, "quick": bool,
+///    "rows": [{"label": ..., "mode": ..., "config": {...},
+///              averaged columns..., "detail": <comparison|null>}]}
+///
+/// Rows are added unconditionally (cheap); `WriteIfRequested` is a no-op
+/// unless `--json-out` was passed. The per-row `config` is the one used
+/// for the row's base seed; `detail` carries the last seed's full
+/// telemetry (phase timings, hop p50/p95/p99, aux-hit rate, Eq. 1 audit).
+class FigureJson {
+ public:
+  FigureJson(const std::string& generator, const std::string& system,
+             const BenchArgs& args) {
+    writer_.BeginObject();
+    writer_.Key("schema_version");
+    writer_.Int(experiments::kTelemetrySchemaVersion);
+    writer_.Key("generator");
+    writer_.String(generator);
+    writer_.Key("kind");
+    writer_.String("figure");
+    writer_.Key("system");
+    writer_.String(system);
+    writer_.Key("seeds");
+    writer_.Int(args.seeds);
+    writer_.Key("base_seed");
+    writer_.UInt(args.base_seed);
+    writer_.Key("quick");
+    writer_.Bool(args.quick);
+    writer_.Key("rows");
+    writer_.BeginArray();
+  }
+
+  void AddRow(const FigureRow& row, const std::string& mode,
+              const experiments::ExperimentConfig& config) {
+    writer_.BeginObject();
+    writer_.Key("label");
+    writer_.String(row.label);
+    writer_.Key("mode");
+    writer_.String(mode);
+    writer_.Key("config");
+    experiments::WriteConfigJson(writer_, config);
+    writer_.Key("none_hops");
+    writer_.Double(row.none_hops);
+    writer_.Key("oblivious_hops");
+    writer_.Double(row.oblivious_hops);
+    writer_.Key("optimal_hops");
+    writer_.Double(row.optimal_hops);
+    writer_.Key("improvement_pct");
+    writer_.Double(row.improvement_pct);
+    writer_.Key("improvement_vs_none_pct");
+    writer_.Double(row.improvement_vs_none_pct);
+    writer_.Key("success_rate");
+    writer_.Double(row.success_rate);
+    writer_.Key("paper_reference");
+    writer_.String(row.paper_reference);
+    writer_.Key("detail");
+    if (row.detail.has_value()) {
+      experiments::WriteComparisonJson(writer_, *row.detail);
+    } else {
+      writer_.Null();
+    }
+    writer_.EndObject();
+  }
+
+  /// Returns a process exit code: 0 on success or when no output was
+  /// requested, 1 when the write failed.
+  int WriteIfRequested(const BenchArgs& args) {
+    if (args.json_out.empty()) return 0;
+    writer_.EndArray();
+    writer_.EndObject();
+    Status st = experiments::WriteStringToFile(args.json_out,
+                                               writer_.TakeString() + "\n");
+    if (!st.ok()) {
+      std::fprintf(stderr, "json-out failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("figure telemetry written to %s\n", args.json_out.c_str());
+    return 0;
+  }
+
+ private:
+  JsonWriter writer_;
+};
 
 }  // namespace peercache::bench
 

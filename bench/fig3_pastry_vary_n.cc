@@ -47,10 +47,26 @@ const char* PaperReference(int n, double alpha) {
   return "-";
 }
 
+ExperimentConfig MakeConfig(uint64_t seed, int n, double alpha,
+                            const BenchArgs& args) {
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.n_nodes = n;
+  cfg.k = CeilLog2(static_cast<uint64_t>(n));
+  cfg.alpha = alpha;
+  cfg.n_items = static_cast<size_t>(n);
+  cfg.n_popularity_lists = 1;  // identical ranking at all nodes
+  cfg.warmup_queries_per_node = args.quick ? 100 : 300;
+  cfg.measure_queries_per_node = args.quick ? 100 : 200;
+  cfg.threads = args.threads;
+  return cfg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv);
+  peercache::bench::FigureJson json("fig3_pastry_vary_n", "pastry", args);
   PrintFigureHeader(
       "Figure 3 — Pastry: improvement vs n (k = log2 n, identical ranking)",
       "n / alpha");
@@ -59,23 +75,15 @@ int main(int argc, char** argv) {
     for (int n : sizes) {
       if (args.quick && n > 512) continue;
       auto compare = [&](uint64_t seed) {
-        ExperimentConfig cfg;
-        cfg.seed = seed;
-        cfg.n_nodes = n;
-        cfg.k = CeilLog2(static_cast<uint64_t>(n));
-        cfg.alpha = alpha;
-        cfg.n_items = static_cast<size_t>(n);
-        cfg.n_popularity_lists = 1;  // identical ranking at all nodes
-        cfg.warmup_queries_per_node = args.quick ? 100 : 300;
-        cfg.measure_queries_per_node = args.quick ? 100 : 200;
-        cfg.threads = args.threads;
-        return ComparePastryStable(cfg);
+        return ComparePastryStable(MakeConfig(seed, n, alpha, args));
       };
       char label[64];
       std::snprintf(label, sizeof(label), "n=%-5d alpha=%.2f", n, alpha);
-      PrintFigureRow(
-          AveragedRow(args, compare, label, PaperReference(n, alpha)));
+      FigureRow row =
+          AveragedRow(args, compare, label, PaperReference(n, alpha));
+      PrintFigureRow(row);
+      json.AddRow(row, "stable", MakeConfig(args.base_seed, n, alpha, args));
     }
   }
-  return 0;
+  return json.WriteIfRequested(args);
 }

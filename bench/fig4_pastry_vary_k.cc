@@ -17,6 +17,7 @@ namespace {
 
 using peercache::bench::AveragedRow;
 using peercache::bench::BenchArgs;
+using peercache::bench::FigureRow;
 using peercache::bench::PrintFigureHeader;
 using peercache::bench::PrintFigureRow;
 using namespace peercache::experiments;
@@ -44,36 +45,45 @@ const char* PaperReference(int multiple, double alpha) {
   return "-";
 }
 
+ExperimentConfig MakeConfig(uint64_t seed, int k, double alpha,
+                            const BenchArgs& args) {
+  const int n = 1024;
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.n_nodes = n;
+  cfg.k = k;
+  cfg.alpha = alpha;
+  cfg.n_items = static_cast<size_t>(n);
+  cfg.n_popularity_lists = 1;
+  cfg.warmup_queries_per_node = args.quick ? 100 : 300;
+  cfg.measure_queries_per_node = args.quick ? 100 : 200;
+  cfg.threads = args.threads;
+  return cfg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv);
-  const int n = 1024;
+  peercache::bench::FigureJson json("fig4_pastry_vary_k", "pastry", args);
   const int log_n = 10;
   PrintFigureHeader("Figure 4 — Pastry: improvement vs k (n = 1024)",
                     "k / alpha");
   for (double alpha : {1.2, 0.91}) {
     for (int multiple = 1; multiple <= 3; ++multiple) {
       if (args.quick && multiple == 2) continue;
+      const int k = multiple * log_n;
       auto compare = [&](uint64_t seed) {
-        ExperimentConfig cfg;
-        cfg.seed = seed;
-        cfg.n_nodes = n;
-        cfg.k = multiple * log_n;
-        cfg.alpha = alpha;
-        cfg.n_items = static_cast<size_t>(n);
-        cfg.n_popularity_lists = 1;
-        cfg.warmup_queries_per_node = args.quick ? 100 : 300;
-        cfg.measure_queries_per_node = args.quick ? 100 : 200;
-        cfg.threads = args.threads;
-        return ComparePastryStable(cfg);
+        return ComparePastryStable(MakeConfig(seed, k, alpha, args));
       };
       char label[64];
-      std::snprintf(label, sizeof(label), "k=%dlogn=%-3d a=%.2f", multiple,
-                    multiple * log_n, alpha);
-      PrintFigureRow(
-          AveragedRow(args, compare, label, PaperReference(multiple, alpha)));
+      std::snprintf(label, sizeof(label), "k=%dlogn=%-3d a=%.2f", multiple, k,
+                    alpha);
+      FigureRow row =
+          AveragedRow(args, compare, label, PaperReference(multiple, alpha));
+      PrintFigureRow(row);
+      json.AddRow(row, "stable", MakeConfig(args.base_seed, k, alpha, args));
     }
   }
-  return 0;
+  return json.WriteIfRequested(args);
 }

@@ -18,6 +18,7 @@ namespace {
 using peercache::CeilLog2;
 using peercache::bench::AveragedRow;
 using peercache::bench::BenchArgs;
+using peercache::bench::FigureRow;
 using peercache::bench::PrintFigureHeader;
 using peercache::bench::PrintFigureRow;
 using namespace peercache::experiments;
@@ -68,6 +69,7 @@ ExperimentConfig MakeConfig(uint64_t seed, int n,
 
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv);
+  peercache::bench::FigureJson json("fig5_chord_vary_n", "chord", args);
   const int sizes[] = {128, 256, 512, 1024};
 
   PrintFigureHeader("Figure 5 — Chord: improvement vs n (k = log2 n), stable",
@@ -79,8 +81,10 @@ int main(int argc, char** argv) {
     };
     char label[64];
     std::snprintf(label, sizeof(label), "n=%-5d stable", n);
-    PrintFigureRow(AveragedRow(args, compare, label,
-                               PaperReference(n, /*churn=*/false)));
+    FigureRow row = AveragedRow(args, compare, label,
+                                PaperReference(n, /*churn=*/false));
+    PrintFigureRow(row);
+    json.AddRow(row, "stable", MakeConfig(args.base_seed, n, args));
   }
 
   PrintFigureHeader(
@@ -95,8 +99,10 @@ int main(int argc, char** argv) {
     };
     char label[64];
     std::snprintf(label, sizeof(label), "n=%-5d churn", n);
-    PrintFigureRow(AveragedRow(args, compare, label,
-                               PaperReference(n, /*churn=*/true)));
+    FigureRow row = AveragedRow(args, compare, label,
+                                PaperReference(n, /*churn=*/true));
+    PrintFigureRow(row);
+    json.AddRow(row, "churn", MakeConfig(args.base_seed, n, args));
   }
-  return 0;
+  return json.WriteIfRequested(args);
 }

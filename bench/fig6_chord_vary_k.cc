@@ -16,6 +16,7 @@ namespace {
 
 using peercache::bench::AveragedRow;
 using peercache::bench::BenchArgs;
+using peercache::bench::FigureRow;
 using peercache::bench::PrintFigureHeader;
 using peercache::bench::PrintFigureRow;
 using namespace peercache::experiments;
@@ -62,6 +63,7 @@ ExperimentConfig MakeConfig(uint64_t seed, int k,
 
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv);
+  peercache::bench::FigureJson json("fig6_chord_vary_k", "chord", args);
   const int log_n = 10;
 
   PrintFigureHeader("Figure 6 — Chord: improvement vs k (n = 1024), stable",
@@ -74,8 +76,11 @@ int main(int argc, char** argv) {
     char label[64];
     std::snprintf(label, sizeof(label), "k=%dlogn=%-3d stable", multiple,
                   multiple * log_n);
-    PrintFigureRow(AveragedRow(args, compare, label,
-                               PaperReference(multiple, /*churn=*/false)));
+    FigureRow row = AveragedRow(args, compare, label,
+                                PaperReference(multiple, /*churn=*/false));
+    PrintFigureRow(row);
+    json.AddRow(row, "stable",
+                MakeConfig(args.base_seed, multiple * log_n, args));
   }
 
   PrintFigureHeader(
@@ -92,8 +97,11 @@ int main(int argc, char** argv) {
     char label[64];
     std::snprintf(label, sizeof(label), "k=%dlogn=%-3d churn", multiple,
                   multiple * log_n);
-    PrintFigureRow(AveragedRow(args, compare, label,
-                               PaperReference(multiple, /*churn=*/true)));
+    FigureRow row = AveragedRow(args, compare, label,
+                                PaperReference(multiple, /*churn=*/true));
+    PrintFigureRow(row);
+    json.AddRow(row, "churn",
+                MakeConfig(args.base_seed, multiple * log_n, args));
   }
-  return 0;
+  return json.WriteIfRequested(args);
 }

@@ -19,7 +19,10 @@
 #include <vector>
 
 #include "common/bits.h"
+#include "common/json_writer.h"
+#include "common/logging.h"
 #include "experiments/chord_experiment.h"
+#include "experiments/json_report.h"
 #include "experiments/pastry_experiment.h"
 
 using namespace peercache;
@@ -33,6 +36,7 @@ struct Args {
   int measure = 50;
   uint64_t seed = 1;
   std::vector<int> threads_list = {1, 2, 4};
+  std::string json_out;
 
   static Args Parse(int argc, char** argv) {
     Args a;
@@ -61,10 +65,20 @@ struct Args {
           a.threads_list.push_back(std::atoi(list.substr(pos).c_str()));
           pos = comma + 1;
         }
+      } else if (!std::strcmp(argv[i], "--json-out")) {
+        a.json_out = next("--json-out");
+      } else if (!std::strcmp(argv[i], "--log-level")) {
+        LogLevel level;
+        if (!ParseLogLevel(next("--log-level"), &level)) {
+          std::fprintf(stderr, "unknown log level\n");
+          std::exit(2);
+        }
+        SetLogLevel(level);
       } else {
         std::fprintf(stderr,
                      "usage: %s [--n N] [--seed S] [--warmup Q] [--measure Q]"
-                     " [--threads-list 1,2,4]\n",
+                     " [--threads-list 1,2,4] [--json-out FILE]"
+                     " [--log-level LEVEL]\n",
                      argv[0]);
         std::exit(2);
       }
@@ -89,7 +103,7 @@ ExperimentConfig MakeConfig(const Args& args, int threads, int lists) {
 
 template <typename RunFn>
 int RunSystem(const char* name, const Args& args, int lists,
-              const RunFn& run) {
+              const RunFn& run, JsonWriter& json) {
   std::printf("%s, n=%d, k=%d, optimal selector\n", name, args.n,
               CeilLog2(static_cast<uint64_t>(args.n)));
   std::printf("%8s %12s %9s %12s %12s %10s\n", "threads", "selection",
@@ -123,6 +137,22 @@ int RunSystem(const char* name, const Args& args, int lists,
     std::printf("%8d %11.3fs %8.2fx %11.3fs %11.3fs %10.3f\n", threads,
                 result->selection_seconds, speedup, result->warmup_seconds,
                 result->measure_seconds, result->avg_hops);
+    json.BeginObject();
+    json.Key("system");
+    json.String(name);
+    json.Key("threads");
+    json.Int(threads);
+    json.Key("selection_seconds");
+    json.Double(result->selection_seconds);
+    json.Key("selection_speedup");
+    json.Double(speedup);
+    json.Key("warmup_seconds");
+    json.Double(result->warmup_seconds);
+    json.Key("measure_seconds");
+    json.Double(result->measure_seconds);
+    json.Key("avg_hops");
+    json.Double(result->avg_hops);
+    json.EndObject();
   }
   std::printf("selection-phase speedup bar (>=2x at >=4 threads): %s\n\n",
               bar_met ? "met" : "NOT met");
@@ -133,13 +163,45 @@ int RunSystem(const char* name, const Args& args, int lists,
 
 int main(int argc, char** argv) {
   Args args = Args::Parse(argc, argv);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema_version");
+  json.Int(kTelemetrySchemaVersion);
+  json.Key("generator");
+  json.String("parallel_scaling");
+  json.Key("kind");
+  json.String("scaling");
+  json.Key("n");
+  json.Int(args.n);
+  json.Key("seed");
+  json.UInt(args.seed);
+  json.Key("rows");
+  json.BeginArray();
+
   int rc = RunSystem("chord stable", args, /*lists=*/5,
                      [](const ExperimentConfig& cfg) {
                        return RunChordStable(cfg, SelectorKind::kOptimal);
-                     });
-  if (rc != 0) return rc;
-  return RunSystem("pastry stable", args, /*lists=*/1,
+                     },
+                     json);
+  if (rc == 0) {
+    rc = RunSystem("pastry stable", args, /*lists=*/1,
                    [](const ExperimentConfig& cfg) {
                      return RunPastryStable(cfg, SelectorKind::kOptimal);
-                   });
+                   },
+                   json);
+  }
+  if (rc != 0) return rc;
+
+  json.EndArray();
+  json.EndObject();
+  if (!args.json_out.empty()) {
+    Status st = WriteStringToFile(args.json_out, json.TakeString() + "\n");
+    if (!st.ok()) {
+      std::fprintf(stderr, "json-out failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("telemetry written to %s\n", args.json_out.c_str());
+  }
+  return 0;
 }

@@ -6,16 +6,21 @@
 //   $ ./sim_cli --system pastry --n 1024 --k 20 --alpha 0.91
 //
 // Prints the three-way policy comparison and the paper's improvement
-// metric, plus the hop histogram of the optimal run.
+// metric, plus the hop histogram of the optimal run. With --json-out the
+// same run also emits a schema-versioned telemetry document, and with
+// --trace-out the sampled route traces land in a JSONL file.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "common/bits.h"
+#include "common/logging.h"
 #include "common/thread_pool.h"
 #include "experiments/chord_experiment.h"
+#include "experiments/json_report.h"
 #include "experiments/pastry_experiment.h"
 
 using namespace peercache;
@@ -34,6 +39,9 @@ struct Args {
   uint64_t seed = 1;
   double duration_s = 2400;
   int threads = 0;  // 0 = hardware concurrency, 1 = serial
+  std::string json_out;
+  std::string trace_out;
+  int trace_sample = 0;  // 0 = pick a default when --trace-out is given
 
   static void Usage(const char* argv0) {
     std::fprintf(
@@ -41,9 +49,15 @@ struct Args {
         "usage: %s [--system chord|pastry] [--churn] [--n N] [--k K]\n"
         "          [--alpha A] [--items I] [--lists L] [--seed S]\n"
         "          [--duration SECONDS] [--threads T]\n"
-        "  --threads T   worker threads for the per-node loops\n"
-        "                (0 = all hardware threads, 1 = serial; results\n"
-        "                are identical for every value)\n",
+        "          [--json-out FILE] [--trace-out FILE] [--trace-sample P]\n"
+        "          [--log-level debug|info|warning|error]\n"
+        "  --threads T       worker threads for the per-node loops\n"
+        "                    (0 = all hardware threads, 1 = serial; results\n"
+        "                    are identical for every value)\n"
+        "  --json-out FILE   write a schema-versioned telemetry document\n"
+        "  --trace-out FILE  write sampled route traces as JSONL\n"
+        "  --trace-sample P  trace every P-th measured query per node\n"
+        "                    (default 0 = off, or 100 with --trace-out)\n",
         argv0);
     std::exit(2);
   }
@@ -78,12 +92,26 @@ struct Args {
         a.duration_s = std::atof(next("--duration"));
       } else if (!std::strcmp(argv[i], "--threads")) {
         a.threads = std::atoi(next("--threads"));
+      } else if (!std::strcmp(argv[i], "--json-out")) {
+        a.json_out = next("--json-out");
+      } else if (!std::strcmp(argv[i], "--trace-out")) {
+        a.trace_out = next("--trace-out");
+      } else if (!std::strcmp(argv[i], "--trace-sample")) {
+        a.trace_sample = std::atoi(next("--trace-sample"));
+      } else if (!std::strcmp(argv[i], "--log-level")) {
+        LogLevel level;
+        if (!ParseLogLevel(next("--log-level"), &level)) {
+          std::fprintf(stderr, "unknown log level\n");
+          Usage(argv[0]);
+        }
+        SetLogLevel(level);
       } else {
         Usage(argv[0]);
       }
     }
     if (a.system != "chord" && a.system != "pastry") Usage(argv[0]);
     if (a.n < 2) Usage(argv[0]);
+    if (a.trace_sample == 0 && !a.trace_out.empty()) a.trace_sample = 100;
     return a;
   }
 };
@@ -104,6 +132,7 @@ int main(int argc, char** argv) {
       args.lists > 0 ? args.lists : (args.system == "chord" ? 5 : 1);
   cfg.seed = args.seed;
   cfg.threads = args.threads;
+  cfg.trace_sample_period = args.trace_sample;
 
   std::printf(
       "%s %s: n=%d k=%d alpha=%.2f items=%zu lists=%d seed=%llu threads=%d\n\n",
@@ -149,5 +178,39 @@ int main(int argc, char** argv) {
               "measure %.3fs\n",
               cmp->optimal.warmup_seconds, cmp->optimal.selection_seconds,
               cmp->optimal.measure_seconds);
+
+  if (!args.json_out.empty()) {
+    const std::string doc = ComparisonDocument(
+        "sim_cli", args.system, args.churn ? "churn" : "stable", cfg, *cmp);
+    Status st = WriteStringToFile(args.json_out, doc + "\n");
+    if (!st.ok()) {
+      std::fprintf(stderr, "json-out failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("telemetry written to %s\n", args.json_out.c_str());
+  }
+
+  if (!args.trace_out.empty()) {
+    std::string lines;
+    const std::pair<const char*, const RunResult*> runs[] = {
+        {"none", &cmp->none},
+        {"oblivious", &cmp->oblivious},
+        {"optimal", &cmp->optimal}};
+    size_t n_traces = 0;
+    for (const auto& [policy, run] : runs) {
+      for (const RouteTrace& trace : run->traces) {
+        lines += TraceJsonLine(args.system, policy, trace);
+        lines += '\n';
+        ++n_traces;
+      }
+    }
+    Status st = WriteStringToFile(args.trace_out, lines);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace-out failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("%zu route traces written to %s\n", n_traces,
+                args.trace_out.c_str());
+  }
   return 0;
 }

@@ -147,11 +147,16 @@ std::vector<uint64_t> ChordNetwork::CoreNeighborIds(uint64_t id) const {
   return out;
 }
 
-Result<RouteResult> ChordNetwork::Lookup(uint64_t origin, uint64_t key) const {
+Result<RouteResult> ChordNetwork::Lookup(uint64_t origin, uint64_t key,
+                                         RouteTrace* trace) const {
   if (!IsAlive(origin)) return Status::Unavailable("origin not alive");
   auto truth = ResponsibleNode(key);
   if (!truth.ok()) return truth.status();
 
+  if (trace != nullptr) {
+    trace->origin = origin;
+    trace->key = key;
+  }
   RouteResult result;
   uint64_t current = origin;
   for (int hop = 0; hop <= params_.max_route_hops; ++hop) {
@@ -162,18 +167,20 @@ Result<RouteResult> ChordNetwork::Lookup(uint64_t origin, uint64_t key) const {
     // ("ping before forwarding").
     uint64_t next = current;
     uint64_t best_remaining = space_.ClockwiseDistance(current, key);
-    auto consider = [&](uint64_t w) {
+    HopEntryKind next_kind = HopEntryKind::kFinger;
+    auto consider = [&](uint64_t w, HopEntryKind kind) {
       if (w == current || !IsAlive(w)) return;
       if (!space_.InClockwiseRangeExclIncl(current, w, key)) return;
       uint64_t remaining = space_.ClockwiseDistance(w, key);
       if (remaining < best_remaining) {
         best_remaining = remaining;
         next = w;
+        next_kind = kind;
       }
     };
-    for (uint64_t w : node->fingers) consider(w);
-    for (uint64_t w : node->successors) consider(w);
-    for (uint64_t w : node->auxiliaries) consider(w);
+    for (uint64_t w : node->fingers) consider(w, HopEntryKind::kFinger);
+    for (uint64_t w : node->successors) consider(w, HopEntryKind::kSuccessor);
+    for (uint64_t w : node->auxiliaries) consider(w, HopEntryKind::kAuxiliary);
 
     if (next == current) {
       // No live entry between here and the key: to this node's knowledge it
@@ -181,7 +188,16 @@ Result<RouteResult> ChordNetwork::Lookup(uint64_t origin, uint64_t key) const {
       result.destination = current;
       result.hops = hop;
       result.success = (current == truth.value());
+      if (trace != nullptr) {
+        trace->destination = result.destination;
+        trace->success = result.success;
+        trace->hops = result.hops;
+      }
       return result;
+    }
+    if (next_kind == HopEntryKind::kAuxiliary) ++result.aux_hops;
+    if (trace != nullptr) {
+      trace->path.push_back({current, next, next_kind, best_remaining});
     }
     result.path.push_back(current);
     current = next;
@@ -189,6 +205,11 @@ Result<RouteResult> ChordNetwork::Lookup(uint64_t origin, uint64_t key) const {
   result.destination = current;
   result.hops = params_.max_route_hops;
   result.success = false;
+  if (trace != nullptr) {
+    trace->destination = result.destination;
+    trace->success = false;
+    trace->hops = result.hops;
+  }
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "auxsel/frequency_table.h"
 #include "common/ring_id.h"
 #include "common/status.h"
+#include "common/trace.h"
 
 namespace peercache::chord {
 
@@ -29,6 +30,7 @@ struct RouteResult {
   bool success = false;     ///< Delivered at the truly responsible node.
   uint64_t destination = 0; ///< Node the query was delivered to.
   int hops = 0;             ///< Overlay forwarding hops taken.
+  int aux_hops = 0;         ///< Hops forwarded through an auxiliary entry.
   /// Nodes that forwarded the query, in order (origin first, destination
   /// excluded). Every node here "has seen" the query in the paper's sense
   /// and may record the destination in its frequency table.
@@ -101,7 +103,11 @@ class ChordNetwork {
 
   /// Routes a lookup for `key` from `origin` over current (possibly stale)
   /// tables. Does not record frequencies; callers decide what to observe.
-  Result<RouteResult> Lookup(uint64_t origin, uint64_t key) const;
+  /// When `trace` is non-null the route's per-hop records (source, next
+  /// hop, core-vs-auxiliary entry, ring distance remaining) are appended to
+  /// it; the default null path adds no per-hop work beyond one branch.
+  Result<RouteResult> Lookup(uint64_t origin, uint64_t key,
+                             RouteTrace* trace = nullptr) const;
 
   /// Rebuilds `id`'s fingers and successor list from live membership
   /// (periodic stabilization). Dead auxiliaries are pruned (the paper's

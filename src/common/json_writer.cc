@@ -1,0 +1,140 @@
+#include "common/json_writer.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace peercache {
+
+void JsonWriter::BeforeValue() {
+  if (frames_.empty()) return;
+  if (frames_.back()) {
+    // Object scope: a key must have been written for this value.
+    assert(pending_key_ && "object values need a Key() first");
+    pending_key_ = false;
+  } else {
+    assert(!pending_key_);
+    if (has_value_.back()) out_.push_back(',');
+    has_value_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  frames_.push_back(true);
+  has_value_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  assert(!frames_.empty() && frames_.back() && !pending_key_);
+  out_.push_back('}');
+  frames_.pop_back();
+  has_value_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  frames_.push_back(false);
+  has_value_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  assert(!frames_.empty() && !frames_.back());
+  out_.push_back(']');
+  frames_.pop_back();
+  has_value_.pop_back();
+}
+
+void JsonWriter::Key(std::string_view key) {
+  assert(!frames_.empty() && frames_.back() && !pending_key_);
+  if (has_value_.back()) out_.push_back(',');
+  has_value_.back() = true;
+  out_.push_back('"');
+  out_ += Escape(key);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_.push_back('"');
+  out_ += Escape(value);
+  out_.push_back('"');
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  out_ += FormatDouble(value);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+std::string JsonWriter::FormatDouble(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == value) break;
+  }
+  std::string s(buf);
+  // "%g" can yield bare integers ("3"); that is still valid JSON.
+  return s;
+}
+
+std::string JsonWriter::Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace peercache

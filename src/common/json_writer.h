@@ -1,0 +1,68 @@
+#ifndef PEERCACHE_COMMON_JSON_WRITER_H_
+#define PEERCACHE_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace peercache {
+
+/// Minimal streaming JSON emitter for the observability layer.
+///
+/// Produces deterministic output: no whitespace beyond what the caller
+/// requests via Indent(), doubles rendered with shortest round-trip
+/// formatting ("%.17g" trimmed), and keys emitted in the order the caller
+/// writes them. Two runs that make the same call sequence produce
+/// byte-identical documents — the property the threads=1 vs threads=4
+/// telemetry test relies on.
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("schema_version"); w.Int(1);
+///   w.Key("rows"); w.BeginArray(); ... w.EndArray();
+///   w.EndObject();
+///   std::string doc = w.TakeString();
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key; the next value call provides its value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// The document so far. Valid once every Begin* has been closed.
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  /// Renders a double exactly as Double() would (shared with tests and
+  /// ad-hoc emitters so every JSON file formats numbers identically).
+  static std::string FormatDouble(double value);
+  /// Escapes a string body (no surrounding quotes).
+  static std::string Escape(std::string_view raw);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One frame per open container: true = object, false = array.
+  std::vector<bool> frames_;
+  /// Whether the current container already holds a value (comma needed).
+  std::vector<bool> has_value_;
+  bool pending_key_ = false;
+};
+
+}  // namespace peercache
+
+#endif  // PEERCACHE_COMMON_JSON_WRITER_H_

@@ -31,6 +31,35 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+bool ParseLogLevel(std::string_view name, LogLevel* level) {
+  if (name == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (name == "info") {
+    *level = LogLevel::kInfo;
+  } else if (name == "warning" || name == "warn") {
+    *level = LogLevel::kWarning;
+  } else if (name == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
 namespace internal_logging {
 
 void Emit(LogLevel level, const std::string& message) {

@@ -3,6 +3,7 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace peercache {
 
@@ -12,6 +13,13 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// kWarning so library consumers see nothing unless something is wrong.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses a `--log-level` flag value: "debug", "info", "warning" (or
+/// "warn"), "error". Returns false and leaves `*level` untouched on an
+/// unknown name.
+bool ParseLogLevel(std::string_view name, LogLevel* level);
+/// Canonical lowercase name for a level ("debug", "info", ...).
+const char* LogLevelName(LogLevel level);
 
 namespace internal_logging {
 

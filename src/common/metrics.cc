@@ -1,0 +1,189 @@
+#include "common/metrics.h"
+
+#include <cassert>
+
+namespace peercache {
+
+void MetricsShard::Count(std::string_view name, uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsShard::SetGauge(std::string_view name, double value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsShard::Observe(std::string_view name, double sample) {
+  auto it = stats_.find(name);
+  if (it == stats_.end()) {
+    it = stats_.emplace(std::string(name), OnlineStats{}).first;
+  }
+  it->second.Add(sample);
+}
+
+void MetricsShard::MergeStats(std::string_view name,
+                              const OnlineStats& samples) {
+  if (samples.count() == 0) return;  // do not create an empty instrument
+  auto it = stats_.find(name);
+  if (it == stats_.end()) {
+    it = stats_.emplace(std::string(name), OnlineStats{}).first;
+  }
+  it->second.Merge(samples);
+}
+
+void MetricsShard::ObserveHistogram(std::string_view name, int value,
+                                    int max_value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram(max_value)).first;
+  }
+  it->second.Add(value);
+}
+
+void MetricsShard::AddTimerSeconds(std::string_view name, double seconds) {
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    timers_.emplace(std::string(name), seconds);
+  } else {
+    it->second += seconds;
+  }
+}
+
+uint64_t MetricsShard::counter(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsShard::gauge(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const OnlineStats* MetricsShard::stats(std::string_view name) const {
+  auto it = stats_.find(name);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsShard::histogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+double MetricsShard::timer_seconds(std::string_view name) const {
+  auto it = timers_.find(name);
+  return it == timers_.end() ? 0.0 : it->second;
+}
+
+bool MetricsShard::empty() const {
+  return counters_.empty() && gauges_.empty() && stats_.empty() &&
+         histograms_.empty() && timers_.empty();
+}
+
+void MetricsShard::Merge(const MetricsShard& other) {
+  for (const auto& [name, delta] : other.counters_) Count(name, delta);
+  for (const auto& [name, value] : other.gauges_) SetGauge(name, value);
+  for (const auto& [name, stats] : other.stats_) {
+    auto it = stats_.find(name);
+    if (it == stats_.end()) {
+      stats_.emplace(name, stats);
+    } else {
+      it->second.Merge(stats);
+    }
+  }
+  for (const auto& [name, hist] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, hist);
+    } else {
+      it->second.Merge(hist);
+    }
+  }
+  for (const auto& [name, seconds] : other.timers_) {
+    AddTimerSeconds(name, seconds);
+  }
+}
+
+void MetricsShard::WriteJson(JsonWriter& w, bool include_timers) const {
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : counters_) {
+    w.Key(name);
+    w.UInt(value);
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, value] : gauges_) {
+    w.Key(name);
+    w.Double(value);
+  }
+  w.EndObject();
+  if (include_timers) {
+    w.Key("timers_seconds");
+    w.BeginObject();
+    for (const auto& [name, value] : timers_) {
+      w.Key(name);
+      w.Double(value);
+    }
+    w.EndObject();
+  }
+  w.Key("stats");
+  w.BeginObject();
+  for (const auto& [name, s] : stats_) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("count");
+    w.UInt(s.count());
+    w.Key("mean");
+    w.Double(s.mean());
+    w.Key("stddev");
+    w.Double(s.stddev());
+    w.Key("min");
+    w.Double(s.min());
+    w.Key("max");
+    w.Double(s.max());
+    w.Key("sum");
+    w.Double(s.sum());
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("count");
+    w.UInt(h.count());
+    w.Key("mean");
+    w.Double(h.Mean());
+    w.Key("p50");
+    w.Int(h.Percentile(0.50));
+    w.Key("p95");
+    w.Int(h.Percentile(0.95));
+    w.Key("p99");
+    w.Int(h.Percentile(0.99));
+    w.Key("overflow");
+    w.UInt(h.overflow());
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+MetricsShard MetricsRegistry::Merged() const {
+  MetricsShard merged;
+  for (const MetricsShard& shard : shards_) merged.Merge(shard);
+  return merged;
+}
+
+}  // namespace peercache

@@ -1,0 +1,120 @@
+#ifndef PEERCACHE_COMMON_METRICS_H_
+#define PEERCACHE_COMMON_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "common/stats.h"
+
+namespace peercache {
+
+/// One shard of named metric instruments: counters, gauges, wall-clock
+/// timers, and the repo's OnlineStats / Histogram accumulators as
+/// registrable instruments.
+///
+/// A shard is single-writer (no internal locking). Concurrent code gives
+/// each worker task its own shard — in the experiment engine, one shard per
+/// *node index*, not per thread — and merges the shards afterwards in index
+/// order. Because the merge order is a property of the data layout rather
+/// than the scheduler, merged results are bit-identical at every thread
+/// count, matching the determinism contract of the parallel engine
+/// (docs/ALGORITHMS.md §4).
+class MetricsShard {
+ public:
+  /// Adds `delta` to a named monotonic counter.
+  void Count(std::string_view name, uint64_t delta = 1);
+  /// Sets a named point-in-time value (merge: the later shard wins).
+  void SetGauge(std::string_view name, double value);
+  /// Feeds one sample into a named OnlineStats accumulator.
+  void Observe(std::string_view name, double sample);
+  /// Folds a locally accumulated OnlineStats into a named accumulator in
+  /// one call. Hot loops batch their samples in a stack-local OnlineStats
+  /// and flush once, instead of paying a name lookup per sample; merging
+  /// into a fresh instrument is an exact copy, so the result is
+  /// bit-identical to per-sample Observe calls in the same order.
+  void MergeStats(std::string_view name, const OnlineStats& samples);
+  /// Feeds one value into a named fixed-bucket Histogram. `max_value` is
+  /// used only when the instrument is first created; merging shards whose
+  /// same-named histograms disagree on max_value is a programming error.
+  void ObserveHistogram(std::string_view name, int value, int max_value = 64);
+  /// Accumulates wall-clock seconds under a named per-phase timer.
+  void AddTimerSeconds(std::string_view name, double seconds);
+
+  uint64_t counter(std::string_view name) const;
+  double gauge(std::string_view name) const;
+  /// Null when the instrument does not exist.
+  const OnlineStats* stats(std::string_view name) const;
+  const Histogram* histogram(std::string_view name) const;
+  double timer_seconds(std::string_view name) const;
+
+  bool empty() const;
+
+  /// Folds `other` into this shard. Counters and timers add; gauges take
+  /// `other`'s value; OnlineStats and Histograms use their own Merge. Call
+  /// in ascending shard-index order for deterministic floating-point
+  /// results.
+  void Merge(const MetricsShard& other);
+
+  /// Emits `{"counters":{...},"gauges":{...},"timers_seconds":{...},
+  /// "stats":{...},"histograms":{...}}` with keys in sorted order.
+  /// `include_timers = false` drops the wall-clock section, leaving only
+  /// fields that are deterministic across runs and thread counts.
+  void WriteJson(JsonWriter& w, bool include_timers = true) const;
+
+ private:
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, OnlineStats, std::less<>> stats_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, double, std::less<>> timers_;
+};
+
+/// Registry owning a fixed set of shards. Sized to the parallel loop's
+/// iteration count (one shard per node) so that writes need no
+/// synchronization and Merged() is deterministic.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(size_t n_shards = 1)
+      : shards_(n_shards == 0 ? 1 : n_shards) {}
+
+  size_t shard_count() const { return shards_.size(); }
+  MetricsShard& shard(size_t i) { return shards_[i]; }
+  const MetricsShard& shard(size_t i) const { return shards_[i]; }
+
+  /// Merges every shard in index order into one snapshot.
+  MetricsShard Merged() const;
+
+ private:
+  std::vector<MetricsShard> shards_;
+};
+
+/// RAII wall-clock timer: accumulates its lifetime into a shard timer.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsShard& shard, std::string name)
+      : shard_(shard),
+        name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    shard_.AddTimerSeconds(
+        name_, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start_)
+                   .count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsShard& shard_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace peercache
+
+#endif  // PEERCACHE_COMMON_METRICS_H_

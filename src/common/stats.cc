@@ -7,6 +7,22 @@
 
 namespace peercache {
 
+namespace {
+
+/// One Neumaier-compensated addition: accumulates the rounding error of
+/// `sum += x` into `compensation` so sum+compensation stays exact.
+void CompensatedAdd(double& sum, double& compensation, double x) {
+  const double t = sum + x;
+  if (std::abs(sum) >= std::abs(x)) {
+    compensation += (sum - t) + x;
+  } else {
+    compensation += (x - t) + sum;
+  }
+  sum = t;
+}
+
+}  // namespace
+
 void OnlineStats::Add(double x) {
   if (count_ == 0) {
     min_ = max_ = x;
@@ -15,6 +31,7 @@ void OnlineStats::Add(double x) {
     max_ = std::max(max_, x);
   }
   ++count_;
+  CompensatedAdd(sum_, sum_compensation_, x);
   double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
@@ -26,6 +43,8 @@ void OnlineStats::Merge(const OnlineStats& other) {
     *this = other;
     return;
   }
+  CompensatedAdd(sum_, sum_compensation_, other.sum_);
+  CompensatedAdd(sum_, sum_compensation_, other.sum_compensation_);
   uint64_t n = count_ + other.count_;
   double delta = other.mean_ - mean_;
   double na = static_cast<double>(count_);

@@ -20,7 +20,9 @@ class OnlineStats {
   double stddev() const;
   double min() const { return count_ == 0 ? 0.0 : min_; }
   double max() const { return count_ == 0 ? 0.0 : max_; }
-  double sum() const { return mean_ * static_cast<double>(count_); }
+  /// Running sum tracked with Neumaier-Kahan compensation rather than
+  /// reconstructed as mean*count (which drifts for large counts).
+  double sum() const { return sum_ + sum_compensation_; }
 
  private:
   uint64_t count_ = 0;
@@ -28,6 +30,8 @@ class OnlineStats {
   double m2_ = 0;
   double min_ = 0;
   double max_ = 0;
+  double sum_ = 0;
+  double sum_compensation_ = 0;  ///< Kahan carry for sum_.
 };
 
 /// Fixed-bucket integer histogram for hop counts: buckets 0..max_value, plus
@@ -43,8 +47,12 @@ class Histogram {
   uint64_t count() const { return count_; }
   uint64_t BucketCount(int value) const;
   uint64_t overflow() const { return overflow_; }
+  /// Largest exactly-tracked value (buckets run 0..max_value).
+  int max_value() const { return static_cast<int>(buckets_.size()) - 1; }
+  int64_t sum() const { return sum_; }
   double Mean() const;
   /// Smallest v such that at least q (in [0,1]) of the mass is <= v.
+  /// Overflow mass reports as max_value()+1.
   int Percentile(double q) const;
 
   /// One-line textual rendering "mean=… p50=… p99=… max_bucket=…".

@@ -1,0 +1,65 @@
+#ifndef PEERCACHE_COMMON_TRACE_H_
+#define PEERCACHE_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace peercache {
+
+/// Which routing-table entry a hop was forwarded through. Chord hops use
+/// kFinger / kSuccessor / kAuxiliary; Pastry hops use kRoutingRow /
+/// kLeafSet / kAuxiliary. Core-vs-auxiliary is the distinction the paper's
+/// argument turns on: auxiliary hops are the ones peer caching added.
+enum class HopEntryKind : uint8_t {
+  kFinger = 0,
+  kSuccessor,
+  kRoutingRow,
+  kLeafSet,
+  kAuxiliary,
+};
+
+inline const char* HopEntryKindName(HopEntryKind kind) {
+  switch (kind) {
+    case HopEntryKind::kFinger:
+      return "finger";
+    case HopEntryKind::kSuccessor:
+      return "successor";
+    case HopEntryKind::kRoutingRow:
+      return "routing_row";
+    case HopEntryKind::kLeafSet:
+      return "leaf_set";
+    case HopEntryKind::kAuxiliary:
+      return "auxiliary";
+  }
+  return "?";
+}
+
+inline bool IsAuxiliaryHop(HopEntryKind kind) {
+  return kind == HopEntryKind::kAuxiliary;
+}
+
+/// One forwarding step of a traced lookup.
+struct HopRecord {
+  uint64_t from = 0;          ///< Node that forwarded the query.
+  uint64_t to = 0;            ///< Next-hop node id.
+  HopEntryKind kind = HopEntryKind::kFinger;  ///< Table entry used.
+  /// Distance-to-key remaining *after* the hop, in the overlay's own
+  /// metric: clockwise ring distance for Chord, b - lcp(to, key) for
+  /// Pastry. Monotone decrease here is what makes a route auditable.
+  uint64_t remaining = 0;
+};
+
+/// Full record of one sampled lookup. Collected only when a caller passes a
+/// RouteTrace* to Lookup — the untraced path costs one branch per hop.
+struct RouteTrace {
+  uint64_t origin = 0;
+  uint64_t key = 0;
+  uint64_t destination = 0;
+  bool success = false;
+  int hops = 0;
+  std::vector<HopRecord> path;
+};
+
+}  // namespace peercache
+
+#endif  // PEERCACHE_COMMON_TRACE_H_

@@ -1,7 +1,10 @@
 #include "experiments/chord_experiment.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
+#include <limits>
+#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -56,9 +59,19 @@ struct SeedPlan {
 /// needs no query history, matching the paper's baseline). Runs
 /// concurrently for distinct nodes: it reads the overlay, reads its own
 /// node's frequency table, and writes only its own node's auxiliary list.
+///
+/// For the optimal policy, `predicted_hops` (if non-null) receives the
+/// selector's Eq. 1 cost normalized by the node's total observed frequency
+/// — the cost model's promised frequency-weighted route length, audited
+/// against measured hops (experiments/cost_audit.h). NaN when no
+/// prediction exists (non-optimal policies, or no observed peers).
 Status InstallAuxiliaries(ChordNetwork& net, uint64_t node_id,
                           SelectorKind selector, int k, Rng& selection_rng,
-                          const std::vector<auxsel::PeerFreq>& peer_pool) {
+                          const std::vector<auxsel::PeerFreq>& peer_pool,
+                          double* predicted_hops = nullptr) {
+  if (predicted_hops != nullptr) {
+    *predicted_hops = std::numeric_limits<double>::quiet_NaN();
+  }
   if (selector == SelectorKind::kNone) {
     return net.SetAuxiliaries(node_id, {});
   }
@@ -80,6 +93,12 @@ Status InstallAuxiliaries(ChordNetwork& net, uint64_t node_id,
     return auxsel::SelectChordOblivious(input, selection_rng);
   }();
   if (!sel.ok()) return sel.status();
+
+  if (predicted_hops != nullptr && selector == SelectorKind::kOptimal) {
+    double total_freq = 0.0;
+    for (const auxsel::PeerFreq& p : input.peers) total_freq += p.frequency;
+    if (total_freq > 0.0) *predicted_hops = sel->cost / total_freq;
+  }
 
   // A node whose observed peer set is smaller than k (common early under
   // churn, where few queries have been seen between recomputations) fills
@@ -142,14 +161,18 @@ Result<RunResult> RunChordStable(const ExperimentConfig& config,
   }
   result.warmup_seconds = warmup_timer.Seconds();
 
-  // Auxiliary selection, one independent RNG stream per node.
+  // Auxiliary selection, one independent RNG stream per node. Each task
+  // also records the selector's Eq. 1 prediction into its own slot for the
+  // cost-model audit.
   PhaseTimer selection_timer;
   const std::vector<auxsel::PeerFreq> peer_pool = ObliviousPool(node_ids);
+  std::vector<double> predicted(node_ids.size(),
+                                std::numeric_limits<double>::quiet_NaN());
   if (Status s = internal::ParallelInstall(
           pool, node_ids, seeds.selection,
-          [&](uint64_t id, Rng& rng) {
+          [&](size_t i, uint64_t id, Rng& rng) {
             return InstallAuxiliaries(net, id, selector, config.k, rng,
-                                      peer_pool);
+                                      peer_pool, &predicted[i]);
           });
       !s.ok()) {
     return s;
@@ -159,13 +182,15 @@ Result<RunResult> RunChordStable(const ExperimentConfig& config,
 
   // Measurement.
   PhaseTimer measure_timer;
-  if (Status s =
-          internal::ParallelMeasure(pool, net, node_ids, queries, seeds.measure,
-                                    config.measure_queries_per_node, result);
+  if (Status s = internal::ParallelMeasure(
+          pool, net, node_ids, queries, seeds.measure,
+          config.measure_queries_per_node, config.trace_sample_period,
+          predicted, result);
       !s.ok()) {
     return s;
   }
   result.measure_seconds = measure_timer.Seconds();
+  internal::RecordPhaseTimers(result);
   return result;
 }
 
@@ -205,6 +230,7 @@ Result<RunResult> RunChordChurn(const ExperimentConfig& config,
   const double t_end = churn.warmup_s + churn.measure_s;
   RunResult result;
   uint64_t successes = 0;
+  internal::ChurnObservability obs(config.trace_sample_period);
 
   // Node life cycle: alternate alive/dead with exp(mean_lifetime) stays.
   // The overlay is never drained below two live nodes.
@@ -248,11 +274,16 @@ Result<RunResult> RunChordChurn(const ExperimentConfig& config,
     std::vector<uint64_t> live = net.LiveNodeIds();
     const std::vector<auxsel::PeerFreq> peer_pool = ObliviousPool(live);
     const uint64_t round_seed = SplitSeed(seeds.selection, recompute_round++);
+    std::vector<double> predicted(live.size(),
+                                  std::numeric_limits<double>::quiet_NaN());
     (void)internal::ParallelInstall(
-        pool, live, round_seed, [&](uint64_t id, Rng& rng) {
+        pool, live, round_seed, [&](size_t i, uint64_t id, Rng& rng) {
           return InstallAuxiliaries(net, id, selector, config.k, rng,
-                                    peer_pool);
+                                    peer_pool, &predicted[i]);
         });
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (std::isfinite(predicted[i])) obs.predicted[live[i]] = predicted[i];
+    }
     result.selection_seconds += selection_timer.Seconds();
     if (eq.now() + churn.recompute_interval_s <= t_end) {
       eq.ScheduleAfter(churn.recompute_interval_s, recompute_tick);
@@ -267,14 +298,21 @@ Result<RunResult> RunChordChurn(const ExperimentConfig& config,
       const uint64_t origin =
           live[static_cast<size_t>(origin_rng.UniformU64(live.size()))];
       const uint64_t key = queries.SampleKey(origin, query_key_rng);
-      auto route = net.Lookup(origin, key);
+      const bool in_window = eq.now() >= churn.warmup_s;
+      const bool trace_this = in_window && obs.ShouldTraceNext();
+      RouteTrace trace;
+      auto route = net.Lookup(origin, key, trace_this ? &trace : nullptr);
       if (route.ok()) {
-        const bool in_window = eq.now() >= churn.warmup_s;
-        if (in_window) ++result.queries;
+        if (in_window) {
+          ++result.queries;
+          obs.OnMeasuredQuery();
+          if (trace_this) result.traces.push_back(std::move(trace));
+        }
         if (route->success) {
           if (in_window) {
             ++successes;
             result.hop_histogram.Add(route->hops);
+            obs.OnMeasuredSuccess(origin, route->hops, route->aux_hops);
           }
           // Every node that saw the query learns which peer answered it
           // (paper Sec. III: "the set of nodes for which s has seen
@@ -302,6 +340,7 @@ Result<RunResult> RunChordChurn(const ExperimentConfig& config,
                                   static_cast<double>(result.queries);
   result.avg_hops = result.hop_histogram.Mean();
   internal::CollectAuxiliaries(net, net.LiveNodeIds(), result);
+  obs.Finalize(result);
   return result;
 }
 

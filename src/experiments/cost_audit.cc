@@ -1,0 +1,20 @@
+#include "experiments/cost_audit.h"
+
+#include <cmath>
+
+namespace peercache::experiments {
+
+CostAuditSummary SummarizeCostAudit(
+    const std::vector<CostAuditEntry>& entries) {
+  CostAuditSummary summary;
+  for (const CostAuditEntry& e : entries) {
+    if (e.measured_queries == 0 || !std::isfinite(e.predicted_hops)) continue;
+    const double residual = e.measured_hops - e.predicted_hops;
+    ++summary.nodes;
+    summary.residual.Add(residual);
+    summary.abs_residual.Add(std::abs(residual));
+  }
+  return summary;
+}
+
+}  // namespace peercache::experiments

@@ -1,0 +1,44 @@
+#ifndef PEERCACHE_EXPERIMENTS_COST_AUDIT_H_
+#define PEERCACHE_EXPERIMENTS_COST_AUDIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace peercache::experiments {
+
+/// Per-node audit of the selection cost model: the selector's Eq. 1
+/// prediction against reality. `predicted_hops` is the selector's Eq. 1
+/// cost normalized by the node's total observed frequency — the
+/// frequency-weighted route length the cost model promises after
+/// installing the chosen auxiliaries. `measured_hops` is the mean hop
+/// count actually measured for lookups originated by this node over the
+/// same (frequency-weighted, Zipf) workload. The residual distribution is
+/// a live correctness check on the DP/greedy/fast selectors: a systematic
+/// bias means the distance estimate d(v, N ∪ A) has drifted from what the
+/// router does.
+struct CostAuditEntry {
+  uint64_t node_id = 0;
+  double predicted_hops = 0.0;
+  double measured_hops = 0.0;
+  uint64_t measured_queries = 0;  ///< Successful measured lookups averaged.
+};
+
+/// Residual distribution over all audited nodes.
+struct CostAuditSummary {
+  uint64_t nodes = 0;
+  /// measured - predicted, one sample per audited node. Positive mean =
+  /// the model is optimistic (real routes are longer than Eq. 1 promises).
+  OnlineStats residual;
+  OnlineStats abs_residual;
+};
+
+/// Summarizes entries in their stored order (callers keep them sorted by
+/// node id, so the floating-point accumulation order is deterministic).
+/// Entries with no measured queries are skipped.
+CostAuditSummary SummarizeCostAudit(const std::vector<CostAuditEntry>& entries);
+
+}  // namespace peercache::experiments
+
+#endif  // PEERCACHE_EXPERIMENTS_COST_AUDIT_H_

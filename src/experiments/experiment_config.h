@@ -6,7 +6,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/stats.h"
+#include "common/trace.h"
+#include "experiments/cost_audit.h"
 
 namespace peercache::experiments {
 
@@ -46,6 +49,12 @@ struct ExperimentConfig {
   /// path. Results are bit-identical for every value (each node draws from
   /// its own RNG stream; see docs/ALGORITHMS.md §4).
   int threads = 0;
+  /// Route-trace sampling: record a full per-hop trace for every Nth
+  /// measured query per node (0 = tracing off, the default — the untraced
+  /// routing path costs one branch per hop). Sampled traces land in
+  /// RunResult::traces in node order, so they too are thread-count
+  /// invariant. See docs/OBSERVABILITY.md.
+  int trace_sample_period = 0;
 };
 
 /// Churn-mode parameters (paper Sec. VI-C): nodes alternate between alive
@@ -74,6 +83,22 @@ struct RunResult {
   double warmup_seconds = 0.0;
   double selection_seconds = 0.0;
   double measure_seconds = 0.0;
+  /// Observability (docs/OBSERVABILITY.md). Forwarding-hop totals over the
+  /// successful measured lookups, split core vs auxiliary: the aux-hit
+  /// rate is the fraction of forwarding decisions that went through a
+  /// peer-cache auxiliary entry.
+  uint64_t total_route_hops = 0;
+  uint64_t aux_route_hops = 0;
+  double aux_hit_rate = 0.0;
+  /// Eq. 1 cost-model audit entries, ascending node id. Populated for
+  /// kOptimal runs (the only policy whose selector predicts a cost).
+  std::vector<CostAuditEntry> cost_audit;
+  /// Sampled per-hop route traces (config.trace_sample_period), merged in
+  /// node order so output is identical at every thread count.
+  std::vector<RouteTrace> traces;
+  /// Merged per-node metric shards from the measurement loop, plus the
+  /// phase timers above; serialized into every --json-out document.
+  MetricsShard metrics;
 };
 
 /// Side-by-side comparison at identical seeds/workload.

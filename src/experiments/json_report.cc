@@ -1,0 +1,226 @@
+#include "experiments/json_report.h"
+
+#include <cstdio>
+
+#include "experiments/cost_audit.h"
+
+namespace peercache::experiments {
+
+namespace {
+
+void WriteOnlineStatsJson(JsonWriter& w, const OnlineStats& s) {
+  w.BeginObject();
+  w.Key("count");
+  w.UInt(s.count());
+  w.Key("mean");
+  w.Double(s.mean());
+  w.Key("stddev");
+  w.Double(s.stddev());
+  w.Key("min");
+  w.Double(s.min());
+  w.Key("max");
+  w.Double(s.max());
+  w.EndObject();
+}
+
+void WriteHistogramJson(JsonWriter& w, const Histogram& h) {
+  w.BeginObject();
+  w.Key("count");
+  w.UInt(h.count());
+  w.Key("mean");
+  w.Double(h.Mean());
+  w.Key("p50");
+  w.Int(h.Percentile(0.50));
+  w.Key("p95");
+  w.Int(h.Percentile(0.95));
+  w.Key("p99");
+  w.Int(h.Percentile(0.99));
+  w.Key("overflow");
+  w.UInt(h.overflow());
+  // Per-bucket counts up to the last nonzero bucket: enough to rebuild the
+  // full distribution without padding every document to max_value entries.
+  int last = -1;
+  for (int v = 0; v <= h.max_value(); ++v) {
+    if (h.BucketCount(v) > 0) last = v;
+  }
+  w.Key("buckets");
+  w.BeginArray();
+  for (int v = 0; v <= last; ++v) w.UInt(h.BucketCount(v));
+  w.EndArray();
+  w.EndObject();
+}
+
+}  // namespace
+
+void WriteConfigJson(JsonWriter& w, const ExperimentConfig& config) {
+  w.BeginObject();
+  w.Key("bits");
+  w.Int(config.bits);
+  w.Key("n_nodes");
+  w.Int(config.n_nodes);
+  w.Key("k");
+  w.Int(config.k);
+  w.Key("alpha");
+  w.Double(config.alpha);
+  w.Key("n_items");
+  w.UInt(config.n_items);
+  w.Key("n_popularity_lists");
+  w.Int(config.n_popularity_lists);
+  w.Key("seed");
+  w.UInt(config.seed);
+  w.Key("warmup_queries_per_node");
+  w.Int(config.warmup_queries_per_node);
+  w.Key("measure_queries_per_node");
+  w.Int(config.measure_queries_per_node);
+  w.Key("frequency_capacity");
+  w.UInt(config.frequency_capacity);
+  w.Key("successor_list_size");
+  w.Int(config.successor_list_size);
+  w.Key("leaf_set_half");
+  w.Int(config.leaf_set_half);
+  w.Key("threads");
+  w.Int(config.threads);
+  w.Key("trace_sample_period");
+  w.Int(config.trace_sample_period);
+  w.EndObject();
+}
+
+void WriteRunResultJson(JsonWriter& w, const RunResult& result) {
+  w.BeginObject();
+  w.Key("avg_hops");
+  w.Double(result.avg_hops);
+  w.Key("success_rate");
+  w.Double(result.success_rate);
+  w.Key("queries");
+  w.UInt(result.queries);
+  w.Key("phase_seconds");
+  w.BeginObject();
+  w.Key("warmup");
+  w.Double(result.warmup_seconds);
+  w.Key("selection");
+  w.Double(result.selection_seconds);
+  w.Key("measure");
+  w.Double(result.measure_seconds);
+  w.EndObject();
+  w.Key("hop_histogram");
+  WriteHistogramJson(w, result.hop_histogram);
+  w.Key("aux_hit_rate");
+  w.Double(result.aux_hit_rate);
+  w.Key("aux_route_hops");
+  w.UInt(result.aux_route_hops);
+  w.Key("total_route_hops");
+  w.UInt(result.total_route_hops);
+  w.Key("cost_audit");
+  {
+    const CostAuditSummary audit = SummarizeCostAudit(result.cost_audit);
+    w.BeginObject();
+    w.Key("nodes");
+    w.UInt(audit.nodes);
+    w.Key("residual");
+    WriteOnlineStatsJson(w, audit.residual);
+    w.Key("abs_residual");
+    WriteOnlineStatsJson(w, audit.abs_residual);
+    w.EndObject();
+  }
+  w.Key("sampled_traces");
+  w.UInt(result.traces.size());
+  w.Key("metrics");
+  result.metrics.WriteJson(w);
+  w.EndObject();
+}
+
+void WriteComparisonJson(JsonWriter& w, const Comparison& cmp) {
+  w.BeginObject();
+  w.Key("runs");
+  w.BeginObject();
+  w.Key("none");
+  WriteRunResultJson(w, cmp.none);
+  w.Key("oblivious");
+  WriteRunResultJson(w, cmp.oblivious);
+  w.Key("optimal");
+  WriteRunResultJson(w, cmp.optimal);
+  w.EndObject();
+  w.Key("improvement_pct");
+  w.Double(cmp.improvement_pct);
+  w.Key("improvement_vs_none_pct");
+  w.Double(cmp.improvement_vs_none_pct);
+  w.EndObject();
+}
+
+std::string ComparisonDocument(const std::string& generator,
+                               const std::string& system,
+                               const std::string& mode,
+                               const ExperimentConfig& config,
+                               const Comparison& cmp) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(kTelemetrySchemaVersion);
+  w.Key("generator");
+  w.String(generator);
+  w.Key("kind");
+  w.String("comparison");
+  w.Key("system");
+  w.String(system);
+  w.Key("mode");
+  w.String(mode);
+  w.Key("config");
+  WriteConfigJson(w, config);
+  w.Key("comparison");
+  WriteComparisonJson(w, cmp);
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string TraceJsonLine(const std::string& system, const char* policy,
+                          const RouteTrace& trace) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("system");
+  w.String(system);
+  w.Key("policy");
+  w.String(policy);
+  w.Key("origin");
+  w.UInt(trace.origin);
+  w.Key("key");
+  w.UInt(trace.key);
+  w.Key("destination");
+  w.UInt(trace.destination);
+  w.Key("success");
+  w.Bool(trace.success);
+  w.Key("hops");
+  w.Int(trace.hops);
+  w.Key("path");
+  w.BeginArray();
+  for (const HopRecord& hop : trace.path) {
+    w.BeginObject();
+    w.Key("from");
+    w.UInt(hop.from);
+    w.Key("to");
+    w.UInt(hop.to);
+    w.Key("entry");
+    w.String(HopEntryKindName(hop.kind));
+    w.Key("remaining");
+    w.UInt(hop.remaining);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != content.size() || !flushed) {
+    return Status::Unavailable("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace peercache::experiments

@@ -1,0 +1,53 @@
+#ifndef PEERCACHE_EXPERIMENTS_JSON_REPORT_H_
+#define PEERCACHE_EXPERIMENTS_JSON_REPORT_H_
+
+#include <string>
+
+#include "common/json_writer.h"
+#include "common/status.h"
+#include "common/trace.h"
+#include "experiments/experiment_config.h"
+
+namespace peercache::experiments {
+
+/// Version stamped into every machine-readable telemetry document
+/// (`schema_version`). Bump when a field is renamed or its meaning
+/// changes; adding fields is backward compatible and needs no bump.
+/// The schema itself is documented in docs/OBSERVABILITY.md.
+inline constexpr int kTelemetrySchemaVersion = 1;
+
+/// Emits the config block shared by every document: one key per
+/// ExperimentConfig field, in declaration order.
+void WriteConfigJson(JsonWriter& w, const ExperimentConfig& config);
+
+/// Emits one run's telemetry object: headline numbers, per-phase wall
+/// clock, hop histogram with p50/p95/p99 and per-bucket counts, aux-hit
+/// rate, the Eq. 1 cost-audit residual distribution, and the merged
+/// metrics-registry snapshot.
+void WriteRunResultJson(JsonWriter& w, const RunResult& result);
+
+/// Emits the three-policy comparison: `runs.{none,oblivious,optimal}`
+/// plus both improvement metrics.
+void WriteComparisonJson(JsonWriter& w, const Comparison& cmp);
+
+/// Builds a complete schema-versioned comparison document.
+/// `generator` names the binary ("sim_cli", "fig5_chord_vary_n", ...);
+/// `system` is "chord" or "pastry"; `mode` is "stable" or "churn".
+std::string ComparisonDocument(const std::string& generator,
+                               const std::string& system,
+                               const std::string& mode,
+                               const ExperimentConfig& config,
+                               const Comparison& cmp);
+
+/// One sampled route trace as a single JSONL line (no trailing newline).
+/// `policy` labels which run of a comparison produced it.
+std::string TraceJsonLine(const std::string& system, const char* policy,
+                          const RouteTrace& trace);
+
+/// Writes `content` to `path` (truncating). Status::Unavailable on I/O
+/// failure.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace peercache::experiments
+
+#endif  // PEERCACHE_EXPERIMENTS_JSON_REPORT_H_

@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <limits>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -63,8 +65,10 @@ inline std::vector<auxsel::PeerFreq> PoolWithoutSelf(
   return peers;
 }
 
-/// Runs `install(node_id, rng)` for every node with an independent RNG
-/// stream per node, and returns the first (lowest-index) failure.
+/// Runs `install(index, node_id, rng)` for every node with an independent
+/// RNG stream per node, and returns the first (lowest-index) failure. The
+/// index lets callers write per-node side channels (e.g. the predicted
+/// Eq. 1 cost for the audit) into index-addressed slots without locking.
 /// `selection_seed` must be fresh per round (churn recomputations split a
 /// round counter off the base selection seed) so repeated rounds do not
 /// replay identical random draws.
@@ -74,7 +78,7 @@ Status ParallelInstall(ThreadPool& pool, const std::vector<uint64_t>& ids,
   std::vector<Status> statuses(ids.size());
   pool.ParallelFor(0, ids.size(), 1, [&](size_t i) {
     Rng rng(SplitSeed(selection_seed, ids[i]));
-    statuses[i] = install(ids[i], rng);
+    statuses[i] = install(i, ids[i], rng);
   });
   for (const Status& s : statuses) {
     if (!s.ok()) return s;
@@ -116,25 +120,45 @@ Status ParallelWarmup(ThreadPool& pool, Network& net,
 /// Measurement: routes every node's queries over the finished overlay
 /// (Lookup is const) into index-addressed partials, then merges them in
 /// node order into `result`. Thread count cannot affect the totals.
+///
+/// Observability side channels, all thread-count invariant:
+///  * one MetricsRegistry shard per node, merged in index order into
+///    `result.metrics`;
+///  * every `trace_sample_period`-th query per node is routed with a
+///    RouteTrace, collected per node and concatenated in node order;
+///  * `predicted_hops[i]` (may be empty, or NaN per slot = no prediction)
+///    pairs the selector's Eq. 1 prediction with this node's measured mean
+///    to form `result.cost_audit`.
 template <typename Network>
 Status ParallelMeasure(ThreadPool& pool, const Network& net,
                        const std::vector<uint64_t>& node_ids,
                        workload::QueryWorkload& queries, uint64_t measure_seed,
-                       int queries_per_node, RunResult& result) {
+                       int queries_per_node, int trace_sample_period,
+                       const std::vector<double>& predicted_hops,
+                       RunResult& result) {
   struct Partial {
     Status status;
     uint64_t queries = 0;
     uint64_t successes = 0;
+    uint64_t sum_hops = 0;      // over successful lookups
+    uint64_t aux_hops = 0;      // auxiliary-entry hops over successful lookups
     Histogram hops{64};
+    OnlineStats hop_stats;
+    std::vector<RouteTrace> traces;
   };
   std::vector<Partial> partials(node_ids.size());
+  MetricsRegistry registry(node_ids.size());
   pool.ParallelFor(0, node_ids.size(), 1, [&](size_t i) {
     const uint64_t origin = node_ids[i];
     Partial& part = partials[i];
+    MetricsShard& shard = registry.shard(i);
     Rng rng(SplitSeed(measure_seed, origin));
     for (int q = 0; q < queries_per_node; ++q) {
       const uint64_t key = queries.SampleKey(origin, rng);
-      auto route = net.Lookup(origin, key);
+      const bool trace_this =
+          trace_sample_period > 0 && q % trace_sample_period == 0;
+      RouteTrace trace;
+      auto route = net.Lookup(origin, key, trace_this ? &trace : nullptr);
       if (!route.ok()) {
         part.status = route.status();
         return;
@@ -142,25 +166,143 @@ Status ParallelMeasure(ThreadPool& pool, const Network& net,
       ++part.queries;
       if (route->success) {
         ++part.successes;
+        part.sum_hops += static_cast<uint64_t>(route->hops);
+        part.aux_hops += static_cast<uint64_t>(route->aux_hops);
         part.hops.Add(route->hops);
+        part.hop_stats.Add(static_cast<double>(route->hops));
       }
+      if (trace_this) part.traces.push_back(std::move(trace));
     }
+    // Flush the node's accumulators into its shard once, outside the query
+    // loop: a name lookup per sample is measurable at measurement-loop
+    // rates, and merging an OnlineStats built in query order is
+    // bit-identical to per-sample Observe calls.
+    shard.Count("lookup.queries", part.queries);
+    shard.Count("lookup.successes", part.successes);
+    shard.Count("lookup.route_hops", part.sum_hops);
+    shard.Count("lookup.aux_hops", part.aux_hops);
+    shard.MergeStats("lookup.hops", part.hop_stats);
   });
 
   uint64_t successes = 0;
-  for (const Partial& part : partials) {
+  for (size_t i = 0; i < partials.size(); ++i) {
+    Partial& part = partials[i];
     if (!part.status.ok()) return part.status;
     result.queries += part.queries;
     successes += part.successes;
     result.hop_histogram.Merge(part.hops);
+    result.total_route_hops += part.sum_hops;
+    result.aux_route_hops += part.aux_hops;
+    for (RouteTrace& t : part.traces) result.traces.push_back(std::move(t));
+    const double predicted = i < predicted_hops.size()
+                                 ? predicted_hops[i]
+                                 : std::numeric_limits<double>::quiet_NaN();
+    if (part.successes > 0 && predicted == predicted) {  // non-NaN
+      CostAuditEntry entry;
+      entry.node_id = node_ids[i];
+      entry.predicted_hops = predicted;
+      entry.measured_hops = static_cast<double>(part.sum_hops) /
+                            static_cast<double>(part.successes);
+      entry.measured_queries = part.successes;
+      result.cost_audit.push_back(entry);
+    }
   }
+  std::sort(result.cost_audit.begin(), result.cost_audit.end(),
+            [](const CostAuditEntry& a, const CostAuditEntry& b) {
+              return a.node_id < b.node_id;
+            });
+  result.metrics = registry.Merged();
   result.success_rate = result.queries == 0
                             ? 1.0
                             : static_cast<double>(successes) /
                                   static_cast<double>(result.queries);
   result.avg_hops = result.hop_histogram.Mean();
+  result.aux_hit_rate =
+      result.total_route_hops == 0
+          ? 0.0
+          : static_cast<double>(result.aux_route_hops) /
+                static_cast<double>(result.total_route_hops);
   return Status::Ok();
 }
+
+/// Copies the RunResult phase timings into its metrics snapshot so every
+/// --json-out document carries them under the registry's timer namespace.
+inline void RecordPhaseTimers(RunResult& result) {
+  result.metrics.AddTimerSeconds("phase.warmup_seconds",
+                                 result.warmup_seconds);
+  result.metrics.AddTimerSeconds("phase.selection_seconds",
+                                 result.selection_seconds);
+  result.metrics.AddTimerSeconds("phase.measure_seconds",
+                                 result.measure_seconds);
+}
+
+/// Serial observability accumulator for the churn drivers: the event loop
+/// routes queries one at a time, so a single metrics shard suffices. It
+/// collects the same instruments as ParallelMeasure, plus the per-node
+/// measured means the Eq. 1 audit pairs with the *latest* recompute
+/// round's predictions (under churn the selector re-predicts every round;
+/// auditing the final round against the whole window is the best available
+/// comparison and is reported as such in docs/OBSERVABILITY.md).
+struct ChurnObservability {
+  explicit ChurnObservability(int trace_sample_period)
+      : trace_period(trace_sample_period) {}
+
+  /// Whether the *next* in-window query should be routed with a trace.
+  bool ShouldTraceNext() const {
+    return trace_period > 0 &&
+           measured_queries % static_cast<uint64_t>(trace_period) == 0;
+  }
+
+  void OnMeasuredQuery() {
+    ++measured_queries;
+    shard.Count("lookup.queries");
+  }
+
+  void OnMeasuredSuccess(uint64_t origin, int hops, int aux_hops) {
+    shard.Count("lookup.successes");
+    shard.Count("lookup.route_hops", static_cast<uint64_t>(hops));
+    shard.Count("lookup.aux_hops", static_cast<uint64_t>(aux_hops));
+    shard.Observe("lookup.hops", static_cast<double>(hops));
+    total_route_hops += static_cast<uint64_t>(hops);
+    aux_route_hops += static_cast<uint64_t>(aux_hops);
+    auto& acc = measured[origin];
+    acc.first += static_cast<uint64_t>(hops);
+    acc.second += 1;
+  }
+
+  void Finalize(RunResult& result) {
+    result.total_route_hops = total_route_hops;
+    result.aux_route_hops = aux_route_hops;
+    result.aux_hit_rate = total_route_hops == 0
+                              ? 0.0
+                              : static_cast<double>(aux_route_hops) /
+                                    static_cast<double>(total_route_hops);
+    // `measured` is an ordered map: entries come out in ascending node id.
+    for (const auto& [node_id, acc] : measured) {
+      auto it = predicted.find(node_id);
+      if (it == predicted.end() || !(it->second == it->second)) continue;
+      CostAuditEntry entry;
+      entry.node_id = node_id;
+      entry.predicted_hops = it->second;
+      entry.measured_hops = static_cast<double>(acc.first) /
+                            static_cast<double>(acc.second);
+      entry.measured_queries = acc.second;
+      result.cost_audit.push_back(entry);
+    }
+    result.metrics.Merge(shard);
+    RecordPhaseTimers(result);
+  }
+
+  int trace_period;
+  uint64_t measured_queries = 0;
+  uint64_t total_route_hops = 0;
+  uint64_t aux_route_hops = 0;
+  MetricsShard shard;
+  /// node id -> (sum of measured hops, successful measured lookups).
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> measured;
+  /// node id -> latest Eq. 1 predicted mean hops (NaN entries skipped).
+  std::map<uint64_t, double> predicted;
+};
 
 /// Snapshots every listed node's installed auxiliary set, sorted by id,
 /// for the determinism test's selection comparison.

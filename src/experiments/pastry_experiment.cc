@@ -1,6 +1,9 @@
 #include "experiments/pastry_experiment.h"
 
+#include <cmath>
 #include <functional>
+#include <limits>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -42,10 +45,16 @@ struct SeedPlan {
 };
 
 /// See chord_experiment.cc: same contract, Pastry selectors. Safe to run
-/// concurrently for distinct nodes.
+/// concurrently for distinct nodes. `predicted_hops` (if non-null)
+/// receives the selector's Eq. 1 cost / total observed frequency for the
+/// cost-model audit (NaN when no prediction exists).
 Status InstallAuxiliaries(PastryNetwork& net, uint64_t node_id,
                           SelectorKind selector, int k, Rng& selection_rng,
-                          const std::vector<auxsel::PeerFreq>& peer_pool) {
+                          const std::vector<auxsel::PeerFreq>& peer_pool,
+                          double* predicted_hops = nullptr) {
+  if (predicted_hops != nullptr) {
+    *predicted_hops = std::numeric_limits<double>::quiet_NaN();
+  }
   if (selector == SelectorKind::kNone) {
     return net.SetAuxiliaries(node_id, {});
   }
@@ -67,6 +76,12 @@ Status InstallAuxiliaries(PastryNetwork& net, uint64_t node_id,
     return auxsel::SelectPastryOblivious(input, selection_rng);
   }();
   if (!sel.ok()) return sel.status();
+
+  if (predicted_hops != nullptr && selector == SelectorKind::kOptimal) {
+    double total_freq = 0.0;
+    for (const auxsel::PeerFreq& p : input.peers) total_freq += p.frequency;
+    if (total_freq > 0.0) *predicted_hops = sel->cost / total_freq;
+  }
 
   // Pad a too-small optimal selection with oblivious picks so both policies
   // install exactly k pointers (see chord_experiment.cc).
@@ -127,11 +142,13 @@ Result<RunResult> RunPastryStable(const ExperimentConfig& config,
 
   PhaseTimer selection_timer;
   const std::vector<auxsel::PeerFreq> peer_pool = ObliviousPool(node_ids);
+  std::vector<double> predicted(node_ids.size(),
+                                std::numeric_limits<double>::quiet_NaN());
   if (Status s = internal::ParallelInstall(
           pool, node_ids, seeds.selection,
-          [&](uint64_t id, Rng& rng) {
+          [&](size_t i, uint64_t id, Rng& rng) {
             return InstallAuxiliaries(net, id, selector, config.k, rng,
-                                      peer_pool);
+                                      peer_pool, &predicted[i]);
           });
       !s.ok()) {
     return s;
@@ -140,13 +157,15 @@ Result<RunResult> RunPastryStable(const ExperimentConfig& config,
   internal::CollectAuxiliaries(net, node_ids, result);
 
   PhaseTimer measure_timer;
-  if (Status s =
-          internal::ParallelMeasure(pool, net, node_ids, queries, seeds.measure,
-                                    config.measure_queries_per_node, result);
+  if (Status s = internal::ParallelMeasure(
+          pool, net, node_ids, queries, seeds.measure,
+          config.measure_queries_per_node, config.trace_sample_period,
+          predicted, result);
       !s.ok()) {
     return s;
   }
   result.measure_seconds = measure_timer.Seconds();
+  internal::RecordPhaseTimers(result);
   return result;
 }
 
@@ -186,6 +205,7 @@ Result<RunResult> RunPastryChurn(const ExperimentConfig& config,
   const double t_end = churn.warmup_s + churn.measure_s;
   RunResult result;
   uint64_t successes = 0;
+  internal::ChurnObservability obs(config.trace_sample_period);
 
   std::function<void(uint64_t)> schedule_leave;
   std::function<void(uint64_t)> schedule_rejoin;
@@ -222,11 +242,16 @@ Result<RunResult> RunPastryChurn(const ExperimentConfig& config,
     std::vector<uint64_t> live = net.LiveNodeIds();
     const std::vector<auxsel::PeerFreq> peer_pool = ObliviousPool(live);
     const uint64_t round_seed = SplitSeed(seeds.selection, recompute_round++);
+    std::vector<double> predicted(live.size(),
+                                  std::numeric_limits<double>::quiet_NaN());
     (void)internal::ParallelInstall(
-        pool, live, round_seed, [&](uint64_t id, Rng& rng) {
+        pool, live, round_seed, [&](size_t i, uint64_t id, Rng& rng) {
           return InstallAuxiliaries(net, id, selector, config.k, rng,
-                                    peer_pool);
+                                    peer_pool, &predicted[i]);
         });
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (std::isfinite(predicted[i])) obs.predicted[live[i]] = predicted[i];
+    }
     result.selection_seconds += selection_timer.Seconds();
     if (eq.now() + churn.recompute_interval_s <= t_end) {
       eq.ScheduleAfter(churn.recompute_interval_s, recompute_tick);
@@ -240,14 +265,21 @@ Result<RunResult> RunPastryChurn(const ExperimentConfig& config,
       const uint64_t origin =
           live[static_cast<size_t>(origin_rng.UniformU64(live.size()))];
       const uint64_t key = queries.SampleKey(origin, query_key_rng);
-      auto route = net.Lookup(origin, key);
+      const bool in_window = eq.now() >= churn.warmup_s;
+      const bool trace_this = in_window && obs.ShouldTraceNext();
+      RouteTrace trace;
+      auto route = net.Lookup(origin, key, trace_this ? &trace : nullptr);
       if (route.ok()) {
-        const bool in_window = eq.now() >= churn.warmup_s;
-        if (in_window) ++result.queries;
+        if (in_window) {
+          ++result.queries;
+          obs.OnMeasuredQuery();
+          if (trace_this) result.traces.push_back(std::move(trace));
+        }
         if (route->success) {
           if (in_window) {
             ++successes;
             result.hop_histogram.Add(route->hops);
+            obs.OnMeasuredSuccess(origin, route->hops, route->aux_hops);
           }
           for (uint64_t seen_by : route->path) {
             if (PastryNode* n = net.GetNode(seen_by); n != nullptr) {
@@ -271,6 +303,7 @@ Result<RunResult> RunPastryChurn(const ExperimentConfig& config,
                                   static_cast<double>(result.queries);
   result.avg_hops = result.hop_histogram.Mean();
   internal::CollectAuxiliaries(net, net.LiveNodeIds(), result);
+  obs.Finalize(result);
   return result;
 }
 

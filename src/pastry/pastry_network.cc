@@ -186,8 +186,8 @@ Result<uint64_t> PastryNetwork::ResponsibleNode(uint64_t key) const {
   return std::min(pred, succ);
 }
 
-Result<RouteResult> PastryNetwork::Lookup(uint64_t origin,
-                                          uint64_t key) const {
+Result<RouteResult> PastryNetwork::Lookup(uint64_t origin, uint64_t key,
+                                          RouteTrace* trace) const {
   if (!IsAlive(origin)) return Status::Unavailable("origin not alive");
   auto truth = ResponsibleNode(key);
   if (!truth.ok()) return truth.status();
@@ -195,6 +195,22 @@ Result<RouteResult> PastryNetwork::Lookup(uint64_t origin,
   auto ring_distance = [this](uint64_t a, uint64_t b) {
     return std::min(space_.ClockwiseDistance(a, b),
                     space_.ClockwiseDistance(b, a));
+  };
+  // Trace metric: prefix digits still to resolve after landing on `w`.
+  auto prefix_remaining = [this, key](uint64_t w) {
+    return static_cast<uint64_t>(params_.bits -
+                                 CommonPrefixLength(w, key, params_.bits));
+  };
+  if (trace != nullptr) {
+    trace->origin = origin;
+    trace->key = key;
+  }
+  auto finish = [&](RouteResult& r) {
+    if (trace != nullptr) {
+      trace->destination = r.destination;
+      trace->success = r.success;
+      trace->hops = r.hops;
+    }
   };
 
   RouteResult result;
@@ -214,6 +230,7 @@ Result<RouteResult> PastryNetwork::Lookup(uint64_t origin,
       result.destination = current;
       result.hops = hop;
       result.success = (current == truth.value());
+      finish(result);
       return result;
     }
 
@@ -246,8 +263,15 @@ Result<RouteResult> PastryNetwork::Lookup(uint64_t origin,
       }
       result.destination = closest;
       result.hops = hop + (closest == current ? 0 : 1);
-      if (closest != current) result.path.push_back(current);
+      if (closest != current) {
+        result.path.push_back(current);
+        if (trace != nullptr) {
+          trace->path.push_back({current, closest, HopEntryKind::kLeafSet,
+                                 prefix_remaining(closest)});
+        }
+      }
       result.success = (closest == truth.value());
+      finish(result);
       return result;
     }
 
@@ -258,8 +282,9 @@ Result<RouteResult> PastryNetwork::Lookup(uint64_t origin,
     uint64_t next = kNoEntry;
     int best_lcp = current_lcp;
     double best_prox = 0;
+    HopEntryKind next_kind = HopEntryKind::kRoutingRow;
     if (!numeric_mode) {
-      auto consider_prefix = [&](uint64_t w) {
+      auto consider_prefix = [&](uint64_t w, HopEntryKind kind) {
         if (w == kNoEntry || w == current || !IsAlive(w)) return;
         const int l = CommonPrefixLength(w, key, params_.bits);
         if (l <= current_lcp) return;
@@ -269,11 +294,18 @@ Result<RouteResult> PastryNetwork::Lookup(uint64_t origin,
           next = w;
           best_lcp = l;
           best_prox = d;
+          next_kind = kind;
         }
       };
-      for (uint64_t w : node->routing_rows) consider_prefix(w);
-      for (uint64_t w : node->leaf_set) consider_prefix(w);
-      for (uint64_t w : node->auxiliaries) consider_prefix(w);
+      for (uint64_t w : node->routing_rows) {
+        consider_prefix(w, HopEntryKind::kRoutingRow);
+      }
+      for (uint64_t w : node->leaf_set) {
+        consider_prefix(w, HopEntryKind::kLeafSet);
+      }
+      for (uint64_t w : node->auxiliaries) {
+        consider_prefix(w, HopEntryKind::kAuxiliary);
+      }
     }
 
     if (next == kNoEntry) {
@@ -281,17 +313,24 @@ Result<RouteResult> PastryNetwork::Lookup(uint64_t origin,
       // is strictly closer to the key than this node, from here on out.
       numeric_mode = true;
       uint64_t best_dist = ring_distance(current, key);
-      auto consider_numeric = [&](uint64_t w) {
+      auto consider_numeric = [&](uint64_t w, HopEntryKind kind) {
         if (w == kNoEntry || w == current || !IsAlive(w)) return;
         const uint64_t d = ring_distance(w, key);
         if (d < best_dist) {
           best_dist = d;
           next = w;
+          next_kind = kind;
         }
       };
-      for (uint64_t w : node->routing_rows) consider_numeric(w);
-      for (uint64_t w : node->leaf_set) consider_numeric(w);
-      for (uint64_t w : node->auxiliaries) consider_numeric(w);
+      for (uint64_t w : node->routing_rows) {
+        consider_numeric(w, HopEntryKind::kRoutingRow);
+      }
+      for (uint64_t w : node->leaf_set) {
+        consider_numeric(w, HopEntryKind::kLeafSet);
+      }
+      for (uint64_t w : node->auxiliaries) {
+        consider_numeric(w, HopEntryKind::kAuxiliary);
+      }
     }
 
     if (next == kNoEntry) {
@@ -299,7 +338,13 @@ Result<RouteResult> PastryNetwork::Lookup(uint64_t origin,
       result.destination = current;
       result.hops = hop;
       result.success = (current == truth.value());
+      finish(result);
       return result;
+    }
+    if (next_kind == HopEntryKind::kAuxiliary) ++result.aux_hops;
+    if (trace != nullptr) {
+      trace->path.push_back({current, next, next_kind,
+                             prefix_remaining(next)});
     }
     result.path.push_back(current);
     current = next;
@@ -307,6 +352,7 @@ Result<RouteResult> PastryNetwork::Lookup(uint64_t origin,
   result.destination = current;
   result.hops = params_.max_route_hops;
   result.success = false;
+  finish(result);
   return result;
 }
 

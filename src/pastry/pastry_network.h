@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "common/ring_id.h"
 #include "common/status.h"
+#include "common/trace.h"
 
 namespace peercache::pastry {
 
@@ -31,6 +32,7 @@ struct RouteResult {
   bool success = false;
   uint64_t destination = 0;
   int hops = 0;
+  int aux_hops = 0;  ///< Hops forwarded through an auxiliary entry.
   /// Nodes that forwarded the query, origin first, destination excluded.
   std::vector<uint64_t> path;
 };
@@ -104,8 +106,11 @@ class PastryNetwork {
   /// the lower id wins exact ties). Fails on an empty overlay.
   Result<uint64_t> ResponsibleNode(uint64_t key) const;
 
-  /// Routes a lookup from `origin` over current tables.
-  Result<RouteResult> Lookup(uint64_t origin, uint64_t key) const;
+  /// Routes a lookup from `origin` over current tables. When `trace` is
+  /// non-null, per-hop records (source, next hop, entry used, prefix
+  /// distance remaining) are appended; the null path costs one branch.
+  Result<RouteResult> Lookup(uint64_t origin, uint64_t key,
+                             RouteTrace* trace = nullptr) const;
 
   /// Rebuilds `id`'s routing rows and leaf set from live membership, with
   /// proximity-aware row filling (closest candidate per row), and prunes

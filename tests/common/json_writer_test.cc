@@ -1,0 +1,130 @@
+#include "common/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace peercache {
+namespace {
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  JsonWriter w;
+  w.BeginObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{}");
+
+  JsonWriter a;
+  a.BeginArray();
+  a.EndArray();
+  EXPECT_EQ(a.str(), "[]");
+}
+
+TEST(JsonWriter, ObjectWithScalars) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("i");
+  w.Int(-3);
+  w.Key("u");
+  w.UInt(18446744073709551615ull);
+  w.Key("b");
+  w.Bool(true);
+  w.Key("z");
+  w.Null();
+  w.Key("s");
+  w.String("hi");
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"i\":-3,\"u\":18446744073709551615,\"b\":true,\"z\":null,"
+            "\"s\":\"hi\"}");
+}
+
+TEST(JsonWriter, NestedContainersGetCommasRight) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("rows");
+  w.BeginArray();
+  w.BeginObject();
+  w.Key("a");
+  w.Int(1);
+  w.EndObject();
+  w.BeginObject();
+  w.Key("a");
+  w.Int(2);
+  w.EndObject();
+  w.EndArray();
+  w.Key("n");
+  w.Int(2);
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"rows\":[{\"a\":1},{\"a\":2}],\"n\":2}");
+}
+
+TEST(JsonWriter, ArrayOfScalars) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.Int(3);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(JsonWriter, EscapesControlAndSpecialCharacters) {
+  JsonWriter w;
+  w.BeginArray();
+  w.String("a\"b\\c\n\t\x01");
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[\"a\\\"b\\\\c\\n\\t\\u0001\"]");
+}
+
+TEST(JsonWriter, DoubleFormattingRoundTrips) {
+  for (double v : {0.0, 1.0, -1.5, 0.1, 1.0 / 3.0, 1e-300, 1e300,
+                   3.141592653589793, 1234567890.123456}) {
+    const std::string s = JsonWriter::FormatDouble(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+TEST(JsonWriter, DoubleUsesShortestFormWhenExact) {
+  EXPECT_EQ(JsonWriter::FormatDouble(0.1), "0.1");
+  EXPECT_EQ(JsonWriter::FormatDouble(2.0), "2");
+}
+
+// JSON has no NaN/Infinity literals; emit null so consumers stay strict.
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(-std::numeric_limits<double>::infinity());
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null,null]");
+}
+
+TEST(JsonWriter, IdenticalCallSequencesAreByteIdentical) {
+  auto build = [] {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("x");
+    w.Double(0.30000000000000004);  // 0.1 + 0.2
+    w.Key("list");
+    w.BeginArray();
+    w.Double(1.0 / 3.0);
+    w.EndArray();
+    w.EndObject();
+    return w.TakeString();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(JsonWriter, TakeStringMovesDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(), "{}");
+}
+
+}  // namespace
+}  // namespace peercache

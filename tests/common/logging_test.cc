@@ -30,6 +30,60 @@ TEST(Logging, MacroCompilesAndFilters) {
   SetLogLevel(prev);
 }
 
+// The macro expands to an if/else; a bare `if (...) PEERCACHE_LOG(...) << x;
+// else ...` must bind the user's else to the user's if. This test fails to
+// compile (or takes the wrong branch) if the macro reintroduces the
+// dangling-else hazard.
+TEST(Logging, MacroIsDanglingElseSafe) {
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  bool else_taken = false;
+  if (true)
+    PEERCACHE_LOG(kInfo) << "suppressed";
+  else
+    else_taken = true;
+  EXPECT_FALSE(else_taken);
+
+  bool then_taken = false;
+  if (false)
+    PEERCACHE_LOG(kInfo) << "never";
+  else
+    then_taken = true;
+  EXPECT_TRUE(then_taken);
+  SetLogLevel(prev);
+}
+
+TEST(Logging, ParseLogLevelAcceptsCanonicalNames) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST(Logging, ParseLogLevelRejectsUnknownAndLeavesOutputAlone) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("Debug", &level));  // case-sensitive
+  EXPECT_EQ(level, LogLevel::kInfo);
+}
+
+TEST(Logging, LogLevelNameRoundTripsThroughParse) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarning,
+                         LogLevel::kError}) {
+    LogLevel parsed = LogLevel::kDebug;
+    EXPECT_TRUE(ParseLogLevel(LogLevelName(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+}
+
 TEST(Logging, DefaultLevelIsWarning) {
   // The library must be silent for INFO unless opted in. (The default is
   // set at namespace scope; this test documents the contract.)

@@ -1,0 +1,180 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/thread_pool.h"
+
+namespace peercache {
+namespace {
+
+TEST(MetricsShard, CountersAccumulate) {
+  MetricsShard shard;
+  EXPECT_EQ(shard.counter("lookups"), 0u);
+  shard.Count("lookups");
+  shard.Count("lookups", 4);
+  EXPECT_EQ(shard.counter("lookups"), 5u);
+  EXPECT_EQ(shard.counter("other"), 0u);
+  EXPECT_FALSE(shard.empty());
+}
+
+TEST(MetricsShard, GaugeKeepsLatestValue) {
+  MetricsShard shard;
+  shard.SetGauge("queue_depth", 3.0);
+  shard.SetGauge("queue_depth", 7.5);
+  EXPECT_DOUBLE_EQ(shard.gauge("queue_depth"), 7.5);
+  EXPECT_DOUBLE_EQ(shard.gauge("missing"), 0.0);
+}
+
+TEST(MetricsShard, ObserveFeedsOnlineStats) {
+  MetricsShard shard;
+  shard.Observe("latency", 1.0);
+  shard.Observe("latency", 3.0);
+  const OnlineStats* stats = shard.stats("latency");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->count(), 2u);
+  EXPECT_DOUBLE_EQ(stats->mean(), 2.0);
+  EXPECT_EQ(shard.stats("missing"), nullptr);
+}
+
+TEST(MetricsShard, MergeStatsMatchesPerSampleObserveBitForBit) {
+  // Hot loops batch samples locally and flush with MergeStats; the result
+  // must be indistinguishable from Observe-ing each sample in order.
+  MetricsShard observed;
+  OnlineStats local;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = 0.1 * i + 0.3;
+    observed.Observe("hops", x);
+    local.Add(x);
+  }
+  MetricsShard batched;
+  batched.MergeStats("hops", local);
+  const OnlineStats* a = observed.stats("hops");
+  const OnlineStats* b = batched.stats("hops");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->count(), b->count());
+  EXPECT_EQ(a->mean(), b->mean());
+  EXPECT_EQ(a->stddev(), b->stddev());
+  EXPECT_EQ(a->sum(), b->sum());
+  EXPECT_EQ(a->min(), b->min());
+  EXPECT_EQ(a->max(), b->max());
+}
+
+TEST(MetricsShard, MergeStatsWithNoSamplesCreatesNoInstrument) {
+  MetricsShard shard;
+  shard.MergeStats("hops", OnlineStats{});
+  EXPECT_EQ(shard.stats("hops"), nullptr);
+  EXPECT_TRUE(shard.empty());
+}
+
+TEST(MetricsShard, ObserveHistogramUsesFirstMaxValue) {
+  MetricsShard shard;
+  shard.ObserveHistogram("hops", 3, /*max_value=*/8);
+  shard.ObserveHistogram("hops", 100);  // overflows the 8-bucket histogram
+  const Histogram* hist = shard.histogram("hops");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->max_value(), 8);
+  EXPECT_EQ(hist->count(), 2u);
+  EXPECT_EQ(hist->overflow(), 1u);
+}
+
+TEST(MetricsShard, TimersAdd) {
+  MetricsShard shard;
+  shard.AddTimerSeconds("phase", 0.5);
+  shard.AddTimerSeconds("phase", 0.25);
+  EXPECT_DOUBLE_EQ(shard.timer_seconds("phase"), 0.75);
+}
+
+TEST(MetricsShard, ScopedTimerRecordsNonNegativeTime) {
+  MetricsShard shard;
+  { ScopedTimer timer(shard, "scope"); }
+  EXPECT_GE(shard.timer_seconds("scope"), 0.0);
+  EXPECT_FALSE(shard.empty());
+}
+
+TEST(MetricsShard, MergeCombinesEveryInstrumentKind) {
+  MetricsShard a, b;
+  a.Count("c", 2);
+  b.Count("c", 3);
+  a.SetGauge("g", 1.0);
+  b.SetGauge("g", 9.0);
+  a.Observe("s", 1.0);
+  b.Observe("s", 3.0);
+  a.ObserveHistogram("h", 1, 4);
+  b.ObserveHistogram("h", 2, 4);
+  a.AddTimerSeconds("t", 0.5);
+  b.AddTimerSeconds("t", 0.5);
+
+  a.Merge(b);
+  EXPECT_EQ(a.counter("c"), 5u);
+  EXPECT_DOUBLE_EQ(a.gauge("g"), 9.0);  // later shard wins
+  EXPECT_EQ(a.stats("s")->count(), 2u);
+  EXPECT_DOUBLE_EQ(a.stats("s")->mean(), 2.0);
+  EXPECT_EQ(a.histogram("h")->count(), 2u);
+  EXPECT_DOUBLE_EQ(a.timer_seconds("t"), 1.0);
+}
+
+TEST(MetricsShard, WriteJsonSortsKeysAndCoversAllSections) {
+  MetricsShard shard;
+  shard.Count("zeta");
+  shard.Count("alpha");
+  shard.SetGauge("g", 1.5);
+  shard.Observe("s", 2.0);
+  shard.ObserveHistogram("h", 1, 4);
+  shard.AddTimerSeconds("t", 0.1);
+
+  JsonWriter w;
+  shard.WriteJson(w);
+  const std::string json = w.TakeString();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"timers_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // std::map iteration puts "alpha" before "zeta" regardless of insert order.
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+}
+
+// Fills one shard per index with index-dependent values, writing shards
+// concurrently at several thread counts. Because each (index, value) stream
+// is identical and Merged() folds shards in index order, the merged snapshot
+// must serialize to byte-identical JSON at every thread count.
+TEST(MetricsRegistry, MergedSnapshotIsThreadCountInvariant) {
+  constexpr size_t kShards = 16;
+  auto run = [](int threads) {
+    MetricsRegistry registry(kShards);
+    ThreadPool pool(threads);
+    pool.ParallelFor(0, kShards, 1, [&](size_t i) {
+      MetricsShard& shard = registry.shard(i);
+      for (size_t q = 0; q <= i; ++q) {
+        shard.Count("queries");
+        // Values with non-terminating binary expansions so that any
+        // merge-order change would show up in the low-order bits.
+        shard.Observe("hops", 0.1 * static_cast<double>(i + q) + 0.3);
+        shard.ObserveHistogram("hops.hist", static_cast<int>((i + q) % 7), 8);
+        shard.AddTimerSeconds("work", 1e-3 / static_cast<double>(i + 1));
+      }
+    });
+    JsonWriter w;
+    registry.Merged().WriteJson(w);
+    return w.TakeString();
+  };
+
+  const std::string serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(4));
+
+  // Sanity: the merged snapshot actually saw all the samples.
+  EXPECT_NE(serial.find("\"queries\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, ZeroShardsClampsToOne) {
+  MetricsRegistry registry(0);
+  EXPECT_EQ(registry.shard_count(), 1u);
+}
+
+}  // namespace
+}  // namespace peercache

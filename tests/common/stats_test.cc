@@ -48,6 +48,45 @@ TEST(OnlineStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
 }
 
+// 10 million adds of 0.1: a naive accumulator drifts by ~1e-4 by this point
+// (0.1 is not representable in binary), the compensated sum stays exact to
+// the last ulp of the true total.
+TEST(OnlineStats, CompensatedSumNoDriftOverTenMillionSamples) {
+  OnlineStats s;
+  constexpr int kSamples = 10'000'000;
+  for (int i = 0; i < kSamples; ++i) s.Add(0.1);
+  const double expected = 0.1 * kSamples;
+  EXPECT_NEAR(s.sum(), expected, 1e-7);
+  EXPECT_NEAR(s.sum(), 1e6, 1e-7);
+}
+
+// The compensation must survive Merge too: merging many small shards whose
+// sums are each tiny relative to the running total is exactly the case where
+// naive addition loses low-order bits.
+TEST(OnlineStats, CompensatedSumSurvivesSharding) {
+  OnlineStats merged;
+  constexpr int kShards = 1000;
+  constexpr int kPerShard = 10'000;
+  for (int shard = 0; shard < kShards; ++shard) {
+    OnlineStats s;
+    for (int i = 0; i < kPerShard; ++i) s.Add(0.1);
+    merged.Merge(s);
+  }
+  EXPECT_EQ(merged.count(), static_cast<uint64_t>(kShards) * kPerShard);
+  EXPECT_NEAR(merged.sum(), 1e6, 1e-7);
+}
+
+// Mixed magnitudes: adding 1.0 then 1e100 then 1.0 then -1e100 loses both
+// 1.0s in a naive sum; Neumaier compensation recovers them.
+TEST(OnlineStats, CompensatedSumHandlesCancellation) {
+  OnlineStats s;
+  s.Add(1.0);
+  s.Add(1e100);
+  s.Add(1.0);
+  s.Add(-1e100);
+  EXPECT_DOUBLE_EQ(s.sum(), 2.0);
+}
+
 TEST(Histogram, BasicCountsAndMean) {
   Histogram h(10);
   h.Add(1);
@@ -73,6 +112,64 @@ TEST(Histogram, Overflow) {
   EXPECT_EQ(h.overflow(), 1u);
   EXPECT_EQ(h.count(), 1u);
   EXPECT_DOUBLE_EQ(h.Mean(), 100.0);  // sum is exact even when bucketed out
+}
+
+TEST(Histogram, PercentileOfEmptyIsZero) {
+  Histogram h(8);
+  EXPECT_EQ(h.Percentile(0.0), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_EQ(h.Percentile(1.0), 0);
+}
+
+// q = 0 asks for the smallest observed value, not bucket 0.
+TEST(Histogram, PercentileZeroIsMinimum) {
+  Histogram h(8);
+  h.Add(3);
+  h.Add(5);
+  EXPECT_EQ(h.Percentile(0.0), 3);
+}
+
+// q = 1 asks for the largest observed value.
+TEST(Histogram, PercentileOneIsMaximum) {
+  Histogram h(8);
+  h.Add(3);
+  h.Add(5);
+  EXPECT_EQ(h.Percentile(1.0), 5);
+}
+
+TEST(Histogram, PercentileSingleValue) {
+  Histogram h(8);
+  h.Add(4);
+  EXPECT_EQ(h.Percentile(0.0), 4);
+  EXPECT_EQ(h.Percentile(0.5), 4);
+  EXPECT_EQ(h.Percentile(1.0), 4);
+}
+
+// When every sample overflowed, the only honest answer is the sentinel one
+// past the largest tracked bucket.
+TEST(Histogram, PercentileAllOverflow) {
+  Histogram h(4);
+  h.Add(50);
+  h.Add(60);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.Percentile(0.5), 5);  // == max_value() + 1
+  EXPECT_EQ(h.Percentile(0.5), h.max_value() + 1);
+}
+
+TEST(Histogram, PercentileMixedOverflow) {
+  Histogram h(4);
+  h.Add(1);
+  h.Add(50);
+  EXPECT_EQ(h.Percentile(0.5), 1);
+  EXPECT_EQ(h.Percentile(1.0), 5);  // overflow sentinel
+}
+
+TEST(Histogram, SumTracksExactTotal) {
+  Histogram h(4);
+  h.Add(1);
+  h.Add(2);
+  h.Add(100);  // overflow still contributes its exact value
+  EXPECT_EQ(h.sum(), 103);
 }
 
 TEST(Histogram, MergeAddsCounts) {

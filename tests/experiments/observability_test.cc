@@ -1,0 +1,258 @@
+// Observability layer guarantees: sampled route traces and the merged
+// metrics snapshot are part of the engine's determinism contract (threads=1
+// and threads=4 serialize byte-identically once wall-clock timers are
+// excluded), traces are internally consistent routes, and the Eq. 1 cost
+// audit lines up with the aggregate hop accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "common/trace.h"
+#include "experiments/chord_experiment.h"
+#include "experiments/cost_audit.h"
+#include "experiments/json_report.h"
+#include "experiments/pastry_experiment.h"
+
+namespace peercache::experiments {
+namespace {
+
+ExperimentConfig BaseConfig(uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.n_nodes = 96;
+  cfg.k = 7;
+  cfg.alpha = 1.2;
+  cfg.n_items = 384;
+  cfg.warmup_queries_per_node = 60;
+  cfg.measure_queries_per_node = 40;
+  cfg.trace_sample_period = 10;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::string SerializedMetricsNoTimers(const RunResult& result) {
+  JsonWriter w;
+  result.metrics.WriteJson(w, /*include_timers=*/false);
+  return w.TakeString();
+}
+
+std::string SerializedTraces(const std::string& system,
+                             const RunResult& result) {
+  std::string out;
+  for (const RouteTrace& trace : result.traces) {
+    out += TraceJsonLine(system, "optimal", trace);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string SerializedAudit(const RunResult& result) {
+  JsonWriter w;
+  w.BeginArray();
+  for (const CostAuditEntry& e : result.cost_audit) {
+    w.BeginObject();
+    w.Key("node");
+    w.UInt(e.node_id);
+    w.Key("predicted");
+    w.Double(e.predicted_hops);
+    w.Key("measured");
+    w.Double(e.measured_hops);
+    w.Key("queries");
+    w.UInt(e.measured_queries);
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.TakeString();
+}
+
+TEST(Observability, ChordTelemetryIsThreadCountInvariant) {
+  ExperimentConfig cfg = BaseConfig(0xa0);
+  cfg.n_popularity_lists = 5;
+  cfg.threads = 1;
+  auto serial = RunChordStable(cfg, SelectorKind::kOptimal);
+  cfg.threads = 4;
+  auto parallel = RunChordStable(cfg, SelectorKind::kOptimal);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+
+  EXPECT_EQ(SerializedMetricsNoTimers(*serial),
+            SerializedMetricsNoTimers(*parallel));
+  EXPECT_EQ(SerializedTraces("chord", *serial),
+            SerializedTraces("chord", *parallel));
+  EXPECT_EQ(SerializedAudit(*serial), SerializedAudit(*parallel));
+  EXPECT_EQ(serial->total_route_hops, parallel->total_route_hops);
+  EXPECT_EQ(serial->aux_route_hops, parallel->aux_route_hops);
+  EXPECT_DOUBLE_EQ(serial->aux_hit_rate, parallel->aux_hit_rate);
+  EXPECT_FALSE(serial->traces.empty());
+}
+
+TEST(Observability, PastryTelemetryIsThreadCountInvariant) {
+  ExperimentConfig cfg = BaseConfig(0xa1);
+  cfg.threads = 1;
+  auto serial = RunPastryStable(cfg, SelectorKind::kOptimal);
+  cfg.threads = 4;
+  auto parallel = RunPastryStable(cfg, SelectorKind::kOptimal);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+
+  EXPECT_EQ(SerializedMetricsNoTimers(*serial),
+            SerializedMetricsNoTimers(*parallel));
+  EXPECT_EQ(SerializedTraces("pastry", *serial),
+            SerializedTraces("pastry", *parallel));
+  EXPECT_EQ(SerializedAudit(*serial), SerializedAudit(*parallel));
+  EXPECT_FALSE(serial->traces.empty());
+}
+
+void ExpectWellFormedTraces(const RunResult& result, bool chord) {
+  ASSERT_FALSE(result.traces.empty());
+  for (const RouteTrace& trace : result.traces) {
+    if (!trace.success) continue;
+    EXPECT_EQ(trace.path.size(), static_cast<size_t>(trace.hops));
+    if (trace.path.empty()) {
+      // Zero-hop lookup: the origin owned the key.
+      EXPECT_EQ(trace.destination, trace.origin);
+      continue;
+    }
+    EXPECT_EQ(trace.path.front().from, trace.origin);
+    EXPECT_EQ(trace.path.back().to, trace.destination);
+    for (size_t i = 0; i + 1 < trace.path.size(); ++i) {
+      EXPECT_EQ(trace.path[i].to, trace.path[i + 1].from) << "broken chain";
+    }
+    for (const HopRecord& hop : trace.path) {
+      if (chord) {
+        EXPECT_NE(hop.kind, HopEntryKind::kRoutingRow);
+        EXPECT_NE(hop.kind, HopEntryKind::kLeafSet);
+      } else {
+        EXPECT_NE(hop.kind, HopEntryKind::kFinger);
+        EXPECT_NE(hop.kind, HopEntryKind::kSuccessor);
+      }
+    }
+  }
+}
+
+TEST(Observability, ChordTracesAreConsistentRoutes) {
+  ExperimentConfig cfg = BaseConfig(0xcc);
+  cfg.n_popularity_lists = 5;
+  auto result = RunChordStable(cfg, SelectorKind::kOptimal);
+  ASSERT_TRUE(result.ok());
+  ExpectWellFormedTraces(*result, /*chord=*/true);
+}
+
+TEST(Observability, PastryTracesAreConsistentRoutes) {
+  ExperimentConfig cfg = BaseConfig(0xdd);
+  auto result = RunPastryStable(cfg, SelectorKind::kOptimal);
+  ASSERT_TRUE(result.ok());
+  ExpectWellFormedTraces(*result, /*chord=*/false);
+}
+
+TEST(Observability, TracingIsOffByDefault) {
+  ExperimentConfig cfg = BaseConfig(0xee);
+  cfg.trace_sample_period = 0;
+  auto result = RunChordStable(cfg, SelectorKind::kOptimal);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->traces.empty());
+}
+
+TEST(Observability, AuxAccountingMatchesMetricsCounters) {
+  ExperimentConfig cfg = BaseConfig(0xff);
+  cfg.n_popularity_lists = 5;
+  auto result = RunChordStable(cfg, SelectorKind::kOptimal);
+  ASSERT_TRUE(result.ok());
+
+  EXPECT_EQ(result->metrics.counter("lookup.route_hops"),
+            result->total_route_hops);
+  EXPECT_EQ(result->metrics.counter("lookup.aux_hops"),
+            result->aux_route_hops);
+  EXPECT_EQ(result->metrics.counter("lookup.queries"), result->queries);
+  ASSERT_GT(result->total_route_hops, 0u);
+  EXPECT_DOUBLE_EQ(result->aux_hit_rate,
+                   static_cast<double>(result->aux_route_hops) /
+                       static_cast<double>(result->total_route_hops));
+  // An optimal selection on a zipf workload routes a visible share of
+  // traffic through the auxiliaries — that is the paper's whole point.
+  EXPECT_GT(result->aux_hit_rate, 0.0);
+}
+
+TEST(Observability, CoreOnlyRunHasNoAuxHops) {
+  ExperimentConfig cfg = BaseConfig(0xab);
+  auto result = RunChordStable(cfg, SelectorKind::kNone);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->aux_route_hops, 0u);
+  EXPECT_DOUBLE_EQ(result->aux_hit_rate, 0.0);
+}
+
+TEST(Observability, CostAuditCoversEveryNodeExactlyOnce) {
+  ExperimentConfig cfg = BaseConfig(0xba);
+  cfg.n_popularity_lists = 5;
+  auto result = RunChordStable(cfg, SelectorKind::kOptimal);
+  ASSERT_TRUE(result.ok());
+
+  ASSERT_EQ(result->cost_audit.size(), static_cast<size_t>(cfg.n_nodes));
+  for (size_t i = 0; i + 1 < result->cost_audit.size(); ++i) {
+    EXPECT_LT(result->cost_audit[i].node_id,
+              result->cost_audit[i + 1].node_id);
+  }
+  for (const CostAuditEntry& e : result->cost_audit) {
+    EXPECT_GT(e.measured_queries, 0u);
+    EXPECT_TRUE(std::isfinite(e.predicted_hops));
+    EXPECT_GE(e.measured_hops, 0.0);
+  }
+  const CostAuditSummary summary = SummarizeCostAudit(result->cost_audit);
+  EXPECT_EQ(summary.nodes, static_cast<uint64_t>(cfg.n_nodes));
+  EXPECT_EQ(summary.residual.count(), static_cast<uint64_t>(cfg.n_nodes));
+}
+
+// The oblivious selector publishes no Eq. 1 prediction, so no audit rows.
+TEST(Observability, NoAuditWithoutPrediction) {
+  ExperimentConfig cfg = BaseConfig(0xcd);
+  auto result = RunChordStable(cfg, SelectorKind::kOblivious);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->cost_audit.empty());
+}
+
+TEST(Observability, SummarizeCostAuditSkipsUnusableEntries) {
+  std::vector<CostAuditEntry> entries;
+  entries.push_back({1, 2.0, 1.5, 10});                   // usable
+  entries.push_back({2, std::nan(""), 1.0, 10});          // no prediction
+  entries.push_back({3, 2.0, 0.0, 0});                    // no measurements
+  const CostAuditSummary summary = SummarizeCostAudit(entries);
+  EXPECT_EQ(summary.nodes, 1u);
+  EXPECT_DOUBLE_EQ(summary.residual.mean(), -0.5);
+  EXPECT_DOUBLE_EQ(summary.abs_residual.mean(), 0.5);
+}
+
+TEST(Observability, ChurnRunProducesTelemetry) {
+  ExperimentConfig cfg = BaseConfig(0xce);
+  cfg.n_popularity_lists = 5;
+  ChurnConfig churn;
+  churn.warmup_s = 400;
+  churn.measure_s = 400;
+  auto result = RunChordChurn(cfg, churn, SelectorKind::kOptimal);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->traces.empty());
+  EXPECT_GT(result->total_route_hops, 0u);
+  EXPECT_FALSE(result->cost_audit.empty());
+  EXPECT_EQ(result->metrics.counter("lookup.queries"), result->queries);
+}
+
+TEST(Observability, ComparisonDocumentHasSchemaEnvelope) {
+  ExperimentConfig cfg = BaseConfig(0xde);
+  cfg.n_popularity_lists = 5;
+  auto cmp = CompareChordStable(cfg);
+  ASSERT_TRUE(cmp.ok());
+  const std::string doc =
+      ComparisonDocument("observability_test", "chord", "stable", cfg, *cmp);
+  EXPECT_EQ(doc.find("{\"schema_version\":1,"), 0u);
+  EXPECT_NE(doc.find("\"generator\":\"observability_test\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"runs\":{\"none\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"aux_hit_rate\""), std::string::npos);
+  EXPECT_NE(doc.find("\"cost_audit\""), std::string::npos);
+  EXPECT_NE(doc.find("\"phase_seconds\""), std::string::npos);
+  EXPECT_NE(doc.find("\"hop_histogram\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace peercache::experiments
