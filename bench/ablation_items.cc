@@ -7,8 +7,7 @@
 #include <string>
 
 #include "bench_util.h"
-#include "experiments/chord_experiment.h"
-#include "experiments/pastry_experiment.h"
+#include "experiments/generic_experiment.h"
 
 namespace {
 
@@ -54,14 +53,14 @@ int main(int argc, char** argv) {
     FigureRow chord = AveragedRow(
         args,
         [&](uint64_t seed) {
-          return CompareChordStable(MakeConfig(seed, n, k, ratio, 5, args));
+          return CompareStable<ChordPolicy>(MakeConfig(seed, n, k, ratio, 5, args));
         },
         label, "-");
     std::snprintf(label, sizeof(label), "pastry items/n=%.2f", ratio);
     FigureRow pastry = AveragedRow(
         args,
         [&](uint64_t seed) {
-          return ComparePastryStable(MakeConfig(seed, n, k, ratio, 1, args));
+          return CompareStable<PastryPolicy>(MakeConfig(seed, n, k, ratio, 1, args));
         },
         label, "-");
     if (!chord.detail.has_value() || !pastry.detail.has_value()) continue;

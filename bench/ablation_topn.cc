@@ -11,7 +11,7 @@
 #include <string>
 
 #include "bench_util.h"
-#include "experiments/chord_experiment.h"
+#include "experiments/generic_experiment.h"
 
 namespace {
 
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   for (size_t capacity : {size_t{8}, size_t{16}, size_t{32}, size_t{64},
                           size_t{128}, size_t{0}}) {
     auto compare = [&](uint64_t seed) {
-      return CompareChordStable(MakeConfig(seed, capacity, args));
+      return CompareStable<ChordPolicy>(MakeConfig(seed, capacity, args));
     };
     char cap_label[32];
     if (capacity == 0) {

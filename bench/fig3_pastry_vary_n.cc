@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "experiments/pastry_experiment.h"
+#include "experiments/generic_experiment.h"
 
 namespace {
 
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
     for (int n : sizes) {
       if (args.quick && n > 512) continue;
       auto compare = [&](uint64_t seed) {
-        return ComparePastryStable(MakeConfig(seed, n, alpha, args));
+        return CompareStable<PastryPolicy>(MakeConfig(seed, n, alpha, args));
       };
       char label[64];
       std::snprintf(label, sizeof(label), "n=%-5d alpha=%.2f", n, alpha);

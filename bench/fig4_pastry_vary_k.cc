@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "experiments/pastry_experiment.h"
+#include "experiments/generic_experiment.h"
 
 namespace {
 
@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
       if (args.quick && multiple == 2) continue;
       const int k = multiple * log_n;
       auto compare = [&](uint64_t seed) {
-        return ComparePastryStable(MakeConfig(seed, k, alpha, args));
+        return CompareStable<PastryPolicy>(MakeConfig(seed, k, alpha, args));
       };
       char label[64];
       std::snprintf(label, sizeof(label), "k=%dlogn=%-3d a=%.2f", multiple, k,

@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "experiments/chord_experiment.h"
+#include "experiments/generic_experiment.h"
 
 namespace {
 
@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
   for (int n : sizes) {
     if (args.quick && n > 256) continue;
     auto compare = [&](uint64_t seed) {
-      return CompareChordStable(MakeConfig(seed, n, args));
+      return CompareStable<ChordPolicy>(MakeConfig(seed, n, args));
     };
     char label[64];
     std::snprintf(label, sizeof(label), "n=%-5d stable", n);
@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
       ChurnConfig churn;  // paper's parameters by default
       churn.warmup_s = args.quick ? 1200 : 3600;
       churn.measure_s = args.quick ? 1200 : 3600;
-      return CompareChordChurn(MakeConfig(seed, n, args), churn);
+      return CompareChurn<ChordPolicy>(MakeConfig(seed, n, args), churn);
     };
     char label[64];
     std::snprintf(label, sizeof(label), "n=%-5d churn", n);

@@ -10,7 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "experiments/chord_experiment.h"
+#include "experiments/generic_experiment.h"
 
 namespace {
 
@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
   for (int multiple = 1; multiple <= 3; ++multiple) {
     if (args.quick && multiple == 2) continue;
     auto compare = [&](uint64_t seed) {
-      return CompareChordStable(MakeConfig(seed, multiple * log_n, args));
+      return CompareStable<ChordPolicy>(MakeConfig(seed, multiple * log_n, args));
     };
     char label[64];
     std::snprintf(label, sizeof(label), "k=%dlogn=%-3d stable", multiple,
@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
       ChurnConfig churn;
       churn.warmup_s = args.quick ? 1200 : 3600;
       churn.measure_s = args.quick ? 1200 : 3600;
-      return CompareChordChurn(MakeConfig(seed, multiple * log_n, args),
+      return CompareChurn<ChordPolicy>(MakeConfig(seed, multiple * log_n, args),
                                churn);
     };
     char label[64];

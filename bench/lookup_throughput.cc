@@ -1,0 +1,203 @@
+// Routing-layer microbenchmark: raw lookups per second through each
+// overlay's LookupInto hot path, over stable tables and over churned
+// (stale) tables where dead entries force the ping-before-forward liveness
+// probes. This is the harness that holds the NodeStore flat-array layout
+// (common/node_store.h) to its promise: the measurement phase must be no
+// slower than the seed's map/set storage.
+//
+//   $ ./lookup_throughput                # default sizes
+//   $ ./lookup_throughput --quick        # smaller overlay, fewer lookups
+//   $ ./lookup_throughput --json-out throughput.json
+//
+// Lookup outcomes are folded into a checksum printed with every row; it
+// depends only on (seed, config), so two builds can be compared for both
+// speed and routing equivalence.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/route_result.h"
+#include "experiments/generic_experiment.h"
+#include "experiments/json_report.h"
+
+namespace {
+
+using namespace peercache;
+using namespace peercache::experiments;
+
+struct ThroughputRow {
+  std::string system;
+  std::string mode;  // "stable" | "churn"
+  int n_nodes = 0;
+  uint64_t lookups = 0;
+  double seconds = 0;
+  double lookups_per_sec = 0;
+  double mean_hops = 0;
+  double success_rate = 0;
+  uint64_t checksum = 0;
+};
+
+/// Routes `lookups` uniform-random queries from uniform-random live
+/// origins through one reused RouteResult and times the loop.
+template <typename Policy>
+ThroughputRow MeasureCase(const char* mode, bool churned, int n_nodes,
+                          uint64_t lookups, uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.n_nodes = n_nodes;
+  cfg.seed = seed;
+  const SeedPlan seeds = Policy::MakeSeedPlan(seed);
+  typename Policy::Network net = Policy::MakeNetwork(cfg, seeds);
+  for (uint64_t id : SampleNodeIds(cfg, seeds.ids)) {
+    if (auto s = net.AddNode(id); !s.ok()) {
+      std::fprintf(stderr, "AddNode failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  net.StabilizeAll();
+
+  if (churned) {
+    // Crash a quarter of the membership after tables were built, then
+    // stabilize only half of the survivors: the unstabilized half routes
+    // over stale tables and pays the dead-entry liveness probes the churn
+    // experiments exercise.
+    const std::vector<uint64_t> members = net.LiveNodeIds();
+    for (size_t i = 0; i < members.size(); i += 4) {
+      if (net.live_count() > 2) (void)net.RemoveNode(members[i]);
+    }
+    const std::vector<uint64_t> survivors = net.LiveNodeIds();
+    for (size_t i = 0; i < survivors.size() / 2; ++i) {
+      (void)net.StabilizeNode(survivors[i]);
+    }
+  }
+
+  const std::vector<uint64_t> live = net.LiveNodeIds();
+  const uint64_t space = uint64_t{1} << cfg.bits;
+  Rng rng(SplitSeed(seeds.measure, 0x10095));
+
+  ThroughputRow row;
+  row.system = Policy::kName;
+  row.mode = mode;
+  row.n_nodes = n_nodes;
+  row.lookups = lookups;
+
+  overlay::RouteResult route;  // reused: steady state allocates nothing
+  uint64_t sum_hops = 0, successes = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t q = 0; q < lookups; ++q) {
+    const uint64_t origin =
+        live[static_cast<size_t>(rng.UniformU64(live.size()))];
+    const uint64_t key = rng.UniformU64(space);
+    if (auto s = net.LookupInto(origin, key, route); !s.ok()) continue;
+    sum_hops += static_cast<uint64_t>(route.hops);
+    successes += route.success ? 1 : 0;
+    row.checksum = MixHash64(row.checksum ^ route.destination ^
+                             (static_cast<uint64_t>(route.hops) << 32));
+  }
+  row.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  row.lookups_per_sec =
+      row.seconds > 0 ? static_cast<double>(lookups) / row.seconds : 0;
+  row.mean_hops = lookups > 0
+                      ? static_cast<double>(sum_hops) /
+                            static_cast<double>(lookups)
+                      : 0;
+  row.success_rate = lookups > 0
+                         ? static_cast<double>(successes) /
+                               static_cast<double>(lookups)
+                         : 0;
+  return row;
+}
+
+void PrintRow(const ThroughputRow& row) {
+  std::printf("%-8s %-8s n=%-6d %9.0f lookups/s  mean_hops=%.3f "
+              "success=%5.1f%%  checksum=%016llx\n",
+              row.system.c_str(), row.mode.c_str(), row.n_nodes,
+              row.lookups_per_sec, row.mean_hops, 100.0 * row.success_rate,
+              static_cast<unsigned long long>(row.checksum));
+}
+
+void AddRowJson(JsonWriter& w, const ThroughputRow& row) {
+  w.BeginObject();
+  w.Key("system");
+  w.String(row.system);
+  w.Key("mode");
+  w.String(row.mode);
+  w.Key("n_nodes");
+  w.Int(row.n_nodes);
+  w.Key("lookups");
+  w.UInt(row.lookups);
+  w.Key("seconds");
+  w.Double(row.seconds);
+  w.Key("lookups_per_sec");
+  w.Double(row.lookups_per_sec);
+  w.Key("mean_hops");
+  w.Double(row.mean_hops);
+  w.Key("success_rate");
+  w.Double(row.success_rate);
+  w.Key("checksum");
+  w.String([&] {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(row.checksum));
+    return std::string(buf);
+  }());
+  w.EndObject();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  peercache::bench::BenchArgs args =
+      peercache::bench::BenchArgs::Parse(argc, argv);
+  const int n = args.quick ? 256 : 1024;
+  const uint64_t lookups = args.quick ? 50'000 : 400'000;
+
+  std::printf("lookup throughput: n=%d, %llu lookups per case, seed=%llu\n\n",
+              n, static_cast<unsigned long long>(lookups),
+              static_cast<unsigned long long>(args.base_seed));
+
+  std::vector<ThroughputRow> rows;
+  rows.push_back(MeasureCase<ChordPolicy>("stable", false, n, lookups,
+                                          args.base_seed));
+  rows.push_back(MeasureCase<ChordPolicy>("churn", true, n, lookups,
+                                          args.base_seed));
+  rows.push_back(MeasureCase<PastryPolicy>("stable", false, n, lookups,
+                                           args.base_seed));
+  rows.push_back(MeasureCase<PastryPolicy>("churn", true, n, lookups,
+                                           args.base_seed));
+  for (const ThroughputRow& row : rows) PrintRow(row);
+
+  if (!args.json_out.empty()) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("schema_version");
+    w.Int(kTelemetrySchemaVersion);
+    w.Key("generator");
+    w.String("lookup_throughput");
+    w.Key("kind");
+    w.String("microbench");
+    w.Key("base_seed");
+    w.UInt(args.base_seed);
+    w.Key("quick");
+    w.Bool(args.quick);
+    w.Key("rows");
+    w.BeginArray();
+    for (const ThroughputRow& row : rows) AddRowJson(w, row);
+    w.EndArray();
+    w.EndObject();
+    Status st = WriteStringToFile(args.json_out, w.TakeString() + "\n");
+    if (!st.ok()) {
+      std::fprintf(stderr, "json-out failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nthroughput telemetry written to %s\n",
+                args.json_out.c_str());
+  }
+  return 0;
+}

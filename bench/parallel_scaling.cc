@@ -21,9 +21,8 @@
 #include "common/bits.h"
 #include "common/json_writer.h"
 #include "common/logging.h"
-#include "experiments/chord_experiment.h"
+#include "experiments/generic_experiment.h"
 #include "experiments/json_report.h"
-#include "experiments/pastry_experiment.h"
 
 using namespace peercache;
 using namespace peercache::experiments;
@@ -181,13 +180,13 @@ int main(int argc, char** argv) {
 
   int rc = RunSystem("chord stable", args, /*lists=*/5,
                      [](const ExperimentConfig& cfg) {
-                       return RunChordStable(cfg, SelectorKind::kOptimal);
+                       return RunStable<ChordPolicy>(cfg, SelectorKind::kOptimal);
                      },
                      json);
   if (rc == 0) {
     rc = RunSystem("pastry stable", args, /*lists=*/1,
                    [](const ExperimentConfig& cfg) {
-                     return RunPastryStable(cfg, SelectorKind::kOptimal);
+                     return RunStable<PastryPolicy>(cfg, SelectorKind::kOptimal);
                    },
                    json);
   }

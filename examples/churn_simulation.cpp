@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "experiments/chord_experiment.h"
+#include "experiments/generic_experiment.h"
 
 using namespace peercache::experiments;
 
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   std::printf("%s\n", std::string(56, '-').c_str());
   for (SelectorKind kind : {SelectorKind::kNone, SelectorKind::kOblivious,
                             SelectorKind::kOptimal}) {
-    auto run = RunChordChurn(cfg, churn, kind);
+    auto run = RunChurn<ChordPolicy>(cfg, churn, kind);
     if (!run.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", SelectorKindName(kind),
                    run.status().ToString().c_str());
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(run->queries));
   }
 
-  auto cmp = CompareChordChurn(cfg, churn);
+  auto cmp = CompareChurn<ChordPolicy>(cfg, churn);
   if (cmp.ok()) {
     std::printf(
         "\nimprovement of optimal over oblivious: %.1f%% "

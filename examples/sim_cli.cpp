@@ -19,9 +19,8 @@
 #include "common/bits.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
-#include "experiments/chord_experiment.h"
+#include "experiments/generic_experiment.h"
 #include "experiments/json_report.h"
-#include "experiments/pastry_experiment.h"
 
 using namespace peercache;
 using namespace peercache::experiments;
@@ -142,17 +141,17 @@ int main(int argc, char** argv) {
 
   Result<Comparison> cmp = [&]() -> Result<Comparison> {
     if (args.system == "chord") {
-      if (!args.churn) return CompareChordStable(cfg);
+      if (!args.churn) return CompareStable<ChordPolicy>(cfg);
       ChurnConfig churn;
       churn.warmup_s = args.duration_s / 2;
       churn.measure_s = args.duration_s / 2;
-      return CompareChordChurn(cfg, churn);
+      return CompareChurn<ChordPolicy>(cfg, churn);
     }
-    if (!args.churn) return ComparePastryStable(cfg);
+    if (!args.churn) return CompareStable<PastryPolicy>(cfg);
     ChurnConfig churn;
     churn.warmup_s = args.duration_s / 2;
     churn.measure_s = args.duration_s / 2;
-    return ComparePastryChurn(cfg, churn);
+    return CompareChurn<PastryPolicy>(cfg, churn);
   }();
 
   if (!cmp.ok()) {

@@ -2,88 +2,77 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "common/bits.h"
+#include "common/overlay.h"
 
 namespace peercache::chord {
+
+static_assert(overlay::Overlay<ChordNetwork>,
+              "ChordNetwork must satisfy the Overlay concept");
 
 ChordNetwork::ChordNetwork(const ChordParams& params)
     : params_(params), space_(params.bits) {}
 
 Status ChordNetwork::AddNode(uint64_t id) {
   if (!space_.Contains(id)) return Status::InvalidArgument("id out of range");
-  if (live_.count(id)) return Status::InvalidArgument("live id already used");
-  nodes_.try_emplace(id, params_.frequency_capacity).first->second.id = id;
-  live_.insert(id);
-  ChordNode& node = nodes_.at(id);
-  node.alive = true;
-  node.auxiliaries.clear();
+  if (store_.IsAlive(id)) {
+    return Status::InvalidArgument("live id already used");
+  }
+  auto [node, inserted] = store_.Emplace(id, params_.frequency_capacity);
+  node->id = id;
+  node->alive = true;
+  node->auxiliaries.clear();
+  store_.MarkAlive(id);
   return StabilizeNode(id);
 }
 
 Status ChordNetwork::RemoveNode(uint64_t id, bool forget_state) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end() || !it->second.alive) {
+  ChordNode* node = store_.Get(id);
+  if (node == nullptr || !node->alive) {
     return Status::NotFound("node not alive");
   }
-  it->second.alive = false;
-  live_.erase(id);
+  node->alive = false;
+  store_.MarkDead(id);
   if (forget_state) {
-    it->second.frequencies.Clear();
-    it->second.fingers.clear();
-    it->second.successors.clear();
-    it->second.auxiliaries.clear();
+    node->frequencies.Clear();
+    node->fingers.clear();
+    node->successors.clear();
+    node->auxiliaries.clear();
   }
   return Status::Ok();
 }
 
 Status ChordNetwork::RejoinNode(uint64_t id) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end()) return Status::NotFound("unknown node");
-  if (it->second.alive) return Status::FailedPrecondition("already alive");
-  live_.insert(id);
-  it->second.alive = true;
-  it->second.auxiliaries.clear();  // lost on crash; rebuilt at next selection
+  ChordNode* node = store_.Get(id);
+  if (node == nullptr) return Status::NotFound("unknown node");
+  if (node->alive) return Status::FailedPrecondition("already alive");
+  node->alive = true;
+  node->auxiliaries.clear();  // lost on crash; rebuilt at next selection
+  store_.MarkAlive(id);
   return StabilizeNode(id);
 }
 
-bool ChordNetwork::IsAlive(uint64_t id) const { return live_.count(id) > 0; }
-
 std::vector<uint64_t> ChordNetwork::LiveNodeIds() const {
-  return std::vector<uint64_t>(live_.begin(), live_.end());
-}
-
-ChordNode* ChordNetwork::GetNode(uint64_t id) {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : &it->second;
-}
-
-const ChordNode* ChordNetwork::GetNode(uint64_t id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : &it->second;
-}
-
-uint64_t ChordNetwork::FirstLiveAtOrAfter(uint64_t from) const {
-  assert(!live_.empty());
-  auto it = live_.lower_bound(from);
-  if (it == live_.end()) it = live_.begin();
-  return *it;
+  return store_.live_ids();
 }
 
 Result<uint64_t> ChordNetwork::ResponsibleNode(uint64_t key) const {
-  if (live_.empty()) return Status::FailedPrecondition("empty overlay");
+  const std::vector<uint64_t>& live = store_.live_ids();
+  if (live.empty()) return Status::FailedPrecondition("empty overlay");
   // Predecessor assignment: the last live node at-or-before the key.
-  auto it = live_.upper_bound(key);
-  if (it == live_.begin()) return *live_.rbegin();  // wrap
-  return *std::prev(it);
+  const size_t pos = store_.UpperBoundLive(key);
+  if (pos == 0) return live.back();  // wrap
+  return live[pos - 1];
 }
 
 Status ChordNetwork::StabilizeNode(uint64_t id) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end() || !it->second.alive) {
+  ChordNode* node_ptr = store_.Get(id);
+  if (node_ptr == nullptr || !node_ptr->alive) {
     return Status::NotFound("node not alive");
   }
-  ChordNode& node = it->second;
+  ChordNode& node = *node_ptr;
 
   // Fingers (paper's variant): for each i, the numerically smallest live
   // node in (id + 2^i, id + 2^{i+1}].
@@ -92,7 +81,7 @@ Status ChordNetwork::StabilizeNode(uint64_t id) {
     // (id + 2^i, id + 2^{i+1}]: first live node clockwise from id + 2^i + 1.
     const uint64_t start = space_.Add(id, (uint64_t{1} << i) + 1);
     const uint64_t end = space_.Add(id, LowBitMask(i + 1) + 1);  // + 2^{i+1}
-    uint64_t candidate = FirstLiveAtOrAfter(start);
+    uint64_t candidate = store_.FirstLiveAtOrAfter(start);
     if (candidate == id) continue;  // wrapped all the way around
     // Membership check: candidate within (id + 2^i, id + 2^{i+1}]?
     if (space_.InClockwiseRangeExclIncl(space_.Add(id, uint64_t{1} << i),
@@ -103,13 +92,13 @@ Status ChordNetwork::StabilizeNode(uint64_t id) {
 
   // Successor list: the next successor_list_size live nodes clockwise.
   node.successors.clear();
-  if (live_.size() > 1) {
-    uint64_t cursor = FirstLiveAtOrAfter(space_.Add(id, 1));
+  if (store_.live_count() > 1) {
+    uint64_t cursor = store_.FirstLiveAtOrAfter(space_.Add(id, 1));
     for (int i = 0;
          i < params_.successor_list_size && cursor != id;
          ++i) {
       node.successors.push_back(cursor);
-      cursor = FirstLiveAtOrAfter(space_.Add(cursor, 1));
+      cursor = store_.FirstLiveAtOrAfter(space_.Add(cursor, 1));
     }
   }
 
@@ -129,11 +118,11 @@ void ChordNetwork::StabilizeAll() {
 
 Status ChordNetwork::SetAuxiliaries(uint64_t id,
                                     std::vector<uint64_t> auxiliaries) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end() || !it->second.alive) {
+  ChordNode* node = store_.Get(id);
+  if (node == nullptr || !node->alive) {
     return Status::NotFound("node not alive");
   }
-  it->second.auxiliaries = std::move(auxiliaries);
+  node->auxiliaries = std::move(auxiliaries);
   return Status::Ok();
 }
 
@@ -147,8 +136,9 @@ std::vector<uint64_t> ChordNetwork::CoreNeighborIds(uint64_t id) const {
   return out;
 }
 
-Result<RouteResult> ChordNetwork::Lookup(uint64_t origin, uint64_t key,
-                                         RouteTrace* trace) const {
+Status ChordNetwork::LookupInto(uint64_t origin, uint64_t key,
+                                RouteResult& out, RouteTrace* trace) const {
+  out.Clear();
   if (!IsAlive(origin)) return Status::Unavailable("origin not alive");
   auto truth = ResponsibleNode(key);
   if (!truth.ok()) return truth.status();
@@ -157,7 +147,6 @@ Result<RouteResult> ChordNetwork::Lookup(uint64_t origin, uint64_t key,
     trace->origin = origin;
     trace->key = key;
   }
-  RouteResult result;
   uint64_t current = origin;
   for (int hop = 0; hop <= params_.max_route_hops; ++hop) {
     const ChordNode* node = GetNode(current);
@@ -185,31 +174,38 @@ Result<RouteResult> ChordNetwork::Lookup(uint64_t origin, uint64_t key,
     if (next == current) {
       // No live entry between here and the key: to this node's knowledge it
       // is the key's predecessor, so it answers.
-      result.destination = current;
-      result.hops = hop;
-      result.success = (current == truth.value());
+      out.destination = current;
+      out.hops = hop;
+      out.success = (current == truth.value());
       if (trace != nullptr) {
-        trace->destination = result.destination;
-        trace->success = result.success;
-        trace->hops = result.hops;
+        trace->destination = out.destination;
+        trace->success = out.success;
+        trace->hops = out.hops;
       }
-      return result;
+      return Status::Ok();
     }
-    if (next_kind == HopEntryKind::kAuxiliary) ++result.aux_hops;
+    if (next_kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
     if (trace != nullptr) {
       trace->path.push_back({current, next, next_kind, best_remaining});
     }
-    result.path.push_back(current);
+    out.path.push_back(current);
     current = next;
   }
-  result.destination = current;
-  result.hops = params_.max_route_hops;
-  result.success = false;
+  out.destination = current;
+  out.hops = params_.max_route_hops;
+  out.success = false;
   if (trace != nullptr) {
-    trace->destination = result.destination;
+    trace->destination = out.destination;
     trace->success = false;
-    trace->hops = result.hops;
+    trace->hops = out.hops;
   }
+  return Status::Ok();
+}
+
+Result<RouteResult> ChordNetwork::Lookup(uint64_t origin, uint64_t key,
+                                         RouteTrace* trace) const {
+  RouteResult result;
+  if (Status s = LookupInto(origin, key, result, trace); !s.ok()) return s;
   return result;
 }
 

@@ -2,12 +2,12 @@
 #define PEERCACHE_CHORD_CHORD_NETWORK_H_
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <vector>
 
 #include "auxsel/frequency_table.h"
+#include "common/node_store.h"
 #include "common/ring_id.h"
+#include "common/route_result.h"
 #include "common/status.h"
 #include "common/trace.h"
 
@@ -25,17 +25,9 @@ struct ChordParams {
   int max_route_hops = 256;
 };
 
-/// Outcome of one simulated lookup.
-struct RouteResult {
-  bool success = false;     ///< Delivered at the truly responsible node.
-  uint64_t destination = 0; ///< Node the query was delivered to.
-  int hops = 0;             ///< Overlay forwarding hops taken.
-  int aux_hops = 0;         ///< Hops forwarded through an auxiliary entry.
-  /// Nodes that forwarded the query, in order (origin first, destination
-  /// excluded). Every node here "has seen" the query in the paper's sense
-  /// and may record the destination in its frequency table.
-  std::vector<uint64_t> path;
-};
+/// Outcome of one simulated lookup — the shared overlay type
+/// (common/route_result.h).
+using RouteResult = overlay::RouteResult;
 
 /// Per-node protocol state. Routing-table snapshots (fingers, successors,
 /// auxiliaries) are ids captured at the node's last stabilization /
@@ -67,8 +59,14 @@ struct ChordNode {
 /// entries are skipped at use time, so stale tables degrade routes (longer
 /// detours, occasional misdelivery) rather than black-holing them. Keys are
 /// owned by their live *predecessor* (the paper's Chord variant).
+///
+/// Node state lives in an overlay::NodeStore: liveness probes and
+/// responsible-node searches on the lookup hot path walk flat id-sorted
+/// arrays instead of ordered-set trees (see common/node_store.h).
 class ChordNetwork {
  public:
+  using NodeType = ChordNode;
+
   explicit ChordNetwork(const ChordParams& params);
 
   const ChordParams& params() const { return params_; }
@@ -89,23 +87,30 @@ class ChordNetwork {
   /// retained frequency history.
   Status RejoinNode(uint64_t id);
 
-  bool IsAlive(uint64_t id) const;
-  size_t live_count() const { return live_.size(); }
+  bool IsAlive(uint64_t id) const { return store_.IsAlive(id); }
+  size_t live_count() const { return store_.live_count(); }
   std::vector<uint64_t> LiveNodeIds() const;
 
   /// Mutable node state (must exist). Nullptr if unknown.
-  ChordNode* GetNode(uint64_t id);
-  const ChordNode* GetNode(uint64_t id) const;
+  ChordNode* GetNode(uint64_t id) { return store_.Get(id); }
+  const ChordNode* GetNode(uint64_t id) const { return store_.Get(id); }
 
   /// Ground truth: the live node responsible for `key` (its predecessor on
   /// the ring). Fails if the overlay is empty.
   Result<uint64_t> ResponsibleNode(uint64_t key) const;
 
   /// Routes a lookup for `key` from `origin` over current (possibly stale)
-  /// tables. Does not record frequencies; callers decide what to observe.
-  /// When `trace` is non-null the route's per-hop records (source, next
-  /// hop, core-vs-auxiliary entry, ring distance remaining) are appended to
-  /// it; the default null path adds no per-hop work beyond one branch.
+  /// tables into a caller-owned result. Does not record frequencies;
+  /// callers decide what to observe. `out` is cleared first but keeps its
+  /// path capacity, so a reused RouteResult makes the steady-state lookup
+  /// path allocation-free. When `trace` is non-null the route's per-hop
+  /// records (source, next hop, core-vs-auxiliary entry, ring distance
+  /// remaining) are appended to it; the default null path adds no per-hop
+  /// work beyond one branch.
+  Status LookupInto(uint64_t origin, uint64_t key, RouteResult& out,
+                    RouteTrace* trace = nullptr) const;
+
+  /// By-value convenience form of LookupInto.
   Result<RouteResult> Lookup(uint64_t origin, uint64_t key,
                              RouteTrace* trace = nullptr) const;
 
@@ -127,14 +132,9 @@ class ChordNetwork {
   std::vector<uint64_t> CoreNeighborIds(uint64_t id) const;
 
  private:
-  /// First live node clockwise from `from` (inclusive); live_ must be
-  /// nonempty.
-  uint64_t FirstLiveAtOrAfter(uint64_t from) const;
-
   ChordParams params_;
   IdSpace space_;
-  std::map<uint64_t, ChordNode> nodes_;  // all nodes ever seen (alive + dead)
-  std::set<uint64_t> live_;              // sorted live ids
+  overlay::NodeStore<ChordNode> store_;  // all nodes ever seen (alive + dead)
 };
 
 }  // namespace peercache::chord

@@ -1,0 +1,157 @@
+#ifndef PEERCACHE_COMMON_NODE_STORE_H_
+#define PEERCACHE_COMMON_NODE_STORE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace peercache::overlay {
+
+/// Cache-friendly node storage shared by the overlay simulators.
+///
+/// The seed implementation kept `std::map<uint64_t, Node>` plus a separate
+/// `std::set<uint64_t>` of live ids, so every hot-path membership probe
+/// (one per routing-table entry considered per hop) chased a red-black
+/// tree, and every successor scan walked heap-scattered tree nodes. This
+/// container keeps the data the lookup path actually touches in flat,
+/// id-sorted arrays:
+///
+///   * `live_ids_`   — sorted, contiguous live ids: binary searches for
+///                     responsible-node / successor queries walk one array;
+///   * `live_slots_` — slot of each live id, parallel to `live_ids_`, so a
+///                     ring search yields the node without a second lookup;
+///   * `alive_`      — one byte per slot: `IsAlive` is a hash probe plus a
+///                     flat byte load instead of an ordered-set walk;
+///   * `slot_of_`    — id → slot hash index (identity-friendly uint64 keys).
+///
+/// Node records themselves live in a deque: slots are append-only, and a
+/// deque grows without moving existing elements, so `Node*` handed out by
+/// `Get` stays valid across later insertions (the stability guarantee the
+/// old node map provided). Membership changes (churn) are O(live) array
+/// edits — rare next to the millions of lookups they serve.
+template <typename Node>
+class NodeStore {
+ public:
+  static constexpr uint32_t kNoSlot = ~uint32_t{0};
+
+  /// Slot of `id`, or kNoSlot when the id has never been added.
+  uint32_t SlotOf(uint64_t id) const {
+    auto it = slot_of_.find(id);
+    return it == slot_of_.end() ? kNoSlot : it->second;
+  }
+
+  Node* Get(uint64_t id) {
+    const uint32_t slot = SlotOf(id);
+    return slot == kNoSlot ? nullptr : &nodes_[slot];
+  }
+  const Node* Get(uint64_t id) const {
+    const uint32_t slot = SlotOf(id);
+    return slot == kNoSlot ? nullptr : &nodes_[slot];
+  }
+
+  Node& at_slot(uint32_t slot) { return nodes_[slot]; }
+  const Node& at_slot(uint32_t slot) const { return nodes_[slot]; }
+
+  size_t size() const { return nodes_.size(); }
+
+  /// True iff the id's node exists and is currently alive. One hash probe
+  /// plus one flat byte load — the per-candidate check on the routing hot
+  /// path.
+  bool IsAlive(uint64_t id) const {
+    auto it = slot_of_.find(id);
+    return it != slot_of_.end() && alive_[it->second] != 0;
+  }
+
+  /// True iff slot `slot` is currently alive (no hash probe).
+  bool IsAliveSlot(uint32_t slot) const { return alive_[slot] != 0; }
+
+  /// Creates the node for `id` if absent (constructed from `args`), else
+  /// returns the existing record. Second member is true on insertion.
+  template <typename... Args>
+  std::pair<Node*, bool> Emplace(uint64_t id, Args&&... args) {
+    auto it = slot_of_.find(id);
+    if (it != slot_of_.end()) return {&nodes_[it->second], false};
+    const uint32_t slot = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back(std::forward<Args>(args)...);
+    alive_.push_back(0);
+    slot_of_.emplace(id, slot);
+    return {&nodes_[slot], true};
+  }
+
+  /// Marks an existing id live and inserts it into the sorted live arrays.
+  /// No-op if already live.
+  void MarkAlive(uint64_t id) {
+    const uint32_t slot = SlotOf(id);
+    assert(slot != kNoSlot);
+    if (alive_[slot]) return;
+    alive_[slot] = 1;
+    const size_t pos = static_cast<size_t>(
+        std::lower_bound(live_ids_.begin(), live_ids_.end(), id) -
+        live_ids_.begin());
+    live_ids_.insert(live_ids_.begin() + static_cast<std::ptrdiff_t>(pos), id);
+    live_slots_.insert(live_slots_.begin() + static_cast<std::ptrdiff_t>(pos),
+                       slot);
+  }
+
+  /// Marks a live id dead and removes it from the live arrays. No-op if
+  /// not live.
+  void MarkDead(uint64_t id) {
+    const uint32_t slot = SlotOf(id);
+    assert(slot != kNoSlot);
+    if (!alive_[slot]) return;
+    alive_[slot] = 0;
+    const size_t pos = static_cast<size_t>(
+        std::lower_bound(live_ids_.begin(), live_ids_.end(), id) -
+        live_ids_.begin());
+    assert(pos < live_ids_.size() && live_ids_[pos] == id);
+    live_ids_.erase(live_ids_.begin() + static_cast<std::ptrdiff_t>(pos));
+    live_slots_.erase(live_slots_.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+
+  size_t live_count() const { return live_ids_.size(); }
+
+  /// Sorted live ids — the contiguous array ring searches walk.
+  const std::vector<uint64_t>& live_ids() const { return live_ids_; }
+
+  /// Slot of live_ids()[i].
+  uint32_t live_slot(size_t i) const { return live_slots_[i]; }
+
+  /// Index of the first live id >= `id` (== live_ids().size() when none).
+  size_t LowerBoundLive(uint64_t id) const {
+    return static_cast<size_t>(
+        std::lower_bound(live_ids_.begin(), live_ids_.end(), id) -
+        live_ids_.begin());
+  }
+
+  /// Index of the first live id > `id` (== live_ids().size() when none).
+  size_t UpperBoundLive(uint64_t id) const {
+    return static_cast<size_t>(
+        std::upper_bound(live_ids_.begin(), live_ids_.end(), id) -
+        live_ids_.begin());
+  }
+
+  /// First live id clockwise from `from` (inclusive), wrapping at the top
+  /// of the id space. Requires at least one live node.
+  uint64_t FirstLiveAtOrAfter(uint64_t from) const {
+    assert(!live_ids_.empty());
+    size_t pos = LowerBoundLive(from);
+    if (pos == live_ids_.size()) pos = 0;  // wrap
+    return live_ids_[pos];
+  }
+
+ private:
+  std::deque<Node> nodes_;       // slot-indexed; references stay valid
+  std::vector<uint8_t> alive_;   // slot-indexed liveness flags
+  std::vector<uint64_t> live_ids_;    // sorted live ids (contiguous)
+  std::vector<uint32_t> live_slots_;  // parallel slots of live_ids_
+  std::unordered_map<uint64_t, uint32_t> slot_of_;
+};
+
+}  // namespace peercache::overlay
+
+#endif  // PEERCACHE_COMMON_NODE_STORE_H_

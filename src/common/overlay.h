@@ -1,0 +1,71 @@
+#ifndef PEERCACHE_COMMON_OVERLAY_H_
+#define PEERCACHE_COMMON_OVERLAY_H_
+
+#include <concepts>
+#include <cstdint>
+#include <vector>
+
+#include "common/ring_id.h"
+#include "common/route_result.h"
+#include "common/status.h"
+#include "common/trace.h"
+
+namespace peercache::overlay {
+
+/// The node contract every overlay backend's per-node record satisfies:
+/// identity, liveness, an auxiliary-pointer list installed by a selection
+/// algorithm, and the observed frequency table that feeds it. The core
+/// routing entries (fingers/successors for Chord, routing rows/leaf set
+/// for Pastry) stay backend-specific — the engine reaches them only
+/// through `CoreNeighborIds`.
+template <typename N>
+concept OverlayNode = requires(N& node, const N& cnode, uint64_t peer) {
+  { cnode.id } -> std::convertible_to<uint64_t>;
+  { cnode.alive } -> std::convertible_to<bool>;
+  { cnode.auxiliaries } -> std::convertible_to<const std::vector<uint64_t>&>;
+  { node.frequencies.Record(peer) };
+  { node.frequencies.Snapshot(peer) };
+};
+
+/// Compile-time contract between an overlay simulator and the generic
+/// experiment engine (experiments/generic_experiment.h). A conforming
+/// backend provides:
+///
+///   * membership — AddNode / RemoveNode / RejoinNode / StabilizeNode /
+///     StabilizeAll over a circular IdSpace;
+///   * god's-eye ground truth — ResponsibleNode;
+///   * routing — LookupInto writes into a caller-owned RouteResult (the
+///     zero-allocation hot path) with optional per-hop tracing; Lookup is
+///     the by-value convenience form;
+///   * auxiliary plumbing — SetAuxiliaries installs the selection result,
+///     CoreNeighborIds exposes N_s for the selectors.
+///
+/// Both ChordNetwork and PastryNetwork are statically checked against this
+/// concept; a new DHT backend (e.g. Kademlia) plugs into the whole
+/// experiment/bench/telemetry stack by satisfying it plus a small policy
+/// struct (see docs/ARCHITECTURE.md).
+template <typename N>
+concept Overlay = OverlayNode<typename N::NodeType> &&
+    requires(N& net, const N& cnet, uint64_t id,
+             std::vector<uint64_t> aux, RouteResult& out, RouteTrace* trace) {
+  { cnet.space() } -> std::convertible_to<const IdSpace&>;
+  { net.AddNode(id) } -> std::same_as<Status>;
+  { net.RemoveNode(id) } -> std::same_as<Status>;
+  { net.RejoinNode(id) } -> std::same_as<Status>;
+  { cnet.IsAlive(id) } -> std::same_as<bool>;
+  { cnet.live_count() } -> std::same_as<size_t>;
+  { cnet.LiveNodeIds() } -> std::same_as<std::vector<uint64_t>>;
+  { net.GetNode(id) } -> std::same_as<typename N::NodeType*>;
+  { cnet.GetNode(id) } -> std::same_as<const typename N::NodeType*>;
+  { cnet.ResponsibleNode(id) } -> std::same_as<Result<uint64_t>>;
+  { cnet.LookupInto(id, id, out, trace) } -> std::same_as<Status>;
+  { cnet.Lookup(id, id, trace) } -> std::same_as<Result<RouteResult>>;
+  { net.StabilizeNode(id) } -> std::same_as<Status>;
+  { net.StabilizeAll() };
+  { net.SetAuxiliaries(id, std::move(aux)) } -> std::same_as<Status>;
+  { cnet.CoreNeighborIds(id) } -> std::same_as<std::vector<uint64_t>>;
+};
+
+}  // namespace peercache::overlay
+
+#endif  // PEERCACHE_COMMON_OVERLAY_H_

@@ -1,0 +1,40 @@
+#ifndef PEERCACHE_COMMON_ROUTE_RESULT_H_
+#define PEERCACHE_COMMON_ROUTE_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace peercache::overlay {
+
+/// Outcome of one simulated lookup, shared by every overlay backend.
+///
+/// Both DHT geometries (Chord's ring-greedy routing, Pastry's prefix
+/// routing) report the same observables, so the experiment engine, the
+/// item-cache comparison, and the benches all consume this one type.
+/// The struct is reusable: `Clear()` resets the fields while keeping the
+/// path vector's capacity, which is what lets the measurement hot loops
+/// route millions of lookups without a single per-lookup allocation
+/// (see ChordNetwork::LookupInto / PastryNetwork::LookupInto).
+struct RouteResult {
+  bool success = false;     ///< Delivered at the truly responsible node.
+  uint64_t destination = 0; ///< Node the query was delivered to.
+  int hops = 0;             ///< Overlay forwarding hops taken.
+  int aux_hops = 0;         ///< Hops forwarded through an auxiliary entry.
+  /// Nodes that forwarded the query, in order (origin first, destination
+  /// excluded). Every node here "has seen" the query in the paper's sense
+  /// and may record the destination in its frequency table.
+  std::vector<uint64_t> path;
+
+  /// Resets to the default state, retaining `path`'s capacity.
+  void Clear() {
+    success = false;
+    destination = 0;
+    hops = 0;
+    aux_hops = 0;
+    path.clear();
+  }
+};
+
+}  // namespace peercache::overlay
+
+#endif  // PEERCACHE_COMMON_ROUTE_RESULT_H_

@@ -1,19 +1,14 @@
-#include "experiments/chord_experiment.h"
+#include "experiments/generic_experiment.h"
 
-#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <limits>
-#include <map>
-#include <memory>
 #include <utility>
 #include <vector>
 
-#include "auxsel/chord_fast.h"
-#include "auxsel/oblivious.h"
 #include "auxsel/selection_types.h"
-#include "chord/chord_network.h"
 #include "common/random.h"
+#include "common/route_result.h"
 #include "common/thread_pool.h"
 #include "experiments/parallel_engine.h"
 #include "sim/event_queue.h"
@@ -24,33 +19,9 @@ namespace peercache::experiments {
 namespace {
 
 using auxsel::SelectionInput;
-using chord::ChordNetwork;
-using chord::ChordNode;
-using chord::ChordParams;
 using internal::ObliviousPool;
 using internal::PhaseTimer;
 using internal::PoolWithoutSelf;
-
-/// Derives independent RNG streams from the experiment seed so that runs
-/// with different selector policies see identical membership, workload, and
-/// query sequences. The warmup/measure/selection entries are *stream bases*:
-/// each node splits its own stream off them (SplitSeed), which is what lets
-/// the per-node loops run in parallel without reordering anyone's draws.
-struct SeedPlan {
-  explicit SeedPlan(uint64_t seed)
-      : ids(MixHash64(seed ^ 0x1d5)),
-        items(MixHash64(seed ^ 0x2e6)),
-        lists(MixHash64(seed ^ 0x3f7)),
-        assign(MixHash64(seed ^ 0x408)),
-        warmup(MixHash64(seed ^ 0x519)),
-        measure(MixHash64(seed ^ 0x62a)),
-        selection(MixHash64(seed ^ 0x73b)),
-        churn(MixHash64(seed ^ 0x84c)),
-        query_times(MixHash64(seed ^ 0x95d)),
-        origins(MixHash64(seed ^ 0xa6e)) {}
-  uint64_t ids, items, lists, assign, warmup, measure, selection, churn,
-      query_times, origins;
-};
 
 /// Builds the SelectionInput for one node and installs the chosen
 /// auxiliaries. The optimal policy optimizes over the node's observed
@@ -65,7 +36,8 @@ struct SeedPlan {
 /// — the cost model's promised frequency-weighted route length, audited
 /// against measured hops (experiments/cost_audit.h). NaN when no
 /// prediction exists (non-optimal policies, or no observed peers).
-Status InstallAuxiliaries(ChordNetwork& net, uint64_t node_id,
+template <typename Policy>
+Status InstallAuxiliaries(typename Policy::Network& net, uint64_t node_id,
                           SelectorKind selector, int k, Rng& selection_rng,
                           const std::vector<auxsel::PeerFreq>& peer_pool,
                           double* predicted_hops = nullptr) {
@@ -75,7 +47,7 @@ Status InstallAuxiliaries(ChordNetwork& net, uint64_t node_id,
   if (selector == SelectorKind::kNone) {
     return net.SetAuxiliaries(node_id, {});
   }
-  ChordNode* node = net.GetNode(node_id);
+  auto* node = net.GetNode(node_id);
   if (node == nullptr) return Status::NotFound("node");
 
   SelectionInput input;
@@ -87,10 +59,10 @@ Status InstallAuxiliaries(ChordNetwork& net, uint64_t node_id,
   Result<auxsel::Selection> sel = [&]() -> Result<auxsel::Selection> {
     if (selector == SelectorKind::kOptimal) {
       input.peers = node->frequencies.Snapshot(node_id);
-      return auxsel::SelectChordFast(input);
+      return Policy::SelectOptimal(input);
     }
     input.peers = PoolWithoutSelf(peer_pool, node_id);
-    return auxsel::SelectChordOblivious(input, selection_rng);
+    return Policy::SelectOblivious(input, selection_rng);
   }();
   if (!sel.ok()) return sel.status();
 
@@ -111,7 +83,7 @@ Status InstallAuxiliaries(ChordNetwork& net, uint64_t node_id,
     pad.core_ids.insert(pad.core_ids.end(), sel->chosen.begin(),
                         sel->chosen.end());
     pad.k = input.k - static_cast<int>(sel->chosen.size());
-    auto extra = auxsel::SelectChordOblivious(pad, selection_rng);
+    auto extra = Policy::SelectOblivious(pad, selection_rng);
     if (extra.ok()) {
       sel->chosen.insert(sel->chosen.end(), extra->chosen.begin(),
                          extra->chosen.end());
@@ -120,42 +92,51 @@ Status InstallAuxiliaries(ChordNetwork& net, uint64_t node_id,
   return net.SetAuxiliaries(node_id, std::move(sel->chosen));
 }
 
+Comparison MakeComparison(RunResult none, RunResult oblivious,
+                          RunResult optimal) {
+  Comparison cmp;
+  cmp.none = std::move(none);
+  cmp.oblivious = std::move(oblivious);
+  cmp.optimal = std::move(optimal);
+  cmp.improvement_pct =
+      ImprovementPct(cmp.oblivious.avg_hops, cmp.optimal.avg_hops);
+  cmp.improvement_vs_none_pct =
+      ImprovementPct(cmp.none.avg_hops, cmp.optimal.avg_hops);
+  return cmp;
+}
+
 }  // namespace
 
-Result<RunResult> RunChordStable(const ExperimentConfig& config,
-                                 SelectorKind selector) {
-  const SeedPlan seeds(config.seed);
-  ChordParams params;
-  params.bits = config.bits;
-  params.frequency_capacity = config.frequency_capacity;
-  params.successor_list_size = config.successor_list_size;
-  ChordNetwork net(params);
-
-  Rng ids_rng(seeds.ids);
+std::vector<uint64_t> SampleNodeIds(const ExperimentConfig& config,
+                                    uint64_t ids_seed) {
+  Rng ids_rng(ids_seed);
   const uint64_t space =
       config.bits == 64 ? ~uint64_t{0} : (uint64_t{1} << config.bits);
-  std::vector<uint64_t> node_ids =
-      ids_rng.SampleDistinct(space, static_cast<size_t>(config.n_nodes));
+  return ids_rng.SampleDistinct(space, static_cast<size_t>(config.n_nodes));
+}
+
+template <typename Policy>
+Result<RunResult> RunStable(const ExperimentConfig& config,
+                            SelectorKind selector) {
+  const SeedPlan seeds = Policy::MakeSeedPlan(config.seed);
+  typename Policy::Network net = Policy::MakeNetwork(config, seeds);
+
+  const std::vector<uint64_t> node_ids = SampleNodeIds(config, seeds.ids);
   for (uint64_t id : node_ids) {
     if (Status s = net.AddNode(id); !s.ok()) return s;
   }
   net.StabilizeAll();  // perfect routing state before the experiment
 
-  workload::ItemSpace items(config.bits, config.n_items, seeds.items);
-  workload::PopularityModel popularity(config.n_items, config.alpha,
-                                       config.n_popularity_lists, seeds.lists);
-  workload::QueryWorkload queries(items, popularity, seeds.assign);
-  queries.AssignLists(node_ids);  // read-only afterwards (parallel loops)
-
+  WorkloadBundle workload(config, seeds, node_ids);
   ThreadPool pool(config.threads);
   RunResult result;
 
   // Warmup: every node observes which peer answers each of its queries.
   // In the stable overlay the responsible node is known without routing.
   PhaseTimer warmup_timer;
-  if (Status s =
-          internal::ParallelWarmup(pool, net, node_ids, queries, seeds.warmup,
-                                   config.warmup_queries_per_node);
+  if (Status s = internal::ParallelWarmup(pool, net, node_ids,
+                                          workload.queries(), seeds.warmup,
+                                          config.warmup_queries_per_node);
       !s.ok()) {
     return s;
   }
@@ -171,8 +152,8 @@ Result<RunResult> RunChordStable(const ExperimentConfig& config,
   if (Status s = internal::ParallelInstall(
           pool, node_ids, seeds.selection,
           [&](size_t i, uint64_t id, Rng& rng) {
-            return InstallAuxiliaries(net, id, selector, config.k, rng,
-                                      peer_pool, &predicted[i]);
+            return InstallAuxiliaries<Policy>(net, id, selector, config.k, rng,
+                                              peer_pool, &predicted[i]);
           });
       !s.ok()) {
     return s;
@@ -183,7 +164,7 @@ Result<RunResult> RunChordStable(const ExperimentConfig& config,
   // Measurement.
   PhaseTimer measure_timer;
   if (Status s = internal::ParallelMeasure(
-          pool, net, node_ids, queries, seeds.measure,
+          pool, net, node_ids, workload.queries(), seeds.measure,
           config.measure_queries_per_node, config.trace_sample_period,
           predicted, result);
       !s.ok()) {
@@ -194,32 +175,19 @@ Result<RunResult> RunChordStable(const ExperimentConfig& config,
   return result;
 }
 
-Result<RunResult> RunChordChurn(const ExperimentConfig& config,
-                                const ChurnConfig& churn,
-                                SelectorKind selector) {
-  const SeedPlan seeds(config.seed);
-  ChordParams params;
-  params.bits = config.bits;
-  params.frequency_capacity = config.frequency_capacity;
-  params.successor_list_size = config.successor_list_size;
-  ChordNetwork net(params);
+template <typename Policy>
+Result<RunResult> RunChurn(const ExperimentConfig& config,
+                           const ChurnConfig& churn, SelectorKind selector) {
+  const SeedPlan seeds = Policy::MakeSeedPlan(config.seed);
+  typename Policy::Network net = Policy::MakeNetwork(config, seeds);
 
-  Rng ids_rng(seeds.ids);
-  const uint64_t space =
-      config.bits == 64 ? ~uint64_t{0} : (uint64_t{1} << config.bits);
-  std::vector<uint64_t> node_ids =
-      ids_rng.SampleDistinct(space, static_cast<size_t>(config.n_nodes));
+  const std::vector<uint64_t> node_ids = SampleNodeIds(config, seeds.ids);
   for (uint64_t id : node_ids) {
     if (Status s = net.AddNode(id); !s.ok()) return s;
   }
   net.StabilizeAll();
 
-  workload::ItemSpace items(config.bits, config.n_items, seeds.items);
-  workload::PopularityModel popularity(config.n_items, config.alpha,
-                                       config.n_popularity_lists, seeds.lists);
-  workload::QueryWorkload queries(items, popularity, seeds.assign);
-  queries.AssignLists(node_ids);
-
+  WorkloadBundle workload(config, seeds, node_ids);
   ThreadPool pool(config.threads);
   sim::EventQueue eq;
   Rng churn_rng(seeds.churn);
@@ -278,8 +246,8 @@ Result<RunResult> RunChordChurn(const ExperimentConfig& config,
                                   std::numeric_limits<double>::quiet_NaN());
     (void)internal::ParallelInstall(
         pool, live, round_seed, [&](size_t i, uint64_t id, Rng& rng) {
-          return InstallAuxiliaries(net, id, selector, config.k, rng,
-                                    peer_pool, &predicted[i]);
+          return InstallAuxiliaries<Policy>(net, id, selector, config.k, rng,
+                                            peer_pool, &predicted[i]);
         });
     for (size_t i = 0; i < live.size(); ++i) {
       if (std::isfinite(predicted[i])) obs.predicted[live[i]] = predicted[i];
@@ -291,36 +259,40 @@ Result<RunResult> RunChordChurn(const ExperimentConfig& config,
   };
   eq.ScheduleAfter(churn.recompute_interval_s, recompute_tick);
 
-  // Poisson query arrivals.
+  // Poisson query arrivals. One RouteResult serves the whole simulation —
+  // the routing loop writes into it without allocating once the path
+  // vector's capacity has grown to the longest route seen.
+  overlay::RouteResult route;
   std::function<void()> query_event = [&] {
     std::vector<uint64_t> live = net.LiveNodeIds();
     if (!live.empty()) {
       const uint64_t origin =
           live[static_cast<size_t>(origin_rng.UniformU64(live.size()))];
-      const uint64_t key = queries.SampleKey(origin, query_key_rng);
+      const uint64_t key = workload.queries().SampleKey(origin, query_key_rng);
       const bool in_window = eq.now() >= churn.warmup_s;
       const bool trace_this = in_window && obs.ShouldTraceNext();
       RouteTrace trace;
-      auto route = net.Lookup(origin, key, trace_this ? &trace : nullptr);
-      if (route.ok()) {
+      Status s =
+          net.LookupInto(origin, key, route, trace_this ? &trace : nullptr);
+      if (s.ok()) {
         if (in_window) {
           ++result.queries;
           obs.OnMeasuredQuery();
           if (trace_this) result.traces.push_back(std::move(trace));
         }
-        if (route->success) {
+        if (route.success) {
           if (in_window) {
             ++successes;
-            result.hop_histogram.Add(route->hops);
-            obs.OnMeasuredSuccess(origin, route->hops, route->aux_hops);
+            result.hop_histogram.Add(route.hops);
+            obs.OnMeasuredSuccess(origin, route.hops, route.aux_hops);
           }
           // Every node that saw the query learns which peer answered it
           // (paper Sec. III: "the set of nodes for which s has seen
           // queries"). Under the paper's low global query rate this is what
           // gives nodes usable frequency tables between recomputations.
-          for (uint64_t seen_by : route->path) {
-            if (chord::ChordNode* n = net.GetNode(seen_by); n != nullptr) {
-              n->frequencies.Record(route->destination);
+          for (uint64_t seen_by : route.path) {
+            if (auto* n = net.GetNode(seen_by); n != nullptr) {
+              n->frequencies.Record(route.destination);
             }
           }
         }
@@ -344,41 +316,48 @@ Result<RunResult> RunChordChurn(const ExperimentConfig& config,
   return result;
 }
 
-Result<Comparison> CompareChordStable(const ExperimentConfig& config) {
-  auto none = RunChordStable(config, SelectorKind::kNone);
+template <typename Policy>
+Result<Comparison> CompareStable(const ExperimentConfig& config) {
+  auto none = RunStable<Policy>(config, SelectorKind::kNone);
   if (!none.ok()) return none.status();
-  auto oblivious = RunChordStable(config, SelectorKind::kOblivious);
+  auto oblivious = RunStable<Policy>(config, SelectorKind::kOblivious);
   if (!oblivious.ok()) return oblivious.status();
-  auto optimal = RunChordStable(config, SelectorKind::kOptimal);
+  auto optimal = RunStable<Policy>(config, SelectorKind::kOptimal);
   if (!optimal.ok()) return optimal.status();
-  Comparison cmp;
-  cmp.none = std::move(none).value();
-  cmp.oblivious = std::move(oblivious).value();
-  cmp.optimal = std::move(optimal).value();
-  cmp.improvement_pct =
-      ImprovementPct(cmp.oblivious.avg_hops, cmp.optimal.avg_hops);
-  cmp.improvement_vs_none_pct =
-      ImprovementPct(cmp.none.avg_hops, cmp.optimal.avg_hops);
-  return cmp;
+  return MakeComparison(std::move(none).value(), std::move(oblivious).value(),
+                        std::move(optimal).value());
 }
 
-Result<Comparison> CompareChordChurn(const ExperimentConfig& config,
-                                     const ChurnConfig& churn) {
-  auto none = RunChordChurn(config, churn, SelectorKind::kNone);
+template <typename Policy>
+Result<Comparison> CompareChurn(const ExperimentConfig& config,
+                                const ChurnConfig& churn) {
+  auto none = RunChurn<Policy>(config, churn, SelectorKind::kNone);
   if (!none.ok()) return none.status();
-  auto oblivious = RunChordChurn(config, churn, SelectorKind::kOblivious);
+  auto oblivious = RunChurn<Policy>(config, churn, SelectorKind::kOblivious);
   if (!oblivious.ok()) return oblivious.status();
-  auto optimal = RunChordChurn(config, churn, SelectorKind::kOptimal);
+  auto optimal = RunChurn<Policy>(config, churn, SelectorKind::kOptimal);
   if (!optimal.ok()) return optimal.status();
-  Comparison cmp;
-  cmp.none = std::move(none).value();
-  cmp.oblivious = std::move(oblivious).value();
-  cmp.optimal = std::move(optimal).value();
-  cmp.improvement_pct =
-      ImprovementPct(cmp.oblivious.avg_hops, cmp.optimal.avg_hops);
-  cmp.improvement_vs_none_pct =
-      ImprovementPct(cmp.none.avg_hops, cmp.optimal.avg_hops);
-  return cmp;
+  return MakeComparison(std::move(none).value(), std::move(oblivious).value(),
+                        std::move(optimal).value());
 }
+
+template Result<RunResult> RunStable<ChordPolicy>(const ExperimentConfig&,
+                                                  SelectorKind);
+template Result<RunResult> RunStable<PastryPolicy>(const ExperimentConfig&,
+                                                   SelectorKind);
+template Result<RunResult> RunChurn<ChordPolicy>(const ExperimentConfig&,
+                                                 const ChurnConfig&,
+                                                 SelectorKind);
+template Result<RunResult> RunChurn<PastryPolicy>(const ExperimentConfig&,
+                                                  const ChurnConfig&,
+                                                  SelectorKind);
+template Result<Comparison> CompareStable<ChordPolicy>(
+    const ExperimentConfig&);
+template Result<Comparison> CompareStable<PastryPolicy>(
+    const ExperimentConfig&);
+template Result<Comparison> CompareChurn<ChordPolicy>(const ExperimentConfig&,
+                                                      const ChurnConfig&);
+template Result<Comparison> CompareChurn<PastryPolicy>(const ExperimentConfig&,
+                                                       const ChurnConfig&);
 
 }  // namespace peercache::experiments

@@ -1,0 +1,92 @@
+#ifndef PEERCACHE_EXPERIMENTS_GENERIC_EXPERIMENT_H_
+#define PEERCACHE_EXPERIMENTS_GENERIC_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "experiments/experiment_config.h"
+#include "experiments/overlay_policy.h"
+#include "workload/workload.h"
+
+namespace peercache::experiments {
+
+/// Samples the run's distinct node ids from the id space — the shared
+/// membership setup every experiment starts from.
+std::vector<uint64_t> SampleNodeIds(const ExperimentConfig& config,
+                                    uint64_t ids_seed);
+
+/// The Zipf query workload of one run, built in one place for every driver:
+/// items hashed into the id space, the per-list Zipf popularity rankings,
+/// and each node's list assignment (AssignLists runs here, so the workload
+/// is read-only afterwards — the precondition for the parallel per-node
+/// loops). Owns the item space and popularity model that QueryWorkload
+/// references, hence not movable.
+class WorkloadBundle {
+ public:
+  WorkloadBundle(const ExperimentConfig& config, const SeedPlan& seeds,
+                 const std::vector<uint64_t>& node_ids)
+      : items_(config.bits, config.n_items, seeds.items),
+        popularity_(config.n_items, config.alpha, config.n_popularity_lists,
+                    seeds.lists),
+        queries_(items_, popularity_, seeds.assign) {
+    queries_.AssignLists(node_ids);
+  }
+  WorkloadBundle(const WorkloadBundle&) = delete;
+  WorkloadBundle& operator=(const WorkloadBundle&) = delete;
+
+  workload::QueryWorkload& queries() { return queries_; }
+
+ private:
+  workload::ItemSpace items_;
+  workload::PopularityModel popularity_;
+  workload::QueryWorkload queries_;
+};
+
+/// Stable-mode run (paper Sec. VI-B/VI-C, "stable" series): build the
+/// overlay, let every node observe warmup queries, install auxiliary
+/// neighbors with the given policy, then measure average lookup hops.
+/// Overlay-specific behaviour (network construction, seed constants,
+/// selection algorithms) comes from the policy struct (overlay_policy.h);
+/// the phase logic lives only here.
+template <typename Policy>
+Result<RunResult> RunStable(const ExperimentConfig& config,
+                            SelectorKind selector);
+
+/// Churn-mode run (paper Sec. VI-C): event-driven simulation with
+/// exponential node lifetimes, periodic stabilization and periodic
+/// auxiliary recomputation; hops measured over the post-warmup window.
+template <typename Policy>
+Result<RunResult> RunChurn(const ExperimentConfig& config,
+                           const ChurnConfig& churn, SelectorKind selector);
+
+/// Runs none/oblivious/optimal back-to-back on identical workload seeds
+/// and reports the paper's improvement metric.
+template <typename Policy>
+Result<Comparison> CompareStable(const ExperimentConfig& config);
+template <typename Policy>
+Result<Comparison> CompareChurn(const ExperimentConfig& config,
+                                const ChurnConfig& churn);
+
+// The engine is instantiated once per overlay backend in
+// generic_experiment.cc; a new backend adds its policy struct there.
+extern template Result<RunResult> RunStable<ChordPolicy>(
+    const ExperimentConfig&, SelectorKind);
+extern template Result<RunResult> RunStable<PastryPolicy>(
+    const ExperimentConfig&, SelectorKind);
+extern template Result<RunResult> RunChurn<ChordPolicy>(
+    const ExperimentConfig&, const ChurnConfig&, SelectorKind);
+extern template Result<RunResult> RunChurn<PastryPolicy>(
+    const ExperimentConfig&, const ChurnConfig&, SelectorKind);
+extern template Result<Comparison> CompareStable<ChordPolicy>(
+    const ExperimentConfig&);
+extern template Result<Comparison> CompareStable<PastryPolicy>(
+    const ExperimentConfig&);
+extern template Result<Comparison> CompareChurn<ChordPolicy>(
+    const ExperimentConfig&, const ChurnConfig&);
+extern template Result<Comparison> CompareChurn<PastryPolicy>(
+    const ExperimentConfig&, const ChurnConfig&);
+
+}  // namespace peercache::experiments
+
+#endif  // PEERCACHE_EXPERIMENTS_GENERIC_EXPERIMENT_H_

@@ -1,0 +1,83 @@
+#include "experiments/overlay_policy.h"
+
+#include "auxsel/chord_fast.h"
+#include "auxsel/oblivious.h"
+#include "auxsel/pastry_greedy.h"
+
+namespace peercache::experiments {
+
+// The per-phase XOR constants below are load-bearing: every committed
+// results/ figure was generated from these exact streams, and the golden
+// differential test (tests/experiments/golden_figures_test.cc) holds the
+// engine to them.
+
+SeedPlan ChordPolicy::MakeSeedPlan(uint64_t seed) {
+  SeedPlan plan;
+  plan.ids = MixHash64(seed ^ 0x1d5);
+  plan.items = MixHash64(seed ^ 0x2e6);
+  plan.lists = MixHash64(seed ^ 0x3f7);
+  plan.assign = MixHash64(seed ^ 0x408);
+  plan.warmup = MixHash64(seed ^ 0x519);
+  plan.measure = MixHash64(seed ^ 0x62a);
+  plan.selection = MixHash64(seed ^ 0x73b);
+  plan.churn = MixHash64(seed ^ 0x84c);
+  plan.query_times = MixHash64(seed ^ 0x95d);
+  plan.origins = MixHash64(seed ^ 0xa6e);
+  return plan;
+}
+
+ChordPolicy::Network ChordPolicy::MakeNetwork(const ExperimentConfig& config,
+                                              const SeedPlan& /*seeds*/) {
+  chord::ChordParams params;
+  params.bits = config.bits;
+  params.frequency_capacity = config.frequency_capacity;
+  params.successor_list_size = config.successor_list_size;
+  return Network(params);
+}
+
+Result<auxsel::Selection> ChordPolicy::SelectOptimal(
+    const auxsel::SelectionInput& input) {
+  return auxsel::SelectChordFast(input);
+}
+
+Result<auxsel::Selection> ChordPolicy::SelectOblivious(
+    const auxsel::SelectionInput& input, Rng& rng) {
+  return auxsel::SelectChordOblivious(input, rng);
+}
+
+SeedPlan PastryPolicy::MakeSeedPlan(uint64_t seed) {
+  SeedPlan plan;
+  plan.ids = MixHash64(seed ^ 0xb11);
+  plan.coords = MixHash64(seed ^ 0xc22);
+  plan.items = MixHash64(seed ^ 0xd33);
+  plan.lists = MixHash64(seed ^ 0xe44);
+  plan.assign = MixHash64(seed ^ 0xf55);
+  plan.warmup = MixHash64(seed ^ 0x166);
+  plan.measure = MixHash64(seed ^ 0x277);
+  plan.selection = MixHash64(seed ^ 0x388);
+  plan.churn = MixHash64(seed ^ 0xc0ffee);
+  plan.query_times = MixHash64(seed ^ 0xbeef01);
+  plan.origins = MixHash64(seed ^ 0xbeef02);
+  return plan;
+}
+
+PastryPolicy::Network PastryPolicy::MakeNetwork(const ExperimentConfig& config,
+                                                const SeedPlan& seeds) {
+  pastry::PastryParams params;
+  params.bits = config.bits;
+  params.frequency_capacity = config.frequency_capacity;
+  params.leaf_set_half = config.leaf_set_half;
+  return Network(params, seeds.coords);
+}
+
+Result<auxsel::Selection> PastryPolicy::SelectOptimal(
+    const auxsel::SelectionInput& input) {
+  return auxsel::SelectPastryGreedy(input);
+}
+
+Result<auxsel::Selection> PastryPolicy::SelectOblivious(
+    const auxsel::SelectionInput& input, Rng& rng) {
+  return auxsel::SelectPastryOblivious(input, rng);
+}
+
+}  // namespace peercache::experiments

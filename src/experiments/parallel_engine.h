@@ -11,6 +11,7 @@
 
 #include "auxsel/selection_types.h"
 #include "common/random.h"
+#include "common/route_result.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -153,23 +154,28 @@ Status ParallelMeasure(ThreadPool& pool, const Network& net,
     Partial& part = partials[i];
     MetricsShard& shard = registry.shard(i);
     Rng rng(SplitSeed(measure_seed, origin));
+    // One RouteResult per task, written into by every lookup: after the
+    // path vector's capacity plateaus the measurement loop allocates
+    // nothing per query.
+    overlay::RouteResult route;
     for (int q = 0; q < queries_per_node; ++q) {
       const uint64_t key = queries.SampleKey(origin, rng);
       const bool trace_this =
           trace_sample_period > 0 && q % trace_sample_period == 0;
       RouteTrace trace;
-      auto route = net.Lookup(origin, key, trace_this ? &trace : nullptr);
-      if (!route.ok()) {
-        part.status = route.status();
+      Status s =
+          net.LookupInto(origin, key, route, trace_this ? &trace : nullptr);
+      if (!s.ok()) {
+        part.status = s;
         return;
       }
       ++part.queries;
-      if (route->success) {
+      if (route.success) {
         ++part.successes;
-        part.sum_hops += static_cast<uint64_t>(route->hops);
-        part.aux_hops += static_cast<uint64_t>(route->aux_hops);
-        part.hops.Add(route->hops);
-        part.hop_stats.Add(static_cast<double>(route->hops));
+        part.sum_hops += static_cast<uint64_t>(route.hops);
+        part.aux_hops += static_cast<uint64_t>(route.aux_hops);
+        part.hops.Add(route.hops);
+        part.hop_stats.Add(static_cast<double>(route.hops));
       }
       if (trace_this) part.traces.push_back(std::move(trace));
     }

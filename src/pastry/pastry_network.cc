@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "common/bits.h"
+#include "common/overlay.h"
 
 namespace peercache::pastry {
+
+static_assert(overlay::Overlay<PastryNetwork>,
+              "PastryNetwork must satisfy the Overlay concept");
 
 namespace {
 
@@ -22,17 +27,7 @@ PastryNetwork::PastryNetwork(const PastryParams& params, uint64_t seed)
     : params_(params), space_(params.bits), coord_rng_(seed) {}
 
 std::vector<uint64_t> PastryNetwork::LiveNodeIds() const {
-  return std::vector<uint64_t>(live_.begin(), live_.end());
-}
-
-PastryNode* PastryNetwork::GetNode(uint64_t id) {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : &it->second;
-}
-
-const PastryNode* PastryNetwork::GetNode(uint64_t id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : &it->second;
+  return store_.live_ids();
 }
 
 double PastryNetwork::Proximity(uint64_t a, uint64_t b) const {
@@ -44,52 +39,54 @@ double PastryNetwork::Proximity(uint64_t a, uint64_t b) const {
 
 Status PastryNetwork::AddNode(uint64_t id) {
   if (!space_.Contains(id)) return Status::InvalidArgument("id out of range");
-  if (live_.count(id)) return Status::InvalidArgument("live id already used");
-  auto [it, inserted] = nodes_.try_emplace(id, params_.frequency_capacity);
-  it->second.id = id;
-  if (inserted) {
-    it->second.coord = Coord{coord_rng_.UniformDouble(),
-                             coord_rng_.UniformDouble()};
+  if (store_.IsAlive(id)) {
+    return Status::InvalidArgument("live id already used");
   }
-  it->second.alive = true;
-  it->second.auxiliaries.clear();
-  live_.insert(id);
+  auto [node, inserted] = store_.Emplace(id, params_.frequency_capacity);
+  node->id = id;
+  if (inserted) {
+    node->coord = Coord{coord_rng_.UniformDouble(),
+                        coord_rng_.UniformDouble()};
+  }
+  node->alive = true;
+  node->auxiliaries.clear();
+  store_.MarkAlive(id);
   return StabilizeNode(id);
 }
 
 Status PastryNetwork::RemoveNode(uint64_t id) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end() || !it->second.alive) {
+  PastryNode* node = store_.Get(id);
+  if (node == nullptr || !node->alive) {
     return Status::NotFound("node not alive");
   }
-  it->second.alive = false;
-  live_.erase(id);
+  node->alive = false;
+  store_.MarkDead(id);
   return Status::Ok();
 }
 
 Status PastryNetwork::RejoinNode(uint64_t id) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end()) return Status::NotFound("unknown node");
-  if (it->second.alive) return Status::FailedPrecondition("already alive");
-  it->second.alive = true;
-  it->second.auxiliaries.clear();
-  live_.insert(id);
+  PastryNode* node = store_.Get(id);
+  if (node == nullptr) return Status::NotFound("unknown node");
+  if (node->alive) return Status::FailedPrecondition("already alive");
+  node->alive = true;
+  node->auxiliaries.clear();
+  store_.MarkAlive(id);
   return StabilizeNode(id);
 }
 
 Status PastryNetwork::StabilizeNode(uint64_t id) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end() || !it->second.alive) {
+  PastryNode* node_ptr = store_.Get(id);
+  if (node_ptr == nullptr || !node_ptr->alive) {
     return Status::NotFound("node not alive");
   }
-  PastryNode& node = it->second;
+  PastryNode& node = *node_ptr;
 
   // Routing rows with proximity neighbor selection: for every other live
-  // node, bucket by shared-prefix length and keep the underlay-closest
-  // candidate per row (FreePastry's table construction).
+  // node (ascending id order), bucket by shared-prefix length and keep the
+  // underlay-closest candidate per row (FreePastry's table construction).
   node.routing_rows.assign(static_cast<size_t>(params_.bits), kNoEntry);
   std::vector<double> best_dist(static_cast<size_t>(params_.bits), 0.0);
-  for (uint64_t w : live_) {
+  for (uint64_t w : store_.live_ids()) {
     if (w == id) continue;
     const int l = CommonPrefixLength(id, w, params_.bits);
     assert(l < params_.bits);
@@ -107,24 +104,25 @@ Status PastryNetwork::StabilizeNode(uint64_t id) {
   node.leaf_set.clear();
   node.leaf_succ.clear();
   node.leaf_pred.clear();
-  if (live_.size() > 1) {
-    auto succ = live_.upper_bound(id);
+  const std::vector<uint64_t>& live = store_.live_ids();
+  if (live.size() > 1) {
+    size_t succ = store_.UpperBoundLive(id);
     for (int i = 0; i < params_.leaf_set_half; ++i) {
-      if (succ == live_.end()) succ = live_.begin();
-      if (*succ == id) break;  // wrapped around
-      node.leaf_succ.push_back(*succ);
+      if (succ == live.size()) succ = 0;  // wrap
+      if (live[succ] == id) break;        // wrapped around
+      node.leaf_succ.push_back(live[succ]);
       ++succ;
     }
-    auto pred = live_.lower_bound(id);
+    size_t pred = store_.LowerBoundLive(id);
     for (int i = 0; i < params_.leaf_set_half; ++i) {
-      if (pred == live_.begin()) pred = live_.end();
+      if (pred == 0) pred = live.size();  // wrap
       --pred;
-      if (*pred == id) break;
-      if (std::find(node.leaf_succ.begin(), node.leaf_succ.end(), *pred) !=
-          node.leaf_succ.end()) {
+      if (live[pred] == id) break;
+      if (std::find(node.leaf_succ.begin(), node.leaf_succ.end(),
+                    live[pred]) != node.leaf_succ.end()) {
         break;  // small ring: sides met
       }
-      node.leaf_pred.push_back(*pred);
+      node.leaf_pred.push_back(live[pred]);
     }
     node.leaf_set = node.leaf_succ;
     node.leaf_set.insert(node.leaf_set.end(), node.leaf_pred.begin(),
@@ -146,11 +144,11 @@ void PastryNetwork::StabilizeAll() {
 
 Status PastryNetwork::SetAuxiliaries(uint64_t id,
                                      std::vector<uint64_t> auxiliaries) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end() || !it->second.alive) {
+  PastryNode* node = store_.Get(id);
+  if (node == nullptr || !node->alive) {
     return Status::NotFound("node not alive");
   }
-  it->second.auxiliaries = std::move(auxiliaries);
+  node->auxiliaries = std::move(auxiliaries);
   return Status::Ok();
 }
 
@@ -168,17 +166,13 @@ std::vector<uint64_t> PastryNetwork::CoreNeighborIds(uint64_t id) const {
 }
 
 Result<uint64_t> PastryNetwork::ResponsibleNode(uint64_t key) const {
-  if (live_.empty()) return Status::FailedPrecondition("empty overlay");
+  const std::vector<uint64_t>& live = store_.live_ids();
+  if (live.empty()) return Status::FailedPrecondition("empty overlay");
   // Numerically closest on the ring; the clockwise-nearer (lower distance)
   // wins, exact ties go to the smaller id.
-  auto succ_it = live_.lower_bound(key);
-  uint64_t succ = (succ_it == live_.end()) ? *live_.begin() : *succ_it;
-  uint64_t pred;
-  if (succ_it == live_.begin()) {
-    pred = *live_.rbegin();
-  } else {
-    pred = *std::prev(succ_it);
-  }
+  const size_t pos = store_.LowerBoundLive(key);
+  const uint64_t succ = (pos == live.size()) ? live.front() : live[pos];
+  const uint64_t pred = (pos == 0) ? live.back() : live[pos - 1];
   const uint64_t d_succ = space_.ClockwiseDistance(key, succ);
   const uint64_t d_pred = space_.ClockwiseDistance(pred, key);
   if (d_succ < d_pred) return succ;
@@ -186,8 +180,9 @@ Result<uint64_t> PastryNetwork::ResponsibleNode(uint64_t key) const {
   return std::min(pred, succ);
 }
 
-Result<RouteResult> PastryNetwork::Lookup(uint64_t origin, uint64_t key,
-                                          RouteTrace* trace) const {
+Status PastryNetwork::LookupInto(uint64_t origin, uint64_t key,
+                                 RouteResult& out, RouteTrace* trace) const {
+  out.Clear();
   if (!IsAlive(origin)) return Status::Unavailable("origin not alive");
   auto truth = ResponsibleNode(key);
   if (!truth.ok()) return truth.status();
@@ -213,7 +208,6 @@ Result<RouteResult> PastryNetwork::Lookup(uint64_t origin, uint64_t key,
     }
   };
 
-  RouteResult result;
   uint64_t current = origin;
   // Once prefix routing is exhausted the route switches permanently to
   // numeric (ring-greedy) mode: every subsequent hop must be numerically
@@ -227,11 +221,11 @@ Result<RouteResult> PastryNetwork::Lookup(uint64_t origin, uint64_t key,
     assert(node != nullptr);
     const int current_lcp = CommonPrefixLength(current, key, params_.bits);
     if (current_lcp == params_.bits) {  // exact hit
-      result.destination = current;
-      result.hops = hop;
-      result.success = (current == truth.value());
-      finish(result);
-      return result;
+      out.destination = current;
+      out.hops = hop;
+      out.success = (current == truth.value());
+      finish(out);
+      return Status::Ok();
     }
 
     // Rule R1 (leaf-set delivery): if the key falls within the span of this
@@ -261,18 +255,18 @@ Result<RouteResult> PastryNetwork::Lookup(uint64_t origin, uint64_t key,
           closest = w;
         }
       }
-      result.destination = closest;
-      result.hops = hop + (closest == current ? 0 : 1);
+      out.destination = closest;
+      out.hops = hop + (closest == current ? 0 : 1);
       if (closest != current) {
-        result.path.push_back(current);
+        out.path.push_back(current);
         if (trace != nullptr) {
           trace->path.push_back({current, closest, HopEntryKind::kLeafSet,
                                  prefix_remaining(closest)});
         }
       }
-      result.success = (closest == truth.value());
-      finish(result);
-      return result;
+      out.success = (closest == truth.value());
+      finish(out);
+      return Status::Ok();
     }
 
     // Rule R2 (prefix routing): best strictly-longer prefix match with the
@@ -335,24 +329,31 @@ Result<RouteResult> PastryNetwork::Lookup(uint64_t origin, uint64_t key,
 
     if (next == kNoEntry) {
       // Nothing known makes progress: deliver here.
-      result.destination = current;
-      result.hops = hop;
-      result.success = (current == truth.value());
-      finish(result);
-      return result;
+      out.destination = current;
+      out.hops = hop;
+      out.success = (current == truth.value());
+      finish(out);
+      return Status::Ok();
     }
-    if (next_kind == HopEntryKind::kAuxiliary) ++result.aux_hops;
+    if (next_kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
     if (trace != nullptr) {
       trace->path.push_back({current, next, next_kind,
                              prefix_remaining(next)});
     }
-    result.path.push_back(current);
+    out.path.push_back(current);
     current = next;
   }
-  result.destination = current;
-  result.hops = params_.max_route_hops;
-  result.success = false;
-  finish(result);
+  out.destination = current;
+  out.hops = params_.max_route_hops;
+  out.success = false;
+  finish(out);
+  return Status::Ok();
+}
+
+Result<RouteResult> PastryNetwork::Lookup(uint64_t origin, uint64_t key,
+                                          RouteTrace* trace) const {
+  RouteResult result;
+  if (Status s = LookupInto(origin, key, result, trace); !s.ok()) return s;
   return result;
 }
 

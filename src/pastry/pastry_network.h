@@ -2,13 +2,13 @@
 #define PEERCACHE_PASTRY_PASTRY_NETWORK_H_
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <vector>
 
 #include "auxsel/frequency_table.h"
+#include "common/node_store.h"
 #include "common/random.h"
 #include "common/ring_id.h"
+#include "common/route_result.h"
 #include "common/status.h"
 #include "common/trace.h"
 
@@ -27,15 +27,9 @@ struct PastryParams {
   int max_route_hops = 256;
 };
 
-/// Outcome of one simulated lookup.
-struct RouteResult {
-  bool success = false;
-  uint64_t destination = 0;
-  int hops = 0;
-  int aux_hops = 0;  ///< Hops forwarded through an auxiliary entry.
-  /// Nodes that forwarded the query, origin first, destination excluded.
-  std::vector<uint64_t> path;
-};
+/// Outcome of one simulated lookup — the shared overlay type
+/// (common/route_result.h).
+using RouteResult = overlay::RouteResult;
 
 /// Network-proximity coordinates (FreePastry's locality-aware routing picks
 /// the physically closest candidate; we model the underlay as a unit square
@@ -78,8 +72,14 @@ struct PastryNode {
 /// fall back to the numerically closest entry that is numerically closer to
 /// the key (standard Pastry rule); delivery happens at the numerically
 /// closest live node.
+///
+/// Node state lives in an overlay::NodeStore (common/node_store.h): the
+/// liveness probes in the routing loop and the sorted-ring scans in
+/// stabilization and delivery walk flat id-sorted arrays.
 class PastryNetwork {
  public:
+  using NodeType = PastryNode;
+
   static constexpr uint64_t kNoEntry = ~uint64_t{0};
 
   /// `seed` drives the underlay coordinate assignment.
@@ -95,20 +95,26 @@ class PastryNetwork {
   /// Rejoins a crashed node with fresh tables and cleared auxiliaries.
   Status RejoinNode(uint64_t id);
 
-  bool IsAlive(uint64_t id) const { return live_.count(id) > 0; }
-  size_t live_count() const { return live_.size(); }
+  bool IsAlive(uint64_t id) const { return store_.IsAlive(id); }
+  size_t live_count() const { return store_.live_count(); }
   std::vector<uint64_t> LiveNodeIds() const;
 
-  PastryNode* GetNode(uint64_t id);
-  const PastryNode* GetNode(uint64_t id) const;
+  PastryNode* GetNode(uint64_t id) { return store_.Get(id); }
+  const PastryNode* GetNode(uint64_t id) const { return store_.Get(id); }
 
   /// Ground truth: numerically closest live node to the key (ring metric;
   /// the lower id wins exact ties). Fails on an empty overlay.
   Result<uint64_t> ResponsibleNode(uint64_t key) const;
 
-  /// Routes a lookup from `origin` over current tables. When `trace` is
-  /// non-null, per-hop records (source, next hop, entry used, prefix
-  /// distance remaining) are appended; the null path costs one branch.
+  /// Routes a lookup from `origin` over current tables into a caller-owned
+  /// result (cleared first, path capacity retained — reuse makes the
+  /// steady-state lookup path allocation-free). When `trace` is non-null,
+  /// per-hop records (source, next hop, entry used, prefix distance
+  /// remaining) are appended; the null path costs one branch.
+  Status LookupInto(uint64_t origin, uint64_t key, RouteResult& out,
+                    RouteTrace* trace = nullptr) const;
+
+  /// By-value convenience form of LookupInto.
   Result<RouteResult> Lookup(uint64_t origin, uint64_t key,
                              RouteTrace* trace = nullptr) const;
 
@@ -129,8 +135,7 @@ class PastryNetwork {
   PastryParams params_;
   IdSpace space_;
   Rng coord_rng_;
-  std::map<uint64_t, PastryNode> nodes_;
-  std::set<uint64_t> live_;
+  overlay::NodeStore<PastryNode> store_;
 };
 
 }  // namespace peercache::pastry

@@ -34,15 +34,18 @@
 #include "chord/chord_network.h"
 #include "common/bits.h"
 #include "common/logging.h"
+#include "common/node_store.h"
+#include "common/overlay.h"
 #include "common/random.h"
 #include "common/ring_id.h"
+#include "common/route_result.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/top_n.h"
 #include "common/zipf.h"
-#include "experiments/chord_experiment.h"
 #include "experiments/experiment_config.h"
-#include "experiments/pastry_experiment.h"
+#include "experiments/generic_experiment.h"
+#include "experiments/overlay_policy.h"
 #include "pastry/pastry_network.h"
 #include "sim/event_queue.h"
 #include "trie/binary_trie.h"

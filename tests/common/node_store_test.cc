@@ -1,0 +1,109 @@
+#include "common/node_store.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace peercache::overlay {
+namespace {
+
+struct TestNode {
+  int tag = 0;
+  explicit TestNode(int t) : tag(t) {}
+};
+
+TEST(NodeStore, EmplaceCreatesOnceAndReturnsExisting) {
+  NodeStore<TestNode> store;
+  auto [first, inserted] = store.Emplace(42, 7);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(first->tag, 7);
+
+  auto [again, reinserted] = store.Emplace(42, 99);
+  EXPECT_FALSE(reinserted);
+  EXPECT_EQ(again, first);
+  EXPECT_EQ(again->tag, 7);  // original construction args win
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(NodeStore, LivenessIsSeparateFromExistence) {
+  NodeStore<TestNode> store;
+  store.Emplace(5, 0);
+  EXPECT_FALSE(store.IsAlive(5));  // exists but not yet marked
+  EXPECT_FALSE(store.IsAlive(6));  // never added
+
+  store.MarkAlive(5);
+  EXPECT_TRUE(store.IsAlive(5));
+  EXPECT_EQ(store.live_count(), 1u);
+
+  store.MarkDead(5);
+  EXPECT_FALSE(store.IsAlive(5));
+  EXPECT_EQ(store.live_count(), 0u);
+  EXPECT_NE(store.Get(5), nullptr);  // record survives death
+}
+
+TEST(NodeStore, MarkAliveAndDeadAreIdempotent) {
+  NodeStore<TestNode> store;
+  store.Emplace(9, 0);
+  store.MarkAlive(9);
+  store.MarkAlive(9);
+  EXPECT_EQ(store.live_count(), 1u);
+  store.MarkDead(9);
+  store.MarkDead(9);
+  EXPECT_EQ(store.live_count(), 0u);
+}
+
+TEST(NodeStore, LiveIdsStaySortedUnderArbitraryChurn) {
+  NodeStore<TestNode> store;
+  const std::vector<uint64_t> ids = {90, 10, 50, 70, 30, 20, 80};
+  for (uint64_t id : ids) {
+    store.Emplace(id, 0);
+    store.MarkAlive(id);
+  }
+  EXPECT_EQ(store.live_ids(),
+            (std::vector<uint64_t>{10, 20, 30, 50, 70, 80, 90}));
+
+  store.MarkDead(50);
+  store.MarkDead(10);
+  EXPECT_EQ(store.live_ids(), (std::vector<uint64_t>{20, 30, 70, 80, 90}));
+
+  store.MarkAlive(10);  // rejoin
+  EXPECT_EQ(store.live_ids(), (std::vector<uint64_t>{10, 20, 30, 70, 80, 90}));
+  // Parallel slot array stays consistent with the id array.
+  for (size_t i = 0; i < store.live_ids().size(); ++i) {
+    EXPECT_EQ(&store.at_slot(store.live_slot(i)),
+              store.Get(store.live_ids()[i]));
+  }
+}
+
+TEST(NodeStore, BinarySearchesMatchSortedSemantics) {
+  NodeStore<TestNode> store;
+  for (uint64_t id : {10, 20, 30}) {
+    store.Emplace(id, 0);
+    store.MarkAlive(id);
+  }
+  EXPECT_EQ(store.LowerBoundLive(20), 1u);
+  EXPECT_EQ(store.UpperBoundLive(20), 2u);
+  EXPECT_EQ(store.LowerBoundLive(15), 1u);
+  EXPECT_EQ(store.UpperBoundLive(35), 3u);
+
+  EXPECT_EQ(store.FirstLiveAtOrAfter(20), 20u);
+  EXPECT_EQ(store.FirstLiveAtOrAfter(21), 30u);
+  EXPECT_EQ(store.FirstLiveAtOrAfter(31), 10u);  // wraps
+}
+
+TEST(NodeStore, PointersStayValidAcrossGrowth) {
+  NodeStore<TestNode> store;
+  store.Emplace(0, 0);
+  TestNode* first = store.Get(0);
+  // Force many appends; a vector-backed store would reallocate and
+  // invalidate `first`, the deque must not.
+  for (uint64_t id = 1; id < 10000; ++id) {
+    store.Emplace(id, static_cast<int>(id));
+  }
+  EXPECT_EQ(store.Get(0), first);
+  EXPECT_EQ(first->tag, 0);
+}
+
+}  // namespace
+}  // namespace peercache::overlay

@@ -1,7 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "experiments/chord_experiment.h"
-#include "experiments/pastry_experiment.h"
+#include "experiments/generic_experiment.h"
 
 namespace peercache::experiments {
 namespace {
@@ -21,7 +20,7 @@ ExperimentConfig SmallConfig() {
 TEST(ChordExperiment, StableOptimalBeatsOblivious) {
   ExperimentConfig cfg = SmallConfig();
   cfg.n_popularity_lists = 5;
-  auto cmp = CompareChordStable(cfg);
+  auto cmp = CompareStable<ChordPolicy>(cfg);
   ASSERT_TRUE(cmp.ok()) << cmp.status();
   EXPECT_DOUBLE_EQ(cmp->oblivious.success_rate, 1.0);
   EXPECT_DOUBLE_EQ(cmp->optimal.success_rate, 1.0);
@@ -32,9 +31,9 @@ TEST(ChordExperiment, StableOptimalBeatsOblivious) {
 
 TEST(ChordExperiment, AuxiliariesBeatBareOverlay) {
   ExperimentConfig cfg = SmallConfig();
-  auto none = RunChordStable(cfg, SelectorKind::kNone);
-  auto oblivious = RunChordStable(cfg, SelectorKind::kOblivious);
-  auto optimal = RunChordStable(cfg, SelectorKind::kOptimal);
+  auto none = RunStable<ChordPolicy>(cfg, SelectorKind::kNone);
+  auto oblivious = RunStable<ChordPolicy>(cfg, SelectorKind::kOblivious);
+  auto optimal = RunStable<ChordPolicy>(cfg, SelectorKind::kOptimal);
   ASSERT_TRUE(none.ok() && oblivious.ok() && optimal.ok());
   EXPECT_LT(oblivious->avg_hops, none->avg_hops)
       << "even random auxiliaries help";
@@ -45,9 +44,9 @@ TEST(ChordExperiment, ImprovementGrowsWithSkew) {
   // Paper Sec. VI: gains grow with the zipf parameter.
   ExperimentConfig cfg = SmallConfig();
   cfg.alpha = 0.5;
-  auto mild = CompareChordStable(cfg);
+  auto mild = CompareStable<ChordPolicy>(cfg);
   cfg.alpha = 1.5;
-  auto heavy = CompareChordStable(cfg);
+  auto heavy = CompareStable<ChordPolicy>(cfg);
   ASSERT_TRUE(mild.ok() && heavy.ok());
   EXPECT_GT(heavy->improvement_pct, mild->improvement_pct);
 }
@@ -58,7 +57,7 @@ TEST(ChordExperiment, ChurnRunsAndStillImproves) {
   ChurnConfig churn;
   churn.warmup_s = 1200;
   churn.measure_s = 1200;
-  auto cmp = CompareChordChurn(cfg, churn);
+  auto cmp = CompareChurn<ChordPolicy>(cfg, churn);
   ASSERT_TRUE(cmp.ok()) << cmp.status();
   EXPECT_GT(cmp->optimal.queries, 1000u);
   EXPECT_GT(cmp->optimal.success_rate, 0.9)
@@ -68,12 +67,12 @@ TEST(ChordExperiment, ChurnRunsAndStillImproves) {
 
 TEST(ChordExperiment, DeterministicForSeed) {
   ExperimentConfig cfg = SmallConfig();
-  auto a = RunChordStable(cfg, SelectorKind::kOptimal);
-  auto b = RunChordStable(cfg, SelectorKind::kOptimal);
+  auto a = RunStable<ChordPolicy>(cfg, SelectorKind::kOptimal);
+  auto b = RunStable<ChordPolicy>(cfg, SelectorKind::kOptimal);
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_DOUBLE_EQ(a->avg_hops, b->avg_hops);
   cfg.seed = 999;
-  auto c = RunChordStable(cfg, SelectorKind::kOptimal);
+  auto c = RunStable<ChordPolicy>(cfg, SelectorKind::kOptimal);
   ASSERT_TRUE(c.ok());
   EXPECT_NE(a->avg_hops, c->avg_hops) << "different seed, different run";
 }
@@ -81,7 +80,7 @@ TEST(ChordExperiment, DeterministicForSeed) {
 TEST(PastryExperiment, StableOptimalBeatsOblivious) {
   ExperimentConfig cfg = SmallConfig();
   cfg.n_popularity_lists = 1;  // identical ranking, paper's Pastry setup
-  auto cmp = ComparePastryStable(cfg);
+  auto cmp = CompareStable<PastryPolicy>(cfg);
   ASSERT_TRUE(cmp.ok()) << cmp.status();
   EXPECT_DOUBLE_EQ(cmp->oblivious.success_rate, 1.0);
   EXPECT_DOUBLE_EQ(cmp->optimal.success_rate, 1.0);
@@ -93,17 +92,17 @@ TEST(PastryExperiment, LowerAlphaLowersImprovement) {
   // Paper Fig. 3: alpha = 0.91 gains are clearly below alpha = 1.2 gains.
   ExperimentConfig cfg = SmallConfig();
   cfg.alpha = 1.2;
-  auto high = ComparePastryStable(cfg);
+  auto high = CompareStable<PastryPolicy>(cfg);
   cfg.alpha = 0.5;  // wider gap than 0.91 to keep the test robust
-  auto low = ComparePastryStable(cfg);
+  auto low = CompareStable<PastryPolicy>(cfg);
   ASSERT_TRUE(high.ok() && low.ok());
   EXPECT_GT(high->improvement_pct, low->improvement_pct);
 }
 
 TEST(PastryExperiment, DeterministicForSeed) {
   ExperimentConfig cfg = SmallConfig();
-  auto a = RunPastryStable(cfg, SelectorKind::kOptimal);
-  auto b = RunPastryStable(cfg, SelectorKind::kOptimal);
+  auto a = RunStable<PastryPolicy>(cfg, SelectorKind::kOptimal);
+  auto b = RunStable<PastryPolicy>(cfg, SelectorKind::kOptimal);
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_DOUBLE_EQ(a->avg_hops, b->avg_hops);
 }
@@ -115,7 +114,7 @@ TEST(PastryExperiment, ChurnRunsAndStillImproves) {
   ChurnConfig churn;
   churn.warmup_s = 1200;
   churn.measure_s = 1200;
-  auto cmp = ComparePastryChurn(cfg, churn);
+  auto cmp = CompareChurn<PastryPolicy>(cfg, churn);
   ASSERT_TRUE(cmp.ok()) << cmp.status();
   EXPECT_GT(cmp->optimal.queries, 1000u);
   EXPECT_GT(cmp->optimal.success_rate, 0.9);
@@ -127,8 +126,8 @@ TEST(PastryExperiment, ChurnDeterministicForSeed) {
   ChurnConfig churn;
   churn.warmup_s = 600;
   churn.measure_s = 600;
-  auto a = RunPastryChurn(cfg, churn, SelectorKind::kOptimal);
-  auto b = RunPastryChurn(cfg, churn, SelectorKind::kOptimal);
+  auto a = RunChurn<PastryPolicy>(cfg, churn, SelectorKind::kOptimal);
+  auto b = RunChurn<PastryPolicy>(cfg, churn, SelectorKind::kOptimal);
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_DOUBLE_EQ(a->avg_hops, b->avg_hops);
   EXPECT_EQ(a->queries, b->queries);

@@ -13,10 +13,9 @@
 
 #include "common/json_writer.h"
 #include "common/trace.h"
-#include "experiments/chord_experiment.h"
+#include "experiments/generic_experiment.h"
 #include "experiments/cost_audit.h"
 #include "experiments/json_report.h"
-#include "experiments/pastry_experiment.h"
 
 namespace peercache::experiments {
 namespace {
@@ -73,9 +72,9 @@ TEST(Observability, ChordTelemetryIsThreadCountInvariant) {
   ExperimentConfig cfg = BaseConfig(0xa0);
   cfg.n_popularity_lists = 5;
   cfg.threads = 1;
-  auto serial = RunChordStable(cfg, SelectorKind::kOptimal);
+  auto serial = RunStable<ChordPolicy>(cfg, SelectorKind::kOptimal);
   cfg.threads = 4;
-  auto parallel = RunChordStable(cfg, SelectorKind::kOptimal);
+  auto parallel = RunStable<ChordPolicy>(cfg, SelectorKind::kOptimal);
   ASSERT_TRUE(serial.ok() && parallel.ok());
 
   EXPECT_EQ(SerializedMetricsNoTimers(*serial),
@@ -92,9 +91,9 @@ TEST(Observability, ChordTelemetryIsThreadCountInvariant) {
 TEST(Observability, PastryTelemetryIsThreadCountInvariant) {
   ExperimentConfig cfg = BaseConfig(0xa1);
   cfg.threads = 1;
-  auto serial = RunPastryStable(cfg, SelectorKind::kOptimal);
+  auto serial = RunStable<PastryPolicy>(cfg, SelectorKind::kOptimal);
   cfg.threads = 4;
-  auto parallel = RunPastryStable(cfg, SelectorKind::kOptimal);
+  auto parallel = RunStable<PastryPolicy>(cfg, SelectorKind::kOptimal);
   ASSERT_TRUE(serial.ok() && parallel.ok());
 
   EXPECT_EQ(SerializedMetricsNoTimers(*serial),
@@ -135,14 +134,14 @@ void ExpectWellFormedTraces(const RunResult& result, bool chord) {
 TEST(Observability, ChordTracesAreConsistentRoutes) {
   ExperimentConfig cfg = BaseConfig(0xcc);
   cfg.n_popularity_lists = 5;
-  auto result = RunChordStable(cfg, SelectorKind::kOptimal);
+  auto result = RunStable<ChordPolicy>(cfg, SelectorKind::kOptimal);
   ASSERT_TRUE(result.ok());
   ExpectWellFormedTraces(*result, /*chord=*/true);
 }
 
 TEST(Observability, PastryTracesAreConsistentRoutes) {
   ExperimentConfig cfg = BaseConfig(0xdd);
-  auto result = RunPastryStable(cfg, SelectorKind::kOptimal);
+  auto result = RunStable<PastryPolicy>(cfg, SelectorKind::kOptimal);
   ASSERT_TRUE(result.ok());
   ExpectWellFormedTraces(*result, /*chord=*/false);
 }
@@ -150,7 +149,7 @@ TEST(Observability, PastryTracesAreConsistentRoutes) {
 TEST(Observability, TracingIsOffByDefault) {
   ExperimentConfig cfg = BaseConfig(0xee);
   cfg.trace_sample_period = 0;
-  auto result = RunChordStable(cfg, SelectorKind::kOptimal);
+  auto result = RunStable<ChordPolicy>(cfg, SelectorKind::kOptimal);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->traces.empty());
 }
@@ -158,7 +157,7 @@ TEST(Observability, TracingIsOffByDefault) {
 TEST(Observability, AuxAccountingMatchesMetricsCounters) {
   ExperimentConfig cfg = BaseConfig(0xff);
   cfg.n_popularity_lists = 5;
-  auto result = RunChordStable(cfg, SelectorKind::kOptimal);
+  auto result = RunStable<ChordPolicy>(cfg, SelectorKind::kOptimal);
   ASSERT_TRUE(result.ok());
 
   EXPECT_EQ(result->metrics.counter("lookup.route_hops"),
@@ -177,7 +176,7 @@ TEST(Observability, AuxAccountingMatchesMetricsCounters) {
 
 TEST(Observability, CoreOnlyRunHasNoAuxHops) {
   ExperimentConfig cfg = BaseConfig(0xab);
-  auto result = RunChordStable(cfg, SelectorKind::kNone);
+  auto result = RunStable<ChordPolicy>(cfg, SelectorKind::kNone);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->aux_route_hops, 0u);
   EXPECT_DOUBLE_EQ(result->aux_hit_rate, 0.0);
@@ -186,7 +185,7 @@ TEST(Observability, CoreOnlyRunHasNoAuxHops) {
 TEST(Observability, CostAuditCoversEveryNodeExactlyOnce) {
   ExperimentConfig cfg = BaseConfig(0xba);
   cfg.n_popularity_lists = 5;
-  auto result = RunChordStable(cfg, SelectorKind::kOptimal);
+  auto result = RunStable<ChordPolicy>(cfg, SelectorKind::kOptimal);
   ASSERT_TRUE(result.ok());
 
   ASSERT_EQ(result->cost_audit.size(), static_cast<size_t>(cfg.n_nodes));
@@ -207,7 +206,7 @@ TEST(Observability, CostAuditCoversEveryNodeExactlyOnce) {
 // The oblivious selector publishes no Eq. 1 prediction, so no audit rows.
 TEST(Observability, NoAuditWithoutPrediction) {
   ExperimentConfig cfg = BaseConfig(0xcd);
-  auto result = RunChordStable(cfg, SelectorKind::kOblivious);
+  auto result = RunStable<ChordPolicy>(cfg, SelectorKind::kOblivious);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->cost_audit.empty());
 }
@@ -229,7 +228,7 @@ TEST(Observability, ChurnRunProducesTelemetry) {
   ChurnConfig churn;
   churn.warmup_s = 400;
   churn.measure_s = 400;
-  auto result = RunChordChurn(cfg, churn, SelectorKind::kOptimal);
+  auto result = RunChurn<ChordPolicy>(cfg, churn, SelectorKind::kOptimal);
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(result->traces.empty());
   EXPECT_GT(result->total_route_hops, 0u);
@@ -240,7 +239,7 @@ TEST(Observability, ChurnRunProducesTelemetry) {
 TEST(Observability, ComparisonDocumentHasSchemaEnvelope) {
   ExperimentConfig cfg = BaseConfig(0xde);
   cfg.n_popularity_lists = 5;
-  auto cmp = CompareChordStable(cfg);
+  auto cmp = CompareStable<ChordPolicy>(cfg);
   ASSERT_TRUE(cmp.ok());
   const std::string doc =
       ComparisonDocument("observability_test", "chord", "stable", cfg, *cmp);

@@ -9,8 +9,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "experiments/chord_experiment.h"
-#include "experiments/pastry_experiment.h"
+#include "experiments/generic_experiment.h"
 
 namespace peercache::experiments {
 namespace {
@@ -59,9 +58,9 @@ TEST_P(ParallelDeterminismTest, ChordStableMatchesSerial) {
   ExperimentConfig cfg = BaseConfig(0xc0de);
   cfg.n_popularity_lists = 5;
   cfg.threads = 1;
-  auto serial = RunChordStable(cfg, GetParam());
+  auto serial = RunStable<ChordPolicy>(cfg, GetParam());
   cfg.threads = 4;
-  auto parallel = RunChordStable(cfg, GetParam());
+  auto parallel = RunStable<ChordPolicy>(cfg, GetParam());
   ASSERT_TRUE(serial.ok() && parallel.ok());
   ExpectIdenticalRuns(*serial, *parallel);
 }
@@ -69,9 +68,9 @@ TEST_P(ParallelDeterminismTest, ChordStableMatchesSerial) {
 TEST_P(ParallelDeterminismTest, PastryStableMatchesSerial) {
   ExperimentConfig cfg = BaseConfig(0xfeed);
   cfg.threads = 1;
-  auto serial = RunPastryStable(cfg, GetParam());
+  auto serial = RunStable<PastryPolicy>(cfg, GetParam());
   cfg.threads = 4;
-  auto parallel = RunPastryStable(cfg, GetParam());
+  auto parallel = RunStable<PastryPolicy>(cfg, GetParam());
   ASSERT_TRUE(serial.ok() && parallel.ok());
   ExpectIdenticalRuns(*serial, *parallel);
 }
@@ -91,9 +90,9 @@ TEST(ParallelDeterminism, ChordChurnMatchesSerial) {
   churn.warmup_s = 400;
   churn.measure_s = 400;
   cfg.threads = 1;
-  auto serial = RunChordChurn(cfg, churn, SelectorKind::kOptimal);
+  auto serial = RunChurn<ChordPolicy>(cfg, churn, SelectorKind::kOptimal);
   cfg.threads = 4;
-  auto parallel = RunChordChurn(cfg, churn, SelectorKind::kOptimal);
+  auto parallel = RunChurn<ChordPolicy>(cfg, churn, SelectorKind::kOptimal);
   ASSERT_TRUE(serial.ok() && parallel.ok());
   ExpectIdenticalRuns(*serial, *parallel);
 }
@@ -104,9 +103,9 @@ TEST(ParallelDeterminism, PastryChurnMatchesSerial) {
   churn.warmup_s = 400;
   churn.measure_s = 400;
   cfg.threads = 1;
-  auto serial = RunPastryChurn(cfg, churn, SelectorKind::kOptimal);
+  auto serial = RunChurn<PastryPolicy>(cfg, churn, SelectorKind::kOptimal);
   cfg.threads = 4;
-  auto parallel = RunPastryChurn(cfg, churn, SelectorKind::kOptimal);
+  auto parallel = RunChurn<PastryPolicy>(cfg, churn, SelectorKind::kOptimal);
   ASSERT_TRUE(serial.ok() && parallel.ok());
   ExpectIdenticalRuns(*serial, *parallel);
 }
@@ -114,9 +113,9 @@ TEST(ParallelDeterminism, PastryChurnMatchesSerial) {
 TEST(ParallelDeterminism, DefaultThreadCountAlsoMatches) {
   ExperimentConfig cfg = BaseConfig(0x5eed);
   cfg.threads = 1;
-  auto serial = RunChordStable(cfg, SelectorKind::kOptimal);
+  auto serial = RunStable<ChordPolicy>(cfg, SelectorKind::kOptimal);
   cfg.threads = 0;  // hardware concurrency, whatever this host has
-  auto parallel = RunChordStable(cfg, SelectorKind::kOptimal);
+  auto parallel = RunStable<ChordPolicy>(cfg, SelectorKind::kOptimal);
   ASSERT_TRUE(serial.ok() && parallel.ok());
   ExpectIdenticalRuns(*serial, *parallel);
 }
@@ -129,8 +128,8 @@ TEST(ParallelDeterminism, DifferentSeedsStillDiffer) {
   ExperimentConfig b = BaseConfig(2);
   a.threads = 4;
   b.threads = 4;
-  auto ra = RunChordStable(a, SelectorKind::kOptimal);
-  auto rb = RunChordStable(b, SelectorKind::kOptimal);
+  auto ra = RunStable<ChordPolicy>(a, SelectorKind::kOptimal);
+  auto rb = RunStable<ChordPolicy>(b, SelectorKind::kOptimal);
   ASSERT_TRUE(ra.ok() && rb.ok());
   EXPECT_NE(ra->avg_hops, rb->avg_hops);
 }
