@@ -41,6 +41,8 @@ struct Args {
   std::string json_out;
   std::string trace_out;
   int trace_sample = 0;  // 0 = pick a default when --trace-out is given
+  std::string freq_mode = "observed";
+  int audit_period = 4;
 
   static void Usage(const char* argv0) {
     std::fprintf(
@@ -49,10 +51,20 @@ struct Args {
         "          [--alpha A] [--items I] [--lists L] [--seed S]\n"
         "          [--duration SECONDS] [--threads T]\n"
         "          [--json-out FILE] [--trace-out FILE] [--trace-sample P]\n"
+        "          [--freq-mode pool|observed] [--audit-period N]\n"
         "          [--log-level debug|info|warning|error]\n"
         "  --threads T       worker threads for the per-node loops\n"
         "                    (0 = all hardware threads, 1 = serial; results\n"
         "                    are identical for every value)\n"
+        "  --freq-mode M     churn recompute rounds: 'observed' (default)\n"
+        "                    keeps persistent per-node maintainers and\n"
+        "                    applies only each round's deltas; 'pool'\n"
+        "                    rebuilds every selection from a full frequency\n"
+        "                    snapshot (the legacy behaviour the committed\n"
+        "                    churn figures were generated with)\n"
+        "  --audit-period N  cross-check incremental selections against\n"
+        "                    from-scratch builds every Nth round (observed\n"
+        "                    mode; default 4, 0 = never)\n"
         "  --json-out FILE   write a schema-versioned telemetry document\n"
         "  --trace-out FILE  write sampled route traces as JSONL\n"
         "  --trace-sample P  trace every P-th measured query per node\n"
@@ -97,6 +109,10 @@ struct Args {
         a.trace_out = next("--trace-out");
       } else if (!std::strcmp(argv[i], "--trace-sample")) {
         a.trace_sample = std::atoi(next("--trace-sample"));
+      } else if (!std::strcmp(argv[i], "--freq-mode")) {
+        a.freq_mode = next("--freq-mode");
+      } else if (!std::strcmp(argv[i], "--audit-period")) {
+        a.audit_period = std::atoi(next("--audit-period"));
       } else if (!std::strcmp(argv[i], "--log-level")) {
         LogLevel level;
         if (!ParseLogLevel(next("--log-level"), &level)) {
@@ -109,6 +125,7 @@ struct Args {
       }
     }
     if (a.system != "chord" && a.system != "pastry") Usage(argv[0]);
+    if (a.freq_mode != "pool" && a.freq_mode != "observed") Usage(argv[0]);
     if (a.n < 2) Usage(argv[0]);
     if (a.trace_sample == 0 && !a.trace_out.empty()) a.trace_sample = 100;
     return a;
@@ -132,6 +149,9 @@ int main(int argc, char** argv) {
   cfg.seed = args.seed;
   cfg.threads = args.threads;
   cfg.trace_sample_period = args.trace_sample;
+  cfg.freq_mode =
+      args.freq_mode == "pool" ? FreqMode::kPool : FreqMode::kObserved;
+  cfg.maintenance_audit_period = args.audit_period;
 
   std::printf(
       "%s %s: n=%d k=%d alpha=%.2f items=%zu lists=%d seed=%llu threads=%d\n\n",

@@ -7,6 +7,7 @@
 
 #include "auxsel/chord_common.h"
 #include "common/bits.h"
+#include "common/ring_id.h"
 
 namespace peercache::auxsel {
 
@@ -14,93 +15,15 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Jump tables p_j(r) / W_j(r) for all candidates, flattened row-major.
-class JumpTables {
- public:
-  explicit JumpTables(const ChordInstance& inst)
-      : inst_(inst), stride_(static_cast<size_t>(inst.bits) + 1) {
-    const size_t rows = inst.candidates.size();
-    p_.assign(rows * stride_, 0);
-    w_.assign(rows * stride_, 0.0);
-    cand_row_.assign(static_cast<size_t>(inst.n) + 1, -1);
-    for (size_t row = 0; row < rows; ++row) {
-      const int j = inst.candidates[row];
-      cand_row_[static_cast<size_t>(j)] = static_cast<int>(row);
-      BuildRow(row, j);
-    }
-  }
-
-  /// s(j, m) in O(1); j must be a candidate, j <= m.
-  double S(int j, int m) const {
-    assert(j >= 1 && j <= m);
-    const int nc = inst_.next_core[static_cast<size_t>(j)];
-    const int limit = std::min(m, nc - 1);
-    double s = 0;
-    if (limit > j) {
-      const int row = cand_row_[static_cast<size_t>(j)];
-      assert(row >= 0);
-      const size_t base = static_cast<size_t>(row) * stride_;
-      const int dl = inst_.Hop(j, limit);
-      assert(dl >= 1);
-      const int pprev = p_[base + static_cast<size_t>(dl - 1)];
-      s += w_[base + static_cast<size_t>(dl - 1)] +
-           dl * (inst_.F[static_cast<size_t>(limit)] -
-                 inst_.F[static_cast<size_t>(pprev)]);
-    }
-    if (m >= nc) {
-      s += inst_.B[static_cast<size_t>(m)] - inst_.B[static_cast<size_t>(nc - 1)];
-    }
-    return s;
-  }
-
- private:
-  void BuildRow(size_t row, int j) {
-    const size_t base = row * stride_;
-    const uint64_t idj = inst_.ids[static_cast<size_t>(j)];
-    p_[base] = j;  // p_j(0): only j itself is within hop 0
-    w_[base] = 0.0;
-    int prev_p = j;
-    for (int r = 1; r <= inst_.bits; ++r) {
-      // Largest successor index l with ids[l] - idj <= 2^r - 1; ids are
-      // ascending so binary search over [prev_p, n].
-      const uint64_t limit_id = idj + LowBitMask(r);  // may wrap; see below
-      int l;
-      if (limit_id < idj) {
-        // 2^r - 1 overflows past the top of the id space: everything fits.
-        l = inst_.n;
-      } else {
-        auto first = inst_.ids.begin() + prev_p;
-        auto last = inst_.ids.begin() + inst_.n + 1;
-        l = static_cast<int>(std::upper_bound(first, last, limit_id) -
-                             inst_.ids.begin()) -
-            1;
-      }
-      p_[base + static_cast<size_t>(r)] = l;
-      w_[base + static_cast<size_t>(r)] =
-          w_[base + static_cast<size_t>(r - 1)] +
-          r * (inst_.F[static_cast<size_t>(l)] -
-               inst_.F[static_cast<size_t>(prev_p)]);
-      prev_p = l;
-    }
-  }
-
-  const ChordInstance& inst_;
-  size_t stride_;
-  std::vector<int> p_;
-  std::vector<double> w_;
-  std::vector<int> cand_row_;
-};
-
 /// One DP layer: row_min[m] = min over candidate positions p in
 /// [0, #cands<=m) of prev[cand[p]-1] + S(cand[p], m), exploiting argmin
 /// monotonicity (total monotonicity from the concave QI of s).
 class LayerSolver {
  public:
-  LayerSolver(const ChordInstance& inst, const JumpTables& jumps,
-              const std::vector<double>& prev, std::vector<double>& row_min,
-              std::vector<int>& row_arg)
-      : inst_(inst),
-        jumps_(jumps),
+  LayerSolver(const ChordFastPlan& plan, const std::vector<double>& prev,
+              std::vector<double>& row_min, std::vector<int>& row_arg)
+      : inst_(plan.instance()),
+        plan_(plan),
         prev_(prev),
         row_min_(row_min),
         row_arg_(row_arg) {}
@@ -125,7 +48,7 @@ class LayerSolver {
     for (int p = plo; p <= hi; ++p) {
       const int j = cand[static_cast<size_t>(p)];
       const double val =
-          prev_[static_cast<size_t>(j - 1)] + jumps_.S(j, mid);
+          prev_[static_cast<size_t>(j - 1)] + plan_.S(j, mid);
       if (val < best) {
         best = val;
         best_p = p;
@@ -140,7 +63,7 @@ class LayerSolver {
   }
 
   const ChordInstance& inst_;
-  const JumpTables& jumps_;
+  const ChordFastPlan& plan_;
   const std::vector<double>& prev_;
   std::vector<double>& row_min_;
   std::vector<int>& row_arg_;
@@ -148,14 +71,156 @@ class LayerSolver {
 
 }  // namespace
 
-Result<Selection> SelectChordFast(const SelectionInput& input) {
+double ChordFastPlan::S(int j, int m) const {
+  assert(j >= 1 && j <= m);
+  const int nc = inst_.next_core[static_cast<size_t>(j)];
+  const int limit = std::min(m, nc - 1);
+  double s = 0;
+  if (limit > j) {
+    const int row = cand_row_[static_cast<size_t>(j)];
+    assert(row >= 0);
+    const size_t base = static_cast<size_t>(row) * stride_;
+    const int dl = inst_.Hop(j, limit);
+    assert(dl >= 1);
+    const int pprev = p_[base + static_cast<size_t>(dl - 1)];
+    s += w_[base + static_cast<size_t>(dl - 1)] +
+         dl * (inst_.F[static_cast<size_t>(limit)] -
+               inst_.F[static_cast<size_t>(pprev)]);
+  }
+  if (m >= nc) {
+    s += inst_.B[static_cast<size_t>(m)] - inst_.B[static_cast<size_t>(nc - 1)];
+  }
+  return s;
+}
+
+void ChordFastPlan::BuildRow(size_t row, int j) {
+  const size_t base = row * stride_;
+  const uint64_t idj = inst_.ids[static_cast<size_t>(j)];
+  p_[base] = j;  // p_j(0): only j itself is within hop 0
+  w_[base] = 0.0;
+  int prev_p = j;
+  for (int r = 1; r <= inst_.bits; ++r) {
+    // Largest successor index l with ids[l] - idj <= 2^r - 1; ids are
+    // ascending so binary search over [prev_p, n].
+    const uint64_t limit_id = idj + LowBitMask(r);  // may wrap; see below
+    int l;
+    if (limit_id < idj) {
+      // 2^r - 1 overflows past the top of the id space: everything fits.
+      l = inst_.n;
+    } else {
+      auto first = inst_.ids.begin() + prev_p;
+      auto last = inst_.ids.begin() + inst_.n + 1;
+      l = static_cast<int>(std::upper_bound(first, last, limit_id) -
+                           inst_.ids.begin()) -
+          1;
+    }
+    p_[base + static_cast<size_t>(r)] = l;
+    w_[base + static_cast<size_t>(r)] =
+        w_[base + static_cast<size_t>(r - 1)] +
+        r * (inst_.F[static_cast<size_t>(l)] -
+             inst_.F[static_cast<size_t>(prev_p)]);
+    prev_p = l;
+  }
+}
+
+void ChordFastPlan::RefreshRow(size_t row, int j) {
+  // Same recurrence as BuildRow, but over the stored jump pointers — no
+  // binary searches.
+  const size_t base = row * stride_;
+  w_[base] = 0.0;
+  int prev_p = j;
+  for (int r = 1; r <= inst_.bits; ++r) {
+    const int l = p_[base + static_cast<size_t>(r)];
+    w_[base + static_cast<size_t>(r)] =
+        w_[base + static_cast<size_t>(r - 1)] +
+        r * (inst_.F[static_cast<size_t>(l)] -
+             inst_.F[static_cast<size_t>(prev_p)]);
+    prev_p = l;
+  }
+}
+
+Result<ChordFastPlan> ChordFastPlan::Build(const SelectionInput& input) {
   auto inst_r = BuildChordInstance(input);
   if (!inst_r.ok()) return inst_r.status();
-  const ChordInstance& inst = inst_r.value();
+  ChordFastPlan plan;
+  plan.inst_ = std::move(inst_r).value();
+  const ChordInstance& inst = plan.inst_;
+  plan.stride_ = static_cast<size_t>(inst.bits) + 1;
+  const size_t rows = inst.candidates.size();
+  plan.p_.assign(rows * plan.stride_, 0);
+  plan.w_.assign(rows * plan.stride_, 0.0);
+  plan.cand_row_.assign(static_cast<size_t>(inst.n) + 1, -1);
+  for (size_t row = 0; row < rows; ++row) {
+    const int j = inst.candidates[row];
+    plan.cand_row_[static_cast<size_t>(j)] = static_cast<int>(row);
+    plan.BuildRow(row, j);
+  }
+  return plan;
+}
+
+Status ChordFastPlan::RefreshWeights(const SelectionInput& input) {
+  if (Status s = ValidateInput(input); !s.ok()) return s;
+  IdSpace space(input.bits);
+  if (input.bits != inst_.bits) {
+    return Status::InvalidArgument("plan built for different id space");
+  }
+  const size_t sz = static_cast<size_t>(inst_.n) + 1;
+  std::vector<double> freq(sz, 0.0);
+  std::vector<int> delay_bound(sz, -1);
+  // Every successor must be re-derivable from the input (same support set,
+  // same core flags), otherwise the geometry is stale.
+  std::vector<char> touched(sz, 0);
+  auto position_of = [&](uint64_t orig) -> int {
+    const uint64_t sid = space.ClockwiseDistance(input.self_id, orig);
+    auto it = std::lower_bound(inst_.ids.begin() + 1, inst_.ids.end(), sid);
+    if (it == inst_.ids.end() || *it != sid) return -1;
+    return static_cast<int>(it - inst_.ids.begin());
+  };
+  for (const PeerFreq& p : input.peers) {
+    const int pos = position_of(p.id);
+    if (pos < 0) return Status::InvalidArgument("peer not in plan membership");
+    freq[static_cast<size_t>(pos)] = p.frequency;
+    delay_bound[static_cast<size_t>(pos)] = p.delay_bound;
+    touched[static_cast<size_t>(pos)] = 1;
+  }
+  for (uint64_t c : input.core_ids) {
+    if (c == input.self_id) continue;
+    const int pos = position_of(c);
+    if (pos < 0 || !inst_.is_core[static_cast<size_t>(pos)]) {
+      return Status::InvalidArgument("core set differs from plan membership");
+    }
+    touched[static_cast<size_t>(pos)] = 1;
+  }
+  for (int l = 1; l <= inst_.n; ++l) {
+    const size_t ul = static_cast<size_t>(l);
+    if (!touched[ul]) {
+      return Status::InvalidArgument("successor absent from refresh input");
+    }
+    // A successor promoted to / demoted from core keeps the same position
+    // but changes candidates/next_core — that is a structural rebuild.
+    if (!inst_.is_core[ul] && freq[ul] <= 0.0) {
+      return Status::InvalidArgument("candidate lost its frequency");
+    }
+  }
+
+  inst_.freq = std::move(freq);
+  inst_.delay_bound = std::move(delay_bound);
+  for (int l = 1; l <= inst_.n; ++l) {
+    const size_t ul = static_cast<size_t>(l);
+    inst_.F[ul] = inst_.F[ul - 1] + inst_.freq[ul];
+    inst_.B[ul] = inst_.B[ul - 1] +
+                  inst_.freq[ul] * inst_.core_serve[ul];
+  }
+  for (size_t row = 0; row < inst_.candidates.size(); ++row) {
+    RefreshRow(row, inst_.candidates[row]);
+  }
+  return Status::Ok();
+}
+
+Result<Selection> ChordFastPlan::Solve(const SelectionInput& input) const {
+  const ChordInstance& inst = inst_;
   const int n = inst.n;
   const int k = std::min(input.k, static_cast<int>(inst.candidates.size()));
-
-  JumpTables jumps(inst);
 
   std::vector<double> prev(inst.B.begin(), inst.B.end());  // C_0 = B
   std::vector<double> row_min(static_cast<size_t>(n) + 1, kInf);
@@ -165,7 +230,7 @@ Result<Selection> SelectChordFast(const SelectionInput& input) {
       std::vector<int>(static_cast<size_t>(n) + 1, 0));
 
   for (int i = 1; i <= k; ++i) {
-    LayerSolver(inst, jumps, prev, row_min, row_arg).Run();
+    LayerSolver(*this, prev, row_min, row_arg).Run();
     auto& row = choice[static_cast<size_t>(i)];
     for (int m = 1; m <= n; ++m) {
       const size_t um = static_cast<size_t>(m);
@@ -189,6 +254,12 @@ Result<Selection> SelectChordFast(const SelectionInput& input) {
     --i;
   }
   return MakeChordSelection(input, inst, chosen);
+}
+
+Result<Selection> SelectChordFast(const SelectionInput& input) {
+  auto plan_r = ChordFastPlan::Build(input);
+  if (!plan_r.ok()) return plan_r.status();
+  return plan_r.value().Solve(input);
 }
 
 }  // namespace peercache::auxsel

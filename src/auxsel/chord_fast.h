@@ -1,10 +1,65 @@
 #ifndef PEERCACHE_AUXSEL_CHORD_FAST_H_
 #define PEERCACHE_AUXSEL_CHORD_FAST_H_
 
+#include <cstddef>
+#include <vector>
+
+#include "auxsel/chord_common.h"
 #include "auxsel/selection_types.h"
 #include "common/status.h"
 
 namespace peercache::auxsel {
+
+/// The preprocessed state of the paper's accelerated Chord selection
+/// (Sec. V-B): the zero-node-frame ChordInstance plus the jump tables
+/// p_j(r) / W_j(r) for every candidate. Building it is the O(n·b·log n)
+/// part of SelectChordFast; solving the DP on top is O(n·k·log n).
+///
+/// The plan is exposed (rather than hidden inside SelectChordFast) so an
+/// incremental maintainer can keep it alive across churn rounds:
+///
+///  * frequency-only deltas leave `ids`, `candidates`, `next_core`,
+///    `core_serve`, and every jump pointer p_j(r) untouched — those depend
+///    only on membership and core flags. `RefreshWeights` rebuilds just the
+///    weight planes (freq/F/B and W_j) in O(n·b) without a single binary
+///    search, then `Solve` re-runs the DP;
+///  * membership or core-set deltas invalidate the ring geometry, so the
+///    maintainer rebuilds the plan with `Build`.
+class ChordFastPlan {
+ public:
+  ChordFastPlan() = default;
+
+  /// Builds instance + jump tables from a validated input. O(n·b·log n).
+  static Result<ChordFastPlan> Build(const SelectionInput& input);
+
+  /// Reloads frequencies (and delay bounds) from `input` into the existing
+  /// geometry, recomputing F, B, and the W_j planes over the stored jump
+  /// pointers. Requires the same membership and core flags the plan was
+  /// built with; returns InvalidArgument (leaving the plan unusable for
+  /// Solve until rebuilt) when the support set or core flags differ.
+  /// O(n·(b + log n)).
+  Status RefreshWeights(const SelectionInput& input);
+
+  /// Runs the concave-QI layered DP (paper Eq. 7) and reconstructs the
+  /// selection. O(n·k·log n). `input` must be the instance this plan
+  /// currently reflects.
+  Result<Selection> Solve(const SelectionInput& input) const;
+
+  /// s(j, m) of paper Eq. 8/10 in O(1); j must be a candidate, j <= m.
+  double S(int j, int m) const;
+
+  const ChordInstance& instance() const { return inst_; }
+
+ private:
+  void BuildRow(size_t row, int j);
+  void RefreshRow(size_t row, int j);
+
+  ChordInstance inst_;
+  size_t stride_ = 0;          ///< bits + 1 (row width of p_/w_).
+  std::vector<int> p_;         ///< p_j(r), rows_ × stride_, row-major.
+  std::vector<double> w_;      ///< W_j(r), same layout.
+  std::vector<int> cand_row_;  ///< successor index -> row, -1 for cores.
+};
 
 /// The paper's accelerated Chord selection (Sec. V-B), O(n·(b + k)·log n)
 /// time and O(n·b) space.
@@ -26,6 +81,7 @@ namespace peercache::auxsel {
 ///    paper cites.
 ///
 /// Cost-equal to SelectChordDp on every input (enforced by property tests).
+/// Equivalent to ChordFastPlan::Build + Solve.
 Result<Selection> SelectChordFast(const SelectionInput& input);
 
 }  // namespace peercache::auxsel

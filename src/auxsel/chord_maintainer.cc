@@ -1,0 +1,127 @@
+#include "auxsel/chord_maintainer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace peercache::auxsel {
+
+ChordAuxMaintainer::ChordAuxMaintainer(int bits, int k, uint64_t self_id)
+    : bits_(bits), k_(k), self_id_(self_id) {}
+
+bool ChordAuxMaintainer::IsCore(uint64_t id) const {
+  return std::binary_search(cores_.begin(), cores_.end(), id);
+}
+
+Status ChordAuxMaintainer::OnPeerJoin(uint64_t id, double frequency) {
+  return OnFrequencyDelta(id, frequency);
+}
+
+Status ChordAuxMaintainer::OnPeerLeave(uint64_t id) {
+  return OnFrequencyDelta(id, 0.0);
+}
+
+Status ChordAuxMaintainer::OnFrequencyDelta(uint64_t id, double frequency) {
+  if (id == self_id_) return Status::Ok();
+  auto it = freq_.find(id);
+  if (frequency > 0.0) {
+    if (it == freq_.end()) {
+      freq_.emplace(id, frequency);
+      // A core is already a successor (at the same ring position), so only
+      // its weight moved; a brand-new candidate changes the ring.
+      if (IsCore(id)) {
+        weights_dirty_ = true;
+      } else {
+        structure_dirty_ = true;
+      }
+    } else if (it->second != frequency) {
+      it->second = frequency;
+      weights_dirty_ = true;
+    }
+    return Status::Ok();
+  }
+  if (it == freq_.end()) return Status::Ok();
+  freq_.erase(it);
+  if (IsCore(id)) {
+    weights_dirty_ = true;  // stays a zero-frequency successor
+  } else {
+    structure_dirty_ = true;
+  }
+  return Status::Ok();
+}
+
+Result<size_t> ChordAuxMaintainer::SetCores(std::vector<uint64_t> core_ids) {
+  std::sort(core_ids.begin(), core_ids.end());
+  core_ids.erase(std::unique(core_ids.begin(), core_ids.end()),
+                 core_ids.end());
+  std::erase(core_ids, self_id_);
+  size_t changes = 0;
+  // Symmetric difference of two sorted sets.
+  size_t a = 0, b = 0;
+  while (a < cores_.size() || b < core_ids.size()) {
+    if (b == core_ids.size() ||
+        (a < cores_.size() && cores_[a] < core_ids[b])) {
+      ++changes;  // removed core
+      ++a;
+    } else if (a == cores_.size() || core_ids[b] < cores_[a]) {
+      ++changes;  // added core
+      ++b;
+    } else {
+      ++a;
+      ++b;
+    }
+  }
+  if (changes > 0) {
+    cores_ = std::move(core_ids);
+    structure_dirty_ = true;  // core split / candidacy changed
+  }
+  return changes;
+}
+
+SelectionInput ChordAuxMaintainer::FreshInput() const {
+  SelectionInput input;
+  input.bits = bits_;
+  input.self_id = self_id_;
+  input.k = k_;
+  input.core_ids = cores_;
+  input.peers.reserve(freq_.size());
+  for (const auto& [id, f] : freq_) {
+    input.peers.push_back(PeerFreq{id, f, -1});
+  }
+  return input;
+}
+
+double ChordAuxMaintainer::total_frequency() const {
+  double total = 0.0;
+  for (const auto& [id, f] : freq_) total += f;
+  return total;
+}
+
+Result<Selection> ChordAuxMaintainer::Reselect() {
+  if (have_selection_ && !structure_dirty_ && !weights_dirty_) {
+    return cached_;
+  }
+  const SelectionInput input = FreshInput();
+  if (structure_dirty_ || !have_plan_) {
+    auto plan_r = ChordFastPlan::Build(input);
+    if (!plan_r.ok()) return plan_r.status();
+    plan_ = std::move(plan_r).value();
+    have_plan_ = true;
+  } else if (weights_dirty_) {
+    if (Status s = plan_.RefreshWeights(input); !s.ok()) {
+      // Defensive: a refresh mismatch means our dirty tracking and the plan
+      // disagree — rebuild rather than solve on stale geometry.
+      auto plan_r = ChordFastPlan::Build(input);
+      if (!plan_r.ok()) return plan_r.status();
+      plan_ = std::move(plan_r).value();
+    }
+  }
+  auto sel_r = plan_.Solve(input);
+  if (!sel_r.ok()) return sel_r.status();
+  cached_ = std::move(sel_r).value();
+  have_selection_ = true;
+  structure_dirty_ = false;
+  weights_dirty_ = false;
+  return cached_;
+}
+
+}  // namespace peercache::auxsel

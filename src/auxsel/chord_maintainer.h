@@ -1,0 +1,76 @@
+#ifndef PEERCACHE_AUXSEL_CHORD_MAINTAINER_H_
+#define PEERCACHE_AUXSEL_CHORD_MAINTAINER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "auxsel/chord_fast.h"
+#include "auxsel/maintainer.h"
+#include "auxsel/selection_types.h"
+#include "common/status.h"
+
+namespace peercache::auxsel {
+
+/// Persistent Chord auxiliary maintainer: the Sec. V-B jump tables
+/// (`ChordFastPlan`) kept alive across churn rounds.
+///
+/// Deltas are O(log n) bookkeeping against a sorted frequency map; the
+/// expensive work happens once per `Reselect()` and is tiered by what the
+/// round's deltas actually invalidated:
+///
+///  * nothing changed          — return the cached selection;
+///  * frequency-only deltas    — the ring geometry (successor order, core
+///    split, every jump pointer p_j(r)) is still valid: refresh just the
+///    weight planes in O(n·b) and re-run the DP;
+///  * membership / core deltas — the successor ring itself changed: rebuild
+///    the plan from scratch (what the one-shot selector pays every round).
+///
+/// A frequency delta that adds or removes a *non-core* peer changes the
+/// successor set and therefore counts as a membership delta; the same delta
+/// on a core-flagged peer only moves weight (the core stays a successor at
+/// the same position), so it rides the cheap path.
+class ChordAuxMaintainer {
+ public:
+  ChordAuxMaintainer(int bits, int k, uint64_t self_id);
+
+  uint64_t self_id() const { return self_id_; }
+  int k() const { return k_; }
+  int bits() const { return bits_; }
+
+  Status OnPeerJoin(uint64_t id, double frequency);
+  Status OnPeerLeave(uint64_t id);
+  Status OnFrequencyDelta(uint64_t id, double frequency);
+  Result<size_t> SetCores(std::vector<uint64_t> core_ids);
+
+  Result<Selection> Reselect();
+
+  SelectionInput FreshInput() const;
+  double total_frequency() const;
+
+  size_t tracked_peers() const { return freq_.size(); }
+  /// True when the next Reselect must rebuild the ring geometry (test
+  /// accessor for the reuse tiers).
+  bool structure_dirty() const { return structure_dirty_; }
+
+ private:
+  bool IsCore(uint64_t id) const;
+
+  int bits_;
+  int k_;
+  uint64_t self_id_;
+  std::map<uint64_t, double> freq_;  ///< Tracked peers, frequency > 0.
+  std::vector<uint64_t> cores_;      ///< Sorted, self excluded.
+  ChordFastPlan plan_;
+  bool have_plan_ = false;
+  bool structure_dirty_ = true;
+  bool weights_dirty_ = false;
+  Selection cached_;
+  bool have_selection_ = false;
+};
+
+static_assert(Maintainer<ChordAuxMaintainer>);
+
+}  // namespace peercache::auxsel
+
+#endif  // PEERCACHE_AUXSEL_CHORD_MAINTAINER_H_

@@ -1,5 +1,6 @@
 #include "auxsel/frequency_table.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace peercache::auxsel {
@@ -9,6 +10,7 @@ FrequencyTable::FrequencyTable(size_t capacity)
 
 void FrequencyTable::Record(uint64_t peer_id, uint64_t weight) {
   total_ += weight;
+  dirty_.insert(peer_id);
   if (capacity_ == 0) {
     exact_[peer_id] += static_cast<double>(weight);
   } else {
@@ -16,18 +18,43 @@ void FrequencyTable::Record(uint64_t peer_id, uint64_t weight) {
   }
 }
 
-void FrequencyTable::Forget(uint64_t peer_id) {
-  if (capacity_ == 0) exact_.erase(peer_id);
+bool FrequencyTable::Forget(uint64_t peer_id) {
+  dirty_.insert(peer_id);
+  if (capacity_ == 0) {
+    exact_.erase(peer_id);
+    return true;
+  }
+  // Bounded mode: zero the Space-Saving slot so the departed peer becomes
+  // the next eviction victim, and report that a true removal did not apply.
+  return !bounded_.Reset(peer_id);
 }
 
 void FrequencyTable::Decay(double factor) {
   assert(factor > 0 && factor <= 1);
   if (capacity_ != 0) return;
-  for (auto& [id, f] : exact_) f *= factor;
+  for (auto& [id, f] : exact_) {
+    f *= factor;
+    dirty_.insert(id);
+  }
 }
 
 size_t FrequencyTable::distinct() const {
   return capacity_ == 0 ? exact_.size() : bounded_.size();
+}
+
+double FrequencyTable::ObservedWeight(uint64_t peer_id) const {
+  if (capacity_ == 0) {
+    auto found = exact_.find(peer_id);
+    return found == exact_.end() ? 0.0 : found->second;
+  }
+  return static_cast<double>(bounded_.EstimatedCount(peer_id));
+}
+
+std::vector<uint64_t> FrequencyTable::DrainDirty() {
+  std::vector<uint64_t> out(dirty_.begin(), dirty_.end());
+  dirty_.clear();
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<PeerFreq> FrequencyTable::Snapshot(uint64_t exclude_self) const {
@@ -50,6 +77,7 @@ std::vector<PeerFreq> FrequencyTable::Snapshot(uint64_t exclude_self) const {
 void FrequencyTable::Clear() {
   exact_.clear();
   bounded_.Clear();
+  dirty_.clear();
   total_ = 0;
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "auxsel/selection_types.h"
@@ -22,6 +23,11 @@ namespace peercache::auxsel {
 ///    suggests for storage-limited nodes — the resulting selection may be
 ///    slightly suboptimal because tail peers are dropped (studied in
 ///    bench/ablation_topn).
+///
+/// The table also keeps a dirty set of peers whose weight changed since the
+/// last `DrainDirty()`, which is what lets an incremental maintainer
+/// (auxsel/maintainer.h) apply only the per-round frequency deltas instead
+/// of re-reading the whole table.
 class FrequencyTable {
  public:
   /// capacity == 0 keeps exact counts for every peer ever seen.
@@ -31,8 +37,13 @@ class FrequencyTable {
   void Record(uint64_t peer_id, uint64_t weight = 1);
 
   /// Drops a peer from the table (e.g., observed to have left the overlay).
-  /// No-op in bounded mode (Space-Saving has no deletion).
-  void Forget(uint64_t peer_id);
+  /// Returns true when the entry was fully removed (unbounded mode, or the
+  /// peer was never tracked). In bounded mode Space-Saving has no deletion;
+  /// the entry's count is zeroed instead — making it the next eviction
+  /// victim rather than pinning the slot forever — and Forget returns
+  /// false so the caller knows to push a frequency-zero update into any
+  /// selector state derived from this table.
+  bool Forget(uint64_t peer_id);
 
   /// Multiplies every exact count by `factor` in (0, 1]; lets long-running
   /// nodes favor recent popularity. No-op in bounded mode.
@@ -44,6 +55,14 @@ class FrequencyTable {
   /// Total recorded weight.
   uint64_t total() const { return total_; }
 
+  /// Current weight estimate for one peer (0 if untracked).
+  double ObservedWeight(uint64_t peer_id) const;
+
+  /// Returns the sorted ids whose weight changed since the last drain, and
+  /// clears the dirty set. Pair with `ObservedWeight` to turn the table's
+  /// mutations into selector deltas.
+  std::vector<uint64_t> DrainDirty();
+
   /// Exports the table as selector input peers. Never includes
   /// `exclude_self`.
   std::vector<PeerFreq> Snapshot(uint64_t exclude_self) const;
@@ -54,6 +73,7 @@ class FrequencyTable {
   size_t capacity_;
   std::unordered_map<uint64_t, double> exact_;
   SpaceSaving bounded_;
+  std::unordered_set<uint64_t> dirty_;
   uint64_t total_ = 0;
 };
 

@@ -1,0 +1,70 @@
+#ifndef PEERCACHE_AUXSEL_MAINTAINER_H_
+#define PEERCACHE_AUXSEL_MAINTAINER_H_
+
+#include <concepts>
+#include <cstdint>
+#include <vector>
+
+#include "auxsel/selection_types.h"
+#include "common/status.h"
+
+namespace peercache::auxsel {
+
+/// Compile-time contract for per-node persistent auxiliary-selection state
+/// (paper Sec. IV-C): the incremental counterpart of the one-shot selectors,
+/// mirroring how `overlay::Overlay` abstracts the DHT backends.
+///
+/// A maintainer lives as long as its node and survives churn rounds. The
+/// experiment engine feeds it *deltas* — peers joining, peers departing,
+/// observed-frequency changes drained from the node's FrequencyTable, and
+/// core-neighbor set replacements after stabilization — and asks for a
+/// fresh `Reselect()` once per recompute round. The contract every backend
+/// must honor:
+///
+///  * Deltas are cheap: O(b·k) per Pastry mutation (gain-tree root-path
+///    recompute), O(1) bookkeeping per Chord mutation with the expensive
+///    work deferred to `Reselect` (jump-table weight refresh in O(n·b), or
+///    a full rebuild only when membership/cores changed).
+///  * `Reselect()` is cost-equal to running the from-scratch selector
+///    (`SelectPastryGreedy` / `SelectChordFast`) on `FreshInput()` — the
+///    engine audits exactly this on deterministic rounds, and the
+///    differential tests replay randomized delta sequences against it.
+///  * With no deltas since the last call, `Reselect()` returns the cached
+///    selection without recomputing anything.
+///  * All frequencies are absolute values (the table's current estimate),
+///    not increments, so a delta stream is idempotent per (id, value) pair
+///    and the maintainer never drifts from the table it shadows.
+///
+/// Operation semantics:
+///  * `OnPeerJoin(id, freq)` — peer becomes known with frequency `freq`;
+///    joining an already-tracked peer updates its frequency. Self and
+///    nonpositive-frequency non-cores are ignored.
+///  * `OnPeerLeave(id)` — peer departed: its frequency contribution is
+///    dropped. If the peer is currently a core neighbor it remains a
+///    zero-frequency neighbor until `SetCores` removes it (the DHT's core
+///    tables, not the selector, decide core membership).
+///  * `OnFrequencyDelta(id, freq)` — the observed frequency is now `freq`;
+///    `freq <= 0` on a non-core removes the peer (the bounded
+///    FrequencyTable's Forget fallback arrives this way).
+///  * `SetCores(ids)` — replaces the core-neighbor set; returns how many
+///    per-peer core flags actually changed.
+///  * `FreshInput()` — the maintainer's logical state as a deterministic
+///    (id-sorted) SelectionInput, for audits and differential tests.
+template <typename M>
+concept Maintainer = requires(M m, const M& cm, uint64_t id, double freq,
+                              std::vector<uint64_t> cores) {
+  { cm.self_id() } -> std::convertible_to<uint64_t>;
+  { cm.k() } -> std::convertible_to<int>;
+  { cm.bits() } -> std::convertible_to<int>;
+  { m.OnPeerJoin(id, freq) } -> std::same_as<Status>;
+  { m.OnPeerLeave(id) } -> std::same_as<Status>;
+  { m.OnFrequencyDelta(id, freq) } -> std::same_as<Status>;
+  { m.SetCores(std::move(cores)) } -> std::same_as<Result<size_t>>;
+  { m.Reselect() } -> std::same_as<Result<Selection>>;
+  { cm.FreshInput() } -> std::same_as<SelectionInput>;
+  { cm.total_frequency() } -> std::same_as<double>;
+};
+
+}  // namespace peercache::auxsel
+
+#endif  // PEERCACHE_AUXSEL_MAINTAINER_H_

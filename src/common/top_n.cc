@@ -59,6 +59,17 @@ uint64_t SpaceSaving::EstimatedCount(uint64_t key) const {
   return found == index_.end() ? 0 : found->second->count;
 }
 
+bool SpaceSaving::Reset(uint64_t key) {
+  auto found = index_.find(key);
+  if (found == index_.end()) return false;
+  auto it = found->second;
+  it->count = 0;
+  it->error = 0;
+  // Count 0 is <= every other count; move to the head (the eviction end).
+  entries_.splice(entries_.begin(), entries_, it);
+  return true;
+}
+
 void SpaceSaving::Clear() {
   entries_.clear();
   index_.clear();

@@ -52,6 +52,13 @@ class SpaceSaving {
   /// Estimated count for `key`, or 0 if not tracked.
   uint64_t EstimatedCount(uint64_t key) const;
 
+  /// Zeroes a tracked key's count and error so it becomes the next eviction
+  /// victim. Space-Saving has no true deletion — the slot stays occupied —
+  /// but after a reset the key no longer pins the slot: any unseen key
+  /// offered next replaces it (and inherits error 0, as if the slot were
+  /// empty). Returns false if `key` was not tracked.
+  bool Reset(uint64_t key);
+
   /// Forgets everything.
   void Clear();
 

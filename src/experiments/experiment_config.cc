@@ -14,6 +14,16 @@ const char* SelectorKindName(SelectorKind kind) {
   return "?";
 }
 
+const char* FreqModeName(FreqMode mode) {
+  switch (mode) {
+    case FreqMode::kPool:
+      return "pool";
+    case FreqMode::kObserved:
+      return "observed";
+  }
+  return "?";
+}
+
 double ImprovementPct(double oblivious_hops, double optimal_hops) {
   if (oblivious_hops <= 0) return 0.0;
   return 100.0 * (oblivious_hops - optimal_hops) / oblivious_hops;

@@ -22,6 +22,24 @@ enum class SelectorKind {
 
 const char* SelectorKindName(SelectorKind kind);
 
+/// How the churn-mode recompute rounds obtain the frequency state that
+/// drives the optimal policy (stable runs always select once from the
+/// warmup snapshot, so the mode only matters under churn).
+enum class FreqMode {
+  /// Legacy behaviour: every round rebuilds each node's selection from a
+  /// full FrequencyTable snapshot (departed peers keep their counts until
+  /// the table itself drops them). Reproduces the committed results/
+  /// churn figures byte-for-byte.
+  kPool,
+  /// Persistent per-node maintainers (auxsel/maintainer.h): each round
+  /// applies only the join/leave/frequency deltas since the previous one,
+  /// departed peers are forgotten, and periodic audits assert the
+  /// incremental selection is cost-equal to a from-scratch rebuild.
+  kObserved,
+};
+
+const char* FreqModeName(FreqMode mode);
+
 /// Parameters shared by every experiment (paper Sec. VI-A defaults).
 struct ExperimentConfig {
   int bits = 32;           ///< 32-bit ids, as in the paper.
@@ -55,6 +73,15 @@ struct ExperimentConfig {
   /// RunResult::traces in node order, so they too are thread-count
   /// invariant. See docs/OBSERVABILITY.md.
   int trace_sample_period = 0;
+  /// Churn-mode frequency handling (see FreqMode). The maintainer path is
+  /// the default; FreqMode::kPool pins the legacy full-rebuild rounds that
+  /// generated the committed churn figures.
+  FreqMode freq_mode = FreqMode::kObserved;
+  /// Every Nth churn recompute round (round 0 counts) cross-checks each
+  /// node's incremental selection against a from-scratch build of the same
+  /// input and fails the run on a cost mismatch. kObserved only; 0 = never
+  /// audit.
+  int maintenance_audit_period = 4;
 };
 
 /// Churn-mode parameters (paper Sec. VI-C): nodes alternate between alive
@@ -66,6 +93,22 @@ struct ChurnConfig {
   double recompute_interval_s = 62.5;
   double warmup_s = 3600.0;          ///< Learning/mixing period.
   double measure_s = 3600.0;         ///< Measurement window.
+};
+
+/// Per-round bookkeeping of the incremental churn-maintenance path
+/// (FreqMode::kObserved): how many deltas of each kind the round applied
+/// and how long the parallel application took. Every field except
+/// `seconds` is a pure function of (seed, config) at any thread count.
+struct MaintenanceRoundStats {
+  double sim_time_s = 0.0;     ///< Event-queue time of the recompute tick.
+  uint64_t live_nodes = 0;
+  uint64_t bootstrapped = 0;   ///< Maintainers created this round.
+  uint64_t peer_joins = 0;     ///< Bootstrap joins of already-observed peers.
+  uint64_t peer_leaves = 0;    ///< Departure events applied to maintainers.
+  uint64_t freq_deltas = 0;    ///< Dirty frequency updates drained.
+  uint64_t core_deltas = 0;    ///< Core flags changed across all SetCores.
+  uint64_t audited_nodes = 0;  ///< Nodes cross-checked against fresh builds.
+  double seconds = 0.0;        ///< Wall clock (excluded from determinism).
 };
 
 /// Result of one run (one selector policy).
@@ -99,6 +142,11 @@ struct RunResult {
   /// Merged per-node metric shards from the measurement loop, plus the
   /// phase timers above; serialized into every --json-out document.
   MetricsShard metrics;
+  /// One entry per churn recompute round on the incremental maintenance
+  /// path (empty for stable runs, non-optimal policies, and
+  /// FreqMode::kPool). Totals surface as `maintain.*` counters in
+  /// `metrics` and as the telemetry document's "maintenance" block.
+  std::vector<MaintenanceRoundStats> maintenance_rounds;
 };
 
 /// Side-by-side comparison at identical seeds/workload.

@@ -1,8 +1,12 @@
 #include "experiments/generic_experiment.h"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
+#include <iterator>
 #include <limits>
+#include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -92,6 +96,279 @@ Status InstallAuxiliaries(typename Policy::Network& net, uint64_t node_id,
   return net.SetAuxiliaries(node_id, std::move(sel->chosen));
 }
 
+/// One full-rebuild selection round over `ids`: builds the shared
+/// frequency-oblivious pool once, sizes the per-node prediction slots, and
+/// installs every node's auxiliaries in parallel. Shared by the stable
+/// path's single selection pass and the legacy (FreqMode::kPool) churn
+/// recompute rounds — they were the same code copied twice before this
+/// helper existed.
+template <typename Policy>
+Status InstallRound(ThreadPool& pool, typename Policy::Network& net,
+                    const std::vector<uint64_t>& ids, SelectorKind selector,
+                    int k, uint64_t round_seed,
+                    std::vector<double>& predicted) {
+  const std::vector<auxsel::PeerFreq> peer_pool = ObliviousPool(ids);
+  predicted.assign(ids.size(), std::numeric_limits<double>::quiet_NaN());
+  return internal::ParallelInstall(
+      pool, ids, round_seed, [&](size_t i, uint64_t id, Rng& rng) {
+        return InstallAuxiliaries<Policy>(net, id, selector, k, rng, peer_pool,
+                                          &predicted[i]);
+      });
+}
+
+/// Persistent per-node maintenance state of the FreqMode::kObserved churn
+/// path: one Policy::Maintainer per node ever seen live, surviving across
+/// recompute rounds, plus the global departure log nodes catch up on.
+/// Entries are created in a serial pre-pass before each round's parallel
+/// loop, which only looks them up — rehashing can never run under the
+/// worker threads, so entry references stay valid.
+template <typename Policy>
+struct MaintenanceState {
+  struct Entry {
+    explicit Entry(typename Policy::Maintainer m)
+        : maintainer(std::move(m)) {}
+    typename Policy::Maintainer maintainer;
+    /// First departure batch this node has not applied yet. A node that
+    /// spends several rounds dead replays the missed batches when it next
+    /// reselects instead of carrying ghost frequencies forever.
+    size_t next_batch = 0;
+    /// Set until the node's first reselection, which seeds the maintainer
+    /// from a full frequency-table snapshot instead of replaying deltas.
+    bool fresh = true;
+  };
+  std::unordered_map<uint64_t, Entry> entries;
+  /// One sorted batch per recompute round: who left the overlay since the
+  /// previous round (difference of consecutive live sets). A peer that
+  /// leaves and rejoins within one interval produces no event — its
+  /// retained frequency history is still valid.
+  std::vector<std::vector<uint64_t>> departures;
+  std::vector<uint64_t> prev_live;  ///< Sorted live set at the last round.
+};
+
+/// Per-node delta tallies of one maintenance round, written into an
+/// index-addressed slot by the parallel loop and summed serially after.
+struct NodeDeltaCounts {
+  bool bootstrapped = false;
+  uint64_t peer_joins = 0;
+  uint64_t peer_leaves = 0;
+  uint64_t freq_deltas = 0;
+  uint64_t core_deltas = 0;
+  bool audited = false;
+};
+
+/// Applies one recompute round's deltas to one node's persistent
+/// maintainer and installs the reselected auxiliaries. Safe to run
+/// concurrently for distinct nodes: it reads the overlay, mutates only its
+/// own node's frequency table, maintainer entry, and auxiliary list, and
+/// writes its tallies into caller-provided slots.
+template <typename Policy>
+Status MaintainNode(typename Policy::Network& net,
+                    MaintenanceState<Policy>& maint, uint64_t node_id,
+                    int k, bool audit_round,
+                    const std::vector<auxsel::PeerFreq>& peer_pool, Rng& rng,
+                    double* predicted_hops, NodeDeltaCounts& counts) {
+  *predicted_hops = std::numeric_limits<double>::quiet_NaN();
+  auto* node = net.GetNode(node_id);
+  if (node == nullptr) return Status::NotFound("node");
+  auto it = maint.entries.find(node_id);
+  if (it == maint.entries.end()) {
+    return Status::Internal("no maintainer for live node");
+  }
+  typename MaintenanceState<Policy>::Entry& entry = it->second;
+  typename Policy::Maintainer& m = entry.maintainer;
+
+  if (entry.fresh) {
+    // Bootstrap: seed the maintainer from everything observed so far,
+    // dropping peers that are already dead (and Forgetting them so the
+    // table stops counting ghosts). The drain below would replay the same
+    // weights, so it is discarded.
+    std::vector<auxsel::PeerFreq> snap = node->frequencies.Snapshot(node_id);
+    std::sort(snap.begin(), snap.end(),
+              [](const auxsel::PeerFreq& a, const auxsel::PeerFreq& b) {
+                return a.id < b.id;
+              });
+    for (const auxsel::PeerFreq& p : snap) {
+      if (net.IsAlive(p.id)) {
+        if (Status s = m.OnPeerJoin(p.id, p.frequency); !s.ok()) return s;
+        ++counts.peer_joins;
+      } else {
+        (void)node->frequencies.Forget(p.id);
+      }
+    }
+    (void)node->frequencies.DrainDirty();
+    entry.fresh = false;
+    counts.bootstrapped = true;
+  } else {
+    // 1. Departures since this node's last reselection (possibly several
+    //    rounds ago, if it was dead in between). Peers alive again by now
+    //    are skipped wholesale: their observed history is still valid.
+    for (; entry.next_batch < maint.departures.size(); ++entry.next_batch) {
+      for (uint64_t gone : maint.departures[entry.next_batch]) {
+        if (gone == node_id || net.IsAlive(gone)) continue;
+        if (Status s = m.OnPeerLeave(gone); !s.ok()) return s;
+        if (!node->frequencies.Forget(gone)) {
+          // Bounded table: Forget only zeroed the Space-Saving slot. Push
+          // the zero weight explicitly so maintainer and table agree.
+          if (Status s = m.OnFrequencyDelta(
+                  gone, node->frequencies.ObservedWeight(gone));
+              !s.ok()) {
+            return s;
+          }
+        }
+        ++counts.peer_leaves;
+      }
+    }
+    // 2. Frequency deltas observed since the last visit. Dead dirty peers
+    //    were either just forgotten (weight now zero) or died after their
+    //    last record without a departure event covering them — in both
+    //    cases their weight must not re-enter the maintainer.
+    for (uint64_t dirty_id : node->frequencies.DrainDirty()) {
+      if (dirty_id == node_id || !net.IsAlive(dirty_id)) continue;
+      if (Status s = m.OnFrequencyDelta(
+              dirty_id, node->frequencies.ObservedWeight(dirty_id));
+          !s.ok()) {
+        return s;
+      }
+      ++counts.freq_deltas;
+    }
+  }
+  entry.next_batch = maint.departures.size();
+
+  // 3. Core-neighbor set as of the last stabilization: the DHT's tables,
+  //    not the selector, decide core membership.
+  Result<size_t> changed = m.SetCores(net.CoreNeighborIds(node_id));
+  if (!changed.ok()) return changed.status();
+  counts.core_deltas += changed.value();
+
+  // 4. Reselect from persistent state (cached when nothing changed).
+  Result<auxsel::Selection> sel = m.Reselect();
+  if (!sel.ok()) return sel.status();
+  const double total_freq = m.total_frequency();
+  if (total_freq > 0.0) *predicted_hops = sel->cost / total_freq;
+
+  // 5. Periodic audit: the incremental selection must be cost-equal to a
+  //    from-scratch run of the one-shot selector on the same input.
+  if (audit_round) {
+    Result<auxsel::Selection> fresh = Policy::SelectOptimal(m.FreshInput());
+    if (!fresh.ok()) return fresh.status();
+    const double tol = 1e-7 * (1.0 + std::abs(fresh->cost));
+    if (std::abs(sel->cost - fresh->cost) > tol) {
+      return Status::Internal(
+          "maintenance audit failed at node " + std::to_string(node_id) +
+          ": incremental cost " + std::to_string(sel->cost) +
+          " != fresh cost " + std::to_string(fresh->cost));
+    }
+    counts.audited = true;
+  }
+
+  // 6. Pad to k with oblivious picks, exactly like the one-shot path: both
+  //    policies install k pointers, which the paper's comparison assumes.
+  std::vector<uint64_t> chosen = sel->chosen;
+  if (static_cast<int>(chosen.size()) < k) {
+    SelectionInput pad;
+    pad.bits = net.params().bits;
+    pad.self_id = node_id;
+    pad.k = k - static_cast<int>(chosen.size());
+    pad.core_ids = net.CoreNeighborIds(node_id);
+    pad.core_ids.insert(pad.core_ids.end(), chosen.begin(), chosen.end());
+    pad.peers = PoolWithoutSelf(peer_pool, node_id);
+    auto extra = Policy::SelectOblivious(pad, rng);
+    if (extra.ok()) {
+      chosen.insert(chosen.end(), extra->chosen.begin(),
+                    extra->chosen.end());
+    }
+  }
+  return net.SetAuxiliaries(node_id, std::move(chosen));
+}
+
+/// One incremental churn maintenance round: logs the membership delta,
+/// creates maintainers for first-seen nodes (serially), then applies each
+/// live node's deltas and reselects in parallel. Appends the round's
+/// tallies to `result.maintenance_rounds`.
+template <typename Policy>
+Status MaintainRound(ThreadPool& pool, typename Policy::Network& net,
+                     MaintenanceState<Policy>& maint,
+                     const std::vector<uint64_t>& live,
+                     const ExperimentConfig& config, uint64_t round_seed,
+                     uint64_t round_index, double sim_time_s,
+                     std::vector<double>& predicted, RunResult& result) {
+  PhaseTimer round_timer;
+
+  std::vector<uint64_t> sorted_live = live;
+  std::sort(sorted_live.begin(), sorted_live.end());
+  std::vector<uint64_t> departed;
+  std::set_difference(maint.prev_live.begin(), maint.prev_live.end(),
+                      sorted_live.begin(), sorted_live.end(),
+                      std::back_inserter(departed));
+  maint.departures.push_back(std::move(departed));
+  maint.prev_live = std::move(sorted_live);
+
+  for (uint64_t id : live) {
+    auto [it, inserted] = maint.entries.try_emplace(
+        id, typename MaintenanceState<Policy>::Entry(
+                Policy::MakeMaintainer(config, id)));
+    if (inserted) it->second.next_batch = maint.departures.size();
+  }
+
+  const bool audit_round =
+      config.maintenance_audit_period > 0 &&
+      round_index % static_cast<uint64_t>(config.maintenance_audit_period) ==
+          0;
+  const std::vector<auxsel::PeerFreq> peer_pool = ObliviousPool(live);
+  predicted.assign(live.size(), std::numeric_limits<double>::quiet_NaN());
+  std::vector<NodeDeltaCounts> counts(live.size());
+  if (Status s = internal::ParallelInstall(
+          pool, live, round_seed,
+          [&](size_t i, uint64_t id, Rng& rng) {
+            return MaintainNode<Policy>(net, maint, id, config.k, audit_round,
+                                        peer_pool, rng, &predicted[i],
+                                        counts[i]);
+          });
+      !s.ok()) {
+    return s;
+  }
+
+  MaintenanceRoundStats stats;
+  stats.sim_time_s = sim_time_s;
+  stats.live_nodes = live.size();
+  for (const NodeDeltaCounts& c : counts) {
+    stats.bootstrapped += c.bootstrapped ? 1 : 0;
+    stats.peer_joins += c.peer_joins;
+    stats.peer_leaves += c.peer_leaves;
+    stats.freq_deltas += c.freq_deltas;
+    stats.core_deltas += c.core_deltas;
+    stats.audited_nodes += c.audited ? 1 : 0;
+  }
+  stats.seconds = round_timer.Seconds();
+  result.maintenance_rounds.push_back(stats);
+  return Status::Ok();
+}
+
+/// Folds the per-round maintenance tallies into the run's metric
+/// namespace: `maintain.*` counters are deterministic; the wall clock
+/// lands under the timers section, which determinism comparisons exclude.
+void RecordMaintenanceMetrics(RunResult& result) {
+  if (result.maintenance_rounds.empty()) return;
+  MaintenanceRoundStats total;
+  for (const MaintenanceRoundStats& r : result.maintenance_rounds) {
+    total.bootstrapped += r.bootstrapped;
+    total.peer_joins += r.peer_joins;
+    total.peer_leaves += r.peer_leaves;
+    total.freq_deltas += r.freq_deltas;
+    total.core_deltas += r.core_deltas;
+    total.audited_nodes += r.audited_nodes;
+    total.seconds += r.seconds;
+  }
+  result.metrics.Count("maintain.rounds", result.maintenance_rounds.size());
+  result.metrics.Count("maintain.bootstrapped", total.bootstrapped);
+  result.metrics.Count("maintain.peer_joins", total.peer_joins);
+  result.metrics.Count("maintain.peer_leaves", total.peer_leaves);
+  result.metrics.Count("maintain.freq_deltas", total.freq_deltas);
+  result.metrics.Count("maintain.core_deltas", total.core_deltas);
+  result.metrics.Count("maintain.audited_nodes", total.audited_nodes);
+  result.metrics.AddTimerSeconds("maintain.seconds", total.seconds);
+}
+
 Comparison MakeComparison(RunResult none, RunResult oblivious,
                           RunResult optimal) {
   Comparison cmp;
@@ -146,15 +423,9 @@ Result<RunResult> RunStable(const ExperimentConfig& config,
   // also records the selector's Eq. 1 prediction into its own slot for the
   // cost-model audit.
   PhaseTimer selection_timer;
-  const std::vector<auxsel::PeerFreq> peer_pool = ObliviousPool(node_ids);
-  std::vector<double> predicted(node_ids.size(),
-                                std::numeric_limits<double>::quiet_NaN());
-  if (Status s = internal::ParallelInstall(
-          pool, node_ids, seeds.selection,
-          [&](size_t i, uint64_t id, Rng& rng) {
-            return InstallAuxiliaries<Policy>(net, id, selector, config.k, rng,
-                                              peer_pool, &predicted[i]);
-          });
+  std::vector<double> predicted;
+  if (Status s = InstallRound<Policy>(pool, net, node_ids, selector, config.k,
+                                      seeds.selection, predicted);
       !s.ok()) {
     return s;
   }
@@ -236,24 +507,44 @@ Result<RunResult> RunChurn(const ExperimentConfig& config,
   // off the selection seed so repeated rounds draw fresh randomness, and
   // each node then splits its own stream off the round base — recomputation
   // results depend on (seed, round, node), never on thread interleaving.
+  //
+  // Two round implementations share this scheduling shell:
+  //  * the incremental maintainer path (optimal policy under
+  //    FreqMode::kObserved): persistent per-node selector state updated
+  //    with this round's join/leave/frequency deltas only;
+  //  * the legacy full-rebuild path (everything else): each node's
+  //    selection rebuilt from scratch via InstallRound.
+  // A failed round (including a failed maintenance audit) stops further
+  // recomputation and fails the run after the event loop drains.
+  const bool use_maintainers = selector == SelectorKind::kOptimal &&
+                               config.freq_mode == FreqMode::kObserved;
+  MaintenanceState<Policy> maint;
+  if (use_maintainers) {
+    maint.prev_live = net.LiveNodeIds();
+    std::sort(maint.prev_live.begin(), maint.prev_live.end());
+  }
+  Status recompute_status = Status::Ok();
   uint64_t recompute_round = 0;
   std::function<void()> recompute_tick = [&] {
     PhaseTimer selection_timer;
     std::vector<uint64_t> live = net.LiveNodeIds();
-    const std::vector<auxsel::PeerFreq> peer_pool = ObliviousPool(live);
-    const uint64_t round_seed = SplitSeed(seeds.selection, recompute_round++);
-    std::vector<double> predicted(live.size(),
-                                  std::numeric_limits<double>::quiet_NaN());
-    (void)internal::ParallelInstall(
-        pool, live, round_seed, [&](size_t i, uint64_t id, Rng& rng) {
-          return InstallAuxiliaries<Policy>(net, id, selector, config.k, rng,
-                                            peer_pool, &predicted[i]);
-        });
-    for (size_t i = 0; i < live.size(); ++i) {
+    const uint64_t round_seed = SplitSeed(seeds.selection, recompute_round);
+    std::vector<double> predicted;
+    if (use_maintainers) {
+      recompute_status = MaintainRound<Policy>(
+          pool, net, maint, live, config, round_seed, recompute_round,
+          eq.now(), predicted, result);
+    } else {
+      recompute_status = InstallRound<Policy>(pool, net, live, selector,
+                                              config.k, round_seed, predicted);
+    }
+    ++recompute_round;
+    for (size_t i = 0; i < predicted.size(); ++i) {
       if (std::isfinite(predicted[i])) obs.predicted[live[i]] = predicted[i];
     }
     result.selection_seconds += selection_timer.Seconds();
-    if (eq.now() + churn.recompute_interval_s <= t_end) {
+    if (recompute_status.ok() &&
+        eq.now() + churn.recompute_interval_s <= t_end) {
       eq.ScheduleAfter(churn.recompute_interval_s, recompute_tick);
     }
   };
@@ -305,6 +596,7 @@ Result<RunResult> RunChurn(const ExperimentConfig& config,
                    query_event);
 
   eq.RunUntil(t_end);
+  if (!recompute_status.ok()) return recompute_status;
 
   result.success_rate = result.queries == 0
                             ? 1.0
@@ -313,6 +605,7 @@ Result<RunResult> RunChurn(const ExperimentConfig& config,
   result.avg_hops = result.hop_histogram.Mean();
   internal::CollectAuxiliaries(net, net.LiveNodeIds(), result);
   obs.Finalize(result);
+  RecordMaintenanceMetrics(result);
   return result;
 }
 

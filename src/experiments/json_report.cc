@@ -82,6 +82,10 @@ void WriteConfigJson(JsonWriter& w, const ExperimentConfig& config) {
   w.Int(config.threads);
   w.Key("trace_sample_period");
   w.Int(config.trace_sample_period);
+  w.Key("freq_mode");
+  w.String(FreqModeName(config.freq_mode));
+  w.Key("maintenance_audit_period");
+  w.Int(config.maintenance_audit_period);
   w.EndObject();
 }
 
@@ -124,6 +128,62 @@ void WriteRunResultJson(JsonWriter& w, const RunResult& result) {
   }
   w.Key("sampled_traces");
   w.UInt(result.traces.size());
+  // Incremental churn-maintenance telemetry (FreqMode::kObserved runs
+  // only; empty otherwise). Per-round "seconds" is the single wall-clock
+  // field — determinism comparisons must strip it, like phase_seconds.
+  w.Key("maintenance");
+  {
+    MaintenanceRoundStats total;
+    for (const MaintenanceRoundStats& r : result.maintenance_rounds) {
+      total.peer_joins += r.peer_joins;
+      total.peer_leaves += r.peer_leaves;
+      total.freq_deltas += r.freq_deltas;
+      total.core_deltas += r.core_deltas;
+      total.audited_nodes += r.audited_nodes;
+      total.seconds += r.seconds;
+    }
+    w.BeginObject();
+    w.Key("rounds");
+    w.UInt(result.maintenance_rounds.size());
+    w.Key("peer_joins");
+    w.UInt(total.peer_joins);
+    w.Key("peer_leaves");
+    w.UInt(total.peer_leaves);
+    w.Key("freq_deltas");
+    w.UInt(total.freq_deltas);
+    w.Key("core_deltas");
+    w.UInt(total.core_deltas);
+    w.Key("audited_nodes");
+    w.UInt(total.audited_nodes);
+    w.Key("seconds");
+    w.Double(total.seconds);
+    w.Key("per_round");
+    w.BeginArray();
+    for (const MaintenanceRoundStats& r : result.maintenance_rounds) {
+      w.BeginObject();
+      w.Key("sim_time_s");
+      w.Double(r.sim_time_s);
+      w.Key("live_nodes");
+      w.UInt(r.live_nodes);
+      w.Key("bootstrapped");
+      w.UInt(r.bootstrapped);
+      w.Key("peer_joins");
+      w.UInt(r.peer_joins);
+      w.Key("peer_leaves");
+      w.UInt(r.peer_leaves);
+      w.Key("freq_deltas");
+      w.UInt(r.freq_deltas);
+      w.Key("core_deltas");
+      w.UInt(r.core_deltas);
+      w.Key("audited_nodes");
+      w.UInt(r.audited_nodes);
+      w.Key("seconds");
+      w.Double(r.seconds);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
   w.Key("metrics");
   result.metrics.WriteJson(w);
   w.EndObject();

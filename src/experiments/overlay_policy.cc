@@ -35,6 +35,11 @@ ChordPolicy::Network ChordPolicy::MakeNetwork(const ExperimentConfig& config,
   return Network(params);
 }
 
+ChordPolicy::Maintainer ChordPolicy::MakeMaintainer(
+    const ExperimentConfig& config, uint64_t self_id) {
+  return Maintainer(config.bits, config.k, self_id);
+}
+
 Result<auxsel::Selection> ChordPolicy::SelectOptimal(
     const auxsel::SelectionInput& input) {
   return auxsel::SelectChordFast(input);
@@ -68,6 +73,11 @@ PastryPolicy::Network PastryPolicy::MakeNetwork(const ExperimentConfig& config,
   params.frequency_capacity = config.frequency_capacity;
   params.leaf_set_half = config.leaf_set_half;
   return Network(params, seeds.coords);
+}
+
+PastryPolicy::Maintainer PastryPolicy::MakeMaintainer(
+    const ExperimentConfig& config, uint64_t self_id) {
+  return Maintainer(config.bits, config.k, self_id);
 }
 
 Result<auxsel::Selection> PastryPolicy::SelectOptimal(

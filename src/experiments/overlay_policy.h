@@ -3,6 +3,9 @@
 
 #include <cstdint>
 
+#include "auxsel/chord_maintainer.h"
+#include "auxsel/maintainer.h"
+#include "auxsel/pastry_maintainer.h"
 #include "auxsel/selection_types.h"
 #include "chord/chord_network.h"
 #include "common/overlay.h"
@@ -47,18 +50,24 @@ struct SeedPlan {
 ///   * `MakeNetwork`  — network construction from the experiment config
 ///                      (which config knob feeds which protocol parameter);
 ///   * `SelectOptimal` / `SelectOblivious` — the backend's
-///                      auxiliary-selection algorithms (paper Sec. IV/V).
+///                      auxiliary-selection algorithms (paper Sec. IV/V);
+///   * `Maintainer` / `MakeMaintainer` — the backend's persistent
+///                      incremental selector state (auxsel/maintainer.h),
+///                      one instance per node, surviving churn rounds.
 ///
 /// Everything else — node-id sampling, workload setup, warmup, selection,
 /// measurement, and the churn event loop — is overlay-independent and
 /// lives once in the generic engine.
 struct ChordPolicy {
   using Network = chord::ChordNetwork;
+  using Maintainer = auxsel::ChordAuxMaintainer;
   static constexpr const char* kName = "chord";
 
   static SeedPlan MakeSeedPlan(uint64_t seed);
   static Network MakeNetwork(const ExperimentConfig& config,
                              const SeedPlan& seeds);
+  static Maintainer MakeMaintainer(const ExperimentConfig& config,
+                                   uint64_t self_id);
   static Result<auxsel::Selection> SelectOptimal(
       const auxsel::SelectionInput& input);
   static Result<auxsel::Selection> SelectOblivious(
@@ -67,11 +76,14 @@ struct ChordPolicy {
 
 struct PastryPolicy {
   using Network = pastry::PastryNetwork;
+  using Maintainer = auxsel::PastryAuxMaintainer;
   static constexpr const char* kName = "pastry";
 
   static SeedPlan MakeSeedPlan(uint64_t seed);
   static Network MakeNetwork(const ExperimentConfig& config,
                              const SeedPlan& seeds);
+  static Maintainer MakeMaintainer(const ExperimentConfig& config,
+                                   uint64_t self_id);
   static Result<auxsel::Selection> SelectOptimal(
       const auxsel::SelectionInput& input);
   static Result<auxsel::Selection> SelectOblivious(
@@ -80,6 +92,8 @@ struct PastryPolicy {
 
 static_assert(overlay::Overlay<ChordPolicy::Network>);
 static_assert(overlay::Overlay<PastryPolicy::Network>);
+static_assert(auxsel::Maintainer<ChordPolicy::Maintainer>);
+static_assert(auxsel::Maintainer<PastryPolicy::Maintainer>);
 
 }  // namespace peercache::experiments
 

@@ -1,0 +1,204 @@
+// Differential tests for the persistent Chord maintainer: randomized delta
+// streams must stay cost-equal to a fresh SelectChordFast at every step,
+// and the jump-table reuse tiers (cached / weight-refresh / full rebuild)
+// must each produce the same selection as building from scratch.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "auxsel/chord_fast.h"
+#include "auxsel/chord_maintainer.h"
+#include "auxsel/selection_types.h"
+#include "common/random.h"
+#include "maintainer_test_util.h"
+#include "test_util.h"
+
+namespace peercache::auxsel {
+namespace {
+
+using ::peercache::auxsel::testing::RandomInput;
+using ::peercache::auxsel::testing::ReplayDeltasAgainstFresh;
+
+TEST(ChordMaintainer, RandomDeltaStreamMatchesFreshSelect) {
+  Rng rng(0xc0de01);
+  ChordAuxMaintainer m(/*bits=*/12, /*k=*/4, /*self_id=*/99);
+  ReplayDeltasAgainstFresh(m, SelectChordFast, EvaluateChordCost, rng,
+                           /*steps=*/250);
+}
+
+TEST(ChordMaintainer, SecondSeedAndLargerBudget) {
+  Rng rng(0xc0de02);
+  ChordAuxMaintainer m(/*bits=*/16, /*k=*/8, /*self_id=*/0x1234);
+  ReplayDeltasAgainstFresh(m, SelectChordFast, EvaluateChordCost, rng,
+                           /*steps=*/200);
+}
+
+TEST(ChordMaintainer, FrequencyOnlyDeltasRideTheWeightRefreshTier) {
+  Rng rng(0xc0de03);
+  SelectionInput input = RandomInput(rng, /*bits=*/14, /*n_peers=*/60,
+                                     /*n_cores=*/8, /*k=*/5);
+  ChordAuxMaintainer m(input.bits, input.k, input.self_id);
+  ASSERT_TRUE(m.SetCores(input.core_ids).ok());
+  for (const PeerFreq& p : input.peers) {
+    if (p.frequency > 0.0) {
+      ASSERT_TRUE(m.OnPeerJoin(p.id, p.frequency).ok());
+    }
+  }
+  ASSERT_TRUE(m.Reselect().ok());
+  ASSERT_FALSE(m.structure_dirty());
+
+  // Re-weight existing peers only: the ring geometry must survive, and the
+  // refreshed plan must match a from-scratch build after every round.
+  const SelectionInput base = m.FreshInput();
+  for (int round = 0; round < 10; ++round) {
+    for (const PeerFreq& p : base.peers) {
+      const double f = static_cast<double>(rng.UniformU64(1000)) + 1.0;
+      ASSERT_TRUE(m.OnFrequencyDelta(p.id, f).ok());
+    }
+    ASSERT_FALSE(m.structure_dirty())
+        << "re-weighting tracked peers must not invalidate the ring";
+    auto inc = m.Reselect();
+    ASSERT_TRUE(inc.ok());
+    auto ref = SelectChordFast(m.FreshInput());
+    ASSERT_TRUE(ref.ok());
+    EXPECT_NEAR(inc->cost, ref->cost, 1e-9 * (1.0 + ref->cost))
+        << "round " << round;
+  }
+}
+
+TEST(ChordMaintainer, NoDeltasReturnsCachedSelection) {
+  Rng rng(0xc0de04);
+  SelectionInput input =
+      RandomInput(rng, /*bits=*/10, /*n_peers=*/25, /*n_cores=*/4, /*k=*/3);
+  ChordAuxMaintainer m(input.bits, input.k, input.self_id);
+  ASSERT_TRUE(m.SetCores(input.core_ids).ok());
+  for (const PeerFreq& p : input.peers) {
+    if (p.frequency > 0.0) {
+      ASSERT_TRUE(m.OnPeerJoin(p.id, p.frequency).ok());
+    }
+  }
+  auto first = m.Reselect();
+  ASSERT_TRUE(first.ok());
+  auto second = m.Reselect();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->chosen, second->chosen);
+  EXPECT_EQ(first->cost, second->cost);
+
+  // Idempotent deltas (same absolute values) must not change the result.
+  for (const PeerFreq& p : input.peers) {
+    if (p.frequency > 0.0) {
+      ASSERT_TRUE(m.OnFrequencyDelta(p.id, p.frequency).ok());
+    }
+  }
+  EXPECT_FALSE(m.structure_dirty());
+  auto third = m.Reselect();
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(first->chosen, third->chosen);
+}
+
+TEST(ChordMaintainer, DepartedCoreStaysUntilSetCoresDropsIt) {
+  ChordAuxMaintainer m(/*bits=*/8, /*k=*/2, /*self_id=*/0);
+  ASSERT_TRUE(m.SetCores({64, 128}).ok());
+  ASSERT_TRUE(m.OnPeerJoin(10, 5.0).ok());
+  ASSERT_TRUE(m.OnPeerJoin(64, 3.0).ok());  // core with observed traffic
+  ASSERT_TRUE(m.Reselect().ok());
+
+  // The core leaves: its frequency is dropped but it remains a successor.
+  ASSERT_TRUE(m.OnPeerLeave(64).ok());
+  EXPECT_FALSE(m.structure_dirty()) << "core departure only moves weight";
+  SelectionInput state = m.FreshInput();
+  EXPECT_EQ(state.core_ids, (std::vector<uint64_t>{64, 128}));
+  ASSERT_EQ(state.peers.size(), 1u);
+  EXPECT_EQ(state.peers[0].id, 10u);
+
+  // Stabilization catches up: now the ring itself changes.
+  auto changed = m.SetCores({128});
+  ASSERT_TRUE(changed.ok());
+  EXPECT_EQ(changed.value(), 1u);
+  EXPECT_TRUE(m.structure_dirty());
+  auto inc = m.Reselect();
+  ASSERT_TRUE(inc.ok());
+  auto ref = SelectChordFast(m.FreshInput());
+  ASSERT_TRUE(ref.ok());
+  EXPECT_NEAR(inc->cost, ref->cost, 1e-12);
+}
+
+TEST(ChordMaintainer, EmptyStateSelectsNothing) {
+  ChordAuxMaintainer m(/*bits=*/8, /*k=*/3, /*self_id=*/7);
+  auto sel = m.Reselect();
+  ASSERT_TRUE(sel.ok()) << sel.status();
+  EXPECT_TRUE(sel->chosen.empty());
+  EXPECT_EQ(sel->cost, 0.0);
+  EXPECT_EQ(m.total_frequency(), 0.0);
+}
+
+TEST(ChordFastPlanRefresh, MatchesRebuildOnReweightedInput) {
+  Rng rng(0xc0de05);
+  for (int trial = 0; trial < 20; ++trial) {
+    SelectionInput input = RandomInput(rng, /*bits=*/12, /*n_peers=*/40,
+                                       /*n_cores=*/6, /*k=*/4);
+    // The refresh contract requires candidates to keep positive frequency.
+    for (PeerFreq& p : input.peers) {
+      if (p.frequency <= 0.0) p.frequency = 1.0;
+    }
+    auto plan_r = ChordFastPlan::Build(input);
+    ASSERT_TRUE(plan_r.ok()) << plan_r.status();
+    ChordFastPlan plan = std::move(plan_r).value();
+
+    for (PeerFreq& p : input.peers) {
+      p.frequency = static_cast<double>(rng.UniformU64(1000)) + 1.0;
+    }
+    ASSERT_TRUE(plan.RefreshWeights(input).ok());
+    auto refreshed = plan.Solve(input);
+    auto rebuilt = SelectChordFast(input);
+    ASSERT_TRUE(refreshed.ok() && rebuilt.ok());
+    EXPECT_NEAR(refreshed->cost, rebuilt->cost,
+                1e-9 * (1.0 + rebuilt->cost))
+        << "trial " << trial;
+    EXPECT_EQ(refreshed->chosen, rebuilt->chosen) << "trial " << trial;
+  }
+}
+
+TEST(ChordFastPlanRefresh, RejectsMembershipDrift) {
+  Rng rng(0xc0de06);
+  SelectionInput input =
+      RandomInput(rng, /*bits=*/10, /*n_peers=*/20, /*n_cores=*/3, /*k=*/3);
+  for (PeerFreq& p : input.peers) {
+    if (p.frequency <= 0.0) p.frequency = 1.0;
+  }
+  auto plan_r = ChordFastPlan::Build(input);
+  ASSERT_TRUE(plan_r.ok());
+  ChordFastPlan plan = std::move(plan_r).value();
+
+  // Drop a non-core peer: its successor slot becomes underivable. (A core
+  // peer would legitimately survive as a zero-frequency successor.)
+  SelectionInput shrunk = input;
+  for (size_t i = 0; i < shrunk.peers.size(); ++i) {
+    if (std::find(shrunk.core_ids.begin(), shrunk.core_ids.end(),
+                  shrunk.peers[i].id) == shrunk.core_ids.end()) {
+      shrunk.peers.erase(shrunk.peers.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+  ASSERT_LT(shrunk.peers.size(), input.peers.size());
+  EXPECT_EQ(plan.RefreshWeights(shrunk).code(), StatusCode::kInvalidArgument);
+
+  SelectionInput grown = input;
+  uint64_t fresh_id = (input.self_id + 1) & ((uint64_t{1} << 10) - 1);
+  while (std::any_of(input.peers.begin(), input.peers.end(),
+                     [&](const PeerFreq& p) { return p.id == fresh_id; }) ||
+         std::find(input.core_ids.begin(), input.core_ids.end(), fresh_id) !=
+             input.core_ids.end() ||
+         fresh_id == input.self_id) {
+    fresh_id = (fresh_id + 1) & ((uint64_t{1} << 10) - 1);
+  }
+  grown.peers.push_back(PeerFreq{fresh_id, 2.0, -1});
+  EXPECT_EQ(plan.RefreshWeights(grown).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace peercache::auxsel

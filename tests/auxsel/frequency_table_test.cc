@@ -48,8 +48,49 @@ TEST(FrequencyTable, ForgetRemovesPeer) {
   FrequencyTable table;
   table.Record(1);
   table.Record(2);
-  table.Forget(1);
+  EXPECT_TRUE(table.Forget(1)) << "exact mode truly removes";
   EXPECT_EQ(table.distinct(), 1u);
+  EXPECT_TRUE(table.Forget(42)) << "untracked peer: nothing to pin";
+}
+
+TEST(FrequencyTable, BoundedForgetZeroesSlotAndReportsFallback) {
+  FrequencyTable table(2);
+  table.Record(1, 10);
+  table.Record(2, 20);
+  // Space-Saving cannot delete: Forget must say so, but the departed peer's
+  // slot no longer pins — its weight drops to zero…
+  EXPECT_FALSE(table.Forget(1));
+  EXPECT_DOUBLE_EQ(table.ObservedWeight(1), 0.0);
+  EXPECT_DOUBLE_EQ(table.ObservedWeight(2), 20.0);
+  // …and the next unseen peer takes that slot with no inherited error
+  // (before the fix, peer 3 would have evicted whichever entry had the
+  // minimum count and inherited it as error).
+  table.Record(3, 5);
+  EXPECT_DOUBLE_EQ(table.ObservedWeight(3), 5.0);
+  EXPECT_DOUBLE_EQ(table.ObservedWeight(1), 0.0);
+  EXPECT_DOUBLE_EQ(table.ObservedWeight(2), 20.0);
+}
+
+TEST(FrequencyTable, ObservedWeightMatchesSnapshot) {
+  FrequencyTable table;
+  table.Record(5, 3);
+  table.Record(6, 4);
+  EXPECT_DOUBLE_EQ(table.ObservedWeight(5), 3.0);
+  EXPECT_DOUBLE_EQ(table.ObservedWeight(6), 4.0);
+  EXPECT_DOUBLE_EQ(table.ObservedWeight(7), 0.0);
+}
+
+TEST(FrequencyTable, DrainDirtyReturnsSortedChangesOnce) {
+  FrequencyTable table;
+  table.Record(9);
+  table.Record(3);
+  table.Record(9);
+  std::vector<uint64_t> dirty = table.DrainDirty();
+  EXPECT_EQ(dirty, (std::vector<uint64_t>{3, 9}));
+  EXPECT_TRUE(table.DrainDirty().empty()) << "drain clears the set";
+  table.Forget(3);
+  EXPECT_EQ(table.DrainDirty(), (std::vector<uint64_t>{3}))
+      << "forget is a weight change too";
 }
 
 TEST(FrequencyTable, BoundedModeKeepsHeavyHitters) {

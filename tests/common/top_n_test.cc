@@ -103,6 +103,33 @@ TEST(SpaceSaving, CapacityOne) {
   EXPECT_EQ(ss.EstimatedCount(2), 3u);  // 1 (inherited) + 2
 }
 
+TEST(SpaceSaving, ResetZeroesEntryAndMakesItTheEvictionVictim) {
+  SpaceSaving ss(2);
+  ss.Offer(1, 10);
+  ss.Offer(2, 20);
+  EXPECT_TRUE(ss.Reset(1));
+  EXPECT_EQ(ss.EstimatedCount(1), 0u);
+  EXPECT_EQ(ss.size(), 2u) << "slot stays occupied";
+  // A new key must replace the reset entry (count 0), not the other
+  // minimum, and inherit error 0 as if the slot were empty.
+  ss.Offer(3, 4);
+  EXPECT_EQ(ss.EstimatedCount(1), 0u);
+  EXPECT_EQ(ss.EstimatedCount(2), 20u);
+  EXPECT_EQ(ss.EstimatedCount(3), 4u);
+  for (const TopNEntry& e : ss.Entries()) {
+    if (e.key == 3) {
+      EXPECT_EQ(e.error, 0u);
+    }
+  }
+}
+
+TEST(SpaceSaving, ResetUntrackedReturnsFalse) {
+  SpaceSaving ss(2);
+  ss.Offer(1);
+  EXPECT_FALSE(ss.Reset(99));
+  EXPECT_EQ(ss.EstimatedCount(1), 1u);
+}
+
 TEST(SpaceSaving, ClearResets) {
   SpaceSaving ss(4);
   ss.Offer(1);

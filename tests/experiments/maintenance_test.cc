@@ -1,0 +1,166 @@
+// End-to-end tests of the incremental churn-maintenance path
+// (FreqMode::kObserved): persistent per-node maintainers must survive an
+// entire churned run with the full-rebuild audit enabled on every round,
+// stay thread-count invariant, populate the maintain.* telemetry, and
+// leave the legacy FreqMode::kPool rounds byte-compatible and metric-free.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "experiments/generic_experiment.h"
+
+namespace peercache::experiments {
+namespace {
+
+ExperimentConfig MaintConfig(uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.n_nodes = 32;
+  cfg.k = 5;
+  cfg.alpha = 1.2;
+  cfg.n_items = 128;
+  cfg.seed = seed;
+  cfg.threads = 1;
+  cfg.freq_mode = FreqMode::kObserved;
+  cfg.maintenance_audit_period = 1;  // audit every recompute round
+  return cfg;
+}
+
+ChurnConfig ShortChurn() {
+  ChurnConfig churn;
+  churn.warmup_s = 400;
+  churn.measure_s = 400;
+  return churn;
+}
+
+uint64_t TotalAudited(const RunResult& result) {
+  uint64_t total = 0;
+  for (const MaintenanceRoundStats& r : result.maintenance_rounds) {
+    total += r.audited_nodes;
+  }
+  return total;
+}
+
+TEST(Maintenance, ChordChurnSurvivesAuditOnEveryRound) {
+  auto result =
+      RunChurn<ChordPolicy>(MaintConfig(0x51), ShortChurn(),
+                            SelectorKind::kOptimal);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // 800 s at one recomputation per 62.5 s: every round ran and audited.
+  EXPECT_GE(result->maintenance_rounds.size(), 10u);
+  EXPECT_GT(TotalAudited(*result), 0u);
+  for (const MaintenanceRoundStats& r : result->maintenance_rounds) {
+    EXPECT_GT(r.live_nodes, 0u);
+    EXPECT_EQ(r.audited_nodes, r.live_nodes)
+        << "audit period 1 must cross-check every live node every round";
+  }
+  EXPECT_EQ(result->metrics.counter("maintain.rounds"),
+            result->maintenance_rounds.size());
+  EXPECT_EQ(result->metrics.counter("maintain.audited_nodes"),
+            TotalAudited(*result));
+  EXPECT_GT(result->metrics.counter("maintain.freq_deltas") +
+                result->metrics.counter("maintain.peer_joins"),
+            0u)
+      << "a churned run must have observed some frequency traffic";
+}
+
+TEST(Maintenance, PastryChurnSurvivesAuditOnEveryRound) {
+  auto result = RunChurn<PastryPolicy>(MaintConfig(0x52), ShortChurn(),
+                                       SelectorKind::kOptimal);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(result->maintenance_rounds.size(), 10u);
+  for (const MaintenanceRoundStats& r : result->maintenance_rounds) {
+    EXPECT_EQ(r.audited_nodes, r.live_nodes);
+  }
+  EXPECT_GT(result->metrics.counter("maintain.peer_leaves") +
+                result->metrics.counter("maintain.core_deltas"),
+            0u)
+      << "churn must surface membership deltas to the maintainers";
+}
+
+TEST(Maintenance, ObservedModeIsThreadCountInvariant) {
+  ExperimentConfig cfg = MaintConfig(0x53);
+  cfg.maintenance_audit_period = 4;
+  cfg.threads = 1;
+  auto serial = RunChurn<ChordPolicy>(cfg, ShortChurn(),
+                                      SelectorKind::kOptimal);
+  cfg.threads = 4;
+  auto parallel = RunChurn<ChordPolicy>(cfg, ShortChurn(),
+                                        SelectorKind::kOptimal);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  EXPECT_EQ(serial->queries, parallel->queries);
+  EXPECT_DOUBLE_EQ(serial->avg_hops, parallel->avg_hops);
+  EXPECT_EQ(serial->node_auxiliaries, parallel->node_auxiliaries);
+  // Every deterministic maintenance field matches round by round; only the
+  // wall clock may differ.
+  ASSERT_EQ(serial->maintenance_rounds.size(),
+            parallel->maintenance_rounds.size());
+  for (size_t i = 0; i < serial->maintenance_rounds.size(); ++i) {
+    const MaintenanceRoundStats& a = serial->maintenance_rounds[i];
+    const MaintenanceRoundStats& b = parallel->maintenance_rounds[i];
+    EXPECT_DOUBLE_EQ(a.sim_time_s, b.sim_time_s) << "round " << i;
+    EXPECT_EQ(a.live_nodes, b.live_nodes) << "round " << i;
+    EXPECT_EQ(a.bootstrapped, b.bootstrapped) << "round " << i;
+    EXPECT_EQ(a.peer_joins, b.peer_joins) << "round " << i;
+    EXPECT_EQ(a.peer_leaves, b.peer_leaves) << "round " << i;
+    EXPECT_EQ(a.freq_deltas, b.freq_deltas) << "round " << i;
+    EXPECT_EQ(a.core_deltas, b.core_deltas) << "round " << i;
+    EXPECT_EQ(a.audited_nodes, b.audited_nodes) << "round " << i;
+  }
+}
+
+TEST(Maintenance, AuditPeriodGatesWhichRoundsAreChecked) {
+  ExperimentConfig cfg = MaintConfig(0x54);
+  cfg.maintenance_audit_period = 4;
+  auto result = RunChurn<ChordPolicy>(cfg, ShortChurn(),
+                                      SelectorKind::kOptimal);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_GE(result->maintenance_rounds.size(), 5u);
+  for (size_t i = 0; i < result->maintenance_rounds.size(); ++i) {
+    const MaintenanceRoundStats& r = result->maintenance_rounds[i];
+    if (i % 4 == 0) {
+      EXPECT_EQ(r.audited_nodes, r.live_nodes) << "round " << i;
+    } else {
+      EXPECT_EQ(r.audited_nodes, 0u) << "round " << i;
+    }
+  }
+
+  cfg.maintenance_audit_period = 0;
+  auto unaudited = RunChurn<ChordPolicy>(cfg, ShortChurn(),
+                                         SelectorKind::kOptimal);
+  ASSERT_TRUE(unaudited.ok());
+  EXPECT_EQ(TotalAudited(*unaudited), 0u);
+  // Audits only check invariants; they must not change the run.
+  EXPECT_DOUBLE_EQ(result->avg_hops, unaudited->avg_hops);
+  EXPECT_EQ(result->node_auxiliaries, unaudited->node_auxiliaries);
+}
+
+TEST(Maintenance, PoolModeProducesNoMaintenanceTelemetry) {
+  ExperimentConfig cfg = MaintConfig(0x55);
+  cfg.freq_mode = FreqMode::kPool;
+  auto result = RunChurn<ChordPolicy>(cfg, ShortChurn(),
+                                      SelectorKind::kOptimal);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->maintenance_rounds.empty());
+  EXPECT_EQ(result->metrics.counter("maintain.rounds"), 0u);
+  EXPECT_GT(result->queries, 0u);
+}
+
+TEST(Maintenance, NonOptimalPoliciesIgnoreFreqMode) {
+  ExperimentConfig cfg = MaintConfig(0x56);
+  auto oblivious = RunChurn<ChordPolicy>(cfg, ShortChurn(),
+                                         SelectorKind::kOblivious);
+  ASSERT_TRUE(oblivious.ok());
+  EXPECT_TRUE(oblivious->maintenance_rounds.empty());
+  auto none = RunChurn<ChordPolicy>(cfg, ShortChurn(), SelectorKind::kNone);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->maintenance_rounds.empty());
+}
+
+TEST(Maintenance, FreqModeNamesRoundTrip) {
+  EXPECT_STREQ(FreqModeName(FreqMode::kPool), "pool");
+  EXPECT_STREQ(FreqModeName(FreqMode::kObserved), "observed");
+}
+
+}  // namespace
+}  // namespace peercache::experiments
