@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/bits.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "experiments/experiment_config.h"
 #include "experiments/json_report.h"
@@ -27,12 +28,22 @@ namespace peercache::bench {
 ///                  numbers are identical for every value)
 ///   --json-out F   write the figure as a schema-versioned JSON document
 ///   --log-level L  debug|info|warning|error (default warning)
+///
+/// Fault-injection knobs (docs/RESILIENCE.md; all default off):
+///
+///   --fault-drop P     per-forwarding-attempt message-drop probability
+///   --fault-fail P     per-(lookup, node) fail-stop probability
+///   --fault-stale P    per-(lookup, dead entry) stale-window probability
+///   --fault-seed S     seed of the deterministic fault process
+///   --fault-retries N  failed attempts tolerated per node visit
+///   --no-fault-retries abort lookups on the first failed attempt
 struct BenchArgs {
   bool quick = false;
   int seeds = 1;
   uint64_t base_seed = 1;
   int threads = 0;
   std::string json_out;
+  fault::FaultConfig faults;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -47,6 +58,19 @@ struct BenchArgs {
         args.threads = std::atoi(argv[++i]);
       } else if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
         args.json_out = argv[++i];
+      } else if (std::strcmp(argv[i], "--fault-drop") == 0 && i + 1 < argc) {
+        args.faults.drop_prob = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--fault-fail") == 0 && i + 1 < argc) {
+        args.faults.fail_prob = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--fault-stale") == 0 && i + 1 < argc) {
+        args.faults.stale_prob = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+        args.faults.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--fault-retries") == 0 &&
+                 i + 1 < argc) {
+        args.faults.max_retries = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--no-fault-retries") == 0) {
+        args.faults.retry = false;
       } else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
         LogLevel level;
         if (!ParseLogLevel(argv[++i], &level)) {
@@ -57,7 +81,9 @@ struct BenchArgs {
       } else {
         std::fprintf(stderr,
                      "usage: %s [--quick] [--seeds N] [--seed S] [--threads T]"
-                     " [--json-out FILE] [--log-level LEVEL]\n",
+                     " [--json-out FILE] [--fault-drop P] [--fault-fail P]"
+                     " [--fault-stale P] [--fault-seed S] [--fault-retries N]"
+                     " [--no-fault-retries] [--log-level LEVEL]\n",
                      argv[0]);
         std::exit(2);
       }

@@ -43,6 +43,7 @@ struct Args {
   int trace_sample = 0;  // 0 = pick a default when --trace-out is given
   std::string freq_mode = "observed";
   int audit_period = 4;
+  peercache::fault::FaultConfig faults;
 
   static void Usage(const char* argv0) {
     std::fprintf(
@@ -52,6 +53,8 @@ struct Args {
         "          [--duration SECONDS] [--threads T]\n"
         "          [--json-out FILE] [--trace-out FILE] [--trace-sample P]\n"
         "          [--freq-mode pool|observed] [--audit-period N]\n"
+        "          [--fault-drop P] [--fault-fail P] [--fault-stale P]\n"
+        "          [--fault-seed S] [--fault-retries N] [--no-fault-retries]\n"
         "          [--log-level debug|info|warning|error]\n"
         "  --threads T       worker threads for the per-node loops\n"
         "                    (0 = all hardware threads, 1 = serial; results\n"
@@ -68,7 +71,15 @@ struct Args {
         "  --json-out FILE   write a schema-versioned telemetry document\n"
         "  --trace-out FILE  write sampled route traces as JSONL\n"
         "  --trace-sample P  trace every P-th measured query per node\n"
-        "                    (default 0 = off, or 100 with --trace-out)\n",
+        "                    (default 0 = off, or 100 with --trace-out)\n"
+        "  --fault-drop P    per-forwarding-attempt message-drop probability\n"
+        "  --fault-fail P    per-(lookup, node) fail-stop probability\n"
+        "  --fault-stale P   per-(lookup, dead entry) stale-window\n"
+        "                    probability (churn mode only in practice)\n"
+        "  --fault-seed S    seed of the deterministic fault process\n"
+        "  --fault-retries N failed attempts tolerated per node visit\n"
+        "  --no-fault-retries abort on the first failed attempt\n"
+        "                    (see docs/RESILIENCE.md)\n",
         argv0);
     std::exit(2);
   }
@@ -113,6 +124,19 @@ struct Args {
         a.freq_mode = next("--freq-mode");
       } else if (!std::strcmp(argv[i], "--audit-period")) {
         a.audit_period = std::atoi(next("--audit-period"));
+      } else if (!std::strcmp(argv[i], "--fault-drop")) {
+        a.faults.drop_prob = std::atof(next("--fault-drop"));
+      } else if (!std::strcmp(argv[i], "--fault-fail")) {
+        a.faults.fail_prob = std::atof(next("--fault-fail"));
+      } else if (!std::strcmp(argv[i], "--fault-stale")) {
+        a.faults.stale_prob = std::atof(next("--fault-stale"));
+      } else if (!std::strcmp(argv[i], "--fault-seed")) {
+        a.faults.seed =
+            static_cast<uint64_t>(std::atoll(next("--fault-seed")));
+      } else if (!std::strcmp(argv[i], "--fault-retries")) {
+        a.faults.max_retries = std::atoi(next("--fault-retries"));
+      } else if (!std::strcmp(argv[i], "--no-fault-retries")) {
+        a.faults.retry = false;
       } else if (!std::strcmp(argv[i], "--log-level")) {
         LogLevel level;
         if (!ParseLogLevel(next("--log-level"), &level)) {
@@ -152,6 +176,7 @@ int main(int argc, char** argv) {
   cfg.freq_mode =
       args.freq_mode == "pool" ? FreqMode::kPool : FreqMode::kObserved;
   cfg.maintenance_audit_period = args.audit_period;
+  cfg.faults = args.faults;
 
   std::printf(
       "%s %s: n=%d k=%d alpha=%.2f items=%zu lists=%d seed=%llu threads=%d\n\n",
@@ -197,6 +222,21 @@ int main(int argc, char** argv) {
               "measure %.3fs\n",
               cmp->optimal.warmup_seconds, cmp->optimal.selection_seconds,
               cmp->optimal.measure_seconds);
+  if (cmp->optimal.fault_injection) {
+    const auto& r = cmp->optimal.resilience;
+    std::printf(
+        "resilience (optimal run): delivered %llu/%llu (%.2f%%), "
+        "retries %llu (drop %llu, fail-stop %llu, stale %llu), "
+        "budget-exhausted %llu, evictions %llu\n",
+        static_cast<unsigned long long>(r.delivered),
+        static_cast<unsigned long long>(r.lookups), 100.0 * r.SuccessRate(),
+        static_cast<unsigned long long>(r.retries),
+        static_cast<unsigned long long>(r.dropped_forwards),
+        static_cast<unsigned long long>(r.failstop_skips),
+        static_cast<unsigned long long>(r.stale_forwards),
+        static_cast<unsigned long long>(r.budget_exhausted),
+        static_cast<unsigned long long>(r.dead_entry_evictions));
+  }
 
   if (!args.json_out.empty()) {
     const std::string doc = ComparisonDocument(

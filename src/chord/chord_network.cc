@@ -137,11 +137,15 @@ std::vector<uint64_t> ChordNetwork::CoreNeighborIds(uint64_t id) const {
 }
 
 Status ChordNetwork::LookupInto(uint64_t origin, uint64_t key,
-                                RouteResult& out, RouteTrace* trace) const {
+                                RouteResult& out, RouteTrace* trace,
+                                const fault::FaultPlan* faults) const {
   out.Clear();
   if (!IsAlive(origin)) return Status::Unavailable("origin not alive");
   auto truth = ResponsibleNode(key);
   if (!truth.ok()) return truth.status();
+  if (faults != nullptr && faults->enabled()) {
+    return LookupResilient(origin, key, truth.value(), out, trace, *faults);
+  }
 
   if (trace != nullptr) {
     trace->origin = origin;
@@ -202,10 +206,155 @@ Status ChordNetwork::LookupInto(uint64_t origin, uint64_t key,
   return Status::Ok();
 }
 
+Status ChordNetwork::LookupResilient(uint64_t origin, uint64_t key,
+                                     uint64_t truth, RouteResult& out,
+                                     RouteTrace* trace,
+                                     const fault::FaultPlan& faults) const {
+  if (trace != nullptr) {
+    trace->origin = origin;
+    trace->key = key;
+  }
+  auto finish = [&](uint64_t destination, int hops, bool delivered) {
+    out.destination = destination;
+    out.hops = hops;
+    out.success = delivered && destination == truth;
+    if (trace != nullptr) {
+      trace->destination = out.destination;
+      trace->success = out.success;
+      trace->hops = out.hops;
+    }
+    return Status::Ok();
+  };
+
+  uint64_t current = origin;
+  int hops_taken = 0;  // successful forwards (the delivered path length)
+  int spent = 0;       // hop budget: successful AND failed attempts
+  int attempt = 0;     // per-lookup counter decorrelating retransmissions
+  // Per-visit exclusion sets. Entries that turned out dead (fail-stop or
+  // stale) are never retried; drop-excluded entries become eligible again
+  // only when no alternative makes progress (retransmission).
+  std::vector<uint64_t> dead_here;
+  std::vector<uint64_t> dropped_here;
+
+  while (spent <= params_.max_route_hops) {
+    const ChordNode* node = GetNode(current);
+    assert(node != nullptr);
+    dead_here.clear();
+    dropped_here.clear();
+    int retries_here = 0;
+
+    // Per-visit retry loop: select the best non-excluded entry, run it
+    // through the fault gates, and either forward or exclude and retry.
+    while (true) {
+      uint64_t next = current;
+      uint64_t best_remaining = space_.ClockwiseDistance(current, key);
+      HopEntryKind next_kind = HopEntryKind::kFinger;
+      bool next_is_dead = false;
+
+      auto excluded = [](const std::vector<uint64_t>& set, uint64_t w) {
+        return std::find(set.begin(), set.end(), w) != set.end();
+      };
+      auto scan = [&](bool allow_retransmit) {
+        next = current;
+        best_remaining = space_.ClockwiseDistance(current, key);
+        auto consider = [&](uint64_t w, HopEntryKind kind) {
+          if (w == current || excluded(dead_here, w)) return;
+          if (!allow_retransmit && excluded(dropped_here, w)) return;
+          const bool alive = IsAlive(w);
+          // Ping-before-forward still skips known-dead entries — unless
+          // this lookup falls inside the entry's stale window, in which
+          // case the holder believes the ping and forwards into the void.
+          if (!alive && !faults.StaleBelievedAlive(key, current, w)) return;
+          if (!space_.InClockwiseRangeExclIncl(current, w, key)) return;
+          const uint64_t remaining = space_.ClockwiseDistance(w, key);
+          if (remaining < best_remaining) {
+            best_remaining = remaining;
+            next = w;
+            next_kind = kind;
+            next_is_dead = !alive;
+          }
+        };
+        for (uint64_t w : node->fingers) consider(w, HopEntryKind::kFinger);
+        for (uint64_t w : node->successors) {
+          consider(w, HopEntryKind::kSuccessor);
+        }
+        for (uint64_t w : node->auxiliaries) {
+          consider(w, HopEntryKind::kAuxiliary);
+        }
+      };
+      scan(/*allow_retransmit=*/false);
+      if (next == current && !dropped_here.empty()) {
+        scan(/*allow_retransmit=*/true);
+      }
+
+      if (next == current) {
+        // No believed-live entry between here and the key: to this node's
+        // knowledge it is the key's predecessor, so it answers.
+        return finish(current, hops_taken, /*delivered=*/true);
+      }
+
+      // Fault gates, in failure-cause order: a dead entry can never
+      // receive, a fail-stopped target is down for this whole lookup, and
+      // an otherwise-healthy forward can still lose its message.
+      bool failed = false;
+      if (next_is_dead) {
+        ++out.stale_forwards;
+        out.dead_evictions.emplace_back(current, next);
+        dead_here.push_back(next);
+        failed = true;
+      } else if (faults.FailStopped(key, next)) {
+        ++out.failstop_skips;
+        dead_here.push_back(next);
+        failed = true;
+      } else if (faults.DropForward(key, current, next, attempt++)) {
+        ++out.dropped_forwards;
+        dropped_here.push_back(next);
+        failed = true;
+      }
+
+      if (!failed) {
+        if (next_kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
+        if (trace != nullptr) {
+          trace->path.push_back({current, next, next_kind, best_remaining,
+                                 /*dropped=*/false,
+                                 /*retried=*/retries_here > 0});
+        }
+        out.path.push_back(current);
+        current = next;
+        ++hops_taken;
+        ++spent;
+        break;  // next node visit
+      }
+
+      // Failed attempt: charge budgets, honor the retry policy.
+      ++out.retries;
+      ++retries_here;
+      ++spent;
+      if (trace != nullptr) {
+        trace->path.push_back({current, next, next_kind, best_remaining,
+                               /*dropped=*/true, /*retried=*/false});
+      }
+      if (!faults.config().retry) {
+        return finish(current, hops_taken, /*delivered=*/false);
+      }
+      if (retries_here > faults.config().max_retries ||
+          spent > params_.max_route_hops) {
+        out.budget_exhausted = true;
+        return finish(current, hops_taken, /*delivered=*/false);
+      }
+    }
+  }
+  out.budget_exhausted = true;
+  return finish(current, params_.max_route_hops, /*delivered=*/false);
+}
+
 Result<RouteResult> ChordNetwork::Lookup(uint64_t origin, uint64_t key,
-                                         RouteTrace* trace) const {
+                                         RouteTrace* trace,
+                                         const fault::FaultPlan* faults) const {
   RouteResult result;
-  if (Status s = LookupInto(origin, key, result, trace); !s.ok()) return s;
+  if (Status s = LookupInto(origin, key, result, trace, faults); !s.ok()) {
+    return s;
+  }
   return result;
 }
 

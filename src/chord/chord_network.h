@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "auxsel/frequency_table.h"
+#include "common/fault.h"
 #include "common/node_store.h"
 #include "common/ring_id.h"
 #include "common/route_result.h"
@@ -107,12 +108,22 @@ class ChordNetwork {
   /// records (source, next hop, core-vs-auxiliary entry, ring distance
   /// remaining) are appended to it; the default null path adds no per-hop
   /// work beyond one branch.
+  ///
+  /// When `faults` names an enabled fault::FaultPlan the route runs the
+  /// resilient policy instead: every forwarding attempt passes the plan's
+  /// deterministic drop / fail-stop / stale gates, a failed attempt is
+  /// retried against the next-best live entry (bounded per visit by
+  /// max_retries, globally by the hop budget), and failure bookkeeping
+  /// lands in the RouteResult's resilience fields. A null or disabled plan
+  /// takes the historical fault-free path bit-for-bit.
   Status LookupInto(uint64_t origin, uint64_t key, RouteResult& out,
-                    RouteTrace* trace = nullptr) const;
+                    RouteTrace* trace = nullptr,
+                    const fault::FaultPlan* faults = nullptr) const;
 
   /// By-value convenience form of LookupInto.
   Result<RouteResult> Lookup(uint64_t origin, uint64_t key,
-                             RouteTrace* trace = nullptr) const;
+                             RouteTrace* trace = nullptr,
+                             const fault::FaultPlan* faults = nullptr) const;
 
   /// Rebuilds `id`'s fingers and successor list from live membership
   /// (periodic stabilization). Dead auxiliaries are pruned (the paper's
@@ -132,6 +143,12 @@ class ChordNetwork {
   std::vector<uint64_t> CoreNeighborIds(uint64_t id) const;
 
  private:
+  /// The retry-capable routing loop used when fault injection is enabled.
+  /// `truth` is the precomputed responsible node.
+  Status LookupResilient(uint64_t origin, uint64_t key, uint64_t truth,
+                         RouteResult& out, RouteTrace* trace,
+                         const fault::FaultPlan& faults) const;
+
   ChordParams params_;
   IdSpace space_;
   overlay::NodeStore<ChordNode> store_;  // all nodes ever seen (alive + dead)

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/ring_id.h"
 #include "common/route_result.h"
 #include "common/status.h"
@@ -35,8 +36,10 @@ concept OverlayNode = requires(N& node, const N& cnode, uint64_t peer) {
 ///     StabilizeAll over a circular IdSpace;
 ///   * god's-eye ground truth — ResponsibleNode;
 ///   * routing — LookupInto writes into a caller-owned RouteResult (the
-///     zero-allocation hot path) with optional per-hop tracing; Lookup is
-///     the by-value convenience form;
+///     zero-allocation hot path) with optional per-hop tracing and an
+///     optional fault::FaultPlan that switches the route onto the
+///     retry-capable resilient policy; Lookup is the by-value convenience
+///     form;
 ///   * auxiliary plumbing — SetAuxiliaries installs the selection result,
 ///     CoreNeighborIds exposes N_s for the selectors.
 ///
@@ -46,8 +49,9 @@ concept OverlayNode = requires(N& node, const N& cnode, uint64_t peer) {
 /// struct (see docs/ARCHITECTURE.md).
 template <typename N>
 concept Overlay = OverlayNode<typename N::NodeType> &&
-    requires(N& net, const N& cnet, uint64_t id,
-             std::vector<uint64_t> aux, RouteResult& out, RouteTrace* trace) {
+    requires(N& net, const N& cnet, uint64_t id, std::vector<uint64_t> aux,
+             RouteResult& out, RouteTrace* trace,
+             const fault::FaultPlan* faults) {
   { cnet.space() } -> std::convertible_to<const IdSpace&>;
   { net.AddNode(id) } -> std::same_as<Status>;
   { net.RemoveNode(id) } -> std::same_as<Status>;
@@ -59,7 +63,9 @@ concept Overlay = OverlayNode<typename N::NodeType> &&
   { cnet.GetNode(id) } -> std::same_as<const typename N::NodeType*>;
   { cnet.ResponsibleNode(id) } -> std::same_as<Result<uint64_t>>;
   { cnet.LookupInto(id, id, out, trace) } -> std::same_as<Status>;
+  { cnet.LookupInto(id, id, out, trace, faults) } -> std::same_as<Status>;
   { cnet.Lookup(id, id, trace) } -> std::same_as<Result<RouteResult>>;
+  { cnet.Lookup(id, id, trace, faults) } -> std::same_as<Result<RouteResult>>;
   { net.StabilizeNode(id) } -> std::same_as<Status>;
   { net.StabilizeAll() };
   { net.SetAuxiliaries(id, std::move(aux)) } -> std::same_as<Status>;

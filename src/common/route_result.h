@@ -2,6 +2,7 @@
 #define PEERCACHE_COMMON_ROUTE_RESULT_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace peercache::overlay {
@@ -22,16 +23,41 @@ struct RouteResult {
   int aux_hops = 0;         ///< Hops forwarded through an auxiliary entry.
   /// Nodes that forwarded the query, in order (origin first, destination
   /// excluded). Every node here "has seen" the query in the paper's sense
-  /// and may record the destination in its frequency table.
+  /// and may record the destination in its frequency table. Only messages
+  /// that arrived count: failed forwarding attempts (fault injection)
+  /// appear in the retry tallies below, never in the path.
   std::vector<uint64_t> path;
 
-  /// Resets to the default state, retaining `path`'s capacity.
+  // Resilience accounting, nonzero only when a lookup was routed under an
+  // enabled fault::FaultPlan. Every failed forwarding attempt consumes one
+  // unit of the route's hop budget (max_route_hops) besides its per-visit
+  // retry allowance.
+  int retries = 0;           ///< Failed forwarding attempts, all causes.
+  int dropped_forwards = 0;  ///< Attempts lost to message drops.
+  int failstop_skips = 0;    ///< Attempts against fail-stopped nodes.
+  int stale_forwards = 0;    ///< Attempts against stale (dead) entries.
+  /// The lookup was abandoned because a budget ran out (per-visit retries
+  /// or the global hop budget), not because routing converged.
+  bool budget_exhausted = false;
+  /// Dead entries discovered the hard way: (holder, entry) pairs where
+  /// `holder` forwarded to the departed `entry` inside a stale window. The
+  /// caller may evict them from the holder's tables (LookupInto is const
+  /// and cannot).
+  std::vector<std::pair<uint64_t, uint64_t>> dead_evictions;
+
+  /// Resets to the default state, retaining vector capacities.
   void Clear() {
     success = false;
     destination = 0;
     hops = 0;
     aux_hops = 0;
     path.clear();
+    retries = 0;
+    dropped_forwards = 0;
+    failstop_skips = 0;
+    stale_forwards = 0;
+    budget_exhausted = false;
+    dead_evictions.clear();
   }
 };
 

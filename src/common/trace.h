@@ -47,6 +47,13 @@ struct HopRecord {
   /// metric: clockwise ring distance for Chord, b - lcp(to, key) for
   /// Pastry. Monotone decrease here is what makes a route auditable.
   uint64_t remaining = 0;
+  /// Fault-injection tags. A `dropped` record is a forwarding attempt that
+  /// never arrived (message drop, fail-stopped target, or stale dead
+  /// entry); it consumed budget but is not part of the delivered path. A
+  /// `retried` record is a real forward that succeeded only after one or
+  /// more dropped attempts at the same node.
+  bool dropped = false;
+  bool retried = false;
 };
 
 /// Full record of one sampled lookup. Collected only when a caller passes a

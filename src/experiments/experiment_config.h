@@ -6,7 +6,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/metrics.h"
+#include "common/route_result.h"
 #include "common/stats.h"
 #include "common/trace.h"
 #include "experiments/cost_audit.h"
@@ -82,6 +84,10 @@ struct ExperimentConfig {
   /// input and fails the run on a cost mismatch. kObserved only; 0 = never
   /// audit.
   int maintenance_audit_period = 4;
+  /// Fault-injection knobs (common/fault.h). All probabilities default to
+  /// zero, which disables injection entirely: the engine then routes over
+  /// the historical fault-free path and emits byte-identical telemetry.
+  fault::FaultConfig faults;
 };
 
 /// Churn-mode parameters (paper Sec. VI-C): nodes alternate between alive
@@ -109,6 +115,52 @@ struct MaintenanceRoundStats {
   uint64_t core_deltas = 0;    ///< Core flags changed across all SetCores.
   uint64_t audited_nodes = 0;  ///< Nodes cross-checked against fresh builds.
   double seconds = 0.0;        ///< Wall clock (excluded from determinism).
+};
+
+/// Aggregated resilience accounting over the measured lookups of one run
+/// under fault injection. Every field is a pure function of (seed, config)
+/// at any thread count: per-lookup tallies come out of RouteResult and are
+/// merged in node/index order.
+struct ResilienceStats {
+  uint64_t lookups = 0;           ///< Measured lookups routed under the plan.
+  uint64_t delivered = 0;         ///< Delivered at the responsible node.
+  uint64_t retried_lookups = 0;   ///< Lookups with >= 1 failed attempt.
+  uint64_t retries = 0;           ///< Failed forwarding attempts, all causes.
+  uint64_t dropped_forwards = 0;  ///< Attempts lost to message drops.
+  uint64_t failstop_skips = 0;    ///< Attempts against fail-stopped nodes.
+  uint64_t stale_forwards = 0;    ///< Attempts against stale dead entries.
+  uint64_t budget_exhausted = 0;  ///< Lookups abandoned on a budget.
+  uint64_t dead_entry_evictions = 0;  ///< Stale entries reported for eviction.
+
+  void Accumulate(const overlay::RouteResult& route) {
+    ++lookups;
+    if (route.success) ++delivered;
+    if (route.retries > 0) ++retried_lookups;
+    retries += static_cast<uint64_t>(route.retries);
+    dropped_forwards += static_cast<uint64_t>(route.dropped_forwards);
+    failstop_skips += static_cast<uint64_t>(route.failstop_skips);
+    stale_forwards += static_cast<uint64_t>(route.stale_forwards);
+    if (route.budget_exhausted) ++budget_exhausted;
+    dead_entry_evictions += route.dead_evictions.size();
+  }
+
+  void Merge(const ResilienceStats& other) {
+    lookups += other.lookups;
+    delivered += other.delivered;
+    retried_lookups += other.retried_lookups;
+    retries += other.retries;
+    dropped_forwards += other.dropped_forwards;
+    failstop_skips += other.failstop_skips;
+    stale_forwards += other.stale_forwards;
+    budget_exhausted += other.budget_exhausted;
+    dead_entry_evictions += other.dead_entry_evictions;
+  }
+
+  double SuccessRate() const {
+    return lookups == 0 ? 1.0
+                        : static_cast<double>(delivered) /
+                              static_cast<double>(lookups);
+  }
 };
 
 /// Result of one run (one selector policy).
@@ -147,6 +199,13 @@ struct RunResult {
   /// FreqMode::kPool). Totals surface as `maintain.*` counters in
   /// `metrics` and as the telemetry document's "maintenance" block.
   std::vector<MaintenanceRoundStats> maintenance_rounds;
+  /// True iff this run routed its measured lookups under an enabled
+  /// fault::FaultPlan. Gates `resilience` below, the `resilience.*` metric
+  /// counters, and the telemetry document's "resilience" block — with
+  /// injection off none of them exist, keeping fault-free output
+  /// byte-identical to the committed figures.
+  bool fault_injection = false;
+  ResilienceStats resilience;
 };
 
 /// Side-by-side comparison at identical seeds/workload.

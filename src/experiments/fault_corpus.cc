@@ -1,0 +1,155 @@
+#include "experiments/fault_corpus.h"
+
+#include <utility>
+
+#include "common/json_writer.h"
+#include "experiments/generic_experiment.h"
+#include "experiments/json_report.h"
+
+namespace peercache::experiments {
+
+namespace {
+
+/// Small base configuration shared by every corpus case: big enough for
+/// multi-hop routes (and thus real retry chains), small enough that the
+/// whole corpus replays in seconds inside ctest.
+ExperimentConfig BaseConfig(int threads) {
+  ExperimentConfig config;
+  config.n_nodes = 128;
+  config.k = 7;
+  config.warmup_queries_per_node = 50;
+  config.measure_queries_per_node = 20;
+  config.threads = threads;
+  return config;
+}
+
+/// Short churn window: a few stabilization and recompute rounds, a few
+/// hundred routed queries, and enough departures for stale windows to fire.
+ChurnConfig ShortChurn() {
+  ChurnConfig churn;
+  churn.mean_lifetime_s = 300.0;
+  churn.warmup_s = 300.0;
+  churn.measure_s = 300.0;
+  return churn;
+}
+
+FaultCase MakeCase(std::string name, std::string system, bool churn,
+                   ExperimentConfig config) {
+  FaultCase c;
+  c.name = std::move(name);
+  c.system = std::move(system);
+  c.churn = churn;
+  c.config = std::move(config);
+  c.churn_config = ShortChurn();
+  return c;
+}
+
+}  // namespace
+
+std::vector<FaultCase> FaultCorpusCases(int threads) {
+  std::vector<FaultCase> cases;
+
+  {  // Headline scenario: moderate drops, retries on.
+    ExperimentConfig config = BaseConfig(threads);
+    config.faults.drop_prob = 0.2;
+    config.faults.seed = 7;
+    cases.push_back(MakeCase("chord_stable_drop20", "chord", false, config));
+    cases.push_back(MakeCase("pastry_stable_drop20", "pastry", false, config));
+  }
+  {  // Mixed drop + mid-lookup fail-stop departures.
+    ExperimentConfig config = BaseConfig(threads);
+    config.faults.drop_prob = 0.1;
+    config.faults.fail_prob = 0.02;
+    config.faults.seed = 11;
+    cases.push_back(
+        MakeCase("chord_stable_drop10_fail2", "chord", false, config));
+    cases.push_back(
+        MakeCase("pastry_stable_drop10_fail2", "pastry", false, config));
+  }
+  {  // Degraded baseline: first failure aborts the lookup.
+    ExperimentConfig config = BaseConfig(threads);
+    config.faults.drop_prob = 0.3;
+    config.faults.retry = false;
+    config.faults.seed = 13;
+    cases.push_back(
+        MakeCase("chord_stable_drop30_noretry", "chord", false, config));
+  }
+  {  // Tight retry budget under heavy drops: budget exhaustion fires.
+    ExperimentConfig config = BaseConfig(threads);
+    config.faults.drop_prob = 0.5;
+    config.faults.max_retries = 1;
+    config.faults.seed = 17;
+    cases.push_back(
+        MakeCase("pastry_stable_drop50_retries1", "pastry", false, config));
+  }
+  {  // Churn with drops and wide stale windows: dead entries linger
+     // between a departure and the next stabilization, so stale forwards
+     // and the resulting evictions exercise the full pipeline.
+    ExperimentConfig config = BaseConfig(threads);
+    config.faults.drop_prob = 0.1;
+    config.faults.stale_prob = 0.5;
+    config.faults.seed = 5;
+    cases.push_back(MakeCase("chord_churn_drop10_stale50", "chord", true,
+                             config));
+    cases.push_back(MakeCase("pastry_churn_drop10_stale50", "pastry", true,
+                             config));
+  }
+  return cases;
+}
+
+Result<std::string> FaultCorpusDocument(int threads) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(kTelemetrySchemaVersion);
+  w.Key("generator");
+  w.String("fault_corpus");
+  w.Key("kind");
+  w.String("fault_corpus");
+  w.Key("cases");
+  w.BeginArray();
+  for (const FaultCase& c : FaultCorpusCases(threads)) {
+    Result<RunResult> run = [&]() -> Result<RunResult> {
+      if (c.system == "chord") {
+        return c.churn ? RunChurn<ChordPolicy>(c.config, c.churn_config,
+                                               SelectorKind::kOptimal)
+                       : RunStable<ChordPolicy>(c.config,
+                                                SelectorKind::kOptimal);
+      }
+      return c.churn ? RunChurn<PastryPolicy>(c.config, c.churn_config,
+                                              SelectorKind::kOptimal)
+                     : RunStable<PastryPolicy>(c.config,
+                                               SelectorKind::kOptimal);
+    }();
+    if (!run.ok()) return run.status();
+    w.BeginObject();
+    w.Key("name");
+    w.String(c.name);
+    w.Key("system");
+    w.String(c.system);
+    w.Key("mode");
+    w.String(c.churn ? "churn" : "stable");
+    w.Key("config");
+    // The thread count shapes scheduling, never results; normalize it so
+    // the document bytes are identical no matter where it was generated.
+    ExperimentConfig doc_config = c.config;
+    doc_config.threads = 1;
+    WriteConfigJson(w, doc_config);
+    // Deterministic headline numbers only — phase timings and any other
+    // wall-clock field would break the byte comparison.
+    w.Key("avg_hops");
+    w.Double(run->avg_hops);
+    w.Key("success_rate");
+    w.Double(run->success_rate);
+    w.Key("queries");
+    w.UInt(run->queries);
+    w.Key("resilience");
+    WriteResilienceJson(w, run->resilience);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace peercache::experiments

@@ -1,0 +1,39 @@
+#ifndef PEERCACHE_EXPERIMENTS_FAULT_CORPUS_H_
+#define PEERCACHE_EXPERIMENTS_FAULT_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "experiments/experiment_config.h"
+
+namespace peercache::experiments {
+
+/// One committed fault scenario: a small experiment configuration with an
+/// enabled fault plan, replayed by both the differential test
+/// (tests/experiments/fault_corpus_test.cc) and the bench generator
+/// (bench/fault_resilience --corpus-out).
+struct FaultCase {
+  std::string name;    ///< Stable identifier, unique within the corpus.
+  std::string system;  ///< "chord" or "pastry".
+  bool churn = false;
+  ExperimentConfig config;  ///< Includes the fault knobs (config.faults).
+  ChurnConfig churn_config;  ///< Used only when `churn` is set.
+};
+
+/// The committed corpus: deterministic fault scenarios covering both
+/// overlays, drop / fail-stop / stale faults, retries on and off, and both
+/// stable and churn modes. `threads` lands in every case's config so the
+/// same corpus can be replayed serially and in parallel.
+std::vector<FaultCase> FaultCorpusCases(int threads);
+
+/// Runs every corpus case (optimal policy) and serializes the outcomes as
+/// one schema-versioned JSON document with NO wall-clock fields: the bytes
+/// are a pure function of the corpus at any thread count. The committed
+/// copy lives at results/fault_corpus.json; the differential test replays
+/// the corpus at threads 1 and 4 and byte-compares against it.
+Result<std::string> FaultCorpusDocument(int threads);
+
+}  // namespace peercache::experiments
+
+#endif  // PEERCACHE_EXPERIMENTS_FAULT_CORPUS_H_

@@ -432,17 +432,21 @@ Result<RunResult> RunStable(const ExperimentConfig& config,
   result.selection_seconds = selection_timer.Seconds();
   internal::CollectAuxiliaries(net, node_ids, result);
 
-  // Measurement.
+  // Measurement, optionally under fault injection (config.faults). The
+  // plan pointer is null when injection is off so the historical fault-free
+  // routing path runs unchanged.
+  const fault::FaultPlan plan(config.faults);
   PhaseTimer measure_timer;
   if (Status s = internal::ParallelMeasure(
           pool, net, node_ids, workload.queries(), seeds.measure,
           config.measure_queries_per_node, config.trace_sample_period,
-          predicted, result);
+          predicted, result, plan.enabled() ? &plan : nullptr);
       !s.ok()) {
     return s;
   }
   result.measure_seconds = measure_timer.Seconds();
   internal::RecordPhaseTimers(result);
+  internal::RecordResilienceMetrics(result);
   return result;
 }
 
@@ -552,7 +556,13 @@ Result<RunResult> RunChurn(const ExperimentConfig& config,
 
   // Poisson query arrivals. One RouteResult serves the whole simulation —
   // the routing loop writes into it without allocating once the path
-  // vector's capacity has grown to the longest route seen.
+  // vector's capacity has grown to the longest route seen. With fault
+  // injection on, every query routes resiliently; under churn the plan's
+  // stale windows can fire too (dead entries linger between a departure and
+  // the next stabilization).
+  const fault::FaultPlan plan(config.faults);
+  const fault::FaultPlan* faults = plan.enabled() ? &plan : nullptr;
+  if (faults != nullptr) obs.fault_injection = true;
   overlay::RouteResult route;
   std::function<void()> query_event = [&] {
     std::vector<uint64_t> live = net.LiveNodeIds();
@@ -563,12 +573,24 @@ Result<RunResult> RunChurn(const ExperimentConfig& config,
       const bool in_window = eq.now() >= churn.warmup_s;
       const bool trace_this = in_window && obs.ShouldTraceNext();
       RouteTrace trace;
-      Status s =
-          net.LookupInto(origin, key, route, trace_this ? &trace : nullptr);
+      Status s = net.LookupInto(origin, key, route,
+                                trace_this ? &trace : nullptr, faults);
       if (s.ok()) {
+        // Dead entries discovered the hard way (stale-window forwards) are
+        // evicted from the holder's auxiliary list right away — the
+        // timeout is the liveness information. Core entries heal at the
+        // holder's next stabilization, as in the fault-free model. The
+        // event loop is serial, so mutating tables here is safe.
+        for (const auto& [holder, entry] : route.dead_evictions) {
+          if (auto* n = net.GetNode(holder); n != nullptr) {
+            auto& aux = n->auxiliaries;
+            aux.erase(std::remove(aux.begin(), aux.end(), entry), aux.end());
+          }
+        }
         if (in_window) {
           ++result.queries;
           obs.OnMeasuredQuery();
+          if (faults != nullptr) obs.OnFaultedLookup(route);
           if (trace_this) result.traces.push_back(std::move(trace));
         }
         if (route.success) {

@@ -86,6 +86,47 @@ void WriteConfigJson(JsonWriter& w, const ExperimentConfig& config) {
   w.String(FreqModeName(config.freq_mode));
   w.Key("maintenance_audit_period");
   w.Int(config.maintenance_audit_period);
+  // Fault-injection knobs appear only when injection is enabled: fault-free
+  // documents must stay byte-identical to the committed figures.
+  if (config.faults.enabled()) {
+    w.Key("fault_drop");
+    w.Double(config.faults.drop_prob);
+    w.Key("fault_fail");
+    w.Double(config.faults.fail_prob);
+    w.Key("fault_stale");
+    w.Double(config.faults.stale_prob);
+    w.Key("fault_seed");
+    w.UInt(config.faults.seed);
+    w.Key("fault_max_retries");
+    w.Int(config.faults.max_retries);
+    w.Key("fault_retry");
+    w.Bool(config.faults.retry);
+  }
+  w.EndObject();
+}
+
+void WriteResilienceJson(JsonWriter& w, const ResilienceStats& r) {
+  w.BeginObject();
+  w.Key("lookups");
+  w.UInt(r.lookups);
+  w.Key("delivered");
+  w.UInt(r.delivered);
+  w.Key("success_rate");
+  w.Double(r.SuccessRate());
+  w.Key("retried_lookups");
+  w.UInt(r.retried_lookups);
+  w.Key("retries");
+  w.UInt(r.retries);
+  w.Key("dropped_forwards");
+  w.UInt(r.dropped_forwards);
+  w.Key("failstop_skips");
+  w.UInt(r.failstop_skips);
+  w.Key("stale_forwards");
+  w.UInt(r.stale_forwards);
+  w.Key("budget_exhausted");
+  w.UInt(r.budget_exhausted);
+  w.Key("dead_entry_evictions");
+  w.UInt(r.dead_entry_evictions);
   w.EndObject();
 }
 
@@ -184,6 +225,13 @@ void WriteRunResultJson(JsonWriter& w, const RunResult& result) {
     w.EndArray();
     w.EndObject();
   }
+  // Resilience telemetry (docs/RESILIENCE.md), present only for runs that
+  // routed under an enabled fault plan — fault-free documents carry no
+  // "resilience" key and replay byte-identical to the committed figures.
+  if (result.fault_injection) {
+    w.Key("resilience");
+    WriteResilienceJson(w, result.resilience);
+  }
   w.Key("metrics");
   result.metrics.WriteJson(w);
   w.EndObject();
@@ -262,6 +310,16 @@ std::string TraceJsonLine(const std::string& system, const char* policy,
     w.String(HopEntryKindName(hop.kind));
     w.Key("remaining");
     w.UInt(hop.remaining);
+    // Fault tags are emitted only when set: fault-free trace lines keep
+    // their historical shape exactly.
+    if (hop.dropped) {
+      w.Key("dropped");
+      w.Bool(true);
+    }
+    if (hop.retried) {
+      w.Key("retried");
+      w.Bool(true);
+    }
     w.EndObject();
   }
   w.EndArray();

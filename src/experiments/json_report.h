@@ -17,13 +17,22 @@ namespace peercache::experiments {
 inline constexpr int kTelemetrySchemaVersion = 1;
 
 /// Emits the config block shared by every document: one key per
-/// ExperimentConfig field, in declaration order.
+/// ExperimentConfig field, in declaration order. Fault-injection keys
+/// (`fault_*`) appear only when injection is enabled.
 void WriteConfigJson(JsonWriter& w, const ExperimentConfig& config);
+
+/// Emits one run's aggregated resilience telemetry as a JSON object (the
+/// "resilience" block; docs/RESILIENCE.md). Every field is deterministic —
+/// a pure function of (seed, config) at any thread count.
+void WriteResilienceJson(JsonWriter& w, const ResilienceStats& r);
 
 /// Emits one run's telemetry object: headline numbers, per-phase wall
 /// clock, hop histogram with p50/p95/p99 and per-bucket counts, aux-hit
 /// rate, the Eq. 1 cost-audit residual distribution, and the merged
-/// metrics-registry snapshot.
+/// metrics-registry snapshot. Runs routed under an enabled fault plan
+/// additionally carry a "resilience" block (docs/RESILIENCE.md); fault-free
+/// runs never do, so their documents stay byte-identical to the committed
+/// figures.
 void WriteRunResultJson(JsonWriter& w, const RunResult& result);
 
 /// Emits the three-policy comparison: `runs.{none,oblivious,optimal}`

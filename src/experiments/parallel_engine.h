@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "auxsel/selection_types.h"
+#include "common/fault.h"
 #include "common/random.h"
 #include "common/route_result.h"
 #include "common/stats.h"
@@ -130,13 +131,19 @@ Status ParallelWarmup(ThreadPool& pool, Network& net,
 ///  * `predicted_hops[i]` (may be empty, or NaN per slot = no prediction)
 ///    pairs the selector's Eq. 1 prediction with this node's measured mean
 ///    to form `result.cost_audit`.
+///
+/// When `faults` names an enabled plan every lookup is routed resiliently
+/// (stale-window faults cannot occur here — stable-mode overlays hold no
+/// dead entries) and per-node ResilienceStats partials merge in index order
+/// into `result.resilience`.
 template <typename Network>
 Status ParallelMeasure(ThreadPool& pool, const Network& net,
                        const std::vector<uint64_t>& node_ids,
                        workload::QueryWorkload& queries, uint64_t measure_seed,
                        int queries_per_node, int trace_sample_period,
                        const std::vector<double>& predicted_hops,
-                       RunResult& result) {
+                       RunResult& result,
+                       const fault::FaultPlan* faults = nullptr) {
   struct Partial {
     Status status;
     uint64_t queries = 0;
@@ -146,7 +153,9 @@ Status ParallelMeasure(ThreadPool& pool, const Network& net,
     Histogram hops{64};
     OnlineStats hop_stats;
     std::vector<RouteTrace> traces;
+    ResilienceStats resilience;
   };
+  const bool faulted = faults != nullptr && faults->enabled();
   std::vector<Partial> partials(node_ids.size());
   MetricsRegistry registry(node_ids.size());
   pool.ParallelFor(0, node_ids.size(), 1, [&](size_t i) {
@@ -163,13 +172,14 @@ Status ParallelMeasure(ThreadPool& pool, const Network& net,
       const bool trace_this =
           trace_sample_period > 0 && q % trace_sample_period == 0;
       RouteTrace trace;
-      Status s =
-          net.LookupInto(origin, key, route, trace_this ? &trace : nullptr);
+      Status s = net.LookupInto(origin, key, route,
+                                trace_this ? &trace : nullptr, faults);
       if (!s.ok()) {
         part.status = s;
         return;
       }
       ++part.queries;
+      if (faulted) part.resilience.Accumulate(route);
       if (route.success) {
         ++part.successes;
         part.sum_hops += static_cast<uint64_t>(route.hops);
@@ -196,6 +206,7 @@ Status ParallelMeasure(ThreadPool& pool, const Network& net,
     if (!part.status.ok()) return part.status;
     result.queries += part.queries;
     successes += part.successes;
+    if (faulted) result.resilience.Merge(part.resilience);
     result.hop_histogram.Merge(part.hops);
     result.total_route_hops += part.sum_hops;
     result.aux_route_hops += part.aux_hops;
@@ -228,7 +239,26 @@ Status ParallelMeasure(ThreadPool& pool, const Network& net,
           ? 0.0
           : static_cast<double>(result.aux_route_hops) /
                 static_cast<double>(result.total_route_hops);
+  if (faulted) result.fault_injection = true;
   return Status::Ok();
+}
+
+/// Copies the run's aggregated ResilienceStats into its metrics snapshot as
+/// `resilience.*` counters. No-op with injection off, so fault-free metric
+/// dumps stay byte-identical to the committed figures.
+inline void RecordResilienceMetrics(RunResult& result) {
+  if (!result.fault_injection) return;
+  const ResilienceStats& r = result.resilience;
+  result.metrics.Count("resilience.lookups", r.lookups);
+  result.metrics.Count("resilience.delivered", r.delivered);
+  result.metrics.Count("resilience.retried_lookups", r.retried_lookups);
+  result.metrics.Count("resilience.retries", r.retries);
+  result.metrics.Count("resilience.dropped_forwards", r.dropped_forwards);
+  result.metrics.Count("resilience.failstop_skips", r.failstop_skips);
+  result.metrics.Count("resilience.stale_forwards", r.stale_forwards);
+  result.metrics.Count("resilience.budget_exhausted", r.budget_exhausted);
+  result.metrics.Count("resilience.dead_entry_evictions",
+                       r.dead_entry_evictions);
 }
 
 /// Copies the RunResult phase timings into its metrics snapshot so every
@@ -264,6 +294,14 @@ struct ChurnObservability {
     shard.Count("lookup.queries");
   }
 
+  /// Resilience tally for one in-window lookup routed under an enabled
+  /// fault plan (the churn event loop is serial, so plain accumulation is
+  /// already deterministic).
+  void OnFaultedLookup(const overlay::RouteResult& route) {
+    fault_injection = true;
+    resilience.Accumulate(route);
+  }
+
   void OnMeasuredSuccess(uint64_t origin, int hops, int aux_hops) {
     shard.Count("lookup.successes");
     shard.Count("lookup.route_hops", static_cast<uint64_t>(hops));
@@ -296,7 +334,12 @@ struct ChurnObservability {
       result.cost_audit.push_back(entry);
     }
     result.metrics.Merge(shard);
+    if (fault_injection) {
+      result.fault_injection = true;
+      result.resilience = resilience;
+    }
     RecordPhaseTimers(result);
+    RecordResilienceMetrics(result);
   }
 
   int trace_period;
@@ -308,6 +351,8 @@ struct ChurnObservability {
   std::map<uint64_t, std::pair<uint64_t, uint64_t>> measured;
   /// node id -> latest Eq. 1 predicted mean hops (NaN entries skipped).
   std::map<uint64_t, double> predicted;
+  bool fault_injection = false;
+  ResilienceStats resilience;
 };
 
 /// Snapshots every listed node's installed auxiliary set, sorted by id,

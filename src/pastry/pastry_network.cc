@@ -181,11 +181,15 @@ Result<uint64_t> PastryNetwork::ResponsibleNode(uint64_t key) const {
 }
 
 Status PastryNetwork::LookupInto(uint64_t origin, uint64_t key,
-                                 RouteResult& out, RouteTrace* trace) const {
+                                 RouteResult& out, RouteTrace* trace,
+                                 const fault::FaultPlan* faults) const {
   out.Clear();
   if (!IsAlive(origin)) return Status::Unavailable("origin not alive");
   auto truth = ResponsibleNode(key);
   if (!truth.ok()) return truth.status();
+  if (faults != nullptr && faults->enabled()) {
+    return LookupResilient(origin, key, truth.value(), out, trace, *faults);
+  }
 
   auto ring_distance = [this](uint64_t a, uint64_t b) {
     return std::min(space_.ClockwiseDistance(a, b),
@@ -350,10 +354,261 @@ Status PastryNetwork::LookupInto(uint64_t origin, uint64_t key,
   return Status::Ok();
 }
 
+Status PastryNetwork::LookupResilient(uint64_t origin, uint64_t key,
+                                      uint64_t truth, RouteResult& out,
+                                      RouteTrace* trace,
+                                      const fault::FaultPlan& faults) const {
+  auto ring_distance = [this](uint64_t a, uint64_t b) {
+    return std::min(space_.ClockwiseDistance(a, b),
+                    space_.ClockwiseDistance(b, a));
+  };
+  auto prefix_remaining = [this, key](uint64_t w) {
+    return static_cast<uint64_t>(params_.bits -
+                                 CommonPrefixLength(w, key, params_.bits));
+  };
+  if (trace != nullptr) {
+    trace->origin = origin;
+    trace->key = key;
+  }
+  auto finish = [&](uint64_t destination, int hops, bool delivered) {
+    out.destination = destination;
+    out.hops = hops;
+    out.success = delivered && destination == truth;
+    if (trace != nullptr) {
+      trace->destination = out.destination;
+      trace->success = out.success;
+      trace->hops = out.hops;
+    }
+    return Status::Ok();
+  };
+
+  uint64_t current = origin;
+  int hops_taken = 0;  // successful forwards (the delivered path length)
+  int spent = 0;       // hop budget: successful AND failed attempts
+  int attempt = 0;     // per-lookup counter decorrelating retransmissions
+  bool numeric_mode = false;  // same oscillation guard as the fault-free path
+  // Per-visit exclusion sets; see ChordNetwork::LookupResilient for the
+  // dead-vs-dropped retransmission policy.
+  std::vector<uint64_t> dead_here;
+  std::vector<uint64_t> dropped_here;
+
+  while (spent <= params_.max_route_hops) {
+    const PastryNode* node = GetNode(current);
+    assert(node != nullptr);
+    const int current_lcp = CommonPrefixLength(current, key, params_.bits);
+    if (current_lcp == params_.bits) {  // exact hit
+      return finish(current, hops_taken, /*delivered=*/true);
+    }
+    dead_here.clear();
+    dropped_here.clear();
+    int retries_here = 0;
+
+    while (true) {
+      uint64_t next = kNoEntry;
+      HopEntryKind next_kind = HopEntryKind::kRoutingRow;
+      bool next_is_dead = false;
+      bool delivery_hop = false;  // R1's final leaf-set hop terminates
+      bool deliver_here = false;
+
+      auto excluded = [](const std::vector<uint64_t>& set, uint64_t w) {
+        return std::find(set.begin(), set.end(), w) != set.end();
+      };
+      // The stale-window twist on "ping before forwarding": a dead entry
+      // inside its window is believed alive and stays a candidate.
+      auto believed_alive = [&](uint64_t w) {
+        return IsAlive(w) || faults.StaleBelievedAlive(key, current, w);
+      };
+      auto select = [&](bool allow_retransmit) {
+        next = kNoEntry;
+        next_kind = HopEntryKind::kRoutingRow;
+        next_is_dead = false;
+        delivery_hop = false;
+        deliver_here = false;
+        auto usable = [&](uint64_t w) {
+          if (w == kNoEntry || w == current || excluded(dead_here, w)) {
+            return false;
+          }
+          if (!allow_retransmit && excluded(dropped_here, w)) return false;
+          return believed_alive(w);
+        };
+        // R1 never honors the drop-exclusion set: its hop is final (the
+        // chosen member answers), so settling for the second-closest member
+        // after a drop would deliver at the wrong node. A dropped delivery
+        // message is retransmitted to the same member instead — each retry
+        // is a fresh attempt counter and thus a fresh deterministic draw.
+        auto usable_r1 = [&](uint64_t w) {
+          return w != kNoEntry && w != current && !excluded(dead_here, w) &&
+                 believed_alive(w);
+        };
+
+        // Rule R1 (leaf-set delivery), over believed-live usable members.
+        uint64_t cw_span = 0, ccw_span = 0;
+        for (uint64_t w : node->leaf_succ) {
+          if (!usable_r1(w)) continue;
+          cw_span = std::max(cw_span, space_.ClockwiseDistance(current, w));
+        }
+        for (uint64_t w : node->leaf_pred) {
+          if (!usable_r1(w)) continue;
+          ccw_span = std::max(ccw_span, space_.ClockwiseDistance(w, current));
+        }
+        const bool in_leaf_span =
+            space_.ClockwiseDistance(current, key) <= cw_span ||
+            space_.ClockwiseDistance(key, current) <= ccw_span;
+        if (in_leaf_span) {
+          uint64_t closest = current;
+          uint64_t closest_dist = ring_distance(current, key);
+          for (uint64_t w : node->leaf_set) {
+            if (!usable_r1(w)) continue;
+            const uint64_t d = ring_distance(w, key);
+            if (d < closest_dist || (d == closest_dist && w < closest)) {
+              closest_dist = d;
+              closest = w;
+            }
+          }
+          if (closest == current) {
+            deliver_here = true;
+          } else {
+            next = closest;
+            next_kind = HopEntryKind::kLeafSet;
+            next_is_dead = !IsAlive(closest);
+            delivery_hop = true;
+          }
+          return;
+        }
+
+        // Rule R2 (prefix routing).
+        int best_lcp = current_lcp;
+        double best_prox = 0;
+        if (!numeric_mode) {
+          auto consider_prefix = [&](uint64_t w, HopEntryKind kind) {
+            if (!usable(w)) return;
+            const int l = CommonPrefixLength(w, key, params_.bits);
+            if (l <= current_lcp) return;
+            const double d = Proximity(current, w);
+            if (next == kNoEntry || l > best_lcp ||
+                (l == best_lcp && d < best_prox)) {
+              next = w;
+              best_lcp = l;
+              best_prox = d;
+              next_kind = kind;
+            }
+          };
+          for (uint64_t w : node->routing_rows) {
+            consider_prefix(w, HopEntryKind::kRoutingRow);
+          }
+          for (uint64_t w : node->leaf_set) {
+            consider_prefix(w, HopEntryKind::kLeafSet);
+          }
+          for (uint64_t w : node->auxiliaries) {
+            consider_prefix(w, HopEntryKind::kAuxiliary);
+          }
+        }
+
+        // Rule R3 ("rare case" numeric fallback).
+        if (next == kNoEntry) {
+          uint64_t best_dist = ring_distance(current, key);
+          auto consider_numeric = [&](uint64_t w, HopEntryKind kind) {
+            if (!usable(w)) return;
+            const uint64_t d = ring_distance(w, key);
+            if (d < best_dist) {
+              best_dist = d;
+              next = w;
+              next_kind = kind;
+            }
+          };
+          for (uint64_t w : node->routing_rows) {
+            consider_numeric(w, HopEntryKind::kRoutingRow);
+          }
+          for (uint64_t w : node->leaf_set) {
+            consider_numeric(w, HopEntryKind::kLeafSet);
+          }
+          for (uint64_t w : node->auxiliaries) {
+            consider_numeric(w, HopEntryKind::kAuxiliary);
+          }
+        }
+        if (next != kNoEntry) next_is_dead = !IsAlive(next);
+      };
+      select(/*allow_retransmit=*/false);
+      if (next == kNoEntry && !deliver_here && !dropped_here.empty()) {
+        select(/*allow_retransmit=*/true);
+      }
+
+      if (deliver_here || next == kNoEntry) {
+        // Key within our own span, or nothing known makes progress.
+        return finish(current, hops_taken, /*delivered=*/true);
+      }
+      // Entering R3 is a per-lookup latch, but only once the chosen hop
+      // actually happens — a failed attempt must not flip the mode the
+      // fault-free route never entered.
+      const bool numeric_hop =
+          !delivery_hop && !numeric_mode &&
+          CommonPrefixLength(next, key, params_.bits) <= current_lcp;
+
+      bool failed = false;
+      if (next_is_dead) {
+        ++out.stale_forwards;
+        out.dead_evictions.emplace_back(current, next);
+        dead_here.push_back(next);
+        failed = true;
+      } else if (faults.FailStopped(key, next)) {
+        ++out.failstop_skips;
+        dead_here.push_back(next);
+        failed = true;
+      } else if (faults.DropForward(key, current, next, attempt++)) {
+        ++out.dropped_forwards;
+        dropped_here.push_back(next);
+        failed = true;
+      }
+
+      if (!failed) {
+        if (numeric_hop) numeric_mode = true;
+        if (next_kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
+        if (trace != nullptr) {
+          trace->path.push_back({current, next, next_kind,
+                                 prefix_remaining(next), /*dropped=*/false,
+                                 /*retried=*/retries_here > 0});
+        }
+        out.path.push_back(current);
+        ++hops_taken;
+        ++spent;
+        if (delivery_hop) {
+          // R1's termination rule: the leaf-set member closest to the key
+          // answers directly.
+          return finish(next, hops_taken, /*delivered=*/true);
+        }
+        current = next;
+        break;  // next node visit
+      }
+
+      ++out.retries;
+      ++retries_here;
+      ++spent;
+      if (trace != nullptr) {
+        trace->path.push_back({current, next, next_kind,
+                               prefix_remaining(next), /*dropped=*/true,
+                               /*retried=*/false});
+      }
+      if (!faults.config().retry) {
+        return finish(current, hops_taken, /*delivered=*/false);
+      }
+      if (retries_here > faults.config().max_retries ||
+          spent > params_.max_route_hops) {
+        out.budget_exhausted = true;
+        return finish(current, hops_taken, /*delivered=*/false);
+      }
+    }
+  }
+  out.budget_exhausted = true;
+  return finish(current, params_.max_route_hops, /*delivered=*/false);
+}
+
 Result<RouteResult> PastryNetwork::Lookup(uint64_t origin, uint64_t key,
-                                          RouteTrace* trace) const {
+                                          RouteTrace* trace,
+                                          const fault::FaultPlan* faults) const {
   RouteResult result;
-  if (Status s = LookupInto(origin, key, result, trace); !s.ok()) return s;
+  if (Status s = LookupInto(origin, key, result, trace, faults); !s.ok()) {
+    return s;
+  }
   return result;
 }
 

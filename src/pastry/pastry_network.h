@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "auxsel/frequency_table.h"
+#include "common/fault.h"
 #include "common/node_store.h"
 #include "common/random.h"
 #include "common/ring_id.h"
@@ -111,12 +112,22 @@ class PastryNetwork {
   /// steady-state lookup path allocation-free). When `trace` is non-null,
   /// per-hop records (source, next hop, entry used, prefix distance
   /// remaining) are appended; the null path costs one branch.
+  ///
+  /// When `faults` names an enabled fault::FaultPlan the route runs the
+  /// resilient policy: every forwarding attempt (including the final
+  /// leaf-set delivery hop) passes the plan's deterministic drop /
+  /// fail-stop / stale gates, failed attempts are retried against the
+  /// next-best entry under per-visit and global budgets, and failure
+  /// bookkeeping lands in the RouteResult's resilience fields. A null or
+  /// disabled plan takes the historical fault-free path bit-for-bit.
   Status LookupInto(uint64_t origin, uint64_t key, RouteResult& out,
-                    RouteTrace* trace = nullptr) const;
+                    RouteTrace* trace = nullptr,
+                    const fault::FaultPlan* faults = nullptr) const;
 
   /// By-value convenience form of LookupInto.
   Result<RouteResult> Lookup(uint64_t origin, uint64_t key,
-                             RouteTrace* trace = nullptr) const;
+                             RouteTrace* trace = nullptr,
+                             const fault::FaultPlan* faults = nullptr) const;
 
   /// Rebuilds `id`'s routing rows and leaf set from live membership, with
   /// proximity-aware row filling (closest candidate per row), and prunes
@@ -131,6 +142,12 @@ class PastryNetwork {
 
  private:
   double Proximity(uint64_t a, uint64_t b) const;
+
+  /// The retry-capable routing loop used when fault injection is enabled.
+  /// `truth` is the precomputed responsible node.
+  Status LookupResilient(uint64_t origin, uint64_t key, uint64_t truth,
+                         RouteResult& out, RouteTrace* trace,
+                         const fault::FaultPlan& faults) const;
 
   PastryParams params_;
   IdSpace space_;

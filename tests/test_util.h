@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "auxsel/selection_types.h"
@@ -103,5 +105,151 @@ double BruteForceBestQosCost(const SelectionInput& input, EvalFn eval,
 }
 
 }  // namespace peercache::auxsel::testing
+
+/// Minimal property-based testing harness: named draws recorded onto a tape
+/// of integers, replayed (possibly mutated) during shrinking. A property is
+/// a callable `std::string(Case&)` returning "" on success and a failure
+/// description otherwise. On the first failing case, RunProperty greedily
+/// binary-shrinks every tape position toward zero — each draw's zero is its
+/// range minimum, so the reported counterexample is positionally minimal —
+/// and reports the shrunk case's labeled draws. Everything is seeded and
+/// deterministic: a failure reproduces bit-for-bit from (seed, case index).
+namespace peercache::proptest {
+
+class Case {
+ public:
+  /// Generation mode: draws come from `rng` and are recorded.
+  explicit Case(Rng* rng) : rng_(rng) {}
+  /// Replay mode: draws come from `tape` (clamped into range; exhausted
+  /// positions read as zero).
+  explicit Case(std::vector<uint64_t> tape) : tape_(std::move(tape)) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Shrinks toward `lo`.
+  uint64_t Range(const char* label, uint64_t lo, uint64_t hi) {
+    const uint64_t span = hi - lo;  // callers pass lo <= hi
+    const uint64_t offset = Draw(span);
+    Note(label, lo + offset);
+    return lo + offset;
+  }
+
+  /// Uniform double in [0, 1). Shrinks toward 0.
+  double Unit(const char* label) {
+    const uint64_t v = Draw((uint64_t{1} << 53) - 1);
+    const double u = static_cast<double>(v) * 0x1.0p-53;
+    Note(label, v);
+    return u;
+  }
+
+  bool Bool(const char* label) { return Range(label, 0, 1) == 1; }
+
+  /// The raw recorded (or replayed) draws, for the shrinker.
+  const std::vector<uint64_t>& tape() const { return tape_; }
+
+  /// "label=value label=value ..." for the failure report.
+  std::string Describe() const {
+    std::string out;
+    for (const auto& [label, value] : notes_) {
+      if (!out.empty()) out += ' ';
+      out += label;
+      out += '=';
+      out += std::to_string(value);
+    }
+    return out;
+  }
+
+ private:
+  uint64_t Draw(uint64_t span) {
+    if (rng_ != nullptr) {
+      const uint64_t v =
+          span == std::numeric_limits<uint64_t>::max()
+              ? rng_->UniformU64(std::numeric_limits<uint64_t>::max())
+              : rng_->UniformU64(span + 1);
+      tape_.push_back(v);
+      return v;
+    }
+    const uint64_t raw = pos_ < tape_.size() ? tape_[pos_] : 0;
+    ++pos_;
+    return std::min(raw, span);
+  }
+
+  void Note(const char* label, uint64_t value) {
+    notes_.emplace_back(label, value);
+  }
+
+  Rng* rng_ = nullptr;
+  std::vector<uint64_t> tape_;
+  size_t pos_ = 0;
+  std::vector<std::pair<const char*, uint64_t>> notes_;
+};
+
+struct PropertyOutcome {
+  bool ok = true;
+  size_t failing_case = 0;     ///< Index of the first failing case.
+  std::string message;         ///< Property's failure description (shrunk).
+  std::string counterexample;  ///< Labeled draws of the shrunk case.
+};
+
+/// Runs `cases` generated cases of `prop` (a callable `std::string(Case&)`;
+/// empty string = pass). Case i draws from Rng(SplitSeed(seed, i)), so the
+/// whole run is a pure function of (seed, cases). On failure the tape is
+/// shrunk with per-position greedy binary search (bounded by `shrink_budget`
+/// extra property evaluations) before reporting.
+template <typename PropFn>
+PropertyOutcome RunProperty(uint64_t seed, int cases, const PropFn& prop,
+                            int shrink_budget = 500) {
+  for (int i = 0; i < cases; ++i) {
+    Rng rng(SplitSeed(seed, static_cast<uint64_t>(i)));
+    Case c(&rng);
+    std::string message = prop(c);
+    if (message.empty()) continue;
+
+    // Shrink: for each tape position, binary-search the smallest value
+    // that still fails, restarting until a full pass changes nothing.
+    std::vector<uint64_t> tape = c.tape();
+    auto fails = [&](const std::vector<uint64_t>& t, std::string* msg) {
+      Case replay(t);
+      std::string m = prop(replay);
+      if (m.empty()) return false;
+      *msg = std::move(m);
+      return true;
+    };
+    bool improved = true;
+    while (improved && shrink_budget > 0) {
+      improved = false;
+      for (size_t p = 0; p < tape.size() && shrink_budget > 0; ++p) {
+        uint64_t lo = 0, hi = tape[p];  // invariant: `hi` fails
+        while (lo < hi && shrink_budget > 0) {
+          const uint64_t mid = lo + (hi - lo) / 2;
+          std::vector<uint64_t> trial = tape;
+          trial[p] = mid;
+          std::string msg;
+          --shrink_budget;
+          if (fails(trial, &msg)) {
+            hi = mid;
+            message = std::move(msg);
+          } else {
+            lo = mid + 1;
+          }
+        }
+        if (hi < tape[p]) {
+          tape[p] = hi;
+          improved = true;
+        }
+      }
+    }
+
+    PropertyOutcome out;
+    out.ok = false;
+    out.failing_case = static_cast<size_t>(i);
+    Case shrunk(tape);
+    out.message = prop(shrunk);
+    if (out.message.empty()) out.message = message;  // replay hiccup guard
+    out.counterexample = shrunk.Describe();
+    return out;
+  }
+  return PropertyOutcome{};
+}
+
+}  // namespace peercache::proptest
 
 #endif  // PEERCACHE_TESTS_TEST_UTIL_H_
