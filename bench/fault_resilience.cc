@@ -1,8 +1,8 @@
 // Fault-resilience sweep (docs/RESILIENCE.md): routes the stable n = 1024
-// Chord and Pastry workloads under increasing per-attempt message-drop
-// probability, with the resilient retry policy on and off, and reports the
-// delivery rate and the retry overhead (extra hop-budget spent on failed
-// attempts).
+// Chord, Pastry and Kademlia workloads under increasing per-attempt
+// message-drop probability, with the resilient retry policy on and off, and
+// reports the delivery rate and the retry overhead (extra hop-budget spent
+// on failed attempts).
 //
 // The headline claim this driver demonstrates — and the fault-injection
 // test suite asserts — is that at a 20% per-attempt drop rate the retry
@@ -137,6 +137,13 @@ int main(int argc, char** argv) {
                                             rows);
           !s.ok()) {
         std::fprintf(stderr, "pastry run failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      if (Status s = RunPoint<KademliaPolicy>(args, "kademlia", n, p, retry,
+                                              rows);
+          !s.ok()) {
+        std::fprintf(stderr, "kademlia run failed: %s\n",
+                     s.ToString().c_str());
         return 1;
       }
     }

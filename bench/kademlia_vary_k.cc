@@ -1,0 +1,65 @@
+// Kademlia backend sweep: percentage reduction in average lookup hops
+// versus the frequency-oblivious baseline, as the auxiliary budget k
+// varies over {log n, 2 log n, 3 log n} at n = 1024, in a stable system.
+//
+// Companion to kademlia_vary_n.cc (see the header comment there for why
+// the setup mirrors the Pastry figures). The Chord/Pastry versions of this
+// sweep (fig4/fig6) show improvement *decreasing* with k — more pointers
+// let random choices get luckier — and the XOR geometry is expected to
+// follow the same trend since its distance classes coincide with Pastry's
+// prefix slices.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "experiments/generic_experiment.h"
+
+namespace {
+
+using peercache::bench::AveragedRow;
+using peercache::bench::BenchArgs;
+using peercache::bench::FigureRow;
+using peercache::bench::PrintFigureHeader;
+using peercache::bench::PrintFigureRow;
+using namespace peercache::experiments;
+
+ExperimentConfig MakeConfig(uint64_t seed, int k,
+                            const peercache::bench::BenchArgs& args) {
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.n_nodes = 1024;
+  cfg.k = k;
+  cfg.alpha = 1.2;
+  cfg.n_items = 1024;
+  cfg.n_popularity_lists = 1;
+  cfg.warmup_queries_per_node = args.quick ? 100 : 300;
+  cfg.measure_queries_per_node = args.quick ? 100 : 200;
+  cfg.threads = args.threads;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  peercache::bench::FigureJson json("kademlia_vary_k", "kademlia", args);
+  const int log_n = 10;
+
+  PrintFigureHeader(
+      "Kademlia: improvement vs k (n = 1024), stable", "k");
+  for (int multiple = 1; multiple <= 3; ++multiple) {
+    if (args.quick && multiple == 2) continue;
+    auto compare = [&](uint64_t seed) {
+      return CompareStable<KademliaPolicy>(
+          MakeConfig(seed, multiple * log_n, args));
+    };
+    char label[64];
+    std::snprintf(label, sizeof(label), "k=%dlogn=%-3d stable", multiple,
+                  multiple * log_n);
+    FigureRow row = AveragedRow(args, compare, label, "-");
+    PrintFigureRow(row);
+    json.AddRow(row, "stable",
+                MakeConfig(args.base_seed, multiple * log_n, args));
+  }
+  return json.WriteIfRequested(args);
+}

@@ -4,6 +4,7 @@
 //   $ ./sim_cli --system chord --n 512 --k 9 --alpha 1.2
 //   $ ./sim_cli --system chord --churn --n 256
 //   $ ./sim_cli --system pastry --n 1024 --k 20 --alpha 0.91
+//   $ ./sim_cli --system kademlia --n 512 --fault-drop 0.2
 //
 // Prints the three-way policy comparison and the paper's improvement
 // metric, plus the hop histogram of the optimal run. With --json-out the
@@ -34,7 +35,7 @@ struct Args {
   int k = -1;  // default: log2(n)
   double alpha = 1.2;
   int items = -1;  // default: n
-  int lists = -1;  // default: 5 for chord, 1 for pastry
+  int lists = -1;  // default: 5 for chord, 1 for pastry/kademlia
   uint64_t seed = 1;
   double duration_s = 2400;
   int threads = 0;  // 0 = hardware concurrency, 1 = serial
@@ -48,7 +49,8 @@ struct Args {
   static void Usage(const char* argv0) {
     std::fprintf(
         stderr,
-        "usage: %s [--system chord|pastry] [--churn] [--n N] [--k K]\n"
+        "usage: %s [--system chord|pastry|kademlia] [--churn] [--n N]\n"
+        "          [--k K]\n"
         "          [--alpha A] [--items I] [--lists L] [--seed S]\n"
         "          [--duration SECONDS] [--threads T]\n"
         "          [--json-out FILE] [--trace-out FILE] [--trace-sample P]\n"
@@ -148,7 +150,10 @@ struct Args {
         Usage(argv[0]);
       }
     }
-    if (a.system != "chord" && a.system != "pastry") Usage(argv[0]);
+    if (a.system != "chord" && a.system != "pastry" &&
+        a.system != "kademlia") {
+      Usage(argv[0]);
+    }
     if (a.freq_mode != "pool" && a.freq_mode != "observed") Usage(argv[0]);
     if (a.n < 2) Usage(argv[0]);
     if (a.trace_sample == 0 && !a.trace_out.empty()) a.trace_sample = 100;
@@ -191,6 +196,13 @@ int main(int argc, char** argv) {
       churn.warmup_s = args.duration_s / 2;
       churn.measure_s = args.duration_s / 2;
       return CompareChurn<ChordPolicy>(cfg, churn);
+    }
+    if (args.system == "kademlia") {
+      if (!args.churn) return CompareStable<KademliaPolicy>(cfg);
+      ChurnConfig churn;
+      churn.warmup_s = args.duration_s / 2;
+      churn.measure_s = args.duration_s / 2;
+      return CompareChurn<KademliaPolicy>(cfg, churn);
     }
     if (!args.churn) return CompareStable<PastryPolicy>(cfg);
     ChurnConfig churn;

@@ -1,0 +1,22 @@
+#include "auxsel/kademlia_fast.h"
+
+#include <algorithm>
+
+#include "auxsel/pastry_greedy.h"
+
+namespace peercache::auxsel {
+
+Result<Selection> SelectKademliaFast(const SelectionInput& input) {
+  Result<PastryGainTree> tree = PastryGainTree::FromInput(input);
+  if (!tree.ok()) return tree.status();
+  Selection sel;
+  sel.chosen = tree->SelectAuxiliary();
+  std::sort(sel.chosen.begin(), sel.chosen.end());
+  // Price the set in the XOR metric; equal to the prefix-metric cost by
+  // the bitlen(w ^ v) = b - lcp(w, v) identity, but spelled in the
+  // geometry this selector serves.
+  sel.cost = EvaluateKademliaCost(input, sel.chosen);
+  return sel;
+}
+
+}  // namespace peercache::auxsel

@@ -1,0 +1,25 @@
+#ifndef PEERCACHE_AUXSEL_KADEMLIA_FAST_H_
+#define PEERCACHE_AUXSEL_KADEMLIA_FAST_H_
+
+#include "auxsel/selection_types.h"
+#include "common/status.h"
+
+namespace peercache::auxsel {
+
+/// Fast O(n·k) Kademlia auxiliary selector under the XOR distance estimate
+/// d_wv = bitlen(w XOR v).
+///
+/// The identity bitlen(w XOR v) = b - lcp(w, v) makes the XOR estimate
+/// trie-shaped: two ids at XOR distance 2^j .. 2^{j+1}-1 disagree first at
+/// bit j, i.e. they branch at trie depth b-1-j. The Kademlia cost is
+/// therefore the Pastry prefix cost specialized to one-bit digits (b = 1
+/// in Pastry's 2^b-ary digit terminology), and the gain-tree machinery of
+/// paper Secs. IV-B/IV-C — nested optimal pointer sets, diminishing
+/// marginal gains, O(b·k) incremental updates — applies unchanged. This
+/// selector reuses the PastryGainTree and is held cost-equal to the
+/// independent range DP (kademlia_dp.h) by the differential tests.
+Result<Selection> SelectKademliaFast(const SelectionInput& input);
+
+}  // namespace peercache::auxsel
+
+#endif  // PEERCACHE_AUXSEL_KADEMLIA_FAST_H_

@@ -1,0 +1,149 @@
+#include "auxsel/kademlia_maintainer.h"
+
+#include <algorithm>
+
+#include "trie/binary_trie.h"
+
+namespace peercache::auxsel {
+
+KademliaAuxMaintainer::KademliaAuxMaintainer(int bits, int k, uint64_t self_id)
+    : bits_(bits), k_(k), self_id_(self_id), tree_(bits, k) {}
+
+Status KademliaAuxMaintainer::OnPeerJoin(uint64_t id, double frequency) {
+  return OnFrequencyDelta(id, frequency);
+}
+
+Status KademliaAuxMaintainer::OnPeerLeave(uint64_t id) {
+  if (id == self_id_) return Status::Ok();
+  const trie::BinaryTrie& trie = tree_.trie();
+  const int leaf = trie.FindLeaf(id);
+  if (leaf == trie::BinaryTrie::kNil) return Status::Ok();
+  const trie::LeafInfo& info = trie.LeafAt(leaf);
+  if (info.is_core) {
+    // Core membership outlives the peer's frequency: the DHT drops the
+    // entry via SetCores once stabilization notices. Until then the core
+    // stays as a zero-frequency neighbor, matching the bucket tables.
+    if (info.frequency == 0.0) return Status::Ok();
+    dirty_ = true;
+    return tree_.UpdateFrequency(id, 0.0);
+  }
+  dirty_ = true;
+  return tree_.RemovePeer(id);
+}
+
+Status KademliaAuxMaintainer::OnFrequencyDelta(uint64_t id, double frequency) {
+  if (id == self_id_) return Status::Ok();
+  const trie::BinaryTrie& trie = tree_.trie();
+  const int leaf = trie.FindLeaf(id);
+  if (leaf == trie::BinaryTrie::kNil) {
+    if (frequency <= 0.0) return Status::Ok();
+    dirty_ = true;
+    return tree_.AddPeer(id, frequency, /*is_core=*/false);
+  }
+  const trie::LeafInfo& info = trie.LeafAt(leaf);
+  if (frequency > 0.0) {
+    if (info.frequency == frequency) return Status::Ok();
+    dirty_ = true;
+    return tree_.UpdateFrequency(id, frequency);
+  }
+  if (info.is_core) {
+    if (info.frequency == 0.0) return Status::Ok();
+    dirty_ = true;
+    return tree_.UpdateFrequency(id, 0.0);
+  }
+  dirty_ = true;
+  return tree_.RemovePeer(id);
+}
+
+Result<size_t> KademliaAuxMaintainer::SetCores(std::vector<uint64_t> core_ids) {
+  std::sort(core_ids.begin(), core_ids.end());
+  core_ids.erase(std::unique(core_ids.begin(), core_ids.end()),
+                 core_ids.end());
+  std::erase(core_ids, self_id_);
+
+  size_t changes = 0;
+  const trie::BinaryTrie& trie = tree_.trie();
+  // Removed cores: demote to plain candidates (keeping their observed
+  // frequency) or drop entirely when they carry none.
+  for (uint64_t id : cores_) {
+    if (std::binary_search(core_ids.begin(), core_ids.end(), id)) continue;
+    const int leaf = trie.FindLeaf(id);
+    if (leaf == trie::BinaryTrie::kNil) continue;
+    ++changes;
+    dirty_ = true;
+    Status s = trie.LeafAt(leaf).frequency > 0.0
+                   ? tree_.SetCore(id, false)
+                   : tree_.RemovePeer(id);
+    if (!s.ok()) return s;
+  }
+  // Added cores: promote tracked peers, insert zero-frequency leaves for
+  // cores the node has never seen queries for.
+  for (uint64_t id : core_ids) {
+    if (std::binary_search(cores_.begin(), cores_.end(), id)) continue;
+    ++changes;
+    dirty_ = true;
+    Status s = trie.Contains(id) ? tree_.SetCore(id, true)
+                                 : tree_.AddPeer(id, 0.0, /*is_core=*/true);
+    if (!s.ok()) return s;
+  }
+  cores_ = std::move(core_ids);
+  return changes;
+}
+
+double KademliaAuxMaintainer::BaseCost() const {
+  const trie::BinaryTrie& trie = tree_.trie();
+  const int root = trie.root();
+  if (root == trie::BinaryTrie::kNil) return 0.0;
+  double cost = trie.SubtreeFrequency(root);  // the "+1 per query" term
+  std::vector<int> stack{root};
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    if (!trie.SubtreeHasNeighbor(v)) {
+      cost += trie.EdgeLength(v) * trie.SubtreeFrequency(v);
+    }
+    if (trie.IsLeaf(v)) continue;
+    for (int bit = 0; bit < 2; ++bit) {
+      const int child = trie.Child(v, bit);
+      if (child != trie::BinaryTrie::kNil) stack.push_back(child);
+    }
+  }
+  return cost;
+}
+
+Result<Selection> KademliaAuxMaintainer::Reselect() {
+  if (!dirty_) return cached_;
+  Selection sel;
+  sel.chosen = tree_.SelectAuxiliary();
+  std::sort(sel.chosen.begin(), sel.chosen.end());
+  sel.cost = BaseCost() - tree_.TotalGain();
+  cached_ = std::move(sel);
+  dirty_ = false;
+  return cached_;
+}
+
+SelectionInput KademliaAuxMaintainer::FreshInput() const {
+  SelectionInput input;
+  input.bits = bits_;
+  input.self_id = self_id_;
+  input.k = k_;
+  input.core_ids = cores_;
+  const trie::BinaryTrie& trie = tree_.trie();
+  for (int leaf : trie.AllLeaves()) {
+    const trie::LeafInfo& info = trie.LeafAt(leaf);
+    if (info.frequency > 0.0) {
+      input.peers.push_back(PeerFreq{info.id, info.frequency, -1});
+    }
+  }
+  std::sort(input.peers.begin(), input.peers.end(),
+            [](const PeerFreq& a, const PeerFreq& b) { return a.id < b.id; });
+  return input;
+}
+
+double KademliaAuxMaintainer::total_frequency() const {
+  const trie::BinaryTrie& trie = tree_.trie();
+  const int root = trie.root();
+  return root == trie::BinaryTrie::kNil ? 0.0 : trie.SubtreeFrequency(root);
+}
+
+}  // namespace peercache::auxsel

@@ -1,0 +1,67 @@
+#ifndef PEERCACHE_AUXSEL_KADEMLIA_MAINTAINER_H_
+#define PEERCACHE_AUXSEL_KADEMLIA_MAINTAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "auxsel/maintainer.h"
+#include "auxsel/pastry_greedy.h"
+#include "auxsel/selection_types.h"
+#include "common/status.h"
+
+namespace peercache::auxsel {
+
+/// Persistent Kademlia auxiliary maintainer (paper Sec. IV-C applied to
+/// the XOR geometry): a `PastryGainTree` kept alive across churn rounds —
+/// legitimate because bitlen(w XOR v) = b - lcp(w, v) makes the XOR cost
+/// trie-shaped with the exact same gain structure — with every
+/// join/leave/frequency delta applied as an O(b·k) root-path recompute
+/// instead of rebuilding the trie per round.
+///
+/// `Reselect()` reads the root gain list (O(k)) and prices the selection
+/// as Cost(N ∪ A) = BaseCost − TotalGain, where BaseCost is the
+/// core-neighbors-only Eq. 1 cost in prefix-sum form (an O(|vertices|)
+/// trie walk), so a no-churn round never pays the O(|V|·(|N|+k))
+/// reference evaluation. Cost equality with a fresh `SelectKademliaFast`
+/// over `FreshInput()` — and transitively with the independent range DP —
+/// is enforced by the engine's periodic audit and the differential tests.
+class KademliaAuxMaintainer {
+ public:
+  KademliaAuxMaintainer(int bits, int k, uint64_t self_id);
+
+  uint64_t self_id() const { return self_id_; }
+  int k() const { return k_; }
+  int bits() const { return bits_; }
+
+  Status OnPeerJoin(uint64_t id, double frequency);
+  Status OnPeerLeave(uint64_t id);
+  Status OnFrequencyDelta(uint64_t id, double frequency);
+  Result<size_t> SetCores(std::vector<uint64_t> core_ids);
+
+  Result<Selection> Reselect();
+
+  SelectionInput FreshInput() const;
+  double total_frequency() const;
+
+  /// Number of peers currently tracked (candidates + cores).
+  size_t tracked_peers() const { return tree_.trie().leaf_count(); }
+
+ private:
+  /// Cost of serving V with core neighbors only, via the trie prefix-sum
+  /// decomposition. O(|vertices|).
+  double BaseCost() const;
+
+  int bits_;
+  int k_;
+  uint64_t self_id_;
+  PastryGainTree tree_;
+  std::vector<uint64_t> cores_;  ///< Sorted, self excluded.
+  bool dirty_ = true;
+  Selection cached_;
+};
+
+static_assert(Maintainer<KademliaAuxMaintainer>);
+
+}  // namespace peercache::auxsel
+
+#endif  // PEERCACHE_AUXSEL_KADEMLIA_MAINTAINER_H_

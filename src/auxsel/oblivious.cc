@@ -77,4 +77,19 @@ Result<Selection> SelectPastryOblivious(const SelectionInput& input,
   return sel;
 }
 
+Result<Selection> SelectKademliaOblivious(const SelectionInput& input,
+                                          Rng& rng) {
+  if (Status s = ValidateInput(input); !s.ok()) return s;
+  std::vector<int> slice(input.peers.size(), 0);
+  for (size_t i = 0; i < input.peers.size(); ++i) {
+    // XOR-distance order of magnitude; peers exclude self, so the XOR is
+    // nonzero and the slice lands in [0, bits - 1].
+    slice[i] = BitLength(input.self_id ^ input.peers[i].id) - 1;
+  }
+  Selection sel;
+  sel.chosen = RoundRobinPick(input, slice, rng);
+  sel.cost = EvaluateKademliaCost(input, sel.chosen);
+  return sel;
+}
+
 }  // namespace peercache::auxsel

@@ -20,6 +20,14 @@ Result<Selection> SelectChordOblivious(const SelectionInput& input, Rng& rng);
 /// generalization; slices group candidates by lcp(self, candidate).
 Result<Selection> SelectPastryOblivious(const SelectionInput& input, Rng& rng);
 
+/// The frequency-oblivious baseline for Kademlia: r random auxiliary
+/// neighbors per XOR-distance order of magnitude. The slices group
+/// candidates by bitlen(self XOR candidate), which coincides with the
+/// Pastry prefix slices (bitlen(u XOR v) = b - lcp(u, v)) — one random
+/// draw per nonempty k-bucket-shaped class, round-robin until k picks.
+Result<Selection> SelectKademliaOblivious(const SelectionInput& input,
+                                          Rng& rng);
+
 }  // namespace peercache::auxsel
 
 #endif  // PEERCACHE_AUXSEL_OBLIVIOUS_H_

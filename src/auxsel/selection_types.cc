@@ -104,6 +104,16 @@ double EvaluateChordCost(const SelectionInput& input,
   });
 }
 
+double EvaluateKademliaCost(const SelectionInput& input,
+                            const std::vector<uint64_t>& aux) {
+  // Deliberately phrased in the XOR metric rather than via lcp, so the
+  // differential tests pin the bitlen(w ^ v) = b - lcp(w, v) identity
+  // instead of assuming it.
+  return EvaluateCost(input, aux, [](uint64_t w, uint64_t v) {
+    return BitLength(w ^ v);
+  });
+}
+
 bool PastryQosSatisfied(const SelectionInput& input,
                         const std::vector<uint64_t>& aux) {
   const int bits = input.bits;
@@ -122,6 +132,13 @@ bool ChordQosSatisfied(const SelectionInput& input,
     const uint64_t sw = space.ClockwiseDistance(self, w);
     if (sw > sv) return bits;
     return BitLength(sv - sw);
+  });
+}
+
+bool KademliaQosSatisfied(const SelectionInput& input,
+                          const std::vector<uint64_t>& aux) {
+  return QosSatisfied(input, aux, [](uint64_t w, uint64_t v) {
+    return BitLength(w ^ v);
   });
 }
 

@@ -61,6 +61,15 @@ double EvaluatePastryCost(const SelectionInput& input,
 double EvaluateChordCost(const SelectionInput& input,
                          const std::vector<uint64_t>& aux);
 
+/// Evaluates paper Eq. 1 for Kademlia's distance estimate
+/// d_wv = bitlen(w XOR v): Σ_v f_v (1 + min_{w ∈ N ∪ aux} d_wv), with
+/// d(v, ∅) = b. Since bitlen(w XOR v) = b - lcp(w, v), this is the Pastry
+/// estimate re-derived in the XOR metric — the identity that lets the
+/// trie-shaped selection machinery serve both geometries (see
+/// docs/ALGORITHMS.md).
+double EvaluateKademliaCost(const SelectionInput& input,
+                            const std::vector<uint64_t>& aux);
+
 /// True iff every delay bound in `input.peers` is met by N ∪ aux under the
 /// Pastry distance estimate.
 bool PastryQosSatisfied(const SelectionInput& input,
@@ -70,6 +79,11 @@ bool PastryQosSatisfied(const SelectionInput& input,
 /// Chord distance estimate.
 bool ChordQosSatisfied(const SelectionInput& input,
                        const std::vector<uint64_t>& aux);
+
+/// True iff every delay bound in `input.peers` is met by N ∪ aux under the
+/// Kademlia XOR distance estimate.
+bool KademliaQosSatisfied(const SelectionInput& input,
+                          const std::vector<uint64_t>& aux);
 
 }  // namespace peercache::auxsel
 

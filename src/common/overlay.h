@@ -43,8 +43,8 @@ concept OverlayNode = requires(N& node, const N& cnode, uint64_t peer) {
 ///   * auxiliary plumbing — SetAuxiliaries installs the selection result,
 ///     CoreNeighborIds exposes N_s for the selectors.
 ///
-/// Both ChordNetwork and PastryNetwork are statically checked against this
-/// concept; a new DHT backend (e.g. Kademlia) plugs into the whole
+/// ChordNetwork, PastryNetwork, and KademliaNetwork are statically checked
+/// against this concept; a new DHT backend plugs into the whole
 /// experiment/bench/telemetry stack by satisfying it plus a small policy
 /// struct (see docs/ARCHITECTURE.md).
 template <typename N>
@@ -53,6 +53,11 @@ concept Overlay = OverlayNode<typename N::NodeType> &&
              RouteResult& out, RouteTrace* trace,
              const fault::FaultPlan* faults) {
   { cnet.space() } -> std::convertible_to<const IdSpace&>;
+  // The engine and the invariant harness read these two protocol knobs off
+  // every backend's parameter struct; the first two concept instantiations
+  // got them for free and never spelled the requirement out.
+  { cnet.params().bits } -> std::convertible_to<int>;
+  { cnet.params().max_route_hops } -> std::convertible_to<int>;
   { net.AddNode(id) } -> std::same_as<Status>;
   { net.RemoveNode(id) } -> std::same_as<Status>;
   { net.RejoinNode(id) } -> std::same_as<Status>;
@@ -62,8 +67,12 @@ concept Overlay = OverlayNode<typename N::NodeType> &&
   { net.GetNode(id) } -> std::same_as<typename N::NodeType*>;
   { cnet.GetNode(id) } -> std::same_as<const typename N::NodeType*>;
   { cnet.ResponsibleNode(id) } -> std::same_as<Result<uint64_t>>;
+  // Callers rely on the trace/fault arguments being defaultable — require
+  // the short forms too, not only the fully-spelled ones.
+  { cnet.LookupInto(id, id, out) } -> std::same_as<Status>;
   { cnet.LookupInto(id, id, out, trace) } -> std::same_as<Status>;
   { cnet.LookupInto(id, id, out, trace, faults) } -> std::same_as<Status>;
+  { cnet.Lookup(id, id) } -> std::same_as<Result<RouteResult>>;
   { cnet.Lookup(id, id, trace) } -> std::same_as<Result<RouteResult>>;
   { cnet.Lookup(id, id, trace, faults) } -> std::same_as<Result<RouteResult>>;
   { net.StabilizeNode(id) } -> std::same_as<Status>;

@@ -8,14 +8,16 @@ namespace peercache {
 
 /// Which routing-table entry a hop was forwarded through. Chord hops use
 /// kFinger / kSuccessor / kAuxiliary; Pastry hops use kRoutingRow /
-/// kLeafSet / kAuxiliary. Core-vs-auxiliary is the distinction the paper's
-/// argument turns on: auxiliary hops are the ones peer caching added.
+/// kLeafSet / kAuxiliary; Kademlia hops use kBucket / kAuxiliary.
+/// Core-vs-auxiliary is the distinction the paper's argument turns on:
+/// auxiliary hops are the ones peer caching added.
 enum class HopEntryKind : uint8_t {
   kFinger = 0,
   kSuccessor,
   kRoutingRow,
   kLeafSet,
   kAuxiliary,
+  kBucket,
 };
 
 inline const char* HopEntryKindName(HopEntryKind kind) {
@@ -30,6 +32,8 @@ inline const char* HopEntryKindName(HopEntryKind kind) {
       return "leaf_set";
     case HopEntryKind::kAuxiliary:
       return "auxiliary";
+    case HopEntryKind::kBucket:
+      return "bucket";
   }
   return "?";
 }
@@ -45,7 +49,8 @@ struct HopRecord {
   HopEntryKind kind = HopEntryKind::kFinger;  ///< Table entry used.
   /// Distance-to-key remaining *after* the hop, in the overlay's own
   /// metric: clockwise ring distance for Chord, b - lcp(to, key) for
-  /// Pastry. Monotone decrease here is what makes a route auditable.
+  /// Pastry, to XOR key for Kademlia. Monotone decrease here is what makes
+  /// a route auditable.
   uint64_t remaining = 0;
   /// Fault-injection tags. A `dropped` record is a forwarding attempt that
   /// never arrived (message drop, fail-stopped target, or stale dead

@@ -55,6 +55,8 @@ std::vector<FaultCase> FaultCorpusCases(int threads) {
     config.faults.seed = 7;
     cases.push_back(MakeCase("chord_stable_drop20", "chord", false, config));
     cases.push_back(MakeCase("pastry_stable_drop20", "pastry", false, config));
+    cases.push_back(
+        MakeCase("kademlia_stable_drop20", "kademlia", false, config));
   }
   {  // Mixed drop + mid-lookup fail-stop departures.
     ExperimentConfig config = BaseConfig(threads);
@@ -93,6 +95,8 @@ std::vector<FaultCase> FaultCorpusCases(int threads) {
                              config));
     cases.push_back(MakeCase("pastry_churn_drop10_stale50", "pastry", true,
                              config));
+    cases.push_back(MakeCase("kademlia_churn_drop10_stale50", "kademlia", true,
+                             config));
   }
   return cases;
 }
@@ -115,6 +119,12 @@ Result<std::string> FaultCorpusDocument(int threads) {
                                                SelectorKind::kOptimal)
                        : RunStable<ChordPolicy>(c.config,
                                                 SelectorKind::kOptimal);
+      }
+      if (c.system == "kademlia") {
+        return c.churn ? RunChurn<KademliaPolicy>(c.config, c.churn_config,
+                                                  SelectorKind::kOptimal)
+                       : RunStable<KademliaPolicy>(c.config,
+                                                   SelectorKind::kOptimal);
       }
       return c.churn ? RunChurn<PastryPolicy>(c.config, c.churn_config,
                                               SelectorKind::kOptimal)

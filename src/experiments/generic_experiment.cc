@@ -660,19 +660,28 @@ template Result<RunResult> RunStable<ChordPolicy>(const ExperimentConfig&,
                                                   SelectorKind);
 template Result<RunResult> RunStable<PastryPolicy>(const ExperimentConfig&,
                                                    SelectorKind);
+template Result<RunResult> RunStable<KademliaPolicy>(const ExperimentConfig&,
+                                                     SelectorKind);
 template Result<RunResult> RunChurn<ChordPolicy>(const ExperimentConfig&,
                                                  const ChurnConfig&,
                                                  SelectorKind);
 template Result<RunResult> RunChurn<PastryPolicy>(const ExperimentConfig&,
                                                   const ChurnConfig&,
                                                   SelectorKind);
+template Result<RunResult> RunChurn<KademliaPolicy>(const ExperimentConfig&,
+                                                    const ChurnConfig&,
+                                                    SelectorKind);
 template Result<Comparison> CompareStable<ChordPolicy>(
     const ExperimentConfig&);
 template Result<Comparison> CompareStable<PastryPolicy>(
+    const ExperimentConfig&);
+template Result<Comparison> CompareStable<KademliaPolicy>(
     const ExperimentConfig&);
 template Result<Comparison> CompareChurn<ChordPolicy>(const ExperimentConfig&,
                                                       const ChurnConfig&);
 template Result<Comparison> CompareChurn<PastryPolicy>(const ExperimentConfig&,
                                                        const ChurnConfig&);
+template Result<Comparison> CompareChurn<KademliaPolicy>(
+    const ExperimentConfig&, const ChurnConfig&);
 
 }  // namespace peercache::experiments

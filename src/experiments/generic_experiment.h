@@ -74,17 +74,25 @@ extern template Result<RunResult> RunStable<ChordPolicy>(
     const ExperimentConfig&, SelectorKind);
 extern template Result<RunResult> RunStable<PastryPolicy>(
     const ExperimentConfig&, SelectorKind);
+extern template Result<RunResult> RunStable<KademliaPolicy>(
+    const ExperimentConfig&, SelectorKind);
 extern template Result<RunResult> RunChurn<ChordPolicy>(
     const ExperimentConfig&, const ChurnConfig&, SelectorKind);
 extern template Result<RunResult> RunChurn<PastryPolicy>(
+    const ExperimentConfig&, const ChurnConfig&, SelectorKind);
+extern template Result<RunResult> RunChurn<KademliaPolicy>(
     const ExperimentConfig&, const ChurnConfig&, SelectorKind);
 extern template Result<Comparison> CompareStable<ChordPolicy>(
     const ExperimentConfig&);
 extern template Result<Comparison> CompareStable<PastryPolicy>(
     const ExperimentConfig&);
+extern template Result<Comparison> CompareStable<KademliaPolicy>(
+    const ExperimentConfig&);
 extern template Result<Comparison> CompareChurn<ChordPolicy>(
     const ExperimentConfig&, const ChurnConfig&);
 extern template Result<Comparison> CompareChurn<PastryPolicy>(
+    const ExperimentConfig&, const ChurnConfig&);
+extern template Result<Comparison> CompareChurn<KademliaPolicy>(
     const ExperimentConfig&, const ChurnConfig&);
 
 }  // namespace peercache::experiments

@@ -1,6 +1,7 @@
 #include "experiments/overlay_policy.h"
 
 #include "auxsel/chord_fast.h"
+#include "auxsel/kademlia_fast.h"
 #include "auxsel/oblivious.h"
 #include "auxsel/pastry_greedy.h"
 
@@ -88,6 +89,44 @@ Result<auxsel::Selection> PastryPolicy::SelectOptimal(
 Result<auxsel::Selection> PastryPolicy::SelectOblivious(
     const auxsel::SelectionInput& input, Rng& rng) {
   return auxsel::SelectPastryOblivious(input, rng);
+}
+
+SeedPlan KademliaPolicy::MakeSeedPlan(uint64_t seed) {
+  SeedPlan plan;
+  plan.ids = MixHash64(seed ^ 0x4b11);
+  plan.items = MixHash64(seed ^ 0x4b22);
+  plan.lists = MixHash64(seed ^ 0x4b33);
+  plan.assign = MixHash64(seed ^ 0x4b44);
+  plan.warmup = MixHash64(seed ^ 0x4b55);
+  plan.measure = MixHash64(seed ^ 0x4b66);
+  plan.selection = MixHash64(seed ^ 0x4b77);
+  plan.churn = MixHash64(seed ^ 0x4b88);
+  plan.query_times = MixHash64(seed ^ 0x4b99);
+  plan.origins = MixHash64(seed ^ 0x4baa);
+  return plan;
+}
+
+KademliaPolicy::Network KademliaPolicy::MakeNetwork(
+    const ExperimentConfig& config, const SeedPlan& /*seeds*/) {
+  kademlia::KademliaParams params;
+  params.bits = config.bits;
+  params.frequency_capacity = config.frequency_capacity;
+  return Network(params);
+}
+
+KademliaPolicy::Maintainer KademliaPolicy::MakeMaintainer(
+    const ExperimentConfig& config, uint64_t self_id) {
+  return Maintainer(config.bits, config.k, self_id);
+}
+
+Result<auxsel::Selection> KademliaPolicy::SelectOptimal(
+    const auxsel::SelectionInput& input) {
+  return auxsel::SelectKademliaFast(input);
+}
+
+Result<auxsel::Selection> KademliaPolicy::SelectOblivious(
+    const auxsel::SelectionInput& input, Rng& rng) {
+  return auxsel::SelectKademliaOblivious(input, rng);
 }
 
 }  // namespace peercache::experiments

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "auxsel/chord_maintainer.h"
+#include "auxsel/kademlia_maintainer.h"
 #include "auxsel/maintainer.h"
 #include "auxsel/pastry_maintainer.h"
 #include "auxsel/selection_types.h"
@@ -12,6 +13,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "experiments/experiment_config.h"
+#include "kademlia/kademlia_network.h"
 #include "pastry/pastry_network.h"
 
 namespace peercache::experiments {
@@ -90,10 +92,28 @@ struct PastryPolicy {
       const auxsel::SelectionInput& input, Rng& rng);
 };
 
+struct KademliaPolicy {
+  using Network = kademlia::KademliaNetwork;
+  using Maintainer = auxsel::KademliaAuxMaintainer;
+  static constexpr const char* kName = "kademlia";
+
+  static SeedPlan MakeSeedPlan(uint64_t seed);
+  static Network MakeNetwork(const ExperimentConfig& config,
+                             const SeedPlan& seeds);
+  static Maintainer MakeMaintainer(const ExperimentConfig& config,
+                                   uint64_t self_id);
+  static Result<auxsel::Selection> SelectOptimal(
+      const auxsel::SelectionInput& input);
+  static Result<auxsel::Selection> SelectOblivious(
+      const auxsel::SelectionInput& input, Rng& rng);
+};
+
 static_assert(overlay::Overlay<ChordPolicy::Network>);
 static_assert(overlay::Overlay<PastryPolicy::Network>);
+static_assert(overlay::Overlay<KademliaPolicy::Network>);
 static_assert(auxsel::Maintainer<ChordPolicy::Maintainer>);
 static_assert(auxsel::Maintainer<PastryPolicy::Maintainer>);
+static_assert(auxsel::Maintainer<KademliaPolicy::Maintainer>);
 
 }  // namespace peercache::experiments
 

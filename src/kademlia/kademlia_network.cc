@@ -1,0 +1,370 @@
+#include "kademlia/kademlia_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/bits.h"
+#include "common/overlay.h"
+
+namespace peercache::kademlia {
+
+static_assert(overlay::Overlay<KademliaNetwork>,
+              "KademliaNetwork must satisfy the Overlay concept");
+
+KademliaNetwork::KademliaNetwork(const KademliaParams& params)
+    : params_(params), space_(params.bits) {}
+
+Status KademliaNetwork::AddNode(uint64_t id) {
+  if (!space_.Contains(id)) return Status::InvalidArgument("id out of range");
+  if (store_.IsAlive(id)) {
+    return Status::InvalidArgument("live id already used");
+  }
+  auto [node, inserted] = store_.Emplace(id, params_.frequency_capacity);
+  node->id = id;
+  node->alive = true;
+  node->auxiliaries.clear();
+  store_.MarkAlive(id);
+  return StabilizeNode(id);
+}
+
+Status KademliaNetwork::RemoveNode(uint64_t id, bool forget_state) {
+  KademliaNode* node = store_.Get(id);
+  if (node == nullptr || !node->alive) {
+    return Status::NotFound("node not alive");
+  }
+  node->alive = false;
+  store_.MarkDead(id);
+  if (forget_state) {
+    node->frequencies.Clear();
+    node->buckets.clear();
+    node->auxiliaries.clear();
+  }
+  return Status::Ok();
+}
+
+Status KademliaNetwork::RejoinNode(uint64_t id) {
+  KademliaNode* node = store_.Get(id);
+  if (node == nullptr) return Status::NotFound("unknown node");
+  if (node->alive) return Status::FailedPrecondition("already alive");
+  node->alive = true;
+  node->auxiliaries.clear();  // lost on crash; rebuilt at next selection
+  store_.MarkAlive(id);
+  return StabilizeNode(id);
+}
+
+std::vector<uint64_t> KademliaNetwork::LiveNodeIds() const {
+  return store_.live_ids();
+}
+
+Result<uint64_t> KademliaNetwork::ResponsibleNode(uint64_t key) const {
+  const std::vector<uint64_t>& live = store_.live_ids();
+  if (live.empty()) return Status::FailedPrecondition("empty overlay");
+  // Bit descent over the sorted live array: the candidates form a range
+  // sharing the prefix fixed so far; at each bit prefer the half agreeing
+  // with the key (ids with that bit set sort above the half-boundary).
+  size_t lo = 0, hi = live.size();
+  uint64_t prefix = 0;
+  for (int i = params_.bits - 1; i >= 0 && hi - lo > 1; --i) {
+    const uint64_t boundary = prefix | (uint64_t{1} << i);
+    const size_t mid = static_cast<size_t>(
+        std::lower_bound(live.begin() + static_cast<std::ptrdiff_t>(lo),
+                         live.begin() + static_cast<std::ptrdiff_t>(hi),
+                         boundary) -
+        live.begin());
+    const bool key_bit = ((key >> i) & 1) != 0;
+    if (key_bit ? mid < hi : mid == lo) {
+      lo = mid;  // take the upper (bit-set) half
+      prefix = boundary;
+    } else {
+      hi = mid;  // take the lower (bit-clear) half
+    }
+  }
+  return live[lo];
+}
+
+Status KademliaNetwork::StabilizeNode(uint64_t id) {
+  KademliaNode* node_ptr = store_.Get(id);
+  if (node_ptr == nullptr || !node_ptr->alive) {
+    return Status::NotFound("node not alive");
+  }
+  KademliaNode& node = *node_ptr;
+
+  // Buckets: distribute every other live node into its prefix-length
+  // class, keep the bucket_size XOR-closest to self per class, store
+  // id-sorted. One pass over the sorted live array.
+  node.buckets.clear();
+  for (uint64_t w : store_.live_ids()) {
+    if (w == id) continue;
+    const size_t cpl = static_cast<size_t>(
+        CommonPrefixLength(id, w, params_.bits));
+    if (node.buckets.size() <= cpl) node.buckets.resize(cpl + 1);
+    node.buckets[cpl].push_back(w);
+  }
+  for (auto& bucket : node.buckets) {
+    if (static_cast<int>(bucket.size()) > params_.bucket_size) {
+      std::sort(bucket.begin(), bucket.end(),
+                [id](uint64_t a, uint64_t b) { return (a ^ id) < (b ^ id); });
+      bucket.resize(static_cast<size_t>(params_.bucket_size));
+      std::sort(bucket.begin(), bucket.end());
+    }
+    // Untruncated buckets came off the sorted live array and stay sorted.
+  }
+
+  // Prune dead auxiliaries (stale-entry removal).
+  auto& aux = node.auxiliaries;
+  aux.erase(std::remove_if(aux.begin(), aux.end(),
+                           [this](uint64_t a) { return !IsAlive(a); }),
+            aux.end());
+  return Status::Ok();
+}
+
+void KademliaNetwork::StabilizeAll() {
+  for (uint64_t id : LiveNodeIds()) {
+    (void)StabilizeNode(id);
+  }
+}
+
+Status KademliaNetwork::SetAuxiliaries(uint64_t id,
+                                       std::vector<uint64_t> auxiliaries) {
+  KademliaNode* node = store_.Get(id);
+  if (node == nullptr || !node->alive) {
+    return Status::NotFound("node not alive");
+  }
+  node->auxiliaries = std::move(auxiliaries);
+  return Status::Ok();
+}
+
+std::vector<uint64_t> KademliaNetwork::CoreNeighborIds(uint64_t id) const {
+  const KademliaNode* node = GetNode(id);
+  if (node == nullptr) return {};
+  std::vector<uint64_t> out;
+  for (const auto& bucket : node->buckets) {
+    out.insert(out.end(), bucket.begin(), bucket.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Status KademliaNetwork::LookupInto(uint64_t origin, uint64_t key,
+                                   RouteResult& out, RouteTrace* trace,
+                                   const fault::FaultPlan* faults) const {
+  out.Clear();
+  if (!IsAlive(origin)) return Status::Unavailable("origin not alive");
+  auto truth = ResponsibleNode(key);
+  if (!truth.ok()) return truth.status();
+  if (faults != nullptr && faults->enabled()) {
+    return LookupResilient(origin, key, truth.value(), out, trace, *faults);
+  }
+
+  if (trace != nullptr) {
+    trace->origin = origin;
+    trace->key = key;
+  }
+  uint64_t current = origin;
+  for (int hop = 0; hop <= params_.max_route_hops; ++hop) {
+    const KademliaNode* node = GetNode(current);
+    assert(node != nullptr);
+    // Greedy XOR descent: among live table entries strictly closer to the
+    // key than the current node, pick the closest. Dead entries are
+    // skipped ("ping before forwarding").
+    uint64_t next = current;
+    uint64_t best_remaining = current ^ key;
+    HopEntryKind next_kind = HopEntryKind::kBucket;
+    auto consider = [&](uint64_t w, HopEntryKind kind) {
+      if (w == current || !IsAlive(w)) return;
+      const uint64_t remaining = w ^ key;
+      if (remaining < best_remaining) {
+        best_remaining = remaining;
+        next = w;
+        next_kind = kind;
+      }
+    };
+    for (const auto& bucket : node->buckets) {
+      for (uint64_t w : bucket) consider(w, HopEntryKind::kBucket);
+    }
+    for (uint64_t w : node->auxiliaries) consider(w, HopEntryKind::kAuxiliary);
+
+    if (next == current) {
+      // No live entry XOR-closer to the key: to this node's knowledge it
+      // is the key's closest node, so it answers.
+      out.destination = current;
+      out.hops = hop;
+      out.success = (current == truth.value());
+      if (trace != nullptr) {
+        trace->destination = out.destination;
+        trace->success = out.success;
+        trace->hops = out.hops;
+      }
+      return Status::Ok();
+    }
+    if (next_kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
+    if (trace != nullptr) {
+      trace->path.push_back({current, next, next_kind, best_remaining});
+    }
+    out.path.push_back(current);
+    current = next;
+  }
+  out.destination = current;
+  out.hops = params_.max_route_hops;
+  out.success = false;
+  if (trace != nullptr) {
+    trace->destination = out.destination;
+    trace->success = false;
+    trace->hops = out.hops;
+  }
+  return Status::Ok();
+}
+
+Status KademliaNetwork::LookupResilient(uint64_t origin, uint64_t key,
+                                        uint64_t truth, RouteResult& out,
+                                        RouteTrace* trace,
+                                        const fault::FaultPlan& faults) const {
+  if (trace != nullptr) {
+    trace->origin = origin;
+    trace->key = key;
+  }
+  auto finish = [&](uint64_t destination, int hops, bool delivered) {
+    out.destination = destination;
+    out.hops = hops;
+    out.success = delivered && destination == truth;
+    if (trace != nullptr) {
+      trace->destination = out.destination;
+      trace->success = out.success;
+      trace->hops = out.hops;
+    }
+    return Status::Ok();
+  };
+
+  uint64_t current = origin;
+  int hops_taken = 0;  // successful forwards (the delivered path length)
+  int spent = 0;       // hop budget: successful AND failed attempts
+  int attempt = 0;     // per-lookup counter decorrelating retransmissions
+  // Per-visit exclusion sets. Entries that turned out dead (fail-stop or
+  // stale) are never retried; drop-excluded entries become eligible again
+  // only when no alternative makes progress (retransmission).
+  std::vector<uint64_t> dead_here;
+  std::vector<uint64_t> dropped_here;
+
+  while (spent <= params_.max_route_hops) {
+    const KademliaNode* node = GetNode(current);
+    assert(node != nullptr);
+    dead_here.clear();
+    dropped_here.clear();
+    int retries_here = 0;
+
+    // Per-visit retry loop: select the best non-excluded entry, run it
+    // through the fault gates, and either forward or exclude and retry.
+    while (true) {
+      uint64_t next = current;
+      uint64_t best_remaining = current ^ key;
+      HopEntryKind next_kind = HopEntryKind::kBucket;
+      bool next_is_dead = false;
+
+      auto excluded = [](const std::vector<uint64_t>& set, uint64_t w) {
+        return std::find(set.begin(), set.end(), w) != set.end();
+      };
+      auto scan = [&](bool allow_retransmit) {
+        next = current;
+        best_remaining = current ^ key;
+        auto consider = [&](uint64_t w, HopEntryKind kind) {
+          if (w == current || excluded(dead_here, w)) return;
+          if (!allow_retransmit && excluded(dropped_here, w)) return;
+          const bool alive = IsAlive(w);
+          // Ping-before-forward still skips known-dead entries — unless
+          // this lookup falls inside the entry's stale window, in which
+          // case the holder believes the ping and forwards into the void.
+          if (!alive && !faults.StaleBelievedAlive(key, current, w)) return;
+          const uint64_t remaining = w ^ key;
+          if (remaining < best_remaining) {
+            best_remaining = remaining;
+            next = w;
+            next_kind = kind;
+            next_is_dead = !alive;
+          }
+        };
+        for (const auto& bucket : node->buckets) {
+          for (uint64_t w : bucket) consider(w, HopEntryKind::kBucket);
+        }
+        for (uint64_t w : node->auxiliaries) {
+          consider(w, HopEntryKind::kAuxiliary);
+        }
+      };
+      scan(/*allow_retransmit=*/false);
+      if (next == current && !dropped_here.empty()) {
+        scan(/*allow_retransmit=*/true);
+      }
+
+      if (next == current) {
+        // No believed-live entry XOR-closer to the key: to this node's
+        // knowledge it is the key's closest node, so it answers.
+        return finish(current, hops_taken, /*delivered=*/true);
+      }
+
+      // Fault gates, in failure-cause order: a dead entry can never
+      // receive, a fail-stopped target is down for this whole lookup, and
+      // an otherwise-healthy forward can still lose its message.
+      bool failed = false;
+      if (next_is_dead) {
+        ++out.stale_forwards;
+        out.dead_evictions.emplace_back(current, next);
+        dead_here.push_back(next);
+        failed = true;
+      } else if (faults.FailStopped(key, next)) {
+        ++out.failstop_skips;
+        dead_here.push_back(next);
+        failed = true;
+      } else if (faults.DropForward(key, current, next, attempt++)) {
+        ++out.dropped_forwards;
+        dropped_here.push_back(next);
+        failed = true;
+      }
+
+      if (!failed) {
+        if (next_kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
+        if (trace != nullptr) {
+          trace->path.push_back({current, next, next_kind, best_remaining,
+                                 /*dropped=*/false,
+                                 /*retried=*/retries_here > 0});
+        }
+        out.path.push_back(current);
+        current = next;
+        ++hops_taken;
+        ++spent;
+        break;  // next node visit
+      }
+
+      // Failed attempt: charge budgets, honor the retry policy.
+      ++out.retries;
+      ++retries_here;
+      ++spent;
+      if (trace != nullptr) {
+        trace->path.push_back({current, next, next_kind, best_remaining,
+                               /*dropped=*/true, /*retried=*/false});
+      }
+      if (!faults.config().retry) {
+        return finish(current, hops_taken, /*delivered=*/false);
+      }
+      if (retries_here > faults.config().max_retries ||
+          spent > params_.max_route_hops) {
+        out.budget_exhausted = true;
+        return finish(current, hops_taken, /*delivered=*/false);
+      }
+    }
+  }
+  out.budget_exhausted = true;
+  return finish(current, params_.max_route_hops, /*delivered=*/false);
+}
+
+Result<RouteResult> KademliaNetwork::Lookup(
+    uint64_t origin, uint64_t key, RouteTrace* trace,
+    const fault::FaultPlan* faults) const {
+  RouteResult result;
+  if (Status s = LookupInto(origin, key, result, trace, faults); !s.ok()) {
+    return s;
+  }
+  return result;
+}
+
+}  // namespace peercache::kademlia

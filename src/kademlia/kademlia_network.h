@@ -1,0 +1,167 @@
+#ifndef PEERCACHE_KADEMLIA_KADEMLIA_NETWORK_H_
+#define PEERCACHE_KADEMLIA_KADEMLIA_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "auxsel/frequency_table.h"
+#include "common/fault.h"
+#include "common/node_store.h"
+#include "common/ring_id.h"
+#include "common/route_result.h"
+#include "common/status.h"
+#include "common/trace.h"
+
+namespace peercache::kademlia {
+
+/// Kademlia simulator parameters. Real deployments use 160-bit ids; the
+/// simulator truncates to the repo-wide id width so workloads, telemetry,
+/// and the selection trie are shared with the other backends.
+struct KademliaParams {
+  /// Id length b; the paper's experiments use 32-bit ids.
+  int bits = 32;
+  /// Capacity of each k-bucket (Kademlia's `k` parameter, renamed to avoid
+  /// colliding with the paper's auxiliary budget k). Bucket i keeps at most
+  /// this many live nodes sharing exactly i prefix bits with the owner,
+  /// preferring the XOR-closest ones.
+  int bucket_size = 8;
+  /// Capacity of each node's frequency table; 0 = unbounded exact counts.
+  size_t frequency_capacity = 0;
+  /// Safety cap on route length before a lookup is declared failed.
+  int max_route_hops = 256;
+};
+
+/// Outcome of one simulated lookup — the shared overlay type
+/// (common/route_result.h).
+using RouteResult = overlay::RouteResult;
+
+/// Per-node protocol state. Bucket snapshots are ids captured at the
+/// node's last stabilization and go stale under churn, exactly like the
+/// Chord finger tables and Pastry routing rows.
+struct KademliaNode {
+  uint64_t id = 0;
+  bool alive = false;
+  /// Core neighbors: buckets[i] holds up to bucket_size live nodes w with
+  /// lcp(id, w) == i (equivalently: the top set bit of id XOR w is bit
+  /// bits-1-i), XOR-closest to `id` first retained, stored id-sorted.
+  /// Trailing empty buckets are not materialized.
+  std::vector<std::vector<uint64_t>> buckets;
+  /// Auxiliary neighbors installed by an auxiliary-selection algorithm.
+  std::vector<uint64_t> auxiliaries;
+  /// Access frequencies of responsible peers for queries this node
+  /// originated (feeds auxiliary selection).
+  auxsel::FrequencyTable frequencies;
+
+  explicit KademliaNode(size_t freq_capacity) : frequencies(freq_capacity) {}
+};
+
+/// God's-eye iterative Kademlia overlay: nodes, XOR routing, stabilization.
+///
+/// Routing is greedy in the XOR metric: the next hop is the live table
+/// entry (bucket or auxiliary) minimizing `entry XOR key`, and the query
+/// is answered once no entry is strictly closer than the current node.
+/// Dead entries are skipped at use time ("ping before forwarding"), so
+/// stale buckets degrade routes rather than black-holing them. Keys are
+/// owned by the live node XOR-closest to them.
+///
+/// Capacity-truncated buckets cannot stall a fresh-table route: at node f,
+/// every entry of bucket m is of the form "agrees with f above bit
+/// bits-1-m, differs there", so all of bucket m's entries are XOR-closer
+/// to the key exactly when f disagrees with the key at that bit — the
+/// retention policy may drop individual nodes but never an entire useful
+/// distance class. Greedy descent therefore strictly shrinks the XOR
+/// distance each hop and terminates at the global minimizer, which is why
+/// stable-mode delivery is exact (see docs/ALGORITHMS.md).
+class KademliaNetwork {
+ public:
+  using NodeType = KademliaNode;
+
+  explicit KademliaNetwork(const KademliaParams& params);
+
+  const KademliaParams& params() const { return params_; }
+  const IdSpace& space() const { return space_; }
+
+  /// Adds a live node with the given id and builds its buckets from the
+  /// current live membership. Other nodes learn of it only when they next
+  /// stabilize. Fails on duplicate live id.
+  Status AddNode(uint64_t id);
+
+  /// Crashes a node: it disappears immediately; other nodes' bucket
+  /// entries pointing at it become stale until their next stabilization.
+  /// Node state (frequency history) is retained for a later rejoin unless
+  /// `forget_state` is set.
+  Status RemoveNode(uint64_t id, bool forget_state = false);
+
+  /// Rejoins a previously crashed node: fresh buckets, empty auxiliaries,
+  /// retained frequency history.
+  Status RejoinNode(uint64_t id);
+
+  bool IsAlive(uint64_t id) const { return store_.IsAlive(id); }
+  size_t live_count() const { return store_.live_count(); }
+  std::vector<uint64_t> LiveNodeIds() const;
+
+  /// Mutable node state (must exist). Nullptr if unknown.
+  KademliaNode* GetNode(uint64_t id) { return store_.Get(id); }
+  const KademliaNode* GetNode(uint64_t id) const { return store_.Get(id); }
+
+  /// Ground truth: the live node XOR-closest to `key`. Found by a bit
+  /// descent over the sorted live-id array (the XOR minimizer is not a
+  /// numeric neighbor in general), O(bits · log n). Fails if the overlay
+  /// is empty.
+  Result<uint64_t> ResponsibleNode(uint64_t key) const;
+
+  /// Routes a lookup for `key` from `origin` over current (possibly stale)
+  /// tables into a caller-owned result. Does not record frequencies;
+  /// callers decide what to observe. `out` is cleared first but keeps its
+  /// path capacity, so a reused RouteResult makes the steady-state lookup
+  /// path allocation-free. When `trace` is non-null the route's per-hop
+  /// records (source, next hop, bucket-vs-auxiliary entry, XOR distance
+  /// remaining) are appended to it.
+  ///
+  /// When `faults` names an enabled fault::FaultPlan the route runs the
+  /// resilient policy instead: every forwarding attempt passes the plan's
+  /// deterministic drop / fail-stop / stale gates, a failed attempt is
+  /// retried against the next-best live entry (bounded per visit by
+  /// max_retries, globally by the hop budget), and failure bookkeeping
+  /// lands in the RouteResult's resilience fields. A null or disabled plan
+  /// takes the fault-free path bit-for-bit.
+  Status LookupInto(uint64_t origin, uint64_t key, RouteResult& out,
+                    RouteTrace* trace = nullptr,
+                    const fault::FaultPlan* faults = nullptr) const;
+
+  /// By-value convenience form of LookupInto.
+  Result<RouteResult> Lookup(uint64_t origin, uint64_t key,
+                             RouteTrace* trace = nullptr,
+                             const fault::FaultPlan* faults = nullptr) const;
+
+  /// Rebuilds `id`'s buckets from live membership (periodic
+  /// stabilization). Dead auxiliaries are pruned (the paper's "stale
+  /// auxiliary entries are marked/removed; fixed at the next selection").
+  Status StabilizeNode(uint64_t id);
+
+  /// Stabilizes every live node.
+  void StabilizeAll();
+
+  /// Installs auxiliary neighbors on a node (ids need not be alive; dead
+  /// ones are simply useless until pruned).
+  Status SetAuxiliaries(uint64_t id, std::vector<uint64_t> auxiliaries);
+
+  /// Builds the core-neighbor list (all bucket entries, deduplicated) used
+  /// as N_s for auxiliary selection at this node.
+  std::vector<uint64_t> CoreNeighborIds(uint64_t id) const;
+
+ private:
+  /// The retry-capable routing loop used when fault injection is enabled.
+  /// `truth` is the precomputed responsible node.
+  Status LookupResilient(uint64_t origin, uint64_t key, uint64_t truth,
+                         RouteResult& out, RouteTrace* trace,
+                         const fault::FaultPlan& faults) const;
+
+  KademliaParams params_;
+  IdSpace space_;
+  overlay::NodeStore<KademliaNode> store_;  // all nodes ever seen
+};
+
+}  // namespace peercache::kademlia
+
+#endif  // PEERCACHE_KADEMLIA_KADEMLIA_NETWORK_H_

@@ -1,10 +1,12 @@
 // Differential optimality checks (paper Secs. IV-B, V-B as executable
 // claims): on randomized instances up to n = 256, the Pastry greedy
-// selector must achieve exactly the trie DP's optimal Eq. 1 cost, and the
-// accelerated Chord selector must match the reference Chord DP's cost.
-// These are the invariants the parallel experiment engine leans on — every
-// per-node selection task runs one of the fast selectors, and this test is
-// what certifies they are drop-in equal to the exact programs.
+// selector must achieve exactly the trie DP's optimal Eq. 1 cost, the
+// accelerated Chord selector must match the reference Chord DP's cost, and
+// the Kademlia gain-tree fast path must match the independent XOR-metric
+// range-recursion DP. These are the invariants the parallel experiment
+// engine leans on — every per-node selection task runs one of the fast
+// selectors, and this test is what certifies they are drop-in equal to the
+// exact programs.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +15,8 @@
 
 #include "auxsel/chord_dp.h"
 #include "auxsel/chord_fast.h"
+#include "auxsel/kademlia_dp.h"
+#include "auxsel/kademlia_fast.h"
 #include "auxsel/pastry_dp.h"
 #include "auxsel/pastry_greedy.h"
 #include "auxsel/selection_types.h"
@@ -85,6 +89,30 @@ TEST(SelectorDifferentialTest, ChordFastMatchesReferenceDp) {
   }
 }
 
+TEST(SelectorDifferentialTest, KademliaFastMatchesReferenceDp) {
+  // The fast path reuses the Pastry gain tree (bitlen(u XOR v) = bits −
+  // lcp(u, v)); the DP is an independent range recursion over the
+  // id-sorted peer array, so agreement here certifies both the identity
+  // and the gain-tree generalization at b = 1.
+  for (uint64_t seed : kSeeds) {
+    Rng rng(MixHash64(seed ^ 0x4ad0));
+    for (const Shape& s : kShapes) {
+      SelectionInput input = RandomInput(rng, s.bits, s.n_peers, s.n_cores,
+                                         s.k);
+      auto dp = SelectKademliaDp(input);
+      auto fast = SelectKademliaFast(input);
+      ASSERT_TRUE(dp.ok()) << dp.status();
+      ASSERT_TRUE(fast.ok()) << fast.status();
+      EXPECT_NEAR(fast->cost, dp->cost, RelTol(dp->cost))
+          << "seed " << seed << " n " << s.n_peers << " k " << s.k;
+      EXPECT_NEAR(dp->cost, EvaluateKademliaCost(input, dp->chosen),
+                  RelTol(dp->cost));
+      EXPECT_NEAR(fast->cost, EvaluateKademliaCost(input, fast->chosen),
+                  RelTol(fast->cost));
+    }
+  }
+}
+
 TEST(SelectorDifferentialTest, DegenerateBudgetsAgree) {
   // k = 0 (no auxiliaries allowed) and k >= n (everything allowed) are the
   // boundary rows of both DPs; the fast selectors must agree there too.
@@ -99,6 +127,10 @@ TEST(SelectorDifferentialTest, DegenerateBudgetsAgree) {
     auto chord_fast = SelectChordFast(input);
     ASSERT_TRUE(chord_dp.ok() && chord_fast.ok());
     EXPECT_NEAR(chord_fast->cost, chord_dp->cost, RelTol(chord_dp->cost));
+    auto kad_dp = SelectKademliaDp(input);
+    auto kad_fast = SelectKademliaFast(input);
+    ASSERT_TRUE(kad_dp.ok() && kad_fast.ok());
+    EXPECT_NEAR(kad_fast->cost, kad_dp->cost, RelTol(kad_dp->cost));
   }
 }
 

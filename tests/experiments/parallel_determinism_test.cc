@@ -75,6 +75,16 @@ TEST_P(ParallelDeterminismTest, PastryStableMatchesSerial) {
   ExpectIdenticalRuns(*serial, *parallel);
 }
 
+TEST_P(ParallelDeterminismTest, KademliaStableMatchesSerial) {
+  ExperimentConfig cfg = BaseConfig(0x4ade);
+  cfg.threads = 1;
+  auto serial = RunStable<KademliaPolicy>(cfg, GetParam());
+  cfg.threads = 4;
+  auto parallel = RunStable<KademliaPolicy>(cfg, GetParam());
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  ExpectIdenticalRuns(*serial, *parallel);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllSelectors, ParallelDeterminismTest,
                          ::testing::Values(SelectorKind::kNone,
                                            SelectorKind::kOblivious,
@@ -106,6 +116,19 @@ TEST(ParallelDeterminism, PastryChurnMatchesSerial) {
   auto serial = RunChurn<PastryPolicy>(cfg, churn, SelectorKind::kOptimal);
   cfg.threads = 4;
   auto parallel = RunChurn<PastryPolicy>(cfg, churn, SelectorKind::kOptimal);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  ExpectIdenticalRuns(*serial, *parallel);
+}
+
+TEST(ParallelDeterminism, KademliaChurnMatchesSerial) {
+  ExperimentConfig cfg = BaseConfig(0x4adc);
+  ChurnConfig churn;
+  churn.warmup_s = 400;
+  churn.measure_s = 400;
+  cfg.threads = 1;
+  auto serial = RunChurn<KademliaPolicy>(cfg, churn, SelectorKind::kOptimal);
+  cfg.threads = 4;
+  auto parallel = RunChurn<KademliaPolicy>(cfg, churn, SelectorKind::kOptimal);
   ASSERT_TRUE(serial.ok() && parallel.ok());
   ExpectIdenticalRuns(*serial, *parallel);
 }

@@ -8,7 +8,8 @@
 //    id-space distance (Chord: clockwise distance to the key; Pastry: a
 //    strictly longer common prefix or a strictly smaller ring distance,
 //    with the documented smaller-id tie rule on the final leaf-set
-//    delivery hop only),
+//    delivery hop only; Kademlia: a strictly smaller XOR distance, no tie
+//    rule — the XOR metric has unique distances),
 //  * termination — attempts never exceed the hop budget plus the final
 //    over-budget probe, per-visit retries respect max_retries, and a
 //    budget abort raises budget_exhausted rather than failing silently,
@@ -17,8 +18,8 @@
 //    and an all-zero plan takes the fault-free branch outright,
 //  * determinism — replaying a lookup under the same plan is byte-stable.
 //
-// Together with the equivalence suite below this registers 210 randomized
-// cases, each routing up to ten lookups.
+// Together with the equivalence suite below this registers 315 randomized
+// cases (105 per overlay), each routing up to ten lookups.
 
 #include <gtest/gtest.h>
 
@@ -34,6 +35,7 @@
 #include "common/route_result.h"
 #include "common/status.h"
 #include "common/trace.h"
+#include "kademlia/kademlia_network.h"
 #include "pastry/pastry_network.h"
 #include "test_util.h"
 
@@ -179,6 +181,26 @@ std::string PastryHopOk(const IdSpace& space, const HopRecord& r,
   if (r.remaining != static_cast<uint64_t>(bits - lcp_to)) {
     return "pastry hop remaining mismatch: recorded " + U64(r.remaining) +
            " vs actual " + U64(static_cast<uint64_t>(bits - lcp_to));
+  }
+  return "";
+}
+
+/// Kademlia progress rule: every attempt targets an entry strictly
+/// XOR-closer to the key — the metric is a total order on distinct ids, so
+/// no tie rule exists — and the recorded remaining distance is the
+/// target's full XOR distance to the key.
+std::string KademliaHopOk(const IdSpace& /*space*/, const HopRecord& r,
+                          uint64_t key, bool /*is_last*/) {
+  const uint64_t before = r.from ^ key;
+  const uint64_t after = r.to ^ key;
+  if (after >= before) {
+    return "kademlia hop " + U64(r.from) + "->" + U64(r.to) +
+           " does not decrease XOR distance (" + U64(before) + " -> " +
+           U64(after) + ")";
+  }
+  if (r.remaining != after) {
+    return "kademlia hop remaining mismatch: recorded " + U64(r.remaining) +
+           " vs actual " + U64(after);
   }
   return "";
 }
@@ -417,6 +439,22 @@ TEST(RoutingInvariants, PastryFaultedRoutesKeepInvariants) {
       << "\n  counterexample: " << outcome.counterexample;
 }
 
+TEST(RoutingInvariants, KademliaFaultedRoutesKeepInvariants) {
+  auto outcome =
+      proptest::RunProperty(0x4AD17, kInvariantCases, [](proptest::Case& c) {
+        Scenario s =
+            DrawScenario(c, /*with_crashes=*/true, /*with_faults=*/true);
+        kademlia::KademliaParams params;
+        params.bits = s.bits;
+        kademlia::KademliaNetwork net(params);
+        if (std::string err = Populate(net, s); !err.empty()) return err;
+        return CheckFaultedLookups(net, s, KademliaHopOk);
+      });
+  EXPECT_TRUE(outcome.ok)
+      << "case " << outcome.failing_case << ": " << outcome.message
+      << "\n  counterexample: " << outcome.counterexample;
+}
+
 TEST(RoutingInvariants, ChordZeroFaultRouteEqualsFaultFreeRoute) {
   auto outcome = proptest::RunProperty(
       0x2E90, kEquivalenceCases, [](proptest::Case& c) {
@@ -441,6 +479,22 @@ TEST(RoutingInvariants, PastryZeroFaultRouteEqualsFaultFreeRoute) {
         pastry::PastryParams params;
         params.bits = s.bits;
         pastry::PastryNetwork net(params, s.net_seed);
+        if (std::string err = Populate(net, s); !err.empty()) return err;
+        return CheckZeroFaultEquivalence(net, s);
+      });
+  EXPECT_TRUE(outcome.ok)
+      << "case " << outcome.failing_case << ": " << outcome.message
+      << "\n  counterexample: " << outcome.counterexample;
+}
+
+TEST(RoutingInvariants, KademliaZeroFaultRouteEqualsFaultFreeRoute) {
+  auto outcome = proptest::RunProperty(
+      0x2E92, kEquivalenceCases, [](proptest::Case& c) {
+        Scenario s =
+            DrawScenario(c, /*with_crashes=*/false, /*with_faults=*/false);
+        kademlia::KademliaParams params;
+        params.bits = s.bits;
+        kademlia::KademliaNetwork net(params);
         if (std::string err = Populate(net, s); !err.empty()) return err;
         return CheckZeroFaultEquivalence(net, s);
       });
