@@ -12,7 +12,9 @@
 
 #include "common/bits.h"
 #include "common/fault.h"
+#include "common/latency.h"
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "experiments/experiment_config.h"
 #include "experiments/json_report.h"
 
@@ -37,6 +39,20 @@ namespace peercache::bench {
 ///   --fault-seed S     seed of the deterministic fault process
 ///   --fault-retries N  failed attempts tolerated per node visit
 ///   --no-fault-retries abort lookups on the first failed attempt
+///
+/// Latency-model knobs (docs/OBSERVABILITY.md; all default off) — drivers
+/// apply them to each run config via `ApplyObservability`:
+///
+///   --latency-base MS    per-hop propagation floor (enables the model)
+///   --latency-scale MS   ms per unit of synthetic-coordinate distance
+///   --latency-jitter MS  uniform per-attempt jitter upper bound
+///   --latency-timeout MS time charged per failed forwarding attempt
+///   --latency-seed S     seed of the coordinate/jitter hash space
+///   --latency-matrix F   measured pairwise RTTs (ping-matrix text format)
+///   --profile            enable the phase profiler ('profile' JSON block)
+///   --trace-out FILE     write sampled route traces as JSONL
+///   --trace-sample P     trace every P-th measured query per node
+///                        (default 0 = off, or 100 with --trace-out)
 struct BenchArgs {
   bool quick = false;
   int seeds = 1;
@@ -44,6 +60,10 @@ struct BenchArgs {
   int threads = 0;
   std::string json_out;
   fault::FaultConfig faults;
+  latency::LatencyConfig latency;
+  latency::PingMatrix latency_matrix;
+  std::string trace_out;
+  int trace_sample = 0;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -71,6 +91,34 @@ struct BenchArgs {
         args.faults.max_retries = std::atoi(argv[++i]);
       } else if (std::strcmp(argv[i], "--no-fault-retries") == 0) {
         args.faults.retry = false;
+      } else if (std::strcmp(argv[i], "--latency-base") == 0 && i + 1 < argc) {
+        args.latency.base_rtt_ms = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--latency-scale") == 0 &&
+                 i + 1 < argc) {
+        args.latency.coord_scale_ms = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--latency-jitter") == 0 &&
+                 i + 1 < argc) {
+        args.latency.jitter_ms = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--latency-timeout") == 0 &&
+                 i + 1 < argc) {
+        args.latency.timeout_ms = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--latency-seed") == 0 && i + 1 < argc) {
+        args.latency.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--latency-matrix") == 0 &&
+                 i + 1 < argc) {
+        Result<latency::PingMatrix> m = latency::LoadPingMatrixFile(argv[++i]);
+        if (!m.ok()) {
+          std::fprintf(stderr, "latency-matrix failed: %s\n",
+                       m.status().ToString().c_str());
+          std::exit(1);
+        }
+        args.latency_matrix = std::move(m).value();
+      } else if (std::strcmp(argv[i], "--profile") == 0) {
+        Profiler::Global().Enable(true);
+      } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+        args.trace_out = argv[++i];
+      } else if (std::strcmp(argv[i], "--trace-sample") == 0 && i + 1 < argc) {
+        args.trace_sample = std::atoi(argv[++i]);
       } else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
         LogLevel level;
         if (!ParseLogLevel(argv[++i], &level)) {
@@ -83,13 +131,29 @@ struct BenchArgs {
                      "usage: %s [--quick] [--seeds N] [--seed S] [--threads T]"
                      " [--json-out FILE] [--fault-drop P] [--fault-fail P]"
                      " [--fault-stale P] [--fault-seed S] [--fault-retries N]"
-                     " [--no-fault-retries] [--log-level LEVEL]\n",
+                     " [--no-fault-retries] [--latency-base MS]"
+                     " [--latency-scale MS] [--latency-jitter MS]"
+                     " [--latency-timeout MS] [--latency-seed S]"
+                     " [--latency-matrix FILE] [--profile] [--trace-out FILE]"
+                     " [--trace-sample P] [--log-level LEVEL]\n",
                      argv[0]);
         std::exit(2);
       }
     }
     if (args.seeds < 1) args.seeds = 1;
+    if (args.trace_sample == 0 && !args.trace_out.empty()) {
+      args.trace_sample = 100;
+    }
     return args;
+  }
+
+  /// Copies the observability knobs (latency model, ping matrix, trace
+  /// sampling) into one run's config. Figure drivers call this from their
+  /// MakeConfig so every row honors the shared command line.
+  void ApplyObservability(experiments::ExperimentConfig& cfg) const {
+    cfg.latency = latency;
+    cfg.latency_matrix = latency_matrix;
+    if (trace_sample > 0) cfg.trace_sample_period = trace_sample;
   }
 };
 
@@ -170,6 +234,51 @@ FigureRow AveragedRow(const BenchArgs& args, CompareFn compare,
   return row;
 }
 
+/// Accumulates the sampled route traces carried by each row's detail
+/// comparison and writes them as JSONL on request — the bench-driver
+/// counterpart of sim_cli's --trace-out. Traces only exist when a sampling
+/// period is active (--trace-sample, or --trace-out's default of 100).
+class TraceLog {
+ public:
+  explicit TraceLog(std::string system) : system_(std::move(system)) {}
+
+  /// Appends every sampled trace of the row's detail comparison (the last
+  /// successful seed). No-op for rows without detail.
+  void AddRow(const FigureRow& row) {
+    if (!row.detail.has_value()) return;
+    const std::pair<const char*, const experiments::RunResult*> runs[] = {
+        {"none", &row.detail->none},
+        {"oblivious", &row.detail->oblivious},
+        {"optimal", &row.detail->optimal}};
+    for (const auto& [policy, run] : runs) {
+      for (const RouteTrace& trace : run->traces) {
+        lines_ += experiments::TraceJsonLine(system_, policy, trace);
+        lines_ += '\n';
+        ++count_;
+      }
+    }
+  }
+
+  /// Returns a process exit code: 0 on success or when no output was
+  /// requested, 1 when the write failed.
+  int WriteIfRequested(const BenchArgs& args) {
+    if (args.trace_out.empty()) return 0;
+    Status st = experiments::WriteStringToFile(args.trace_out, lines_);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace-out failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("%zu route traces written to %s\n", count_,
+                args.trace_out.c_str());
+    return 0;
+  }
+
+ private:
+  std::string system_;
+  std::string lines_;
+  size_t count_ = 0;
+};
+
 /// Accumulates figure rows into a schema-versioned JSON document:
 ///
 ///   {"schema_version": 1, "generator": ..., "kind": "figure",
@@ -241,6 +350,12 @@ class FigureJson {
   int WriteIfRequested(const BenchArgs& args) {
     if (args.json_out.empty()) return 0;
     writer_.EndArray();
+    // Phase-profiler report (--profile), absent by default so committed
+    // figure documents are unaffected.
+    if (Profiler::Global().enabled()) {
+      writer_.Key("profile");
+      Profiler::Global().WriteJson(writer_);
+    }
     writer_.EndObject();
     Status st = experiments::WriteStringToFile(args.json_out,
                                                writer_.TakeString() + "\n");

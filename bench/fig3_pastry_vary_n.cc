@@ -59,6 +59,7 @@ ExperimentConfig MakeConfig(uint64_t seed, int n, double alpha,
   cfg.warmup_queries_per_node = args.quick ? 100 : 300;
   cfg.measure_queries_per_node = args.quick ? 100 : 200;
   cfg.threads = args.threads;
+  args.ApplyObservability(cfg);
   return cfg;
 }
 
@@ -67,6 +68,7 @@ ExperimentConfig MakeConfig(uint64_t seed, int n, double alpha,
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv);
   peercache::bench::FigureJson json("fig3_pastry_vary_n", "pastry", args);
+  peercache::bench::TraceLog traces("pastry");
   PrintFigureHeader(
       "Figure 3 — Pastry: improvement vs n (k = log2 n, identical ranking)",
       "n / alpha");
@@ -82,8 +84,11 @@ int main(int argc, char** argv) {
       FigureRow row =
           AveragedRow(args, compare, label, PaperReference(n, alpha));
       PrintFigureRow(row);
+      traces.AddRow(row);
       json.AddRow(row, "stable", MakeConfig(args.base_seed, n, alpha, args));
     }
   }
-  return json.WriteIfRequested(args);
+  const int json_rc = json.WriteIfRequested(args);
+  const int trace_rc = traces.WriteIfRequested(args);
+  return json_rc != 0 ? json_rc : trace_rc;
 }

@@ -58,6 +58,7 @@ ExperimentConfig MakeConfig(uint64_t seed, int k, double alpha,
   cfg.warmup_queries_per_node = args.quick ? 100 : 300;
   cfg.measure_queries_per_node = args.quick ? 100 : 200;
   cfg.threads = args.threads;
+  args.ApplyObservability(cfg);
   return cfg;
 }
 
@@ -66,6 +67,7 @@ ExperimentConfig MakeConfig(uint64_t seed, int k, double alpha,
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv);
   peercache::bench::FigureJson json("fig4_pastry_vary_k", "pastry", args);
+  peercache::bench::TraceLog traces("pastry");
   const int log_n = 10;
   PrintFigureHeader("Figure 4 — Pastry: improvement vs k (n = 1024)",
                     "k / alpha");
@@ -82,8 +84,11 @@ int main(int argc, char** argv) {
       FigureRow row =
           AveragedRow(args, compare, label, PaperReference(multiple, alpha));
       PrintFigureRow(row);
+      traces.AddRow(row);
       json.AddRow(row, "stable", MakeConfig(args.base_seed, k, alpha, args));
     }
   }
-  return json.WriteIfRequested(args);
+  const int json_rc = json.WriteIfRequested(args);
+  const int trace_rc = traces.WriteIfRequested(args);
+  return json_rc != 0 ? json_rc : trace_rc;
 }

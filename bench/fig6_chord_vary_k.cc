@@ -56,6 +56,7 @@ ExperimentConfig MakeConfig(uint64_t seed, int k,
   cfg.warmup_queries_per_node = args.quick ? 100 : 300;
   cfg.measure_queries_per_node = args.quick ? 100 : 200;
   cfg.threads = args.threads;
+  args.ApplyObservability(cfg);
   return cfg;
 }
 
@@ -64,6 +65,7 @@ ExperimentConfig MakeConfig(uint64_t seed, int k,
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv);
   peercache::bench::FigureJson json("fig6_chord_vary_k", "chord", args);
+  peercache::bench::TraceLog traces("chord");
   const int log_n = 10;
 
   PrintFigureHeader("Figure 6 — Chord: improvement vs k (n = 1024), stable",
@@ -79,6 +81,7 @@ int main(int argc, char** argv) {
     FigureRow row = AveragedRow(args, compare, label,
                                 PaperReference(multiple, /*churn=*/false));
     PrintFigureRow(row);
+    traces.AddRow(row);
     json.AddRow(row, "stable",
                 MakeConfig(args.base_seed, multiple * log_n, args));
   }
@@ -106,7 +109,10 @@ int main(int argc, char** argv) {
     FigureRow row = AveragedRow(args, compare, label,
                                 PaperReference(multiple, /*churn=*/true));
     PrintFigureRow(row);
+    traces.AddRow(row);
     json.AddRow(row, "churn", churn_config(args.base_seed));
   }
-  return json.WriteIfRequested(args);
+  const int json_rc = json.WriteIfRequested(args);
+  const int trace_rc = traces.WriteIfRequested(args);
+  return json_rc != 0 ? json_rc : trace_rc;
 }

@@ -35,6 +35,7 @@ ExperimentConfig MakeConfig(uint64_t seed, int k,
   cfg.warmup_queries_per_node = args.quick ? 100 : 300;
   cfg.measure_queries_per_node = args.quick ? 100 : 200;
   cfg.threads = args.threads;
+  args.ApplyObservability(cfg);
   return cfg;
 }
 
@@ -43,6 +44,7 @@ ExperimentConfig MakeConfig(uint64_t seed, int k,
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv);
   peercache::bench::FigureJson json("kademlia_vary_k", "kademlia", args);
+  peercache::bench::TraceLog traces("kademlia");
   const int log_n = 10;
 
   PrintFigureHeader(
@@ -58,8 +60,11 @@ int main(int argc, char** argv) {
                   multiple * log_n);
     FigureRow row = AveragedRow(args, compare, label, "-");
     PrintFigureRow(row);
+    traces.AddRow(row);
     json.AddRow(row, "stable",
                 MakeConfig(args.base_seed, multiple * log_n, args));
   }
-  return json.WriteIfRequested(args);
+  const int json_rc = json.WriteIfRequested(args);
+  const int trace_rc = traces.WriteIfRequested(args);
+  return json_rc != 0 ? json_rc : trace_rc;
 }

@@ -39,6 +39,7 @@ ExperimentConfig MakeConfig(uint64_t seed, int n,
   cfg.warmup_queries_per_node = args.quick ? 100 : 300;
   cfg.measure_queries_per_node = args.quick ? 100 : 200;
   cfg.threads = args.threads;
+  args.ApplyObservability(cfg);
   return cfg;
 }
 
@@ -47,6 +48,7 @@ ExperimentConfig MakeConfig(uint64_t seed, int n,
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv);
   peercache::bench::FigureJson json("kademlia_vary_n", "kademlia", args);
+  peercache::bench::TraceLog traces("kademlia");
   const int sizes[] = {128, 256, 512, 1024};
 
   PrintFigureHeader(
@@ -60,6 +62,7 @@ int main(int argc, char** argv) {
     std::snprintf(label, sizeof(label), "n=%-5d stable", n);
     FigureRow row = AveragedRow(args, compare, label, "-");
     PrintFigureRow(row);
+    traces.AddRow(row);
     json.AddRow(row, "stable", MakeConfig(args.base_seed, n, args));
   }
 
@@ -77,7 +80,10 @@ int main(int argc, char** argv) {
     std::snprintf(label, sizeof(label), "n=%-5d churn", n);
     FigureRow row = AveragedRow(args, compare, label, "-");
     PrintFigureRow(row);
+    traces.AddRow(row);
     json.AddRow(row, "churn", MakeConfig(args.base_seed, n, args));
   }
-  return json.WriteIfRequested(args);
+  const int json_rc = json.WriteIfRequested(args);
+  const int trace_rc = traces.WriteIfRequested(args);
+  return json_rc != 0 ? json_rc : trace_rc;
 }

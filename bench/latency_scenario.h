@@ -1,0 +1,62 @@
+// Shared construction of the heterogeneous "satellite" latency scenario
+// used by bench/latency_percentiles.cc and replayed byte-for-byte by
+// tests/experiments/latency_percentiles_golden_test.cc. Header-only so the
+// driver and the golden test cannot drift apart.
+
+#ifndef PEERCACHE_BENCH_LATENCY_SCENARIO_H_
+#define PEERCACHE_BENCH_LATENCY_SCENARIO_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/latency.h"
+#include "common/random.h"
+
+namespace peercache::bench {
+
+/// Domain-separation salt of the ordinary-pair RTT hash stream (unrelated
+/// to the latency model's own coordinate/jitter salts).
+inline constexpr uint64_t kPairRttSalt = 0x70616972'2e727474ULL;  // "pair.rtt"
+
+/// Satellites are the nodes in the top 1/16 of the id space (leading 4 bits
+/// all set). Clustering them in one prefix arc is deliberate: a pointer at
+/// a satellite only attracts keys homed in that arc, so forcing direct
+/// satellite pointers (the QoS run) cannot leak expensive hops into routes
+/// for ordinary keys — the comparison isolates the destination tail.
+inline bool IsLatencySatellite(uint64_t id, int bits) {
+  const uint64_t arc = (uint64_t{1} << bits) >> 4;
+  return (id & ((uint64_t{1} << bits) - 1)) >= 15 * arc;
+}
+
+/// Builds the satellite scenario's pairwise RTTs over the run's node set:
+/// 0 on the diagonal, `satellite_rtt` for links touching a satellite, and a
+/// symmetric hash-uniform draw from [5, 105) ms otherwise.
+inline latency::PingMatrix BuildSatelliteMatrix(
+    const std::vector<uint64_t>& ids, int bits, double satellite_rtt) {
+  latency::PingMatrix m;
+  m.ids = ids;
+  const size_t n = ids.size();
+  m.rtt_ms.assign(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double rtt;
+      if (IsLatencySatellite(ids[i], bits) ||
+          IsLatencySatellite(ids[j], bits)) {
+        rtt = satellite_rtt;
+      } else {
+        const uint64_t lo = std::min(ids[i], ids[j]);
+        const uint64_t hi = std::max(ids[i], ids[j]);
+        const uint64_t h = MixHash64(lo ^ MixHash64(hi ^ kPairRttSalt));
+        rtt = 5.0 + 100.0 * (static_cast<double>(h >> 11) * 0x1.0p-53);
+      }
+      m.rtt_ms[i * n + j] = rtt;
+      m.rtt_ms[j * n + i] = rtt;
+    }
+  }
+  return m;
+}
+
+}  // namespace peercache::bench
+
+#endif  // PEERCACHE_BENCH_LATENCY_SCENARIO_H_

@@ -18,7 +18,9 @@
 #include <utility>
 
 #include "common/bits.h"
+#include "common/latency.h"
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "common/thread_pool.h"
 #include "experiments/generic_experiment.h"
 #include "experiments/json_report.h"
@@ -45,6 +47,9 @@ struct Args {
   std::string freq_mode = "observed";
   int audit_period = 4;
   peercache::fault::FaultConfig faults;
+  peercache::latency::LatencyConfig latency;
+  std::string latency_matrix;
+  bool profile = false;
 
   static void Usage(const char* argv0) {
     std::fprintf(
@@ -57,6 +62,9 @@ struct Args {
         "          [--freq-mode pool|observed] [--audit-period N]\n"
         "          [--fault-drop P] [--fault-fail P] [--fault-stale P]\n"
         "          [--fault-seed S] [--fault-retries N] [--no-fault-retries]\n"
+        "          [--latency-base MS] [--latency-scale MS]\n"
+        "          [--latency-jitter MS] [--latency-timeout MS]\n"
+        "          [--latency-seed S] [--latency-matrix FILE] [--profile]\n"
         "          [--log-level debug|info|warning|error]\n"
         "  --threads T       worker threads for the per-node loops\n"
         "                    (0 = all hardware threads, 1 = serial; results\n"
@@ -81,7 +89,20 @@ struct Args {
         "  --fault-seed S    seed of the deterministic fault process\n"
         "  --fault-retries N failed attempts tolerated per node visit\n"
         "  --no-fault-retries abort on the first failed attempt\n"
-        "                    (see docs/RESILIENCE.md)\n",
+        "                    (see docs/RESILIENCE.md)\n"
+        "  --latency-base MS    per-hop propagation floor (enables the\n"
+        "                       deterministic link-latency model)\n"
+        "  --latency-scale MS   ms per unit of synthetic-coordinate distance\n"
+        "                       (heterogeneity knob)\n"
+        "  --latency-jitter MS  uniform per-attempt jitter upper bound\n"
+        "  --latency-timeout MS time charged per failed forwarding attempt\n"
+        "  --latency-seed S     seed of the coordinate/jitter hash space\n"
+        "  --latency-matrix F   load measured pairwise RTTs (ping-matrix\n"
+        "                       text format; unknown pairs fall back to\n"
+        "                       synthetic coordinates)\n"
+        "  --profile            enable the phase profiler; the report lands\n"
+        "                       in the --json-out document's 'profile' block\n"
+        "                       (see docs/OBSERVABILITY.md)\n",
         argv0);
     std::exit(2);
   }
@@ -139,6 +160,21 @@ struct Args {
         a.faults.max_retries = std::atoi(next("--fault-retries"));
       } else if (!std::strcmp(argv[i], "--no-fault-retries")) {
         a.faults.retry = false;
+      } else if (!std::strcmp(argv[i], "--latency-base")) {
+        a.latency.base_rtt_ms = std::atof(next("--latency-base"));
+      } else if (!std::strcmp(argv[i], "--latency-scale")) {
+        a.latency.coord_scale_ms = std::atof(next("--latency-scale"));
+      } else if (!std::strcmp(argv[i], "--latency-jitter")) {
+        a.latency.jitter_ms = std::atof(next("--latency-jitter"));
+      } else if (!std::strcmp(argv[i], "--latency-timeout")) {
+        a.latency.timeout_ms = std::atof(next("--latency-timeout"));
+      } else if (!std::strcmp(argv[i], "--latency-seed")) {
+        a.latency.seed =
+            static_cast<uint64_t>(std::atoll(next("--latency-seed")));
+      } else if (!std::strcmp(argv[i], "--latency-matrix")) {
+        a.latency_matrix = next("--latency-matrix");
+      } else if (!std::strcmp(argv[i], "--profile")) {
+        a.profile = true;
       } else if (!std::strcmp(argv[i], "--log-level")) {
         LogLevel level;
         if (!ParseLogLevel(next("--log-level"), &level)) {
@@ -182,6 +218,18 @@ int main(int argc, char** argv) {
       args.freq_mode == "pool" ? FreqMode::kPool : FreqMode::kObserved;
   cfg.maintenance_audit_period = args.audit_period;
   cfg.faults = args.faults;
+  cfg.latency = args.latency;
+  if (!args.latency_matrix.empty()) {
+    Result<latency::PingMatrix> m =
+        latency::LoadPingMatrixFile(args.latency_matrix);
+    if (!m.ok()) {
+      std::fprintf(stderr, "latency-matrix failed: %s\n",
+                   m.status().ToString().c_str());
+      return 1;
+    }
+    cfg.latency_matrix = std::move(m).value();
+  }
+  if (args.profile) Profiler::Global().Enable(true);
 
   std::printf(
       "%s %s: n=%d k=%d alpha=%.2f items=%zu lists=%d seed=%llu threads=%d\n\n",
@@ -248,6 +296,15 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.stale_forwards),
         static_cast<unsigned long long>(r.budget_exhausted),
         static_cast<unsigned long long>(r.dead_entry_evictions));
+  }
+  if (cmp->optimal.latency_enabled) {
+    const LogHistogram& h = cmp->optimal.latency_histogram;
+    std::printf(
+        "latency (optimal run): p50 %.3fms p90 %.3fms p99 %.3fms "
+        "p99.9 %.3fms (mean %.3fms over %llu lookups)\n",
+        h.Percentile(0.50), h.Percentile(0.90), h.Percentile(0.99),
+        h.Percentile(0.999), h.Mean(),
+        static_cast<unsigned long long>(h.count()));
   }
 
   if (!args.json_out.empty()) {

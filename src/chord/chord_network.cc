@@ -138,15 +138,18 @@ std::vector<uint64_t> ChordNetwork::CoreNeighborIds(uint64_t id) const {
 
 Status ChordNetwork::LookupInto(uint64_t origin, uint64_t key,
                                 RouteResult& out, RouteTrace* trace,
-                                const fault::FaultPlan* faults) const {
+                                const fault::FaultPlan* faults,
+                                const latency::LatencyModel* latency) const {
   out.Clear();
   if (!IsAlive(origin)) return Status::Unavailable("origin not alive");
   auto truth = ResponsibleNode(key);
   if (!truth.ok()) return truth.status();
   if (faults != nullptr && faults->enabled()) {
-    return LookupResilient(origin, key, truth.value(), out, trace, *faults);
+    return LookupResilient(origin, key, truth.value(), out, trace, *faults,
+                           latency);
   }
 
+  const bool timed = latency != nullptr && latency->enabled();
   if (trace != nullptr) {
     trace->origin = origin;
     trace->key = key;
@@ -185,12 +188,18 @@ Status ChordNetwork::LookupInto(uint64_t origin, uint64_t key,
         trace->destination = out.destination;
         trace->success = out.success;
         trace->hops = out.hops;
+        trace->latency_ms = out.latency_ms;
       }
       return Status::Ok();
     }
     if (next_kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
     if (trace != nullptr) {
       trace->path.push_back({current, next, next_kind, best_remaining});
+    }
+    if (timed) {
+      const double ms = latency->HopLatencyMs(key, current, next, hop);
+      out.latency_ms += ms;
+      if (trace != nullptr) trace->path.back().latency_ms = ms;
     }
     out.path.push_back(current);
     current = next;
@@ -202,6 +211,7 @@ Status ChordNetwork::LookupInto(uint64_t origin, uint64_t key,
     trace->destination = out.destination;
     trace->success = false;
     trace->hops = out.hops;
+    trace->latency_ms = out.latency_ms;
   }
   return Status::Ok();
 }
@@ -209,7 +219,10 @@ Status ChordNetwork::LookupInto(uint64_t origin, uint64_t key,
 Status ChordNetwork::LookupResilient(uint64_t origin, uint64_t key,
                                      uint64_t truth, RouteResult& out,
                                      RouteTrace* trace,
-                                     const fault::FaultPlan& faults) const {
+                                     const fault::FaultPlan& faults,
+                                     const latency::LatencyModel* latency)
+    const {
+  const bool timed = latency != nullptr && latency->enabled();
   if (trace != nullptr) {
     trace->origin = origin;
     trace->key = key;
@@ -222,6 +235,7 @@ Status ChordNetwork::LookupResilient(uint64_t origin, uint64_t key,
       trace->destination = out.destination;
       trace->success = out.success;
       trace->hops = out.hops;
+      trace->latency_ms = out.latency_ms;
     }
     return Status::Ok();
   };
@@ -319,6 +333,11 @@ Status ChordNetwork::LookupResilient(uint64_t origin, uint64_t key,
                                  /*dropped=*/false,
                                  /*retried=*/retries_here > 0});
         }
+        if (timed) {
+          const double ms = latency->HopLatencyMs(key, current, next, spent);
+          out.latency_ms += ms;
+          if (trace != nullptr) trace->path.back().latency_ms = ms;
+        }
         out.path.push_back(current);
         current = next;
         ++hops_taken;
@@ -334,6 +353,11 @@ Status ChordNetwork::LookupResilient(uint64_t origin, uint64_t key,
         trace->path.push_back({current, next, next_kind, best_remaining,
                                /*dropped=*/true, /*retried=*/false});
       }
+      if (timed) {
+        const double ms = latency->FailedAttemptMs();
+        out.latency_ms += ms;
+        if (trace != nullptr) trace->path.back().latency_ms = ms;
+      }
       if (!faults.config().retry) {
         return finish(current, hops_taken, /*delivered=*/false);
       }
@@ -348,11 +372,13 @@ Status ChordNetwork::LookupResilient(uint64_t origin, uint64_t key,
   return finish(current, params_.max_route_hops, /*delivered=*/false);
 }
 
-Result<RouteResult> ChordNetwork::Lookup(uint64_t origin, uint64_t key,
-                                         RouteTrace* trace,
-                                         const fault::FaultPlan* faults) const {
+Result<RouteResult> ChordNetwork::Lookup(
+    uint64_t origin, uint64_t key, RouteTrace* trace,
+    const fault::FaultPlan* faults,
+    const latency::LatencyModel* latency) const {
   RouteResult result;
-  if (Status s = LookupInto(origin, key, result, trace, faults); !s.ok()) {
+  if (Status s = LookupInto(origin, key, result, trace, faults, latency);
+      !s.ok()) {
     return s;
   }
   return result;

@@ -1,0 +1,176 @@
+#include "common/latency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/json_writer.h"
+#include "common/random.h"
+
+namespace peercache::latency {
+
+namespace {
+
+/// Domain-separation salts: coordinates and jitter draw from unrelated
+/// hash streams, and both are unrelated to the fault plan's salts even
+/// under an identical seed.
+constexpr uint64_t kCoordXSalt = 0x636f6f72'64207821ULL;  // "coord x!"
+constexpr uint64_t kCoordYSalt = 0x636f6f72'64207921ULL;  // "coord y!"
+constexpr uint64_t kJitterSalt = 0x6a697474'65726d73ULL;  // "jitterms"
+
+/// Chains the SplitMix64 finalizer over a tuple of words (same construction
+/// as fault::FaultPlan and SplitSeed).
+uint64_t MixChain(uint64_t h, uint64_t word) {
+  return MixHash64(h ^ MixHash64(word));
+}
+
+/// Uniform double in [0, 1) from a hash value.
+double UnitFromHash(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+LatencyModel::LatencyModel(const LatencyConfig& config) : config_(config) {}
+
+LatencyModel::LatencyModel(const LatencyConfig& config, PingMatrix matrix)
+    : config_(config), matrix_(std::move(matrix)) {
+  matrix_index_.reserve(matrix_.ids.size());
+  for (size_t i = 0; i < matrix_.ids.size(); ++i) {
+    matrix_index_.emplace_back(matrix_.ids[i], i);
+  }
+  std::sort(matrix_index_.begin(), matrix_index_.end());
+}
+
+std::pair<double, double> LatencyModel::Coordinate(uint64_t node) const {
+  const uint64_t hx = MixChain(MixChain(config_.seed, kCoordXSalt), node);
+  const uint64_t hy = MixChain(MixChain(config_.seed, kCoordYSalt), node);
+  return {UnitFromHash(hx), UnitFromHash(hy)};
+}
+
+size_t LatencyModel::MatrixIndex(uint64_t id) const {
+  const auto it = std::lower_bound(
+      matrix_index_.begin(), matrix_index_.end(),
+      std::make_pair(id, size_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it == matrix_index_.end() || it->first != id) {
+    return static_cast<size_t>(-1);
+  }
+  return it->second;
+}
+
+double LatencyModel::BaseRttMs(uint64_t from, uint64_t to) const {
+  if (from == to) return 0.0;
+  if (!matrix_.empty()) {
+    const size_t i = MatrixIndex(from);
+    const size_t j = MatrixIndex(to);
+    if (i != static_cast<size_t>(-1) && j != static_cast<size_t>(-1)) {
+      return matrix_.rtt_ms[i * matrix_.ids.size() + j];
+    }
+  }
+  const auto [fx, fy] = Coordinate(from);
+  const auto [tx, ty] = Coordinate(to);
+  const double dx = fx - tx;
+  const double dy = fy - ty;
+  // std::sqrt is correctly rounded per IEEE 754, so the distance — unlike a
+  // log/exp-based formula — is bit-identical on every platform.
+  return config_.base_rtt_ms +
+         config_.coord_scale_ms * std::sqrt(dx * dx + dy * dy);
+}
+
+double LatencyModel::HopLatencyMs(uint64_t key, uint64_t from, uint64_t to,
+                                  int attempt) const {
+  double ms = BaseRttMs(from, to);
+  if (config_.jitter_ms > 0.0) {
+    uint64_t h = MixChain(config_.seed, kJitterSalt);
+    h = MixChain(h, key);
+    h = MixChain(h, from);
+    h = MixChain(h, to);
+    h = MixChain(h, static_cast<uint64_t>(attempt));
+    ms += config_.jitter_ms * UnitFromHash(h);
+  }
+  return ms;
+}
+
+Result<PingMatrix> LoadPingMatrix(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  if (!std::getline(in, header) || header != "peercache-ping-matrix v1") {
+    return Status::InvalidArgument("ping matrix: bad header");
+  }
+  std::string tag;
+  size_t n = 0;
+  if (!(in >> tag >> n) || tag != "n") {
+    return Status::InvalidArgument("ping matrix: expected 'n <N>'");
+  }
+  if (n == 0) return Status::InvalidArgument("ping matrix: n must be > 0");
+  PingMatrix m;
+  if (!(in >> tag) || tag != "ids") {
+    return Status::InvalidArgument("ping matrix: expected 'ids ...'");
+  }
+  m.ids.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!(in >> m.ids[i])) {
+      return Status::InvalidArgument("ping matrix: truncated id list");
+    }
+  }
+  m.rtt_ms.assign(n * n, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    size_t row = 0;
+    if (!(in >> tag >> row) || tag != "row" || row != r) {
+      return Status::InvalidArgument("ping matrix: expected row " +
+                                     std::to_string(r));
+    }
+    for (size_t c = 0; c < n; ++c) {
+      std::string cell;
+      if (!(in >> cell)) {
+        return Status::InvalidArgument("ping matrix: truncated row " +
+                                       std::to_string(r));
+      }
+      char* end = nullptr;
+      m.rtt_ms[r * n + c] = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || *end != '\0') {
+        return Status::InvalidArgument("ping matrix: bad value '" + cell +
+                                       "'");
+      }
+    }
+  }
+  return m;
+}
+
+std::string EmitPingMatrix(const PingMatrix& matrix) {
+  const size_t n = matrix.ids.size();
+  std::string out = "peercache-ping-matrix v1\n";
+  out += "n ";
+  out += std::to_string(n);
+  out += "\nids";
+  for (uint64_t id : matrix.ids) {
+    out += ' ';
+    out += std::to_string(id);
+  }
+  out += "\n";
+  for (size_t r = 0; r < n; ++r) {
+    out += "row ";
+    out += std::to_string(r);
+    for (size_t c = 0; c < n; ++c) {
+      out += ' ';
+      out += JsonWriter::FormatDouble(matrix.rtt_ms[r * n + c]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<PingMatrix> LoadPingMatrixFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::NotFound("cannot open ping matrix file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadPingMatrix(buf.str());
+}
+
+}  // namespace peercache::latency

@@ -1,0 +1,110 @@
+#ifndef PEERCACHE_COMMON_LATENCY_H_
+#define PEERCACHE_COMMON_LATENCY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace peercache::latency {
+
+/// Link-latency knobs. Like fault injection, the model is deterministic by
+/// construction: node coordinates and per-attempt jitter are stateless
+/// hashes of (seed, identity), never RNG-stream draws, so a latency-enabled
+/// run is a pure function of (latency seed, workload) at any thread count —
+/// and routing RNG streams are untouched whether the model is on or off.
+struct LatencyConfig {
+  /// Per-hop propagation floor in milliseconds.
+  double base_rtt_ms = 0.0;
+  /// Milliseconds per unit of Euclidean distance between the two endpoint
+  /// coordinates in the synthetic unit square (heterogeneity knob: 0 makes
+  /// every link cost the same, large values spread the RTT distribution).
+  double coord_scale_ms = 0.0;
+  /// Upper bound of the uniform per-attempt jitter added on top of the
+  /// deterministic base RTT.
+  double jitter_ms = 0.0;
+  /// Time charged for one *failed* forwarding attempt (drop or dead-entry
+  /// timeout) before the router retries — this is how PR 5 retransmissions
+  /// accrue real time cost.
+  double timeout_ms = 0.0;
+  /// Seed of the coordinate/jitter hash space. Independent of both the
+  /// experiment seed and the fault seed.
+  uint64_t seed = 0;
+
+  bool enabled() const {
+    return base_rtt_ms > 0.0 || coord_scale_ms > 0.0 || jitter_ms > 0.0;
+  }
+};
+
+/// Measured pairwise RTTs for a fixed node set: `rtt_ms[i*n + j]` is the
+/// one-way latency estimate between `ids[i]` and `ids[j]`. Loadable from /
+/// emittable to a line-based text format that round-trips byte-exactly.
+struct PingMatrix {
+  std::vector<uint64_t> ids;  ///< Row/column order (need not be sorted).
+  std::vector<double> rtt_ms;  ///< ids.size()^2 entries, row-major.
+
+  bool empty() const { return ids.empty(); }
+};
+
+/// Parses the text format produced by EmitPingMatrix:
+///
+///   peercache-ping-matrix v1
+///   n <N>
+///   ids <id_0> ... <id_{N-1}>
+///   row <i> <rtt_i0> ... <rtt_i{N-1}>     (one line per row)
+Result<PingMatrix> LoadPingMatrix(const std::string& text);
+
+/// Renders a matrix to the canonical text form (shortest round-trip double
+/// formatting, so Load(Emit(m)) reproduces m exactly).
+std::string EmitPingMatrix(const PingMatrix& matrix);
+
+Result<PingMatrix> LoadPingMatrixFile(const std::string& path);
+
+/// Deterministic link-latency oracle handed to LookupInto alongside the
+/// fault plan. Synthetic mode assigns every node a coordinate in the unit
+/// square as a pure hash of (seed, node id) — no per-node state, so the
+/// model needs no setup pass and cannot depend on construction order or
+/// thread count. When a ping matrix is attached, pairs present in the
+/// matrix use the measured RTT and unknown nodes fall back to coordinates.
+class LatencyModel {
+ public:
+  /// Inert model: enabled() is false, every latency is 0.
+  LatencyModel() = default;
+  explicit LatencyModel(const LatencyConfig& config);
+  LatencyModel(const LatencyConfig& config, PingMatrix matrix);
+
+  const LatencyConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled(); }
+  const PingMatrix& matrix() const { return matrix_; }
+
+  /// Synthetic coordinate of `node` in [0,1)^2.
+  std::pair<double, double> Coordinate(uint64_t node) const;
+
+  /// Deterministic propagation cost of the link from -> to: the matrix RTT
+  /// when both endpoints are known, else base + scale * euclidean distance
+  /// between the synthetic coordinates. Symmetric; 0 for from == to.
+  double BaseRttMs(uint64_t from, uint64_t to) const;
+
+  /// Full cost of one successful forwarding attempt: BaseRttMs plus the
+  /// per-attempt jitter hash of (key, from, to, attempt). The attempt
+  /// counter decorrelates retransmissions exactly like FaultPlan's.
+  double HopLatencyMs(uint64_t key, uint64_t from, uint64_t to,
+                      int attempt) const;
+
+  /// Cost charged for one failed forwarding attempt before the retry.
+  double FailedAttemptMs() const { return config_.timeout_ms; }
+
+ private:
+  /// Matrix index of `id`, or npos when absent.
+  size_t MatrixIndex(uint64_t id) const;
+
+  LatencyConfig config_;
+  PingMatrix matrix_;
+  std::vector<std::pair<uint64_t, size_t>> matrix_index_;  ///< Sorted by id.
+};
+
+}  // namespace peercache::latency
+
+#endif  // PEERCACHE_COMMON_LATENCY_H_

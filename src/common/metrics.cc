@@ -49,6 +49,24 @@ void MetricsShard::ObserveHistogram(std::string_view name, int value,
   it->second.Add(value);
 }
 
+void MetricsShard::ObserveLatency(std::string_view name, double value) {
+  auto it = log_histograms_.find(name);
+  if (it == log_histograms_.end()) {
+    it = log_histograms_.emplace(std::string(name), LogHistogram{}).first;
+  }
+  it->second.Add(value);
+}
+
+void MetricsShard::MergeLatency(std::string_view name,
+                                const LogHistogram& samples) {
+  if (samples.count() == 0) return;  // do not create an empty instrument
+  auto it = log_histograms_.find(name);
+  if (it == log_histograms_.end()) {
+    it = log_histograms_.emplace(std::string(name), LogHistogram{}).first;
+  }
+  it->second.Merge(samples);
+}
+
 void MetricsShard::AddTimerSeconds(std::string_view name, double seconds) {
   auto it = timers_.find(name);
   if (it == timers_.end()) {
@@ -78,6 +96,12 @@ const Histogram* MetricsShard::histogram(std::string_view name) const {
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
+const LogHistogram* MetricsShard::latency_histogram(
+    std::string_view name) const {
+  auto it = log_histograms_.find(name);
+  return it == log_histograms_.end() ? nullptr : &it->second;
+}
+
 double MetricsShard::timer_seconds(std::string_view name) const {
   auto it = timers_.find(name);
   return it == timers_.end() ? 0.0 : it->second;
@@ -85,7 +109,7 @@ double MetricsShard::timer_seconds(std::string_view name) const {
 
 bool MetricsShard::empty() const {
   return counters_.empty() && gauges_.empty() && stats_.empty() &&
-         histograms_.empty() && timers_.empty();
+         histograms_.empty() && log_histograms_.empty() && timers_.empty();
 }
 
 void MetricsShard::Merge(const MetricsShard& other) {
@@ -103,6 +127,14 @@ void MetricsShard::Merge(const MetricsShard& other) {
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
       histograms_.emplace(name, hist);
+    } else {
+      it->second.Merge(hist);
+    }
+  }
+  for (const auto& [name, hist] : other.log_histograms_) {
+    auto it = log_histograms_.find(name);
+    if (it == log_histograms_.end()) {
+      log_histograms_.emplace(name, hist);
     } else {
       it->second.Merge(hist);
     }
@@ -167,16 +199,44 @@ void MetricsShard::WriteJson(JsonWriter& w, bool include_timers) const {
     w.Key("mean");
     w.Double(h.Mean());
     w.Key("p50");
-    w.Int(h.Percentile(0.50));
+    w.Int(h.PercentileRank(0.50));
     w.Key("p95");
-    w.Int(h.Percentile(0.95));
+    w.Int(h.PercentileRank(0.95));
     w.Key("p99");
-    w.Int(h.Percentile(0.99));
+    w.Int(h.PercentileRank(0.99));
     w.Key("overflow");
     w.UInt(h.overflow());
     w.EndObject();
   }
   w.EndObject();
+  // Conditionally emitted: latency-off runs register no LogHistogram, and
+  // their serialized snapshot must keep its historical bytes.
+  if (!log_histograms_.empty()) {
+    w.Key("latency_histograms");
+    w.BeginObject();
+    for (const auto& [name, h] : log_histograms_) {
+      w.Key(name);
+      w.BeginObject();
+      w.Key("count");
+      w.UInt(h.count());
+      w.Key("mean");
+      w.Double(h.Mean());
+      w.Key("min");
+      w.Double(h.min());
+      w.Key("max");
+      w.Double(h.max());
+      w.Key("p50");
+      w.Double(h.Percentile(0.50));
+      w.Key("p90");
+      w.Double(h.Percentile(0.90));
+      w.Key("p99");
+      w.Double(h.Percentile(0.99));
+      w.Key("p999");
+      w.Double(h.Percentile(0.999));
+      w.EndObject();
+    }
+    w.EndObject();
+  }
   w.EndObject();
 }
 

@@ -42,6 +42,13 @@ class MetricsShard {
   /// used only when the instrument is first created; merging shards whose
   /// same-named histograms disagree on max_value is a programming error.
   void ObserveHistogram(std::string_view name, int value, int max_value = 64);
+  /// Feeds one sample into a named log-bucketed LogHistogram (latency-style
+  /// values spanning orders of magnitude).
+  void ObserveLatency(std::string_view name, double value);
+  /// Folds a locally accumulated LogHistogram into a named instrument in
+  /// one call (the batching idiom MergeStats documents). A histogram with
+  /// no samples creates no instrument.
+  void MergeLatency(std::string_view name, const LogHistogram& samples);
   /// Accumulates wall-clock seconds under a named per-phase timer.
   void AddTimerSeconds(std::string_view name, double seconds);
 
@@ -50,6 +57,7 @@ class MetricsShard {
   /// Null when the instrument does not exist.
   const OnlineStats* stats(std::string_view name) const;
   const Histogram* histogram(std::string_view name) const;
+  const LogHistogram* latency_histogram(std::string_view name) const;
   double timer_seconds(std::string_view name) const;
 
   bool empty() const;
@@ -63,7 +71,10 @@ class MetricsShard {
   /// Emits `{"counters":{...},"gauges":{...},"timers_seconds":{...},
   /// "stats":{...},"histograms":{...}}` with keys in sorted order.
   /// `include_timers = false` drops the wall-clock section, leaving only
-  /// fields that are deterministic across runs and thread counts.
+  /// fields that are deterministic across runs and thread counts. A
+  /// `latency_histograms` section (p50/p90/p99/p99.9 per instrument) is
+  /// appended only when at least one LogHistogram instrument exists, so
+  /// latency-off documents keep their historical bytes.
   void WriteJson(JsonWriter& w, bool include_timers = true) const;
 
  private:
@@ -71,6 +82,7 @@ class MetricsShard {
   std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, OnlineStats, std::less<>> stats_;
   std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, LogHistogram, std::less<>> log_histograms_;
   std::map<std::string, double, std::less<>> timers_;
 };
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/latency.h"
 #include "common/ring_id.h"
 #include "common/route_result.h"
 #include "common/status.h"
@@ -51,7 +52,8 @@ template <typename N>
 concept Overlay = OverlayNode<typename N::NodeType> &&
     requires(N& net, const N& cnet, uint64_t id, std::vector<uint64_t> aux,
              RouteResult& out, RouteTrace* trace,
-             const fault::FaultPlan* faults) {
+             const fault::FaultPlan* faults,
+             const latency::LatencyModel* latency) {
   { cnet.space() } -> std::convertible_to<const IdSpace&>;
   // The engine and the invariant harness read these two protocol knobs off
   // every backend's parameter struct; the first two concept instantiations
@@ -72,9 +74,13 @@ concept Overlay = OverlayNode<typename N::NodeType> &&
   { cnet.LookupInto(id, id, out) } -> std::same_as<Status>;
   { cnet.LookupInto(id, id, out, trace) } -> std::same_as<Status>;
   { cnet.LookupInto(id, id, out, trace, faults) } -> std::same_as<Status>;
+  { cnet.LookupInto(id, id, out, trace, faults, latency) } ->
+      std::same_as<Status>;
   { cnet.Lookup(id, id) } -> std::same_as<Result<RouteResult>>;
   { cnet.Lookup(id, id, trace) } -> std::same_as<Result<RouteResult>>;
   { cnet.Lookup(id, id, trace, faults) } -> std::same_as<Result<RouteResult>>;
+  { cnet.Lookup(id, id, trace, faults, latency) } ->
+      std::same_as<Result<RouteResult>>;
   { net.StabilizeNode(id) } -> std::same_as<Status>;
   { net.StabilizeAll() };
   { net.SetAuxiliaries(id, std::move(aux)) } -> std::same_as<Status>;

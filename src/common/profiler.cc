@@ -1,0 +1,45 @@
+#include "common/profiler.h"
+
+namespace peercache {
+
+Profiler& Profiler::Global() {
+  static Profiler* profiler = new Profiler();
+  return *profiler;
+}
+
+void Profiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+void Profiler::Record(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Span& span = spans_[name];
+  if (span.name.empty()) span.name = name;
+  ++span.calls;
+  span.seconds += seconds;
+}
+
+std::vector<Profiler::Span> Profiler::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Span> out;
+  out.reserve(spans_.size());
+  for (const auto& [name, span] : spans_) out.push_back(span);
+  return out;  // std::map iteration is already sorted by name
+}
+
+void Profiler::WriteJson(JsonWriter& w) const {
+  w.BeginObject();
+  for (const Span& span : Report()) {
+    w.Key(span.name);
+    w.BeginObject();
+    w.Key("calls");
+    w.UInt(span.calls);
+    w.Key("seconds");
+    w.Double(span.seconds);
+    w.EndObject();
+  }
+  w.EndObject();
+}
+
+}  // namespace peercache

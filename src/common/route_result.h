@@ -21,6 +21,10 @@ struct RouteResult {
   uint64_t destination = 0; ///< Node the query was delivered to.
   int hops = 0;             ///< Overlay forwarding hops taken.
   int aux_hops = 0;         ///< Hops forwarded through an auxiliary entry.
+  /// End-to-end latency in milliseconds. 0 unless the lookup was routed
+  /// under an enabled latency::LatencyModel; failed forwarding attempts
+  /// contribute their timeout on top of the delivered hops' spans.
+  double latency_ms = 0.0;
   /// Nodes that forwarded the query, in order (origin first, destination
   /// excluded). Every node here "has seen" the query in the paper's sense
   /// and may record the destination in its frequency table. Only messages
@@ -51,6 +55,7 @@ struct RouteResult {
     destination = 0;
     hops = 0;
     aux_hops = 0;
+    latency_ms = 0.0;
     path.clear();
     retries = 0;
     dropped_forwards = 0;

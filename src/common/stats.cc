@@ -21,6 +21,27 @@ void CompensatedAdd(double& sum, double& compensation, double x) {
   sum = t;
 }
 
+/// Log-spaced bucket upper bounds, built by repeated multiplication from
+/// literal constants so every platform computes the identical table (libm
+/// log/exp are *not* bit-stable across implementations; a plain double
+/// multiply is).
+const std::vector<double>& LogBucketBounds() {
+  static const std::vector<double> bounds = [] {
+    constexpr double kFirstBound = 0.1;
+    constexpr double kGrowth = 1.189207115002721;  // 2^(1/4)
+    constexpr size_t kBuckets = 96;
+    std::vector<double> b;
+    b.reserve(kBuckets);
+    double bound = kFirstBound;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      b.push_back(bound);
+      bound *= kGrowth;
+    }
+    return b;
+  }();
+  return bounds;
+}
+
 }  // namespace
 
 void OnlineStats::Add(double x) {
@@ -96,7 +117,28 @@ double Histogram::Mean() const {
                      : static_cast<double>(sum_) / static_cast<double>(count_);
 }
 
-int Histogram::Percentile(double q) const {
+int Histogram::ValueAtRank(uint64_t rank) const {
+  uint64_t acc = 0;
+  for (size_t v = 0; v < buckets_.size(); ++v) {
+    acc += buckets_[v];
+    if (acc > rank) return static_cast<int>(v);
+  }
+  return static_cast<int>(buckets_.size());  // overflow bucket
+}
+
+double Histogram::Percentile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  const double rank = q * static_cast<double>(count_ - 1);
+  const uint64_t lo_rank = static_cast<uint64_t>(rank);
+  const double frac = rank - static_cast<double>(lo_rank);
+  const int lo = ValueAtRank(lo_rank);
+  if (frac == 0.0) return static_cast<double>(lo);
+  const int hi = ValueAtRank(lo_rank + 1);
+  return static_cast<double>(lo) + frac * static_cast<double>(hi - lo);
+}
+
+int Histogram::PercentileRank(double q) const {
   assert(q >= 0.0 && q <= 1.0);
   if (count_ == 0) return 0;
   uint64_t target = static_cast<uint64_t>(
@@ -112,9 +154,78 @@ int Histogram::Percentile(double q) const {
 
 std::string Histogram::Summary() const {
   std::ostringstream os;
-  os << "count=" << count_ << " mean=" << Mean() << " p50=" << Percentile(0.5)
-     << " p99=" << Percentile(0.99) << " overflow=" << overflow_;
+  os << "count=" << count_ << " mean=" << Mean()
+     << " p50=" << PercentileRank(0.5) << " p99=" << PercentileRank(0.99)
+     << " overflow=" << overflow_;
   return os.str();
+}
+
+LogHistogram::LogHistogram() : counts_(LogBucketBounds().size() + 1, 0) {}
+
+void LogHistogram::Add(double value) {
+  if (value < 0.0) value = 0.0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  CompensatedAdd(sum_, sum_compensation_, value);
+  const std::vector<double>& bounds = LogBucketBounds();
+  const size_t index = static_cast<size_t>(
+      std::upper_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  ++counts_[index];
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  assert(counts_.size() == other.counts_.size());
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  CompensatedAdd(sum_, sum_compensation_, other.sum_);
+  CompensatedAdd(sum_, sum_compensation_, other.sum_compensation_);
+}
+
+double LogHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum() / static_cast<double>(count_);
+}
+
+double LogHistogram::BucketLowerBound(size_t index) const {
+  return index == 0 ? 0.0 : LogBucketBounds()[index - 1];
+}
+
+double LogHistogram::BucketUpperBound(size_t index) const {
+  const std::vector<double>& bounds = LogBucketBounds();
+  return index < bounds.size() ? bounds[index] : max_;
+}
+
+double LogHistogram::Percentile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  double acc = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double c = static_cast<double>(counts_[i]);
+    if (c == 0.0) continue;
+    if (acc + c >= target) {
+      const double lo = BucketLowerBound(i);
+      const double hi = std::max(BucketUpperBound(i), lo);
+      const double frac =
+          std::min(1.0, std::max(0.0, (target - acc) / c));
+      const double v = lo + frac * (hi - lo);
+      return std::min(std::max(v, min_), max_);
+    }
+    acc += c;
+  }
+  return max_;
 }
 
 }  // namespace peercache

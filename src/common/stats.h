@@ -51,18 +51,66 @@ class Histogram {
   int max_value() const { return static_cast<int>(buckets_.size()) - 1; }
   int64_t sum() const { return sum_; }
   double Mean() const;
-  /// Smallest v such that at least q (in [0,1]) of the mass is <= v.
-  /// Overflow mass reports as max_value()+1.
-  int Percentile(double q) const;
+  /// Rank-interpolated quantile (the "linear" convention): the continuous
+  /// rank q*(count-1) is split between the two nearest samples. p0 is the
+  /// minimum, p100 the maximum, a single sample answers every q, and an
+  /// empty histogram reports 0. Overflow mass sits at max_value()+1.
+  double Percentile(double q) const;
+  /// Legacy nearest-rank quantile: the smallest v such that at least q of
+  /// the mass is <= v. Overflow mass reports as max_value()+1. This is the
+  /// form serialized into the committed telemetry documents.
+  int PercentileRank(double q) const;
 
   /// One-line textual rendering "mean=… p50=… p99=… max_bucket=…".
   std::string Summary() const;
 
  private:
+  /// Value (bucket index, or max_value()+1 for overflow) holding the
+  /// 0-based rank-th sample in sorted order.
+  int ValueAtRank(uint64_t rank) const;
+
   std::vector<uint64_t> buckets_;
   uint64_t overflow_ = 0;
   uint64_t count_ = 0;
   int64_t sum_ = 0;
+};
+
+/// Log-spaced histogram for latency-like positive values spanning several
+/// orders of magnitude. Bucket bounds are precomputed by repeated
+/// multiplication (never via log2 at insert time), so placement and
+/// percentiles are bit-identical across platforms and thread counts.
+///
+/// Buckets: [0, b0), [b0, b1), ..., [b_{N-1}, inf) with b0 = 0.1 and
+/// growth 2^(1/4) per bucket (~19% relative resolution), covering
+/// 0.1 .. ~1.4e6 before the open-ended tail.
+class LogHistogram {
+ public:
+  LogHistogram();
+
+  void Add(double value);
+  void Merge(const LogHistogram& other);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_ + sum_compensation_; }
+  double Mean() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Within-bucket linearly interpolated quantile, clamped to the exact
+  /// observed [min, max] so p0/p100 are sharp and a single sample answers
+  /// every q. Empty histogram reports 0.
+  double Percentile(double q) const;
+
+ private:
+  double BucketLowerBound(size_t index) const;
+  double BucketUpperBound(size_t index) const;
+
+  std::vector<uint64_t> counts_;  ///< bounds_.size() + 1 buckets.
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double sum_compensation_ = 0;
+  double min_ = 0;
+  double max_ = 0;
 };
 
 }  // namespace peercache

@@ -59,6 +59,11 @@ struct HopRecord {
   /// more dropped attempts at the same node.
   bool dropped = false;
   bool retried = false;
+  /// Time this hop cost, in milliseconds, when the lookup was routed under
+  /// an enabled latency::LatencyModel (0 otherwise). For a delivered hop
+  /// this includes the failed attempts retried at the same node; for a
+  /// dropped record it is the timeout charged for that single attempt.
+  double latency_ms = 0.0;
 };
 
 /// Full record of one sampled lookup. Collected only when a caller passes a
@@ -69,6 +74,10 @@ struct RouteTrace {
   uint64_t destination = 0;
   bool success = false;
   int hops = 0;
+  /// End-to-end lookup latency in milliseconds (0 unless routed under an
+  /// enabled latency::LatencyModel) — the sum of the per-hop spans plus
+  /// every failed-attempt timeout.
+  double latency_ms = 0.0;
   std::vector<HopRecord> path;
 };
 

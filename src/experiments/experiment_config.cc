@@ -10,6 +10,8 @@ const char* SelectorKindName(SelectorKind kind) {
       return "oblivious";
     case SelectorKind::kOptimal:
       return "optimal";
+    case SelectorKind::kQos:
+      return "qos";
   }
   return "?";
 }

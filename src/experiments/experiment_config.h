@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/latency.h"
 #include "common/metrics.h"
 #include "common/route_result.h"
 #include "common/stats.h"
@@ -20,6 +21,13 @@ enum class SelectorKind {
   kNone,       ///< Core neighbors only (no auxiliary pointers).
   kOblivious,  ///< Paper Sec. VI-A frequency-oblivious baseline.
   kOptimal,    ///< The paper's frequency-aware optimal selection.
+  /// QoS-constrained selection (paper Secs. IV-D, V-C): frequency-aware
+  /// like kOptimal, but peers whose underlay RTT to the selecting node
+  /// exceeds ExperimentConfig::qos_rtt_threshold_ms are constrained to
+  /// `qos_delay_bound` overlay hops, forcing near-direct pointers at the
+  /// latency-heavy destinations. Requires an enabled latency model; falls
+  /// back to kOptimal per node when the bounds are infeasible.
+  kQos,
 };
 
 const char* SelectorKindName(SelectorKind kind);
@@ -88,6 +96,18 @@ struct ExperimentConfig {
   /// zero, which disables injection entirely: the engine then routes over
   /// the historical fault-free path and emits byte-identical telemetry.
   fault::FaultConfig faults;
+  /// Link-latency model knobs (common/latency.h). All magnitudes default to
+  /// zero, which disables the model entirely: routing then takes the
+  /// historical untimed path and telemetry stays byte-identical.
+  latency::LatencyConfig latency;
+  /// Optional measured RTT matrix overriding the synthetic coordinates for
+  /// the node pairs it covers (loaded by the CLI via --latency-matrix).
+  latency::PingMatrix latency_matrix;
+  /// SelectorKind::kQos knobs: peers whose base RTT from the selecting node
+  /// exceeds the threshold get `qos_delay_bound` as their delay bound
+  /// (0 = demand a direct pointer). Threshold 0 constrains nothing.
+  double qos_rtt_threshold_ms = 0.0;
+  int qos_delay_bound = 0;
 };
 
 /// Churn-mode parameters (paper Sec. VI-C): nodes alternate between alive
@@ -206,6 +226,16 @@ struct RunResult {
   /// byte-identical to the committed figures.
   bool fault_injection = false;
   ResilienceStats resilience;
+  /// True iff this run routed its measured lookups under an enabled
+  /// latency::LatencyModel. Gates `latency_histogram` below, the
+  /// `lookup.latency_ms` metric, and the telemetry document's "latency"
+  /// block — with the model off none of them exist, keeping untimed output
+  /// byte-identical to the committed figures.
+  bool latency_enabled = false;
+  /// Log-bucketed end-to-end lookup latencies (milliseconds) over every
+  /// measured lookup, merged in node/index order so percentiles are
+  /// thread-count invariant.
+  LogHistogram latency_histogram;
 };
 
 /// Side-by-side comparison at identical seeds/workload.

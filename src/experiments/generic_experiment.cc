@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "auxsel/selection_types.h"
+#include "common/profiler.h"
 #include "common/random.h"
 #include "common/route_result.h"
 #include "common/thread_pool.h"
@@ -27,22 +28,36 @@ using internal::ObliviousPool;
 using internal::PhaseTimer;
 using internal::PoolWithoutSelf;
 
+/// True for the selectors that optimize over the node's observed
+/// frequencies (kQos is kOptimal plus RTT-derived delay bounds).
+bool FrequencyAware(SelectorKind selector) {
+  return selector == SelectorKind::kOptimal || selector == SelectorKind::kQos;
+}
+
 /// Builds the SelectionInput for one node and installs the chosen
-/// auxiliaries. The optimal policy optimizes over the node's observed
-/// frequencies; the oblivious policy draws from `peer_pool`, the shared
-/// snapshot of the full live membership built once per selection round (it
-/// needs no query history, matching the paper's baseline). Runs
+/// auxiliaries. The frequency-aware policies optimize over the node's
+/// observed frequencies; the oblivious policy draws from `peer_pool`, the
+/// shared snapshot of the full live membership built once per selection
+/// round (it needs no query history, matching the paper's baseline). Runs
 /// concurrently for distinct nodes: it reads the overlay, reads its own
 /// node's frequency table, and writes only its own node's auxiliary list.
 ///
-/// For the optimal policy, `predicted_hops` (if non-null) receives the
-/// selector's Eq. 1 cost normalized by the node's total observed frequency
-/// — the cost model's promised frequency-weighted route length, audited
-/// against measured hops (experiments/cost_audit.h). NaN when no
-/// prediction exists (non-optimal policies, or no observed peers).
+/// SelectorKind::kQos additionally consults `latency`: observed peers whose
+/// base RTT from this node exceeds `config.qos_rtt_threshold_ms` get
+/// `config.qos_delay_bound` as their delay bound, and the policy's QoS
+/// selector must place pointers meeting them. Infeasible bounds fall back
+/// to the unconstrained optimal selection for that node.
+///
+/// For frequency-aware policies, `predicted_hops` (if non-null) receives
+/// the selector's Eq. 1 cost normalized by the node's total observed
+/// frequency — the cost model's promised frequency-weighted route length,
+/// audited against measured hops (experiments/cost_audit.h). NaN when no
+/// prediction exists (non-frequency-aware policies, or no observed peers).
 template <typename Policy>
 Status InstallAuxiliaries(typename Policy::Network& net, uint64_t node_id,
-                          SelectorKind selector, int k, Rng& selection_rng,
+                          SelectorKind selector, const ExperimentConfig& config,
+                          const latency::LatencyModel* latency,
+                          Rng& selection_rng,
                           const std::vector<auxsel::PeerFreq>& peer_pool,
                           double* predicted_hops = nullptr) {
   if (predicted_hops != nullptr) {
@@ -57,12 +72,28 @@ Status InstallAuxiliaries(typename Policy::Network& net, uint64_t node_id,
   SelectionInput input;
   input.bits = net.params().bits;
   input.self_id = node_id;
-  input.k = k;
+  input.k = config.k;
   input.core_ids = net.CoreNeighborIds(node_id);
 
   Result<auxsel::Selection> sel = [&]() -> Result<auxsel::Selection> {
-    if (selector == SelectorKind::kOptimal) {
+    if (FrequencyAware(selector)) {
       input.peers = node->frequencies.Snapshot(node_id);
+      if (selector == SelectorKind::kQos && latency != nullptr &&
+          config.qos_rtt_threshold_ms > 0.0) {
+        for (auxsel::PeerFreq& p : input.peers) {
+          if (latency->BaseRttMs(node_id, p.id) > config.qos_rtt_threshold_ms) {
+            p.delay_bound = config.qos_delay_bound;
+          }
+        }
+        Result<auxsel::Selection> qos = Policy::SelectQos(input);
+        if (qos.ok() || qos.status().code() != StatusCode::kInfeasible) {
+          return qos;
+        }
+        // Bounds unmeetable with k pointers at this node: route the
+        // latency-heavy peers like everyone else rather than failing the
+        // whole run.
+        for (auxsel::PeerFreq& p : input.peers) p.delay_bound = -1;
+      }
       return Policy::SelectOptimal(input);
     }
     input.peers = PoolWithoutSelf(peer_pool, node_id);
@@ -70,7 +101,7 @@ Status InstallAuxiliaries(typename Policy::Network& net, uint64_t node_id,
   }();
   if (!sel.ok()) return sel.status();
 
-  if (predicted_hops != nullptr && selector == SelectorKind::kOptimal) {
+  if (predicted_hops != nullptr && FrequencyAware(selector)) {
     double total_freq = 0.0;
     for (const auxsel::PeerFreq& p : input.peers) total_freq += p.frequency;
     if (total_freq > 0.0) *predicted_hops = sel->cost / total_freq;
@@ -80,7 +111,7 @@ Status InstallAuxiliaries(typename Policy::Network& net, uint64_t node_id,
   // churn, where few queries have been seen between recomputations) fills
   // the remaining budget with oblivious picks: both policies then install
   // exactly k pointers, which is what the paper's comparison assumes.
-  if (selector == SelectorKind::kOptimal &&
+  if (FrequencyAware(selector) &&
       static_cast<int>(sel->chosen.size()) < input.k) {
     SelectionInput pad = input;
     pad.peers = PoolWithoutSelf(peer_pool, node_id);
@@ -105,15 +136,27 @@ Status InstallAuxiliaries(typename Policy::Network& net, uint64_t node_id,
 template <typename Policy>
 Status InstallRound(ThreadPool& pool, typename Policy::Network& net,
                     const std::vector<uint64_t>& ids, SelectorKind selector,
-                    int k, uint64_t round_seed,
+                    const ExperimentConfig& config,
+                    const latency::LatencyModel* latency, uint64_t round_seed,
                     std::vector<double>& predicted) {
   const std::vector<auxsel::PeerFreq> peer_pool = ObliviousPool(ids);
   predicted.assign(ids.size(), std::numeric_limits<double>::quiet_NaN());
   return internal::ParallelInstall(
       pool, ids, round_seed, [&](size_t i, uint64_t id, Rng& rng) {
-        return InstallAuxiliaries<Policy>(net, id, selector, k, rng, peer_pool,
-                                          &predicted[i]);
+        return InstallAuxiliaries<Policy>(net, id, selector, config, latency,
+                                          rng, peer_pool, &predicted[i]);
       });
+}
+
+/// Builds the run's latency model from the experiment config (synthetic
+/// coordinates, optionally overridden by a loaded ping matrix). Callers
+/// pass the model only when enabled so disabled configs take the historical
+/// untimed routing path bit-for-bit, mirroring the FaultPlan convention.
+latency::LatencyModel MakeLatencyModel(const ExperimentConfig& config) {
+  if (!config.latency_matrix.empty()) {
+    return latency::LatencyModel(config.latency, config.latency_matrix);
+  }
+  return latency::LatencyModel(config.latency);
 }
 
 /// Persistent per-node maintenance state of the FreqMode::kObserved churn
@@ -399,10 +442,13 @@ Result<RunResult> RunStable(const ExperimentConfig& config,
   typename Policy::Network net = Policy::MakeNetwork(config, seeds);
 
   const std::vector<uint64_t> node_ids = SampleNodeIds(config, seeds.ids);
-  for (uint64_t id : node_ids) {
-    if (Status s = net.AddNode(id); !s.ok()) return s;
+  {
+    ScopedProfile span("stable.build");
+    for (uint64_t id : node_ids) {
+      if (Status s = net.AddNode(id); !s.ok()) return s;
+    }
+    net.StabilizeAll();  // perfect routing state before the experiment
   }
-  net.StabilizeAll();  // perfect routing state before the experiment
 
   WorkloadBundle workload(config, seeds, node_ids);
   ThreadPool pool(config.threads);
@@ -411,38 +457,51 @@ Result<RunResult> RunStable(const ExperimentConfig& config,
   // Warmup: every node observes which peer answers each of its queries.
   // In the stable overlay the responsible node is known without routing.
   PhaseTimer warmup_timer;
-  if (Status s = internal::ParallelWarmup(pool, net, node_ids,
-                                          workload.queries(), seeds.warmup,
-                                          config.warmup_queries_per_node);
-      !s.ok()) {
-    return s;
+  {
+    ScopedProfile span("stable.warmup");
+    if (Status s = internal::ParallelWarmup(pool, net, node_ids,
+                                            workload.queries(), seeds.warmup,
+                                            config.warmup_queries_per_node);
+        !s.ok()) {
+      return s;
+    }
   }
   result.warmup_seconds = warmup_timer.Seconds();
 
   // Auxiliary selection, one independent RNG stream per node. Each task
   // also records the selector's Eq. 1 prediction into its own slot for the
-  // cost-model audit.
+  // cost-model audit. The latency model (if enabled) is built before
+  // selection because the QoS selector derives delay bounds from it.
+  const latency::LatencyModel lmodel = MakeLatencyModel(config);
+  const latency::LatencyModel* latency =
+      lmodel.enabled() ? &lmodel : nullptr;
   PhaseTimer selection_timer;
   std::vector<double> predicted;
-  if (Status s = InstallRound<Policy>(pool, net, node_ids, selector, config.k,
-                                      seeds.selection, predicted);
-      !s.ok()) {
-    return s;
+  {
+    ScopedProfile span("stable.selection");
+    if (Status s = InstallRound<Policy>(pool, net, node_ids, selector, config,
+                                        latency, seeds.selection, predicted);
+        !s.ok()) {
+      return s;
+    }
   }
   result.selection_seconds = selection_timer.Seconds();
   internal::CollectAuxiliaries(net, node_ids, result);
 
-  // Measurement, optionally under fault injection (config.faults). The
-  // plan pointer is null when injection is off so the historical fault-free
-  // routing path runs unchanged.
+  // Measurement, optionally under fault injection (config.faults) and an
+  // enabled latency model. Both pointers are null when their feature is off
+  // so the historical fault-free untimed routing path runs unchanged.
   const fault::FaultPlan plan(config.faults);
   PhaseTimer measure_timer;
-  if (Status s = internal::ParallelMeasure(
-          pool, net, node_ids, workload.queries(), seeds.measure,
-          config.measure_queries_per_node, config.trace_sample_period,
-          predicted, result, plan.enabled() ? &plan : nullptr);
-      !s.ok()) {
-    return s;
+  {
+    ScopedProfile span("stable.measure");
+    if (Status s = internal::ParallelMeasure(
+            pool, net, node_ids, workload.queries(), seeds.measure,
+            config.measure_queries_per_node, config.trace_sample_period,
+            predicted, result, plan.enabled() ? &plan : nullptr, latency);
+        !s.ok()) {
+      return s;
+    }
   }
   result.measure_seconds = measure_timer.Seconds();
   internal::RecordPhaseTimers(result);
@@ -475,6 +534,12 @@ Result<RunResult> RunChurn(const ExperimentConfig& config,
   uint64_t successes = 0;
   internal::ChurnObservability obs(config.trace_sample_period);
 
+  // Latency model shared by the QoS recompute rounds and the query loop;
+  // null when disabled so routing takes the historical untimed path.
+  const latency::LatencyModel lmodel = MakeLatencyModel(config);
+  const latency::LatencyModel* latency =
+      lmodel.enabled() ? &lmodel : nullptr;
+
   // Node life cycle: alternate alive/dead with exp(mean_lifetime) stays.
   // The overlay is never drained below two live nodes.
   std::function<void(uint64_t)> schedule_leave;
@@ -499,6 +564,7 @@ Result<RunResult> RunChurn(const ExperimentConfig& config,
 
   // Periodic stabilization.
   std::function<void()> stabilize_tick = [&] {
+    ScopedProfile span("churn.stabilize");
     net.StabilizeAll();
     if (eq.now() + churn.stabilize_interval_s <= t_end) {
       eq.ScheduleAfter(churn.stabilize_interval_s, stabilize_tick);
@@ -530,6 +596,7 @@ Result<RunResult> RunChurn(const ExperimentConfig& config,
   Status recompute_status = Status::Ok();
   uint64_t recompute_round = 0;
   std::function<void()> recompute_tick = [&] {
+    ScopedProfile span("churn.recompute");
     PhaseTimer selection_timer;
     std::vector<uint64_t> live = net.LiveNodeIds();
     const uint64_t round_seed = SplitSeed(seeds.selection, recompute_round);
@@ -539,8 +606,8 @@ Result<RunResult> RunChurn(const ExperimentConfig& config,
           pool, net, maint, live, config, round_seed, recompute_round,
           eq.now(), predicted, result);
     } else {
-      recompute_status = InstallRound<Policy>(pool, net, live, selector,
-                                              config.k, round_seed, predicted);
+      recompute_status = InstallRound<Policy>(
+          pool, net, live, selector, config, latency, round_seed, predicted);
     }
     ++recompute_round;
     for (size_t i = 0; i < predicted.size(); ++i) {
@@ -574,7 +641,8 @@ Result<RunResult> RunChurn(const ExperimentConfig& config,
       const bool trace_this = in_window && obs.ShouldTraceNext();
       RouteTrace trace;
       Status s = net.LookupInto(origin, key, route,
-                                trace_this ? &trace : nullptr, faults);
+                                trace_this ? &trace : nullptr, faults,
+                                latency);
       if (s.ok()) {
         // Dead entries discovered the hard way (stale-window forwards) are
         // evicted from the holder's auxiliary list right away — the
@@ -591,6 +659,7 @@ Result<RunResult> RunChurn(const ExperimentConfig& config,
           ++result.queries;
           obs.OnMeasuredQuery();
           if (faults != nullptr) obs.OnFaultedLookup(route);
+          if (latency != nullptr) obs.OnTimedLookup(route);
           if (trace_this) result.traces.push_back(std::move(trace));
         }
         if (route.success) {
@@ -617,7 +686,10 @@ Result<RunResult> RunChurn(const ExperimentConfig& config,
   eq.ScheduleAfter(query_time_rng.Exponential(1.0 / churn.queries_per_s),
                    query_event);
 
-  eq.RunUntil(t_end);
+  {
+    ScopedProfile span("churn.event_loop");
+    eq.RunUntil(t_end);
+  }
   if (!recompute_status.ok()) return recompute_status;
 
   result.success_rate = result.queries == 0

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/profiler.h"
 #include "experiments/cost_audit.h"
 
 namespace peercache::experiments {
@@ -29,12 +30,14 @@ void WriteHistogramJson(JsonWriter& w, const Histogram& h) {
   w.UInt(h.count());
   w.Key("mean");
   w.Double(h.Mean());
+  // Nearest-rank percentiles: the interpolated Histogram::Percentile would
+  // change every committed hop_histogram byte-for-byte.
   w.Key("p50");
-  w.Int(h.Percentile(0.50));
+  w.Int(h.PercentileRank(0.50));
   w.Key("p95");
-  w.Int(h.Percentile(0.95));
+  w.Int(h.PercentileRank(0.95));
   w.Key("p99");
-  w.Int(h.Percentile(0.99));
+  w.Int(h.PercentileRank(0.99));
   w.Key("overflow");
   w.UInt(h.overflow());
   // Per-bucket counts up to the last nonzero bucket: enough to rebuild the
@@ -102,6 +105,51 @@ void WriteConfigJson(JsonWriter& w, const ExperimentConfig& config) {
     w.Key("fault_retry");
     w.Bool(config.faults.retry);
   }
+  // Latency-model knobs follow the same rule: absent unless the model is
+  // enabled, so latency-off documents keep their historical shape.
+  if (config.latency.enabled()) {
+    w.Key("latency_base_rtt_ms");
+    w.Double(config.latency.base_rtt_ms);
+    w.Key("latency_coord_scale_ms");
+    w.Double(config.latency.coord_scale_ms);
+    w.Key("latency_jitter_ms");
+    w.Double(config.latency.jitter_ms);
+    w.Key("latency_timeout_ms");
+    w.Double(config.latency.timeout_ms);
+    w.Key("latency_seed");
+    w.UInt(config.latency.seed);
+    if (!config.latency_matrix.empty()) {
+      w.Key("latency_matrix_nodes");
+      w.UInt(config.latency_matrix.ids.size());
+    }
+    if (config.qos_rtt_threshold_ms > 0.0) {
+      w.Key("qos_rtt_threshold_ms");
+      w.Double(config.qos_rtt_threshold_ms);
+      w.Key("qos_delay_bound");
+      w.Int(config.qos_delay_bound);
+    }
+  }
+  w.EndObject();
+}
+
+void WriteLatencyJson(JsonWriter& w, const LogHistogram& h) {
+  w.BeginObject();
+  w.Key("count");
+  w.UInt(h.count());
+  w.Key("mean_ms");
+  w.Double(h.Mean());
+  w.Key("min_ms");
+  w.Double(h.min());
+  w.Key("max_ms");
+  w.Double(h.max());
+  w.Key("p50_ms");
+  w.Double(h.Percentile(0.50));
+  w.Key("p90_ms");
+  w.Double(h.Percentile(0.90));
+  w.Key("p99_ms");
+  w.Double(h.Percentile(0.99));
+  w.Key("p999_ms");
+  w.Double(h.Percentile(0.999));
   w.EndObject();
 }
 
@@ -232,6 +280,12 @@ void WriteRunResultJson(JsonWriter& w, const RunResult& result) {
     w.Key("resilience");
     WriteResilienceJson(w, result.resilience);
   }
+  // Latency percentiles appear only when the run routed under an enabled
+  // latency model, mirroring the resilience rule above.
+  if (result.latency_enabled) {
+    w.Key("latency");
+    WriteLatencyJson(w, result.latency_histogram);
+  }
   w.Key("metrics");
   result.metrics.WriteJson(w);
   w.EndObject();
@@ -276,6 +330,12 @@ std::string ComparisonDocument(const std::string& generator,
   WriteConfigJson(w, config);
   w.Key("comparison");
   WriteComparisonJson(w, cmp);
+  // Phase-profiler report, present only when profiling was switched on for
+  // this process (--profile): default documents are unaffected.
+  if (Profiler::Global().enabled()) {
+    w.Key("profile");
+    Profiler::Global().WriteJson(w);
+  }
   w.EndObject();
   return w.TakeString();
 }
@@ -298,6 +358,12 @@ std::string TraceJsonLine(const std::string& system, const char* policy,
   w.Bool(trace.success);
   w.Key("hops");
   w.Int(trace.hops);
+  // Modeled end-to-end latency, emitted only when a latency model ran —
+  // latency-off trace lines keep their historical shape exactly.
+  if (trace.latency_ms > 0.0) {
+    w.Key("latency_ms");
+    w.Double(trace.latency_ms);
+  }
   w.Key("path");
   w.BeginArray();
   for (const HopRecord& hop : trace.path) {
@@ -319,6 +385,10 @@ std::string TraceJsonLine(const std::string& system, const char* policy,
     if (hop.retried) {
       w.Key("retried");
       w.Bool(true);
+    }
+    if (hop.latency_ms > 0.0) {
+      w.Key("latency_ms");
+      w.Double(hop.latency_ms);
     }
     w.EndObject();
   }

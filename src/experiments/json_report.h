@@ -18,13 +18,19 @@ inline constexpr int kTelemetrySchemaVersion = 1;
 
 /// Emits the config block shared by every document: one key per
 /// ExperimentConfig field, in declaration order. Fault-injection keys
-/// (`fault_*`) appear only when injection is enabled.
+/// (`fault_*`) appear only when injection is enabled, and latency-model
+/// keys (`latency_*`, `qos_*`) only when the latency model is enabled.
 void WriteConfigJson(JsonWriter& w, const ExperimentConfig& config);
 
 /// Emits one run's aggregated resilience telemetry as a JSON object (the
 /// "resilience" block; docs/RESILIENCE.md). Every field is deterministic —
 /// a pure function of (seed, config) at any thread count.
 void WriteResilienceJson(JsonWriter& w, const ResilienceStats& r);
+
+/// Emits a lookup-latency distribution as a JSON object (the "latency"
+/// block): count/mean/min/max plus interpolated p50/p90/p99/p99.9, all in
+/// modeled milliseconds. Deterministic at any thread count.
+void WriteLatencyJson(JsonWriter& w, const LogHistogram& h);
 
 /// Emits one run's telemetry object: headline numbers, per-phase wall
 /// clock, hop histogram with p50/p95/p99 and per-bucket counts, aux-hit

@@ -1,9 +1,11 @@
 #include "experiments/overlay_policy.h"
 
 #include "auxsel/chord_fast.h"
+#include "auxsel/chord_qos.h"
 #include "auxsel/kademlia_fast.h"
 #include "auxsel/oblivious.h"
 #include "auxsel/pastry_greedy.h"
+#include "auxsel/pastry_qos.h"
 
 namespace peercache::experiments {
 
@@ -51,6 +53,11 @@ Result<auxsel::Selection> ChordPolicy::SelectOblivious(
   return auxsel::SelectChordOblivious(input, rng);
 }
 
+Result<auxsel::Selection> ChordPolicy::SelectQos(
+    const auxsel::SelectionInput& input) {
+  return auxsel::SelectChordDpQos(input);
+}
+
 SeedPlan PastryPolicy::MakeSeedPlan(uint64_t seed) {
   SeedPlan plan;
   plan.ids = MixHash64(seed ^ 0xb11);
@@ -91,6 +98,11 @@ Result<auxsel::Selection> PastryPolicy::SelectOblivious(
   return auxsel::SelectPastryOblivious(input, rng);
 }
 
+Result<auxsel::Selection> PastryPolicy::SelectQos(
+    const auxsel::SelectionInput& input) {
+  return auxsel::SelectPastryGreedyQos(input);
+}
+
 SeedPlan KademliaPolicy::MakeSeedPlan(uint64_t seed) {
   SeedPlan plan;
   plan.ids = MixHash64(seed ^ 0x4b11);
@@ -127,6 +139,19 @@ Result<auxsel::Selection> KademliaPolicy::SelectOptimal(
 Result<auxsel::Selection> KademliaPolicy::SelectOblivious(
     const auxsel::SelectionInput& input, Rng& rng) {
   return auxsel::SelectKademliaOblivious(input, rng);
+}
+
+Result<auxsel::Selection> KademliaPolicy::SelectQos(
+    const auxsel::SelectionInput& input) {
+  // The XOR estimate is trie-shaped (bitlen(w ^ v) = b - lcp(w, v)), so the
+  // Pastry QoS greedy serves the Kademlia geometry unchanged, exactly like
+  // SelectKademliaFast reuses the unconstrained gain tree. Re-price the
+  // result in the XOR metric for consistency with the other selectors (the
+  // value is equal by the identity; the spelling matches the geometry).
+  Result<auxsel::Selection> sel = auxsel::SelectPastryGreedyQos(input);
+  if (!sel.ok()) return sel;
+  sel->cost = auxsel::EvaluateKademliaCost(input, sel->chosen);
+  return sel;
 }
 
 }  // namespace peercache::experiments

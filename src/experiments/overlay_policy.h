@@ -51,8 +51,10 @@ struct SeedPlan {
 ///   * `MakeSeedPlan` — the backend's historical seed-derivation constants;
 ///   * `MakeNetwork`  — network construction from the experiment config
 ///                      (which config knob feeds which protocol parameter);
-///   * `SelectOptimal` / `SelectOblivious` — the backend's
-///                      auxiliary-selection algorithms (paper Sec. IV/V);
+///   * `SelectOptimal` / `SelectOblivious` / `SelectQos` — the backend's
+///                      auxiliary-selection algorithms (paper Sec. IV/V;
+///                      SelectQos honors per-peer delay bounds and returns
+///                      kInfeasible when they cannot be met);
 ///   * `Maintainer` / `MakeMaintainer` — the backend's persistent
 ///                      incremental selector state (auxsel/maintainer.h),
 ///                      one instance per node, surviving churn rounds.
@@ -74,6 +76,8 @@ struct ChordPolicy {
       const auxsel::SelectionInput& input);
   static Result<auxsel::Selection> SelectOblivious(
       const auxsel::SelectionInput& input, Rng& rng);
+  static Result<auxsel::Selection> SelectQos(
+      const auxsel::SelectionInput& input);
 };
 
 struct PastryPolicy {
@@ -90,6 +94,8 @@ struct PastryPolicy {
       const auxsel::SelectionInput& input);
   static Result<auxsel::Selection> SelectOblivious(
       const auxsel::SelectionInput& input, Rng& rng);
+  static Result<auxsel::Selection> SelectQos(
+      const auxsel::SelectionInput& input);
 };
 
 struct KademliaPolicy {
@@ -106,6 +112,8 @@ struct KademliaPolicy {
       const auxsel::SelectionInput& input);
   static Result<auxsel::Selection> SelectOblivious(
       const auxsel::SelectionInput& input, Rng& rng);
+  static Result<auxsel::Selection> SelectQos(
+      const auxsel::SelectionInput& input);
 };
 
 static_assert(overlay::Overlay<ChordPolicy::Network>);

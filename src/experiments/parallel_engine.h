@@ -11,6 +11,7 @@
 
 #include "auxsel/selection_types.h"
 #include "common/fault.h"
+#include "common/latency.h"
 #include "common/random.h"
 #include "common/route_result.h"
 #include "common/stats.h"
@@ -136,6 +137,10 @@ Status ParallelWarmup(ThreadPool& pool, Network& net,
 /// (stale-window faults cannot occur here — stable-mode overlays hold no
 /// dead entries) and per-node ResilienceStats partials merge in index order
 /// into `result.resilience`.
+///
+/// When `latency` names an enabled model every lookup's end-to-end latency
+/// lands in a per-node LogHistogram partial, merged in index order into
+/// `result.latency_histogram` and the `lookup.latency_ms` instrument.
 template <typename Network>
 Status ParallelMeasure(ThreadPool& pool, const Network& net,
                        const std::vector<uint64_t>& node_ids,
@@ -143,7 +148,8 @@ Status ParallelMeasure(ThreadPool& pool, const Network& net,
                        int queries_per_node, int trace_sample_period,
                        const std::vector<double>& predicted_hops,
                        RunResult& result,
-                       const fault::FaultPlan* faults = nullptr) {
+                       const fault::FaultPlan* faults = nullptr,
+                       const latency::LatencyModel* latency = nullptr) {
   struct Partial {
     Status status;
     uint64_t queries = 0;
@@ -154,8 +160,10 @@ Status ParallelMeasure(ThreadPool& pool, const Network& net,
     OnlineStats hop_stats;
     std::vector<RouteTrace> traces;
     ResilienceStats resilience;
+    LogHistogram latency_ms;    // over all measured lookups
   };
   const bool faulted = faults != nullptr && faults->enabled();
+  const bool timed = latency != nullptr && latency->enabled();
   std::vector<Partial> partials(node_ids.size());
   MetricsRegistry registry(node_ids.size());
   pool.ParallelFor(0, node_ids.size(), 1, [&](size_t i) {
@@ -173,13 +181,15 @@ Status ParallelMeasure(ThreadPool& pool, const Network& net,
           trace_sample_period > 0 && q % trace_sample_period == 0;
       RouteTrace trace;
       Status s = net.LookupInto(origin, key, route,
-                                trace_this ? &trace : nullptr, faults);
+                                trace_this ? &trace : nullptr, faults,
+                                latency);
       if (!s.ok()) {
         part.status = s;
         return;
       }
       ++part.queries;
       if (faulted) part.resilience.Accumulate(route);
+      if (timed) part.latency_ms.Add(route.latency_ms);
       if (route.success) {
         ++part.successes;
         part.sum_hops += static_cast<uint64_t>(route.hops);
@@ -198,6 +208,7 @@ Status ParallelMeasure(ThreadPool& pool, const Network& net,
     shard.Count("lookup.route_hops", part.sum_hops);
     shard.Count("lookup.aux_hops", part.aux_hops);
     shard.MergeStats("lookup.hops", part.hop_stats);
+    if (timed) shard.MergeLatency("lookup.latency_ms", part.latency_ms);
   });
 
   uint64_t successes = 0;
@@ -207,6 +218,7 @@ Status ParallelMeasure(ThreadPool& pool, const Network& net,
     result.queries += part.queries;
     successes += part.successes;
     if (faulted) result.resilience.Merge(part.resilience);
+    if (timed) result.latency_histogram.Merge(part.latency_ms);
     result.hop_histogram.Merge(part.hops);
     result.total_route_hops += part.sum_hops;
     result.aux_route_hops += part.aux_hops;
@@ -240,6 +252,7 @@ Status ParallelMeasure(ThreadPool& pool, const Network& net,
           : static_cast<double>(result.aux_route_hops) /
                 static_cast<double>(result.total_route_hops);
   if (faulted) result.fault_injection = true;
+  if (timed) result.latency_enabled = true;
   return Status::Ok();
 }
 
@@ -302,6 +315,13 @@ struct ChurnObservability {
     resilience.Accumulate(route);
   }
 
+  /// Latency tally for one in-window lookup routed under an enabled
+  /// latency model.
+  void OnTimedLookup(const overlay::RouteResult& route) {
+    latency_enabled = true;
+    latency_ms.Add(route.latency_ms);
+  }
+
   void OnMeasuredSuccess(uint64_t origin, int hops, int aux_hops) {
     shard.Count("lookup.successes");
     shard.Count("lookup.route_hops", static_cast<uint64_t>(hops));
@@ -333,10 +353,15 @@ struct ChurnObservability {
       entry.measured_queries = acc.second;
       result.cost_audit.push_back(entry);
     }
+    if (latency_enabled) shard.MergeLatency("lookup.latency_ms", latency_ms);
     result.metrics.Merge(shard);
     if (fault_injection) {
       result.fault_injection = true;
       result.resilience = resilience;
+    }
+    if (latency_enabled) {
+      result.latency_enabled = true;
+      result.latency_histogram.Merge(latency_ms);
     }
     RecordPhaseTimers(result);
     RecordResilienceMetrics(result);
@@ -353,6 +378,8 @@ struct ChurnObservability {
   std::map<uint64_t, double> predicted;
   bool fault_injection = false;
   ResilienceStats resilience;
+  bool latency_enabled = false;
+  LogHistogram latency_ms;
 };
 
 /// Snapshots every listed node's installed auxiliary set, sorted by id,

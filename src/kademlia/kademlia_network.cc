@@ -149,14 +149,17 @@ std::vector<uint64_t> KademliaNetwork::CoreNeighborIds(uint64_t id) const {
 
 Status KademliaNetwork::LookupInto(uint64_t origin, uint64_t key,
                                    RouteResult& out, RouteTrace* trace,
-                                   const fault::FaultPlan* faults) const {
+                                   const fault::FaultPlan* faults,
+                                   const latency::LatencyModel* latency) const {
   out.Clear();
   if (!IsAlive(origin)) return Status::Unavailable("origin not alive");
   auto truth = ResponsibleNode(key);
   if (!truth.ok()) return truth.status();
   if (faults != nullptr && faults->enabled()) {
-    return LookupResilient(origin, key, truth.value(), out, trace, *faults);
+    return LookupResilient(origin, key, truth.value(), out, trace, *faults,
+                           latency);
   }
+  const bool timed = latency != nullptr && latency->enabled();
 
   if (trace != nullptr) {
     trace->origin = origin;
@@ -196,12 +199,18 @@ Status KademliaNetwork::LookupInto(uint64_t origin, uint64_t key,
         trace->destination = out.destination;
         trace->success = out.success;
         trace->hops = out.hops;
+        trace->latency_ms = out.latency_ms;
       }
       return Status::Ok();
     }
     if (next_kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
     if (trace != nullptr) {
       trace->path.push_back({current, next, next_kind, best_remaining});
+    }
+    if (timed) {
+      const double ms = latency->HopLatencyMs(key, current, next, hop);
+      out.latency_ms += ms;
+      if (trace != nullptr) trace->path.back().latency_ms = ms;
     }
     out.path.push_back(current);
     current = next;
@@ -213,14 +222,16 @@ Status KademliaNetwork::LookupInto(uint64_t origin, uint64_t key,
     trace->destination = out.destination;
     trace->success = false;
     trace->hops = out.hops;
+    trace->latency_ms = out.latency_ms;
   }
   return Status::Ok();
 }
 
-Status KademliaNetwork::LookupResilient(uint64_t origin, uint64_t key,
-                                        uint64_t truth, RouteResult& out,
-                                        RouteTrace* trace,
-                                        const fault::FaultPlan& faults) const {
+Status KademliaNetwork::LookupResilient(
+    uint64_t origin, uint64_t key, uint64_t truth, RouteResult& out,
+    RouteTrace* trace, const fault::FaultPlan& faults,
+    const latency::LatencyModel* latency) const {
+  const bool timed = latency != nullptr && latency->enabled();
   if (trace != nullptr) {
     trace->origin = origin;
     trace->key = key;
@@ -233,6 +244,7 @@ Status KademliaNetwork::LookupResilient(uint64_t origin, uint64_t key,
       trace->destination = out.destination;
       trace->success = out.success;
       trace->hops = out.hops;
+      trace->latency_ms = out.latency_ms;
     }
     return Status::Ok();
   };
@@ -328,6 +340,11 @@ Status KademliaNetwork::LookupResilient(uint64_t origin, uint64_t key,
                                  /*dropped=*/false,
                                  /*retried=*/retries_here > 0});
         }
+        if (timed) {
+          const double ms = latency->HopLatencyMs(key, current, next, spent);
+          out.latency_ms += ms;
+          if (trace != nullptr) trace->path.back().latency_ms = ms;
+        }
         out.path.push_back(current);
         current = next;
         ++hops_taken;
@@ -342,6 +359,11 @@ Status KademliaNetwork::LookupResilient(uint64_t origin, uint64_t key,
       if (trace != nullptr) {
         trace->path.push_back({current, next, next_kind, best_remaining,
                                /*dropped=*/true, /*retried=*/false});
+      }
+      if (timed) {
+        const double ms = latency->FailedAttemptMs();
+        out.latency_ms += ms;
+        if (trace != nullptr) trace->path.back().latency_ms = ms;
       }
       if (!faults.config().retry) {
         return finish(current, hops_taken, /*delivered=*/false);
@@ -359,9 +381,11 @@ Status KademliaNetwork::LookupResilient(uint64_t origin, uint64_t key,
 
 Result<RouteResult> KademliaNetwork::Lookup(
     uint64_t origin, uint64_t key, RouteTrace* trace,
-    const fault::FaultPlan* faults) const {
+    const fault::FaultPlan* faults,
+    const latency::LatencyModel* latency) const {
   RouteResult result;
-  if (Status s = LookupInto(origin, key, result, trace, faults); !s.ok()) {
+  if (Status s = LookupInto(origin, key, result, trace, faults, latency);
+      !s.ok()) {
     return s;
   }
   return result;

@@ -6,6 +6,7 @@
 
 #include "auxsel/frequency_table.h"
 #include "common/fault.h"
+#include "common/latency.h"
 #include "common/node_store.h"
 #include "common/ring_id.h"
 #include "common/route_result.h"
@@ -125,14 +126,22 @@ class KademliaNetwork {
   /// max_retries, globally by the hop budget), and failure bookkeeping
   /// lands in the RouteResult's resilience fields. A null or disabled plan
   /// takes the fault-free path bit-for-bit.
+  ///
+  /// When `latency` names an enabled latency::LatencyModel every delivered
+  /// forward accrues its deterministic hop span (base RTT + jitter) and
+  /// every failed attempt accrues the model's timeout, summed into
+  /// RouteResult::latency_ms and tagged per hop on the trace. A null or
+  /// disabled model leaves every latency field 0 and the route unchanged.
   Status LookupInto(uint64_t origin, uint64_t key, RouteResult& out,
                     RouteTrace* trace = nullptr,
-                    const fault::FaultPlan* faults = nullptr) const;
+                    const fault::FaultPlan* faults = nullptr,
+                    const latency::LatencyModel* latency = nullptr) const;
 
   /// By-value convenience form of LookupInto.
-  Result<RouteResult> Lookup(uint64_t origin, uint64_t key,
-                             RouteTrace* trace = nullptr,
-                             const fault::FaultPlan* faults = nullptr) const;
+  Result<RouteResult> Lookup(
+      uint64_t origin, uint64_t key, RouteTrace* trace = nullptr,
+      const fault::FaultPlan* faults = nullptr,
+      const latency::LatencyModel* latency = nullptr) const;
 
   /// Rebuilds `id`'s buckets from live membership (periodic
   /// stabilization). Dead auxiliaries are pruned (the paper's "stale
@@ -155,7 +164,8 @@ class KademliaNetwork {
   /// `truth` is the precomputed responsible node.
   Status LookupResilient(uint64_t origin, uint64_t key, uint64_t truth,
                          RouteResult& out, RouteTrace* trace,
-                         const fault::FaultPlan& faults) const;
+                         const fault::FaultPlan& faults,
+                         const latency::LatencyModel* latency) const;
 
   KademliaParams params_;
   IdSpace space_;

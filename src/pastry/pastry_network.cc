@@ -182,14 +182,17 @@ Result<uint64_t> PastryNetwork::ResponsibleNode(uint64_t key) const {
 
 Status PastryNetwork::LookupInto(uint64_t origin, uint64_t key,
                                  RouteResult& out, RouteTrace* trace,
-                                 const fault::FaultPlan* faults) const {
+                                 const fault::FaultPlan* faults,
+                                 const latency::LatencyModel* latency) const {
   out.Clear();
   if (!IsAlive(origin)) return Status::Unavailable("origin not alive");
   auto truth = ResponsibleNode(key);
   if (!truth.ok()) return truth.status();
   if (faults != nullptr && faults->enabled()) {
-    return LookupResilient(origin, key, truth.value(), out, trace, *faults);
+    return LookupResilient(origin, key, truth.value(), out, trace, *faults,
+                           latency);
   }
+  const bool timed = latency != nullptr && latency->enabled();
 
   auto ring_distance = [this](uint64_t a, uint64_t b) {
     return std::min(space_.ClockwiseDistance(a, b),
@@ -209,6 +212,7 @@ Status PastryNetwork::LookupInto(uint64_t origin, uint64_t key,
       trace->destination = r.destination;
       trace->success = r.success;
       trace->hops = r.hops;
+      trace->latency_ms = r.latency_ms;
     }
   };
 
@@ -266,6 +270,11 @@ Status PastryNetwork::LookupInto(uint64_t origin, uint64_t key,
         if (trace != nullptr) {
           trace->path.push_back({current, closest, HopEntryKind::kLeafSet,
                                  prefix_remaining(closest)});
+        }
+        if (timed) {
+          const double ms = latency->HopLatencyMs(key, current, closest, hop);
+          out.latency_ms += ms;
+          if (trace != nullptr) trace->path.back().latency_ms = ms;
         }
       }
       out.success = (closest == truth.value());
@@ -344,6 +353,11 @@ Status PastryNetwork::LookupInto(uint64_t origin, uint64_t key,
       trace->path.push_back({current, next, next_kind,
                              prefix_remaining(next)});
     }
+    if (timed) {
+      const double ms = latency->HopLatencyMs(key, current, next, hop);
+      out.latency_ms += ms;
+      if (trace != nullptr) trace->path.back().latency_ms = ms;
+    }
     out.path.push_back(current);
     current = next;
   }
@@ -354,10 +368,11 @@ Status PastryNetwork::LookupInto(uint64_t origin, uint64_t key,
   return Status::Ok();
 }
 
-Status PastryNetwork::LookupResilient(uint64_t origin, uint64_t key,
-                                      uint64_t truth, RouteResult& out,
-                                      RouteTrace* trace,
-                                      const fault::FaultPlan& faults) const {
+Status PastryNetwork::LookupResilient(
+    uint64_t origin, uint64_t key, uint64_t truth, RouteResult& out,
+    RouteTrace* trace, const fault::FaultPlan& faults,
+    const latency::LatencyModel* latency) const {
+  const bool timed = latency != nullptr && latency->enabled();
   auto ring_distance = [this](uint64_t a, uint64_t b) {
     return std::min(space_.ClockwiseDistance(a, b),
                     space_.ClockwiseDistance(b, a));
@@ -378,6 +393,7 @@ Status PastryNetwork::LookupResilient(uint64_t origin, uint64_t key,
       trace->destination = out.destination;
       trace->success = out.success;
       trace->hops = out.hops;
+      trace->latency_ms = out.latency_ms;
     }
     return Status::Ok();
   };
@@ -568,6 +584,11 @@ Status PastryNetwork::LookupResilient(uint64_t origin, uint64_t key,
                                  prefix_remaining(next), /*dropped=*/false,
                                  /*retried=*/retries_here > 0});
         }
+        if (timed) {
+          const double ms = latency->HopLatencyMs(key, current, next, spent);
+          out.latency_ms += ms;
+          if (trace != nullptr) trace->path.back().latency_ms = ms;
+        }
         out.path.push_back(current);
         ++hops_taken;
         ++spent;
@@ -588,6 +609,11 @@ Status PastryNetwork::LookupResilient(uint64_t origin, uint64_t key,
                                prefix_remaining(next), /*dropped=*/true,
                                /*retried=*/false});
       }
+      if (timed) {
+        const double ms = latency->FailedAttemptMs();
+        out.latency_ms += ms;
+        if (trace != nullptr) trace->path.back().latency_ms = ms;
+      }
       if (!faults.config().retry) {
         return finish(current, hops_taken, /*delivered=*/false);
       }
@@ -602,11 +628,13 @@ Status PastryNetwork::LookupResilient(uint64_t origin, uint64_t key,
   return finish(current, params_.max_route_hops, /*delivered=*/false);
 }
 
-Result<RouteResult> PastryNetwork::Lookup(uint64_t origin, uint64_t key,
-                                          RouteTrace* trace,
-                                          const fault::FaultPlan* faults) const {
+Result<RouteResult> PastryNetwork::Lookup(
+    uint64_t origin, uint64_t key, RouteTrace* trace,
+    const fault::FaultPlan* faults,
+    const latency::LatencyModel* latency) const {
   RouteResult result;
-  if (Status s = LookupInto(origin, key, result, trace, faults); !s.ok()) {
+  if (Status s = LookupInto(origin, key, result, trace, faults, latency);
+      !s.ok()) {
     return s;
   }
   return result;

@@ -6,6 +6,7 @@
 
 #include "auxsel/frequency_table.h"
 #include "common/fault.h"
+#include "common/latency.h"
 #include "common/node_store.h"
 #include "common/random.h"
 #include "common/ring_id.h"
@@ -120,14 +121,23 @@ class PastryNetwork {
   /// next-best entry under per-visit and global budgets, and failure
   /// bookkeeping lands in the RouteResult's resilience fields. A null or
   /// disabled plan takes the historical fault-free path bit-for-bit.
+  ///
+  /// When `latency` names an enabled latency::LatencyModel every delivered
+  /// forward — including R1's final leaf-set delivery hop — accrues its
+  /// deterministic hop span (base RTT + jitter) and every failed attempt
+  /// accrues the model's timeout, summed into RouteResult::latency_ms and
+  /// tagged per hop on the trace. A null or disabled model leaves every
+  /// latency field 0 and the route unchanged.
   Status LookupInto(uint64_t origin, uint64_t key, RouteResult& out,
                     RouteTrace* trace = nullptr,
-                    const fault::FaultPlan* faults = nullptr) const;
+                    const fault::FaultPlan* faults = nullptr,
+                    const latency::LatencyModel* latency = nullptr) const;
 
   /// By-value convenience form of LookupInto.
-  Result<RouteResult> Lookup(uint64_t origin, uint64_t key,
-                             RouteTrace* trace = nullptr,
-                             const fault::FaultPlan* faults = nullptr) const;
+  Result<RouteResult> Lookup(
+      uint64_t origin, uint64_t key, RouteTrace* trace = nullptr,
+      const fault::FaultPlan* faults = nullptr,
+      const latency::LatencyModel* latency = nullptr) const;
 
   /// Rebuilds `id`'s routing rows and leaf set from live membership, with
   /// proximity-aware row filling (closest candidate per row), and prunes
@@ -147,7 +157,8 @@ class PastryNetwork {
   /// `truth` is the precomputed responsible node.
   Status LookupResilient(uint64_t origin, uint64_t key, uint64_t truth,
                          RouteResult& out, RouteTrace* trace,
-                         const fault::FaultPlan& faults) const;
+                         const fault::FaultPlan& faults,
+                         const latency::LatencyModel* latency) const;
 
   PastryParams params_;
   IdSpace space_;

@@ -1,0 +1,156 @@
+// Deterministic link-latency model (docs/OBSERVABILITY.md): stateless
+// coordinate hashing, ping-matrix round-trips, and jitter that depends only
+// on (seed, key, endpoints, attempt) — never on RNG streams or call order.
+
+#include "common/latency.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace peercache::latency {
+namespace {
+
+LatencyConfig SyntheticConfig() {
+  LatencyConfig cfg;
+  cfg.base_rtt_ms = 2.0;
+  cfg.coord_scale_ms = 80.0;
+  cfg.jitter_ms = 3.0;
+  cfg.timeout_ms = 25.0;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(LatencyConfig, EnabledWhenAnyCostKnobIsSet) {
+  LatencyConfig off;
+  EXPECT_FALSE(off.enabled());
+  off.timeout_ms = 30.0;  // timeout alone never turns the model on
+  EXPECT_FALSE(off.enabled());
+  LatencyConfig base;
+  base.base_rtt_ms = 1.0;
+  EXPECT_TRUE(base.enabled());
+  LatencyConfig jitter;
+  jitter.jitter_ms = 0.5;
+  EXPECT_TRUE(jitter.enabled());
+}
+
+// Coordinates are a pure function of (seed, node id): two independently
+// constructed models agree everywhere, and the values stay in [0, 1)^2.
+// There is no setup pass whose iteration order (or thread count) could
+// perturb them — this is the determinism contract of the model.
+TEST(LatencyModel, CoordinatesAreStatelessAndInRange) {
+  const LatencyModel a(SyntheticConfig());
+  const LatencyModel b(SyntheticConfig());
+  for (uint64_t node = 0; node < 200; ++node) {
+    const auto [xa, ya] = a.Coordinate(node * 0x9e3779b9u + 11);
+    const auto [xb, yb] = b.Coordinate(node * 0x9e3779b9u + 11);
+    EXPECT_EQ(xa, xb);
+    EXPECT_EQ(ya, yb);
+    EXPECT_GE(xa, 0.0);
+    EXPECT_LT(xa, 1.0);
+    EXPECT_GE(ya, 0.0);
+    EXPECT_LT(ya, 1.0);
+  }
+}
+
+TEST(LatencyModel, CoordinateDependsOnSeed) {
+  LatencyConfig other = SyntheticConfig();
+  other.seed = 8;
+  const LatencyModel a(SyntheticConfig());
+  const LatencyModel b(other);
+  int differing = 0;
+  for (uint64_t node = 1; node <= 32; ++node) {
+    if (a.Coordinate(node) != b.Coordinate(node)) ++differing;
+  }
+  EXPECT_GT(differing, 16);
+}
+
+TEST(LatencyModel, BaseRttIsSymmetricWithZeroDiagonal) {
+  const LatencyModel m(SyntheticConfig());
+  EXPECT_DOUBLE_EQ(m.BaseRttMs(42, 42), 0.0);
+  for (uint64_t a = 1; a <= 16; ++a) {
+    for (uint64_t b = a + 1; b <= 17; ++b) {
+      EXPECT_EQ(m.BaseRttMs(a, b), m.BaseRttMs(b, a));
+      EXPECT_GE(m.BaseRttMs(a, b), SyntheticConfig().base_rtt_ms);
+    }
+  }
+}
+
+// The synthetic RTT is exactly base + scale * euclidean(coord_a, coord_b).
+TEST(LatencyModel, BaseRttMatchesCoordinateGeometry) {
+  const LatencyConfig cfg = SyntheticConfig();
+  const LatencyModel m(cfg);
+  const auto [xa, ya] = m.Coordinate(5);
+  const auto [xb, yb] = m.Coordinate(9);
+  const double dist =
+      std::sqrt((xa - xb) * (xa - xb) + (ya - yb) * (ya - yb));
+  EXPECT_EQ(m.BaseRttMs(5, 9), cfg.base_rtt_ms + cfg.coord_scale_ms * dist);
+}
+
+// Per-attempt jitter: reproducible for the same (key, from, to, attempt),
+// bounded by jitter_ms, and decorrelated across retransmission attempts.
+TEST(LatencyModel, JitterIsDeterministicBoundedAndPerAttempt) {
+  const LatencyConfig cfg = SyntheticConfig();
+  const LatencyModel m(cfg);
+  const double base = m.BaseRttMs(3, 4);
+  const double first = m.HopLatencyMs(100, 3, 4, 0);
+  EXPECT_EQ(first, m.HopLatencyMs(100, 3, 4, 0));
+  EXPECT_GE(first, base);
+  EXPECT_LT(first, base + cfg.jitter_ms);
+  const double retry = m.HopLatencyMs(100, 3, 4, 1);
+  EXPECT_NE(first, retry);
+  EXPECT_EQ(m.FailedAttemptMs(), cfg.timeout_ms);
+}
+
+TEST(LatencyModel, InertByDefault) {
+  const LatencyModel m;
+  EXPECT_FALSE(m.enabled());
+  EXPECT_DOUBLE_EQ(m.HopLatencyMs(1, 2, 3, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.FailedAttemptMs(), 0.0);
+}
+
+PingMatrix SmallMatrix() {
+  PingMatrix m;
+  m.ids = {30, 10, 20};  // deliberately unsorted
+  m.rtt_ms = {0.0, 12.5, 200.0,  //
+              12.5, 0.0, 0.1,    //
+              200.0, 0.1, 0.0};
+  return m;
+}
+
+// Emit -> Load -> Emit is a fixed point: the text form round-trips both the
+// parsed fields and the exact bytes (shortest round-trip double formatting).
+TEST(PingMatrix, EmitLoadRoundTripIsByteExact) {
+  const PingMatrix m = SmallMatrix();
+  const std::string text = EmitPingMatrix(m);
+  Result<PingMatrix> loaded = LoadPingMatrix(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().ids, m.ids);
+  EXPECT_EQ(loaded.value().rtt_ms, m.rtt_ms);
+  EXPECT_EQ(EmitPingMatrix(loaded.value()), text);
+}
+
+TEST(PingMatrix, LoadRejectsMalformedInput) {
+  EXPECT_FALSE(LoadPingMatrix("").ok());
+  EXPECT_FALSE(LoadPingMatrix("not-a-matrix v9\n").ok());
+  // Header fine, but a row is short one entry.
+  EXPECT_FALSE(LoadPingMatrix("peercache-ping-matrix v1\nn 2\nids 1 2\n"
+                              "row 0 0 5\nrow 1 5\n")
+                   .ok());
+}
+
+// Pairs present in the matrix use the measured RTT; a node the matrix does
+// not know falls back to the synthetic coordinate geometry.
+TEST(LatencyModel, MatrixOverridesKnownPairsOnly) {
+  const LatencyConfig cfg = SyntheticConfig();
+  const LatencyModel with(cfg, SmallMatrix());
+  const LatencyModel synthetic(cfg);
+  EXPECT_DOUBLE_EQ(with.BaseRttMs(10, 30), 12.5);
+  EXPECT_DOUBLE_EQ(with.BaseRttMs(20, 30), 200.0);
+  EXPECT_DOUBLE_EQ(with.BaseRttMs(10, 20), 0.1);
+  // 99 is unknown to the matrix: both endpoints resolve synthetically.
+  EXPECT_EQ(with.BaseRttMs(99, 7), synthetic.BaseRttMs(99, 7));
+}
+
+}  // namespace
+}  // namespace peercache::latency

@@ -176,5 +176,114 @@ TEST(MetricsRegistry, ZeroShardsClampsToOne) {
   EXPECT_EQ(registry.shard_count(), 1u);
 }
 
+TEST(MetricsShard, ObserveLatencyFeedsLogHistogram) {
+  MetricsShard shard;
+  EXPECT_EQ(shard.latency_histogram("rtt"), nullptr);
+  shard.ObserveLatency("rtt", 12.0);
+  shard.ObserveLatency("rtt", 120.0);
+  const LogHistogram* h = shard.latency_histogram("rtt");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_DOUBLE_EQ(h->min(), 12.0);
+  EXPECT_DOUBLE_EQ(h->max(), 120.0);
+}
+
+TEST(MetricsShard, MergeLatencyMatchesPerSampleObserve) {
+  MetricsShard observed;
+  LogHistogram local;
+  for (int i = 0; i < 500; ++i) {
+    const double x = 0.7 * i + 0.2;
+    observed.ObserveLatency("rtt", x);
+    local.Add(x);
+  }
+  MetricsShard batched;
+  batched.MergeLatency("rtt", local);
+  const LogHistogram* a = observed.latency_histogram("rtt");
+  const LogHistogram* b = batched.latency_histogram("rtt");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->count(), b->count());
+  EXPECT_EQ(a->sum(), b->sum());
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a->Percentile(q), b->Percentile(q)) << "q=" << q;
+  }
+}
+
+// The latency_histograms JSON section appears only when a LogHistogram
+// instrument exists — latency-off documents keep their historical bytes.
+TEST(MetricsShard, LatencySectionIsConditional) {
+  MetricsShard off;
+  off.Count("queries");
+  JsonWriter w_off;
+  off.WriteJson(w_off);
+  EXPECT_EQ(w_off.TakeString().find("latency_histograms"), std::string::npos);
+
+  MetricsShard on;
+  on.ObserveLatency("rtt", 5.0);
+  JsonWriter w_on;
+  on.WriteJson(w_on);
+  EXPECT_NE(w_on.TakeString().find("\"latency_histograms\""),
+            std::string::npos);
+}
+
+// Stress the shard fan-in: many shards, every instrument kind interleaved,
+// folded by Merged() — the result must match a serial shard fed the same
+// stream, field for field and bit for bit.
+TEST(MetricsRegistry, MergedManyShardsMatchesSerialReference) {
+  constexpr size_t kShards = 64;
+  constexpr int kPerShard = 200;
+  MetricsRegistry registry(kShards);
+  MetricsShard serial;
+  for (size_t s = 0; s < kShards; ++s) {
+    MetricsShard& shard = registry.shard(s);
+    for (int i = 0; i < kPerShard; ++i) {
+      const double x = 0.1 * static_cast<double>(s * kPerShard + i) + 0.3;
+      shard.Count("events");
+      serial.Count("events");
+      shard.AddTimerSeconds("work", x * 1e-6);
+      serial.AddTimerSeconds("work", x * 1e-6);
+      shard.Observe("hops", x);
+      serial.Observe("hops", x);
+      shard.ObserveLatency("rtt", x);
+      serial.ObserveLatency("rtt", x);
+      shard.ObserveHistogram("hops.hist", static_cast<int>(i % 11), 16);
+      serial.ObserveHistogram("hops.hist", static_cast<int>(i % 11), 16);
+    }
+  }
+  const MetricsShard merged = registry.Merged();
+  // Integer-derived state (counts, bucket tallies, and the percentiles
+  // computed from them plus exact min/max) is identical; compensated float
+  // sums associate differently across the shard fold, so those compare to
+  // within a few ulps.
+  EXPECT_EQ(merged.counter("events"),
+            static_cast<uint64_t>(kShards) * kPerShard);
+  EXPECT_EQ(merged.counter("events"), serial.counter("events"));
+  EXPECT_NEAR(merged.timer_seconds("work"), serial.timer_seconds("work"),
+              1e-12 * serial.timer_seconds("work"));
+  ASSERT_NE(merged.stats("hops"), nullptr);
+  EXPECT_EQ(merged.stats("hops")->count(), serial.stats("hops")->count());
+  EXPECT_EQ(merged.stats("hops")->min(), serial.stats("hops")->min());
+  EXPECT_EQ(merged.stats("hops")->max(), serial.stats("hops")->max());
+  EXPECT_NEAR(merged.stats("hops")->sum(), serial.stats("hops")->sum(),
+              1e-12 * serial.stats("hops")->sum());
+  EXPECT_NEAR(merged.stats("hops")->stddev(), serial.stats("hops")->stddev(),
+              1e-9 * serial.stats("hops")->stddev());
+  ASSERT_NE(merged.latency_histogram("rtt"), nullptr);
+  EXPECT_EQ(merged.latency_histogram("rtt")->count(),
+            serial.latency_histogram("rtt")->count());
+  EXPECT_NEAR(merged.latency_histogram("rtt")->sum(),
+              serial.latency_histogram("rtt")->sum(),
+              1e-12 * serial.latency_histogram("rtt")->sum());
+  for (double q : {0.5, 0.99, 0.999}) {
+    EXPECT_EQ(merged.latency_histogram("rtt")->Percentile(q),
+              serial.latency_histogram("rtt")->Percentile(q));
+  }
+  ASSERT_NE(merged.histogram("hops.hist"), nullptr);
+  EXPECT_EQ(merged.histogram("hops.hist")->count(),
+            serial.histogram("hops.hist")->count());
+  EXPECT_EQ(merged.histogram("hops.hist")->sum(),
+            serial.histogram("hops.hist")->sum());
+}
+
 }  // namespace
 }  // namespace peercache

@@ -1,0 +1,85 @@
+// Phase profiler (docs/OBSERVABILITY.md): disabled spans cost nothing and
+// record nothing; enabled spans accumulate by name into a sorted,
+// structurally deterministic report.
+
+#include "common/profiler.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace peercache {
+namespace {
+
+// The profiler is a process-global singleton: every test restores the
+// disabled/empty state it found.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::Global().Reset();
+    Profiler::Global().Enable(true);
+  }
+  void TearDown() override {
+    Profiler::Global().Enable(false);
+    Profiler::Global().Reset();
+  }
+};
+
+TEST_F(ProfilerTest, DisabledScopedProfileRecordsNothing) {
+  Profiler::Global().Enable(false);
+  { ScopedProfile span("ignored.phase"); }
+  EXPECT_TRUE(Profiler::Global().Report().empty());
+}
+
+TEST_F(ProfilerTest, SpansAccumulateByNameInSortedOrder) {
+  { ScopedProfile span("zeta"); }
+  { ScopedProfile span("alpha"); }
+  { ScopedProfile span("alpha"); }
+  const std::vector<Profiler::Span> report = Profiler::Global().Report();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].name, "alpha");
+  EXPECT_EQ(report[0].calls, 2u);
+  EXPECT_GE(report[0].seconds, 0.0);
+  EXPECT_EQ(report[1].name, "zeta");
+  EXPECT_EQ(report[1].calls, 1u);
+}
+
+TEST_F(ProfilerTest, RecordMergesAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Profiler::Global().Record("shared.phase", 0.001);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const std::vector<Profiler::Span> report = Profiler::Global().Report();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].calls, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_NEAR(report[0].seconds, 0.001 * kThreads * kPerThread, 1e-9);
+}
+
+TEST_F(ProfilerTest, ResetDropsSpansButKeepsEnabled) {
+  Profiler::Global().Record("a", 1.0);
+  Profiler::Global().Reset();
+  EXPECT_TRUE(Profiler::Global().Report().empty());
+  EXPECT_TRUE(Profiler::Global().enabled());
+}
+
+TEST_F(ProfilerTest, WriteJsonEmitsSortedSpanObjects) {
+  Profiler::Global().Record("b.phase", 0.5);
+  Profiler::Global().Record("a.phase", 0.25);
+  Profiler::Global().Record("a.phase", 0.25);
+  JsonWriter w;
+  Profiler::Global().WriteJson(w);
+  const std::string json = w.TakeString();
+  EXPECT_EQ(json,
+            "{\"a.phase\":{\"calls\":2,\"seconds\":0.5},"
+            "\"b.phase\":{\"calls\":1,\"seconds\":0.5}}");
+}
+
+}  // namespace
+}  // namespace peercache

@@ -101,9 +101,37 @@ TEST(Histogram, BasicCountsAndMean) {
 TEST(Histogram, Percentiles) {
   Histogram h(20);
   for (int v = 1; v <= 100; ++v) h.Add(v % 10);
-  EXPECT_EQ(h.Percentile(0.0), 0);
-  EXPECT_EQ(h.Percentile(0.5), 4);
-  EXPECT_EQ(h.Percentile(1.0), 9);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.0);
+  // 100 samples, 10 each of 0..9: the continuous rank 49.5 sits exactly
+  // between the last 4 and the first 5.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 4.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 9.0);
+  // The legacy nearest-rank form (serialized into committed telemetry)
+  // stays integral: smallest v with >= q of the mass at or below it.
+  EXPECT_EQ(h.PercentileRank(0.5), 4);
+  EXPECT_EQ(h.PercentileRank(0.99), 9);
+  EXPECT_EQ(h.PercentileRank(1.0), 9);
+}
+
+// The interpolated value moves linearly between adjacent samples: with
+// {1, 2, 3, 4} the median is 2.5 and p75 lands at rank 2.25.
+TEST(Histogram, PercentileInterpolatesBetweenSamples) {
+  Histogram h(8);
+  for (int v : {1, 2, 3, 4}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.75), 3.25);
+}
+
+TEST(Histogram, PercentileRankEdgeCases) {
+  Histogram empty(4);
+  EXPECT_EQ(empty.PercentileRank(0.5), 0);
+  Histogram h(4);
+  h.Add(2);
+  h.Add(3);
+  // q = 0 clamps to the first sample rather than reporting bucket 0.
+  EXPECT_EQ(h.PercentileRank(0.0), 2);
+  h.Add(50);  // overflow mass reports as the sentinel max_value() + 1
+  EXPECT_EQ(h.PercentileRank(1.0), h.max_value() + 1);
 }
 
 TEST(Histogram, Overflow) {
@@ -160,8 +188,11 @@ TEST(Histogram, PercentileMixedOverflow) {
   Histogram h(4);
   h.Add(1);
   h.Add(50);
-  EXPECT_EQ(h.Percentile(0.5), 1);
-  EXPECT_EQ(h.Percentile(1.0), 5);  // overflow sentinel
+  // Interpolation splits the median between the sample at 1 and the
+  // overflow sentinel at max_value() + 1 = 5.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 5.0);  // overflow sentinel
+  EXPECT_EQ(h.PercentileRank(0.5), 1);       // nearest-rank stays sharp
 }
 
 TEST(Histogram, SumTracksExactTotal) {
@@ -187,6 +218,96 @@ TEST(Histogram, SummaryMentionsCount) {
   Histogram h(5);
   h.Add(2);
   EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+}
+
+TEST(LogHistogram, EmptyReportsZeros) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 0.0);
+}
+
+// A single sample answers every quantile exactly — the within-bucket
+// interpolation is clamped to the observed [min, max].
+TEST(LogHistogram, SingleSampleAnswersEveryQuantile) {
+  LogHistogram h;
+  h.Add(42.5);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(q), 42.5) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.5);
+  EXPECT_DOUBLE_EQ(h.min(), 42.5);
+  EXPECT_DOUBLE_EQ(h.max(), 42.5);
+}
+
+// p0 and p100 are sharp: exactly the observed extremes, never a bucket
+// boundary below the minimum or above the maximum.
+TEST(LogHistogram, ExtremeQuantilesAreObservedMinMax) {
+  LogHistogram h;
+  for (double v : {0.7, 3.0, 19.0, 250.0}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.7);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 250.0);
+}
+
+// Quantiles are monotone in q and land inside the bucket holding the rank:
+// 1000 samples of 1..1000 keep every checked quantile within one bucket
+// width (~19%) of the exact order statistic.
+TEST(LogHistogram, QuantilesTrackOrderStatistics) {
+  LogHistogram h;
+  for (int v = 1; v <= 1000; ++v) h.Add(static_cast<double>(v));
+  double prev = 0.0;
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double p = h.Percentile(q);
+    const double exact = q * 1000.0;
+    EXPECT_GE(p, prev) << "q=" << q;
+    EXPECT_NEAR(p, exact, 0.2 * exact) << "q=" << q;
+    prev = p;
+  }
+}
+
+// Negative inputs (a defensive impossibility for latencies) clamp to 0
+// instead of corrupting the bucket index.
+TEST(LogHistogram, NegativeValuesClampToZero) {
+  LogHistogram h;
+  h.Add(-3.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+}
+
+// Sharded Merge must be indistinguishable from serial accumulation: counts,
+// extremes, compensated sum, and every reported quantile.
+TEST(LogHistogram, MergeMatchesSerial) {
+  LogHistogram serial, a, b, c;
+  for (int i = 0; i < 3000; ++i) {
+    const double v = 0.5 + (i % 701) * 1.7;
+    serial.Add(v);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).Add(v);
+  }
+  a.Merge(b);
+  a.Merge(c);
+  EXPECT_EQ(a.count(), serial.count());
+  EXPECT_DOUBLE_EQ(a.min(), serial.min());
+  EXPECT_DOUBLE_EQ(a.max(), serial.max());
+  EXPECT_DOUBLE_EQ(a.sum(), serial.sum());
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(q), serial.Percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, MergeWithEmpty) {
+  LogHistogram a, empty;
+  a.Add(7.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 7.0);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 7.0);
 }
 
 }  // namespace

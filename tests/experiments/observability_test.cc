@@ -236,6 +236,112 @@ TEST(Observability, ChurnRunProducesTelemetry) {
   EXPECT_EQ(result->metrics.counter("lookup.queries"), result->queries);
 }
 
+ExperimentConfig LatencyConfigOn(uint64_t seed) {
+  ExperimentConfig cfg = BaseConfig(seed);
+  cfg.n_popularity_lists = 5;
+  cfg.latency.base_rtt_ms = 2.0;
+  cfg.latency.coord_scale_ms = 60.0;
+  cfg.latency.jitter_ms = 3.0;
+  cfg.latency.timeout_ms = 20.0;
+  return cfg;
+}
+
+// Switching the latency model on must not move a single packet: routing,
+// selection, and every hop-count statistic are untouched — the model only
+// annotates the hops that already happened.
+TEST(Observability, LatencyModelDoesNotPerturbRouting) {
+  ExperimentConfig off = BaseConfig(0xd0);
+  off.n_popularity_lists = 5;
+  auto plain = RunStable<ChordPolicy>(off, SelectorKind::kOptimal);
+  auto timed = RunStable<ChordPolicy>(LatencyConfigOn(0xd0),
+                                      SelectorKind::kOptimal);
+  ASSERT_TRUE(plain.ok() && timed.ok());
+  EXPECT_FALSE(plain->latency_enabled);
+  EXPECT_TRUE(timed->latency_enabled);
+  EXPECT_EQ(plain->avg_hops, timed->avg_hops);
+  EXPECT_EQ(plain->total_route_hops, timed->total_route_hops);
+  EXPECT_EQ(plain->aux_route_hops, timed->aux_route_hops);
+  EXPECT_EQ(SerializedAudit(*plain), SerializedAudit(*timed));
+  // Every measured lookup landed one sample in the latency histogram.
+  EXPECT_EQ(timed->latency_histogram.count(), timed->queries);
+  EXPECT_EQ(plain->latency_histogram.count(), 0u);
+}
+
+// The latency histogram and the per-hop spans in the traces join the
+// determinism contract: byte-identical at threads 1 and 4.
+TEST(Observability, LatencyTelemetryIsThreadCountInvariant) {
+  ExperimentConfig cfg = LatencyConfigOn(0xd1);
+  cfg.threads = 1;
+  auto serial = RunStable<ChordPolicy>(cfg, SelectorKind::kOptimal);
+  cfg.threads = 4;
+  auto parallel = RunStable<ChordPolicy>(cfg, SelectorKind::kOptimal);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  EXPECT_EQ(serial->latency_histogram.count(),
+            parallel->latency_histogram.count());
+  EXPECT_EQ(serial->latency_histogram.sum(), parallel->latency_histogram.sum());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(serial->latency_histogram.Percentile(q),
+              parallel->latency_histogram.Percentile(q))
+        << "q=" << q;
+  }
+  // Traces carry per-hop latency_ms spans; the serialized lines (latency
+  // fields included) must agree byte for byte.
+  EXPECT_EQ(SerializedTraces("chord", *serial),
+            SerializedTraces("chord", *parallel));
+  bool saw_hop_span = false;
+  for (const RouteTrace& trace : serial->traces) {
+    for (const HopRecord& hop : trace.path) {
+      if (hop.latency_ms > 0.0) saw_hop_span = true;
+    }
+    if (!trace.path.empty() && trace.success) {
+      double total = 0.0;
+      for (const HopRecord& hop : trace.path) total += hop.latency_ms;
+      EXPECT_LE(total, trace.latency_ms + 1e-9);  // failed attempts add more
+    }
+  }
+  EXPECT_TRUE(saw_hop_span);
+}
+
+// The run-level latency block and the latency_* config keys are emitted
+// only for latency-enabled runs; a latency-off document keeps its
+// historical bytes (no new keys anywhere).
+TEST(Observability, LatencyJsonIsConditional) {
+  ExperimentConfig off = BaseConfig(0xd2);
+  off.n_popularity_lists = 5;
+  auto cmp_off = CompareStable<ChordPolicy>(off);
+  ASSERT_TRUE(cmp_off.ok());
+  const std::string doc_off =
+      ComparisonDocument("observability_test", "chord", "stable", off,
+                         *cmp_off);
+  EXPECT_EQ(doc_off.find("\"latency\""), std::string::npos);
+  EXPECT_EQ(doc_off.find("latency_base_rtt_ms"), std::string::npos);
+  EXPECT_EQ(doc_off.find("latency_histograms"), std::string::npos);
+
+  const ExperimentConfig on = LatencyConfigOn(0xd2);
+  auto cmp_on = CompareStable<ChordPolicy>(on);
+  ASSERT_TRUE(cmp_on.ok());
+  const std::string doc_on =
+      ComparisonDocument("observability_test", "chord", "stable", on, *cmp_on);
+  EXPECT_NE(doc_on.find("\"latency_base_rtt_ms\":2"), std::string::npos);
+  EXPECT_NE(doc_on.find("\"latency\":{\"count\":"), std::string::npos);
+  EXPECT_NE(doc_on.find("\"p999_ms\""), std::string::npos);
+  EXPECT_NE(doc_on.find("\"latency_histograms\""), std::string::npos);
+}
+
+// Churn runs accrue latency through the same per-hop path, including the
+// timeout cost of failed forwarding attempts.
+TEST(Observability, ChurnRunAccruesLatency) {
+  ExperimentConfig cfg = LatencyConfigOn(0xd3);
+  ChurnConfig churn;
+  churn.warmup_s = 400;
+  churn.measure_s = 400;
+  auto result = RunChurn<ChordPolicy>(cfg, churn, SelectorKind::kOptimal);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->latency_enabled);
+  EXPECT_EQ(result->latency_histogram.count(), result->queries);
+  EXPECT_GT(result->latency_histogram.max(), 0.0);
+}
+
 TEST(Observability, ComparisonDocumentHasSchemaEnvelope) {
   ExperimentConfig cfg = BaseConfig(0xde);
   cfg.n_popularity_lists = 5;
