@@ -25,9 +25,12 @@ namespace peercache::bench {
 ///   --quick        shrink workloads for a fast smoke run
 ///   --seeds N      average improvements over N seeds (default 1)
 ///   --seed  S      base seed (default 1)
-///   --threads T    worker threads for the per-node experiment loops
-///                  (0 = all hardware threads, 1 = serial; measured
-///                  numbers are identical for every value)
+///   --threads T    size of the persistent worker pool the experiment
+///                  phases shard node ranges across (0 = all hardware
+///                  threads, 1 = serial; measured numbers are identical
+///                  for every value)
+///   --batch        where supported (lookup_throughput), add rows routed
+///                  through the batched prefetch-pipelined lookup engine
 ///   --json-out F   write the figure as a schema-versioned JSON document
 ///   --log-level L  debug|info|warning|error (default warning)
 ///
@@ -58,6 +61,7 @@ struct BenchArgs {
   int seeds = 1;
   uint64_t base_seed = 1;
   int threads = 0;
+  bool batch = false;
   std::string json_out;
   fault::FaultConfig faults;
   latency::LatencyConfig latency;
@@ -76,6 +80,8 @@ struct BenchArgs {
         args.base_seed = static_cast<uint64_t>(std::atoll(argv[++i]));
       } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
         args.threads = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--batch") == 0) {
+        args.batch = true;
       } else if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
         args.json_out = argv[++i];
       } else if (std::strcmp(argv[i], "--fault-drop") == 0 && i + 1 < argc) {
@@ -129,7 +135,8 @@ struct BenchArgs {
       } else {
         std::fprintf(stderr,
                      "usage: %s [--quick] [--seeds N] [--seed S] [--threads T]"
-                     " [--json-out FILE] [--fault-drop P] [--fault-fail P]"
+                     " [--batch] [--json-out FILE] [--fault-drop P]"
+                     " [--fault-fail P]"
                      " [--fault-stale P] [--fault-seed S] [--fault-retries N]"
                      " [--no-fault-retries] [--latency-base MS]"
                      " [--latency-scale MS] [--latency-jitter MS]"

@@ -7,11 +7,16 @@
 //
 //   $ ./lookup_throughput                # default sizes
 //   $ ./lookup_throughput --quick        # smaller overlay, fewer lookups
+//   $ ./lookup_throughput --batch        # add batched-engine rows
 //   $ ./lookup_throughput --json-out throughput.json
 //
 // Lookup outcomes are folded into a checksum printed with every row; it
 // depends only on (seed, config), so two builds can be compared for both
-// speed and routing equivalence.
+// speed and routing equivalence. `--batch` appends extra rows (mode
+// suffix "-batched") that route the identical query stream through the
+// prefetch-pipelined cursor engine of experiments/batch_engine.h — their
+// checksums must match the unbatched rows'. The default document shape
+// (four rows) is unchanged so existing schema checks keep passing.
 
 #include <chrono>
 #include <cstdint>
@@ -22,6 +27,7 @@
 #include "bench_util.h"
 #include "common/random.h"
 #include "common/route_result.h"
+#include "experiments/batch_engine.h"
 #include "experiments/generic_experiment.h"
 #include "experiments/json_report.h"
 
@@ -43,10 +49,14 @@ struct ThroughputRow {
 };
 
 /// Routes `lookups` uniform-random queries from uniform-random live
-/// origins through one reused RouteResult and times the loop.
+/// origins through one reused RouteResult and times the loop. When
+/// `batched` is set, the identical query stream goes through the window-16
+/// batched cursor engine instead; outcomes (and so the checksum) are
+/// engine-independent.
 template <typename Policy>
 ThroughputRow MeasureCase(const char* mode, bool churned, int n_nodes,
-                          uint64_t lookups, uint64_t seed) {
+                          uint64_t lookups, uint64_t seed,
+                          bool batched = false) {
   ExperimentConfig cfg;
   cfg.n_nodes = n_nodes;
   cfg.seed = seed;
@@ -85,22 +95,42 @@ ThroughputRow MeasureCase(const char* mode, bool churned, int n_nodes,
   row.n_nodes = n_nodes;
   row.lookups = lookups;
 
-  overlay::RouteResult route;  // reused: steady state allocates nothing
   uint64_t sum_hops = 0, successes = 0;
-  const auto start = std::chrono::steady_clock::now();
-  for (uint64_t q = 0; q < lookups; ++q) {
-    const uint64_t origin =
-        live[static_cast<size_t>(rng.UniformU64(live.size()))];
-    const uint64_t key = rng.UniformU64(space);
-    if (auto s = net.LookupInto(origin, key, route); !s.ok()) continue;
-    sum_hops += static_cast<uint64_t>(route.hops);
-    successes += route.success ? 1 : 0;
-    row.checksum = MixHash64(row.checksum ^ route.destination ^
-                             (static_cast<uint64_t>(route.hops) << 32));
+  if (batched) {
+    // The same (origin, key) stream, pre-drawn so the timed region is the
+    // batched engine alone.
+    std::vector<LookupJob> jobs(lookups);
+    for (auto& job : jobs) {
+      job.origin = live[static_cast<size_t>(rng.UniformU64(live.size()))];
+      job.key = rng.UniformU64(space);
+    }
+    std::vector<BatchLookupResult> results(jobs.size());
+    const auto start = std::chrono::steady_clock::now();
+    RunBatchedLookups(net, jobs, /*window=*/16, results);
+    row.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    const BatchSummary summary = FoldChecksum(results);
+    sum_hops = summary.sum_hops;
+    successes = summary.successes;
+    row.checksum = summary.checksum;
+  } else {
+    overlay::RouteResult route;  // reused: steady state allocates nothing
+    const auto start = std::chrono::steady_clock::now();
+    for (uint64_t q = 0; q < lookups; ++q) {
+      const uint64_t origin =
+          live[static_cast<size_t>(rng.UniformU64(live.size()))];
+      const uint64_t key = rng.UniformU64(space);
+      if (auto s = net.LookupInto(origin, key, route); !s.ok()) continue;
+      sum_hops += static_cast<uint64_t>(route.hops);
+      successes += route.success ? 1 : 0;
+      row.checksum = MixHash64(row.checksum ^ route.destination ^
+                               (static_cast<uint64_t>(route.hops) << 32));
+    }
+    row.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
   }
-  row.seconds = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - start)
-                    .count();
   row.lookups_per_sec =
       row.seconds > 0 ? static_cast<double>(lookups) / row.seconds : 0;
   row.mean_hops = lookups > 0
@@ -171,6 +201,20 @@ int main(int argc, char** argv) {
                                            args.base_seed));
   rows.push_back(MeasureCase<PastryPolicy>("churn", true, n, lookups,
                                            args.base_seed));
+  if (args.batch) {
+    rows.push_back(MeasureCase<ChordPolicy>("stable-batched", false, n,
+                                            lookups, args.base_seed,
+                                            /*batched=*/true));
+    rows.push_back(MeasureCase<ChordPolicy>("churn-batched", true, n, lookups,
+                                            args.base_seed,
+                                            /*batched=*/true));
+    rows.push_back(MeasureCase<PastryPolicy>("stable-batched", false, n,
+                                             lookups, args.base_seed,
+                                             /*batched=*/true));
+    rows.push_back(MeasureCase<PastryPolicy>("churn-batched", true, n,
+                                             lookups, args.base_seed,
+                                             /*batched=*/true));
+  }
   for (const ThroughputRow& row : rows) PrintRow(row);
 
   if (!args.json_out.empty()) {

@@ -50,6 +50,7 @@ struct Args {
   peercache::latency::LatencyConfig latency;
   std::string latency_matrix;
   bool profile = false;
+  bool report_memory = false;
 
   static void Usage(const char* argv0) {
     std::fprintf(
@@ -65,10 +66,13 @@ struct Args {
         "          [--latency-base MS] [--latency-scale MS]\n"
         "          [--latency-jitter MS] [--latency-timeout MS]\n"
         "          [--latency-seed S] [--latency-matrix FILE] [--profile]\n"
+        "          [--report-memory]\n"
         "          [--log-level debug|info|warning|error]\n"
-        "  --threads T       worker threads for the per-node loops\n"
-        "                    (0 = all hardware threads, 1 = serial; results\n"
-        "                    are identical for every value)\n"
+        "  --threads T       size of the persistent worker pool the\n"
+        "                    warmup/selection/measure phases shard node\n"
+        "                    ranges across (0 = all hardware threads,\n"
+        "                    1 = serial; telemetry is byte-identical for\n"
+        "                    every value)\n"
         "  --freq-mode M     churn recompute rounds: 'observed' (default)\n"
         "                    keeps persistent per-node maintainers and\n"
         "                    applies only each round's deltas; 'pool'\n"
@@ -102,7 +106,11 @@ struct Args {
         "                       synthetic coordinates)\n"
         "  --profile            enable the phase profiler; the report lands\n"
         "                       in the --json-out document's 'profile' block\n"
-        "                       (see docs/OBSERVABILITY.md)\n",
+        "                       (see docs/OBSERVABILITY.md)\n"
+        "  --report-memory      include the flat routing-state footprint\n"
+        "                       {bytes_per_node, table_bytes, arena_bytes}\n"
+        "                       as a 'memory' block in the --json-out\n"
+        "                       document (see docs/OBSERVABILITY.md)\n",
         argv0);
     std::exit(2);
   }
@@ -175,6 +183,8 @@ struct Args {
         a.latency_matrix = next("--latency-matrix");
       } else if (!std::strcmp(argv[i], "--profile")) {
         a.profile = true;
+      } else if (!std::strcmp(argv[i], "--report-memory")) {
+        a.report_memory = true;
       } else if (!std::strcmp(argv[i], "--log-level")) {
         LogLevel level;
         if (!ParseLogLevel(next("--log-level"), &level)) {
@@ -219,6 +229,7 @@ int main(int argc, char** argv) {
   cfg.maintenance_audit_period = args.audit_period;
   cfg.faults = args.faults;
   cfg.latency = args.latency;
+  cfg.report_memory = args.report_memory;
   if (!args.latency_matrix.empty()) {
     Result<latency::PingMatrix> m =
         latency::LoadPingMatrixFile(args.latency_matrix);

@@ -23,9 +23,29 @@ Status ChordNetwork::AddNode(uint64_t id) {
   auto [node, inserted] = store_.Emplace(id, params_.frequency_capacity);
   node->id = id;
   node->alive = true;
-  node->auxiliaries.clear();
+  store_.tables().Clear(node->auxiliaries);
   store_.MarkAlive(id);
   return StabilizeNode(id);
+}
+
+Status ChordNetwork::BulkAdd(const std::vector<uint64_t>& ids) {
+  for (uint64_t id : ids) {
+    if (!space_.Contains(id)) {
+      return Status::InvalidArgument("id out of range");
+    }
+    if (store_.IsAlive(id)) {
+      return Status::InvalidArgument("live id already used");
+    }
+  }
+  store_.Reserve(store_.size() + ids.size());
+  for (uint64_t id : ids) {
+    auto [node, inserted] = store_.Emplace(id, params_.frequency_capacity);
+    node->id = id;
+    node->alive = true;
+    store_.tables().Clear(node->auxiliaries);
+  }
+  store_.BulkMarkAlive(ids);
+  return Status::Ok();
 }
 
 Status ChordNetwork::RemoveNode(uint64_t id, bool forget_state) {
@@ -37,9 +57,9 @@ Status ChordNetwork::RemoveNode(uint64_t id, bool forget_state) {
   store_.MarkDead(id);
   if (forget_state) {
     node->frequencies.Clear();
-    node->fingers.clear();
-    node->successors.clear();
-    node->auxiliaries.clear();
+    store_.tables().Release(node->fingers);
+    store_.tables().Release(node->successors);
+    store_.tables().Release(node->auxiliaries);
   }
   return Status::Ok();
 }
@@ -49,7 +69,8 @@ Status ChordNetwork::RejoinNode(uint64_t id) {
   if (node == nullptr) return Status::NotFound("unknown node");
   if (node->alive) return Status::FailedPrecondition("already alive");
   node->alive = true;
-  node->auxiliaries.clear();  // lost on crash; rebuilt at next selection
+  // Auxiliaries are lost on crash; rebuilt at the next selection.
+  store_.tables().Clear(node->auxiliaries);
   store_.MarkAlive(id);
   return StabilizeNode(id);
 }
@@ -73,10 +94,11 @@ Status ChordNetwork::StabilizeNode(uint64_t id) {
     return Status::NotFound("node not alive");
   }
   ChordNode& node = *node_ptr;
+  overlay::FlatTableArena& tables = store_.tables();
 
   // Fingers (paper's variant): for each i, the numerically smallest live
   // node in (id + 2^i, id + 2^{i+1}].
-  node.fingers.clear();
+  scratch_.clear();
   for (int i = 0; i < params_.bits; ++i) {
     // (id + 2^i, id + 2^{i+1}]: first live node clockwise from id + 2^i + 1.
     const uint64_t start = space_.Add(id, (uint64_t{1} << i) + 1);
@@ -86,27 +108,27 @@ Status ChordNetwork::StabilizeNode(uint64_t id) {
     // Membership check: candidate within (id + 2^i, id + 2^{i+1}]?
     if (space_.InClockwiseRangeExclIncl(space_.Add(id, uint64_t{1} << i),
                                         candidate, end)) {
-      node.fingers.push_back(candidate);
+      scratch_.push_back(candidate);
     }
   }
+  tables.Assign(node.fingers, scratch_);
 
   // Successor list: the next successor_list_size live nodes clockwise.
-  node.successors.clear();
+  scratch_.clear();
   if (store_.live_count() > 1) {
     uint64_t cursor = store_.FirstLiveAtOrAfter(space_.Add(id, 1));
     for (int i = 0;
          i < params_.successor_list_size && cursor != id;
          ++i) {
-      node.successors.push_back(cursor);
+      scratch_.push_back(cursor);
       cursor = store_.FirstLiveAtOrAfter(space_.Add(cursor, 1));
     }
   }
+  tables.Assign(node.successors, scratch_);
 
   // Prune dead auxiliaries (stale-entry removal).
-  auto& aux = node.auxiliaries;
-  aux.erase(std::remove_if(aux.begin(), aux.end(),
-                           [this](uint64_t a) { return !IsAlive(a); }),
-            aux.end());
+  tables.EraseIf(node.auxiliaries,
+                 [this](uint64_t a) { return !IsAlive(a); });
   return Status::Ok();
 }
 
@@ -122,18 +144,44 @@ Status ChordNetwork::SetAuxiliaries(uint64_t id,
   if (node == nullptr || !node->alive) {
     return Status::NotFound("node not alive");
   }
-  node->auxiliaries = std::move(auxiliaries);
+  store_.tables().Assign(node->auxiliaries, auxiliaries);
   return Status::Ok();
 }
 
 std::vector<uint64_t> ChordNetwork::CoreNeighborIds(uint64_t id) const {
   const ChordNode* node = GetNode(id);
   if (node == nullptr) return {};
-  std::vector<uint64_t> out = node->fingers;
-  out.insert(out.end(), node->successors.begin(), node->successors.end());
+  const auto fingers = Fingers(*node);
+  const auto successors = Successors(*node);
+  std::vector<uint64_t> out(fingers.begin(), fingers.end());
+  out.insert(out.end(), successors.begin(), successors.end());
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+ChordNetwork::NextHop ChordNetwork::SelectNextHop(const ChordNode& node,
+                                                  uint64_t current,
+                                                  uint64_t key) const {
+  // Paper's policy: among live table entries between current and the key
+  // (clockwise), pick the one closest to the key. Dead entries are skipped
+  // ("ping before forwarding").
+  NextHop best{current, space_.ClockwiseDistance(current, key),
+               HopEntryKind::kFinger};
+  auto consider = [&](uint64_t w, HopEntryKind kind) {
+    if (w == current || !IsAlive(w)) return;
+    if (!space_.InClockwiseRangeExclIncl(current, w, key)) return;
+    uint64_t remaining = space_.ClockwiseDistance(w, key);
+    if (remaining < best.best_remaining) {
+      best.best_remaining = remaining;
+      best.next = w;
+      best.kind = kind;
+    }
+  };
+  for (uint64_t w : Fingers(node)) consider(w, HopEntryKind::kFinger);
+  for (uint64_t w : Successors(node)) consider(w, HopEntryKind::kSuccessor);
+  for (uint64_t w : Auxiliaries(node)) consider(w, HopEntryKind::kAuxiliary);
+  return best;
 }
 
 Status ChordNetwork::LookupInto(uint64_t origin, uint64_t key,
@@ -158,27 +206,9 @@ Status ChordNetwork::LookupInto(uint64_t origin, uint64_t key,
   for (int hop = 0; hop <= params_.max_route_hops; ++hop) {
     const ChordNode* node = GetNode(current);
     assert(node != nullptr);
-    // Paper's policy: among live table entries between current and the key
-    // (clockwise), pick the one closest to the key. Dead entries are skipped
-    // ("ping before forwarding").
-    uint64_t next = current;
-    uint64_t best_remaining = space_.ClockwiseDistance(current, key);
-    HopEntryKind next_kind = HopEntryKind::kFinger;
-    auto consider = [&](uint64_t w, HopEntryKind kind) {
-      if (w == current || !IsAlive(w)) return;
-      if (!space_.InClockwiseRangeExclIncl(current, w, key)) return;
-      uint64_t remaining = space_.ClockwiseDistance(w, key);
-      if (remaining < best_remaining) {
-        best_remaining = remaining;
-        next = w;
-        next_kind = kind;
-      }
-    };
-    for (uint64_t w : node->fingers) consider(w, HopEntryKind::kFinger);
-    for (uint64_t w : node->successors) consider(w, HopEntryKind::kSuccessor);
-    for (uint64_t w : node->auxiliaries) consider(w, HopEntryKind::kAuxiliary);
+    const NextHop sel = SelectNextHop(*node, current, key);
 
-    if (next == current) {
+    if (sel.next == current) {
       // No live entry between here and the key: to this node's knowledge it
       // is the key's predecessor, so it answers.
       out.destination = current;
@@ -192,17 +222,18 @@ Status ChordNetwork::LookupInto(uint64_t origin, uint64_t key,
       }
       return Status::Ok();
     }
-    if (next_kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
+    if (sel.kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
     if (trace != nullptr) {
-      trace->path.push_back({current, next, next_kind, best_remaining});
+      trace->path.push_back({current, sel.next, sel.kind,
+                             sel.best_remaining});
     }
     if (timed) {
-      const double ms = latency->HopLatencyMs(key, current, next, hop);
+      const double ms = latency->HopLatencyMs(key, current, sel.next, hop);
       out.latency_ms += ms;
       if (trace != nullptr) trace->path.back().latency_ms = ms;
     }
     out.path.push_back(current);
-    current = next;
+    current = sel.next;
   }
   out.destination = current;
   out.hops = params_.max_route_hops;
@@ -214,6 +245,42 @@ Status ChordNetwork::LookupInto(uint64_t origin, uint64_t key,
     trace->latency_ms = out.latency_ms;
   }
   return Status::Ok();
+}
+
+Status ChordNetwork::BeginLookup(uint64_t origin, uint64_t key,
+                                 LookupCursor& cursor) const {
+  cursor = LookupCursor{};
+  if (!IsAlive(origin)) return Status::Unavailable("origin not alive");
+  auto truth = ResponsibleNode(key);
+  if (!truth.ok()) return truth.status();
+  cursor.current = origin;
+  cursor.key = key;
+  cursor.truth = truth.value();
+  cursor.node = GetNode(origin);
+  cursor.done = false;
+  return Status::Ok();
+}
+
+void ChordNetwork::StepLookup(LookupCursor& cursor) const {
+  if (cursor.done) return;
+  const NextHop sel = SelectNextHop(*cursor.node, cursor.current, cursor.key);
+  if (sel.next == cursor.current) {
+    cursor.destination = cursor.current;
+    cursor.success = (cursor.current == cursor.truth);
+    cursor.done = true;
+    return;
+  }
+  if (sel.kind == HopEntryKind::kAuxiliary) ++cursor.aux_hops;
+  cursor.current = sel.next;
+  cursor.node = GetNode(sel.next);
+  ++cursor.hops;
+  if (cursor.hops > params_.max_route_hops) {
+    // Same hop-budget failure LookupInto reports.
+    cursor.destination = cursor.current;
+    cursor.hops = params_.max_route_hops;
+    cursor.success = false;
+    cursor.done = true;
+  }
 }
 
 Status ChordNetwork::LookupResilient(uint64_t origin, uint64_t key,
@@ -288,11 +355,11 @@ Status ChordNetwork::LookupResilient(uint64_t origin, uint64_t key,
             next_is_dead = !alive;
           }
         };
-        for (uint64_t w : node->fingers) consider(w, HopEntryKind::kFinger);
-        for (uint64_t w : node->successors) {
+        for (uint64_t w : Fingers(*node)) consider(w, HopEntryKind::kFinger);
+        for (uint64_t w : Successors(*node)) {
           consider(w, HopEntryKind::kSuccessor);
         }
-        for (uint64_t w : node->auxiliaries) {
+        for (uint64_t w : Auxiliaries(*node)) {
           consider(w, HopEntryKind::kAuxiliary);
         }
       };

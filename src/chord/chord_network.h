@@ -2,10 +2,12 @@
 #define PEERCACHE_CHORD_CHORD_NETWORK_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "auxsel/frequency_table.h"
 #include "common/fault.h"
+#include "common/flat_table_arena.h"
 #include "common/latency.h"
 #include "common/node_store.h"
 #include "common/ring_id.h"
@@ -35,17 +37,22 @@ using RouteResult = overlay::RouteResult;
 /// auxiliaries) are ids captured at the node's last stabilization /
 /// recomputation and go stale under churn — exactly the staleness the
 /// paper's churn experiments exercise.
+///
+/// The tables themselves are FlatList slices into the network's
+/// FlatTableArena (store_.tables()); the node record holds only the
+/// 12-byte handles. Read them through ChordNetwork::Fingers/Successors/
+/// Auxiliaries (or AuxiliarySpan by id).
 struct ChordNode {
   uint64_t id = 0;
   bool alive = false;
   /// Core neighbors: the paper's Chord variant keeps, for each i, the
   /// numerically smallest live node in (id + 2^i, id + 2^{i+1}]; empty
   /// ranges contribute no finger.
-  std::vector<uint64_t> fingers;
+  overlay::FlatList fingers;
   /// First successor_list_size live successors at last stabilization.
-  std::vector<uint64_t> successors;
+  overlay::FlatList successors;
   /// Auxiliary neighbors installed by an auxiliary-selection algorithm.
-  std::vector<uint64_t> auxiliaries;
+  overlay::FlatList auxiliaries;
   /// Access frequencies of responsible peers for queries this node
   /// originated (feeds auxiliary selection).
   auxsel::FrequencyTable frequencies;
@@ -64,7 +71,8 @@ struct ChordNode {
 ///
 /// Node state lives in an overlay::NodeStore: liveness probes and
 /// responsible-node searches on the lookup hot path walk flat id-sorted
-/// arrays instead of ordered-set trees (see common/node_store.h).
+/// arrays instead of ordered-set trees, and routing tables are contiguous
+/// arena slices (see common/node_store.h and common/flat_table_arena.h).
 class ChordNetwork {
  public:
   using NodeType = ChordNode;
@@ -78,6 +86,12 @@ class ChordNetwork {
   /// current live membership. Other nodes learn of it only when they next
   /// stabilize. Fails on duplicate live id.
   Status AddNode(uint64_t id);
+
+  /// Bulk join for large builds: inserts every id as a live node WITHOUT
+  /// stabilizing (callers run StabilizeAll once after). O(n log n) total
+  /// where the AddNode loop is quadratic. Fails (before any mutation) on
+  /// out-of-range or duplicate ids.
+  Status BulkAdd(const std::vector<uint64_t>& ids);
 
   /// Crashes a node: it disappears immediately; other nodes' table entries
   /// pointing at it become stale until their next stabilization. Node state
@@ -96,6 +110,37 @@ class ChordNetwork {
   /// Mutable node state (must exist). Nullptr if unknown.
   ChordNode* GetNode(uint64_t id) { return store_.Get(id); }
   const ChordNode* GetNode(uint64_t id) const { return store_.Get(id); }
+
+  /// Routing-table views: contiguous arena slices, valid until the next
+  /// mutation of the same node's tables.
+  std::span<const uint64_t> Fingers(const ChordNode& node) const {
+    return store_.tables().View(node.fingers);
+  }
+  std::span<const uint64_t> Successors(const ChordNode& node) const {
+    return store_.tables().View(node.successors);
+  }
+  std::span<const uint64_t> Auxiliaries(const ChordNode& node) const {
+    return store_.tables().View(node.auxiliaries);
+  }
+
+  /// Auxiliary list of `id` (empty when the node is unknown).
+  std::span<const uint64_t> AuxiliarySpan(uint64_t id) const {
+    const ChordNode* node = store_.Get(id);
+    return node == nullptr ? std::span<const uint64_t>{} : Auxiliaries(*node);
+  }
+
+  /// Removes every occurrence of `entry` from `id`'s auxiliary list
+  /// (dead-entry eviction). No-op when the node is unknown.
+  void EraseAuxiliary(uint64_t id, uint64_t entry) {
+    if (ChordNode* node = store_.Get(id)) {
+      store_.tables().EraseValue(node->auxiliaries, entry);
+    }
+  }
+
+  /// Footprint accounting (node records + indices + routing arena).
+  overlay::StoreMemoryStats MemoryUsage() const {
+    return store_.MemoryUsage();
+  }
 
   /// Ground truth: the live node responsible for `key` (its predecessor on
   /// the ring). Fails if the overlay is empty.
@@ -134,6 +179,45 @@ class ChordNetwork {
       const fault::FaultPlan* faults = nullptr,
       const latency::LatencyModel* latency = nullptr) const;
 
+  /// One suspended fault-free lookup for the batched engine. A cursor
+  /// advances one hop per StepLookup using exactly the LookupInto next-hop
+  /// policy (shared helper), so a batch of interleaved cursors produces
+  /// hop-for-hop identical routes to sequential LookupInto calls.
+  struct LookupCursor {
+    uint64_t current = 0;
+    uint64_t key = 0;
+    uint64_t truth = 0;
+    const ChordNode* node = nullptr;  // record of `current`
+    int hops = 0;
+    int aux_hops = 0;
+    bool done = true;
+    bool success = false;
+    uint64_t destination = 0;
+  };
+
+  /// Positions `cursor` at `origin`. Fails (cursor stays done) when the
+  /// origin is not alive or the overlay is empty — the same preconditions
+  /// LookupInto enforces.
+  Status BeginLookup(uint64_t origin, uint64_t key, LookupCursor& cursor)
+      const;
+
+  /// Advances one hop; no-op when the cursor is done.
+  void StepLookup(LookupCursor& cursor) const;
+
+  /// Prefetches the current node's record (stage 1 of the pipeline).
+  void PrefetchNode(const LookupCursor& cursor) const {
+    __builtin_prefetch(cursor.node, 0, 1);
+  }
+
+  /// Prefetches the current node's table slices (stage 2; assumes the
+  /// record itself is already cached).
+  void PrefetchTables(const LookupCursor& cursor) const {
+    const overlay::FlatTableArena& tables = store_.tables();
+    tables.Prefetch(cursor.node->fingers);
+    tables.Prefetch(cursor.node->successors);
+    tables.Prefetch(cursor.node->auxiliaries);
+  }
+
   /// Rebuilds `id`'s fingers and successor list from live membership
   /// (periodic stabilization). Dead auxiliaries are pruned (the paper's
   /// "stale auxiliary entries are marked/removed; fixed at the next
@@ -144,7 +228,7 @@ class ChordNetwork {
   void StabilizeAll();
 
   /// Installs auxiliary neighbors on a node (ids need not be alive; dead
-  /// ones are simply useless until pruned).
+  /// ones are simply useless until pruned). Serial-only: writes the arena.
   Status SetAuxiliaries(uint64_t id, std::vector<uint64_t> auxiliaries);
 
   /// Builds the core-neighbor list (fingers + successors, deduplicated)
@@ -152,6 +236,17 @@ class ChordNetwork {
   std::vector<uint64_t> CoreNeighborIds(uint64_t id) const;
 
  private:
+  /// Best next hop from `current` toward `key` over `node`'s tables —
+  /// the single policy shared by LookupInto and StepLookup. `next ==
+  /// current` means deliver here.
+  struct NextHop {
+    uint64_t next;
+    uint64_t best_remaining;
+    HopEntryKind kind;
+  };
+  NextHop SelectNextHop(const ChordNode& node, uint64_t current,
+                        uint64_t key) const;
+
   /// The retry-capable routing loop used when fault injection is enabled.
   /// `truth` is the precomputed responsible node.
   Status LookupResilient(uint64_t origin, uint64_t key, uint64_t truth,
@@ -162,6 +257,7 @@ class ChordNetwork {
   ChordParams params_;
   IdSpace space_;
   overlay::NodeStore<ChordNode> store_;  // all nodes ever seen (alive + dead)
+  std::vector<uint64_t> scratch_;        // stabilize build buffer (serial)
 };
 
 }  // namespace peercache::chord

@@ -5,10 +5,13 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <new>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "common/flat_table_arena.h"
 
 namespace peercache::overlay {
 
@@ -29,15 +32,71 @@ namespace peercache::overlay {
 ///                     flat byte load instead of an ordered-set walk;
 ///   * `slot_of_`    — id → slot hash index (identity-friendly uint64 keys).
 ///
-/// Node records themselves live in a deque: slots are append-only, and a
-/// deque grows without moving existing elements, so `Node*` handed out by
-/// `Get` stays valid across later insertions (the stability guarantee the
-/// old node map provided). Membership changes (churn) are O(live) array
-/// edits — rare next to the millions of lookups they serve.
+/// Node records themselves live in fixed-size slabs (kSlabNodes records
+/// each, placement-new constructed): slots are append-only and a slab never
+/// moves, so `Node*` handed out by `Get` stays valid across later
+/// insertions — the stability guarantee the old deque provided, without the
+/// deque's per-block bookkeeping or its small default block size for large
+/// Node types. The store also owns the FlatTableArena that backs the node
+/// records' FlatList routing slices (`tables()`), which keeps one network's
+/// entire routing state in a handful of large allocations and makes
+/// `MemoryUsage()` accounting exact.
+///
+/// Membership changes (churn) are O(live) array edits — rare next to the
+/// millions of lookups they serve; bulk construction goes through
+/// `BulkMarkAlive` which is O(n log n) total instead of O(n^2).
 template <typename Node>
 class NodeStore {
  public:
   static constexpr uint32_t kNoSlot = ~uint32_t{0};
+  static constexpr uint32_t kSlabShift = 10;
+  static constexpr uint32_t kSlabNodes = uint32_t{1} << kSlabShift;
+
+  NodeStore() = default;
+  NodeStore(const NodeStore&) = delete;
+  NodeStore& operator=(const NodeStore&) = delete;
+  NodeStore(NodeStore&& other) noexcept
+      : slabs_(std::move(other.slabs_)),
+        count_(other.count_),
+        alive_(std::move(other.alive_)),
+        live_ids_(std::move(other.live_ids_)),
+        live_slots_(std::move(other.live_slots_)),
+        slot_of_(std::move(other.slot_of_)),
+        tables_(std::move(other.tables_)) {
+    other.count_ = 0;
+    other.slabs_.clear();
+  }
+  NodeStore& operator=(NodeStore&& other) noexcept {
+    if (this != &other) {
+      DestroyNodes();
+      slabs_ = std::move(other.slabs_);
+      count_ = other.count_;
+      alive_ = std::move(other.alive_);
+      live_ids_ = std::move(other.live_ids_);
+      live_slots_ = std::move(other.live_slots_);
+      slot_of_ = std::move(other.slot_of_);
+      tables_ = std::move(other.tables_);
+      other.count_ = 0;
+      other.slabs_.clear();
+    }
+    return *this;
+  }
+  ~NodeStore() { DestroyNodes(); }
+
+  /// The arena backing this store's FlatList routing slices.
+  FlatTableArena& tables() { return tables_; }
+  const FlatTableArena& tables() const { return tables_; }
+
+  /// Pre-sizes every index structure for `n` nodes (slab pointers, liveness
+  /// flags, live arrays, and the id→slot map) so a bulk build performs no
+  /// incremental rehash or reallocation.
+  void Reserve(size_t n) {
+    slabs_.reserve((n + kSlabNodes - 1) >> kSlabShift);
+    alive_.reserve(n);
+    live_ids_.reserve(n);
+    live_slots_.reserve(n);
+    slot_of_.reserve(n);
+  }
 
   /// Slot of `id`, or kNoSlot when the id has never been added.
   uint32_t SlotOf(uint64_t id) const {
@@ -47,17 +106,21 @@ class NodeStore {
 
   Node* Get(uint64_t id) {
     const uint32_t slot = SlotOf(id);
-    return slot == kNoSlot ? nullptr : &nodes_[slot];
+    return slot == kNoSlot ? nullptr : &at_slot(slot);
   }
   const Node* Get(uint64_t id) const {
     const uint32_t slot = SlotOf(id);
-    return slot == kNoSlot ? nullptr : &nodes_[slot];
+    return slot == kNoSlot ? nullptr : &at_slot(slot);
   }
 
-  Node& at_slot(uint32_t slot) { return nodes_[slot]; }
-  const Node& at_slot(uint32_t slot) const { return nodes_[slot]; }
+  Node& at_slot(uint32_t slot) {
+    return *(SlabBase(slot >> kSlabShift) + (slot & (kSlabNodes - 1)));
+  }
+  const Node& at_slot(uint32_t slot) const {
+    return *(SlabBase(slot >> kSlabShift) + (slot & (kSlabNodes - 1)));
+  }
 
-  size_t size() const { return nodes_.size(); }
+  size_t size() const { return count_; }
 
   /// True iff the id's node exists and is currently alive. One hash probe
   /// plus one flat byte load — the per-candidate check on the routing hot
@@ -75,12 +138,17 @@ class NodeStore {
   template <typename... Args>
   std::pair<Node*, bool> Emplace(uint64_t id, Args&&... args) {
     auto it = slot_of_.find(id);
-    if (it != slot_of_.end()) return {&nodes_[it->second], false};
-    const uint32_t slot = static_cast<uint32_t>(nodes_.size());
-    nodes_.emplace_back(std::forward<Args>(args)...);
+    if (it != slot_of_.end()) return {&at_slot(it->second), false};
+    const uint32_t slot = count_;
+    if ((slot >> kSlabShift) >= slabs_.size()) {
+      slabs_.emplace_back(new std::byte[sizeof(Node) * kSlabNodes]);
+    }
+    Node* record = SlabBase(slot >> kSlabShift) + (slot & (kSlabNodes - 1));
+    ::new (static_cast<void*>(record)) Node(std::forward<Args>(args)...);
+    ++count_;
     alive_.push_back(0);
     slot_of_.emplace(id, slot);
-    return {&nodes_[slot], true};
+    return {record, true};
   }
 
   /// Marks an existing id live and inserts it into the sorted live arrays.
@@ -96,6 +164,53 @@ class NodeStore {
     live_ids_.insert(live_ids_.begin() + static_cast<std::ptrdiff_t>(pos), id);
     live_slots_.insert(live_slots_.begin() + static_cast<std::ptrdiff_t>(pos),
                        slot);
+  }
+
+  /// Marks every id in `ids` live in one pass: O((m + live) log m) instead
+  /// of m separate O(live) sorted insertions — the difference between a
+  /// quadratic and a linearithmic bulk build at n = 2^20. Ids must already
+  /// exist; ids that are already live are skipped.
+  void BulkMarkAlive(const std::vector<uint64_t>& ids) {
+    std::vector<std::pair<uint64_t, uint32_t>> added;
+    added.reserve(ids.size());
+    for (uint64_t id : ids) {
+      const uint32_t slot = SlotOf(id);
+      assert(slot != kNoSlot);
+      if (alive_[slot]) continue;
+      alive_[slot] = 1;
+      added.emplace_back(id, slot);
+    }
+    if (added.empty()) return;
+    std::sort(added.begin(), added.end());
+    if (live_ids_.empty()) {
+      live_ids_.reserve(added.size());
+      live_slots_.reserve(added.size());
+      for (const auto& [id, slot] : added) {
+        live_ids_.push_back(id);
+        live_slots_.push_back(slot);
+      }
+      return;
+    }
+    // Merge the sorted batch with the existing sorted live arrays.
+    std::vector<uint64_t> merged_ids;
+    std::vector<uint32_t> merged_slots;
+    merged_ids.reserve(live_ids_.size() + added.size());
+    merged_slots.reserve(live_ids_.size() + added.size());
+    size_t i = 0, j = 0;
+    while (i < live_ids_.size() || j < added.size()) {
+      if (j == added.size() ||
+          (i < live_ids_.size() && live_ids_[i] < added[j].first)) {
+        merged_ids.push_back(live_ids_[i]);
+        merged_slots.push_back(live_slots_[i]);
+        ++i;
+      } else {
+        merged_ids.push_back(added[j].first);
+        merged_slots.push_back(added[j].second);
+        ++j;
+      }
+    }
+    live_ids_ = std::move(merged_ids);
+    live_slots_ = std::move(merged_slots);
   }
 
   /// Marks a live id dead and removes it from the live arrays. No-op if
@@ -144,12 +259,47 @@ class NodeStore {
     return live_ids_[pos];
   }
 
+  /// Deterministic footprint accounting for the scale-frontier telemetry.
+  /// `node_bytes`/`table_bytes`/`arena_bytes` are exact; `index_bytes`
+  /// estimates the id→slot map at one bucket pointer per bucket plus a
+  /// 24-byte chained entry per element (its layout is stdlib-internal).
+  StoreMemoryStats MemoryUsage() const {
+    StoreMemoryStats s;
+    s.node_bytes = slabs_.size() * kSlabNodes * sizeof(Node);
+    s.index_bytes = alive_.capacity() * sizeof(uint8_t) +
+                    live_ids_.capacity() * sizeof(uint64_t) +
+                    live_slots_.capacity() * sizeof(uint32_t) +
+                    slot_of_.bucket_count() * sizeof(void*) +
+                    slot_of_.size() * 24;
+    s.table_bytes = tables_.used_bytes();
+    s.arena_bytes = tables_.allocated_bytes();
+    const size_t total = s.node_bytes + s.index_bytes + s.arena_bytes;
+    s.bytes_per_node =
+        count_ == 0 ? 0.0
+                    : static_cast<double>(total) / static_cast<double>(count_);
+    return s;
+  }
+
  private:
-  std::deque<Node> nodes_;       // slot-indexed; references stay valid
+  Node* SlabBase(size_t slab) {
+    return std::launder(reinterpret_cast<Node*>(slabs_[slab].get()));
+  }
+  const Node* SlabBase(size_t slab) const {
+    return std::launder(reinterpret_cast<const Node*>(slabs_[slab].get()));
+  }
+
+  void DestroyNodes() {
+    for (uint32_t slot = 0; slot < count_; ++slot) at_slot(slot).~Node();
+    count_ = 0;
+  }
+
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;  // kSlabNodes records each
+  uint32_t count_ = 0;                               // constructed records
   std::vector<uint8_t> alive_;   // slot-indexed liveness flags
   std::vector<uint64_t> live_ids_;    // sorted live ids (contiguous)
   std::vector<uint32_t> live_slots_;  // parallel slots of live_ids_
   std::unordered_map<uint64_t, uint32_t> slot_of_;
+  FlatTableArena tables_;  // backing words for the nodes' FlatList slices
 };
 
 }  // namespace peercache::overlay

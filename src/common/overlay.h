@@ -3,9 +3,11 @@
 
 #include <concepts>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/fault.h"
+#include "common/flat_table_arena.h"
 #include "common/latency.h"
 #include "common/ring_id.h"
 #include "common/route_result.h"
@@ -15,16 +17,15 @@
 namespace peercache::overlay {
 
 /// The node contract every overlay backend's per-node record satisfies:
-/// identity, liveness, an auxiliary-pointer list installed by a selection
-/// algorithm, and the observed frequency table that feeds it. The core
-/// routing entries (fingers/successors for Chord, routing rows/leaf set
-/// for Pastry) stay backend-specific — the engine reaches them only
-/// through `CoreNeighborIds`.
+/// identity, liveness, and the observed frequency table that feeds
+/// auxiliary selection. Routing tables (fingers/successors for Chord,
+/// routing rows/leaf set for Pastry, buckets for Kademlia) and the
+/// auxiliary list are FlatList slices into the network's arena — the
+/// engine reaches them only through `CoreNeighborIds` / `AuxiliarySpan`.
 template <typename N>
 concept OverlayNode = requires(N& node, const N& cnode, uint64_t peer) {
   { cnode.id } -> std::convertible_to<uint64_t>;
   { cnode.alive } -> std::convertible_to<bool>;
-  { cnode.auxiliaries } -> std::convertible_to<const std::vector<uint64_t>&>;
   { node.frequencies.Record(peer) };
   { node.frequencies.Snapshot(peer) };
 };
@@ -42,7 +43,10 @@ concept OverlayNode = requires(N& node, const N& cnode, uint64_t peer) {
 ///     retry-capable resilient policy; Lookup is the by-value convenience
 ///     form;
 ///   * auxiliary plumbing — SetAuxiliaries installs the selection result,
-///     CoreNeighborIds exposes N_s for the selectors.
+///     CoreNeighborIds exposes N_s for the selectors, AuxiliarySpan reads
+///     the installed list and EraseAuxiliary evicts one stale entry;
+///   * scale plumbing — BulkAdd joins many nodes without intermediate
+///     stabilization and MemoryUsage reports the per-node footprint.
 ///
 /// ChordNetwork, PastryNetwork, and KademliaNetwork are statically checked
 /// against this concept; a new DHT backend plugs into the whole
@@ -51,8 +55,8 @@ concept OverlayNode = requires(N& node, const N& cnode, uint64_t peer) {
 template <typename N>
 concept Overlay = OverlayNode<typename N::NodeType> &&
     requires(N& net, const N& cnet, uint64_t id, std::vector<uint64_t> aux,
-             RouteResult& out, RouteTrace* trace,
-             const fault::FaultPlan* faults,
+             const std::vector<uint64_t>& ids, RouteResult& out,
+             RouteTrace* trace, const fault::FaultPlan* faults,
              const latency::LatencyModel* latency) {
   { cnet.space() } -> std::convertible_to<const IdSpace&>;
   // The engine and the invariant harness read these two protocol knobs off
@@ -85,6 +89,11 @@ concept Overlay = OverlayNode<typename N::NodeType> &&
   { net.StabilizeAll() };
   { net.SetAuxiliaries(id, std::move(aux)) } -> std::same_as<Status>;
   { cnet.CoreNeighborIds(id) } -> std::same_as<std::vector<uint64_t>>;
+  { cnet.AuxiliarySpan(id) } ->
+      std::convertible_to<std::span<const uint64_t>>;
+  { net.EraseAuxiliary(id, id) };
+  { net.BulkAdd(ids) } -> std::same_as<Status>;
+  { cnet.MemoryUsage() } -> std::same_as<StoreMemoryStats>;
 };
 
 }  // namespace peercache::overlay

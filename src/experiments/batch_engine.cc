@@ -1,0 +1,34 @@
+#include "experiments/batch_engine.h"
+
+#include "chord/chord_network.h"
+#include "kademlia/kademlia_network.h"
+#include "pastry/pastry_network.h"
+
+// Explicit instantiations for the three shipped backends: callers linking
+// against peercache_experiments get the batched engine without paying its
+// template instantiation in every translation unit, and a backend whose
+// cursor API drifts from the engine's expectations breaks this file's
+// build instead of the first bench that uses it.
+namespace peercache::experiments {
+
+template void RunBatchedLookups<chord::ChordNetwork>(
+    const chord::ChordNetwork&, std::span<const LookupJob>, int,
+    std::span<BatchLookupResult>);
+template void RunBatchedLookups<pastry::PastryNetwork>(
+    const pastry::PastryNetwork&, std::span<const LookupJob>, int,
+    std::span<BatchLookupResult>);
+template void RunBatchedLookups<kademlia::KademliaNetwork>(
+    const kademlia::KademliaNetwork&, std::span<const LookupJob>, int,
+    std::span<BatchLookupResult>);
+
+template void RunBatchedLookups<chord::ChordNetwork>(
+    ThreadPool&, const chord::ChordNetwork&, std::span<const LookupJob>, int,
+    std::span<BatchLookupResult>);
+template void RunBatchedLookups<pastry::PastryNetwork>(
+    ThreadPool&, const pastry::PastryNetwork&, std::span<const LookupJob>,
+    int, std::span<BatchLookupResult>);
+template void RunBatchedLookups<kademlia::KademliaNetwork>(
+    ThreadPool&, const kademlia::KademliaNetwork&, std::span<const LookupJob>,
+    int, std::span<BatchLookupResult>);
+
+}  // namespace peercache::experiments

@@ -1,0 +1,164 @@
+#ifndef PEERCACHE_EXPERIMENTS_BATCH_ENGINE_H_
+#define PEERCACHE_EXPERIMENTS_BATCH_ENGINE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+
+/// Batched lookup engine: interleaves a window of W in-flight lookups over
+/// one overlay, stepping each suspended route (Network::LookupCursor) one
+/// hop per pass and prefetching the next hop's node record and table slice
+/// while the other W-1 routes execute. A single lookup chases pointers
+/// through a multi-gigabyte table arena at million-node scale — every hop
+/// is a dependent cache miss — but the W routes are independent, so the
+/// interleaving converts route-latency-bound execution into memory-level
+/// parallelism without touching LookupInto's single-lookup semantics
+/// (traces, faults, latency models all stay on the unbatched path).
+///
+/// Determinism: each job's outcome is written to its own index-addressed
+/// slot and depends only on (origin, key, overlay state) — the cursor
+/// replays LookupInto's exact next-hop policy via the shared selection
+/// helpers — so results are independent of the window size, the
+/// interleaving, and the thread count. Checksums are folded serially in
+/// job order afterwards (FoldChecksum), matching bench/lookup_throughput's
+/// per-lookup fold bit for bit.
+namespace peercache::experiments {
+
+/// One lookup to route: `origin` must name a node (dead origins fail the
+/// job, mirroring LookupInto's Unavailable).
+struct LookupJob {
+  uint64_t origin = 0;
+  uint64_t key = 0;
+};
+
+/// Outcome of one batched lookup. `ok` is false when BeginLookup failed
+/// (dead origin / empty overlay); such jobs carry zeroed route fields and
+/// are skipped by FoldChecksum, exactly as the unbatched measurement loops
+/// skip failed LookupInto calls.
+struct BatchLookupResult {
+  uint64_t destination = 0;
+  int hops = 0;
+  int aux_hops = 0;
+  bool success = false;
+  bool ok = false;
+};
+
+/// Serial-fold summary over a result span in job order.
+struct BatchSummary {
+  uint64_t checksum = 0;
+  uint64_t lookups = 0;    ///< Jobs with ok == true.
+  uint64_t successes = 0;  ///< Delivered at the responsible node.
+  uint64_t sum_hops = 0;
+  uint64_t sum_aux_hops = 0;
+};
+
+/// Folds results in job order with bench/lookup_throughput's checksum
+/// recurrence, so a batched run and the unbatched reference loop over the
+/// same jobs produce the same checksum.
+inline BatchSummary FoldChecksum(std::span<const BatchLookupResult> results) {
+  BatchSummary sum;
+  for (const BatchLookupResult& r : results) {
+    if (!r.ok) continue;
+    ++sum.lookups;
+    sum.successes += r.success ? 1 : 0;
+    sum.sum_hops += static_cast<uint64_t>(r.hops);
+    sum.sum_aux_hops += static_cast<uint64_t>(r.aux_hops);
+    sum.checksum = MixHash64(sum.checksum ^ r.destination ^
+                             (static_cast<uint64_t>(r.hops) << 32));
+  }
+  return sum;
+}
+
+/// Routes `jobs` through `net` with up to `window` lookups in flight,
+/// writing each outcome to results[i]. `results.size()` must be >=
+/// `jobs.size()`. Single-threaded; see the ThreadPool overload for the
+/// sharded form.
+template <typename Network>
+void RunBatchedLookups(const Network& net, std::span<const LookupJob> jobs,
+                       int window, std::span<BatchLookupResult> results) {
+  using Cursor = typename Network::LookupCursor;
+  if (jobs.empty()) return;
+  const size_t w =
+      window < 1 ? 1 : std::min<size_t>(jobs.size(),
+                                        static_cast<size_t>(window));
+  std::vector<Cursor> slots(w);
+  std::vector<size_t> slot_job(w, 0);
+
+  size_t next = 0;  // next unstarted job
+  // Starts jobs into slot i until one survives BeginLookup (failed jobs
+  // are recorded immediately). Returns false when the job list is dry.
+  auto refill = [&](size_t i) {
+    while (next < jobs.size()) {
+      const size_t j = next++;
+      results[j] = BatchLookupResult{};
+      if (net.BeginLookup(jobs[j].origin, jobs[j].key, slots[i]).ok()) {
+        slot_job[i] = j;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  size_t in_flight = 0;
+  for (size_t i = 0; i < w; ++i) {
+    if (refill(i)) ++in_flight;
+  }
+  while (in_flight > 0) {
+    for (size_t i = 0; i < w; ++i) {
+      Cursor& c = slots[i];
+      if (!c.done) {
+        net.StepLookup(c);
+        if (!c.done) {
+          // Stage 1: pull the just-selected node record toward the cache;
+          // its table slice is prefetched half a window later (below), by
+          // which time the record — holding the slice offsets — is warm.
+          net.PrefetchNode(c);
+        } else {
+          BatchLookupResult& r = results[slot_job[i]];
+          r.destination = c.destination;
+          r.hops = c.hops;
+          r.aux_hops = c.aux_hops;
+          r.success = c.success;
+          r.ok = true;
+          if (!refill(i)) {
+            --in_flight;
+            continue;
+          }
+        }
+      }
+      // Stage 2: table slices for the slot half a window ahead — W/2 steps
+      // of other routes hide the miss before that slot is stepped again.
+      Cursor& ahead = slots[(i + w / 2) % w];
+      if (!ahead.done) net.PrefetchTables(ahead);
+    }
+  }
+}
+
+/// Sharded form: contiguous job shards run on the pool's threads, each
+/// interleaving its own `window` lookups. Per-job results land in the
+/// same global slots, so output is identical to the single-threaded form
+/// (and to the unbatched reference loop) at any thread count.
+template <typename Network>
+void RunBatchedLookups(ThreadPool& pool, const Network& net,
+                       std::span<const LookupJob> jobs, int window,
+                       std::span<BatchLookupResult> results) {
+  const size_t shards = static_cast<size_t>(pool.num_threads());
+  if (shards <= 1 || jobs.size() <= shards) {
+    RunBatchedLookups(net, jobs, window, results);
+    return;
+  }
+  pool.ParallelFor(0, shards, 1, [&](size_t s) {
+    const size_t begin = jobs.size() * s / shards;
+    const size_t end = jobs.size() * (s + 1) / shards;
+    RunBatchedLookups(net, jobs.subspan(begin, end - begin), window,
+                      results.subspan(begin, end - begin));
+  });
+}
+
+}  // namespace peercache::experiments
+
+#endif  // PEERCACHE_EXPERIMENTS_BATCH_ENGINE_H_

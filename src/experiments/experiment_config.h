@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/flat_table_arena.h"
 #include "common/latency.h"
 #include "common/metrics.h"
 #include "common/route_result.h"
@@ -108,6 +109,11 @@ struct ExperimentConfig {
   /// (0 = demand a direct pointer). Threshold 0 constrains nothing.
   double qos_rtt_threshold_ms = 0.0;
   int qos_delay_bound = 0;
+  /// Capture the overlay's end-of-run memory footprint (NodeStore +
+  /// FlatTableArena accounting) into RunResult::memory and emit it as the
+  /// telemetry document's "memory" block. Off by default so existing
+  /// documents stay byte-identical.
+  bool report_memory = false;
 };
 
 /// Churn-mode parameters (paper Sec. VI-C): nodes alternate between alive
@@ -236,6 +242,13 @@ struct RunResult {
   /// measured lookup, merged in node/index order so percentiles are
   /// thread-count invariant.
   LogHistogram latency_histogram;
+  /// True iff the run captured the overlay's memory footprint
+  /// (config.report_memory). Gates `memory` below and the telemetry
+  /// document's "memory" block; off keeps output byte-identical to the
+  /// committed figures. Arena mutations happen only on serial paths, so
+  /// the captured footprint is thread-count invariant.
+  bool memory_enabled = false;
+  overlay::StoreMemoryStats memory;
 };
 
 /// Side-by-side comparison at identical seeds/workload.

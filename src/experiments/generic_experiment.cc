@@ -34,13 +34,15 @@ bool FrequencyAware(SelectorKind selector) {
   return selector == SelectorKind::kOptimal || selector == SelectorKind::kQos;
 }
 
-/// Builds the SelectionInput for one node and installs the chosen
-/// auxiliaries. The frequency-aware policies optimize over the node's
-/// observed frequencies; the oblivious policy draws from `peer_pool`, the
-/// shared snapshot of the full live membership built once per selection
-/// round (it needs no query history, matching the paper's baseline). Runs
-/// concurrently for distinct nodes: it reads the overlay, reads its own
-/// node's frequency table, and writes only its own node's auxiliary list.
+/// Builds the SelectionInput for one node and computes the chosen
+/// auxiliaries into `chosen_out` (the caller installs them serially after
+/// the parallel round — SetAuxiliaries writes the shared table arena, which
+/// has a single-writer contract). The frequency-aware policies optimize
+/// over the node's observed frequencies; the oblivious policy draws from
+/// `peer_pool`, the shared snapshot of the full live membership built once
+/// per selection round (it needs no query history, matching the paper's
+/// baseline). Runs concurrently for distinct nodes: it reads the overlay,
+/// reads its own node's frequency table, and writes only its own slots.
 ///
 /// SelectorKind::kQos additionally consults `latency`: observed peers whose
 /// base RTT from this node exceeds `config.qos_rtt_threshold_ms` get
@@ -59,12 +61,14 @@ Status InstallAuxiliaries(typename Policy::Network& net, uint64_t node_id,
                           const latency::LatencyModel* latency,
                           Rng& selection_rng,
                           const std::vector<auxsel::PeerFreq>& peer_pool,
+                          std::vector<uint64_t>& chosen_out,
                           double* predicted_hops = nullptr) {
+  chosen_out.clear();
   if (predicted_hops != nullptr) {
     *predicted_hops = std::numeric_limits<double>::quiet_NaN();
   }
   if (selector == SelectorKind::kNone) {
-    return net.SetAuxiliaries(node_id, {});
+    return Status::Ok();
   }
   auto* node = net.GetNode(node_id);
   if (node == nullptr) return Status::NotFound("node");
@@ -124,12 +128,16 @@ Status InstallAuxiliaries(typename Policy::Network& net, uint64_t node_id,
                          extra->chosen.end());
     }
   }
-  return net.SetAuxiliaries(node_id, std::move(sel->chosen));
+  chosen_out = std::move(sel->chosen);
+  return Status::Ok();
 }
 
 /// One full-rebuild selection round over `ids`: builds the shared
-/// frequency-oblivious pool once, sizes the per-node prediction slots, and
-/// installs every node's auxiliaries in parallel. Shared by the stable
+/// frequency-oblivious pool once, sizes the per-node prediction slots,
+/// computes every node's selection in parallel into index-addressed slots,
+/// then installs them serially in node order (the table arena's
+/// single-writer contract — and serial installs make arena layout, hence
+/// memory telemetry, independent of thread count). Shared by the stable
 /// path's single selection pass and the legacy (FreqMode::kPool) churn
 /// recompute rounds — they were the same code copied twice before this
 /// helper existed.
@@ -141,11 +149,22 @@ Status InstallRound(ThreadPool& pool, typename Policy::Network& net,
                     std::vector<double>& predicted) {
   const std::vector<auxsel::PeerFreq> peer_pool = ObliviousPool(ids);
   predicted.assign(ids.size(), std::numeric_limits<double>::quiet_NaN());
-  return internal::ParallelInstall(
-      pool, ids, round_seed, [&](size_t i, uint64_t id, Rng& rng) {
-        return InstallAuxiliaries<Policy>(net, id, selector, config, latency,
-                                          rng, peer_pool, &predicted[i]);
-      });
+  std::vector<std::vector<uint64_t>> chosen(ids.size());
+  if (Status s = internal::ParallelInstall(
+          pool, ids, round_seed, [&](size_t i, uint64_t id, Rng& rng) {
+            return InstallAuxiliaries<Policy>(net, id, selector, config,
+                                              latency, rng, peer_pool,
+                                              chosen[i], &predicted[i]);
+          });
+      !s.ok()) {
+    return s;
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (Status s = net.SetAuxiliaries(ids[i], std::move(chosen[i])); !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
 }
 
 /// Builds the run's latency model from the experiment config (synthetic
@@ -200,16 +219,19 @@ struct NodeDeltaCounts {
 };
 
 /// Applies one recompute round's deltas to one node's persistent
-/// maintainer and installs the reselected auxiliaries. Safe to run
-/// concurrently for distinct nodes: it reads the overlay, mutates only its
-/// own node's frequency table, maintainer entry, and auxiliary list, and
-/// writes its tallies into caller-provided slots.
+/// maintainer and computes the reselected auxiliaries into `chosen_out`
+/// (installed serially by the caller — arena single-writer contract). Safe
+/// to run concurrently for distinct nodes: it reads the overlay, mutates
+/// only its own node's frequency table and maintainer entry, and writes
+/// its tallies into caller-provided slots.
 template <typename Policy>
 Status MaintainNode(typename Policy::Network& net,
                     MaintenanceState<Policy>& maint, uint64_t node_id,
                     int k, bool audit_round,
                     const std::vector<auxsel::PeerFreq>& peer_pool, Rng& rng,
-                    double* predicted_hops, NodeDeltaCounts& counts) {
+                    std::vector<uint64_t>& chosen_out, double* predicted_hops,
+                    NodeDeltaCounts& counts) {
+  chosen_out.clear();
   *predicted_hops = std::numeric_limits<double>::quiet_NaN();
   auto* node = net.GetNode(node_id);
   if (node == nullptr) return Status::NotFound("node");
@@ -306,22 +328,23 @@ Status MaintainNode(typename Policy::Network& net,
 
   // 6. Pad to k with oblivious picks, exactly like the one-shot path: both
   //    policies install k pointers, which the paper's comparison assumes.
-  std::vector<uint64_t> chosen = sel->chosen;
-  if (static_cast<int>(chosen.size()) < k) {
+  chosen_out = sel->chosen;
+  if (static_cast<int>(chosen_out.size()) < k) {
     SelectionInput pad;
     pad.bits = net.params().bits;
     pad.self_id = node_id;
-    pad.k = k - static_cast<int>(chosen.size());
+    pad.k = k - static_cast<int>(chosen_out.size());
     pad.core_ids = net.CoreNeighborIds(node_id);
-    pad.core_ids.insert(pad.core_ids.end(), chosen.begin(), chosen.end());
+    pad.core_ids.insert(pad.core_ids.end(), chosen_out.begin(),
+                        chosen_out.end());
     pad.peers = PoolWithoutSelf(peer_pool, node_id);
     auto extra = Policy::SelectOblivious(pad, rng);
     if (extra.ok()) {
-      chosen.insert(chosen.end(), extra->chosen.begin(),
-                    extra->chosen.end());
+      chosen_out.insert(chosen_out.end(), extra->chosen.begin(),
+                        extra->chosen.end());
     }
   }
-  return net.SetAuxiliaries(node_id, std::move(chosen));
+  return Status::Ok();
 }
 
 /// One incremental churn maintenance round: logs the membership delta,
@@ -360,15 +383,25 @@ Status MaintainRound(ThreadPool& pool, typename Policy::Network& net,
   const std::vector<auxsel::PeerFreq> peer_pool = ObliviousPool(live);
   predicted.assign(live.size(), std::numeric_limits<double>::quiet_NaN());
   std::vector<NodeDeltaCounts> counts(live.size());
+  std::vector<std::vector<uint64_t>> chosen(live.size());
   if (Status s = internal::ParallelInstall(
           pool, live, round_seed,
           [&](size_t i, uint64_t id, Rng& rng) {
             return MaintainNode<Policy>(net, maint, id, config.k, audit_round,
-                                        peer_pool, rng, &predicted[i],
-                                        counts[i]);
+                                        peer_pool, rng, chosen[i],
+                                        &predicted[i], counts[i]);
           });
       !s.ok()) {
     return s;
+  }
+  // Serial install in node order: arena writes have a single-writer
+  // contract, and node-order installs keep the arena layout — hence the
+  // memory telemetry — independent of thread count.
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (Status s = net.SetAuxiliaries(live[i], std::move(chosen[i]));
+        !s.ok()) {
+      return s;
+    }
   }
 
   MaintenanceRoundStats stats;
@@ -444,9 +477,11 @@ Result<RunResult> RunStable(const ExperimentConfig& config,
   const std::vector<uint64_t> node_ids = SampleNodeIds(config, seeds.ids);
   {
     ScopedProfile span("stable.build");
-    for (uint64_t id : node_ids) {
-      if (Status s = net.AddNode(id); !s.ok()) return s;
-    }
+    // Bulk join, then one global stabilization: StabilizeAll rebuilds
+    // every table from final membership, so the finished state is
+    // identical to the historical AddNode-then-StabilizeAll loop without
+    // its per-join table builds.
+    if (Status s = net.BulkAdd(node_ids); !s.ok()) return s;
     net.StabilizeAll();  // perfect routing state before the experiment
   }
 
@@ -506,6 +541,10 @@ Result<RunResult> RunStable(const ExperimentConfig& config,
   result.measure_seconds = measure_timer.Seconds();
   internal::RecordPhaseTimers(result);
   internal::RecordResilienceMetrics(result);
+  if (config.report_memory) {
+    result.memory = net.MemoryUsage();
+    result.memory_enabled = true;
+  }
   return result;
 }
 
@@ -516,9 +555,7 @@ Result<RunResult> RunChurn(const ExperimentConfig& config,
   typename Policy::Network net = Policy::MakeNetwork(config, seeds);
 
   const std::vector<uint64_t> node_ids = SampleNodeIds(config, seeds.ids);
-  for (uint64_t id : node_ids) {
-    if (Status s = net.AddNode(id); !s.ok()) return s;
-  }
+  if (Status s = net.BulkAdd(node_ids); !s.ok()) return s;
   net.StabilizeAll();
 
   WorkloadBundle workload(config, seeds, node_ids);
@@ -650,10 +687,7 @@ Result<RunResult> RunChurn(const ExperimentConfig& config,
         // holder's next stabilization, as in the fault-free model. The
         // event loop is serial, so mutating tables here is safe.
         for (const auto& [holder, entry] : route.dead_evictions) {
-          if (auto* n = net.GetNode(holder); n != nullptr) {
-            auto& aux = n->auxiliaries;
-            aux.erase(std::remove(aux.begin(), aux.end(), entry), aux.end());
-          }
+          net.EraseAuxiliary(holder, entry);
         }
         if (in_window) {
           ++result.queries;
@@ -700,6 +734,10 @@ Result<RunResult> RunChurn(const ExperimentConfig& config,
   internal::CollectAuxiliaries(net, net.LiveNodeIds(), result);
   obs.Finalize(result);
   RecordMaintenanceMetrics(result);
+  if (config.report_memory) {
+    result.memory = net.MemoryUsage();
+    result.memory_enabled = true;
+  }
   return result;
 }
 

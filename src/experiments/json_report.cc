@@ -286,6 +286,22 @@ void WriteRunResultJson(JsonWriter& w, const RunResult& result) {
     w.Key("latency");
     WriteLatencyJson(w, result.latency_histogram);
   }
+  // Memory footprint (config.report_memory only — docs/OBSERVABILITY.md).
+  // Arena mutations are serial, so these bytes are thread-count invariant;
+  // bytes_per_node folds in hash-index overhead, which varies across
+  // standard libraries, so cross-toolchain comparisons should prefer
+  // table_bytes/arena_bytes.
+  if (result.memory_enabled) {
+    w.Key("memory");
+    w.BeginObject();
+    w.Key("bytes_per_node");
+    w.Double(result.memory.bytes_per_node);
+    w.Key("table_bytes");
+    w.UInt(result.memory.table_bytes);
+    w.Key("arena_bytes");
+    w.UInt(result.memory.arena_bytes);
+    w.EndObject();
+  }
   w.Key("metrics");
   result.metrics.WriteJson(w);
   w.EndObject();

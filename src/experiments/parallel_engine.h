@@ -391,9 +391,10 @@ void CollectAuxiliaries(const Network& net, std::vector<uint64_t> ids,
   result.node_auxiliaries.clear();
   result.node_auxiliaries.reserve(ids.size());
   for (uint64_t id : ids) {
-    const auto* node = net.GetNode(id);
-    if (node == nullptr) continue;
-    result.node_auxiliaries.emplace_back(id, node->auxiliaries);
+    if (net.GetNode(id) == nullptr) continue;
+    const auto aux = net.AuxiliarySpan(id);
+    result.node_auxiliaries.emplace_back(
+        id, std::vector<uint64_t>(aux.begin(), aux.end()));
   }
 }
 

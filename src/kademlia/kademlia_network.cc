@@ -12,6 +12,45 @@ namespace peercache::kademlia {
 static_assert(overlay::Overlay<KademliaNetwork>,
               "KademliaNetwork must satisfy the Overlay concept");
 
+namespace {
+
+/// Appends the `k - out.size()` ids of live[lo, hi) XOR-closest to `self`
+/// to `out`, in XOR-ascending order, by descending the implicit binary trie
+/// of the sorted range. Precondition: every id in [lo, hi) agrees with
+/// every other above `bit`. At a split, the half agreeing with `self` at
+/// `bit` is uniformly XOR-closer than the other half, so visiting it first
+/// and stopping once `k` ids are collected yields exactly the XOR-closest
+/// set — the same set the historical sort-by-XOR-then-truncate produced,
+/// in O(k + log^2 range) instead of O(range log range).
+void CollectXorClosest(const std::vector<uint64_t>& live, size_t lo,
+                       size_t hi, int bit, uint64_t self, size_t k,
+                       std::vector<uint64_t>& out) {
+  if (lo >= hi || out.size() >= k) return;
+  if (hi - lo <= k - out.size()) {
+    out.insert(out.end(),
+               live.begin() + static_cast<std::ptrdiff_t>(lo),
+               live.begin() + static_cast<std::ptrdiff_t>(hi));
+    return;
+  }
+  assert(bit >= 0);  // distinct ids agreeing above `bit` must split by it
+  const uint64_t prefix = live[lo] & ~LowBitMask(bit + 1);
+  const uint64_t boundary = prefix | (uint64_t{1} << bit);
+  const size_t mid = static_cast<size_t>(
+      std::lower_bound(live.begin() + static_cast<std::ptrdiff_t>(lo),
+                       live.begin() + static_cast<std::ptrdiff_t>(hi),
+                       boundary) -
+      live.begin());
+  if (((self >> bit) & 1) != 0) {
+    CollectXorClosest(live, mid, hi, bit - 1, self, k, out);
+    CollectXorClosest(live, lo, mid, bit - 1, self, k, out);
+  } else {
+    CollectXorClosest(live, lo, mid, bit - 1, self, k, out);
+    CollectXorClosest(live, mid, hi, bit - 1, self, k, out);
+  }
+}
+
+}  // namespace
+
 KademliaNetwork::KademliaNetwork(const KademliaParams& params)
     : params_(params), space_(params.bits) {}
 
@@ -23,9 +62,29 @@ Status KademliaNetwork::AddNode(uint64_t id) {
   auto [node, inserted] = store_.Emplace(id, params_.frequency_capacity);
   node->id = id;
   node->alive = true;
-  node->auxiliaries.clear();
+  store_.tables().Clear(node->auxiliaries);
   store_.MarkAlive(id);
   return StabilizeNode(id);
+}
+
+Status KademliaNetwork::BulkAdd(const std::vector<uint64_t>& ids) {
+  for (uint64_t id : ids) {
+    if (!space_.Contains(id)) {
+      return Status::InvalidArgument("id out of range");
+    }
+    if (store_.IsAlive(id)) {
+      return Status::InvalidArgument("live id already used");
+    }
+  }
+  store_.Reserve(store_.size() + ids.size());
+  for (uint64_t id : ids) {
+    auto [node, inserted] = store_.Emplace(id, params_.frequency_capacity);
+    node->id = id;
+    node->alive = true;
+    store_.tables().Clear(node->auxiliaries);
+  }
+  store_.BulkMarkAlive(ids);
+  return Status::Ok();
 }
 
 Status KademliaNetwork::RemoveNode(uint64_t id, bool forget_state) {
@@ -37,8 +96,9 @@ Status KademliaNetwork::RemoveNode(uint64_t id, bool forget_state) {
   store_.MarkDead(id);
   if (forget_state) {
     node->frequencies.Clear();
-    node->buckets.clear();
-    node->auxiliaries.clear();
+    store_.tables().Release(node->bucket_entries);
+    store_.tables().Release(node->bucket_ends);
+    store_.tables().Release(node->auxiliaries);
   }
   return Status::Ok();
 }
@@ -48,7 +108,8 @@ Status KademliaNetwork::RejoinNode(uint64_t id) {
   if (node == nullptr) return Status::NotFound("unknown node");
   if (node->alive) return Status::FailedPrecondition("already alive");
   node->alive = true;
-  node->auxiliaries.clear();  // lost on crash; rebuilt at next selection
+  // Auxiliaries are lost on crash; rebuilt at the next selection.
+  store_.tables().Clear(node->auxiliaries);
   store_.MarkAlive(id);
   return StabilizeNode(id);
 }
@@ -89,33 +150,53 @@ Status KademliaNetwork::StabilizeNode(uint64_t id) {
     return Status::NotFound("node not alive");
   }
   KademliaNode& node = *node_ptr;
+  const std::vector<uint64_t>& live = store_.live_ids();
 
-  // Buckets: distribute every other live node into its prefix-length
-  // class, keep the bucket_size XOR-closest to self per class, store
-  // id-sorted. One pass over the sorted live array.
-  node.buckets.clear();
-  for (uint64_t w : store_.live_ids()) {
-    if (w == id) continue;
-    const size_t cpl = static_cast<size_t>(
-        CommonPrefixLength(id, w, params_.bits));
-    if (node.buckets.size() <= cpl) node.buckets.resize(cpl + 1);
-    node.buckets[cpl].push_back(w);
-  }
-  for (auto& bucket : node.buckets) {
-    if (static_cast<int>(bucket.size()) > params_.bucket_size) {
-      std::sort(bucket.begin(), bucket.end(),
-                [id](uint64_t a, uint64_t b) { return (a ^ id) < (b ^ id); });
-      bucket.resize(static_cast<size_t>(params_.bucket_size));
-      std::sort(bucket.begin(), bucket.end());
+  // Buckets: class c's candidates are exactly the live ids sharing the
+  // first c bits with `id` and differing at bit c — a contiguous range of
+  // the sorted live array (two binary searches). A range that fits keeps
+  // every member (already id-sorted); an over-full range keeps the
+  // bucket_size XOR-closest via trie descent, re-sorted by id — the same
+  // retained set as the historical global sort-by-XOR-then-truncate, found
+  // without touching the other n - range ids. Trailing empty classes are
+  // not materialized.
+  scratch_entries_.clear();
+  scratch_ends_.clear();
+  const size_t bucket_size = static_cast<size_t>(params_.bucket_size);
+  size_t last_nonempty = 0;
+  bool any = false;
+  for (int c = 0; c < params_.bits; ++c) {
+    const int flip = params_.bits - 1 - c;  // bit position that differs
+    const uint64_t flipped = id ^ (uint64_t{1} << flip);
+    const size_t lo = store_.LowerBoundLive(flipped & ~LowBitMask(flip));
+    const size_t hi = store_.UpperBoundLive(flipped | LowBitMask(flip));
+    if (lo < hi) {
+      if (hi - lo <= bucket_size) {
+        scratch_entries_.insert(
+            scratch_entries_.end(),
+            live.begin() + static_cast<std::ptrdiff_t>(lo),
+            live.begin() + static_cast<std::ptrdiff_t>(hi));
+      } else {
+        scratch_bucket_.clear();
+        CollectXorClosest(live, lo, hi, flip - 1, id, bucket_size,
+                          scratch_bucket_);
+        std::sort(scratch_bucket_.begin(), scratch_bucket_.end());
+        scratch_entries_.insert(scratch_entries_.end(),
+                                scratch_bucket_.begin(),
+                                scratch_bucket_.end());
+      }
+      last_nonempty = static_cast<size_t>(c);
+      any = true;
     }
-    // Untruncated buckets came off the sorted live array and stay sorted.
+    scratch_ends_.push_back(scratch_entries_.size());
   }
+  scratch_ends_.resize(any ? last_nonempty + 1 : 0);
+  store_.tables().Assign(node.bucket_entries, scratch_entries_);
+  store_.tables().Assign(node.bucket_ends, scratch_ends_);
 
   // Prune dead auxiliaries (stale-entry removal).
-  auto& aux = node.auxiliaries;
-  aux.erase(std::remove_if(aux.begin(), aux.end(),
-                           [this](uint64_t a) { return !IsAlive(a); }),
-            aux.end());
+  store_.tables().EraseIf(node.auxiliaries,
+                          [this](uint64_t a) { return !IsAlive(a); });
   return Status::Ok();
 }
 
@@ -131,20 +212,38 @@ Status KademliaNetwork::SetAuxiliaries(uint64_t id,
   if (node == nullptr || !node->alive) {
     return Status::NotFound("node not alive");
   }
-  node->auxiliaries = std::move(auxiliaries);
+  store_.tables().Assign(node->auxiliaries, auxiliaries);
   return Status::Ok();
 }
 
 std::vector<uint64_t> KademliaNetwork::CoreNeighborIds(uint64_t id) const {
   const KademliaNode* node = GetNode(id);
   if (node == nullptr) return {};
-  std::vector<uint64_t> out;
-  for (const auto& bucket : node->buckets) {
-    out.insert(out.end(), bucket.begin(), bucket.end());
-  }
+  const auto entries = BucketEntries(*node);
+  std::vector<uint64_t> out(entries.begin(), entries.end());
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+KademliaNetwork::NextHop KademliaNetwork::SelectNextHop(
+    const KademliaNode& node, uint64_t current, uint64_t key) const {
+  // Greedy XOR descent: among live table entries strictly closer to the
+  // key than the current node, pick the closest. Dead entries are skipped
+  // ("ping before forwarding").
+  NextHop best{current, current ^ key, HopEntryKind::kBucket};
+  auto consider = [&](uint64_t w, HopEntryKind kind) {
+    if (w == current || !IsAlive(w)) return;
+    const uint64_t remaining = w ^ key;
+    if (remaining < best.best_remaining) {
+      best.best_remaining = remaining;
+      best.next = w;
+      best.kind = kind;
+    }
+  };
+  for (uint64_t w : BucketEntries(node)) consider(w, HopEntryKind::kBucket);
+  for (uint64_t w : Auxiliaries(node)) consider(w, HopEntryKind::kAuxiliary);
+  return best;
 }
 
 Status KademliaNetwork::LookupInto(uint64_t origin, uint64_t key,
@@ -169,27 +268,9 @@ Status KademliaNetwork::LookupInto(uint64_t origin, uint64_t key,
   for (int hop = 0; hop <= params_.max_route_hops; ++hop) {
     const KademliaNode* node = GetNode(current);
     assert(node != nullptr);
-    // Greedy XOR descent: among live table entries strictly closer to the
-    // key than the current node, pick the closest. Dead entries are
-    // skipped ("ping before forwarding").
-    uint64_t next = current;
-    uint64_t best_remaining = current ^ key;
-    HopEntryKind next_kind = HopEntryKind::kBucket;
-    auto consider = [&](uint64_t w, HopEntryKind kind) {
-      if (w == current || !IsAlive(w)) return;
-      const uint64_t remaining = w ^ key;
-      if (remaining < best_remaining) {
-        best_remaining = remaining;
-        next = w;
-        next_kind = kind;
-      }
-    };
-    for (const auto& bucket : node->buckets) {
-      for (uint64_t w : bucket) consider(w, HopEntryKind::kBucket);
-    }
-    for (uint64_t w : node->auxiliaries) consider(w, HopEntryKind::kAuxiliary);
+    const NextHop sel = SelectNextHop(*node, current, key);
 
-    if (next == current) {
+    if (sel.next == current) {
       // No live entry XOR-closer to the key: to this node's knowledge it
       // is the key's closest node, so it answers.
       out.destination = current;
@@ -203,17 +284,18 @@ Status KademliaNetwork::LookupInto(uint64_t origin, uint64_t key,
       }
       return Status::Ok();
     }
-    if (next_kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
+    if (sel.kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
     if (trace != nullptr) {
-      trace->path.push_back({current, next, next_kind, best_remaining});
+      trace->path.push_back({current, sel.next, sel.kind,
+                             sel.best_remaining});
     }
     if (timed) {
-      const double ms = latency->HopLatencyMs(key, current, next, hop);
+      const double ms = latency->HopLatencyMs(key, current, sel.next, hop);
       out.latency_ms += ms;
       if (trace != nullptr) trace->path.back().latency_ms = ms;
     }
     out.path.push_back(current);
-    current = next;
+    current = sel.next;
   }
   out.destination = current;
   out.hops = params_.max_route_hops;
@@ -225,6 +307,42 @@ Status KademliaNetwork::LookupInto(uint64_t origin, uint64_t key,
     trace->latency_ms = out.latency_ms;
   }
   return Status::Ok();
+}
+
+Status KademliaNetwork::BeginLookup(uint64_t origin, uint64_t key,
+                                    LookupCursor& cursor) const {
+  cursor = LookupCursor{};
+  if (!IsAlive(origin)) return Status::Unavailable("origin not alive");
+  auto truth = ResponsibleNode(key);
+  if (!truth.ok()) return truth.status();
+  cursor.current = origin;
+  cursor.key = key;
+  cursor.truth = truth.value();
+  cursor.node = GetNode(origin);
+  cursor.done = false;
+  return Status::Ok();
+}
+
+void KademliaNetwork::StepLookup(LookupCursor& cursor) const {
+  if (cursor.done) return;
+  const NextHop sel = SelectNextHop(*cursor.node, cursor.current, cursor.key);
+  if (sel.next == cursor.current) {
+    cursor.destination = cursor.current;
+    cursor.success = (cursor.current == cursor.truth);
+    cursor.done = true;
+    return;
+  }
+  if (sel.kind == HopEntryKind::kAuxiliary) ++cursor.aux_hops;
+  cursor.current = sel.next;
+  cursor.node = GetNode(sel.next);
+  ++cursor.hops;
+  if (cursor.hops > params_.max_route_hops) {
+    // Same hop-budget failure LookupInto reports.
+    cursor.destination = cursor.current;
+    cursor.hops = params_.max_route_hops;
+    cursor.success = false;
+    cursor.done = true;
+  }
 }
 
 Status KademliaNetwork::LookupResilient(
@@ -296,10 +414,10 @@ Status KademliaNetwork::LookupResilient(
             next_is_dead = !alive;
           }
         };
-        for (const auto& bucket : node->buckets) {
-          for (uint64_t w : bucket) consider(w, HopEntryKind::kBucket);
+        for (uint64_t w : BucketEntries(*node)) {
+          consider(w, HopEntryKind::kBucket);
         }
-        for (uint64_t w : node->auxiliaries) {
+        for (uint64_t w : Auxiliaries(*node)) {
           consider(w, HopEntryKind::kAuxiliary);
         }
       };

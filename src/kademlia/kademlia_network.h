@@ -2,10 +2,12 @@
 #define PEERCACHE_KADEMLIA_KADEMLIA_NETWORK_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "auxsel/frequency_table.h"
 #include "common/fault.h"
+#include "common/flat_table_arena.h"
 #include "common/latency.h"
 #include "common/node_store.h"
 #include "common/ring_id.h"
@@ -39,16 +41,24 @@ using RouteResult = overlay::RouteResult;
 /// Per-node protocol state. Bucket snapshots are ids captured at the
 /// node's last stabilization and go stale under churn, exactly like the
 /// Chord finger tables and Pastry routing rows.
+///
+/// The buckets are flattened into one arena slice: `bucket_entries` holds
+/// every member cpl-major (bucket 0 first, id-sorted within a bucket) and
+/// `bucket_ends[i]` is the end offset of bucket i within it, so the hot
+/// routing scan walks one contiguous span. Read through
+/// KademliaNetwork::Bucket/BucketCount/BucketEntries. Trailing empty
+/// buckets are not materialized (bucket_ends stops at the last non-empty
+/// class), matching the historical vector-of-vectors shape.
 struct KademliaNode {
   uint64_t id = 0;
   bool alive = false;
-  /// Core neighbors: buckets[i] holds up to bucket_size live nodes w with
+  /// Core neighbors: bucket i holds up to bucket_size live nodes w with
   /// lcp(id, w) == i (equivalently: the top set bit of id XOR w is bit
   /// bits-1-i), XOR-closest to `id` first retained, stored id-sorted.
-  /// Trailing empty buckets are not materialized.
-  std::vector<std::vector<uint64_t>> buckets;
+  overlay::FlatList bucket_entries;
+  overlay::FlatList bucket_ends;
   /// Auxiliary neighbors installed by an auxiliary-selection algorithm.
-  std::vector<uint64_t> auxiliaries;
+  overlay::FlatList auxiliaries;
   /// Access frequencies of responsible peers for queries this node
   /// originated (feeds auxiliary selection).
   auxsel::FrequencyTable frequencies;
@@ -87,6 +97,11 @@ class KademliaNetwork {
   /// stabilize. Fails on duplicate live id.
   Status AddNode(uint64_t id);
 
+  /// Bulk join for large builds: inserts every id as a live node WITHOUT
+  /// stabilizing (callers run StabilizeAll once after). Fails before any
+  /// mutation on invalid ids.
+  Status BulkAdd(const std::vector<uint64_t>& ids);
+
   /// Crashes a node: it disappears immediately; other nodes' bucket
   /// entries pointing at it become stale until their next stabilization.
   /// Node state (frequency history) is retained for a later rejoin unless
@@ -104,6 +119,44 @@ class KademliaNetwork {
   /// Mutable node state (must exist). Nullptr if unknown.
   KademliaNode* GetNode(uint64_t id) { return store_.Get(id); }
   const KademliaNode* GetNode(uint64_t id) const { return store_.Get(id); }
+
+  /// Bucket views: `BucketCount` is the number of materialized distance
+  /// classes (trailing empty classes absent), `Bucket(node, i)` the
+  /// id-sorted members of class i, `BucketEntries` the whole flattened
+  /// cpl-major span the routing loop walks.
+  size_t BucketCount(const KademliaNode& node) const {
+    return node.bucket_ends.size;
+  }
+  std::span<const uint64_t> BucketEntries(const KademliaNode& node) const {
+    return store_.tables().View(node.bucket_entries);
+  }
+  std::span<const uint64_t> Bucket(const KademliaNode& node, size_t i) const {
+    const auto ends = store_.tables().View(node.bucket_ends);
+    const size_t begin = i == 0 ? 0 : static_cast<size_t>(ends[i - 1]);
+    return BucketEntries(node).subspan(begin,
+                                       static_cast<size_t>(ends[i]) - begin);
+  }
+  std::span<const uint64_t> Auxiliaries(const KademliaNode& node) const {
+    return store_.tables().View(node.auxiliaries);
+  }
+
+  /// Auxiliary list of `id` (empty when the node is unknown).
+  std::span<const uint64_t> AuxiliarySpan(uint64_t id) const {
+    const KademliaNode* node = store_.Get(id);
+    return node == nullptr ? std::span<const uint64_t>{} : Auxiliaries(*node);
+  }
+
+  /// Removes every occurrence of `entry` from `id`'s auxiliary list.
+  void EraseAuxiliary(uint64_t id, uint64_t entry) {
+    if (KademliaNode* node = store_.Get(id)) {
+      store_.tables().EraseValue(node->auxiliaries, entry);
+    }
+  }
+
+  /// Footprint accounting (node records + indices + routing arena).
+  overlay::StoreMemoryStats MemoryUsage() const {
+    return store_.MemoryUsage();
+  }
 
   /// Ground truth: the live node XOR-closest to `key`. Found by a bit
   /// descent over the sorted live-id array (the XOR minimizer is not a
@@ -143,6 +196,33 @@ class KademliaNetwork {
       const fault::FaultPlan* faults = nullptr,
       const latency::LatencyModel* latency = nullptr) const;
 
+  /// One suspended fault-free lookup for the batched engine (same next-hop
+  /// policy as LookupInto via a shared helper).
+  struct LookupCursor {
+    uint64_t current = 0;
+    uint64_t key = 0;
+    uint64_t truth = 0;
+    const KademliaNode* node = nullptr;
+    int hops = 0;
+    int aux_hops = 0;
+    bool done = true;
+    bool success = false;
+    uint64_t destination = 0;
+  };
+
+  Status BeginLookup(uint64_t origin, uint64_t key, LookupCursor& cursor)
+      const;
+  void StepLookup(LookupCursor& cursor) const;
+
+  void PrefetchNode(const LookupCursor& cursor) const {
+    __builtin_prefetch(cursor.node, 0, 1);
+  }
+  void PrefetchTables(const LookupCursor& cursor) const {
+    const overlay::FlatTableArena& tables = store_.tables();
+    tables.Prefetch(cursor.node->bucket_entries);
+    tables.Prefetch(cursor.node->auxiliaries);
+  }
+
   /// Rebuilds `id`'s buckets from live membership (periodic
   /// stabilization). Dead auxiliaries are pruned (the paper's "stale
   /// auxiliary entries are marked/removed; fixed at the next selection").
@@ -152,7 +232,7 @@ class KademliaNetwork {
   void StabilizeAll();
 
   /// Installs auxiliary neighbors on a node (ids need not be alive; dead
-  /// ones are simply useless until pruned).
+  /// ones are simply useless until pruned). Serial-only: writes the arena.
   Status SetAuxiliaries(uint64_t id, std::vector<uint64_t> auxiliaries);
 
   /// Builds the core-neighbor list (all bucket entries, deduplicated) used
@@ -160,6 +240,16 @@ class KademliaNetwork {
   std::vector<uint64_t> CoreNeighborIds(uint64_t id) const;
 
  private:
+  /// Best next hop (greedy XOR descent) from `current` toward `key` —
+  /// shared by LookupInto and StepLookup. `next == current` means deliver.
+  struct NextHop {
+    uint64_t next;
+    uint64_t best_remaining;
+    HopEntryKind kind;
+  };
+  NextHop SelectNextHop(const KademliaNode& node, uint64_t current,
+                        uint64_t key) const;
+
   /// The retry-capable routing loop used when fault injection is enabled.
   /// `truth` is the precomputed responsible node.
   Status LookupResilient(uint64_t origin, uint64_t key, uint64_t truth,
@@ -170,6 +260,9 @@ class KademliaNetwork {
   KademliaParams params_;
   IdSpace space_;
   overlay::NodeStore<KademliaNode> store_;  // all nodes ever seen
+  std::vector<uint64_t> scratch_entries_;   // stabilize buffers (serial)
+  std::vector<uint64_t> scratch_ends_;
+  std::vector<uint64_t> scratch_bucket_;
 };
 
 }  // namespace peercache::kademlia

@@ -49,9 +49,33 @@ Status PastryNetwork::AddNode(uint64_t id) {
                         coord_rng_.UniformDouble()};
   }
   node->alive = true;
-  node->auxiliaries.clear();
+  store_.tables().Clear(node->auxiliaries);
   store_.MarkAlive(id);
   return StabilizeNode(id);
+}
+
+Status PastryNetwork::BulkAdd(const std::vector<uint64_t>& ids) {
+  for (uint64_t id : ids) {
+    if (!space_.Contains(id)) {
+      return Status::InvalidArgument("id out of range");
+    }
+    if (store_.IsAlive(id)) {
+      return Status::InvalidArgument("live id already used");
+    }
+  }
+  store_.Reserve(store_.size() + ids.size());
+  for (uint64_t id : ids) {
+    auto [node, inserted] = store_.Emplace(id, params_.frequency_capacity);
+    node->id = id;
+    if (inserted) {
+      node->coord = Coord{coord_rng_.UniformDouble(),
+                          coord_rng_.UniformDouble()};
+    }
+    node->alive = true;
+    store_.tables().Clear(node->auxiliaries);
+  }
+  store_.BulkMarkAlive(ids);
+  return Status::Ok();
 }
 
 Status PastryNetwork::RemoveNode(uint64_t id) {
@@ -69,7 +93,7 @@ Status PastryNetwork::RejoinNode(uint64_t id) {
   if (node == nullptr) return Status::NotFound("unknown node");
   if (node->alive) return Status::FailedPrecondition("already alive");
   node->alive = true;
-  node->auxiliaries.clear();
+  store_.tables().Clear(node->auxiliaries);
   store_.MarkAlive(id);
   return StabilizeNode(id);
 }
@@ -80,59 +104,81 @@ Status PastryNetwork::StabilizeNode(uint64_t id) {
     return Status::NotFound("node not alive");
   }
   PastryNode& node = *node_ptr;
+  overlay::FlatTableArena& tables = store_.tables();
+  const std::vector<uint64_t>& live = store_.live_ids();
 
-  // Routing rows with proximity neighbor selection: for every other live
-  // node (ascending id order), bucket by shared-prefix length and keep the
-  // underlay-closest candidate per row (FreePastry's table construction).
-  node.routing_rows.assign(static_cast<size_t>(params_.bits), kNoEntry);
-  std::vector<double> best_dist(static_cast<size_t>(params_.bits), 0.0);
-  for (uint64_t w : store_.live_ids()) {
-    if (w == id) continue;
-    const int l = CommonPrefixLength(id, w, params_.bits);
-    assert(l < params_.bits);
-    const size_t row = static_cast<size_t>(l);
-    const double d = Proximity(id, w);
-    if (node.routing_rows[row] == kNoEntry || d < best_dist[row]) {
-      node.routing_rows[row] = w;
-      best_dist[row] = d;
+  // Routing rows with proximity neighbor selection (FreePastry's table
+  // construction: the underlay-closest candidate per row). Row r's
+  // candidates are exactly the live ids sharing the first r bits with `id`
+  // and differing at bit r — a contiguous range of the sorted live array,
+  // found with two binary searches instead of a full-membership scan.
+  // Scanning the range in ascending id order with a strict `<` keeps the
+  // winner identical to the historical scan; a positive stabilize_sample
+  // probes evenly spaced candidates instead (large-n builds).
+  scratch_.assign(static_cast<size_t>(params_.bits), kNoEntry);
+  for (int r = 0; r < params_.bits; ++r) {
+    const int flip = params_.bits - 1 - r;  // bit position that differs
+    const uint64_t flipped = id ^ (uint64_t{1} << flip);
+    const size_t lo = store_.LowerBoundLive(flipped & ~LowBitMask(flip));
+    const size_t hi = store_.UpperBoundLive(flipped | LowBitMask(flip));
+    if (lo >= hi) continue;
+    const size_t len = hi - lo;
+    uint64_t best = kNoEntry;
+    double best_dist = 0.0;
+    auto probe = [&](uint64_t w) {
+      const double d = Proximity(id, w);
+      if (best == kNoEntry || d < best_dist) {
+        best = w;
+        best_dist = d;
+      }
+    };
+    if (params_.stabilize_sample <= 0 ||
+        len <= static_cast<size_t>(params_.stabilize_sample)) {
+      for (size_t i = lo; i < hi; ++i) probe(live[i]);
+    } else {
+      const size_t sample = static_cast<size_t>(params_.stabilize_sample);
+      for (size_t i = 0; i < sample; ++i) {
+        probe(live[lo + (i * len) / sample]);
+      }
     }
+    scratch_[static_cast<size_t>(r)] = best;
   }
+  tables.Assign(node.routing_rows, scratch_);
 
   // Leaf set: numerically nearest live ids, leaf_set_half per side, with
   // the two sides kept separate so the router can compute the contiguous
   // coverage arc exactly.
-  node.leaf_set.clear();
-  node.leaf_succ.clear();
-  node.leaf_pred.clear();
-  const std::vector<uint64_t>& live = store_.live_ids();
+  scratch_.clear();
   if (live.size() > 1) {
     size_t succ = store_.UpperBoundLive(id);
     for (int i = 0; i < params_.leaf_set_half; ++i) {
       if (succ == live.size()) succ = 0;  // wrap
       if (live[succ] == id) break;        // wrapped around
-      node.leaf_succ.push_back(live[succ]);
+      scratch_.push_back(live[succ]);
       ++succ;
     }
+  }
+  tables.Assign(node.leaf_succ, scratch_);
+
+  const auto succ_span = LeafSucc(node);
+  scratch_.clear();
+  if (live.size() > 1) {
     size_t pred = store_.LowerBoundLive(id);
     for (int i = 0; i < params_.leaf_set_half; ++i) {
       if (pred == 0) pred = live.size();  // wrap
       --pred;
       if (live[pred] == id) break;
-      if (std::find(node.leaf_succ.begin(), node.leaf_succ.end(),
-                    live[pred]) != node.leaf_succ.end()) {
+      if (std::find(succ_span.begin(), succ_span.end(), live[pred]) !=
+          succ_span.end()) {
         break;  // small ring: sides met
       }
-      node.leaf_pred.push_back(live[pred]);
+      scratch_.push_back(live[pred]);
     }
-    node.leaf_set = node.leaf_succ;
-    node.leaf_set.insert(node.leaf_set.end(), node.leaf_pred.begin(),
-                         node.leaf_pred.end());
   }
+  tables.Assign(node.leaf_pred, scratch_);
 
-  auto& aux = node.auxiliaries;
-  aux.erase(std::remove_if(aux.begin(), aux.end(),
-                           [this](uint64_t a) { return !IsAlive(a); }),
-            aux.end());
+  tables.EraseIf(node.auxiliaries,
+                 [this](uint64_t a) { return !IsAlive(a); });
   return Status::Ok();
 }
 
@@ -148,7 +194,7 @@ Status PastryNetwork::SetAuxiliaries(uint64_t id,
   if (node == nullptr || !node->alive) {
     return Status::NotFound("node not alive");
   }
-  node->auxiliaries = std::move(auxiliaries);
+  store_.tables().Assign(node->auxiliaries, auxiliaries);
   return Status::Ok();
 }
 
@@ -156,10 +202,13 @@ std::vector<uint64_t> PastryNetwork::CoreNeighborIds(uint64_t id) const {
   const PastryNode* node = GetNode(id);
   if (node == nullptr) return {};
   std::vector<uint64_t> out;
-  for (uint64_t w : node->routing_rows) {
+  for (uint64_t w : RoutingRows(*node)) {
     if (w != kNoEntry) out.push_back(w);
   }
-  out.insert(out.end(), node->leaf_set.begin(), node->leaf_set.end());
+  const auto succ = LeafSucc(*node);
+  const auto pred = LeafPred(*node);
+  out.insert(out.end(), succ.begin(), succ.end());
+  out.insert(out.end(), pred.begin(), pred.end());
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
@@ -180,6 +229,124 @@ Result<uint64_t> PastryNetwork::ResponsibleNode(uint64_t key) const {
   return std::min(pred, succ);
 }
 
+PastryNetwork::Decision PastryNetwork::DecideNext(const PastryNode& node,
+                                                  uint64_t current,
+                                                  uint64_t key,
+                                                  bool numeric_mode) const {
+  Decision out;
+  auto ring_distance = [this](uint64_t a, uint64_t b) {
+    return std::min(space_.ClockwiseDistance(a, b),
+                    space_.ClockwiseDistance(b, a));
+  };
+  const int current_lcp = CommonPrefixLength(current, key, params_.bits);
+  if (current_lcp == params_.bits) {  // exact hit
+    out.action = Decision::Action::kDeliverHere;
+    return out;
+  }
+
+  const auto rows = RoutingRows(node);
+  const auto succ = LeafSucc(node);
+  const auto pred = LeafPred(node);
+  const auto aux = Auxiliaries(node);
+
+  // Rule R1 (leaf-set delivery): if the key falls within the span of this
+  // node's live leaf set, the numerically closest member (or this node)
+  // answers directly. This is Pastry's termination rule and guarantees the
+  // route cannot oscillate around power-of-two id boundaries.
+  uint64_t cw_span = 0, ccw_span = 0;
+  for (uint64_t w : succ) {
+    if (!IsAlive(w)) continue;
+    cw_span = std::max(cw_span, space_.ClockwiseDistance(current, w));
+  }
+  for (uint64_t w : pred) {
+    if (!IsAlive(w)) continue;
+    ccw_span = std::max(ccw_span, space_.ClockwiseDistance(w, current));
+  }
+  const bool in_leaf_span =
+      space_.ClockwiseDistance(current, key) <= cw_span ||
+      space_.ClockwiseDistance(key, current) <= ccw_span;
+  if (in_leaf_span) {
+    uint64_t closest = current;
+    uint64_t closest_dist = ring_distance(current, key);
+    auto consider_leaf = [&](uint64_t w) {
+      if (!IsAlive(w)) return;
+      const uint64_t d = ring_distance(w, key);
+      if (d < closest_dist || (d == closest_dist && w < closest)) {
+        closest_dist = d;
+        closest = w;
+      }
+    };
+    for (uint64_t w : succ) consider_leaf(w);
+    for (uint64_t w : pred) consider_leaf(w);
+    if (closest == current) {
+      out.action = Decision::Action::kDeliverHere;
+    } else {
+      out.action = Decision::Action::kDeliverAt;
+      out.next = closest;
+      out.kind = HopEntryKind::kLeafSet;
+    }
+    return out;
+  }
+
+  // Rule R2 (prefix routing): best strictly-longer prefix match with the
+  // key; ties on prefix length break by underlay proximity to the current
+  // node (FreePastry's locality-aware choice among equal-progress
+  // candidates).
+  uint64_t next = kNoEntry;
+  int best_lcp = current_lcp;
+  double best_prox = 0;
+  HopEntryKind next_kind = HopEntryKind::kRoutingRow;
+  if (!numeric_mode) {
+    auto consider_prefix = [&](uint64_t w, HopEntryKind kind) {
+      if (w == kNoEntry || w == current || !IsAlive(w)) return;
+      const int l = CommonPrefixLength(w, key, params_.bits);
+      if (l <= current_lcp) return;
+      const double d = Proximity(current, w);
+      if (next == kNoEntry || l > best_lcp ||
+          (l == best_lcp && d < best_prox)) {
+        next = w;
+        best_lcp = l;
+        best_prox = d;
+        next_kind = kind;
+      }
+    };
+    for (uint64_t w : rows) consider_prefix(w, HopEntryKind::kRoutingRow);
+    for (uint64_t w : succ) consider_prefix(w, HopEntryKind::kLeafSet);
+    for (uint64_t w : pred) consider_prefix(w, HopEntryKind::kLeafSet);
+    for (uint64_t w : aux) consider_prefix(w, HopEntryKind::kAuxiliary);
+  }
+
+  if (next == kNoEntry) {
+    // Rule R3 ("rare case" fallback): the numerically closest entry that
+    // is strictly closer to the key than this node, from here on out.
+    out.enters_numeric = true;
+    uint64_t best_dist = ring_distance(current, key);
+    auto consider_numeric = [&](uint64_t w, HopEntryKind kind) {
+      if (w == kNoEntry || w == current || !IsAlive(w)) return;
+      const uint64_t d = ring_distance(w, key);
+      if (d < best_dist) {
+        best_dist = d;
+        next = w;
+        next_kind = kind;
+      }
+    };
+    for (uint64_t w : rows) consider_numeric(w, HopEntryKind::kRoutingRow);
+    for (uint64_t w : succ) consider_numeric(w, HopEntryKind::kLeafSet);
+    for (uint64_t w : pred) consider_numeric(w, HopEntryKind::kLeafSet);
+    for (uint64_t w : aux) consider_numeric(w, HopEntryKind::kAuxiliary);
+  }
+
+  if (next == kNoEntry) {
+    // Nothing known makes progress: deliver here.
+    out.action = Decision::Action::kDeliverHere;
+    return out;
+  }
+  out.action = Decision::Action::kForward;
+  out.next = next;
+  out.kind = next_kind;
+  return out;
+}
+
 Status PastryNetwork::LookupInto(uint64_t origin, uint64_t key,
                                  RouteResult& out, RouteTrace* trace,
                                  const fault::FaultPlan* faults,
@@ -194,10 +361,6 @@ Status PastryNetwork::LookupInto(uint64_t origin, uint64_t key,
   }
   const bool timed = latency != nullptr && latency->enabled();
 
-  auto ring_distance = [this](uint64_t a, uint64_t b) {
-    return std::min(space_.ClockwiseDistance(a, b),
-                    space_.ClockwiseDistance(b, a));
-  };
   // Trace metric: prefix digits still to resolve after landing on `w`.
   auto prefix_remaining = [this, key](uint64_t w) {
     return static_cast<uint64_t>(params_.bits -
@@ -227,145 +390,99 @@ Status PastryNetwork::LookupInto(uint64_t origin, uint64_t key,
   for (int hop = 0; hop <= params_.max_route_hops; ++hop) {
     const PastryNode* node = GetNode(current);
     assert(node != nullptr);
-    const int current_lcp = CommonPrefixLength(current, key, params_.bits);
-    if (current_lcp == params_.bits) {  // exact hit
+    const Decision d = DecideNext(*node, current, key, numeric_mode);
+
+    if (d.action == Decision::Action::kDeliverHere) {
       out.destination = current;
       out.hops = hop;
       out.success = (current == truth.value());
       finish(out);
       return Status::Ok();
     }
-
-    // Rule R1 (leaf-set delivery): if the key falls within the span of this
-    // node's live leaf set, the numerically closest member (or this node)
-    // answers directly. This is Pastry's termination rule and guarantees the
-    // route cannot oscillate around power-of-two id boundaries.
-    uint64_t cw_span = 0, ccw_span = 0;
-    for (uint64_t w : node->leaf_succ) {
-      if (!IsAlive(w)) continue;
-      cw_span = std::max(cw_span, space_.ClockwiseDistance(current, w));
-    }
-    for (uint64_t w : node->leaf_pred) {
-      if (!IsAlive(w)) continue;
-      ccw_span = std::max(ccw_span, space_.ClockwiseDistance(w, current));
-    }
-    const bool in_leaf_span =
-        space_.ClockwiseDistance(current, key) <= cw_span ||
-        space_.ClockwiseDistance(key, current) <= ccw_span;
-    if (in_leaf_span) {
-      uint64_t closest = current;
-      uint64_t closest_dist = ring_distance(current, key);
-      for (uint64_t w : node->leaf_set) {
-        if (!IsAlive(w)) continue;
-        const uint64_t d = ring_distance(w, key);
-        if (d < closest_dist || (d == closest_dist && w < closest)) {
-          closest_dist = d;
-          closest = w;
-        }
+    if (d.action == Decision::Action::kDeliverAt) {
+      // R1's final leaf-set hop: the chosen member answers directly.
+      out.destination = d.next;
+      out.hops = hop + 1;
+      out.path.push_back(current);
+      if (trace != nullptr) {
+        trace->path.push_back({current, d.next, HopEntryKind::kLeafSet,
+                               prefix_remaining(d.next)});
       }
-      out.destination = closest;
-      out.hops = hop + (closest == current ? 0 : 1);
-      if (closest != current) {
-        out.path.push_back(current);
-        if (trace != nullptr) {
-          trace->path.push_back({current, closest, HopEntryKind::kLeafSet,
-                                 prefix_remaining(closest)});
-        }
-        if (timed) {
-          const double ms = latency->HopLatencyMs(key, current, closest, hop);
-          out.latency_ms += ms;
-          if (trace != nullptr) trace->path.back().latency_ms = ms;
-        }
+      if (timed) {
+        const double ms = latency->HopLatencyMs(key, current, d.next, hop);
+        out.latency_ms += ms;
+        if (trace != nullptr) trace->path.back().latency_ms = ms;
       }
-      out.success = (closest == truth.value());
+      out.success = (d.next == truth.value());
       finish(out);
       return Status::Ok();
     }
 
-    // Rule R2 (prefix routing): best strictly-longer prefix match with the
-    // key; ties on prefix length break by underlay proximity to the current
-    // node (FreePastry's locality-aware choice among equal-progress
-    // candidates).
-    uint64_t next = kNoEntry;
-    int best_lcp = current_lcp;
-    double best_prox = 0;
-    HopEntryKind next_kind = HopEntryKind::kRoutingRow;
-    if (!numeric_mode) {
-      auto consider_prefix = [&](uint64_t w, HopEntryKind kind) {
-        if (w == kNoEntry || w == current || !IsAlive(w)) return;
-        const int l = CommonPrefixLength(w, key, params_.bits);
-        if (l <= current_lcp) return;
-        const double d = Proximity(current, w);
-        if (next == kNoEntry || l > best_lcp ||
-            (l == best_lcp && d < best_prox)) {
-          next = w;
-          best_lcp = l;
-          best_prox = d;
-          next_kind = kind;
-        }
-      };
-      for (uint64_t w : node->routing_rows) {
-        consider_prefix(w, HopEntryKind::kRoutingRow);
-      }
-      for (uint64_t w : node->leaf_set) {
-        consider_prefix(w, HopEntryKind::kLeafSet);
-      }
-      for (uint64_t w : node->auxiliaries) {
-        consider_prefix(w, HopEntryKind::kAuxiliary);
-      }
-    }
-
-    if (next == kNoEntry) {
-      // Rule R3 ("rare case" fallback): the numerically closest entry that
-      // is strictly closer to the key than this node, from here on out.
-      numeric_mode = true;
-      uint64_t best_dist = ring_distance(current, key);
-      auto consider_numeric = [&](uint64_t w, HopEntryKind kind) {
-        if (w == kNoEntry || w == current || !IsAlive(w)) return;
-        const uint64_t d = ring_distance(w, key);
-        if (d < best_dist) {
-          best_dist = d;
-          next = w;
-          next_kind = kind;
-        }
-      };
-      for (uint64_t w : node->routing_rows) {
-        consider_numeric(w, HopEntryKind::kRoutingRow);
-      }
-      for (uint64_t w : node->leaf_set) {
-        consider_numeric(w, HopEntryKind::kLeafSet);
-      }
-      for (uint64_t w : node->auxiliaries) {
-        consider_numeric(w, HopEntryKind::kAuxiliary);
-      }
-    }
-
-    if (next == kNoEntry) {
-      // Nothing known makes progress: deliver here.
-      out.destination = current;
-      out.hops = hop;
-      out.success = (current == truth.value());
-      finish(out);
-      return Status::Ok();
-    }
-    if (next_kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
+    if (d.enters_numeric) numeric_mode = true;
+    if (d.kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
     if (trace != nullptr) {
-      trace->path.push_back({current, next, next_kind,
-                             prefix_remaining(next)});
+      trace->path.push_back({current, d.next, d.kind,
+                             prefix_remaining(d.next)});
     }
     if (timed) {
-      const double ms = latency->HopLatencyMs(key, current, next, hop);
+      const double ms = latency->HopLatencyMs(key, current, d.next, hop);
       out.latency_ms += ms;
       if (trace != nullptr) trace->path.back().latency_ms = ms;
     }
     out.path.push_back(current);
-    current = next;
+    current = d.next;
   }
   out.destination = current;
   out.hops = params_.max_route_hops;
   out.success = false;
   finish(out);
   return Status::Ok();
+}
+
+Status PastryNetwork::BeginLookup(uint64_t origin, uint64_t key,
+                                  LookupCursor& cursor) const {
+  cursor = LookupCursor{};
+  if (!IsAlive(origin)) return Status::Unavailable("origin not alive");
+  auto truth = ResponsibleNode(key);
+  if (!truth.ok()) return truth.status();
+  cursor.current = origin;
+  cursor.key = key;
+  cursor.truth = truth.value();
+  cursor.node = GetNode(origin);
+  cursor.done = false;
+  return Status::Ok();
+}
+
+void PastryNetwork::StepLookup(LookupCursor& cursor) const {
+  if (cursor.done) return;
+  const Decision d =
+      DecideNext(*cursor.node, cursor.current, cursor.key,
+                 cursor.numeric_mode);
+  if (d.action == Decision::Action::kDeliverHere) {
+    cursor.destination = cursor.current;
+    cursor.success = (cursor.current == cursor.truth);
+    cursor.done = true;
+    return;
+  }
+  if (d.action == Decision::Action::kDeliverAt) {
+    cursor.destination = d.next;
+    ++cursor.hops;
+    cursor.success = (d.next == cursor.truth);
+    cursor.done = true;
+    return;
+  }
+  if (d.enters_numeric) cursor.numeric_mode = true;
+  if (d.kind == HopEntryKind::kAuxiliary) ++cursor.aux_hops;
+  cursor.current = d.next;
+  cursor.node = GetNode(d.next);
+  ++cursor.hops;
+  if (cursor.hops > params_.max_route_hops) {
+    // Same hop-budget failure LookupInto reports.
+    cursor.destination = cursor.current;
+    cursor.hops = params_.max_route_hops;
+    cursor.success = false;
+    cursor.done = true;
+  }
 }
 
 Status PastryNetwork::LookupResilient(
@@ -411,6 +528,10 @@ Status PastryNetwork::LookupResilient(
   while (spent <= params_.max_route_hops) {
     const PastryNode* node = GetNode(current);
     assert(node != nullptr);
+    const auto rows = RoutingRows(*node);
+    const auto leaf_succ = LeafSucc(*node);
+    const auto leaf_pred = LeafPred(*node);
+    const auto auxiliaries = Auxiliaries(*node);
     const int current_lcp = CommonPrefixLength(current, key, params_.bits);
     if (current_lcp == params_.bits) {  // exact hit
       return finish(current, hops_taken, /*delivered=*/true);
@@ -459,11 +580,11 @@ Status PastryNetwork::LookupResilient(
 
         // Rule R1 (leaf-set delivery), over believed-live usable members.
         uint64_t cw_span = 0, ccw_span = 0;
-        for (uint64_t w : node->leaf_succ) {
+        for (uint64_t w : leaf_succ) {
           if (!usable_r1(w)) continue;
           cw_span = std::max(cw_span, space_.ClockwiseDistance(current, w));
         }
-        for (uint64_t w : node->leaf_pred) {
+        for (uint64_t w : leaf_pred) {
           if (!usable_r1(w)) continue;
           ccw_span = std::max(ccw_span, space_.ClockwiseDistance(w, current));
         }
@@ -473,14 +594,16 @@ Status PastryNetwork::LookupResilient(
         if (in_leaf_span) {
           uint64_t closest = current;
           uint64_t closest_dist = ring_distance(current, key);
-          for (uint64_t w : node->leaf_set) {
-            if (!usable_r1(w)) continue;
+          auto consider_leaf = [&](uint64_t w) {
+            if (!usable_r1(w)) return;
             const uint64_t d = ring_distance(w, key);
             if (d < closest_dist || (d == closest_dist && w < closest)) {
               closest_dist = d;
               closest = w;
             }
-          }
+          };
+          for (uint64_t w : leaf_succ) consider_leaf(w);
+          for (uint64_t w : leaf_pred) consider_leaf(w);
           if (closest == current) {
             deliver_here = true;
           } else {
@@ -509,13 +632,16 @@ Status PastryNetwork::LookupResilient(
               next_kind = kind;
             }
           };
-          for (uint64_t w : node->routing_rows) {
+          for (uint64_t w : rows) {
             consider_prefix(w, HopEntryKind::kRoutingRow);
           }
-          for (uint64_t w : node->leaf_set) {
+          for (uint64_t w : leaf_succ) {
             consider_prefix(w, HopEntryKind::kLeafSet);
           }
-          for (uint64_t w : node->auxiliaries) {
+          for (uint64_t w : leaf_pred) {
+            consider_prefix(w, HopEntryKind::kLeafSet);
+          }
+          for (uint64_t w : auxiliaries) {
             consider_prefix(w, HopEntryKind::kAuxiliary);
           }
         }
@@ -532,13 +658,16 @@ Status PastryNetwork::LookupResilient(
               next_kind = kind;
             }
           };
-          for (uint64_t w : node->routing_rows) {
+          for (uint64_t w : rows) {
             consider_numeric(w, HopEntryKind::kRoutingRow);
           }
-          for (uint64_t w : node->leaf_set) {
+          for (uint64_t w : leaf_succ) {
             consider_numeric(w, HopEntryKind::kLeafSet);
           }
-          for (uint64_t w : node->auxiliaries) {
+          for (uint64_t w : leaf_pred) {
+            consider_numeric(w, HopEntryKind::kLeafSet);
+          }
+          for (uint64_t w : auxiliaries) {
             consider_numeric(w, HopEntryKind::kAuxiliary);
           }
         }

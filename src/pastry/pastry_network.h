@@ -2,10 +2,12 @@
 #define PEERCACHE_PASTRY_PASTRY_NETWORK_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "auxsel/frequency_table.h"
 #include "common/fault.h"
+#include "common/flat_table_arena.h"
 #include "common/latency.h"
 #include "common/node_store.h"
 #include "common/random.h"
@@ -27,6 +29,12 @@ struct PastryParams {
   size_t frequency_capacity = 0;
   /// Safety cap on route length.
   int max_route_hops = 256;
+  /// Routing-row candidate probes per row during stabilization. 0 (the
+  /// default) scans every candidate — the exact historical behaviour. A
+  /// positive value probes that many evenly spaced candidates per row
+  /// instead, turning the O(n) per-node row fill into O(bits * sample) for
+  /// million-node builds at the cost of slightly farther row entries.
+  int stabilize_sample = 0;
 };
 
 /// Outcome of one simulated lookup — the shared overlay type
@@ -41,23 +49,24 @@ struct Coord {
   double y = 0;
 };
 
-/// Per-node Pastry state.
+/// Per-node Pastry state. Tables are FlatList slices into the network's
+/// FlatTableArena; read them through PastryNetwork::RoutingRows/LeafSucc/
+/// LeafPred/Auxiliaries. The historical `leaf_set` vector (succ ++ pred) is
+/// gone — iterate the two sides in that order for the same scan.
 struct PastryNode {
   uint64_t id = 0;
   bool alive = false;
   Coord coord;
   /// routing_rows[i]: a node sharing exactly the first i bits with `id`
   /// (and thus differing at bit i), or kNoEntry when row i is empty.
-  std::vector<uint64_t> routing_rows;
-  /// Numerically nearest live ids, leaf_set_half per side (union of the two
-  /// side lists below; kept for table scans).
-  std::vector<uint64_t> leaf_set;
+  /// Always exactly params().bits entries once stabilized.
+  overlay::FlatList routing_rows;
   /// Successor-side leaf members in clockwise order from this node.
-  std::vector<uint64_t> leaf_succ;
+  overlay::FlatList leaf_succ;
   /// Predecessor-side leaf members in counterclockwise order.
-  std::vector<uint64_t> leaf_pred;
+  overlay::FlatList leaf_pred;
   /// Auxiliary neighbors installed by a selection algorithm.
-  std::vector<uint64_t> auxiliaries;
+  overlay::FlatList auxiliaries;
   auxsel::FrequencyTable frequencies;
 
   explicit PastryNode(size_t freq_capacity) : frequencies(freq_capacity) {}
@@ -77,7 +86,8 @@ struct PastryNode {
 ///
 /// Node state lives in an overlay::NodeStore (common/node_store.h): the
 /// liveness probes in the routing loop and the sorted-ring scans in
-/// stabilization and delivery walk flat id-sorted arrays.
+/// stabilization and delivery walk flat id-sorted arrays, and routing
+/// tables are contiguous arena slices (common/flat_table_arena.h).
 class PastryNetwork {
  public:
   using NodeType = PastryNode;
@@ -92,6 +102,12 @@ class PastryNetwork {
 
   /// Adds a live node (random underlay coordinates) and builds its tables.
   Status AddNode(uint64_t id);
+
+  /// Bulk join for large builds: inserts every id live (drawing underlay
+  /// coordinates in `ids` order) WITHOUT stabilizing; callers run
+  /// StabilizeAll once after. Fails before any mutation on invalid ids.
+  Status BulkAdd(const std::vector<uint64_t>& ids);
+
   /// Crashes a node (state retained for rejoin).
   Status RemoveNode(uint64_t id);
   /// Rejoins a crashed node with fresh tables and cleared auxiliaries.
@@ -103,6 +119,39 @@ class PastryNetwork {
 
   PastryNode* GetNode(uint64_t id) { return store_.Get(id); }
   const PastryNode* GetNode(uint64_t id) const { return store_.Get(id); }
+
+  /// Routing-table views: contiguous arena slices, valid until the next
+  /// mutation of the same node's tables.
+  std::span<const uint64_t> RoutingRows(const PastryNode& node) const {
+    return store_.tables().View(node.routing_rows);
+  }
+  std::span<const uint64_t> LeafSucc(const PastryNode& node) const {
+    return store_.tables().View(node.leaf_succ);
+  }
+  std::span<const uint64_t> LeafPred(const PastryNode& node) const {
+    return store_.tables().View(node.leaf_pred);
+  }
+  std::span<const uint64_t> Auxiliaries(const PastryNode& node) const {
+    return store_.tables().View(node.auxiliaries);
+  }
+
+  /// Auxiliary list of `id` (empty when the node is unknown).
+  std::span<const uint64_t> AuxiliarySpan(uint64_t id) const {
+    const PastryNode* node = store_.Get(id);
+    return node == nullptr ? std::span<const uint64_t>{} : Auxiliaries(*node);
+  }
+
+  /// Removes every occurrence of `entry` from `id`'s auxiliary list.
+  void EraseAuxiliary(uint64_t id, uint64_t entry) {
+    if (PastryNode* node = store_.Get(id)) {
+      store_.tables().EraseValue(node->auxiliaries, entry);
+    }
+  }
+
+  /// Footprint accounting (node records + indices + routing arena).
+  overlay::StoreMemoryStats MemoryUsage() const {
+    return store_.MemoryUsage();
+  }
 
   /// Ground truth: numerically closest live node to the key (ring metric;
   /// the lower id wins exact ties). Fails on an empty overlay.
@@ -139,12 +188,45 @@ class PastryNetwork {
       const fault::FaultPlan* faults = nullptr,
       const latency::LatencyModel* latency = nullptr) const;
 
+  /// One suspended fault-free lookup for the batched engine; advances one
+  /// hop per StepLookup with exactly the LookupInto routing rules (shared
+  /// DecideNext helper), including the R1 delivery hop and the numeric-mode
+  /// latch.
+  struct LookupCursor {
+    uint64_t current = 0;
+    uint64_t key = 0;
+    uint64_t truth = 0;
+    const PastryNode* node = nullptr;
+    int hops = 0;
+    int aux_hops = 0;
+    bool numeric_mode = false;
+    bool done = true;
+    bool success = false;
+    uint64_t destination = 0;
+  };
+
+  Status BeginLookup(uint64_t origin, uint64_t key, LookupCursor& cursor)
+      const;
+  void StepLookup(LookupCursor& cursor) const;
+
+  void PrefetchNode(const LookupCursor& cursor) const {
+    __builtin_prefetch(cursor.node, 0, 1);
+  }
+  void PrefetchTables(const LookupCursor& cursor) const {
+    const overlay::FlatTableArena& tables = store_.tables();
+    tables.Prefetch(cursor.node->routing_rows);
+    tables.Prefetch(cursor.node->leaf_succ);
+    tables.Prefetch(cursor.node->leaf_pred);
+    tables.Prefetch(cursor.node->auxiliaries);
+  }
+
   /// Rebuilds `id`'s routing rows and leaf set from live membership, with
   /// proximity-aware row filling (closest candidate per row), and prunes
   /// dead auxiliaries.
   Status StabilizeNode(uint64_t id);
   void StabilizeAll();
 
+  /// Serial-only: writes the arena.
   Status SetAuxiliaries(uint64_t id, std::vector<uint64_t> auxiliaries);
 
   /// Core neighbors for auxiliary selection: routing rows + leaf set.
@@ -152,6 +234,23 @@ class PastryNetwork {
 
  private:
   double Proximity(uint64_t a, uint64_t b) const;
+
+  /// One fault-free routing decision at `current` — the single policy
+  /// shared by LookupInto and StepLookup (exact hit, R1 leaf-set delivery,
+  /// R2 prefix, R3 numeric fallback).
+  struct Decision {
+    enum class Action {
+      kDeliverHere,  // this node answers
+      kDeliverAt,    // R1: `next` answers (one final hop)
+      kForward,      // route continues at `next`
+    };
+    Action action = Action::kDeliverHere;
+    uint64_t next = kNoEntry;
+    HopEntryKind kind = HopEntryKind::kRoutingRow;
+    bool enters_numeric = false;  // kForward chosen by R3: latch numeric mode
+  };
+  Decision DecideNext(const PastryNode& node, uint64_t current, uint64_t key,
+                      bool numeric_mode) const;
 
   /// The retry-capable routing loop used when fault injection is enabled.
   /// `truth` is the precomputed responsible node.
@@ -164,6 +263,7 @@ class PastryNetwork {
   IdSpace space_;
   Rng coord_rng_;
   overlay::NodeStore<PastryNode> store_;
+  std::vector<uint64_t> scratch_;  // stabilize build buffer (serial)
 };
 
 }  // namespace peercache::pastry

@@ -25,7 +25,7 @@ TEST(ChordChurn, FrequenciesSurviveCrashAndRejoin) {
   ASSERT_TRUE(net.RejoinNode(100).ok());
   EXPECT_EQ(net.GetNode(100)->frequencies.total(), 2u)
       << "history retained across restart (a DNS server keeps its stats)";
-  EXPECT_TRUE(net.GetNode(100)->auxiliaries.empty())
+  EXPECT_TRUE(net.AuxiliarySpan(100).empty())
       << "auxiliaries are routing state and are lost on crash";
 }
 

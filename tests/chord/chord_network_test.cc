@@ -58,7 +58,8 @@ TEST(ChordNetwork, FingersMatchPaperVariant) {
   // Finger i = smallest node in (2^i, 2^{i+1}]: i=0 -> (1,2]: none;
   // i=1 -> (2,4]: 3; i=2 -> (4,8]: 5; i=3 -> (8,16]: 9; i=4 -> (16,32]: 17;
   // i=5 -> (32,64]: 33; i=6 -> (64,128]: 65; i=7 -> (128,256]: 129.
-  std::set<uint64_t> fingers(zero->fingers.begin(), zero->fingers.end());
+  const auto finger_span = net.Fingers(*zero);
+  std::set<uint64_t> fingers(finger_span.begin(), finger_span.end());
   EXPECT_EQ(fingers, (std::set<uint64_t>{3, 5, 9, 17, 33, 65, 129}));
 }
 
@@ -152,8 +153,9 @@ TEST(ChordNetwork, StabilizationPrunesDeadAuxiliaries) {
   ASSERT_TRUE(net.SetAuxiliaries(1, {100, 150}).ok());
   ASSERT_TRUE(net.RemoveNode(150).ok());
   ASSERT_TRUE(net.StabilizeNode(1).ok());
-  const ChordNode* node = net.GetNode(1);
-  EXPECT_EQ(node->auxiliaries, (std::vector<uint64_t>{100}));
+  const auto aux = net.AuxiliarySpan(1);
+  EXPECT_EQ(std::vector<uint64_t>(aux.begin(), aux.end()),
+            (std::vector<uint64_t>{100}));
 }
 
 TEST(ChordNetwork, RoutingSkipsDeadEntriesAfterCrash) {

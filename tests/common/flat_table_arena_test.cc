@@ -1,0 +1,140 @@
+#include "common/flat_table_arena.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace peercache::overlay {
+namespace {
+
+std::vector<uint64_t> ToVector(std::span<const uint64_t> s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(FlatTableArena, DefaultListIsEmptyWithNoBlock) {
+  FlatTableArena arena;
+  FlatList list;
+  EXPECT_TRUE(arena.View(list).empty());
+  EXPECT_EQ(list.capacity, 0u);
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+}
+
+TEST(FlatTableArena, AssignEmptyNeverAllocates) {
+  // Regression: assigning zero words to a block-less list must not touch
+  // chunk storage (the arena may have no chunks at all yet).
+  FlatTableArena arena;
+  FlatList list;
+  arena.Assign(list, {});
+  EXPECT_TRUE(arena.View(list).empty());
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+
+  // Emptying a list that has a block keeps the block (capacity unchanged).
+  arena.Assign(list, {1, 2, 3});
+  const uint32_t cap = list.capacity;
+  arena.Assign(list, {});
+  EXPECT_TRUE(arena.View(list).empty());
+  EXPECT_EQ(list.capacity, cap);
+}
+
+TEST(FlatTableArena, AssignRoundTripsAndGrows) {
+  FlatTableArena arena;
+  FlatList list;
+  arena.Assign(list, {5, 6, 7});
+  EXPECT_EQ(ToVector(arena.View(list)), (std::vector<uint64_t>{5, 6, 7}));
+  EXPECT_GE(list.capacity, FlatTableArena::kMinCapacity);
+
+  // Growing past the capacity migrates the live words to a bigger block.
+  std::vector<uint64_t> big(100);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = i * 11;
+  arena.Assign(list, big);
+  EXPECT_EQ(ToVector(arena.View(list)), big);
+  EXPECT_GE(list.capacity, 100u);
+  // Power-of-two capacity aligned to itself: the slice cannot straddle a
+  // chunk boundary.
+  EXPECT_EQ(list.capacity & (list.capacity - 1), 0u);
+  EXPECT_EQ(list.offset % list.capacity, 0u);
+}
+
+TEST(FlatTableArena, ListsNeverAlias) {
+  FlatTableArena arena;
+  std::vector<FlatList> lists(64);
+  for (size_t i = 0; i < lists.size(); ++i) {
+    std::vector<uint64_t> values(1 + i % 7, i);
+    arena.Assign(lists[i], values);
+  }
+  // Pairwise block-range disjointness over allocated capacities.
+  for (size_t a = 0; a < lists.size(); ++a) {
+    for (size_t b = a + 1; b < lists.size(); ++b) {
+      const uint64_t a_lo = lists[a].offset, a_hi = a_lo + lists[a].capacity;
+      const uint64_t b_lo = lists[b].offset, b_hi = b_lo + lists[b].capacity;
+      EXPECT_TRUE(a_hi <= b_lo || b_hi <= a_lo)
+          << "lists " << a << " and " << b << " overlap";
+    }
+  }
+  // And contents survived unclobbered.
+  for (size_t i = 0; i < lists.size(); ++i) {
+    for (uint64_t w : arena.View(lists[i])) EXPECT_EQ(w, i);
+  }
+}
+
+TEST(FlatTableArena, PushBackAndEraseKeepOrder) {
+  FlatTableArena arena;
+  FlatList list;
+  for (uint64_t v : {4, 8, 15, 8, 16, 23, 42}) arena.PushBack(list, v);
+  arena.EraseValue(list, 8);
+  EXPECT_EQ(ToVector(arena.View(list)),
+            (std::vector<uint64_t>{4, 15, 16, 23, 42}));
+  arena.EraseIf(list, [](uint64_t w) { return w > 20; });
+  EXPECT_EQ(ToVector(arena.View(list)), (std::vector<uint64_t>{4, 15, 16}));
+  arena.Clear(list);
+  EXPECT_TRUE(arena.View(list).empty());
+  EXPECT_GT(list.capacity, 0u) << "Clear keeps the block for reuse";
+}
+
+TEST(FlatTableArena, ReleaseRecyclesBlocksUnderChurn) {
+  FlatTableArena arena;
+  FlatList list;
+  std::vector<uint64_t> values(20, 9);
+  arena.Assign(list, values);
+  const uint32_t offset = list.offset;
+  const size_t footprint = arena.allocated_bytes();
+
+  arena.Release(list);
+  EXPECT_EQ(list.capacity, 0u);
+  EXPECT_EQ(arena.free_blocks(), 1u);
+
+  // A same-class allocation reuses the freed block: no new chunk, same
+  // offset, and the free list drains.
+  FlatList other;
+  arena.Assign(other, values);
+  EXPECT_EQ(other.offset, offset);
+  EXPECT_EQ(arena.free_blocks(), 0u);
+  EXPECT_EQ(arena.allocated_bytes(), footprint);
+}
+
+TEST(FlatTableArena, UsedBytesTracksLiveCapacity) {
+  FlatTableArena arena;
+  FlatList a, b;
+  arena.Assign(a, {1, 2, 3, 4});  // capacity 4
+  arena.Assign(b, {1, 2, 3, 4, 5});  // capacity 8
+  EXPECT_EQ(arena.used_bytes(), (4 + 8) * sizeof(uint64_t));
+  arena.Release(a);
+  EXPECT_EQ(arena.used_bytes(), 8 * sizeof(uint64_t));
+  EXPECT_GE(arena.allocated_bytes(), arena.used_bytes());
+}
+
+TEST(FlatTableArena, PrefetchIsSafeOnAnyList) {
+  FlatTableArena arena;
+  FlatList empty;
+  arena.Prefetch(empty);  // no block: must not touch chunk storage
+  FlatList list;
+  std::vector<uint64_t> values(40, 1);
+  arena.Assign(list, values);
+  arena.Prefetch(list);  // multi-line slice
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace peercache::overlay

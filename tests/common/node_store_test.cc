@@ -92,6 +92,71 @@ TEST(NodeStore, BinarySearchesMatchSortedSemantics) {
   EXPECT_EQ(store.FirstLiveAtOrAfter(31), 10u);  // wraps
 }
 
+TEST(NodeStore, BulkMarkAliveMatchesIncrementalMarkAlive) {
+  // The merge-based bulk path must leave the live arrays exactly as the
+  // one-at-a-time sorted insertions would.
+  const std::vector<uint64_t> first = {90, 10, 50};
+  const std::vector<uint64_t> second = {70, 30, 50, 20};  // 50 already live
+
+  NodeStore<TestNode> bulk;
+  NodeStore<TestNode> incremental;
+  for (uint64_t id : first) {
+    bulk.Emplace(id, 0);
+    incremental.Emplace(id, 0);
+    incremental.MarkAlive(id);
+  }
+  bulk.BulkMarkAlive(first);
+  EXPECT_EQ(bulk.live_ids(), incremental.live_ids());
+
+  for (uint64_t id : second) {
+    bulk.Emplace(id, 0);
+    incremental.Emplace(id, 0);
+    incremental.MarkAlive(id);
+  }
+  bulk.BulkMarkAlive(second);
+  EXPECT_EQ(bulk.live_ids(), incremental.live_ids());
+  for (size_t i = 0; i < bulk.live_ids().size(); ++i) {
+    EXPECT_EQ(&bulk.at_slot(bulk.live_slot(i)),
+              bulk.Get(bulk.live_ids()[i]));
+  }
+}
+
+TEST(NodeStore, ReserveDoesNotDisturbContents) {
+  NodeStore<TestNode> store;
+  store.Emplace(3, 30);
+  store.MarkAlive(3);
+  TestNode* before = store.Get(3);
+  store.Reserve(5000);
+  EXPECT_EQ(store.Get(3), before);
+  EXPECT_EQ(store.live_ids(), (std::vector<uint64_t>{3}));
+  for (uint64_t id = 0; id < 100; ++id) store.Emplace(1000 + id, 0);
+  EXPECT_EQ(store.size(), 101u);
+}
+
+TEST(NodeStore, MemoryUsageAccountsSlabsIndexAndArena) {
+  NodeStore<TestNode> store;
+  StoreMemoryStats empty = store.MemoryUsage();
+  EXPECT_EQ(empty.node_bytes, 0u);
+  EXPECT_EQ(empty.bytes_per_node, 0.0);
+
+  for (uint64_t id = 0; id < 10; ++id) {
+    auto [node, inserted] = store.Emplace(id, 0);
+    (void)node;
+    store.MarkAlive(id);
+  }
+  FlatList list;
+  store.tables().Assign(list, {1, 2, 3, 4, 5});
+  StoreMemoryStats s = store.MemoryUsage();
+  EXPECT_EQ(s.node_bytes,
+            NodeStore<TestNode>::kSlabNodes * sizeof(TestNode));
+  EXPECT_GT(s.index_bytes, 0u);
+  EXPECT_EQ(s.table_bytes, store.tables().used_bytes());
+  EXPECT_EQ(s.arena_bytes, store.tables().allocated_bytes());
+  const double total = static_cast<double>(s.node_bytes + s.index_bytes +
+                                           s.arena_bytes);
+  EXPECT_DOUBLE_EQ(s.bytes_per_node, total / 10.0);
+}
+
 TEST(NodeStore, PointersStayValidAcrossGrowth) {
   NodeStore<TestNode> store;
   store.Emplace(0, 0);

@@ -100,8 +100,8 @@ TEST(KademliaNetwork, BucketsHoldTheRightPrefixClasses) {
   for (uint64_t id : net.LiveNodeIds()) {
     const KademliaNode* node = net.GetNode(id);
     ASSERT_NE(node, nullptr);
-    for (size_t i = 0; i < node->buckets.size(); ++i) {
-      const auto& bucket = node->buckets[i];
+    for (size_t i = 0; i < net.BucketCount(*node); ++i) {
+      const auto bucket = net.Bucket(*node, i);
       EXPECT_LE(bucket.size(), 8u);  // default bucket_size
       EXPECT_TRUE(std::is_sorted(bucket.begin(), bucket.end()));
       for (uint64_t w : bucket) {
@@ -123,8 +123,10 @@ TEST(KademliaNetwork, TruncationKeepsTheXorClosestPerBucket) {
   ASSERT_TRUE(net.StabilizeNode(0).ok());
   const KademliaNode* node = net.GetNode(0);
   ASSERT_NE(node, nullptr);
-  ASSERT_FALSE(node->buckets.empty());
-  EXPECT_EQ(node->buckets[0], (std::vector<uint64_t>{32, 33}));
+  ASSERT_GT(net.BucketCount(*node), 0u);
+  const auto bucket0 = net.Bucket(*node, 0);
+  EXPECT_EQ(std::vector<uint64_t>(bucket0.begin(), bucket0.end()),
+            (std::vector<uint64_t>{32, 33}));
 }
 
 TEST(KademliaNetwork, StableLookupsAreExact) {
@@ -270,7 +272,9 @@ TEST(KademliaNetwork, StabilizePrunesDeadAuxiliaries) {
   ASSERT_TRUE(net.StabilizeNode(1).ok());
   const KademliaNode* node = net.GetNode(1);
   ASSERT_NE(node, nullptr);
-  EXPECT_EQ(node->auxiliaries, (std::vector<uint64_t>{2}));
+  const auto aux = net.Auxiliaries(*node);
+  EXPECT_EQ(std::vector<uint64_t>(aux.begin(), aux.end()),
+            (std::vector<uint64_t>{2}));
   EXPECT_EQ(net.SetAuxiliaries(3, {}).code(), StatusCode::kNotFound)
       << "cannot install auxiliaries on a dead node";
 }
@@ -286,7 +290,7 @@ TEST(KademliaNetwork, RejoinKeepsFrequenciesDropsAuxiliaries) {
   ASSERT_TRUE(net.RemoveNode(1).ok());
   ASSERT_TRUE(net.RejoinNode(1).ok());
   node = net.GetNode(1);
-  EXPECT_TRUE(node->auxiliaries.empty()) << "auxiliaries are lost on crash";
+  EXPECT_TRUE(net.Auxiliaries(*node).empty()) << "auxiliaries are lost on crash";
   EXPECT_EQ(node->frequencies.distinct(), 1u) << "frequency history survives";
 }
 

@@ -336,8 +336,7 @@ TEST(FaultResilience, DeadEvictionReportHealsTheAuxiliaryEntry) {
 
   // Apply the eviction the way the churn engine does, then replay: the
   // healed table must not probe the dead entry again.
-  auto& aux = net.GetNode(origin)->auxiliaries;
-  aux.erase(std::remove(aux.begin(), aux.end(), victim), aux.end());
+  net.EraseAuxiliary(origin, victim);
   ASSERT_TRUE(net.LookupInto(origin, victim, route, nullptr, &plan).ok());
   EXPECT_EQ(std::find(route.dead_evictions.begin(),
                       route.dead_evictions.end(), pair),

@@ -35,6 +35,7 @@
 #include "common/route_result.h"
 #include "common/status.h"
 #include "common/trace.h"
+#include "experiments/batch_engine.h"
 #include "kademlia/kademlia_network.h"
 #include "pastry/pastry_network.h"
 #include "test_util.h"
@@ -498,6 +499,196 @@ TEST(RoutingInvariants, KademliaZeroFaultRouteEqualsFaultFreeRoute) {
         if (std::string err = Populate(net, s); !err.empty()) return err;
         return CheckZeroFaultEquivalence(net, s);
       });
+  EXPECT_TRUE(outcome.ok)
+      << "case " << outcome.failing_case << ": " << outcome.message
+      << "\n  counterexample: " << outcome.counterexample;
+}
+
+// Differential properties for the flat-table refactor and the batched
+// lookup engine (docs/ARCHITECTURE.md §7): the cursor-based batched pass
+// must agree with LookupInto job for job, and the flattened Kademlia
+// buckets must retain exactly the set the naive per-bucket model keeps.
+
+/// Batch-vs-single differential body: route a random job list through the
+/// window-16 batched engine and through the LookupInto reference loop, and
+/// require identical outcomes per job (including jobs the engine refuses).
+template <typename Net>
+std::string CheckBatchedMatchesSingle(const Net& net, const Scenario& s) {
+  Rng rng(SplitSeed(s.work_seed, 0x626174));  // "bat"
+  const size_t n_jobs = 1 + s.queries * 7;
+  std::vector<experiments::LookupJob> jobs(n_jobs);
+  for (auto& job : jobs) {
+    // Mostly live origins, occasionally a dead one (BeginLookup refusal).
+    job.origin = rng.UniformDouble() < 0.9
+                     ? s.live[static_cast<size_t>(
+                           rng.UniformU64(s.live.size()))]
+                     : s.ids[static_cast<size_t>(
+                           rng.UniformU64(s.ids.size()))];
+    job.key = rng.NextU64() & LowBitMask(s.bits);
+  }
+  std::vector<experiments::BatchLookupResult> results(jobs.size());
+  experiments::RunBatchedLookups(net, jobs, /*window=*/16, results);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    overlay::RouteResult route;
+    const Status st = net.LookupInto(jobs[i].origin, jobs[i].key, route);
+    if (st.ok() != results[i].ok) {
+      return "job " + std::to_string(i) + ": batched ok=" +
+             std::to_string(results[i].ok) + " but LookupInto says " +
+             st.ToString();
+    }
+    if (!st.ok()) continue;
+    if (results[i].destination != route.destination ||
+        results[i].hops != route.hops ||
+        results[i].aux_hops != route.aux_hops ||
+        results[i].success != route.success) {
+      return "job " + std::to_string(i) + " (origin " + U64(jobs[i].origin) +
+             ", key " + U64(jobs[i].key) + "): batched {" +
+             U64(results[i].destination) + ", " +
+             std::to_string(results[i].hops) + ", " +
+             std::to_string(results[i].aux_hops) + ", " +
+             std::to_string(results[i].success) + "} vs single {" +
+             U64(route.destination) + ", " + std::to_string(route.hops) +
+             ", " + std::to_string(route.aux_hops) + ", " +
+             std::to_string(route.success) + "}";
+    }
+  }
+  return "";
+}
+
+TEST(BatchedLookups, ChordBatchedMatchesSingleLookup) {
+  auto outcome = proptest::RunProperty(0xBA7C0, 40, [](proptest::Case& c) {
+    Scenario s = DrawScenario(c, /*with_crashes=*/true, /*with_faults=*/false);
+    chord::ChordParams params;
+    params.bits = s.bits;
+    chord::ChordNetwork net(params);
+    if (std::string err = Populate(net, s); !err.empty()) return err;
+    return CheckBatchedMatchesSingle(net, s);
+  });
+  EXPECT_TRUE(outcome.ok)
+      << "case " << outcome.failing_case << ": " << outcome.message
+      << "\n  counterexample: " << outcome.counterexample;
+}
+
+TEST(BatchedLookups, PastryBatchedMatchesSingleLookup) {
+  auto outcome = proptest::RunProperty(0xBA7C1, 40, [](proptest::Case& c) {
+    Scenario s = DrawScenario(c, /*with_crashes=*/true, /*with_faults=*/false);
+    pastry::PastryParams params;
+    params.bits = s.bits;
+    pastry::PastryNetwork net(params, s.net_seed);
+    if (std::string err = Populate(net, s); !err.empty()) return err;
+    return CheckBatchedMatchesSingle(net, s);
+  });
+  EXPECT_TRUE(outcome.ok)
+      << "case " << outcome.failing_case << ": " << outcome.message
+      << "\n  counterexample: " << outcome.counterexample;
+}
+
+TEST(BatchedLookups, KademliaBatchedMatchesSingleLookup) {
+  auto outcome = proptest::RunProperty(0xBA7C2, 40, [](proptest::Case& c) {
+    Scenario s = DrawScenario(c, /*with_crashes=*/true, /*with_faults=*/false);
+    kademlia::KademliaParams params;
+    params.bits = s.bits;
+    kademlia::KademliaNetwork net(params);
+    if (std::string err = Populate(net, s); !err.empty()) return err;
+    return CheckBatchedMatchesSingle(net, s);
+  });
+  EXPECT_TRUE(outcome.ok)
+      << "case " << outcome.failing_case << ": " << outcome.message
+      << "\n  counterexample: " << outcome.counterexample;
+}
+
+TEST(FlatTables, KademliaFlatBucketsMatchNaiveModel) {
+  // The trie-descent bucket fill over the sorted live array must retain,
+  // per distance class, exactly what the naive model keeps: distribute all
+  // other live ids by common-prefix length, sort each class by XOR
+  // distance, truncate to bucket_size, re-sort by id.
+  auto outcome = proptest::RunProperty(0xF1A7, 40, [](proptest::Case& c) {
+    Scenario s = DrawScenario(c, /*with_crashes=*/true, /*with_faults=*/false);
+    kademlia::KademliaParams params;
+    params.bits = s.bits;
+    params.bucket_size = static_cast<int>(c.Range("bucket_size", 1, 8));
+    kademlia::KademliaNetwork net(params);
+    if (std::string err = Populate(net, s); !err.empty()) return err;
+    net.StabilizeAll();  // rebuild from the post-crash live set
+
+    std::vector<uint64_t> live = net.LiveNodeIds();
+    for (uint64_t self : live) {
+      // Naive shadow model.
+      std::vector<std::vector<uint64_t>> model(
+          static_cast<size_t>(s.bits));
+      for (uint64_t w : live) {
+        if (w == self) continue;
+        model[static_cast<size_t>(CommonPrefixLength(self, w, s.bits))]
+            .push_back(w);
+      }
+      size_t last_nonempty = 0;
+      for (size_t i = 0; i < model.size(); ++i) {
+        auto& bucket = model[i];
+        std::sort(bucket.begin(), bucket.end(),
+                  [self](uint64_t a, uint64_t b) {
+                    return (a ^ self) < (b ^ self);
+                  });
+        if (bucket.size() > static_cast<size_t>(params.bucket_size)) {
+          bucket.resize(static_cast<size_t>(params.bucket_size));
+        }
+        std::sort(bucket.begin(), bucket.end());
+        if (!bucket.empty()) last_nonempty = i + 1;
+      }
+      model.resize(last_nonempty);
+
+      const kademlia::KademliaNode* node = net.GetNode(self);
+      if (net.BucketCount(*node) != model.size()) {
+        return "node " + U64(self) + ": " +
+               std::to_string(net.BucketCount(*node)) +
+               " materialized classes vs model " +
+               std::to_string(model.size());
+      }
+      for (size_t i = 0; i < model.size(); ++i) {
+        const auto got = net.Bucket(*node, i);
+        if (!std::equal(got.begin(), got.end(), model[i].begin(),
+                        model[i].end())) {
+          return "node " + U64(self) + " bucket " + std::to_string(i) +
+                 " diverges from the naive model";
+        }
+      }
+    }
+    return std::string();
+  });
+  EXPECT_TRUE(outcome.ok)
+      << "case " << outcome.failing_case << ": " << outcome.message
+      << "\n  counterexample: " << outcome.counterexample;
+}
+
+TEST(FlatTables, PastrySampledStabilizeStillRoutesExactly) {
+  // The scale-frontier builds fill Pastry routing rows from a bounded
+  // sample instead of an exact scan. Entries may differ (proximity choice),
+  // but stable-state delivery must stay exact: rows only accelerate, the
+  // leaf set still guarantees the final step.
+  auto outcome = proptest::RunProperty(0x5A3B, 30, [](proptest::Case& c) {
+    Scenario s = DrawScenario(c, /*with_crashes=*/false, /*with_faults=*/false);
+    pastry::PastryParams params;
+    params.bits = s.bits;
+    params.stabilize_sample = 16;
+    pastry::PastryNetwork net(params, s.net_seed);
+    if (std::string err = Populate(net, s); !err.empty()) return err;
+    Rng rng(s.work_seed);
+    for (int q = 0; q < s.queries * 5; ++q) {
+      const uint64_t origin =
+          s.live[static_cast<size_t>(rng.UniformU64(s.live.size()))];
+      const uint64_t key = rng.NextU64() & LowBitMask(s.bits);
+      auto route = net.Lookup(origin, key);
+      if (!route.ok()) return "lookup failed: " + route.status().ToString();
+      if (!route->success) {
+        return Where("sampled-stabilize lookup missed", q, origin, key);
+      }
+      auto truth = net.ResponsibleNode(key);
+      if (!truth.ok() || route->destination != truth.value()) {
+        return Where("sampled-stabilize lookup misdelivered", q, origin,
+                     key);
+      }
+    }
+    return std::string();
+  });
   EXPECT_TRUE(outcome.ok)
       << "case " << outcome.failing_case << ": " << outcome.message
       << "\n  counterexample: " << outcome.counterexample;

@@ -24,10 +24,15 @@ TEST(PastryLeafSet, SidesAreRingNeighborsInOrder) {
   net.StabilizeAll();
   const PastryNode* node = net.GetNode(90);
   ASSERT_NE(node, nullptr);
-  EXPECT_EQ(node->leaf_succ, (std::vector<uint64_t>{130, 170}));
-  EXPECT_EQ(node->leaf_pred, (std::vector<uint64_t>{50, 10}));
+  const auto succ = net.LeafSucc(*node);
+  const auto pred = net.LeafPred(*node);
+  EXPECT_EQ(std::vector<uint64_t>(succ.begin(), succ.end()),
+            (std::vector<uint64_t>{130, 170}));
+  EXPECT_EQ(std::vector<uint64_t>(pred.begin(), pred.end()),
+            (std::vector<uint64_t>{50, 10}));
   // Union view contains both sides exactly once.
-  std::set<uint64_t> all(node->leaf_set.begin(), node->leaf_set.end());
+  std::set<uint64_t> all(succ.begin(), succ.end());
+  all.insert(pred.begin(), pred.end());
   EXPECT_EQ(all, (std::set<uint64_t>{10, 50, 130, 170}));
 }
 
@@ -42,9 +47,11 @@ TEST(PastryLeafSet, WrapsAroundZero) {
   net.StabilizeAll();
   const PastryNode* node = net.GetNode(250);
   ASSERT_NE(node, nullptr);
-  EXPECT_EQ(node->leaf_succ, (std::vector<uint64_t>{5, 100}));
+  const auto succ = net.LeafSucc(*node);
+  EXPECT_EQ(std::vector<uint64_t>(succ.begin(), succ.end()),
+            (std::vector<uint64_t>{5, 100}));
   // The pred side stops once the sides meet (only 2 other nodes exist).
-  EXPECT_TRUE(node->leaf_pred.empty());
+  EXPECT_TRUE(net.LeafPred(*node).empty());
 }
 
 TEST(PastryLeafSet, SmallRingEveryoneKnowsEveryone) {
@@ -58,7 +65,10 @@ TEST(PastryLeafSet, SmallRingEveryoneKnowsEveryone) {
   net.StabilizeAll();
   for (uint64_t id : ids) {
     const PastryNode* node = net.GetNode(id);
-    std::set<uint64_t> known(node->leaf_set.begin(), node->leaf_set.end());
+    const auto succ = net.LeafSucc(*node);
+    const auto pred = net.LeafPred(*node);
+    std::set<uint64_t> known(succ.begin(), succ.end());
+    known.insert(pred.begin(), pred.end());
     EXPECT_EQ(known.size(), ids.size() - 1)
         << "node " << id << " must know all 5 others via its leaf set";
   }
@@ -110,7 +120,9 @@ TEST(PastryLeafSet, StabilizeAfterChurnRebuildsSides) {
   ASSERT_TRUE(net.RemoveNode(130).ok());
   ASSERT_TRUE(net.StabilizeNode(90).ok());
   const PastryNode* node = net.GetNode(90);
-  EXPECT_EQ(node->leaf_succ, (std::vector<uint64_t>{170, 210}));
+  const auto succ = net.LeafSucc(*node);
+  EXPECT_EQ(std::vector<uint64_t>(succ.begin(), succ.end()),
+            (std::vector<uint64_t>{170, 210}));
 }
 
 }  // namespace

@@ -56,8 +56,9 @@ TEST(PastryNetwork, RoutingRowsShareExactPrefix) {
   PastryNetwork net = MakeNetwork(12, ids);
   for (uint64_t id : ids) {
     const PastryNode* node = net.GetNode(id);
+    const auto rows = net.RoutingRows(*node);
     for (int row = 0; row < 12; ++row) {
-      uint64_t w = node->routing_rows[static_cast<size_t>(row)];
+      uint64_t w = rows[static_cast<size_t>(row)];
       if (w == PastryNetwork::kNoEntry) continue;
       EXPECT_EQ(CommonPrefixLength(id, w, 12), row)
           << "row " << row << " of node " << id;
@@ -73,8 +74,9 @@ TEST(PastryNetwork, RowEntriesAreProximityClosest) {
   for (size_t i = 0; i < 5; ++i) {
     uint64_t id = ids[i];
     const PastryNode* node = net.GetNode(id);
+    const auto rows = net.RoutingRows(*node);
     for (int row = 0; row < 12; ++row) {
-      uint64_t entry = node->routing_rows[static_cast<size_t>(row)];
+      uint64_t entry = rows[static_cast<size_t>(row)];
       double entry_dist = 0;
       if (entry != PastryNetwork::kNoEntry) {
         const Coord& a = node->coord;
@@ -200,10 +202,13 @@ TEST(PastryNetwork, CoreNeighborIdsIncludeRowsAndLeafSet) {
   PastryNetwork net = MakeNetwork(16, ids);
   auto cores = net.CoreNeighborIds(ids[0]);
   const PastryNode* node = net.GetNode(ids[0]);
-  for (uint64_t w : node->leaf_set) {
+  for (uint64_t w : net.LeafSucc(*node)) {
     EXPECT_TRUE(std::find(cores.begin(), cores.end(), w) != cores.end());
   }
-  for (uint64_t w : node->routing_rows) {
+  for (uint64_t w : net.LeafPred(*node)) {
+    EXPECT_TRUE(std::find(cores.begin(), cores.end(), w) != cores.end());
+  }
+  for (uint64_t w : net.RoutingRows(*node)) {
     if (w == PastryNetwork::kNoEntry) continue;
     EXPECT_TRUE(std::find(cores.begin(), cores.end(), w) != cores.end());
   }
