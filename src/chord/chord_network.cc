@@ -88,6 +88,35 @@ Result<uint64_t> ChordNetwork::ResponsibleNode(uint64_t key) const {
   return live[pos - 1];
 }
 
+Status ChordNetwork::BeginResponsible(uint64_t key,
+                                      ResponsibleCursor& cursor) const {
+  cursor = ResponsibleCursor{};
+  const std::vector<uint64_t>& live = store_.live_ids();
+  if (live.empty()) return Status::FailedPrecondition("empty overlay");
+  cursor.key = key;
+  cursor.lo = 0;
+  cursor.hi = live.size();
+  cursor.done = false;
+  return Status::Ok();
+}
+
+void ChordNetwork::StepResponsible(ResponsibleCursor& cursor) const {
+  if (cursor.done) return;
+  const std::vector<uint64_t>& live = store_.live_ids();
+  // One probe of the upper-bound bisection: first index with id > key.
+  const size_t mid = cursor.lo + (cursor.hi - cursor.lo) / 2;
+  if (live[mid] <= cursor.key) {
+    cursor.lo = mid + 1;
+  } else {
+    cursor.hi = mid;
+  }
+  if (cursor.lo < cursor.hi) return;
+  // The bounds met at the unique upper bound: the predecessor owns the key
+  // (wrapping), exactly ResponsibleNode's answer.
+  cursor.result = cursor.lo == 0 ? live.back() : live[cursor.lo - 1];
+  cursor.done = true;
+}
+
 Status ChordNetwork::StabilizeNode(uint64_t id) {
   ChordNode* node_ptr = store_.Get(id);
   if (node_ptr == nullptr || !node_ptr->alive) {
@@ -188,63 +217,90 @@ Status ChordNetwork::LookupInto(uint64_t origin, uint64_t key,
                                 RouteResult& out, RouteTrace* trace,
                                 const fault::FaultPlan* faults,
                                 const latency::LatencyModel* latency) const {
+  RouteCursor cursor;
+  if (Status s = BeginRoute(origin, key, cursor, out, trace, faults, latency);
+      !s.ok()) {
+    return s;
+  }
+  while (!cursor.done) StepRoute(cursor, out, trace, faults, latency);
+  return Status::Ok();
+}
+
+Status ChordNetwork::BeginRoute(uint64_t origin, uint64_t key,
+                                RouteCursor& cursor, RouteResult& out,
+                                RouteTrace* trace,
+                                const fault::FaultPlan* faults,
+                                const latency::LatencyModel* latency) const {
+  (void)latency;
+  cursor = RouteCursor{};
   out.Clear();
   if (!IsAlive(origin)) return Status::Unavailable("origin not alive");
   auto truth = ResponsibleNode(key);
   if (!truth.ok()) return truth.status();
-  if (faults != nullptr && faults->enabled()) {
-    return LookupResilient(origin, key, truth.value(), out, trace, *faults,
-                           latency);
-  }
-
-  const bool timed = latency != nullptr && latency->enabled();
+  cursor.current = origin;
+  cursor.key = key;
+  cursor.truth = truth.value();
+  cursor.resilient = faults != nullptr && faults->enabled();
+  cursor.done = false;
   if (trace != nullptr) {
     trace->origin = origin;
     trace->key = key;
   }
-  uint64_t current = origin;
-  for (int hop = 0; hop <= params_.max_route_hops; ++hop) {
-    const ChordNode* node = GetNode(current);
-    assert(node != nullptr);
-    const NextHop sel = SelectNextHop(*node, current, key);
-
-    if (sel.next == current) {
-      // No live entry between here and the key: to this node's knowledge it
-      // is the key's predecessor, so it answers.
-      out.destination = current;
-      out.hops = hop;
-      out.success = (current == truth.value());
-      if (trace != nullptr) {
-        trace->destination = out.destination;
-        trace->success = out.success;
-        trace->hops = out.hops;
-        trace->latency_ms = out.latency_ms;
-      }
-      return Status::Ok();
-    }
-    if (sel.kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
-    if (trace != nullptr) {
-      trace->path.push_back({current, sel.next, sel.kind,
-                             sel.best_remaining});
-    }
-    if (timed) {
-      const double ms = latency->HopLatencyMs(key, current, sel.next, hop);
-      out.latency_ms += ms;
-      if (trace != nullptr) trace->path.back().latency_ms = ms;
-    }
-    out.path.push_back(current);
-    current = sel.next;
-  }
-  out.destination = current;
-  out.hops = params_.max_route_hops;
-  out.success = false;
-  if (trace != nullptr) {
-    trace->destination = out.destination;
-    trace->success = false;
-    trace->hops = out.hops;
-    trace->latency_ms = out.latency_ms;
-  }
   return Status::Ok();
+}
+
+void ChordNetwork::StepRoute(RouteCursor& cursor, RouteResult& out,
+                             RouteTrace* trace,
+                             const fault::FaultPlan* faults,
+                             const latency::LatencyModel* latency) const {
+  if (cursor.done) return;
+  if (cursor.resilient) {
+    assert(faults != nullptr && faults->enabled());
+    StepResilient(cursor, out, trace, *faults, latency);
+    return;
+  }
+
+  const bool timed = latency != nullptr && latency->enabled();
+  auto finish = [&](uint64_t destination, int hops, bool delivered) {
+    out.destination = destination;
+    out.hops = hops;
+    out.success = delivered && destination == cursor.truth;
+    if (trace != nullptr) {
+      trace->destination = out.destination;
+      trace->success = out.success;
+      trace->hops = out.hops;
+      trace->latency_ms = out.latency_ms;
+    }
+    cursor.done = true;
+  };
+
+  const ChordNode* node = GetNode(cursor.current);
+  assert(node != nullptr);
+  const NextHop sel = SelectNextHop(*node, cursor.current, cursor.key);
+  if (sel.next == cursor.current) {
+    // No live entry between here and the key: to this node's knowledge it
+    // is the key's predecessor, so it answers.
+    finish(cursor.current, cursor.hops_taken, /*delivered=*/true);
+    return;
+  }
+  if (sel.kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
+  if (trace != nullptr) {
+    trace->path.push_back({cursor.current, sel.next, sel.kind,
+                           sel.best_remaining});
+  }
+  if (timed) {
+    const double ms = latency->HopLatencyMs(cursor.key, cursor.current,
+                                            sel.next, cursor.hops_taken);
+    out.latency_ms += ms;
+    if (trace != nullptr) trace->path.back().latency_ms = ms;
+  }
+  out.path.push_back(cursor.current);
+  cursor.current = sel.next;
+  ++cursor.hops_taken;
+  if (cursor.hops_taken > params_.max_route_hops) {
+    // Same hop-budget failure the classic loop reports.
+    finish(cursor.current, params_.max_route_hops, /*delivered=*/false);
+  }
 }
 
 Status ChordNetwork::BeginLookup(uint64_t origin, uint64_t key,
@@ -283,160 +339,158 @@ void ChordNetwork::StepLookup(LookupCursor& cursor) const {
   }
 }
 
-Status ChordNetwork::LookupResilient(uint64_t origin, uint64_t key,
-                                     uint64_t truth, RouteResult& out,
-                                     RouteTrace* trace,
-                                     const fault::FaultPlan& faults,
-                                     const latency::LatencyModel* latency)
-    const {
+void ChordNetwork::StepResilient(RouteCursor& cursor, RouteResult& out,
+                                 RouteTrace* trace,
+                                 const fault::FaultPlan& faults,
+                                 const latency::LatencyModel* latency) const {
   const bool timed = latency != nullptr && latency->enabled();
-  if (trace != nullptr) {
-    trace->origin = origin;
-    trace->key = key;
-  }
   auto finish = [&](uint64_t destination, int hops, bool delivered) {
     out.destination = destination;
     out.hops = hops;
-    out.success = delivered && destination == truth;
+    out.success = delivered && destination == cursor.truth;
     if (trace != nullptr) {
       trace->destination = out.destination;
       trace->success = out.success;
       trace->hops = out.hops;
       trace->latency_ms = out.latency_ms;
     }
-    return Status::Ok();
+    cursor.done = true;
   };
 
-  uint64_t current = origin;
-  int hops_taken = 0;  // successful forwards (the delivered path length)
-  int spent = 0;       // hop budget: successful AND failed attempts
-  int attempt = 0;     // per-lookup counter decorrelating retransmissions
+  // Classic outer-loop guard: a previous visit may have spent the budget.
+  if (cursor.spent > params_.max_route_hops) {
+    out.budget_exhausted = true;
+    finish(cursor.current, params_.max_route_hops, /*delivered=*/false);
+    return;
+  }
+
+  const uint64_t key = cursor.key;
+  const uint64_t current = cursor.current;
+  const ChordNode* node = GetNode(current);
+  assert(node != nullptr);
   // Per-visit exclusion sets. Entries that turned out dead (fail-stop or
   // stale) are never retried; drop-excluded entries become eligible again
-  // only when no alternative makes progress (retransmission).
+  // only when no alternative makes progress (retransmission). These are
+  // visit-local, which is why a resilient route serializes across messages
+  // with nothing but the RouteCursor's plain fields.
   std::vector<uint64_t> dead_here;
   std::vector<uint64_t> dropped_here;
+  int retries_here = 0;
 
-  while (spent <= params_.max_route_hops) {
-    const ChordNode* node = GetNode(current);
-    assert(node != nullptr);
-    dead_here.clear();
-    dropped_here.clear();
-    int retries_here = 0;
+  // Per-visit retry loop: select the best non-excluded entry, run it
+  // through the fault gates, and either forward or exclude and retry.
+  while (true) {
+    uint64_t next = current;
+    uint64_t best_remaining = space_.ClockwiseDistance(current, key);
+    HopEntryKind next_kind = HopEntryKind::kFinger;
+    bool next_is_dead = false;
 
-    // Per-visit retry loop: select the best non-excluded entry, run it
-    // through the fault gates, and either forward or exclude and retry.
-    while (true) {
-      uint64_t next = current;
-      uint64_t best_remaining = space_.ClockwiseDistance(current, key);
-      HopEntryKind next_kind = HopEntryKind::kFinger;
-      bool next_is_dead = false;
-
-      auto excluded = [](const std::vector<uint64_t>& set, uint64_t w) {
-        return std::find(set.begin(), set.end(), w) != set.end();
-      };
-      auto scan = [&](bool allow_retransmit) {
-        next = current;
-        best_remaining = space_.ClockwiseDistance(current, key);
-        auto consider = [&](uint64_t w, HopEntryKind kind) {
-          if (w == current || excluded(dead_here, w)) return;
-          if (!allow_retransmit && excluded(dropped_here, w)) return;
-          const bool alive = IsAlive(w);
-          // Ping-before-forward still skips known-dead entries — unless
-          // this lookup falls inside the entry's stale window, in which
-          // case the holder believes the ping and forwards into the void.
-          if (!alive && !faults.StaleBelievedAlive(key, current, w)) return;
-          if (!space_.InClockwiseRangeExclIncl(current, w, key)) return;
-          const uint64_t remaining = space_.ClockwiseDistance(w, key);
-          if (remaining < best_remaining) {
-            best_remaining = remaining;
-            next = w;
-            next_kind = kind;
-            next_is_dead = !alive;
-          }
-        };
-        for (uint64_t w : Fingers(*node)) consider(w, HopEntryKind::kFinger);
-        for (uint64_t w : Successors(*node)) {
-          consider(w, HopEntryKind::kSuccessor);
-        }
-        for (uint64_t w : Auxiliaries(*node)) {
-          consider(w, HopEntryKind::kAuxiliary);
+    auto excluded = [](const std::vector<uint64_t>& set, uint64_t w) {
+      return std::find(set.begin(), set.end(), w) != set.end();
+    };
+    auto scan = [&](bool allow_retransmit) {
+      next = current;
+      best_remaining = space_.ClockwiseDistance(current, key);
+      auto consider = [&](uint64_t w, HopEntryKind kind) {
+        if (w == current || excluded(dead_here, w)) return;
+        if (!allow_retransmit && excluded(dropped_here, w)) return;
+        const bool alive = IsAlive(w);
+        // Ping-before-forward still skips known-dead entries — unless
+        // this lookup falls inside the entry's stale window, in which
+        // case the holder believes the ping and forwards into the void.
+        if (!alive && !faults.StaleBelievedAlive(key, current, w)) return;
+        if (!space_.InClockwiseRangeExclIncl(current, w, key)) return;
+        const uint64_t remaining = space_.ClockwiseDistance(w, key);
+        if (remaining < best_remaining) {
+          best_remaining = remaining;
+          next = w;
+          next_kind = kind;
+          next_is_dead = !alive;
         }
       };
-      scan(/*allow_retransmit=*/false);
-      if (next == current && !dropped_here.empty()) {
-        scan(/*allow_retransmit=*/true);
+      for (uint64_t w : Fingers(*node)) consider(w, HopEntryKind::kFinger);
+      for (uint64_t w : Successors(*node)) {
+        consider(w, HopEntryKind::kSuccessor);
       }
-
-      if (next == current) {
-        // No believed-live entry between here and the key: to this node's
-        // knowledge it is the key's predecessor, so it answers.
-        return finish(current, hops_taken, /*delivered=*/true);
+      for (uint64_t w : Auxiliaries(*node)) {
+        consider(w, HopEntryKind::kAuxiliary);
       }
+    };
+    scan(/*allow_retransmit=*/false);
+    if (next == current && !dropped_here.empty()) {
+      scan(/*allow_retransmit=*/true);
+    }
 
-      // Fault gates, in failure-cause order: a dead entry can never
-      // receive, a fail-stopped target is down for this whole lookup, and
-      // an otherwise-healthy forward can still lose its message.
-      bool failed = false;
-      if (next_is_dead) {
-        ++out.stale_forwards;
-        out.dead_evictions.emplace_back(current, next);
-        dead_here.push_back(next);
-        failed = true;
-      } else if (faults.FailStopped(key, next)) {
-        ++out.failstop_skips;
-        dead_here.push_back(next);
-        failed = true;
-      } else if (faults.DropForward(key, current, next, attempt++)) {
-        ++out.dropped_forwards;
-        dropped_here.push_back(next);
-        failed = true;
-      }
+    if (next == current) {
+      // No believed-live entry between here and the key: to this node's
+      // knowledge it is the key's predecessor, so it answers.
+      finish(current, cursor.hops_taken, /*delivered=*/true);
+      return;
+    }
 
-      if (!failed) {
-        if (next_kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
-        if (trace != nullptr) {
-          trace->path.push_back({current, next, next_kind, best_remaining,
-                                 /*dropped=*/false,
-                                 /*retried=*/retries_here > 0});
-        }
-        if (timed) {
-          const double ms = latency->HopLatencyMs(key, current, next, spent);
-          out.latency_ms += ms;
-          if (trace != nullptr) trace->path.back().latency_ms = ms;
-        }
-        out.path.push_back(current);
-        current = next;
-        ++hops_taken;
-        ++spent;
-        break;  // next node visit
-      }
+    // Fault gates, in failure-cause order: a dead entry can never
+    // receive, a fail-stopped target is down for this whole lookup, and
+    // an otherwise-healthy forward can still lose its message.
+    bool failed = false;
+    if (next_is_dead) {
+      ++out.stale_forwards;
+      out.dead_evictions.emplace_back(current, next);
+      dead_here.push_back(next);
+      failed = true;
+    } else if (faults.FailStopped(key, next)) {
+      ++out.failstop_skips;
+      dead_here.push_back(next);
+      failed = true;
+    } else if (faults.DropForward(key, current, next, cursor.attempt++)) {
+      ++out.dropped_forwards;
+      dropped_here.push_back(next);
+      failed = true;
+    }
 
-      // Failed attempt: charge budgets, honor the retry policy.
-      ++out.retries;
-      ++retries_here;
-      ++spent;
+    if (!failed) {
+      if (next_kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
       if (trace != nullptr) {
         trace->path.push_back({current, next, next_kind, best_remaining,
-                               /*dropped=*/true, /*retried=*/false});
+                               /*dropped=*/false,
+                               /*retried=*/retries_here > 0});
       }
       if (timed) {
-        const double ms = latency->FailedAttemptMs();
+        const double ms =
+            latency->HopLatencyMs(key, current, next, cursor.spent);
         out.latency_ms += ms;
         if (trace != nullptr) trace->path.back().latency_ms = ms;
       }
-      if (!faults.config().retry) {
-        return finish(current, hops_taken, /*delivered=*/false);
-      }
-      if (retries_here > faults.config().max_retries ||
-          spent > params_.max_route_hops) {
-        out.budget_exhausted = true;
-        return finish(current, hops_taken, /*delivered=*/false);
-      }
+      out.path.push_back(current);
+      cursor.current = next;
+      ++cursor.hops_taken;
+      ++cursor.spent;
+      return;  // next node visit = next StepRoute
+    }
+
+    // Failed attempt: charge budgets, honor the retry policy.
+    ++out.retries;
+    ++retries_here;
+    ++cursor.spent;
+    if (trace != nullptr) {
+      trace->path.push_back({current, next, next_kind, best_remaining,
+                             /*dropped=*/true, /*retried=*/false});
+    }
+    if (timed) {
+      const double ms = latency->FailedAttemptMs();
+      out.latency_ms += ms;
+      if (trace != nullptr) trace->path.back().latency_ms = ms;
+    }
+    if (!faults.config().retry) {
+      finish(current, cursor.hops_taken, /*delivered=*/false);
+      return;
+    }
+    if (retries_here > faults.config().max_retries ||
+        cursor.spent > params_.max_route_hops) {
+      out.budget_exhausted = true;
+      finish(current, cursor.hops_taken, /*delivered=*/false);
+      return;
     }
   }
-  out.budget_exhausted = true;
-  return finish(current, params_.max_route_hops, /*delivered=*/false);
 }
 
 Result<RouteResult> ChordNetwork::Lookup(

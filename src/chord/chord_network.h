@@ -218,6 +218,74 @@ class ChordNetwork {
     tables.Prefetch(cursor.node->auxiliaries);
   }
 
+  /// One suspended lookup at node-visit granularity for the message-driven
+  /// runtime (src/net). Unlike LookupCursor this carries no pointers — every
+  /// field is plain data, so an in-flight route can be serialized into a
+  /// LOOKUP_STEP wire message and resumed by the next node's actor. It covers
+  /// both the fault-free and the resilient (FaultPlan) policies; one
+  /// StepRoute call performs exactly one node visit (next-hop selection plus
+  /// the visit-local fault-gated retry loop), which is the boundary at which
+  /// the message-driven runtime hands the lookup to the next actor.
+  struct RouteCursor {
+    uint64_t current = 0;
+    uint64_t key = 0;
+    uint64_t truth = 0;
+    int hops_taken = 0;  ///< successful forwards (delivered path length)
+    int spent = 0;  ///< resilient hop budget: successful + failed attempts
+    int attempt = 0;  ///< resilient retransmission-decorrelation counter
+    bool resilient = false;
+    bool done = true;
+  };
+
+  /// Starts a route at `origin`: clears `out`, resolves ground truth, and
+  /// seeds the trace header. On failure the cursor stays done — the same
+  /// preconditions and status codes as LookupInto.
+  Status BeginRoute(uint64_t origin, uint64_t key, RouteCursor& cursor,
+                    RouteResult& out, RouteTrace* trace = nullptr,
+                    const fault::FaultPlan* faults = nullptr,
+                    const latency::LatencyModel* latency = nullptr) const;
+
+  /// Performs one node visit, accumulating hops, path, trace records,
+  /// latency spans, and resilience counters into `out`. LookupInto is
+  /// implemented as BeginRoute + StepRoute-until-done, so the stepwise
+  /// route is byte-for-byte the direct one. Pass the same `faults` /
+  /// `latency` used at BeginRoute.
+  void StepRoute(RouteCursor& cursor, RouteResult& out,
+                 RouteTrace* trace = nullptr,
+                 const fault::FaultPlan* faults = nullptr,
+                 const latency::LatencyModel* latency = nullptr) const;
+
+  /// One suspended ResponsibleNode search for the batched warmup engine: a
+  /// bisection over the sorted live array advanced one probe per step. The
+  /// upper bound is unique, so the finished cursor equals ResponsibleNode
+  /// exactly; interleaving a window of cursors turns the warmup phase's
+  /// dependent-miss binary searches into memory-level parallelism, the
+  /// same trick LookupCursor plays for routes.
+  struct ResponsibleCursor {
+    uint64_t key = 0;
+    size_t lo = 0;  ///< bisection bounds on the insertion point
+    size_t hi = 0;
+    bool done = true;
+    uint64_t result = 0;
+  };
+
+  /// Positions `cursor` for `key`. Fails (cursor stays done) only when the
+  /// overlay is empty — the same precondition as ResponsibleNode.
+  Status BeginResponsible(uint64_t key, ResponsibleCursor& cursor) const;
+
+  /// One bisection probe; resolves the owner when the bounds meet. No-op
+  /// when the cursor is done.
+  void StepResponsible(ResponsibleCursor& cursor) const;
+
+  /// Prefetches the next probe's cache line.
+  void PrefetchResponsible(const ResponsibleCursor& cursor) const {
+    const std::vector<uint64_t>& live = store_.live_ids();
+    if (cursor.lo < cursor.hi) {
+      __builtin_prefetch(&live[cursor.lo + (cursor.hi - cursor.lo) / 2], 0,
+                         1);
+    }
+  }
+
   /// Rebuilds `id`'s fingers and successor list from live membership
   /// (periodic stabilization). Dead auxiliaries are pruned (the paper's
   /// "stale auxiliary entries are marked/removed; fixed at the next
@@ -247,12 +315,11 @@ class ChordNetwork {
   NextHop SelectNextHop(const ChordNode& node, uint64_t current,
                         uint64_t key) const;
 
-  /// The retry-capable routing loop used when fault injection is enabled.
-  /// `truth` is the precomputed responsible node.
-  Status LookupResilient(uint64_t origin, uint64_t key, uint64_t truth,
-                         RouteResult& out, RouteTrace* trace,
-                         const fault::FaultPlan& faults,
-                         const latency::LatencyModel* latency) const;
+  /// One resilient node visit (the fault-gated retry loop of the classic
+  /// LookupResilient body), shared by StepRoute's resilient branch.
+  void StepResilient(RouteCursor& cursor, RouteResult& out, RouteTrace* trace,
+                     const fault::FaultPlan& faults,
+                     const latency::LatencyModel* latency) const;
 
   ChordParams params_;
   IdSpace space_;

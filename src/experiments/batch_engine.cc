@@ -31,4 +31,14 @@ template void RunBatchedLookups<kademlia::KademliaNetwork>(
     ThreadPool&, const kademlia::KademliaNetwork&, std::span<const LookupJob>,
     int, std::span<BatchLookupResult>);
 
+template Status RunBatchedResponsible<chord::ChordNetwork>(
+    const chord::ChordNetwork&, std::span<const uint64_t>, int,
+    std::span<uint64_t>);
+template Status RunBatchedResponsible<pastry::PastryNetwork>(
+    const pastry::PastryNetwork&, std::span<const uint64_t>, int,
+    std::span<uint64_t>);
+template Status RunBatchedResponsible<kademlia::KademliaNetwork>(
+    const kademlia::KademliaNetwork&, std::span<const uint64_t>, int,
+    std::span<uint64_t>);
+
 }  // namespace peercache::experiments

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 
 /// Batched lookup engine: interleaves a window of W in-flight lookups over
@@ -157,6 +158,59 @@ void RunBatchedLookups(ThreadPool& pool, const Network& net,
     RunBatchedLookups(net, jobs.subspan(begin, end - begin), window,
                       results.subspan(begin, end - begin));
   });
+}
+
+/// Batched ground-truth resolution (warmup phase): interleaves a window of
+/// `window` in-flight ResponsibleCursor bisections, one probe per pass,
+/// prefetching each suspended cursor's next probe while the others run.
+/// Every cursor reproduces ResponsibleNode's answer exactly (the bisection
+/// bound / bit-descent range is unique), so results[i] is byte-identical
+/// to calling net.ResponsibleNode(keys[i]) in a loop — independent of the
+/// window size and the interleaving. Fails only when the overlay is empty,
+/// ResponsibleNode's sole failure mode, in which case no result is written.
+template <typename Network>
+Status RunBatchedResponsible(const Network& net,
+                             std::span<const uint64_t> keys, int window,
+                             std::span<uint64_t> results) {
+  using Cursor = typename Network::ResponsibleCursor;
+  if (keys.empty()) return Status::Ok();
+  const size_t w =
+      window < 1 ? 1 : std::min<size_t>(keys.size(),
+                                        static_cast<size_t>(window));
+  std::vector<Cursor> slots(w);
+  std::vector<size_t> slot_key(w, 0);
+
+  size_t next = 0;  // next unstarted key
+  for (size_t i = 0; i < w; ++i) {
+    const size_t j = next++;
+    Status st = net.BeginResponsible(keys[j], slots[i]);
+    if (!st.ok()) return st;  // empty overlay: fails for every key alike
+    slot_key[i] = j;
+  }
+  size_t in_flight = w;
+  while (in_flight > 0) {
+    for (size_t i = 0; i < w; ++i) {
+      Cursor& c = slots[i];
+      if (c.done) continue;
+      net.StepResponsible(c);
+      if (!c.done) {
+        net.PrefetchResponsible(c);
+      } else {
+        results[slot_key[i]] = c.result;
+        if (next < keys.size()) {
+          const size_t j = next++;
+          // Cannot fail: the overlay was non-empty at the first Begin and
+          // the net is const here.
+          (void)net.BeginResponsible(keys[j], c);
+          slot_key[i] = j;
+          net.PrefetchResponsible(c);
+        } else {
+          --in_flight;
+        }
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace peercache::experiments

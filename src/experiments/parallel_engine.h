@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "experiments/batch_engine.h"
 #include "experiments/experiment_config.h"
 #include "workload/workload.h"
 
@@ -89,9 +91,23 @@ Status ParallelInstall(ThreadPool& pool, const std::vector<uint64_t>& ids,
   return Status::Ok();
 }
 
+/// Window of in-flight ground-truth bisections per warmup task. Big enough
+/// to cover a live-array binary-search miss chain, small enough that the
+/// cursor slots stay L1-resident.
+inline constexpr int kWarmupResponsibleWindow = 16;
+
 /// Warmup: every node learns which peer answers each of its queries. Each
 /// task reads the overlay (const) and writes only its own node's frequency
 /// table. `queries` must have all lists pre-assigned (AssignLists).
+///
+/// Each task draws all of its keys up front (same RNG stream and draw
+/// order as a query-at-a-time loop), resolves them through the batched
+/// ResponsibleCursor engine — kWarmupResponsibleWindow bisections in
+/// flight, each prefetching its next probe while the others advance — and
+/// then records the answers in query order. The cursor reproduces
+/// ResponsibleNode's answer exactly and Record order is unchanged, so
+/// frequency tables (and everything downstream: selections, telemetry,
+/// goldens) are byte-identical to the unbatched loop at any thread count.
 template <typename Network>
 Status ParallelWarmup(ThreadPool& pool, Network& net,
                       const std::vector<uint64_t>& node_ids,
@@ -102,16 +118,20 @@ Status ParallelWarmup(ThreadPool& pool, Network& net,
     const uint64_t origin = node_ids[i];
     auto* node = net.GetNode(origin);
     Rng rng(SplitSeed(warmup_seed, origin));
-    for (int q = 0; q < queries_per_node; ++q) {
-      const uint64_t key = queries.SampleKey(origin, rng);
-      auto responsible = net.ResponsibleNode(key);
-      if (!responsible.ok()) {
-        statuses[i] = responsible.status();
-        return;
-      }
-      if (responsible.value() != origin) {
-        node->frequencies.Record(responsible.value());
-      }
+    const size_t n = queries_per_node < 0 ? 0
+                                          : static_cast<size_t>(
+                                                queries_per_node);
+    std::vector<uint64_t> keys(n);
+    for (size_t q = 0; q < n; ++q) keys[q] = queries.SampleKey(origin, rng);
+    std::vector<uint64_t> answers(n);
+    Status st = RunBatchedResponsible(net, keys, kWarmupResponsibleWindow,
+                                      std::span<uint64_t>(answers));
+    if (!st.ok()) {
+      statuses[i] = st;
+      return;
+    }
+    for (size_t q = 0; q < n; ++q) {
+      if (answers[q] != origin) node->frequencies.Record(answers[q]);
     }
   });
   for (const Status& s : statuses) {

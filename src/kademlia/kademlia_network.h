@@ -32,6 +32,17 @@ struct KademliaParams {
   size_t frequency_capacity = 0;
   /// Safety cap on route length before a lookup is declared failed.
   int max_route_hops = 256;
+  /// Total bucket entries materialized per node across every distance
+  /// class; 0 (the default) keeps each class at bucket_size — the
+  /// historical tables. When positive, stabilization sizes every class's
+  /// candidate range first without copying (lazy materialization), floors
+  /// each non-empty class at one entry — the truncation-safety argument
+  /// below needs a representative per useful distance class, never a
+  /// particular one, so stable-mode routing stays exact — and spends the
+  /// remaining budget on the longest-shared-prefix (XOR-closest) classes
+  /// first. Shrinks the ~4.4 KB/node footprint at n = 2^20 (ROADMAP
+  /// scale-frontier headroom).
+  int bucket_capacity = 0;
 };
 
 /// Outcome of one simulated lookup — the shared overlay type
@@ -223,6 +234,68 @@ class KademliaNetwork {
     tables.Prefetch(cursor.node->auxiliaries);
   }
 
+  /// One suspended lookup at node-visit granularity for the message-driven
+  /// runtime (src/net) — plain data only, so an in-flight route serializes
+  /// into a LOOKUP_STEP wire message and resumes at the next node's actor.
+  /// Covers both the fault-free and the resilient (FaultPlan) policies; one
+  /// StepRoute call performs exactly one node visit. See
+  /// chord::ChordNetwork::RouteCursor for the shared contract.
+  struct RouteCursor {
+    uint64_t current = 0;
+    uint64_t key = 0;
+    uint64_t truth = 0;
+    int hops_taken = 0;  ///< successful forwards (delivered path length)
+    int spent = 0;  ///< resilient hop budget: successful + failed attempts
+    int attempt = 0;  ///< resilient retransmission-decorrelation counter
+    bool resilient = false;
+    bool done = true;
+  };
+
+  /// Starts a route at `origin`: clears `out`, resolves ground truth, and
+  /// seeds the trace header. Same preconditions and statuses as LookupInto.
+  Status BeginRoute(uint64_t origin, uint64_t key, RouteCursor& cursor,
+                    RouteResult& out, RouteTrace* trace = nullptr,
+                    const fault::FaultPlan* faults = nullptr,
+                    const latency::LatencyModel* latency = nullptr) const;
+
+  /// Performs one node visit, accumulating into `out`. LookupInto is
+  /// implemented as BeginRoute + StepRoute-until-done, so the stepwise
+  /// route is byte-for-byte the direct one.
+  void StepRoute(RouteCursor& cursor, RouteResult& out,
+                 RouteTrace* trace = nullptr,
+                 const fault::FaultPlan* faults = nullptr,
+                 const latency::LatencyModel* latency = nullptr) const;
+
+  /// Step-wise ground-truth resolution for batched warmup: the same bit
+  /// descent as ResponsibleNode over the sorted live array, advanced one
+  /// outer bit level per step. Identical answer by construction.
+  struct ResponsibleCursor {
+    uint64_t key = 0;
+    size_t lo = 0;  ///< candidate range sharing the prefix fixed so far
+    size_t hi = 0;
+    uint64_t prefix = 0;
+    int bit = -1;  ///< next bit level to resolve
+    bool done = true;
+    uint64_t result = 0;
+  };
+
+  /// Positions `cursor` for `key`. Fails (cursor stays done) only when the
+  /// overlay is empty — the same precondition as ResponsibleNode.
+  Status BeginResponsible(uint64_t key, ResponsibleCursor& cursor) const;
+
+  /// Resolves one bit level; finishes when the range collapses or the bits
+  /// run out. No-op when the cursor is done.
+  void StepResponsible(ResponsibleCursor& cursor) const;
+
+  /// Prefetches the next level's boundary search region.
+  void PrefetchResponsible(const ResponsibleCursor& cursor) const {
+    const std::vector<uint64_t>& live = store_.live_ids();
+    if (cursor.lo < cursor.hi) {
+      __builtin_prefetch(&live[cursor.lo + (cursor.hi - cursor.lo) / 2], 0,
+                         1);
+    }
+  }
+
   /// Rebuilds `id`'s buckets from live membership (periodic
   /// stabilization). Dead auxiliaries are pruned (the paper's "stale
   /// auxiliary entries are marked/removed; fixed at the next selection").
@@ -250,12 +323,11 @@ class KademliaNetwork {
   NextHop SelectNextHop(const KademliaNode& node, uint64_t current,
                         uint64_t key) const;
 
-  /// The retry-capable routing loop used when fault injection is enabled.
-  /// `truth` is the precomputed responsible node.
-  Status LookupResilient(uint64_t origin, uint64_t key, uint64_t truth,
-                         RouteResult& out, RouteTrace* trace,
-                         const fault::FaultPlan& faults,
-                         const latency::LatencyModel* latency) const;
+  /// One resilient node visit (the fault-gated retry loop of the classic
+  /// LookupResilient body), shared by StepRoute's resilient branch.
+  void StepResilient(RouteCursor& cursor, RouteResult& out, RouteTrace* trace,
+                     const fault::FaultPlan& faults,
+                     const latency::LatencyModel* latency) const;
 
   KademliaParams params_;
   IdSpace space_;

@@ -1,0 +1,250 @@
+#include "net/actor_node.h"
+
+#include <span>
+#include <variant>
+
+#include "chord/chord_network.h"
+#include "common/route_result.h"
+#include "kademlia/kademlia_network.h"
+#include "pastry/pastry_network.h"
+
+namespace peercache::net {
+
+namespace {
+
+template <typename Cursor>
+WireCursor PackCursor(const Cursor& c) {
+  WireCursor w;
+  w.current = c.current;
+  w.key = c.key;
+  w.truth = c.truth;
+  w.hops_taken = static_cast<uint32_t>(c.hops_taken);
+  w.spent = static_cast<uint32_t>(c.spent);
+  w.attempt = static_cast<uint32_t>(c.attempt);
+  if (c.resilient) w.flags |= WireCursor::kFlagResilient;
+  if constexpr (requires { c.numeric_mode; }) {
+    if (c.numeric_mode) w.flags |= WireCursor::kFlagNumericMode;
+  }
+  return w;
+}
+
+template <typename Cursor>
+void UnpackCursor(const WireCursor& w, Cursor& c) {
+  c = Cursor{};
+  c.current = w.current;
+  c.key = w.key;
+  c.truth = w.truth;
+  c.hops_taken = static_cast<int>(w.hops_taken);
+  c.spent = static_cast<int>(w.spent);
+  c.attempt = static_cast<int>(w.attempt);
+  c.resilient = (w.flags & WireCursor::kFlagResilient) != 0;
+  if constexpr (requires { c.numeric_mode; }) {
+    c.numeric_mode = (w.flags & WireCursor::kFlagNumericMode) != 0;
+  }
+  c.done = false;  // a STEP only travels while the route is live
+}
+
+}  // namespace
+
+LookupWireStatus WireStatusOf(const Status& s) {
+  if (s.ok()) return LookupWireStatus::kOk;
+  if (s.code() == StatusCode::kUnavailable) {
+    return LookupWireStatus::kOriginNotAlive;
+  }
+  return LookupWireStatus::kEmptyOverlay;
+}
+
+Status UnpackDone(const LookupDone& done, overlay::RouteResult& result,
+                  RouteTrace* trace) {
+  result.Clear();
+  switch (static_cast<LookupWireStatus>(done.status)) {
+    case LookupWireStatus::kOk:
+      break;
+    case LookupWireStatus::kOriginNotAlive:
+      return Status::Unavailable("origin not alive");
+    case LookupWireStatus::kEmptyOverlay:
+      return Status::FailedPrecondition("empty overlay");
+    case LookupWireStatus::kProtocolError:
+      return Status::Internal("lookup protocol error");
+  }
+  UnpackRouteState(done.route, result);
+  if (trace != nullptr && done.traced()) {
+    trace->origin = done.origin;
+    trace->key = done.key;
+    trace->destination = result.destination;
+    trace->success = result.success;
+    trace->hops = result.hops;
+    trace->latency_ms = result.latency_ms;
+    UnpackHops(done.hops, trace->path);
+  }
+  return Status::Ok();
+}
+
+template <typename Net>
+std::vector<uint8_t> ActorHost<Net>::MakeLookupReq(uint64_t lookup_id,
+                                                   uint64_t origin,
+                                                   uint64_t key) const {
+  LookupReq req;
+  req.lookup_id = lookup_id;
+  req.client = kClientAddress;
+  req.origin = origin;
+  req.key = key;
+  if (config_.traced) req.flags |= LookupReq::kFlagTraced;
+  return Encode(req);
+}
+
+template <typename Net>
+void ActorHost<Net>::EmitError(uint64_t lookup_id, uint64_t client,
+                               uint64_t origin, uint64_t key,
+                               LookupWireStatus status,
+                               std::vector<Outbound>& out) const {
+  LookupDone done;
+  done.lookup_id = lookup_id;
+  done.client = client;
+  done.origin = origin;
+  done.key = key;
+  done.status = static_cast<uint8_t>(status);
+  Outbound o;
+  o.dst = client;
+  o.payload = Encode(done);
+  out.push_back(std::move(o));
+}
+
+template <typename Net>
+void ActorHost<Net>::StepAndEmit(uint64_t lookup_id, uint64_t client,
+                                 uint64_t origin,
+                                 typename Net::RouteCursor& cursor,
+                                 overlay::RouteResult& result,
+                                 RouteTrace* trace,
+                                 std::vector<Outbound>& out) const {
+  const double before = result.latency_ms;
+  net_->StepRoute(cursor, result, trace, config_.faults, config_.latency);
+  // The visit's latency span is the message's transit time — the
+  // LatencyModel is the bus's delivery clock. The full sum still travels
+  // bit-exact inside the route state, so telemetry never re-accumulates.
+  const double delay = result.latency_ms - before;
+  Outbound o;
+  o.delay_ms = delay;
+  if (cursor.done) {
+    LookupDone done;
+    done.lookup_id = lookup_id;
+    done.client = client;
+    done.origin = origin;
+    done.key = cursor.key;
+    done.status = static_cast<uint8_t>(LookupWireStatus::kOk);
+    done.route = PackRouteState(result);
+    if (trace != nullptr) {
+      done.flags |= LookupDone::kFlagTraced;
+      done.hops = PackHops(trace->path);
+    }
+    o.dst = client;
+    o.payload = Encode(done);
+  } else {
+    LookupStep step;
+    step.lookup_id = lookup_id;
+    step.client = client;
+    step.origin = origin;
+    step.cursor = PackCursor(cursor);
+    step.route = PackRouteState(result);
+    if (trace != nullptr) {
+      step.flags |= LookupStep::kFlagTraced;
+      step.hops = PackHops(trace->path);
+    }
+    o.dst = cursor.current;
+    o.payload = Encode(step);
+  }
+  out.push_back(std::move(o));
+}
+
+template <typename Net>
+void ActorHost<Net>::StartLookup(const LookupReq& req,
+                                 std::vector<Outbound>& out) const {
+  typename Net::RouteCursor cursor;
+  overlay::RouteResult result;
+  RouteTrace trace;
+  RouteTrace* tp = req.traced() ? &trace : nullptr;
+  const Status s = net_->BeginRoute(req.origin, req.key, cursor, result, tp,
+                                    config_.faults, config_.latency);
+  if (!s.ok()) {
+    EmitError(req.lookup_id, req.client, req.origin, req.key, WireStatusOf(s),
+              out);
+    return;
+  }
+  StepAndEmit(req.lookup_id, req.client, req.origin, cursor, result, tp, out);
+}
+
+template <typename Net>
+void ActorHost<Net>::ContinueLookup(uint64_t at, const LookupStep& step,
+                                    std::vector<Outbound>& out) const {
+  typename Net::RouteCursor cursor;
+  UnpackCursor(step.cursor, cursor);
+  if (cursor.current != at) {
+    EmitError(step.lookup_id, step.client, step.origin, step.cursor.key,
+              LookupWireStatus::kProtocolError, out);
+    return;
+  }
+  overlay::RouteResult result;
+  UnpackRouteState(step.route, result);
+  RouteTrace trace;
+  RouteTrace* tp = nullptr;
+  if (step.traced()) {
+    trace.origin = step.origin;
+    trace.key = step.cursor.key;
+    UnpackHops(step.hops, trace.path);
+    tp = &trace;
+  }
+  StepAndEmit(step.lookup_id, step.client, step.origin, cursor, result, tp,
+              out);
+}
+
+template <typename Net>
+void ActorHost<Net>::HandleMessage(const Envelope& env,
+                                   std::vector<Outbound>& out) const {
+  auto decoded = Decode(std::span<const uint8_t>(env.payload));
+  if (!decoded.ok()) return;  // undecodable frame: dropped, never UB
+  const AnyMessage& msg = decoded.value();
+  if (const auto* req = std::get_if<LookupReq>(&msg)) {
+    if (req->origin != env.dst) {
+      EmitError(req->lookup_id, req->client, req->origin, req->key,
+                LookupWireStatus::kProtocolError, out);
+      return;
+    }
+    StartLookup(*req, out);
+  } else if (const auto* step = std::get_if<LookupStep>(&msg)) {
+    ContinueLookup(env.dst, *step, out);
+  }
+  // DONE is client-side; control messages go through ApplyControl.
+}
+
+template <typename Net>
+Status ActorHost<Net>::ApplyControl(Net& net, const AnyMessage& msg) {
+  if (const auto* join = std::get_if<Join>(&msg)) {
+    const auto* node = net.GetNode(join->node_id);
+    if (node != nullptr && !net.IsAlive(join->node_id)) {
+      return net.RejoinNode(join->node_id);
+    }
+    return net.AddNode(join->node_id);
+  }
+  if (const auto* leave = std::get_if<Leave>(&msg)) {
+    if constexpr (requires(Net& n) { n.RemoveNode(uint64_t{0}, true); }) {
+      return net.RemoveNode(leave->node_id, leave->forget_state != 0);
+    } else {
+      // Pastry retains crashed-node state unconditionally.
+      return net.RemoveNode(leave->node_id);
+    }
+  }
+  if (const auto* stab = std::get_if<Stabilize>(&msg)) {
+    if (stab->node_id == kAllNodes) {
+      net.StabilizeAll();
+      return Status::Ok();
+    }
+    return net.StabilizeNode(stab->node_id);
+  }
+  return Status::InvalidArgument("not a control message");
+}
+
+template class ActorHost<chord::ChordNetwork>;
+template class ActorHost<pastry::PastryNetwork>;
+template class ActorHost<kademlia::KademliaNetwork>;
+
+}  // namespace peercache::net

@@ -1,0 +1,106 @@
+#include "net/bus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/random.h"
+
+namespace peercache::net {
+
+MessageBus::MessageBus(const BusConfig& config, ThreadPool* pool)
+    : config_(config), pool_(pool) {
+  if (config_.tick_ms <= 0) config_.tick_ms = 1.0;
+}
+
+uint64_t MessageBus::DeliveryTick(uint64_t from_tick, double delay_ms) const {
+  double ticks = 0;
+  if (delay_ms > 0) ticks = std::ceil(delay_ms / config_.tick_ms);
+  // At least one tick after the send: a message is never handled in the
+  // tick that produced it (causality / determinism of the tick barrier).
+  const auto extra =
+      ticks < 1 ? uint64_t{1} : static_cast<uint64_t>(ticks);
+  return from_tick + extra;
+}
+
+void MessageBus::Enqueue(uint64_t src, uint64_t dst, uint64_t tick,
+                         std::vector<uint8_t> payload) {
+  Envelope env;
+  env.src = src;
+  env.dst = dst;
+  env.tick = tick;
+  env.seq = next_seq_++;
+  env.payload = std::move(payload);
+  pending_[tick].push_back(std::move(env));
+}
+
+void MessageBus::Post(uint64_t src, uint64_t dst, double delay_ms,
+                      std::vector<uint8_t> payload) {
+  Enqueue(src, dst, DeliveryTick(last_tick_, delay_ms), std::move(payload));
+}
+
+size_t MessageBus::pending() const {
+  size_t n = 0;
+  for (const auto& [tick, batch] : pending_) n += batch.size();
+  return n;
+}
+
+uint64_t MessageBus::Run(const Handler& handler) {
+  uint64_t delivered_here = 0;
+  while (!pending_.empty()) {
+    auto first = pending_.begin();
+    const uint64_t tick = first->first;
+    if (tick > config_.max_ticks) break;
+    std::vector<Envelope> batch = std::move(first->second);
+    pending_.erase(first);
+    last_tick_ = tick;
+
+    // Deterministic mailbox order: (dst, seeded tie, seq). The seeded hash
+    // shuffles same-mailbox arrivals so no sender order is structurally
+    // privileged, while seq keeps the comparator a strict total order.
+    std::sort(batch.begin(), batch.end(),
+              [this](const Envelope& a, const Envelope& b) {
+                if (a.dst != b.dst) return a.dst < b.dst;
+                const uint64_t ta = MixHash64(SplitSeed(config_.seed, a.dst) ^
+                                              a.seq);
+                const uint64_t tb = MixHash64(SplitSeed(config_.seed, b.dst) ^
+                                              b.seq);
+                if (ta != tb) return ta < tb;
+                return a.seq < b.seq;
+              });
+
+    // Mailbox boundaries: one contiguous run per destination.
+    std::vector<std::pair<size_t, size_t>> groups;
+    for (size_t i = 0; i < batch.size();) {
+      size_t j = i + 1;
+      while (j < batch.size() && batch[j].dst == batch[i].dst) ++j;
+      groups.emplace_back(i, j);
+      i = j;
+    }
+
+    // Parallel dispatch: one task per mailbox, outbound messages collected
+    // into index-addressed slots (no cross-task writes).
+    std::vector<std::vector<Outbound>> outbound(groups.size());
+    pool_->ParallelFor(0, groups.size(), 1, [&](size_t g) {
+      const auto [lo, hi] = groups[g];
+      for (size_t i = lo; i < hi; ++i) {
+        handler(batch[i], outbound[g]);
+      }
+    });
+
+    // Serial merge in mailbox order: seq assignment (and therefore the next
+    // tick's tie-break inputs) is identical at any thread count.
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const uint64_t src = batch[groups[g].first].dst;
+      for (Outbound& o : outbound[g]) {
+        Enqueue(src, o.dst, DeliveryTick(tick, o.delay_ms),
+                std::move(o.payload));
+      }
+    }
+    delivered_here += batch.size();
+    delivered_ += batch.size();
+  }
+  return delivered_here;
+}
+
+}  // namespace peercache::net

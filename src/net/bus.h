@@ -1,0 +1,96 @@
+#ifndef PEERCACHE_NET_BUS_H_
+#define PEERCACHE_NET_BUS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace peercache::net {
+
+/// Bus parameters. `tick_ms` is the delivery-clock quantum: a message
+/// posted with delay d lands ceil(d / tick_ms) ticks after the tick it was
+/// sent on, never sooner than the next tick (causality). `seed` drives the
+/// deterministic tie-break among messages sharing a (tick, dst) mailbox.
+struct BusConfig {
+  uint64_t seed = 1;
+  double tick_ms = 1.0;
+  /// Safety valve: Run aborts (returning what was delivered) if the clock
+  /// passes this tick, so a malformed handler cannot spin forever.
+  uint64_t max_ticks = ~uint64_t{0};
+};
+
+/// One delivered message.
+struct Envelope {
+  uint64_t src = 0;
+  uint64_t dst = 0;
+  uint64_t tick = 0;  ///< delivery tick
+  uint64_t seq = 0;   ///< global post order (assigned by the bus)
+  std::vector<uint8_t> payload;
+};
+
+/// One message a handler wants sent: the bus stamps src (the handling
+/// mailbox), computes the delivery tick from `delay_ms`, and assigns seq.
+struct Outbound {
+  uint64_t dst = 0;
+  double delay_ms = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// In-process asynchronous message bus with per-destination mailboxes,
+/// dispatched over the shared ThreadPool.
+///
+/// Determinism rule (docs/RUNTIME.md): delivery order is a pure function of
+/// (seed, posted messages) — never of thread timing. Each tick, all due
+/// messages are sorted by (dst, tie, seq) where tie = MixHash64(
+/// SplitSeed(seed, dst) ^ seq), grouped into per-dst mailboxes, and the
+/// groups are handled in parallel (one task per mailbox, messages within a
+/// mailbox in sorted order). Handlers' outbound messages are merged in
+/// mailbox order after the tick's barrier and given globally increasing
+/// seq numbers, so the next tick's order is again thread-independent. A
+/// handler must be safe to run concurrently with handlers of OTHER
+/// destinations; messages to one destination are always handled serially.
+///
+/// Loss and delay live in the layers above: actors evaluate the FaultPlan's
+/// deterministic drop/fail-stop/stale gates sender-side (a dropped forward
+/// is retried by the sender inside its visit and never becomes a message),
+/// and the LatencyModel's per-hop spans become `Outbound::delay_ms`, making
+/// it the bus's delivery clock.
+class MessageBus {
+ public:
+  using Handler = std::function<void(const Envelope&, std::vector<Outbound>&)>;
+
+  MessageBus(const BusConfig& config, ThreadPool* pool);
+
+  /// Enqueues a message from outside the bus (tick 0 send time).
+  void Post(uint64_t src, uint64_t dst, double delay_ms,
+            std::vector<uint8_t> payload);
+
+  /// Delivers messages tick by tick until the bus drains (or max_ticks).
+  /// Returns the number of messages delivered by this call.
+  uint64_t Run(const Handler& handler);
+
+  uint64_t posted() const { return next_seq_; }
+  uint64_t delivered() const { return delivered_; }
+  uint64_t last_tick() const { return last_tick_; }
+  size_t pending() const;
+
+ private:
+  /// Delivery tick for a message sent on `from_tick` with delay `delay_ms`.
+  uint64_t DeliveryTick(uint64_t from_tick, double delay_ms) const;
+  void Enqueue(uint64_t src, uint64_t dst, uint64_t tick,
+               std::vector<uint8_t> payload);
+
+  BusConfig config_;
+  ThreadPool* pool_;
+  std::map<uint64_t, std::vector<Envelope>> pending_;  // tick -> messages
+  uint64_t next_seq_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t last_tick_ = 0;
+};
+
+}  // namespace peercache::net
+
+#endif  // PEERCACHE_NET_BUS_H_

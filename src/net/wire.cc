@@ -1,0 +1,395 @@
+#include "net/wire.h"
+
+#include <array>
+
+namespace peercache::net {
+
+namespace {
+
+/// Nibble-driven CRC-32: 16-entry table, two lookups per byte. Small enough
+/// to live in cache, fast enough for control-plane framing.
+constexpr std::array<uint32_t, 16> kCrcTable = [] {
+  std::array<uint32_t, 16> t{};
+  for (uint32_t i = 0; i < 16; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 4; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}();
+
+void WriteU64Vector(ByteWriter& w, const std::vector<uint64_t>& v) {
+  w.U32(static_cast<uint32_t>(v.size()));
+  for (uint64_t x : v) w.U64(x);
+}
+
+bool ReadU64Vector(ByteReader& r, std::vector<uint64_t>& v) {
+  uint32_t count;
+  if (!r.U32(count)) return false;
+  if (static_cast<size_t>(count) * 8 > r.remaining()) return false;
+  v.clear();
+  v.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t x;
+    if (!r.U64(x)) return false;
+    v.push_back(x);
+  }
+  return true;
+}
+
+void WriteRouteState(ByteWriter& w, const WireRouteState& s) {
+  w.U8(s.flags);
+  w.U64(s.destination);
+  w.U32(s.hops);
+  w.U32(s.aux_hops);
+  w.U32(s.retries);
+  w.U32(s.dropped_forwards);
+  w.U32(s.failstop_skips);
+  w.U32(s.stale_forwards);
+  w.F64(s.latency_ms);
+  WriteU64Vector(w, s.path);
+  w.U32(static_cast<uint32_t>(s.dead_evictions.size()));
+  for (const auto& [holder, entry] : s.dead_evictions) {
+    w.U64(holder);
+    w.U64(entry);
+  }
+}
+
+bool ReadRouteState(ByteReader& r, WireRouteState& s) {
+  if (!r.U8(s.flags) || !r.U64(s.destination) || !r.U32(s.hops) ||
+      !r.U32(s.aux_hops) || !r.U32(s.retries) || !r.U32(s.dropped_forwards) ||
+      !r.U32(s.failstop_skips) || !r.U32(s.stale_forwards) ||
+      !r.F64(s.latency_ms) || !ReadU64Vector(r, s.path)) {
+    return false;
+  }
+  uint32_t count;
+  if (!r.U32(count)) return false;
+  if (static_cast<size_t>(count) * 16 > r.remaining()) return false;
+  s.dead_evictions.clear();
+  s.dead_evictions.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t holder, entry;
+    if (!r.U64(holder) || !r.U64(entry)) return false;
+    s.dead_evictions.emplace_back(holder, entry);
+  }
+  return true;
+}
+
+void WriteCursor(ByteWriter& w, const WireCursor& c) {
+  w.U64(c.current);
+  w.U64(c.key);
+  w.U64(c.truth);
+  w.U32(c.hops_taken);
+  w.U32(c.spent);
+  w.U32(c.attempt);
+  w.U8(c.flags);
+}
+
+bool ReadCursor(ByteReader& r, WireCursor& c) {
+  return r.U64(c.current) && r.U64(c.key) && r.U64(c.truth) &&
+         r.U32(c.hops_taken) && r.U32(c.spent) && r.U32(c.attempt) &&
+         r.U8(c.flags);
+}
+
+void WriteHops(ByteWriter& w, const std::vector<WireHop>& hops) {
+  w.U32(static_cast<uint32_t>(hops.size()));
+  for (const WireHop& h : hops) {
+    w.U64(h.from);
+    w.U64(h.to);
+    w.U64(h.remaining);
+    w.F64(h.latency_ms);
+    w.U8(h.kind);
+    w.U8(h.flags);
+  }
+}
+
+bool ReadHops(ByteReader& r, std::vector<WireHop>& hops) {
+  uint32_t count;
+  if (!r.U32(count)) return false;
+  if (static_cast<size_t>(count) * 34 > r.remaining()) return false;
+  hops.clear();
+  hops.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireHop h;
+    if (!r.U64(h.from) || !r.U64(h.to) || !r.U64(h.remaining) ||
+        !r.F64(h.latency_ms) || !r.U8(h.kind) || !r.U8(h.flags)) {
+      return false;
+    }
+    // Entry kinds are part of the schema: an unknown kind is a corrupt or
+    // future frame, not something to propagate into telemetry.
+    if (h.kind > static_cast<uint8_t>(HopEntryKind::kBucket)) return false;
+    hops.push_back(h);
+  }
+  return true;
+}
+
+/// Frames `payload` under the versioned checksummed header. The checksum
+/// covers version, type, payload_len, and the payload (everything after
+/// the magic except the checksum field itself).
+std::vector<uint8_t> Frame(MessageType type,
+                           const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  out.reserve(kWireHeaderSize + payload.size());
+  ByteWriter w(out);
+  w.U32(kWireMagic);
+  w.U16(kWireVersion);
+  w.U16(static_cast<uint16_t>(type));
+  w.U32(static_cast<uint32_t>(payload.size()));
+  const uint32_t crc =
+      Crc32(std::span<const uint8_t>(payload.data(), payload.size()),
+            Crc32(std::span<const uint8_t>(out.data() + 4, 8)));
+  w.U32(crc);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+bool KnownType(uint16_t t) {
+  return t >= static_cast<uint16_t>(MessageType::kLookupReq) &&
+         t <= static_cast<uint16_t>(MessageType::kStabilize);
+}
+
+/// Header validation shared by PeekType and Decode.
+Status CheckFrame(std::span<const uint8_t> frame, MessageType& type) {
+  if (frame.size() < kWireHeaderSize) {
+    return Status::InvalidArgument("wire: frame shorter than header");
+  }
+  ByteReader r(frame.data(), kWireHeaderSize);
+  uint32_t magic, payload_len, checksum;
+  uint16_t version, raw_type;
+  (void)r.U32(magic);
+  (void)r.U16(version);
+  (void)r.U16(raw_type);
+  (void)r.U32(payload_len);
+  (void)r.U32(checksum);
+  if (magic != kWireMagic) return Status::InvalidArgument("wire: bad magic");
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("wire: unsupported version");
+  }
+  if (!KnownType(raw_type)) {
+    return Status::InvalidArgument("wire: unknown message type");
+  }
+  if (payload_len > kMaxPayloadLen) {
+    return Status::InvalidArgument("wire: payload length over cap");
+  }
+  if (frame.size() != kWireHeaderSize + payload_len) {
+    return Status::InvalidArgument("wire: frame length mismatch");
+  }
+  const uint32_t expect =
+      Crc32(frame.subspan(kWireHeaderSize), Crc32(frame.subspan(4, 8)));
+  if (checksum != expect) {
+    return Status::InvalidArgument("wire: checksum mismatch");
+  }
+  type = static_cast<MessageType>(raw_type);
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> data, uint32_t seed) {
+  uint32_t crc = ~seed;
+  for (uint8_t b : data) {
+    crc = kCrcTable[(crc ^ b) & 0xF] ^ (crc >> 4);
+    crc = kCrcTable[(crc ^ (b >> 4)) & 0xF] ^ (crc >> 4);
+  }
+  return ~crc;
+}
+
+std::vector<uint8_t> Encode(const LookupReq& msg) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(payload);
+  w.U64(msg.lookup_id);
+  w.U64(msg.client);
+  w.U64(msg.origin);
+  w.U64(msg.key);
+  w.U8(msg.flags);
+  return Frame(MessageType::kLookupReq, payload);
+}
+
+std::vector<uint8_t> Encode(const LookupStep& msg) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(payload);
+  w.U64(msg.lookup_id);
+  w.U64(msg.client);
+  w.U64(msg.origin);
+  w.U8(msg.flags);
+  WriteCursor(w, msg.cursor);
+  WriteRouteState(w, msg.route);
+  WriteHops(w, msg.hops);
+  return Frame(MessageType::kLookupStep, payload);
+}
+
+std::vector<uint8_t> Encode(const LookupDone& msg) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(payload);
+  w.U64(msg.lookup_id);
+  w.U64(msg.client);
+  w.U64(msg.origin);
+  w.U64(msg.key);
+  w.U8(msg.status);
+  w.U8(msg.flags);
+  WriteRouteState(w, msg.route);
+  WriteHops(w, msg.hops);
+  return Frame(MessageType::kLookupDone, payload);
+}
+
+std::vector<uint8_t> Encode(const Join& msg) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(payload);
+  w.U64(msg.node_id);
+  return Frame(MessageType::kJoin, payload);
+}
+
+std::vector<uint8_t> Encode(const Leave& msg) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(payload);
+  w.U64(msg.node_id);
+  w.U8(msg.forget_state);
+  return Frame(MessageType::kLeave, payload);
+}
+
+std::vector<uint8_t> Encode(const Stabilize& msg) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(payload);
+  w.U64(msg.node_id);
+  return Frame(MessageType::kStabilize, payload);
+}
+
+std::vector<uint8_t> Encode(const AnyMessage& msg) {
+  return std::visit([](const auto& m) { return Encode(m); }, msg);
+}
+
+Result<MessageType> PeekType(std::span<const uint8_t> frame) {
+  MessageType type;
+  if (Status s = CheckFrame(frame, type); !s.ok()) return s;
+  return type;
+}
+
+Result<AnyMessage> Decode(std::span<const uint8_t> frame) {
+  MessageType type;
+  if (Status s = CheckFrame(frame, type); !s.ok()) return s;
+  ByteReader r(frame.subspan(kWireHeaderSize));
+  auto malformed = [] {
+    return Status::InvalidArgument("wire: malformed payload");
+  };
+  switch (type) {
+    case MessageType::kLookupReq: {
+      LookupReq m;
+      if (!r.U64(m.lookup_id) || !r.U64(m.client) || !r.U64(m.origin) ||
+          !r.U64(m.key) || !r.U8(m.flags) || !r.AtEnd()) {
+        return malformed();
+      }
+      return AnyMessage{m};
+    }
+    case MessageType::kLookupStep: {
+      LookupStep m;
+      if (!r.U64(m.lookup_id) || !r.U64(m.client) || !r.U64(m.origin) ||
+          !r.U8(m.flags) || !ReadCursor(r, m.cursor) ||
+          !ReadRouteState(r, m.route) || !ReadHops(r, m.hops) || !r.AtEnd()) {
+        return malformed();
+      }
+      return AnyMessage{std::move(m)};
+    }
+    case MessageType::kLookupDone: {
+      LookupDone m;
+      if (!r.U64(m.lookup_id) || !r.U64(m.client) || !r.U64(m.origin) ||
+          !r.U64(m.key) || !r.U8(m.status) || !r.U8(m.flags) ||
+          !ReadRouteState(r, m.route) || !ReadHops(r, m.hops) || !r.AtEnd()) {
+        return malformed();
+      }
+      if (m.status > static_cast<uint8_t>(LookupWireStatus::kProtocolError)) {
+        return malformed();
+      }
+      return AnyMessage{std::move(m)};
+    }
+    case MessageType::kJoin: {
+      Join m;
+      if (!r.U64(m.node_id) || !r.AtEnd()) return malformed();
+      return AnyMessage{m};
+    }
+    case MessageType::kLeave: {
+      Leave m;
+      if (!r.U64(m.node_id) || !r.U8(m.forget_state) || !r.AtEnd()) {
+        return malformed();
+      }
+      return AnyMessage{m};
+    }
+    case MessageType::kStabilize: {
+      Stabilize m;
+      if (!r.U64(m.node_id) || !r.AtEnd()) return malformed();
+      return AnyMessage{m};
+    }
+  }
+  return Status::Internal("wire: unreachable type");
+}
+
+WireRouteState PackRouteState(const overlay::RouteResult& r) {
+  WireRouteState s;
+  s.flags = static_cast<uint8_t>(
+      (r.success ? WireRouteState::kFlagSuccess : 0) |
+      (r.budget_exhausted ? WireRouteState::kFlagBudgetExhausted : 0));
+  s.destination = r.destination;
+  s.hops = static_cast<uint32_t>(r.hops);
+  s.aux_hops = static_cast<uint32_t>(r.aux_hops);
+  s.retries = static_cast<uint32_t>(r.retries);
+  s.dropped_forwards = static_cast<uint32_t>(r.dropped_forwards);
+  s.failstop_skips = static_cast<uint32_t>(r.failstop_skips);
+  s.stale_forwards = static_cast<uint32_t>(r.stale_forwards);
+  s.latency_ms = r.latency_ms;
+  s.path = r.path;
+  s.dead_evictions = r.dead_evictions;
+  return s;
+}
+
+void UnpackRouteState(const WireRouteState& w, overlay::RouteResult& out) {
+  out.success = (w.flags & WireRouteState::kFlagSuccess) != 0;
+  out.budget_exhausted =
+      (w.flags & WireRouteState::kFlagBudgetExhausted) != 0;
+  out.destination = w.destination;
+  out.hops = static_cast<int>(w.hops);
+  out.aux_hops = static_cast<int>(w.aux_hops);
+  out.retries = static_cast<int>(w.retries);
+  out.dropped_forwards = static_cast<int>(w.dropped_forwards);
+  out.failstop_skips = static_cast<int>(w.failstop_skips);
+  out.stale_forwards = static_cast<int>(w.stale_forwards);
+  out.latency_ms = w.latency_ms;
+  out.path = w.path;
+  out.dead_evictions = w.dead_evictions;
+}
+
+std::vector<WireHop> PackHops(const std::vector<HopRecord>& path) {
+  std::vector<WireHop> out;
+  out.reserve(path.size());
+  for (const HopRecord& h : path) {
+    WireHop w;
+    w.from = h.from;
+    w.to = h.to;
+    w.remaining = h.remaining;
+    w.latency_ms = h.latency_ms;
+    w.kind = static_cast<uint8_t>(h.kind);
+    w.flags = static_cast<uint8_t>((h.dropped ? WireHop::kFlagDropped : 0) |
+                                   (h.retried ? WireHop::kFlagRetried : 0));
+    out.push_back(w);
+  }
+  return out;
+}
+
+void UnpackHops(const std::vector<WireHop>& hops,
+                std::vector<HopRecord>& out) {
+  out.clear();
+  out.reserve(hops.size());
+  for (const WireHop& w : hops) {
+    HopRecord h;
+    h.from = w.from;
+    h.to = w.to;
+    h.kind = static_cast<HopEntryKind>(w.kind);
+    h.remaining = w.remaining;
+    h.dropped = (w.flags & WireHop::kFlagDropped) != 0;
+    h.retried = (w.flags & WireHop::kFlagRetried) != 0;
+    h.latency_ms = w.latency_ms;
+    out.push_back(h);
+  }
+}
+
+}  // namespace peercache::net

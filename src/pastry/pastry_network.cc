@@ -229,6 +229,42 @@ Result<uint64_t> PastryNetwork::ResponsibleNode(uint64_t key) const {
   return std::min(pred, succ);
 }
 
+Status PastryNetwork::BeginResponsible(uint64_t key,
+                                       ResponsibleCursor& cursor) const {
+  cursor = ResponsibleCursor{};
+  const std::vector<uint64_t>& live = store_.live_ids();
+  if (live.empty()) return Status::FailedPrecondition("empty overlay");
+  cursor.key = key;
+  cursor.lo = 0;
+  cursor.hi = live.size();
+  cursor.done = false;
+  return Status::Ok();
+}
+
+void PastryNetwork::StepResponsible(ResponsibleCursor& cursor) const {
+  if (cursor.done) return;
+  const std::vector<uint64_t>& live = store_.live_ids();
+  // One probe of the lower-bound bisection: first index with id >= key.
+  const size_t mid = cursor.lo + (cursor.hi - cursor.lo) / 2;
+  if (live[mid] < cursor.key) {
+    cursor.lo = mid + 1;
+  } else {
+    cursor.hi = mid;
+  }
+  if (cursor.lo < cursor.hi) return;
+  // The bounds met at the unique insertion point; replay ResponsibleNode's
+  // succ/pred tie-break verbatim.
+  const size_t pos = cursor.lo;
+  const uint64_t succ = (pos == live.size()) ? live.front() : live[pos];
+  const uint64_t pred = (pos == 0) ? live.back() : live[pos - 1];
+  const uint64_t d_succ = space_.ClockwiseDistance(cursor.key, succ);
+  const uint64_t d_pred = space_.ClockwiseDistance(pred, cursor.key);
+  cursor.result = d_succ < d_pred   ? succ
+                  : d_pred < d_succ ? pred
+                                    : std::min(pred, succ);
+  cursor.done = true;
+}
+
 PastryNetwork::Decision PastryNetwork::DecideNext(const PastryNode& node,
                                                   uint64_t current,
                                                   uint64_t key,
@@ -351,92 +387,117 @@ Status PastryNetwork::LookupInto(uint64_t origin, uint64_t key,
                                  RouteResult& out, RouteTrace* trace,
                                  const fault::FaultPlan* faults,
                                  const latency::LatencyModel* latency) const {
+  RouteCursor cursor;
+  if (Status s = BeginRoute(origin, key, cursor, out, trace, faults, latency);
+      !s.ok()) {
+    return s;
+  }
+  while (!cursor.done) StepRoute(cursor, out, trace, faults, latency);
+  return Status::Ok();
+}
+
+Status PastryNetwork::BeginRoute(uint64_t origin, uint64_t key,
+                                 RouteCursor& cursor, RouteResult& out,
+                                 RouteTrace* trace,
+                                 const fault::FaultPlan* faults,
+                                 const latency::LatencyModel* latency) const {
+  (void)latency;
+  cursor = RouteCursor{};
   out.Clear();
   if (!IsAlive(origin)) return Status::Unavailable("origin not alive");
   auto truth = ResponsibleNode(key);
   if (!truth.ok()) return truth.status();
-  if (faults != nullptr && faults->enabled()) {
-    return LookupResilient(origin, key, truth.value(), out, trace, *faults,
-                           latency);
+  cursor.current = origin;
+  cursor.key = key;
+  cursor.truth = truth.value();
+  cursor.resilient = faults != nullptr && faults->enabled();
+  cursor.done = false;
+  if (trace != nullptr) {
+    trace->origin = origin;
+    trace->key = key;
   }
-  const bool timed = latency != nullptr && latency->enabled();
+  return Status::Ok();
+}
 
+void PastryNetwork::StepRoute(RouteCursor& cursor, RouteResult& out,
+                              RouteTrace* trace,
+                              const fault::FaultPlan* faults,
+                              const latency::LatencyModel* latency) const {
+  if (cursor.done) return;
+  if (cursor.resilient) {
+    assert(faults != nullptr && faults->enabled());
+    StepResilient(cursor, out, trace, *faults, latency);
+    return;
+  }
+
+  const bool timed = latency != nullptr && latency->enabled();
+  const uint64_t key = cursor.key;
   // Trace metric: prefix digits still to resolve after landing on `w`.
   auto prefix_remaining = [this, key](uint64_t w) {
     return static_cast<uint64_t>(params_.bits -
                                  CommonPrefixLength(w, key, params_.bits));
   };
-  if (trace != nullptr) {
-    trace->origin = origin;
-    trace->key = key;
-  }
-  auto finish = [&](RouteResult& r) {
+  auto finish = [&](uint64_t destination, int hops, bool success) {
+    out.destination = destination;
+    out.hops = hops;
+    out.success = success;
     if (trace != nullptr) {
-      trace->destination = r.destination;
-      trace->success = r.success;
-      trace->hops = r.hops;
-      trace->latency_ms = r.latency_ms;
+      trace->destination = out.destination;
+      trace->success = out.success;
+      trace->hops = out.hops;
+      trace->latency_ms = out.latency_ms;
     }
+    cursor.done = true;
   };
 
-  uint64_t current = origin;
+  const uint64_t current = cursor.current;
+  const PastryNode* node = GetNode(current);
+  assert(node != nullptr);
   // Once prefix routing is exhausted the route switches permanently to
-  // numeric (ring-greedy) mode: every subsequent hop must be numerically
-  // closer to the key. Ring distance then decreases strictly, so the route
-  // terminates, and with accurate leaf sets it converges on the numerically
-  // closest node. Allowing prefix hops again after a numeric hop could
-  // oscillate around power-of-two id boundaries.
-  bool numeric_mode = false;
-  for (int hop = 0; hop <= params_.max_route_hops; ++hop) {
-    const PastryNode* node = GetNode(current);
-    assert(node != nullptr);
-    const Decision d = DecideNext(*node, current, key, numeric_mode);
+  // numeric (ring-greedy) mode — the cursor's latch; see the classic loop's
+  // oscillation rationale in DecideNext.
+  const Decision d = DecideNext(*node, current, key, cursor.numeric_mode);
 
-    if (d.action == Decision::Action::kDeliverHere) {
-      out.destination = current;
-      out.hops = hop;
-      out.success = (current == truth.value());
-      finish(out);
-      return Status::Ok();
-    }
-    if (d.action == Decision::Action::kDeliverAt) {
-      // R1's final leaf-set hop: the chosen member answers directly.
-      out.destination = d.next;
-      out.hops = hop + 1;
-      out.path.push_back(current);
-      if (trace != nullptr) {
-        trace->path.push_back({current, d.next, HopEntryKind::kLeafSet,
-                               prefix_remaining(d.next)});
-      }
-      if (timed) {
-        const double ms = latency->HopLatencyMs(key, current, d.next, hop);
-        out.latency_ms += ms;
-        if (trace != nullptr) trace->path.back().latency_ms = ms;
-      }
-      out.success = (d.next == truth.value());
-      finish(out);
-      return Status::Ok();
-    }
-
-    if (d.enters_numeric) numeric_mode = true;
-    if (d.kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
+  if (d.action == Decision::Action::kDeliverHere) {
+    finish(current, cursor.hops_taken, current == cursor.truth);
+    return;
+  }
+  if (d.action == Decision::Action::kDeliverAt) {
+    // R1's final leaf-set hop: the chosen member answers directly.
+    out.path.push_back(current);
     if (trace != nullptr) {
-      trace->path.push_back({current, d.next, d.kind,
+      trace->path.push_back({current, d.next, HopEntryKind::kLeafSet,
                              prefix_remaining(d.next)});
     }
     if (timed) {
-      const double ms = latency->HopLatencyMs(key, current, d.next, hop);
+      const double ms =
+          latency->HopLatencyMs(key, current, d.next, cursor.hops_taken);
       out.latency_ms += ms;
       if (trace != nullptr) trace->path.back().latency_ms = ms;
     }
-    out.path.push_back(current);
-    current = d.next;
+    finish(d.next, cursor.hops_taken + 1, d.next == cursor.truth);
+    return;
   }
-  out.destination = current;
-  out.hops = params_.max_route_hops;
-  out.success = false;
-  finish(out);
-  return Status::Ok();
+
+  if (d.enters_numeric) cursor.numeric_mode = true;
+  if (d.kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
+  if (trace != nullptr) {
+    trace->path.push_back({current, d.next, d.kind,
+                           prefix_remaining(d.next)});
+  }
+  if (timed) {
+    const double ms =
+        latency->HopLatencyMs(key, current, d.next, cursor.hops_taken);
+    out.latency_ms += ms;
+    if (trace != nullptr) trace->path.back().latency_ms = ms;
+  }
+  out.path.push_back(current);
+  cursor.current = d.next;
+  ++cursor.hops_taken;
+  if (cursor.hops_taken > params_.max_route_hops) {
+    // Same hop-budget failure the classic loop reports.
+    finish(cursor.current, params_.max_route_hops, false);
+  }
 }
 
 Status PastryNetwork::BeginLookup(uint64_t origin, uint64_t key,
@@ -485,11 +546,12 @@ void PastryNetwork::StepLookup(LookupCursor& cursor) const {
   }
 }
 
-Status PastryNetwork::LookupResilient(
-    uint64_t origin, uint64_t key, uint64_t truth, RouteResult& out,
-    RouteTrace* trace, const fault::FaultPlan& faults,
-    const latency::LatencyModel* latency) const {
+void PastryNetwork::StepResilient(RouteCursor& cursor, RouteResult& out,
+                                  RouteTrace* trace,
+                                  const fault::FaultPlan& faults,
+                                  const latency::LatencyModel* latency) const {
   const bool timed = latency != nullptr && latency->enabled();
+  const uint64_t key = cursor.key;
   auto ring_distance = [this](uint64_t a, uint64_t b) {
     return std::min(space_.ClockwiseDistance(a, b),
                     space_.ClockwiseDistance(b, a));
@@ -498,34 +560,29 @@ Status PastryNetwork::LookupResilient(
     return static_cast<uint64_t>(params_.bits -
                                  CommonPrefixLength(w, key, params_.bits));
   };
-  if (trace != nullptr) {
-    trace->origin = origin;
-    trace->key = key;
-  }
   auto finish = [&](uint64_t destination, int hops, bool delivered) {
     out.destination = destination;
     out.hops = hops;
-    out.success = delivered && destination == truth;
+    out.success = delivered && destination == cursor.truth;
     if (trace != nullptr) {
       trace->destination = out.destination;
       trace->success = out.success;
       trace->hops = out.hops;
       trace->latency_ms = out.latency_ms;
     }
-    return Status::Ok();
+    cursor.done = true;
   };
 
-  uint64_t current = origin;
-  int hops_taken = 0;  // successful forwards (the delivered path length)
-  int spent = 0;       // hop budget: successful AND failed attempts
-  int attempt = 0;     // per-lookup counter decorrelating retransmissions
-  bool numeric_mode = false;  // same oscillation guard as the fault-free path
-  // Per-visit exclusion sets; see ChordNetwork::LookupResilient for the
-  // dead-vs-dropped retransmission policy.
-  std::vector<uint64_t> dead_here;
-  std::vector<uint64_t> dropped_here;
+  // Classic outer-loop guard: a previous visit may have spent the budget.
+  if (cursor.spent > params_.max_route_hops) {
+    out.budget_exhausted = true;
+    finish(cursor.current, params_.max_route_hops, /*delivered=*/false);
+    return;
+  }
 
-  while (spent <= params_.max_route_hops) {
+  const uint64_t current = cursor.current;
+  bool numeric_mode = cursor.numeric_mode;
+  {
     const PastryNode* node = GetNode(current);
     assert(node != nullptr);
     const auto rows = RoutingRows(*node);
@@ -534,10 +591,14 @@ Status PastryNetwork::LookupResilient(
     const auto auxiliaries = Auxiliaries(*node);
     const int current_lcp = CommonPrefixLength(current, key, params_.bits);
     if (current_lcp == params_.bits) {  // exact hit
-      return finish(current, hops_taken, /*delivered=*/true);
+      finish(current, cursor.hops_taken, /*delivered=*/true);
+      return;
     }
-    dead_here.clear();
-    dropped_here.clear();
+    // Per-visit exclusion sets; see ChordNetwork::StepResilient for the
+    // dead-vs-dropped retransmission policy. Visit-local, so they never
+    // cross a message boundary.
+    std::vector<uint64_t> dead_here;
+    std::vector<uint64_t> dropped_here;
     int retries_here = 0;
 
     while (true) {
@@ -680,7 +741,8 @@ Status PastryNetwork::LookupResilient(
 
       if (deliver_here || next == kNoEntry) {
         // Key within our own span, or nothing known makes progress.
-        return finish(current, hops_taken, /*delivered=*/true);
+        finish(current, cursor.hops_taken, /*delivered=*/true);
+        return;
       }
       // Entering R3 is a per-lookup latch, but only once the chosen hop
       // actually happens — a failed attempt must not flip the mode the
@@ -699,14 +761,14 @@ Status PastryNetwork::LookupResilient(
         ++out.failstop_skips;
         dead_here.push_back(next);
         failed = true;
-      } else if (faults.DropForward(key, current, next, attempt++)) {
+      } else if (faults.DropForward(key, current, next, cursor.attempt++)) {
         ++out.dropped_forwards;
         dropped_here.push_back(next);
         failed = true;
       }
 
       if (!failed) {
-        if (numeric_hop) numeric_mode = true;
+        if (numeric_hop) cursor.numeric_mode = true;
         if (next_kind == HopEntryKind::kAuxiliary) ++out.aux_hops;
         if (trace != nullptr) {
           trace->path.push_back({current, next, next_kind,
@@ -714,25 +776,27 @@ Status PastryNetwork::LookupResilient(
                                  /*retried=*/retries_here > 0});
         }
         if (timed) {
-          const double ms = latency->HopLatencyMs(key, current, next, spent);
+          const double ms =
+              latency->HopLatencyMs(key, current, next, cursor.spent);
           out.latency_ms += ms;
           if (trace != nullptr) trace->path.back().latency_ms = ms;
         }
         out.path.push_back(current);
-        ++hops_taken;
-        ++spent;
+        ++cursor.hops_taken;
+        ++cursor.spent;
         if (delivery_hop) {
           // R1's termination rule: the leaf-set member closest to the key
           // answers directly.
-          return finish(next, hops_taken, /*delivered=*/true);
+          finish(next, cursor.hops_taken, /*delivered=*/true);
+          return;
         }
-        current = next;
-        break;  // next node visit
+        cursor.current = next;
+        return;  // next node visit = next StepRoute
       }
 
       ++out.retries;
       ++retries_here;
-      ++spent;
+      ++cursor.spent;
       if (trace != nullptr) {
         trace->path.push_back({current, next, next_kind,
                                prefix_remaining(next), /*dropped=*/true,
@@ -744,17 +808,17 @@ Status PastryNetwork::LookupResilient(
         if (trace != nullptr) trace->path.back().latency_ms = ms;
       }
       if (!faults.config().retry) {
-        return finish(current, hops_taken, /*delivered=*/false);
+        finish(current, cursor.hops_taken, /*delivered=*/false);
+        return;
       }
       if (retries_here > faults.config().max_retries ||
-          spent > params_.max_route_hops) {
+          cursor.spent > params_.max_route_hops) {
         out.budget_exhausted = true;
-        return finish(current, hops_taken, /*delivered=*/false);
+        finish(current, cursor.hops_taken, /*delivered=*/false);
+        return;
       }
     }
   }
-  out.budget_exhausted = true;
-  return finish(current, params_.max_route_hops, /*delivered=*/false);
 }
 
 Result<RouteResult> PastryNetwork::Lookup(

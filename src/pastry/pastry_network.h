@@ -220,6 +220,69 @@ class PastryNetwork {
     tables.Prefetch(cursor.node->auxiliaries);
   }
 
+  /// One suspended lookup at node-visit granularity for the message-driven
+  /// runtime (src/net) — plain data only, so an in-flight route serializes
+  /// into a LOOKUP_STEP wire message and resumes at the next node's actor.
+  /// Covers both the fault-free and the resilient (FaultPlan) policies,
+  /// including the R1 delivery hop and the numeric-mode latch; one StepRoute
+  /// call performs exactly one node visit. See
+  /// chord::ChordNetwork::RouteCursor for the shared contract.
+  struct RouteCursor {
+    uint64_t current = 0;
+    uint64_t key = 0;
+    uint64_t truth = 0;
+    int hops_taken = 0;  ///< successful forwards (delivered path length)
+    int spent = 0;  ///< resilient hop budget: successful + failed attempts
+    int attempt = 0;  ///< resilient retransmission-decorrelation counter
+    bool numeric_mode = false;  ///< R3 latch (permanent once set)
+    bool resilient = false;
+    bool done = true;
+  };
+
+  /// Starts a route at `origin`: clears `out`, resolves ground truth, and
+  /// seeds the trace header. Same preconditions and statuses as LookupInto.
+  Status BeginRoute(uint64_t origin, uint64_t key, RouteCursor& cursor,
+                    RouteResult& out, RouteTrace* trace = nullptr,
+                    const fault::FaultPlan* faults = nullptr,
+                    const latency::LatencyModel* latency = nullptr) const;
+
+  /// Performs one node visit, accumulating into `out`. LookupInto is
+  /// implemented as BeginRoute + StepRoute-until-done, so the stepwise
+  /// route is byte-for-byte the direct one.
+  void StepRoute(RouteCursor& cursor, RouteResult& out,
+                 RouteTrace* trace = nullptr,
+                 const fault::FaultPlan* faults = nullptr,
+                 const latency::LatencyModel* latency = nullptr) const;
+
+  /// Step-wise ground-truth resolution for batched warmup: a lower-bound
+  /// bisection over the sorted live array, one probe per step. Identical
+  /// answer to ResponsibleNode (the insertion point is unique, and the
+  /// succ/pred tie-break is replayed verbatim at the end).
+  struct ResponsibleCursor {
+    uint64_t key = 0;
+    size_t lo = 0;  ///< bisection bounds on the insertion point
+    size_t hi = 0;
+    bool done = true;
+    uint64_t result = 0;
+  };
+
+  /// Positions `cursor` for `key`. Fails (cursor stays done) only when the
+  /// overlay is empty — the same precondition as ResponsibleNode.
+  Status BeginResponsible(uint64_t key, ResponsibleCursor& cursor) const;
+
+  /// One bisection probe; resolves the owner when the bounds meet. No-op
+  /// when the cursor is done.
+  void StepResponsible(ResponsibleCursor& cursor) const;
+
+  /// Prefetches the next probe's cache line.
+  void PrefetchResponsible(const ResponsibleCursor& cursor) const {
+    const std::vector<uint64_t>& live = store_.live_ids();
+    if (cursor.lo < cursor.hi) {
+      __builtin_prefetch(&live[cursor.lo + (cursor.hi - cursor.lo) / 2], 0,
+                         1);
+    }
+  }
+
   /// Rebuilds `id`'s routing rows and leaf set from live membership, with
   /// proximity-aware row filling (closest candidate per row), and prunes
   /// dead auxiliaries.
@@ -252,12 +315,11 @@ class PastryNetwork {
   Decision DecideNext(const PastryNode& node, uint64_t current, uint64_t key,
                       bool numeric_mode) const;
 
-  /// The retry-capable routing loop used when fault injection is enabled.
-  /// `truth` is the precomputed responsible node.
-  Status LookupResilient(uint64_t origin, uint64_t key, uint64_t truth,
-                         RouteResult& out, RouteTrace* trace,
-                         const fault::FaultPlan& faults,
-                         const latency::LatencyModel* latency) const;
+  /// One resilient node visit (the fault-gated retry loop of the classic
+  /// LookupResilient body), shared by StepRoute's resilient branch.
+  void StepResilient(RouteCursor& cursor, RouteResult& out, RouteTrace* trace,
+                     const fault::FaultPlan& faults,
+                     const latency::LatencyModel* latency) const;
 
   PastryParams params_;
   IdSpace space_;

@@ -325,6 +325,64 @@ TEST(KademliaNetwork, SingleNodeAnswersEverythingItself) {
   }
 }
 
+TEST(KademliaNetwork, BucketCapacityCapsMaterializedEntries) {
+  Rng rng(0xca9);
+  const std::vector<uint64_t> ids = rng.SampleDistinct(uint64_t{1} << 10, 256);
+
+  KademliaParams unbounded = SmallParams();
+  KademliaNetwork full(unbounded);
+  ASSERT_TRUE(full.BulkAdd(ids).ok());
+  full.StabilizeAll();
+
+  KademliaParams capped_params = SmallParams();
+  capped_params.bucket_capacity = 12;
+  KademliaNetwork capped(capped_params);
+  ASSERT_TRUE(capped.BulkAdd(ids).ok());
+  capped.StabilizeAll();
+
+  for (uint64_t id : ids) {
+    const KademliaNode& fnode = *full.GetNode(id);
+    const KademliaNode& cnode = *capped.GetNode(id);
+    EXPECT_LE(capped.BucketEntries(cnode).size(), 12u);
+    // Every non-empty class survives (the exactness floor), and each kept
+    // class is a subset of the unbounded class: the budget drops entries,
+    // never whole distance classes and never entries it didn't have.
+    ASSERT_EQ(capped.BucketCount(cnode), full.BucketCount(fnode));
+    for (size_t i = 0; i < full.BucketCount(fnode); ++i) {
+      const auto fb = full.Bucket(fnode, i);
+      const auto cb = capped.Bucket(cnode, i);
+      if (!fb.empty()) {
+        EXPECT_FALSE(cb.empty());
+      }
+      for (uint64_t entry : cb) {
+        EXPECT_TRUE(std::find(fb.begin(), fb.end(), entry) != fb.end());
+      }
+    }
+  }
+  // The cap is the point: strictly fewer live routing-table bytes than the
+  // unbounded tables (arena chunks are allocated in fixed blocks, so the
+  // used-word count is the honest measure).
+  EXPECT_LT(capped.MemoryUsage().table_bytes, full.MemoryUsage().table_bytes);
+}
+
+TEST(KademliaNetwork, BucketCapacityKeepsStableRoutingExact) {
+  Rng rng(0xcab);
+  const std::vector<uint64_t> ids = rng.SampleDistinct(uint64_t{1} << 10, 300);
+  KademliaParams params = SmallParams();
+  params.bucket_capacity = 10;  // one entry per class at bits = 10
+  KademliaNetwork net(params);
+  ASSERT_TRUE(net.BulkAdd(ids).ok());
+  net.StabilizeAll();
+  for (int i = 0; i < 400; ++i) {
+    const uint64_t origin = ids[rng.UniformU64(ids.size())];
+    const uint64_t key = rng.UniformU64(uint64_t{1} << 10);
+    auto route = net.Lookup(origin, key);
+    ASSERT_TRUE(route.ok());
+    EXPECT_TRUE(route->success);
+    EXPECT_EQ(route->destination, XorClosest(ids, key));
+  }
+}
+
 TEST(KademliaNetwork, HopBudgetCapsTheRoute) {
   KademliaParams params = SmallParams(8);
   params.max_route_hops = 0;  // any forward at all overruns the budget

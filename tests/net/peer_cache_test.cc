@@ -1,0 +1,228 @@
+// Persistent peer-cache properties: a record survives close/reopen exactly,
+// a torn write (partial record, flipped bytes) is rejected at Open instead
+// of being served, and collisions evict deterministically.
+#include "net/peer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace peercache::net {
+namespace {
+
+using proptest::Case;
+using proptest::RunProperty;
+
+std::string TempPath(const char* tag) {
+  static int counter = 0;
+  return ::testing::TempDir() + "peer_cache_" + tag + "_" +
+         std::to_string(counter++) + ".bin";
+}
+
+PeerRecord MakeRecord(uint64_t id, size_t n_aux, size_t n_freq) {
+  PeerRecord r;
+  r.node_id = id;
+  for (size_t i = 0; i < n_aux; ++i) {
+    r.auxiliaries.push_back(MixHash64(id ^ i));
+  }
+  for (size_t i = 0; i < n_freq; ++i) {
+    r.frequencies.emplace_back(MixHash64(id + i), i + 1);
+  }
+  return r;
+}
+
+TEST(PeerCacheTest, PutGetRoundTrips) {
+  const std::string path = TempPath("roundtrip");
+  auto cache = PeerCache::Create(path, PeerCacheConfig{});
+  ASSERT_TRUE(cache.ok()) << cache.status();
+  const PeerRecord rec = MakeRecord(42, 5, 10);
+  ASSERT_TRUE(cache->Put(rec).ok());
+  PeerRecord back;
+  ASSERT_TRUE(cache->Get(42, back));
+  EXPECT_EQ(back, rec);
+  EXPECT_FALSE(cache->Get(43, back));
+  std::remove(path.c_str());
+}
+
+TEST(PeerCacheTest, ReopenRecoversEveryRecord) {
+  auto outcome = RunProperty(21, 30, [](Case& c) -> std::string {
+    const std::string path = TempPath("reopen");
+    PeerCacheConfig config;
+    config.slot_count = static_cast<uint32_t>(c.Range("slots", 64, 256));
+    config.aux_capacity = static_cast<uint32_t>(c.Range("aux_cap", 1, 16));
+    config.freq_capacity = static_cast<uint32_t>(c.Range("freq_cap", 1, 32));
+    config.salt = c.Range("salt", 0, ~uint64_t{0} - 1);
+    const size_t n = c.Range("n", 1, 40);
+    // Records still resident after all puts (collisions may have evicted
+    // some); reopen must recover exactly this set.
+    std::vector<PeerRecord> resident;
+    size_t size_before = 0;
+    {
+      auto cache = PeerCache::Create(path, config);
+      if (!cache.ok()) return "create failed: " + cache.status().ToString();
+      std::vector<PeerRecord> put;
+      for (size_t i = 0; i < n; ++i) {
+        PeerRecord rec = MakeRecord(
+            1000 + i * 7, c.Range("n_aux", 0, config.aux_capacity),
+            c.Range("n_freq", 0, config.freq_capacity));
+        if (!cache->Put(rec).ok()) return "put failed";
+        put.push_back(std::move(rec));
+      }
+      if (!cache->Sync().ok()) return "sync failed";
+      size_before = cache->size();
+      for (PeerRecord& rec : put) {
+        PeerRecord back;
+        if (cache->Get(rec.node_id, back)) {
+          if (!(back == rec)) return "record changed before reopen";
+          resident.push_back(std::move(rec));
+        }
+      }
+      if (resident.size() != size_before) return "index/size mismatch";
+    }
+    auto cache = PeerCache::Open(path);
+    if (!cache.ok()) return "open failed: " + cache.status().ToString();
+    if (cache->stats().rejected != 0) return "clean file reported torn records";
+    if (cache->size() != size_before) {
+      return "recovered " + std::to_string(cache->size()) + " of " +
+             std::to_string(size_before) + " records";
+    }
+    for (const PeerRecord& rec : resident) {
+      PeerRecord back;
+      if (!cache->Get(rec.node_id, back)) return "record lost across reopen";
+      if (!(back == rec)) return "record changed across reopen";
+    }
+    std::remove(path.c_str());
+    return "";
+  });
+  EXPECT_TRUE(outcome.ok) << outcome.message << "\n  " << outcome.counterexample;
+}
+
+TEST(PeerCacheTest, TornWriteIsRejectedAtOpen) {
+  const std::string path = TempPath("torn");
+  PeerCacheConfig config;
+  config.slot_count = 32;
+  {
+    auto cache = PeerCache::Create(path, config);
+    ASSERT_TRUE(cache.ok());
+    ASSERT_TRUE(cache->Put(MakeRecord(7, 3, 3)).ok());
+    ASSERT_TRUE(cache->Sync().ok());
+  }
+  // Flip one byte in every slot's node-id field. The used slot's checksum
+  // now fails (a torn write); empty slots stay state-0 and stay empty.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    const size_t record_size = 24 + 8 * config.aux_capacity +
+                               16 * config.freq_capacity;
+    for (uint32_t slot = 0; slot < config.slot_count; ++slot) {
+      const std::streamoff off =
+          static_cast<std::streamoff>(40 + slot * record_size + 6);
+      f.seekg(off);
+      char byte = 0;
+      f.read(&byte, 1);
+      byte = static_cast<char>(byte ^ 0x5a);
+      f.seekp(off);
+      f.write(&byte, 1);
+    }
+  }
+  auto cache = PeerCache::Open(path);
+  ASSERT_TRUE(cache.ok()) << cache.status();
+  EXPECT_EQ(cache->stats().rejected, 1u);
+  EXPECT_EQ(cache->size(), 0u);
+  PeerRecord back;
+  EXPECT_FALSE(cache->Get(7, back));
+  std::remove(path.c_str());
+}
+
+TEST(PeerCacheTest, TruncatedFileIsRejected) {
+  const std::string path = TempPath("short");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "PC";  // not even a full header
+  }
+  EXPECT_FALSE(PeerCache::Open(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PeerCacheTest, HeaderCorruptionIsRejected) {
+  const std::string path = TempPath("header");
+  {
+    auto cache = PeerCache::Create(path, PeerCacheConfig{});
+    ASSERT_TRUE(cache.ok());
+  }
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(17);  // inside slot_count
+    const char byte = 0x7f;
+    f.write(&byte, 1);
+  }
+  EXPECT_FALSE(PeerCache::Open(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PeerCacheTest, ListsTruncateToFileCapacities) {
+  const std::string path = TempPath("capacity");
+  PeerCacheConfig config;
+  config.aux_capacity = 4;
+  config.freq_capacity = 3;
+  auto cache = PeerCache::Create(path, config);
+  ASSERT_TRUE(cache.ok());
+  const PeerRecord rec = MakeRecord(9, 10, 10);
+  ASSERT_TRUE(cache->Put(rec).ok());
+  PeerRecord back;
+  ASSERT_TRUE(cache->Get(9, back));
+  ASSERT_EQ(back.auxiliaries.size(), 4u);
+  ASSERT_EQ(back.frequencies.size(), 3u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(back.auxiliaries[i], rec.auxiliaries[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PeerCacheTest, CollisionsEvictInsteadOfGrowing) {
+  const std::string path = TempPath("evict");
+  PeerCacheConfig config;
+  config.slot_count = 8;  // window covers the whole file
+  auto cache = PeerCache::Create(path, config);
+  ASSERT_TRUE(cache.ok());
+  for (uint64_t id = 1; id <= 20; ++id) {
+    ASSERT_TRUE(cache->Put(MakeRecord(id, 2, 2)).ok());
+  }
+  EXPECT_EQ(cache->size(), 8u);
+  EXPECT_EQ(cache->stats().evictions, 12u);
+  // Survivors still round-trip.
+  size_t found = 0;
+  for (uint64_t id = 1; id <= 20; ++id) {
+    PeerRecord back;
+    if (cache->Get(id, back)) {
+      ++found;
+      EXPECT_EQ(back, MakeRecord(id, 2, 2));
+    }
+  }
+  EXPECT_EQ(found, 8u);
+  std::remove(path.c_str());
+}
+
+TEST(PeerCacheTest, OverwriteReplacesInPlace) {
+  const std::string path = TempPath("overwrite");
+  auto cache = PeerCache::Create(path, PeerCacheConfig{});
+  ASSERT_TRUE(cache.ok());
+  ASSERT_TRUE(cache->Put(MakeRecord(5, 2, 2)).ok());
+  const PeerRecord updated = MakeRecord(5, 6, 6);
+  ASSERT_TRUE(cache->Put(updated).ok());
+  EXPECT_EQ(cache->size(), 1u);
+  PeerRecord back;
+  ASSERT_TRUE(cache->Get(5, back));
+  EXPECT_EQ(back, updated);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace peercache::net

@@ -597,6 +597,75 @@ TEST(BatchedLookups, KademliaBatchedMatchesSingleLookup) {
       << "\n  counterexample: " << outcome.counterexample;
 }
 
+/// Batched-warmup differential body: resolve a random key list through the
+/// window-16 ResponsibleCursor engine and through the ResponsibleNode
+/// reference loop, and require identical owners key for key.
+template <typename Net>
+std::string CheckBatchedResponsibleMatches(const Net& net,
+                                           const Scenario& s) {
+  Rng rng(SplitSeed(s.work_seed, 0x726573));  // "res"
+  const size_t n_keys = 1 + s.queries * 9;
+  std::vector<uint64_t> keys(n_keys);
+  for (uint64_t& key : keys) key = rng.NextU64() & LowBitMask(s.bits);
+  std::vector<uint64_t> answers(n_keys);
+  const Status st = experiments::RunBatchedResponsible(
+      net, keys, /*window=*/16, std::span<uint64_t>(answers));
+  if (!st.ok()) return "RunBatchedResponsible failed: " + st.ToString();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const auto owner = net.ResponsibleNode(keys[i]);
+    if (!owner.ok()) {
+      return "ResponsibleNode failed: " + owner.status().ToString();
+    }
+    if (answers[i] != owner.value()) {
+      return "key " + U64(keys[i]) + ": batched owner " + U64(answers[i]) +
+             " vs ResponsibleNode " + U64(owner.value());
+    }
+  }
+  return "";
+}
+
+TEST(BatchedResponsible, ChordBatchedMatchesResponsibleNode) {
+  auto outcome = proptest::RunProperty(0xBA7D0, 40, [](proptest::Case& c) {
+    Scenario s = DrawScenario(c, /*with_crashes=*/true, /*with_faults=*/false);
+    chord::ChordParams params;
+    params.bits = s.bits;
+    chord::ChordNetwork net(params);
+    if (std::string err = Populate(net, s); !err.empty()) return err;
+    return CheckBatchedResponsibleMatches(net, s);
+  });
+  EXPECT_TRUE(outcome.ok)
+      << "case " << outcome.failing_case << ": " << outcome.message
+      << "\n  counterexample: " << outcome.counterexample;
+}
+
+TEST(BatchedResponsible, PastryBatchedMatchesResponsibleNode) {
+  auto outcome = proptest::RunProperty(0xBA7D1, 40, [](proptest::Case& c) {
+    Scenario s = DrawScenario(c, /*with_crashes=*/true, /*with_faults=*/false);
+    pastry::PastryParams params;
+    params.bits = s.bits;
+    pastry::PastryNetwork net(params, s.net_seed);
+    if (std::string err = Populate(net, s); !err.empty()) return err;
+    return CheckBatchedResponsibleMatches(net, s);
+  });
+  EXPECT_TRUE(outcome.ok)
+      << "case " << outcome.failing_case << ": " << outcome.message
+      << "\n  counterexample: " << outcome.counterexample;
+}
+
+TEST(BatchedResponsible, KademliaBatchedMatchesResponsibleNode) {
+  auto outcome = proptest::RunProperty(0xBA7D2, 40, [](proptest::Case& c) {
+    Scenario s = DrawScenario(c, /*with_crashes=*/true, /*with_faults=*/false);
+    kademlia::KademliaParams params;
+    params.bits = s.bits;
+    kademlia::KademliaNetwork net(params);
+    if (std::string err = Populate(net, s); !err.empty()) return err;
+    return CheckBatchedResponsibleMatches(net, s);
+  });
+  EXPECT_TRUE(outcome.ok)
+      << "case " << outcome.failing_case << ": " << outcome.message
+      << "\n  counterexample: " << outcome.counterexample;
+}
+
 TEST(FlatTables, KademliaFlatBucketsMatchNaiveModel) {
   // The trie-descent bucket fill over the sorted live array must retain,
   // per distance class, exactly what the naive model keeps: distribute all
