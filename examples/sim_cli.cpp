@@ -46,6 +46,16 @@ struct Args {
   int trace_sample = 0;  // 0 = pick a default when --trace-out is given
   std::string freq_mode = "observed";
   int audit_period = 4;
+  int freq_sketch_top = 0;  // 0 = exact tables (sketch mode off)
+  int sketch_width = 64;
+  int sketch_depth = 4;
+  std::string drift_kind = "none";
+  int drift_period = 0;
+  double drift_fraction = 0.25;
+  double drift_boost = 0.3;
+  uint64_t drift_seed = 97;
+  double budget_gamma = 0.0;
+  uint64_t budget_seed = 7;
   peercache::fault::FaultConfig faults;
   peercache::latency::LatencyConfig latency;
   std::string latency_matrix;
@@ -61,6 +71,10 @@ struct Args {
         "          [--duration SECONDS] [--threads T]\n"
         "          [--json-out FILE] [--trace-out FILE] [--trace-sample P]\n"
         "          [--freq-mode pool|observed] [--audit-period N]\n"
+        "          [--freq-sketch TOP] [--sketch-width W] [--sketch-depth D]\n"
+        "          [--drift none|rank-shuffle|flash-crowd] [--drift-period Q]\n"
+        "          [--drift-fraction F] [--drift-boost B] [--drift-seed S]\n"
+        "          [--budget-gamma G] [--budget-seed S]\n"
         "          [--fault-drop P] [--fault-fail P] [--fault-stale P]\n"
         "          [--fault-seed S] [--fault-retries N] [--no-fault-retries]\n"
         "          [--latency-base MS] [--latency-scale MS]\n"
@@ -82,6 +96,29 @@ struct Args {
         "  --audit-period N  cross-check incremental selections against\n"
         "                    from-scratch builds every Nth round (observed\n"
         "                    mode; default 4, 0 = never)\n"
+        "  --freq-sketch TOP bounded-memory frequency tables: TOP heavy-\n"
+        "                    hitter slots (space-saving) plus a count-min\n"
+        "                    sketch for the tail; 0 = exact tables (default,\n"
+        "                    byte-identical to historical output). Adds a\n"
+        "                    'freq_sketch' block to the telemetry document\n"
+        "  --sketch-width W  count-min counters per row (default 64,\n"
+        "                    rounded up to a power of two)\n"
+        "  --sketch-depth D  count-min rows (default 4)\n"
+        "  --drift KIND      popularity drift over the stable-mode query\n"
+        "                    stream: 'rank-shuffle' (gradual churn) or\n"
+        "                    'flash-crowd' (spikes); default 'none'\n"
+        "  --drift-period Q  queries per node per drift epoch (required to\n"
+        "                    enable drift)\n"
+        "  --drift-fraction F  rank positions re-shuffled per epoch\n"
+        "                    (rank-shuffle; default 0.25)\n"
+        "  --drift-boost B   probability mass diverted to the flash item\n"
+        "                    (flash-crowd; default 0.3)\n"
+        "  --drift-seed S    seed of the drift process (default 97)\n"
+        "  --budget-gamma G  redistribute the global auxiliary budget n*k\n"
+        "                    across nodes proportional to capacity^G\n"
+        "                    (Pareto-distributed capacities; 0 = uniform k\n"
+        "                    per node, the default)\n"
+        "  --budget-seed S   seed of the per-node capacities (default 7)\n"
         "  --json-out FILE   write a schema-versioned telemetry document\n"
         "  --trace-out FILE  write sampled route traces as JSONL\n"
         "  --trace-sample P  trace every P-th measured query per node\n"
@@ -155,6 +192,28 @@ struct Args {
         a.freq_mode = next("--freq-mode");
       } else if (!std::strcmp(argv[i], "--audit-period")) {
         a.audit_period = std::atoi(next("--audit-period"));
+      } else if (!std::strcmp(argv[i], "--freq-sketch")) {
+        a.freq_sketch_top = std::atoi(next("--freq-sketch"));
+      } else if (!std::strcmp(argv[i], "--sketch-width")) {
+        a.sketch_width = std::atoi(next("--sketch-width"));
+      } else if (!std::strcmp(argv[i], "--sketch-depth")) {
+        a.sketch_depth = std::atoi(next("--sketch-depth"));
+      } else if (!std::strcmp(argv[i], "--drift")) {
+        a.drift_kind = next("--drift");
+      } else if (!std::strcmp(argv[i], "--drift-period")) {
+        a.drift_period = std::atoi(next("--drift-period"));
+      } else if (!std::strcmp(argv[i], "--drift-fraction")) {
+        a.drift_fraction = std::atof(next("--drift-fraction"));
+      } else if (!std::strcmp(argv[i], "--drift-boost")) {
+        a.drift_boost = std::atof(next("--drift-boost"));
+      } else if (!std::strcmp(argv[i], "--drift-seed")) {
+        a.drift_seed =
+            static_cast<uint64_t>(std::atoll(next("--drift-seed")));
+      } else if (!std::strcmp(argv[i], "--budget-gamma")) {
+        a.budget_gamma = std::atof(next("--budget-gamma"));
+      } else if (!std::strcmp(argv[i], "--budget-seed")) {
+        a.budget_seed =
+            static_cast<uint64_t>(std::atoll(next("--budget-seed")));
       } else if (!std::strcmp(argv[i], "--fault-drop")) {
         a.faults.drop_prob = std::atof(next("--fault-drop"));
       } else if (!std::strcmp(argv[i], "--fault-fail")) {
@@ -201,6 +260,11 @@ struct Args {
       Usage(argv[0]);
     }
     if (a.freq_mode != "pool" && a.freq_mode != "observed") Usage(argv[0]);
+    if (a.freq_sketch_top < 0 || a.sketch_width < 2 || a.sketch_depth < 1) {
+      Usage(argv[0]);
+    }
+    workload::DriftKind parsed_kind;
+    if (!workload::ParseDriftKind(a.drift_kind, &parsed_kind)) Usage(argv[0]);
     if (a.n < 2) Usage(argv[0]);
     if (a.trace_sample == 0 && !a.trace_out.empty()) a.trace_sample = 100;
     return a;
@@ -230,6 +294,18 @@ int main(int argc, char** argv) {
   cfg.faults = args.faults;
   cfg.latency = args.latency;
   cfg.report_memory = args.report_memory;
+  if (args.freq_sketch_top > 0) {
+    cfg.freq_sketch.top_capacity = static_cast<size_t>(args.freq_sketch_top);
+    cfg.freq_sketch.cm_width = static_cast<size_t>(args.sketch_width);
+    cfg.freq_sketch.cm_depth = args.sketch_depth;
+  }
+  (void)workload::ParseDriftKind(args.drift_kind, &cfg.drift.kind);
+  cfg.drift.period = args.drift_period;
+  cfg.drift.shuffle_fraction = args.drift_fraction;
+  cfg.drift.flash_boost = args.drift_boost;
+  cfg.drift.seed = args.drift_seed;
+  cfg.budget_gamma = args.budget_gamma;
+  cfg.budget_seed = args.budget_seed;
   if (!args.latency_matrix.empty()) {
     Result<latency::PingMatrix> m =
         latency::LoadPingMatrixFile(args.latency_matrix);

@@ -5,33 +5,62 @@
 
 namespace peercache::auxsel {
 
-FrequencyTable::FrequencyTable(size_t capacity)
-    : capacity_(capacity), bounded_(capacity == 0 ? 1 : capacity) {}
+FrequencyTable::FrequencyTable(size_t capacity, const FreqSketchParams& sketch)
+    : mode_(sketch.enabled()
+                ? Mode::kSketch
+                : (capacity > 0 ? Mode::kBounded : Mode::kExact)),
+      capacity_(capacity),
+      sketch_params_(sketch),
+      bounded_(capacity == 0 ? 1 : capacity),
+      top_(sketch.enabled() ? sketch.top_capacity : 1),
+      cm_(sketch.enabled() ? sketch.cm_width : 2,
+          sketch.enabled() ? sketch.cm_depth : 1, sketch.seed) {}
 
 void FrequencyTable::Record(uint64_t peer_id, uint64_t weight) {
   total_ += weight;
   dirty_.insert(peer_id);
-  if (capacity_ == 0) {
-    exact_[peer_id] += static_cast<double>(weight);
-  } else {
-    bounded_.Offer(peer_id, weight);
+  uint64_t evicted = 0;
+  switch (mode_) {
+    case Mode::kExact:
+      exact_[peer_id] += static_cast<double>(weight);
+      break;
+    case Mode::kBounded:
+      // An eviction silently zeroes the victim's estimate; dirty it so
+      // maintainers replace the stale weight next drain.
+      if (bounded_.Offer(peer_id, weight, &evicted)) dirty_.insert(evicted);
+      break;
+    case Mode::kSketch:
+      cm_.Add(peer_id, weight);
+      if (top_.Offer(peer_id, weight, &evicted)) dirty_.insert(evicted);
+      break;
   }
 }
 
 bool FrequencyTable::Forget(uint64_t peer_id) {
   dirty_.insert(peer_id);
-  if (capacity_ == 0) {
-    exact_.erase(peer_id);
-    return true;
+  switch (mode_) {
+    case Mode::kExact:
+      exact_.erase(peer_id);
+      return true;
+    case Mode::kBounded:
+      // Zero the Space-Saving slot so the departed peer becomes the next
+      // eviction victim, and report that a true removal did not apply.
+      return !bounded_.Reset(peer_id);
+    case Mode::kSketch: {
+      // Zero the summary slot and compensate the count-min counters so the
+      // peer's estimate — and hence ObservedWeight — reads zero. Records
+      // after this start from zero again (absolute, not stale, weights).
+      const bool tracked = top_.Reset(peer_id);
+      cm_.Forget(peer_id);
+      return !tracked;
+    }
   }
-  // Bounded mode: zero the Space-Saving slot so the departed peer becomes
-  // the next eviction victim, and report that a true removal did not apply.
-  return !bounded_.Reset(peer_id);
+  return true;  // unreachable
 }
 
 void FrequencyTable::Decay(double factor) {
   assert(factor > 0 && factor <= 1);
-  if (capacity_ != 0) return;
+  if (mode_ != Mode::kExact) return;
   for (auto& [id, f] : exact_) {
     f *= factor;
     dirty_.insert(id);
@@ -39,15 +68,36 @@ void FrequencyTable::Decay(double factor) {
 }
 
 size_t FrequencyTable::distinct() const {
-  return capacity_ == 0 ? exact_.size() : bounded_.size();
+  switch (mode_) {
+    case Mode::kExact:
+      return exact_.size();
+    case Mode::kBounded:
+      return bounded_.size();
+    case Mode::kSketch:
+      return top_.size();
+  }
+  return 0;  // unreachable
 }
 
 double FrequencyTable::ObservedWeight(uint64_t peer_id) const {
-  if (capacity_ == 0) {
-    auto found = exact_.find(peer_id);
-    return found == exact_.end() ? 0.0 : found->second;
+  switch (mode_) {
+    case Mode::kExact: {
+      auto found = exact_.find(peer_id);
+      return found == exact_.end() ? 0.0 : found->second;
+    }
+    case Mode::kBounded:
+      return static_cast<double>(bounded_.EstimatedCount(peer_id));
+    case Mode::kSketch: {
+      // Both the summary count and the sketch estimate overestimate an
+      // insert-only stream, so their minimum is a tighter overestimate; it
+      // is exact whenever the summary never evicted.
+      const uint64_t est = cm_.Estimate(peer_id);
+      if (!top_.Contains(peer_id)) return static_cast<double>(est);
+      return static_cast<double>(
+          std::min(top_.EstimatedCount(peer_id), est));
+    }
   }
-  return static_cast<double>(bounded_.EstimatedCount(peer_id));
+  return 0.0;  // unreachable
 }
 
 std::vector<uint64_t> FrequencyTable::DrainDirty() {
@@ -59,17 +109,28 @@ std::vector<uint64_t> FrequencyTable::DrainDirty() {
 
 std::vector<PeerFreq> FrequencyTable::Snapshot(uint64_t exclude_self) const {
   std::vector<PeerFreq> out;
-  if (capacity_ == 0) {
-    out.reserve(exact_.size());
-    for (const auto& [id, f] : exact_) {
-      if (id == exclude_self) continue;
-      out.push_back(PeerFreq{id, f, -1});
-    }
-  } else {
-    for (const TopNEntry& e : bounded_.Entries()) {
-      if (e.key == exclude_self) continue;
-      out.push_back(PeerFreq{e.key, static_cast<double>(e.count), -1});
-    }
+  switch (mode_) {
+    case Mode::kExact:
+      out.reserve(exact_.size());
+      for (const auto& [id, f] : exact_) {
+        if (id == exclude_self) continue;
+        out.push_back(PeerFreq{id, f, -1});
+      }
+      break;
+    case Mode::kBounded:
+      for (const TopNEntry& e : bounded_.Entries()) {
+        if (e.key == exclude_self) continue;
+        out.push_back(PeerFreq{e.key, static_cast<double>(e.count), -1});
+      }
+      break;
+    case Mode::kSketch:
+      for (const FlatTopEntry& e : top_.Entries()) {
+        if (e.key == exclude_self) continue;
+        const uint64_t w = std::min(e.count, cm_.Estimate(e.key));
+        if (w == 0) continue;
+        out.push_back(PeerFreq{e.key, static_cast<double>(w), -1});
+      }
+      break;
   }
   return out;
 }
@@ -77,8 +138,22 @@ std::vector<PeerFreq> FrequencyTable::Snapshot(uint64_t exclude_self) const {
 void FrequencyTable::Clear() {
   exact_.clear();
   bounded_.Clear();
+  top_.Clear();
+  cm_.Clear();
   dirty_.clear();
   total_ = 0;
+}
+
+size_t FrequencyTable::SummaryMemoryBytes() const {
+  switch (mode_) {
+    case Mode::kExact:
+      return kTableOverheadBytes + exact_.size() * kExactEntryBytes;
+    case Mode::kBounded:
+      return kTableOverheadBytes + capacity_ * kBoundedSlotBytes;
+    case Mode::kSketch:
+      return kTableOverheadBytes + top_.MemoryBytes() + cm_.MemoryBytes();
+  }
+  return 0;  // unreachable
 }
 
 }  // namespace peercache::auxsel

@@ -7,46 +7,74 @@
 #include <vector>
 
 #include "auxsel/selection_types.h"
+#include "common/count_min.h"
 #include "common/top_n.h"
 
 namespace peercache::auxsel {
+
+/// Configuration for the bounded-memory sketch mode of FrequencyTable:
+/// a flat space-saving summary holds the `top_capacity` heavy hitters and a
+/// count-min sketch absorbs the tail. top_capacity == 0 disables the mode.
+struct FreqSketchParams {
+  size_t top_capacity = 0;  ///< Heavy-hitter slots; 0 = sketch mode off.
+  size_t cm_width = 64;     ///< Counters per sketch row (rounded up to 2^k).
+  int cm_depth = 4;         ///< Independent sketch rows.
+  uint64_t seed = 0x5eedUL; ///< Salts the sketch's row hashes.
+
+  bool enabled() const { return top_capacity > 0; }
+};
 
 /// Per-node access-frequency observer (paper Sec. III, "Implementation
 /// Considerations"): every query a node originates records the responsible
 /// peer that answered it; the accumulated table feeds the auxiliary-neighbor
 /// selection.
 ///
-/// Two modes:
-///  * unbounded (capacity == 0): exact counts in a hash map, with optional
-///    exponential decay so the table tracks shifting popularity;
+/// Three modes:
+///  * exact (capacity == 0, sketch off): exact counts in a hash map, with
+///    optional exponential decay so the table tracks shifting popularity;
 ///  * bounded (capacity > 0): the Space-Saving top-n summary the paper
 ///    suggests for storage-limited nodes — the resulting selection may be
 ///    slightly suboptimal because tail peers are dropped (studied in
-///    bench/ablation_topn).
+///    bench/ablation_topn);
+///  * sketch (sketch.enabled()): a compact space-saving summary for the
+///    heavy hitters backed by a count-min sketch for the tail. A tracked
+///    peer's weight is min(summary count, sketch estimate) — both
+///    overestimate an insert-only stream, so the min is a tighter
+///    overestimate, and it equals the exact count whenever the summary never
+///    evicted (top_capacity >= distinct peers). Memory is fixed at
+///    configuration time regardless of how many peers are observed
+///    (quantified in bench/freq_sketch; error model in docs/ALGORITHMS.md).
 ///
 /// The table also keeps a dirty set of peers whose weight changed since the
 /// last `DrainDirty()`, which is what lets an incremental maintainer
 /// (auxsel/maintainer.h) apply only the per-round frequency deltas instead
-/// of re-reading the whole table.
+/// of re-reading the whole table. Summary evictions dirty the victim too:
+/// its estimate silently dropped to zero, and a maintainer that missed the
+/// eviction would otherwise keep the stale weight forever.
 class FrequencyTable {
  public:
-  /// capacity == 0 keeps exact counts for every peer ever seen.
-  explicit FrequencyTable(size_t capacity = 0);
+  /// capacity == 0 keeps exact counts for every peer ever seen. When
+  /// `sketch.enabled()`, the sketch mode takes precedence over `capacity`.
+  explicit FrequencyTable(size_t capacity = 0,
+                          const FreqSketchParams& sketch = {});
 
   /// Records one query answered by `peer_id`.
   void Record(uint64_t peer_id, uint64_t weight = 1);
 
   /// Drops a peer from the table (e.g., observed to have left the overlay).
-  /// Returns true when the entry was fully removed (unbounded mode, or the
-  /// peer was never tracked). In bounded mode Space-Saving has no deletion;
-  /// the entry's count is zeroed instead — making it the next eviction
-  /// victim rather than pinning the slot forever — and Forget returns
-  /// false so the caller knows to push a frequency-zero update into any
-  /// selector state derived from this table.
+  /// Returns true when the entry was fully removed (exact mode, or the
+  /// peer was never tracked). In bounded and sketch modes the summary has no
+  /// true deletion; the entry's count is zeroed (making it the next eviction
+  /// victim rather than pinning the slot forever) — and in sketch mode the
+  /// count-min counters are compensated so the peer's estimate reads zero —
+  /// then Forget returns false so the caller knows to push a frequency-zero
+  /// update into any selector state derived from this table. Either way,
+  /// subsequent Records start from zero: a drain after Forget always yields
+  /// absolute weights, never the pre-Forget count.
   bool Forget(uint64_t peer_id);
 
   /// Multiplies every exact count by `factor` in (0, 1]; lets long-running
-  /// nodes favor recent popularity. No-op in bounded mode.
+  /// nodes favor recent popularity. No-op in bounded and sketch modes.
   void Decay(double factor);
 
   /// Number of distinct peers currently tracked.
@@ -64,15 +92,41 @@ class FrequencyTable {
   std::vector<uint64_t> DrainDirty();
 
   /// Exports the table as selector input peers. Never includes
-  /// `exclude_self`.
+  /// `exclude_self`. In sketch mode the entries are the heavy-hitter
+  /// summary with zero-weight slots skipped, ordered by weight descending
+  /// with ties broken by ascending id — deterministic at any thread count.
   std::vector<PeerFreq> Snapshot(uint64_t exclude_self) const;
 
   void Clear();
 
+  bool sketch_enabled() const { return sketch_params_.enabled(); }
+  const FreqSketchParams& sketch_params() const { return sketch_params_; }
+
+  /// Modeled per-node footprint of the frequency summary, in bytes. The
+  /// model is platform-invariant so telemetry stays bit-identical across
+  /// toolchains: exact mode costs kExactEntryBytes per distinct peer,
+  /// bounded mode kBoundedSlotBytes per configured slot, sketch mode the
+  /// flat summary slots plus the count-min counter matrix; all plus a fixed
+  /// kTableOverheadBytes. The dirty buffer is excluded: it is the shared
+  /// maintainer delta feed, identical across modes and drained every round.
+  size_t SummaryMemoryBytes() const;
+
+  /// Model constants for SummaryMemoryBytes (documented in
+  /// docs/OBSERVABILITY.md).
+  static constexpr size_t kExactEntryBytes = 48;
+  static constexpr size_t kBoundedSlotBytes = 88;
+  static constexpr size_t kTableOverheadBytes = 64;
+
  private:
+  enum class Mode { kExact, kBounded, kSketch };
+
+  Mode mode_;
   size_t capacity_;
+  FreqSketchParams sketch_params_;
   std::unordered_map<uint64_t, double> exact_;
   SpaceSaving bounded_;
+  SpaceSavingFlat top_;
+  CountMinSketch cm_;
   std::unordered_set<uint64_t> dirty_;
   uint64_t total_ = 0;
 };

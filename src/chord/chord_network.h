@@ -25,6 +25,9 @@ struct ChordParams {
   int successor_list_size = 8;
   /// Capacity of each node's frequency table; 0 = unbounded exact counts.
   size_t frequency_capacity = 0;
+  /// Bounded-memory sketch mode for per-node frequency tables
+  /// (auxsel::FreqSketchParams); disabled by default.
+  auxsel::FreqSketchParams freq_sketch;
   /// Safety cap on route length before a lookup is declared failed.
   int max_route_hops = 256;
 };
@@ -57,7 +60,9 @@ struct ChordNode {
   /// originated (feeds auxiliary selection).
   auxsel::FrequencyTable frequencies;
 
-  explicit ChordNode(size_t freq_capacity) : frequencies(freq_capacity) {}
+  explicit ChordNode(size_t freq_capacity,
+                     const auxsel::FreqSketchParams& sketch = {})
+      : frequencies(freq_capacity, sketch) {}
 };
 
 /// God's-eye event-driven Chord overlay: nodes, routing, stabilization.

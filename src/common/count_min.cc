@@ -1,0 +1,161 @@
+#include "common/count_min.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "common/random.h"
+
+namespace peercache {
+
+namespace {
+
+size_t RoundUpPow2(size_t x) {
+  size_t p = 2;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+uint32_t SaturatingAdd32(uint32_t a, uint64_t b) {
+  uint64_t sum = static_cast<uint64_t>(a) + b;
+  constexpr uint64_t kMax = std::numeric_limits<uint32_t>::max();
+  return static_cast<uint32_t>(std::min(sum, kMax));
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(size_t width, int depth, uint64_t seed)
+    : width_(RoundUpPow2(width)), depth_(depth), seed_(seed) {
+  assert(depth >= 1);
+  row_salts_.reserve(static_cast<size_t>(depth_));
+  for (int row = 0; row < depth_; ++row) {
+    row_salts_.push_back(SplitSeed(seed_, static_cast<uint64_t>(row)));
+  }
+  table_.assign(width_ * static_cast<size_t>(depth_), 0);
+}
+
+size_t CountMinSketch::RowIndex(int row, uint64_t key) const {
+  const uint64_t h = MixHash64(key ^ row_salts_[static_cast<size_t>(row)]);
+  return static_cast<size_t>(row) * width_ + (h & (width_ - 1));
+}
+
+void CountMinSketch::Add(uint64_t key, uint64_t weight) {
+  stream_length_ += weight;
+  for (int row = 0; row < depth_; ++row) {
+    uint32_t& cell = table_[RowIndex(row, key)];
+    cell = SaturatingAdd32(cell, weight);
+  }
+}
+
+uint64_t CountMinSketch::Estimate(uint64_t key) const {
+  uint32_t est = std::numeric_limits<uint32_t>::max();
+  for (int row = 0; row < depth_; ++row) {
+    est = std::min(est, table_[RowIndex(row, key)]);
+  }
+  return est;
+}
+
+void CountMinSketch::Forget(uint64_t key) {
+  const uint64_t est = Estimate(key);
+  if (est == 0) return;
+  for (int row = 0; row < depth_; ++row) {
+    uint32_t& cell = table_[RowIndex(row, key)];
+    // est is the row-wise minimum, so every cell holds at least est.
+    cell -= static_cast<uint32_t>(est);
+  }
+}
+
+void CountMinSketch::Merge(const CountMinSketch& other) {
+  assert(width_ == other.width_ && depth_ == other.depth_ &&
+         seed_ == other.seed_);
+  for (size_t i = 0; i < table_.size(); ++i) {
+    table_[i] = SaturatingAdd32(table_[i], other.table_[i]);
+  }
+  stream_length_ += other.stream_length_;
+}
+
+void CountMinSketch::Clear() {
+  std::fill(table_.begin(), table_.end(), 0);
+  stream_length_ = 0;
+}
+
+SpaceSavingFlat::SpaceSavingFlat(size_t capacity) : capacity_(capacity) {
+  assert(capacity >= 1);
+  slots_.reserve(capacity);
+}
+
+int SpaceSavingFlat::FindSlot(uint64_t key) const {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].key == key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int SpaceSavingFlat::MinSlot() const {
+  int best = 0;
+  for (size_t i = 1; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    const Slot& b = slots_[static_cast<size_t>(best)];
+    if (s.count < b.count || (s.count == b.count && s.key < b.key)) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+bool SpaceSavingFlat::Offer(uint64_t key, uint64_t weight,
+                            uint64_t* evicted_key) {
+  stream_length_ += weight;
+  int idx = FindSlot(key);
+  if (idx >= 0) {
+    slots_[static_cast<size_t>(idx)].count += weight;
+    return false;
+  }
+  if (slots_.size() < capacity_) {
+    slots_.push_back(Slot{key, weight, 0});
+    return false;
+  }
+  // Evict the minimum-count slot (smallest key among ties); the newcomer
+  // inherits its count as the overestimation error.
+  Slot& victim = slots_[static_cast<size_t>(MinSlot())];
+  if (evicted_key != nullptr) *evicted_key = victim.key;
+  const uint64_t min_count = victim.count;
+  victim.key = key;
+  victim.error = min_count;
+  victim.count = min_count + weight;
+  return true;
+}
+
+uint64_t SpaceSavingFlat::EstimatedCount(uint64_t key) const {
+  int idx = FindSlot(key);
+  return idx < 0 ? 0 : slots_[static_cast<size_t>(idx)].count;
+}
+
+std::vector<FlatTopEntry> SpaceSavingFlat::Entries() const {
+  std::vector<FlatTopEntry> out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    out.push_back(FlatTopEntry{s.key, s.count, s.error});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlatTopEntry& a, const FlatTopEntry& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.key < b.key;
+            });
+  return out;
+}
+
+bool SpaceSavingFlat::Reset(uint64_t key) {
+  int idx = FindSlot(key);
+  if (idx < 0) return false;
+  slots_[static_cast<size_t>(idx)].count = 0;
+  slots_[static_cast<size_t>(idx)].error = 0;
+  return true;
+}
+
+void SpaceSavingFlat::Clear() {
+  slots_.clear();
+  stream_length_ = 0;
+}
+
+}  // namespace peercache

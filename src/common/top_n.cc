@@ -10,23 +10,24 @@ SpaceSaving::SpaceSaving(size_t capacity) : capacity_(capacity) {
   index_.reserve(capacity * 2);
 }
 
-void SpaceSaving::Offer(uint64_t key, uint64_t weight) {
+bool SpaceSaving::Offer(uint64_t key, uint64_t weight, uint64_t* evicted_key) {
   stream_length_ += weight;
   auto found = index_.find(key);
   if (found != index_.end()) {
     found->second->count += weight;
     Resort(found->second);
-    return;
+    return false;
   }
   if (entries_.size() < capacity_) {
     auto it = entries_.insert(entries_.begin(), Node{key, weight, 0});
     index_.emplace(key, it);
     Resort(it);
-    return;
+    return false;
   }
   // Evict the minimum-count entry; the newcomer inherits its count as the
   // overestimation error (classic Space-Saving replacement rule).
   auto min_it = entries_.begin();
+  if (evicted_key != nullptr) *evicted_key = min_it->key;
   index_.erase(min_it->key);
   uint64_t min_count = min_it->count;
   min_it->key = key;
@@ -34,6 +35,7 @@ void SpaceSaving::Offer(uint64_t key, uint64_t weight) {
   min_it->count = min_count + weight;
   index_.emplace(key, min_it);
   Resort(min_it);
+  return true;
 }
 
 void SpaceSaving::Resort(List::iterator it) {

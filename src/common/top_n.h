@@ -36,8 +36,13 @@ class SpaceSaving {
   /// Creates a summary tracking at most `capacity` >= 1 distinct keys.
   explicit SpaceSaving(size_t capacity);
 
-  /// Processes one occurrence of `key` (optionally weighted).
-  void Offer(uint64_t key, uint64_t weight = 1);
+  /// Processes one occurrence of `key` (optionally weighted). If admitting
+  /// `key` evicted another key's slot, stores the victim in `*evicted_key`
+  /// (when non-null) and returns true; the victim's estimate silently drops
+  /// to zero, so callers maintaining derived state (dirty sets, selector
+  /// deltas) must invalidate it. Returns false when nothing was evicted.
+  bool Offer(uint64_t key, uint64_t weight, uint64_t* evicted_key);
+  void Offer(uint64_t key, uint64_t weight = 1) { Offer(key, weight, nullptr); }
 
   /// Number of currently tracked keys (<= capacity).
   size_t size() const { return entries_.size(); }

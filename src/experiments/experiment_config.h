@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "auxsel/frequency_table.h"
 #include "common/fault.h"
 #include "common/flat_table_arena.h"
 #include "common/latency.h"
@@ -14,6 +15,7 @@
 #include "common/stats.h"
 #include "common/trace.h"
 #include "experiments/cost_audit.h"
+#include "workload/drift.h"
 
 namespace peercache::experiments {
 
@@ -67,6 +69,28 @@ struct ExperimentConfig {
   int measure_queries_per_node = 200;
   /// Frequency-table capacity (0 = unbounded exact counts).
   size_t frequency_capacity = 0;
+  /// Bounded-memory sketch mode for every node's frequency table
+  /// (auxsel::FreqSketchParams: space-saving top-k + count-min tail).
+  /// Disabled by default; when enabled it takes precedence over
+  /// `frequency_capacity` and gates the telemetry document's "freq_sketch"
+  /// block. Selection stays bit-identical at any thread count because the
+  /// summary's tie-breaking is deterministic.
+  auxsel::FreqSketchParams freq_sketch;
+  /// Popularity-drift model applied to the stable-mode warmup and
+  /// measurement query streams (workload::DriftConfig; docs/ALGORITHMS.md).
+  /// Disabled by default, which keeps the stationary workload and its
+  /// telemetry byte-identical. The two phases share one monotone per-node
+  /// query index, so drift continues across the warmup/measure boundary.
+  workload::DriftConfig drift;
+  /// Heterogeneous auxiliary budgets (Sarshar & Roychowdhury,
+  /// arXiv:cs/0210010): when > 0, the global budget n_nodes * k is
+  /// redistributed across nodes proportionally to c_i^budget_gamma, where
+  /// c_i is a seeded per-node Pareto capacity — instead of a fixed k per
+  /// node. 0 (default) keeps uniform budgets and byte-identical telemetry.
+  /// Applies to the stable-mode selection pass and the churn kPool rebuild
+  /// path; the incremental maintainers keep uniform k.
+  double budget_gamma = 0.0;
+  uint64_t budget_seed = 7;
   /// Chord successor-list length. The paper's Chord variant keeps only the
   /// immediate successor besides its fingers; longer lists are a robustness
   /// extension (they also strengthen the oblivious baseline).
@@ -114,6 +138,14 @@ struct ExperimentConfig {
   /// telemetry document's "memory" block. Off by default so existing
   /// documents stay byte-identical.
   bool report_memory = false;
+  /// Capture every node's end-of-run frequency snapshot and core neighbor
+  /// set into RunResult::freq_snapshots (ascending node id). Bench-only
+  /// plumbing for bench/freq_sketch's cross-evaluation — an exact run's
+  /// captures are the frequency reference that sketch-chosen auxiliary
+  /// sets are re-priced against under Eq. 1. Never serialized, so
+  /// telemetry is unaffected. Meaningful for exact-mode runs (a sketch
+  /// table's snapshot is its truncated summary, not the reference).
+  bool capture_freq_snapshots = false;
 };
 
 /// Churn-mode parameters (paper Sec. VI-C): nodes alternate between alive
@@ -189,6 +221,19 @@ struct ResilienceStats {
   }
 };
 
+/// One node's end-of-run frequency view, captured when
+/// ExperimentConfig::capture_freq_snapshots is set: the exact Snapshot the
+/// selector would see plus the node's core neighbor set — everything Eq. 1
+/// needs to re-price an arbitrary auxiliary set against this node's
+/// observed popularity. Destination frequencies are routing-independent
+/// (a lookup's responsible node is a function of the key alone), so an
+/// exact run's captures price any same-workload run's selections.
+struct FreqSnapshotCapture {
+  uint64_t node_id = 0;
+  std::vector<auxsel::PeerFreq> peers;
+  std::vector<uint64_t> core_ids;
+};
+
 /// Result of one run (one selector policy).
 struct RunResult {
   double avg_hops = 0.0;
@@ -249,6 +294,23 @@ struct RunResult {
   /// the captured footprint is thread-count invariant.
   bool memory_enabled = false;
   overlay::StoreMemoryStats memory;
+  /// True iff the run's frequency tables ran in sketch mode
+  /// (config.freq_sketch.enabled()). Gates the telemetry document's
+  /// "freq_sketch" block; off keeps output byte-identical to the committed
+  /// figures. The means below are ALWAYS computed (serially, over live
+  /// nodes in id order — cheap and thread-count invariant) so exact-mode
+  /// baselines can read their own footprint programmatically without
+  /// emitting it.
+  bool freq_sketch_enabled = false;
+  auxsel::FreqSketchParams freq_sketch_params;
+  /// Mean modeled per-node frequency-summary footprint
+  /// (FrequencyTable::SummaryMemoryBytes) and mean tracked-peer count at
+  /// the end of the run.
+  double freq_summary_bytes_mean = 0.0;
+  double freq_tracked_mean = 0.0;
+  /// Per-node frequency captures (config.capture_freq_snapshots), ascending
+  /// node id. Bench-only; never serialized.
+  std::vector<FreqSnapshotCapture> freq_snapshots;
 };
 
 /// Side-by-side comparison at identical seeds/workload.
@@ -266,6 +328,20 @@ struct Comparison {
 
 /// improvement = 100 * (oblivious - optimal) / oblivious.
 double ImprovementPct(double oblivious_hops, double optimal_hops);
+
+/// Heterogeneous auxiliary budgets (config.budget_gamma > 0): distributes
+/// the global budget ids.size() * config.k across nodes proportionally to
+/// c_i^budget_gamma, where c_i is a Pareto(1.5) capacity derived from
+/// MixHash64(SplitSeed(budget_seed, id)) — heavier gamma concentrates the
+/// budget on the most capable nodes (Sarshar & Roychowdhury,
+/// arXiv:cs/0210010). Returns one budget per entry of `ids` (aligned);
+/// budgets are non-negative, capped at ids.size() - 1 (a node cannot point
+/// at more peers than exist), and apportioned by largest remainder with
+/// deterministic id-order tie-breaking, so the result is a pure function of
+/// (config, ids) regardless of the order ids arrive in. With
+/// budget_gamma == 0 every node gets exactly config.k.
+std::vector<int> ComputeAuxiliaryBudgets(const ExperimentConfig& config,
+                                         const std::vector<uint64_t>& ids);
 
 }  // namespace peercache::experiments
 

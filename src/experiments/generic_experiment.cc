@@ -55,13 +55,16 @@ bool FrequencyAware(SelectorKind selector) {
 /// frequency — the cost model's promised frequency-weighted route length,
 /// audited against measured hops (experiments/cost_audit.h). NaN when no
 /// prediction exists (non-frequency-aware policies, or no observed peers).
+/// `k_budget` is this node's auxiliary budget — config.k everywhere except
+/// the heterogeneous-budget sweep (config.budget_gamma > 0), where
+/// ComputeAuxiliaryBudgets redistributes the global budget across nodes.
 template <typename Policy>
 Status InstallAuxiliaries(typename Policy::Network& net, uint64_t node_id,
                           SelectorKind selector, const ExperimentConfig& config,
                           const latency::LatencyModel* latency,
                           Rng& selection_rng,
                           const std::vector<auxsel::PeerFreq>& peer_pool,
-                          std::vector<uint64_t>& chosen_out,
+                          int k_budget, std::vector<uint64_t>& chosen_out,
                           double* predicted_hops = nullptr) {
   chosen_out.clear();
   if (predicted_hops != nullptr) {
@@ -76,7 +79,7 @@ Status InstallAuxiliaries(typename Policy::Network& net, uint64_t node_id,
   SelectionInput input;
   input.bits = net.params().bits;
   input.self_id = node_id;
-  input.k = config.k;
+  input.k = k_budget;
   input.core_ids = net.CoreNeighborIds(node_id);
 
   Result<auxsel::Selection> sel = [&]() -> Result<auxsel::Selection> {
@@ -148,13 +151,15 @@ Status InstallRound(ThreadPool& pool, typename Policy::Network& net,
                     const latency::LatencyModel* latency, uint64_t round_seed,
                     std::vector<double>& predicted) {
   const std::vector<auxsel::PeerFreq> peer_pool = ObliviousPool(ids);
+  const std::vector<int> budgets = ComputeAuxiliaryBudgets(config, ids);
   predicted.assign(ids.size(), std::numeric_limits<double>::quiet_NaN());
   std::vector<std::vector<uint64_t>> chosen(ids.size());
   if (Status s = internal::ParallelInstall(
           pool, ids, round_seed, [&](size_t i, uint64_t id, Rng& rng) {
             return InstallAuxiliaries<Policy>(net, id, selector, config,
                                               latency, rng, peer_pool,
-                                              chosen[i], &predicted[i]);
+                                              budgets[i], chosen[i],
+                                              &predicted[i]);
           });
       !s.ok()) {
     return s;
@@ -491,12 +496,16 @@ Result<RunResult> RunStable(const ExperimentConfig& config,
 
   // Warmup: every node observes which peer answers each of its queries.
   // In the stable overlay the responsible node is known without routing.
+  // With popularity drift enabled, warmup and measurement share one
+  // monotone per-node query index so the drift timeline spans both phases.
+  const workload::DriftModel* drift = workload.drift();
   PhaseTimer warmup_timer;
   {
     ScopedProfile span("stable.warmup");
     if (Status s = internal::ParallelWarmup(pool, net, node_ids,
                                             workload.queries(), seeds.warmup,
-                                            config.warmup_queries_per_node);
+                                            config.warmup_queries_per_node,
+                                            drift, 0);
         !s.ok()) {
       return s;
     }
@@ -533,7 +542,8 @@ Result<RunResult> RunStable(const ExperimentConfig& config,
     if (Status s = internal::ParallelMeasure(
             pool, net, node_ids, workload.queries(), seeds.measure,
             config.measure_queries_per_node, config.trace_sample_period,
-            predicted, result, plan.enabled() ? &plan : nullptr, latency);
+            predicted, result, plan.enabled() ? &plan : nullptr, latency,
+            drift, config.warmup_queries_per_node);
         !s.ok()) {
       return s;
     }
@@ -541,6 +551,7 @@ Result<RunResult> RunStable(const ExperimentConfig& config,
   result.measure_seconds = measure_timer.Seconds();
   internal::RecordPhaseTimers(result);
   internal::RecordResilienceMetrics(result);
+  internal::RecordFrequencySummary(net, node_ids, config, result);
   if (config.report_memory) {
     result.memory = net.MemoryUsage();
     result.memory_enabled = true;
@@ -734,6 +745,7 @@ Result<RunResult> RunChurn(const ExperimentConfig& config,
   internal::CollectAuxiliaries(net, net.LiveNodeIds(), result);
   obs.Finalize(result);
   RecordMaintenanceMetrics(result);
+  internal::RecordFrequencySummary(net, net.LiveNodeIds(), config, result);
   if (config.report_memory) {
     result.memory = net.MemoryUsage();
     result.memory_enabled = true;

@@ -2,11 +2,13 @@
 #define PEERCACHE_EXPERIMENTS_GENERIC_EXPERIMENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
 #include "experiments/experiment_config.h"
 #include "experiments/overlay_policy.h"
+#include "workload/drift.h"
 #include "workload/workload.h"
 
 namespace peercache::experiments {
@@ -31,16 +33,25 @@ class WorkloadBundle {
                     seeds.lists),
         queries_(items_, popularity_, seeds.assign) {
     queries_.AssignLists(node_ids);
+    if (config.drift.enabled()) {
+      drift_ = std::make_unique<workload::DriftModel>(items_, popularity_,
+                                                      config.drift);
+    }
   }
   WorkloadBundle(const WorkloadBundle&) = delete;
   WorkloadBundle& operator=(const WorkloadBundle&) = delete;
 
   workload::QueryWorkload& queries() { return queries_; }
 
+  /// The run's popularity-drift model, or null when config.drift is
+  /// disabled (the stationary workload).
+  const workload::DriftModel* drift() const { return drift_.get(); }
+
  private:
   workload::ItemSpace items_;
   workload::PopularityModel popularity_;
   workload::QueryWorkload queries_;
+  std::unique_ptr<workload::DriftModel> drift_;
 };
 
 /// Stable-mode run (paper Sec. VI-B/VI-C, "stable" series): build the

@@ -105,6 +105,42 @@ void WriteConfigJson(JsonWriter& w, const ExperimentConfig& config) {
     w.Key("fault_retry");
     w.Bool(config.faults.retry);
   }
+  // Sketch-mode knobs appear only when the bounded-memory frequency mode is
+  // on: exact-mode documents must stay byte-identical to the committed
+  // figures.
+  if (config.freq_sketch.enabled()) {
+    w.Key("freq_sketch_top_capacity");
+    w.UInt(config.freq_sketch.top_capacity);
+    w.Key("freq_sketch_cm_width");
+    w.UInt(config.freq_sketch.cm_width);
+    w.Key("freq_sketch_cm_depth");
+    w.Int(config.freq_sketch.cm_depth);
+    w.Key("freq_sketch_seed");
+    w.UInt(config.freq_sketch.seed);
+  }
+  // Popularity-drift knobs follow the same rule: absent for the stationary
+  // workload.
+  if (config.drift.enabled()) {
+    w.Key("drift_kind");
+    w.String(workload::DriftKindName(config.drift.kind));
+    w.Key("drift_period");
+    w.Int(config.drift.period);
+    w.Key("drift_shuffle_fraction");
+    w.Double(config.drift.shuffle_fraction);
+    w.Key("drift_flash_boost");
+    w.Double(config.drift.flash_boost);
+    w.Key("drift_max_epochs");
+    w.Int(config.drift.max_epochs);
+    w.Key("drift_seed");
+    w.UInt(config.drift.seed);
+  }
+  // Heterogeneous-budget knobs: absent for uniform per-node budgets.
+  if (config.budget_gamma > 0.0) {
+    w.Key("budget_gamma");
+    w.Double(config.budget_gamma);
+    w.Key("budget_seed");
+    w.UInt(config.budget_seed);
+  }
   // Latency-model knobs follow the same rule: absent unless the model is
   // enabled, so latency-off documents keep their historical shape.
   if (config.latency.enabled()) {
@@ -285,6 +321,27 @@ void WriteRunResultJson(JsonWriter& w, const RunResult& result) {
   if (result.latency_enabled) {
     w.Key("latency");
     WriteLatencyJson(w, result.latency_histogram);
+  }
+  // Sketch-mode frequency summary footprint (docs/OBSERVABILITY.md),
+  // present only for runs whose frequency tables ran in sketch mode —
+  // exact-mode documents carry no "freq_sketch" key and replay
+  // byte-identical to the committed figures. All figures are modeled bytes
+  // accumulated serially in node-id order: thread-count and platform
+  // invariant.
+  if (result.freq_sketch_enabled) {
+    w.Key("freq_sketch");
+    w.BeginObject();
+    w.Key("top_capacity");
+    w.UInt(result.freq_sketch_params.top_capacity);
+    w.Key("cm_width");
+    w.UInt(result.freq_sketch_params.cm_width);
+    w.Key("cm_depth");
+    w.Int(result.freq_sketch_params.cm_depth);
+    w.Key("summary_bytes_per_node");
+    w.Double(result.freq_summary_bytes_mean);
+    w.Key("tracked_per_node");
+    w.Double(result.freq_tracked_mean);
+    w.EndObject();
   }
   // Memory footprint (config.report_memory only — docs/OBSERVABILITY.md).
   // Arena mutations are serial, so these bytes are thread-count invariant;

@@ -34,6 +34,7 @@ ChordPolicy::Network ChordPolicy::MakeNetwork(const ExperimentConfig& config,
   chord::ChordParams params;
   params.bits = config.bits;
   params.frequency_capacity = config.frequency_capacity;
+  params.freq_sketch = config.freq_sketch;
   params.successor_list_size = config.successor_list_size;
   return Network(params);
 }
@@ -79,6 +80,7 @@ PastryPolicy::Network PastryPolicy::MakeNetwork(const ExperimentConfig& config,
   pastry::PastryParams params;
   params.bits = config.bits;
   params.frequency_capacity = config.frequency_capacity;
+  params.freq_sketch = config.freq_sketch;
   params.leaf_set_half = config.leaf_set_half;
   return Network(params, seeds.coords);
 }
@@ -123,6 +125,7 @@ KademliaPolicy::Network KademliaPolicy::MakeNetwork(
   kademlia::KademliaParams params;
   params.bits = config.bits;
   params.frequency_capacity = config.frequency_capacity;
+  params.freq_sketch = config.freq_sketch;
   return Network(params);
 }
 

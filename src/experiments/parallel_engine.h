@@ -20,6 +20,7 @@
 #include "common/thread_pool.h"
 #include "experiments/batch_engine.h"
 #include "experiments/experiment_config.h"
+#include "workload/drift.h"
 #include "workload/workload.h"
 
 /// Shared machinery of the parallel experiment engine: the per-node
@@ -108,21 +109,36 @@ inline constexpr int kWarmupResponsibleWindow = 16;
 /// ResponsibleNode's answer exactly and Record order is unchanged, so
 /// frequency tables (and everything downstream: selections, telemetry,
 /// goldens) are byte-identical to the unbatched loop at any thread count.
+///
+/// When `drift` names an enabled popularity-drift model each key is drawn
+/// from it instead, indexed by the node's monotone query counter offset by
+/// `drift_query_base` (so warmup and measure share one drift timeline). A
+/// null `drift` reproduces the stationary path byte-for-byte.
 template <typename Network>
 Status ParallelWarmup(ThreadPool& pool, Network& net,
                       const std::vector<uint64_t>& node_ids,
                       workload::QueryWorkload& queries, uint64_t warmup_seed,
-                      int queries_per_node) {
+                      int queries_per_node,
+                      const workload::DriftModel* drift = nullptr,
+                      int64_t drift_query_base = 0) {
   std::vector<Status> statuses(node_ids.size());
   pool.ParallelFor(0, node_ids.size(), 4, [&](size_t i) {
     const uint64_t origin = node_ids[i];
     auto* node = net.GetNode(origin);
     Rng rng(SplitSeed(warmup_seed, origin));
+    const int list = drift != nullptr ? queries.ListOf(origin) : 0;
     const size_t n = queries_per_node < 0 ? 0
                                           : static_cast<size_t>(
                                                 queries_per_node);
     std::vector<uint64_t> keys(n);
-    for (size_t q = 0; q < n; ++q) keys[q] = queries.SampleKey(origin, rng);
+    for (size_t q = 0; q < n; ++q) {
+      keys[q] = drift != nullptr
+                    ? drift->SampleKey(list,
+                                       drift_query_base +
+                                           static_cast<int64_t>(q),
+                                       rng)
+                    : queries.SampleKey(origin, rng);
+    }
     std::vector<uint64_t> answers(n);
     Status st = RunBatchedResponsible(net, keys, kWarmupResponsibleWindow,
                                       std::span<uint64_t>(answers));
@@ -169,7 +185,9 @@ Status ParallelMeasure(ThreadPool& pool, const Network& net,
                        const std::vector<double>& predicted_hops,
                        RunResult& result,
                        const fault::FaultPlan* faults = nullptr,
-                       const latency::LatencyModel* latency = nullptr) {
+                       const latency::LatencyModel* latency = nullptr,
+                       const workload::DriftModel* drift = nullptr,
+                       int64_t drift_query_base = 0) {
   struct Partial {
     Status status;
     uint64_t queries = 0;
@@ -191,12 +209,16 @@ Status ParallelMeasure(ThreadPool& pool, const Network& net,
     Partial& part = partials[i];
     MetricsShard& shard = registry.shard(i);
     Rng rng(SplitSeed(measure_seed, origin));
+    const int list = drift != nullptr ? queries.ListOf(origin) : 0;
     // One RouteResult per task, written into by every lookup: after the
     // path vector's capacity plateaus the measurement loop allocates
     // nothing per query.
     overlay::RouteResult route;
     for (int q = 0; q < queries_per_node; ++q) {
-      const uint64_t key = queries.SampleKey(origin, rng);
+      const uint64_t key =
+          drift != nullptr
+              ? drift->SampleKey(list, drift_query_base + q, rng)
+              : queries.SampleKey(origin, rng);
       const bool trace_this =
           trace_sample_period > 0 && q % trace_sample_period == 0;
       RouteTrace trace;
@@ -416,6 +438,43 @@ void CollectAuxiliaries(const Network& net, std::vector<uint64_t> ids,
     result.node_auxiliaries.emplace_back(
         id, std::vector<uint64_t>(aux.begin(), aux.end()));
   }
+}
+
+/// Records the run's frequency-summary footprint: mean modeled bytes and
+/// mean tracked peers per live node (ascending id — serial, so the figures
+/// are thread-count invariant). Always computed; the telemetry "freq_sketch"
+/// block only serializes when the run used sketch mode, so exact-mode
+/// documents stay byte-identical while baselines can still read their own
+/// footprint off the RunResult.
+template <typename Network>
+void RecordFrequencySummary(const Network& net, std::vector<uint64_t> ids,
+                            const ExperimentConfig& config, RunResult& result) {
+  std::sort(ids.begin(), ids.end());
+  double bytes = 0.0;
+  double tracked = 0.0;
+  uint64_t nodes = 0;
+  for (uint64_t id : ids) {
+    const auto* node = net.GetNode(id);
+    if (node == nullptr) continue;
+    bytes += static_cast<double>(node->frequencies.SummaryMemoryBytes());
+    tracked += static_cast<double>(node->frequencies.distinct());
+    ++nodes;
+    if (config.capture_freq_snapshots) {
+      FreqSnapshotCapture capture;
+      capture.node_id = id;
+      capture.peers = node->frequencies.Snapshot(id);
+      capture.core_ids = net.CoreNeighborIds(id);
+      result.freq_snapshots.push_back(std::move(capture));
+    }
+  }
+  if (nodes > 0) {
+    bytes /= static_cast<double>(nodes);
+    tracked /= static_cast<double>(nodes);
+  }
+  result.freq_sketch_enabled = config.freq_sketch.enabled();
+  result.freq_sketch_params = config.freq_sketch;
+  result.freq_summary_bytes_mean = bytes;
+  result.freq_tracked_mean = tracked;
 }
 
 }  // namespace peercache::experiments::internal

@@ -59,7 +59,7 @@ Status KademliaNetwork::AddNode(uint64_t id) {
   if (store_.IsAlive(id)) {
     return Status::InvalidArgument("live id already used");
   }
-  auto [node, inserted] = store_.Emplace(id, params_.frequency_capacity);
+  auto [node, inserted] = store_.Emplace(id, params_.frequency_capacity, params_.freq_sketch);
   node->id = id;
   node->alive = true;
   store_.tables().Clear(node->auxiliaries);
@@ -78,7 +78,7 @@ Status KademliaNetwork::BulkAdd(const std::vector<uint64_t>& ids) {
   }
   store_.Reserve(store_.size() + ids.size());
   for (uint64_t id : ids) {
-    auto [node, inserted] = store_.Emplace(id, params_.frequency_capacity);
+    auto [node, inserted] = store_.Emplace(id, params_.frequency_capacity, params_.freq_sketch);
     node->id = id;
     node->alive = true;
     store_.tables().Clear(node->auxiliaries);

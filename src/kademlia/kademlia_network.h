@@ -30,6 +30,9 @@ struct KademliaParams {
   int bucket_size = 8;
   /// Capacity of each node's frequency table; 0 = unbounded exact counts.
   size_t frequency_capacity = 0;
+  /// Bounded-memory sketch mode for per-node frequency tables
+  /// (auxsel::FreqSketchParams); disabled by default.
+  auxsel::FreqSketchParams freq_sketch;
   /// Safety cap on route length before a lookup is declared failed.
   int max_route_hops = 256;
   /// Total bucket entries materialized per node across every distance
@@ -74,7 +77,9 @@ struct KademliaNode {
   /// originated (feeds auxiliary selection).
   auxsel::FrequencyTable frequencies;
 
-  explicit KademliaNode(size_t freq_capacity) : frequencies(freq_capacity) {}
+  explicit KademliaNode(size_t freq_capacity,
+                     const auxsel::FreqSketchParams& sketch = {})
+      : frequencies(freq_capacity, sketch) {}
 };
 
 /// God's-eye iterative Kademlia overlay: nodes, XOR routing, stabilization.

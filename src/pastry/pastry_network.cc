@@ -42,7 +42,7 @@ Status PastryNetwork::AddNode(uint64_t id) {
   if (store_.IsAlive(id)) {
     return Status::InvalidArgument("live id already used");
   }
-  auto [node, inserted] = store_.Emplace(id, params_.frequency_capacity);
+  auto [node, inserted] = store_.Emplace(id, params_.frequency_capacity, params_.freq_sketch);
   node->id = id;
   if (inserted) {
     node->coord = Coord{coord_rng_.UniformDouble(),
@@ -65,7 +65,7 @@ Status PastryNetwork::BulkAdd(const std::vector<uint64_t>& ids) {
   }
   store_.Reserve(store_.size() + ids.size());
   for (uint64_t id : ids) {
-    auto [node, inserted] = store_.Emplace(id, params_.frequency_capacity);
+    auto [node, inserted] = store_.Emplace(id, params_.frequency_capacity, params_.freq_sketch);
     node->id = id;
     if (inserted) {
       node->coord = Coord{coord_rng_.UniformDouble(),

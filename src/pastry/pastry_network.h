@@ -27,6 +27,9 @@ struct PastryParams {
   int leaf_set_half = 4;
   /// Capacity of each node's frequency table; 0 = unbounded exact counts.
   size_t frequency_capacity = 0;
+  /// Bounded-memory sketch mode for per-node frequency tables
+  /// (auxsel::FreqSketchParams); disabled by default.
+  auxsel::FreqSketchParams freq_sketch;
   /// Safety cap on route length.
   int max_route_hops = 256;
   /// Routing-row candidate probes per row during stabilization. 0 (the
@@ -69,7 +72,9 @@ struct PastryNode {
   overlay::FlatList auxiliaries;
   auxsel::FrequencyTable frequencies;
 
-  explicit PastryNode(size_t freq_capacity) : frequencies(freq_capacity) {}
+  explicit PastryNode(size_t freq_capacity,
+                     const auxsel::FreqSketchParams& sketch = {})
+      : frequencies(freq_capacity, sketch) {}
 };
 
 /// God's-eye Pastry overlay simulator with FreePastry-style locality-aware

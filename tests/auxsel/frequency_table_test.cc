@@ -111,6 +111,74 @@ TEST(FrequencyTable, BoundedModeKeepsHeavyHitters) {
   }
 }
 
+TEST(FrequencyTable, DrainAfterForgetEmitsAbsoluteWeights) {
+  // Regression: a maintainer that drains after Forget must see the peer's
+  // post-Forget absolute weight, not the stale pre-Forget count. Before the
+  // fix, sketch mode left the departed peer's count-min mass in place, so a
+  // re-recorded peer reported old + new instead of new.
+  FreqSketchParams sketch;
+  sketch.top_capacity = 8;
+  sketch.cm_width = 64;
+  sketch.cm_depth = 4;
+  FrequencyTable tables[] = {FrequencyTable(), FrequencyTable(8),
+                             FrequencyTable(0, sketch)};
+  const char* labels[] = {"exact", "bounded", "sketch"};
+  for (int m = 0; m < 3; ++m) {
+    FrequencyTable& table = tables[m];
+    SCOPED_TRACE(labels[m]);
+    table.Record(7, 5);
+    (void)table.DrainDirty();
+    table.Forget(7);
+    table.Record(7, 3);
+    std::vector<uint64_t> dirty = table.DrainDirty();
+    EXPECT_TRUE(std::find(dirty.begin(), dirty.end(), 7u) != dirty.end())
+        << "re-recorded peer must be dirty";
+    EXPECT_DOUBLE_EQ(table.ObservedWeight(7), 3.0)
+        << "weight after Forget+Record must be absolute, not 5+3";
+  }
+}
+
+TEST(FrequencyTable, EvictionMarksVictimDirty) {
+  // When a bounded/sketch summary evicts peer A to admit peer B, a
+  // subsequent drain must include A (its reported weight changed to zero),
+  // or the maintainer would keep serving A's stale weight forever.
+  FrequencyTable bounded(1);
+  bounded.Record(1, 5);
+  (void)bounded.DrainDirty();
+  bounded.Record(2, 10);
+  EXPECT_EQ(bounded.DrainDirty(), (std::vector<uint64_t>{1, 2}));
+  EXPECT_DOUBLE_EQ(bounded.ObservedWeight(1), 0.0);
+
+  FreqSketchParams sketch;
+  sketch.top_capacity = 1;
+  sketch.cm_width = 64;
+  sketch.cm_depth = 4;
+  FrequencyTable table(0, sketch);
+  table.Record(1, 5);
+  (void)table.DrainDirty();
+  table.Record(2, 10);
+  EXPECT_EQ(table.DrainDirty(), (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(FrequencyTable, SketchModeReportsMemoryBudget) {
+  FreqSketchParams sketch;
+  sketch.top_capacity = 42;
+  sketch.cm_width = 16;
+  sketch.cm_depth = 2;
+  FrequencyTable table(0, sketch);
+  EXPECT_TRUE(table.sketch_enabled());
+  // 64 fixed + 42 top slots x 24 B + 16x2 counters x 4 B = 1200: the
+  // headline tier of bench/freq_sketch.
+  EXPECT_EQ(table.SummaryMemoryBytes(), 1200u);
+  // Exact-mode memory grows with distinct peers instead.
+  FrequencyTable exact;
+  exact.Record(1);
+  exact.Record(2);
+  EXPECT_EQ(exact.SummaryMemoryBytes(),
+            FrequencyTable::kTableOverheadBytes +
+                2 * FrequencyTable::kExactEntryBytes);
+}
+
 TEST(FrequencyTable, ClearResets) {
   FrequencyTable table(4);
   table.Record(1);

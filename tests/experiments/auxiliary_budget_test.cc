@@ -1,0 +1,112 @@
+// Heterogeneous auxiliary-budget tests: ComputeAuxiliaryBudgets must
+// conserve the global budget n*k, stay within per-node caps, and be a pure
+// function of (config, ids) regardless of id arrival order.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "experiments/experiment_config.h"
+
+namespace peercache::experiments {
+namespace {
+
+std::vector<uint64_t> SampleIds(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  return rng.SampleDistinct(uint64_t{1} << 32, n);
+}
+
+TEST(AuxiliaryBudgets, GammaZeroIsUniform) {
+  ExperimentConfig config;
+  config.k = 7;
+  config.budget_gamma = 0.0;
+  const auto ids = SampleIds(33, 11);
+  const std::vector<int> budgets = ComputeAuxiliaryBudgets(config, ids);
+  ASSERT_EQ(budgets.size(), ids.size());
+  for (int b : budgets) EXPECT_EQ(b, 7);
+}
+
+TEST(AuxiliaryBudgets, GlobalBudgetIsConserved) {
+  ExperimentConfig config;
+  config.k = 10;
+  for (double gamma : {0.5, 0.75, 1.0, 1.5, 3.0}) {
+    config.budget_gamma = gamma;
+    const auto ids = SampleIds(128, 21);
+    const std::vector<int> budgets = ComputeAuxiliaryBudgets(config, ids);
+    ASSERT_EQ(budgets.size(), ids.size());
+    const int total = std::accumulate(budgets.begin(), budgets.end(), 0);
+    EXPECT_EQ(total, static_cast<int>(ids.size()) * config.k)
+        << "gamma " << gamma << " leaked budget";
+    for (int b : budgets) {
+      EXPECT_GE(b, 0);
+      EXPECT_LE(b, static_cast<int>(ids.size()) - 1)
+          << "a node cannot point at more peers than exist";
+    }
+  }
+}
+
+TEST(AuxiliaryBudgets, ResultIsIndependentOfIdOrder) {
+  ExperimentConfig config;
+  config.k = 10;
+  config.budget_gamma = 1.5;
+  std::vector<uint64_t> ids = SampleIds(64, 31);
+  const std::vector<int> forward = ComputeAuxiliaryBudgets(config, ids);
+
+  std::vector<uint64_t> shuffled = ids;
+  Rng rng(99);
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.UniformU64(i)]);
+  }
+  ASSERT_NE(shuffled, ids) << "shuffle degenerated";
+  const std::vector<int> permuted = ComputeAuxiliaryBudgets(config, shuffled);
+
+  std::map<uint64_t, int> by_id;
+  for (size_t i = 0; i < ids.size(); ++i) by_id[ids[i]] = forward[i];
+  for (size_t i = 0; i < shuffled.size(); ++i) {
+    EXPECT_EQ(permuted[i], by_id[shuffled[i]])
+        << "budget of id " << shuffled[i] << " depends on arrival order";
+  }
+}
+
+TEST(AuxiliaryBudgets, HeavierGammaConcentratesTheBudget) {
+  ExperimentConfig config;
+  config.k = 10;
+  const auto ids = SampleIds(256, 41);
+  config.budget_gamma = 0.5;
+  const std::vector<int> mild = ComputeAuxiliaryBudgets(config, ids);
+  config.budget_gamma = 2.0;
+  const std::vector<int> heavy = ComputeAuxiliaryBudgets(config, ids);
+  EXPECT_GT(*std::max_element(heavy.begin(), heavy.end()),
+            *std::max_element(mild.begin(), mild.end()))
+      << "raising gamma should hand the top node a larger budget";
+}
+
+TEST(AuxiliaryBudgets, CapBindsOnTinyNetworks) {
+  // n=4, k=3: the global budget 12 exactly saturates the n-1 cap on every
+  // node, so an extreme gamma cannot concentrate further.
+  ExperimentConfig config;
+  config.k = 3;
+  config.budget_gamma = 8.0;
+  const auto ids = SampleIds(4, 51);
+  const std::vector<int> budgets = ComputeAuxiliaryBudgets(config, ids);
+  for (int b : budgets) EXPECT_EQ(b, 3);
+}
+
+TEST(AuxiliaryBudgets, BudgetSeedChangesTheAssignment) {
+  ExperimentConfig config;
+  config.k = 10;
+  config.budget_gamma = 1.5;
+  const auto ids = SampleIds(64, 61);
+  const std::vector<int> a = ComputeAuxiliaryBudgets(config, ids);
+  config.budget_seed += 1;
+  const std::vector<int> b = ComputeAuxiliaryBudgets(config, ids);
+  EXPECT_NE(a, b) << "capacities must derive from budget_seed";
+}
+
+}  // namespace
+}  // namespace peercache::experiments

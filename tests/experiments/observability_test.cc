@@ -342,6 +342,67 @@ TEST(Observability, ChurnRunAccruesLatency) {
   EXPECT_GT(result->latency_histogram.max(), 0.0);
 }
 
+// Sketch-mode telemetry follows the latency rule: a sketch-off document
+// keeps its historical bytes (no freq_sketch / drift / budget keys
+// anywhere), a sketch-on document gains the conditional block.
+TEST(Observability, FreqSketchJsonIsConditional) {
+  ExperimentConfig off = BaseConfig(0xd4);
+  off.n_popularity_lists = 5;
+  auto cmp_off = CompareStable<ChordPolicy>(off);
+  ASSERT_TRUE(cmp_off.ok());
+  const std::string doc_off =
+      ComparisonDocument("observability_test", "chord", "stable", off,
+                         *cmp_off);
+  EXPECT_EQ(doc_off.find("freq_sketch"), std::string::npos);
+  EXPECT_EQ(doc_off.find("drift_"), std::string::npos);
+  EXPECT_EQ(doc_off.find("budget_gamma"), std::string::npos);
+
+  ExperimentConfig on = off;
+  on.freq_sketch.top_capacity = 16;
+  on.freq_sketch.cm_width = 32;
+  on.freq_sketch.cm_depth = 2;
+  auto cmp_on = CompareStable<ChordPolicy>(on);
+  ASSERT_TRUE(cmp_on.ok());
+  const std::string doc_on =
+      ComparisonDocument("observability_test", "chord", "stable", on, *cmp_on);
+  EXPECT_NE(doc_on.find("\"freq_sketch_top_capacity\":16"), std::string::npos);
+  EXPECT_NE(doc_on.find("\"freq_sketch\":{\"top_capacity\":16"),
+            std::string::npos);
+  EXPECT_NE(doc_on.find("\"summary_bytes_per_node\""), std::string::npos);
+  EXPECT_NE(doc_on.find("\"tracked_per_node\""), std::string::npos);
+  // Schema version is unchanged: the block is additive and conditional.
+  EXPECT_EQ(doc_on.find("{\"schema_version\":1,"), 0u);
+}
+
+// A sketch-mode run joins the determinism contract: all telemetry except
+// wall-clock timers is byte-identical at threads 1 and 4.
+TEST(Observability, FreqSketchTelemetryIsThreadCountInvariant) {
+  ExperimentConfig cfg = BaseConfig(0xd5);
+  cfg.n_popularity_lists = 5;
+  cfg.freq_sketch.top_capacity = 16;
+  cfg.freq_sketch.cm_width = 32;
+  cfg.freq_sketch.cm_depth = 2;
+  cfg.drift.kind = workload::DriftKind::kRankShuffle;
+  cfg.drift.period = 20;
+  cfg.threads = 1;
+  auto serial = RunStable<ChordPolicy>(cfg, SelectorKind::kOptimal);
+  cfg.threads = 4;
+  auto parallel = RunStable<ChordPolicy>(cfg, SelectorKind::kOptimal);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  EXPECT_TRUE(serial->freq_sketch_enabled);
+  EXPECT_EQ(SerializedMetricsNoTimers(*serial),
+            SerializedMetricsNoTimers(*parallel));
+  EXPECT_EQ(SerializedTraces("chord", *serial),
+            SerializedTraces("chord", *parallel));
+  EXPECT_EQ(SerializedAudit(*serial), SerializedAudit(*parallel));
+  EXPECT_DOUBLE_EQ(serial->freq_summary_bytes_mean,
+                   parallel->freq_summary_bytes_mean);
+  EXPECT_DOUBLE_EQ(serial->freq_tracked_mean, parallel->freq_tracked_mean);
+  // Sketch tables track at most top_capacity peers each.
+  EXPECT_LE(serial->freq_tracked_mean, 16.0);
+  EXPECT_GT(serial->freq_tracked_mean, 0.0);
+}
+
 TEST(Observability, ComparisonDocumentHasSchemaEnvelope) {
   ExperimentConfig cfg = BaseConfig(0xde);
   cfg.n_popularity_lists = 5;

@@ -1,0 +1,211 @@
+// Drift-workload generator tests: every property the concurrent engine
+// relies on — seed determinism, per-node purity (results depend only on
+// (list, query_index, rng), never on call order), rank-shuffle preserving
+// the item set, and flash-crowd mass conservation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "workload/drift.h"
+#include "workload/workload.h"
+
+namespace peercache::workload {
+namespace {
+
+constexpr size_t kItems = 64;
+constexpr int kLists = 3;
+
+DriftConfig Config(DriftKind kind, int period = 10) {
+  DriftConfig c;
+  c.kind = kind;
+  c.period = period;
+  c.max_epochs = 6;
+  return c;
+}
+
+TEST(DriftModel, SampleKeyIsSeedDeterministic) {
+  ItemSpace items(32, kItems, 5);
+  PopularityModel pop(kItems, 1.0, kLists, 7);
+  for (DriftKind kind : {DriftKind::kRankShuffle, DriftKind::kFlashCrowd}) {
+    DriftModel a(items, pop, Config(kind));
+    DriftModel b(items, pop, Config(kind));
+    Rng ra(42), rb(42);
+    for (int64_t q = 0; q < 200; ++q) {
+      ASSERT_EQ(a.SampleKey(q % kLists ? 1 : 0, q, ra),
+                b.SampleKey(q % kLists ? 1 : 0, q, rb))
+          << DriftKindName(kind) << " query " << q;
+    }
+  }
+}
+
+TEST(DriftModel, SampleKeyIsPureInListQueryAndRng) {
+  // The parallel engine interleaves nodes arbitrarily across threads; the
+  // drifted key for (list, query_index) with a given RNG state must not
+  // depend on what other nodes sampled in between.
+  ItemSpace items(32, kItems, 5);
+  PopularityModel pop(kItems, 1.0, kLists, 7);
+  DriftModel model(items, pop, Config(DriftKind::kRankShuffle));
+
+  // Node A alone.
+  std::vector<uint64_t> alone;
+  {
+    Rng rng(1);
+    for (int64_t q = 0; q < 50; ++q) alone.push_back(model.SampleKey(0, q, rng));
+  }
+  // Node A interleaved with node B (its own RNG stream).
+  std::vector<uint64_t> interleaved;
+  {
+    Rng ra(1), rb(2);
+    for (int64_t q = 0; q < 50; ++q) {
+      (void)model.SampleKey(1, q, rb);
+      interleaved.push_back(model.SampleKey(0, q, ra));
+      (void)model.SampleKey(2, q, rb);
+    }
+  }
+  EXPECT_EQ(alone, interleaved);
+}
+
+TEST(DriftModel, RankShuffleEpochsArePermutationsOfTheBase) {
+  ItemSpace items(32, kItems, 5);
+  PopularityModel pop(kItems, 1.0, kLists, 7);
+  DriftModel model(items, pop, Config(DriftKind::kRankShuffle));
+
+  for (int list = 0; list < kLists; ++list) {
+    std::vector<size_t> base;
+    for (size_t rank = 1; rank <= kItems; ++rank) {
+      base.push_back(pop.ItemAtRank(list, rank));
+    }
+    std::vector<size_t> base_sorted = base;
+    std::sort(base_sorted.begin(), base_sorted.end());
+    for (int epoch = 0; epoch < model.config().max_epochs; ++epoch) {
+      std::vector<size_t> cur;
+      for (size_t rank = 1; rank <= kItems; ++rank) {
+        cur.push_back(model.ItemAtRank(list, epoch, rank));
+      }
+      if (epoch == 0) {
+        EXPECT_EQ(cur, base) << "epoch 0 must be the base assignment";
+      }
+      std::sort(cur.begin(), cur.end());
+      EXPECT_EQ(cur, base_sorted)
+          << "list " << list << " epoch " << epoch
+          << " is not a permutation of the item set";
+    }
+  }
+}
+
+TEST(DriftModel, RankShuffleMovesABoundedFraction) {
+  ItemSpace items(32, kItems, 5);
+  PopularityModel pop(kItems, 1.0, kLists, 7);
+  DriftConfig config = Config(DriftKind::kRankShuffle);
+  config.shuffle_fraction = 0.25;
+  DriftModel model(items, pop, config);
+
+  const size_t budget = static_cast<size_t>(
+      std::ceil(config.shuffle_fraction * static_cast<double>(kItems)));
+  for (int epoch = 1; epoch < config.max_epochs; ++epoch) {
+    size_t moved = 0;
+    for (size_t rank = 1; rank <= kItems; ++rank) {
+      if (model.ItemAtRank(0, epoch, rank) !=
+          model.ItemAtRank(0, epoch - 1, rank)) {
+        ++moved;
+      }
+    }
+    EXPECT_LE(moved, budget) << "epoch " << epoch
+                             << " re-shuffled more positions than configured";
+  }
+}
+
+TEST(DriftModel, FlashCrowdFullBoostAlwaysHitsTheFlashItem) {
+  ItemSpace items(32, kItems, 5);
+  PopularityModel pop(kItems, 1.0, kLists, 7);
+  DriftConfig config = Config(DriftKind::kFlashCrowd, /*period=*/10);
+  config.flash_boost = 1.0;  // all mass diverted: every draw is the flash item
+  DriftModel model(items, pop, config);
+
+  Rng rng(9);
+  for (int64_t q = 10; q < 20; ++q) {  // epoch 1: flash
+    ASSERT_TRUE(model.IsFlashEpoch(model.EpochOf(q)));
+    EXPECT_EQ(model.SampleKey(0, q, rng),
+              items.ItemKey(model.FlashItem(model.EpochOf(q))));
+  }
+}
+
+TEST(DriftModel, FlashCrowdCalmEpochsMatchTheBaseDistribution) {
+  // Even (calm) epochs must reproduce the base sampling exactly — same rank
+  // draw against the same rank->item assignment — so stationary stretches of
+  // a flash-crowd run are bit-identical to the stationary workload.
+  ItemSpace items(32, kItems, 5);
+  PopularityModel pop(kItems, 1.0, kLists, 7);
+  DriftModel model(items, pop, Config(DriftKind::kFlashCrowd, /*period=*/10));
+
+  Rng drifted(3), base(3);
+  for (int64_t q = 0; q < 10; ++q) {  // epoch 0: calm
+    const uint64_t got = model.SampleKey(1, q, drifted);
+    const size_t rank = pop.zipf().Sample(base);
+    EXPECT_EQ(got, items.ItemKey(pop.ItemAtRank(1, rank)));
+  }
+}
+
+TEST(DriftModel, FlashItemComesFromTheColdHalf) {
+  ItemSpace items(32, kItems, 5);
+  PopularityModel pop(kItems, 1.0, kLists, 7);
+  DriftModel model(items, pop, Config(DriftKind::kFlashCrowd));
+
+  for (int epoch = 1; epoch < model.config().max_epochs; epoch += 2) {
+    const size_t flash = model.FlashItem(epoch);
+    size_t rank = 0;
+    for (size_t r = 1; r <= kItems; ++r) {
+      if (pop.ItemAtRank(0, r) == flash) {
+        rank = r;
+        break;
+      }
+    }
+    EXPECT_GT(rank, kItems / 2)
+        << "flash item of epoch " << epoch << " is not cold";
+  }
+}
+
+TEST(DriftModel, EpochOfClampsToMaxEpochs) {
+  ItemSpace items(32, kItems, 5);
+  PopularityModel pop(kItems, 1.0, kLists, 7);
+  DriftConfig config = Config(DriftKind::kRankShuffle, /*period=*/10);
+  config.max_epochs = 4;
+  DriftModel model(items, pop, config);
+  EXPECT_EQ(model.EpochOf(0), 0);
+  EXPECT_EQ(model.EpochOf(9), 0);
+  EXPECT_EQ(model.EpochOf(10), 1);
+  EXPECT_EQ(model.EpochOf(39), 3);
+  EXPECT_EQ(model.EpochOf(40), 3) << "later queries stay in the final epoch";
+  EXPECT_EQ(model.EpochOf(100000), 3);
+}
+
+TEST(DriftKindTest, ParseRoundTripsAndRejectsGarbage) {
+  for (DriftKind kind :
+       {DriftKind::kNone, DriftKind::kRankShuffle, DriftKind::kFlashCrowd}) {
+    DriftKind parsed;
+    ASSERT_TRUE(ParseDriftKind(DriftKindName(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  DriftKind parsed;
+  EXPECT_FALSE(ParseDriftKind("zipf-walk", &parsed));
+  EXPECT_FALSE(ParseDriftKind("", &parsed));
+}
+
+TEST(DriftConfigTest, EnabledRequiresKindAndPeriod) {
+  DriftConfig c;
+  EXPECT_FALSE(c.enabled());
+  c.kind = DriftKind::kRankShuffle;
+  EXPECT_FALSE(c.enabled()) << "period 0 disables drift";
+  c.period = 5;
+  EXPECT_TRUE(c.enabled());
+  c.kind = DriftKind::kNone;
+  EXPECT_FALSE(c.enabled());
+}
+
+}  // namespace
+}  // namespace peercache::workload
